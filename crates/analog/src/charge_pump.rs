@@ -1,0 +1,218 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{AnalogError, VDD};
+
+/// Behavioral model of the charge-redistribution training circuit of
+/// Fig. 14 — the mechanism that lets the Boltzmann gradient follower adjust
+/// a coupling weight *in place* (§3.3, Appendix B.4).
+///
+/// Each coupling parameter `Wᵢⱼ` is stored as the gate voltage `V_gate` of a
+/// transistor acting as a configurable resistor. During the pre-charge phase
+/// a small capacitor `Cp` is charged to `Vdd` (and `Cn` discharged to
+/// ground); during the charge-transfer phase, if the gating condition
+/// `vᵢ·hⱼ = 1` holds, the packet is redistributed onto `C_gate`:
+///
+/// ```text
+/// increment:  V⁺ = V + r · (Vdd − V)      (charge share from Cp)
+/// decrement:  V⁻ = V − r · V              (charge share into Cn)
+/// ```
+///
+/// where `r = Cp / (Cp + C_gate)` is the charge-sharing ratio. The step is
+/// therefore *state-dependent*: it shrinks near the rails, which is exactly
+/// the nonlinearity `f_ij(·)` the paper folds into Eq. 12. Per-device
+/// variation scales `r` multiplicatively.
+///
+/// # Example
+///
+/// ```
+/// use ember_analog::ChargePump;
+///
+/// # fn main() -> Result<(), ember_analog::AnalogError> {
+/// let pump = ChargePump::new(1.0 / 256.0)?;
+/// let v0 = 0.5;
+/// let up = pump.increment(v0);
+/// let down = pump.decrement(v0);
+/// assert!(up > v0 && down < v0);
+/// // Near the top rail the increment step shrinks.
+/// assert!(pump.increment(0.99) - 0.99 < up - v0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChargePump {
+    ratio: f64,
+    device_factor: f64,
+}
+
+impl ChargePump {
+    /// Creates a pump with charge-sharing ratio `r = Cp / (Cp + C_gate)`.
+    ///
+    /// The paper notes the packet "can be accurately controlled to achieve a
+    /// step size of only a small number of electrons"; typical useful ratios
+    /// are `2⁻⁶ … 2⁻¹²` of the rail.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::InvalidParameter`] if `ratio ∉ (0, 0.5]`.
+    pub fn new(ratio: f64) -> Result<Self, AnalogError> {
+        Self::with_device_factor(ratio, 1.0)
+    }
+
+    /// Creates a pump whose effective ratio is scaled by a per-device
+    /// process-variation factor (sampled once at "fabrication" by
+    /// [`crate::NoiseModel::sample_variation`]).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::InvalidParameter`] if `ratio ∉ (0, 0.5]` or
+    /// `device_factor ∉ (0, 2]`.
+    pub fn with_device_factor(ratio: f64, device_factor: f64) -> Result<Self, AnalogError> {
+        if !(ratio > 0.0 && ratio <= 0.5) {
+            return Err(AnalogError::InvalidParameter {
+                name: "ratio",
+                reason: "charge-sharing ratio must be in (0, 0.5]",
+            });
+        }
+        if !(device_factor > 0.0 && device_factor <= 2.0) {
+            return Err(AnalogError::InvalidParameter {
+                name: "device_factor",
+                reason: "variation factor must be in (0, 2]",
+            });
+        }
+        Ok(ChargePump {
+            ratio,
+            device_factor,
+        })
+    }
+
+    /// The nominal charge-sharing ratio.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// The effective ratio after device variation.
+    pub fn effective_ratio(&self) -> f64 {
+        (self.ratio * self.device_factor).min(0.5)
+    }
+
+    /// One positive-phase packet: raises the gate voltage toward `Vdd`.
+    #[must_use]
+    pub fn increment(&self, v_gate: f64) -> f64 {
+        let v = v_gate.clamp(0.0, VDD);
+        v + self.effective_ratio() * (VDD - v)
+    }
+
+    /// One negative-phase packet: lowers the gate voltage toward ground.
+    #[must_use]
+    pub fn decrement(&self, v_gate: f64) -> f64 {
+        let v = v_gate.clamp(0.0, VDD);
+        v - self.effective_ratio() * v
+    }
+
+    /// Applies `n` packets in the given direction (`true` = increment).
+    ///
+    /// Equivalent to folding [`ChargePump::increment`]/[`ChargePump::decrement`]
+    /// `n` times, but in closed form — used when a behavioral step covers
+    /// multiple hardware cycles.
+    #[must_use]
+    pub fn apply_packets(&self, v_gate: f64, n: u32, increment: bool) -> f64 {
+        let r = self.effective_ratio();
+        let keep = (1.0 - r).powi(n as i32);
+        let v = v_gate.clamp(0.0, VDD);
+        if increment {
+            VDD - (VDD - v) * keep
+        } else {
+            v * keep
+        }
+    }
+
+    /// The local step size `dV` for a single packet at operating point `v`
+    /// — the derivative magnitude of the `f_ij` nonlinearity.
+    pub fn step_at(&self, v_gate: f64, increment: bool) -> f64 {
+        if increment {
+            self.increment(v_gate) - v_gate.clamp(0.0, VDD)
+        } else {
+            v_gate.clamp(0.0, VDD) - self.decrement(v_gate)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_shrink_near_rails() {
+        let pump = ChargePump::new(0.01).unwrap();
+        assert!(pump.step_at(0.9, true) < pump.step_at(0.1, true));
+        assert!(pump.step_at(0.1, false) < pump.step_at(0.9, false));
+    }
+
+    #[test]
+    fn voltage_never_leaves_rails() {
+        let pump = ChargePump::new(0.25).unwrap();
+        let mut v = 0.5;
+        for _ in 0..100 {
+            v = pump.increment(v);
+            assert!((0.0..=VDD).contains(&v));
+        }
+        for _ in 0..200 {
+            v = pump.decrement(v);
+            assert!((0.0..=VDD).contains(&v));
+        }
+    }
+
+    #[test]
+    fn increment_decrement_approximately_invert_midrange() {
+        // Near mid-rail the up and down steps are nearly equal, so the
+        // composition is close to identity (first-order in r).
+        let pump = ChargePump::new(1.0 / 512.0).unwrap();
+        let v = 0.5;
+        let roundtrip = pump.decrement(pump.increment(v));
+        assert!((roundtrip - v).abs() < 1e-5);
+    }
+
+    #[test]
+    fn apply_packets_matches_folding() {
+        let pump = ChargePump::new(0.03).unwrap();
+        let mut v = 0.2;
+        for _ in 0..7 {
+            v = pump.increment(v);
+        }
+        let closed = pump.apply_packets(0.2, 7, true);
+        assert!((v - closed).abs() < 1e-12);
+
+        let mut w = 0.8;
+        for _ in 0..5 {
+            w = pump.decrement(w);
+        }
+        let closed = pump.apply_packets(0.8, 5, false);
+        assert!((w - closed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn device_factor_scales_step() {
+        let nominal = ChargePump::new(0.01).unwrap();
+        let fast = ChargePump::with_device_factor(0.01, 1.5).unwrap();
+        assert!(fast.step_at(0.5, true) > nominal.step_at(0.5, true));
+    }
+
+    #[test]
+    fn fixed_point_of_alternation_is_interior() {
+        // Alternating +/- packets converge to v* where r(1-v) = r v, i.e. 0.5.
+        let pump = ChargePump::new(0.05).unwrap();
+        let mut v = 0.05;
+        for _ in 0..500 {
+            v = pump.decrement(pump.increment(v));
+        }
+        assert!((v - 0.5).abs() < 0.05, "fixed point {v}");
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(ChargePump::new(0.0).is_err());
+        assert!(ChargePump::new(0.9).is_err());
+        assert!(ChargePump::with_device_factor(0.01, 0.0).is_err());
+        assert!(ChargePump::with_device_factor(0.01, 3.0).is_err());
+    }
+}

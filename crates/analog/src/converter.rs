@@ -1,0 +1,295 @@
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::AnalogError;
+
+fn validate_bits(bits: u32) -> Result<(), AnalogError> {
+    if (1..=16).contains(&bits) {
+        Ok(())
+    } else {
+        Err(AnalogError::InvalidBits(bits))
+    }
+}
+
+/// An ideal uniform digital-to-analog converter.
+///
+/// Quantizes a value in `[lo, hi]` onto `2^bits` levels. The paper drives
+/// multi-bit training samples onto the visible nodes through 8-bit
+/// converters (§4.1), so quantization error is part of the behavioral model.
+///
+/// # Example
+///
+/// ```
+/// use ember_analog::Dac;
+///
+/// # fn main() -> Result<(), ember_analog::AnalogError> {
+/// let dac = Dac::new(8)?;
+/// let q = dac.quantize(0.5, 0.0, 1.0);
+/// assert!((q - 0.5).abs() < 1.0 / 255.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dac {
+    bits: u32,
+}
+
+impl Dac {
+    /// Creates a DAC with the given resolution.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::InvalidBits`] unless `1 ≤ bits ≤ 16`.
+    pub fn new(bits: u32) -> Result<Self, AnalogError> {
+        validate_bits(bits)?;
+        Ok(Dac { bits })
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of output levels (`2^bits`).
+    pub fn levels(&self) -> u32 {
+        1 << self.bits
+    }
+
+    /// Quantizes `x` onto the converter grid over `[lo, hi]`; inputs outside
+    /// the range are clamped first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn quantize(&self, x: f64, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "invalid quantization range");
+        let steps = (self.levels() - 1) as f64;
+        let clamped = x.clamp(lo, hi);
+        let code = ((clamped - lo) / (hi - lo) * steps).round();
+        lo + code / steps * (hi - lo)
+    }
+
+    /// Largest possible quantization error over `[lo, hi]` (half an LSB).
+    pub fn max_error(&self, lo: f64, hi: f64) -> f64 {
+        (hi - lo) / ((self.levels() - 1) as f64) / 2.0
+    }
+}
+
+/// A digital-to-time converter.
+///
+/// The paper inputs training data through DTCs (§4.1, citing a
+/// measurement-validated design): the digital sample is encoded as a pulse
+/// *duration* that charges the clamped node. Behaviorally this is a uniform
+/// quantizer like the DAC, plus a deterministic integral-nonlinearity bow
+/// (time-domain converters have characteristic INL from current-source
+/// mismatch).
+///
+/// # Example
+///
+/// ```
+/// use ember_analog::Dtc;
+///
+/// # fn main() -> Result<(), ember_analog::AnalogError> {
+/// let dtc = Dtc::new(8, 0.0)?;
+/// assert!((dtc.convert(0.25) - 0.25).abs() < 1.0 / 255.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dtc {
+    bits: u32,
+    inl: f64,
+}
+
+impl Dtc {
+    /// Creates a DTC with the given resolution and integral nonlinearity.
+    ///
+    /// `inl` is the peak bow deviation as a fraction of full scale (`0.0` =
+    /// ideal; a realistic 8-bit DTC has `|inl| ≲ 0.005`).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::InvalidBits`] unless `1 ≤ bits ≤ 16`;
+    /// [`AnalogError::InvalidParameter`] if `|inl| > 0.1`.
+    pub fn new(bits: u32, inl: f64) -> Result<Self, AnalogError> {
+        validate_bits(bits)?;
+        if inl.abs() > 0.1 {
+            return Err(AnalogError::InvalidParameter {
+                name: "inl",
+                reason: "peak bow must be within ±10% of full scale",
+            });
+        }
+        Ok(Dtc { bits, inl })
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Converts a normalized digital value in `[0, 1]` to the analog clamp
+    /// level actually seen by the node: quantized, then bowed by the INL.
+    pub fn convert(&self, x: f64) -> f64 {
+        let steps = ((1u32 << self.bits) - 1) as f64;
+        let clamped = x.clamp(0.0, 1.0);
+        let q = (clamped * steps).round() / steps;
+        // Parabolic bow, zero at the endpoints, peak `inl` at mid-scale.
+        (q + self.inl * 4.0 * q * (1.0 - q)).clamp(0.0, 1.0)
+    }
+}
+
+/// A successive-approximation analog-to-digital converter.
+///
+/// Used once at the end of BGF training to read out the trained coupler
+/// voltages, one column at a time (§3.3 step 6). 8-bit per the paper, with
+/// optional input-referred thermal noise.
+///
+/// # Example
+///
+/// ```
+/// use ember_analog::Adc;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), ember_analog::AnalogError> {
+/// let adc = Adc::new(8, 0.0)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let code = adc.read(0.5, 0.0, 1.0, &mut rng);
+/// assert!((code - 0.5).abs() < 1.0 / 255.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adc {
+    bits: u32,
+    noise_rms: f64,
+}
+
+impl Adc {
+    /// Creates an ADC with the given resolution and input-referred noise
+    /// (RMS, as a fraction of full scale).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::InvalidBits`] unless `1 ≤ bits ≤ 16`;
+    /// [`AnalogError::InvalidParameter`] if `noise_rms` is negative or
+    /// above 10% of full scale.
+    pub fn new(bits: u32, noise_rms: f64) -> Result<Self, AnalogError> {
+        validate_bits(bits)?;
+        if !(0.0..=0.1).contains(&noise_rms) {
+            return Err(AnalogError::InvalidParameter {
+                name: "noise_rms",
+                reason: "must be in [0, 0.1] of full scale",
+            });
+        }
+        Ok(Adc { bits, noise_rms })
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Reads an analog value in `[lo, hi]`, adding input noise then
+    /// quantizing. Returns the reconstructed analog value of the output
+    /// code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn read<R: Rng + ?Sized>(&self, x: f64, lo: f64, hi: f64, rng: &mut R) -> f64 {
+        assert!(lo < hi, "invalid conversion range");
+        let noisy = if self.noise_rms > 0.0 {
+            let sigma = self.noise_rms * (hi - lo);
+            let dist = Normal::new(0.0, sigma).expect("validated sigma");
+            x + dist.sample(rng)
+        } else {
+            x
+        };
+        let steps = ((1u32 << self.bits) - 1) as f64;
+        let clamped = noisy.clamp(lo, hi);
+        let code = ((clamped - lo) / (hi - lo) * steps).round();
+        lo + code / steps * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dac_error_within_half_lsb() {
+        let dac = Dac::new(8).unwrap();
+        for k in 0..=100 {
+            let x = k as f64 / 100.0;
+            let q = dac.quantize(x, 0.0, 1.0);
+            assert!((q - x).abs() <= dac.max_error(0.0, 1.0) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn dac_clamps_out_of_range() {
+        let dac = Dac::new(4).unwrap();
+        assert_eq!(dac.quantize(2.0, 0.0, 1.0), 1.0);
+        assert_eq!(dac.quantize(-1.0, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn dac_one_bit_is_binary() {
+        let dac = Dac::new(1).unwrap();
+        assert_eq!(dac.quantize(0.4, 0.0, 1.0), 0.0);
+        assert_eq!(dac.quantize(0.6, 0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn dtc_ideal_matches_dac_grid() {
+        let dtc = Dtc::new(8, 0.0).unwrap();
+        let dac = Dac::new(8).unwrap();
+        for k in 0..=50 {
+            let x = k as f64 / 50.0;
+            assert!((dtc.convert(x) - dac.quantize(x, 0.0, 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dtc_bow_peaks_midscale_and_vanishes_at_ends() {
+        let dtc = Dtc::new(8, 0.01).unwrap();
+        assert_eq!(dtc.convert(0.0), 0.0);
+        assert_eq!(dtc.convert(1.0), 1.0);
+        // 0.5 is not exactly on the 255-step grid; allow half-LSB slack.
+        let mid = dtc.convert(0.5);
+        assert!(mid > 0.5 && (mid - 0.51).abs() < 3e-3);
+    }
+
+    #[test]
+    fn adc_noiseless_roundtrip() {
+        let adc = Adc::new(8, 0.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for k in 0..=20 {
+            let x = -1.0 + 2.0 * k as f64 / 20.0;
+            let y = adc.read(x, -1.0, 1.0, &mut rng);
+            assert!((x - y).abs() <= 2.0 / 255.0 / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn adc_noise_perturbs_codes() {
+        let adc = Adc::new(8, 0.05).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let reads: Vec<f64> = (0..100).map(|_| adc.read(0.5, 0.0, 1.0, &mut rng)).collect();
+        let distinct: std::collections::BTreeSet<u64> =
+            reads.iter().map(|r| (r * 1e9) as u64).collect();
+        assert!(distinct.len() > 3, "noise should spread the codes");
+    }
+
+    #[test]
+    fn converters_reject_bad_bits() {
+        assert!(Dac::new(0).is_err());
+        assert!(Dac::new(17).is_err());
+        assert!(Dtc::new(0, 0.0).is_err());
+        assert!(Adc::new(32, 0.0).is_err());
+        assert!(Dtc::new(8, 0.5).is_err());
+        assert!(Adc::new(8, 0.5).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring analog circuit models.
+///
+/// # Example
+///
+/// ```
+/// use ember_analog::{Dac, AnalogError};
+///
+/// let err = Dac::new(0).unwrap_err();
+/// assert!(matches!(err, AnalogError::InvalidBits(0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalogError {
+    /// Converter resolution must be between 1 and 16 bits.
+    InvalidBits(u32),
+    /// A parameter was outside its physically meaningful range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for AnalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalogError::InvalidBits(bits) => {
+                write!(f, "converter resolution must be 1..=16 bits, got {bits}")
+            }
+            AnalogError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for AnalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_sendable() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<AnalogError>();
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(AnalogError::InvalidBits(20).to_string().contains("20"));
+        let e = AnalogError::InvalidParameter {
+            name: "gain",
+            reason: "must be positive",
+        };
+        assert!(e.to_string().contains("gain"));
+    }
+}

@@ -1,0 +1,63 @@
+//! # ember-analog
+//!
+//! Behavioral models of the analog circuits that augment the Ising substrate
+//! for RBM support (paper §3.2, §3.3 and Appendix B).
+//!
+//! All voltages are normalized to `Vdd = 1.0`, with the common-mode level
+//! `Vcm = 0.5` (`Vdd/2`, as in Fig. 12). The models capture the *behavior*
+//! (transfer curves, quantization, stochastic comparison, charge packets)
+//! rather than transistor-level detail — the same abstraction level as the
+//! paper's Matlab behavioral models (§4.1).
+//!
+//! | Circuit (paper) | Model |
+//! |---|---|
+//! | Sigmoid unit, Fig. 13(a) | [`SigmoidUnit`] — low-gain differential amp whose transfer approximates `σ(c₁(x−c₂))`, clipped to the rails |
+//! | Thermal-noise RNG, Fig. 13(b) | [`ThermalRng`] — amplified diode noise, clipped to `Vcm ± A·Vnoise` |
+//! | Dynamic comparator, Fig. 13(c) | [`Comparator`] — latched compare with input-referred offset |
+//! | DAC / DTC / ADC | [`Dac`], [`Dtc`], [`Adc`] — uniform quantizers (paper uses 8-bit converters) |
+//! | Charge-pump trainer, Fig. 14 | [`ChargePump`] — charge-redistribution weight increment/decrement with rail-dependent step (the `f_ij` of Eq. 12) |
+//! | Process variation + circuit noise (§4.5) | [`NoiseModel`] — static Gaussian variation and dynamic Gaussian noise, RMS-parameterized |
+//!
+//! # Example
+//!
+//! ```
+//! use ember_analog::{SigmoidUnit, ThermalRng, Comparator};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let sigmoid = SigmoidUnit::ideal();
+//! let noise = ThermalRng::new(0.5);
+//! let comparator = Comparator::ideal();
+//!
+//! // A strongly positive summed current should almost always sample 1.
+//! let p = sigmoid.transfer(4.0);
+//! let ones = (0..1000)
+//!     .filter(|_| comparator.sample(p, &noise, &mut rng))
+//!     .count();
+//! assert!(ones > 900);
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod charge_pump;
+mod comparator;
+mod converter;
+mod error;
+mod noise;
+mod rng;
+mod sigmoid;
+
+pub use charge_pump::ChargePump;
+pub use comparator::Comparator;
+pub use converter::{Adc, Dac, Dtc};
+pub use error::AnalogError;
+pub use noise::{NoiseModel, VariationMap};
+pub use rng::ThermalRng;
+pub use sigmoid::SigmoidUnit;
+
+/// Supply voltage every model is normalized to.
+pub const VDD: f64 = 1.0;
+
+/// Common-mode voltage (`Vdd / 2`, Fig. 12).
+pub const VCM: f64 = VDD / 2.0;

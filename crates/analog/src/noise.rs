@@ -1,0 +1,286 @@
+use ndarray::{Array1, Array2};
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::AnalogError;
+
+/// Static + dynamic non-ideality model for the analog substrate (§4.5).
+///
+/// The paper's robustness study injects two Gaussian disturbance classes,
+/// each parameterized by an RMS value between 3% and 30%:
+///
+/// * **static variation** — per-device resistance mismatch of the coupling
+///   units, sampled once at "fabrication" and frozen for the lifetime of the
+///   chip ([`NoiseModel::sample_variation`] / [`NoiseModel::sample_variation_vec`]);
+/// * **dynamic noise** — cycle-to-cycle circuit noise at both the nodes and
+///   the coupling units ([`NoiseModel::perturb`] and
+///   [`NoiseModel::perturb_relative`]).
+///
+/// A result pair `(RMS_variation, RMS_noise)` identifies one experimental
+/// configuration, e.g. `(0.1, 0.1)` in Figures 8–10.
+///
+/// # Example
+///
+/// ```
+/// use ember_analog::NoiseModel;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), ember_analog::AnalogError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let noise = NoiseModel::new(0.1, 0.05)?;
+/// let map = noise.sample_variation((4, 3), &mut rng);
+/// assert_eq!(map.factors().dim(), (4, 3));
+/// let x = noise.perturb(1.0, 1.0, &mut rng);
+/// assert!((x - 1.0).abs() < 1.0); // perturbed but bounded w.h.p.
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    variation_rms: f64,
+    noise_rms: f64,
+}
+
+impl NoiseModel {
+    /// A perfectly clean substrate: the `(0.0, 0.0)` configuration.
+    pub fn noiseless() -> Self {
+        NoiseModel {
+            variation_rms: 0.0,
+            noise_rms: 0.0,
+        }
+    }
+
+    /// Creates a model with the given static-variation and dynamic-noise
+    /// RMS values (fractions, e.g. `0.1` = 10%).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::InvalidParameter`] if either RMS is negative or above
+    /// 50% (far outside the paper's 3–30% sweep and physically implausible).
+    pub fn new(variation_rms: f64, noise_rms: f64) -> Result<Self, AnalogError> {
+        for (name, v) in [("variation_rms", variation_rms), ("noise_rms", noise_rms)] {
+            if !(0.0..=0.5).contains(&v) {
+                return Err(AnalogError::InvalidParameter {
+                    name: if name == "variation_rms" {
+                        "variation_rms"
+                    } else {
+                        "noise_rms"
+                    },
+                    reason: "must be in [0, 0.5]",
+                });
+            }
+        }
+        Ok(NoiseModel {
+            variation_rms,
+            noise_rms,
+        })
+    }
+
+    /// The static variation RMS.
+    pub fn variation_rms(&self) -> f64 {
+        self.variation_rms
+    }
+
+    /// The dynamic noise RMS.
+    pub fn noise_rms(&self) -> f64 {
+        self.noise_rms
+    }
+
+    /// Label used by the experiment harness, e.g. `"0.1_0.05"` — the same
+    /// naming the paper uses for its `(variation, noise)` pairs.
+    pub fn label(&self) -> String {
+        format!("{}_{}", self.variation_rms, self.noise_rms)
+    }
+
+    /// Samples the frozen per-coupler variation map for an `(m, n)` coupler
+    /// array: multiplicative factors `max(0.05, 1 + N(0, RMS_var))`.
+    pub fn sample_variation<R: Rng + ?Sized>(
+        &self,
+        shape: (usize, usize),
+        rng: &mut R,
+    ) -> VariationMap {
+        let factors = if self.variation_rms == 0.0 {
+            Array2::ones(shape)
+        } else {
+            let dist = Normal::new(1.0, self.variation_rms).expect("validated rms");
+            Array2::from_shape_fn(shape, |_| dist.sample(rng).max(0.05))
+        };
+        VariationMap { factors }
+    }
+
+    /// Samples a frozen per-node variation vector (for node circuits such as
+    /// the sigmoid units and comparators).
+    pub fn sample_variation_vec<R: Rng + ?Sized>(&self, len: usize, rng: &mut R) -> Array1<f64> {
+        if self.variation_rms == 0.0 {
+            Array1::ones(len)
+        } else {
+            let dist = Normal::new(1.0, self.variation_rms).expect("validated rms");
+            Array1::from_shape_fn(len, |_| dist.sample(rng).max(0.05))
+        }
+    }
+
+    /// Adds dynamic noise to `x` with standard deviation `RMS_noise × scale`.
+    ///
+    /// `scale` is the characteristic signal magnitude at that circuit node
+    /// (e.g. the RMS of summed currents), so the injected noise tracks the
+    /// paper's *relative* RMS parameterization.
+    pub fn perturb<R: Rng + ?Sized>(&self, x: f64, scale: f64, rng: &mut R) -> f64 {
+        if self.noise_rms == 0.0 || scale == 0.0 {
+            return x;
+        }
+        let dist = Normal::new(0.0, self.noise_rms * scale.abs()).expect("validated rms");
+        x + dist.sample(rng)
+    }
+
+    /// Multiplicative form: `x · (1 + N(0, RMS_noise))`, for disturbances
+    /// proportional to the local signal itself (coupler current noise).
+    pub fn perturb_relative<R: Rng + ?Sized>(&self, x: f64, rng: &mut R) -> f64 {
+        if self.noise_rms == 0.0 {
+            return x;
+        }
+        let dist = Normal::new(1.0, self.noise_rms).expect("validated rms");
+        x * dist.sample(rng)
+    }
+
+    /// The 25-point grid of §4.5 (5 variation × 5 noise RMS values,
+    /// 3%–30%), plus the noiseless reference.
+    pub fn paper_grid() -> Vec<NoiseModel> {
+        let levels = [0.03, 0.05, 0.1, 0.2, 0.3];
+        let mut grid = vec![NoiseModel::noiseless()];
+        for &v in &levels {
+            for &n in &levels {
+                grid.push(NoiseModel::new(v, n).expect("grid levels valid"));
+            }
+        }
+        grid
+    }
+
+    /// The six diagonal configurations plotted in Figures 8–10:
+    /// `(0,0), (0.03,0.03), (0.05,0.05), (0.1,0.1), (0.2,0.2), (0.3,0.3)`.
+    pub fn paper_diagonal() -> Vec<NoiseModel> {
+        [0.0, 0.03, 0.05, 0.1, 0.2, 0.3]
+            .iter()
+            .map(|&v| NoiseModel::new(v, v).expect("diagonal levels valid"))
+            .collect()
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::noiseless()
+    }
+}
+
+/// A frozen per-coupler multiplicative variation map (the "fabricated"
+/// resistor mismatches).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationMap {
+    factors: Array2<f64>,
+}
+
+impl VariationMap {
+    /// An identity map (no variation) of the given shape.
+    pub fn identity(shape: (usize, usize)) -> Self {
+        VariationMap {
+            factors: Array2::ones(shape),
+        }
+    }
+
+    /// The matrix of multiplicative factors.
+    pub fn factors(&self) -> &Array2<f64> {
+        &self.factors
+    }
+
+    /// The factor for coupler `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn factor(&self, i: usize, j: usize) -> f64 {
+        self.factors[[i, j]]
+    }
+
+    /// Applies the variation to a weight matrix element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn apply(&self, weights: &Array2<f64>) -> Array2<f64> {
+        assert_eq!(weights.dim(), self.factors.dim(), "shape mismatch");
+        weights * &self.factors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_is_identity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let noise = NoiseModel::noiseless();
+        assert_eq!(noise.perturb(3.0, 1.0, &mut rng), 3.0);
+        assert_eq!(noise.perturb_relative(3.0, &mut rng), 3.0);
+        let map = noise.sample_variation((3, 3), &mut rng);
+        assert!(map.factors().iter().all(|&f| f == 1.0));
+    }
+
+    #[test]
+    fn variation_statistics_match_rms() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let noise = NoiseModel::new(0.1, 0.0).unwrap();
+        let map = noise.sample_variation((100, 100), &mut rng);
+        let mean = map.factors().mean().unwrap();
+        let std = map.factors().std(0.0);
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        assert!((std - 0.1).abs() < 0.01, "std {std}");
+    }
+
+    #[test]
+    fn variation_factors_stay_positive() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let noise = NoiseModel::new(0.5, 0.0).unwrap();
+        let map = noise.sample_variation((50, 50), &mut rng);
+        assert!(map.factors().iter().all(|&f| f > 0.0));
+    }
+
+    #[test]
+    fn perturb_scale_controls_sigma() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let noise = NoiseModel::new(0.0, 0.1).unwrap();
+        let small: Vec<f64> = (0..2000).map(|_| noise.perturb(0.0, 1.0, &mut rng)).collect();
+        let large: Vec<f64> = (0..2000).map(|_| noise.perturb(0.0, 5.0, &mut rng)).collect();
+        let rms = |xs: &[f64]| (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt();
+        assert!((rms(&small) - 0.1).abs() < 0.01);
+        assert!((rms(&large) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn paper_grids_have_expected_sizes() {
+        assert_eq!(NoiseModel::paper_grid().len(), 26);
+        assert_eq!(NoiseModel::paper_diagonal().len(), 6);
+        assert_eq!(NoiseModel::paper_diagonal()[3].label(), "0.1_0.1");
+    }
+
+    #[test]
+    fn apply_scales_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let noise = NoiseModel::new(0.2, 0.0).unwrap();
+        let map = noise.sample_variation((2, 2), &mut rng);
+        let w = ndarray::arr2(&[[1.0, 2.0], [3.0, 4.0]]);
+        let out = map.apply(&w);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((out[[i, j]] - w[[i, j]] * map.factor(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(NoiseModel::new(-0.1, 0.0).is_err());
+        assert!(NoiseModel::new(0.0, 0.9).is_err());
+    }
+}

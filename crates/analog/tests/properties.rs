@@ -1,0 +1,97 @@
+//! Property-based tests of the analog component invariants.
+
+use ember_analog::{ChargePump, Comparator, Dac, Dtc, NoiseModel, SigmoidUnit, ThermalRng};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sigmoid unit is monotone and bounded for any legal tuning.
+    #[test]
+    fn sigmoid_monotone_bounded(
+        gain in 0.1f64..8.0,
+        threshold in -2.0f64..2.0,
+        saturation in 0.0f64..0.4,
+        x in -20.0f64..20.0,
+    ) {
+        let s = SigmoidUnit::new(gain, threshold, saturation).unwrap();
+        let y = s.transfer(x);
+        prop_assert!((0.0..=1.0).contains(&y));
+        let y2 = s.transfer(x + 0.5);
+        prop_assert!(y2 >= y - 1e-12);
+    }
+
+    /// Charge-pump voltages never leave the rails, and the closed form
+    /// matches iterated packets for any ratio/count.
+    #[test]
+    fn pump_rails_and_closed_form(
+        ratio in 1e-4f64..0.5,
+        v0 in 0.0f64..1.0,
+        packets in 1u32..64,
+        up in any::<bool>(),
+    ) {
+        let pump = ChargePump::new(ratio).unwrap();
+        let mut v = v0;
+        for _ in 0..packets {
+            v = if up { pump.increment(v) } else { pump.decrement(v) };
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        let closed = pump.apply_packets(v0, packets, up);
+        prop_assert!((v - closed).abs() < 1e-9);
+    }
+
+    /// Pump steps are strictly smaller near the destination rail
+    /// (the f_ij nonlinearity of Eq. 12).
+    #[test]
+    fn pump_step_shrinks_toward_rail(ratio in 1e-3f64..0.3, v in 0.05f64..0.45) {
+        let pump = ChargePump::new(ratio).unwrap();
+        prop_assert!(pump.step_at(v, true) > pump.step_at(1.0 - v + 0.0, true) - 1e-15);
+        prop_assert!(pump.step_at(1.0 - v, false) > pump.step_at(v, false) - 1e-15);
+    }
+
+    /// DAC quantization error is at most half an LSB and quantization is
+    /// idempotent.
+    #[test]
+    fn dac_error_bound(bits in 1u32..12, x in 0.0f64..1.0) {
+        let dac = Dac::new(bits).unwrap();
+        let q = dac.quantize(x, 0.0, 1.0);
+        prop_assert!((q - x).abs() <= dac.max_error(0.0, 1.0) + 1e-12);
+        prop_assert_eq!(dac.quantize(q, 0.0, 1.0), q);
+    }
+
+    /// The DTC is monotone even with bow nonlinearity.
+    #[test]
+    fn dtc_monotone(inl in -0.05f64..0.05, x in 0.0f64..0.95) {
+        let dtc = Dtc::new(8, inl).unwrap();
+        prop_assert!(dtc.convert(x + 0.05) >= dtc.convert(x) - 1e-12);
+    }
+
+    /// Comparator respects certainty regardless of the noise profile.
+    #[test]
+    fn comparator_certainty(seed in any::<u64>(), swing in 0.05f64..0.5, gf in 0.0f64..1.0) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let noise = ThermalRng::with_profile(swing, gf).unwrap();
+        let cmp = Comparator::ideal();
+        prop_assert!(cmp.sample(1.1, &noise, &mut rng));
+        prop_assert!(!cmp.sample(-0.1, &noise, &mut rng));
+    }
+
+    /// Variation maps are positive and mean ≈ 1 for any legal RMS.
+    #[test]
+    fn variation_positive(seed in any::<u64>(), rms in 0.0f64..0.5) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let noise = NoiseModel::new(rms, 0.0).unwrap();
+        let map = noise.sample_variation((12, 12), &mut rng);
+        prop_assert!(map.factors().iter().all(|&f| f > 0.0));
+    }
+
+    /// Noiseless perturbation is the identity for any input.
+    #[test]
+    fn zero_noise_identity(x in -100.0f64..100.0, scale in 0.0f64..10.0) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let noise = NoiseModel::noiseless();
+        prop_assert_eq!(noise.perturb(x, scale, &mut rng), x);
+        prop_assert_eq!(noise.perturb_relative(x, &mut rng), x);
+    }
+}

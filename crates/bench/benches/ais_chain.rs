@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks of the AIS log-partition estimator
+//! (the evaluation cost behind Figures 7–8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use ember_metrics::Ais;
+use ember_rbm::{exact, Rbm};
+
+fn bench_ais(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ais_log_partition");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(7);
+    let small = Rbm::random(16, 8, 0.3, &mut rng);
+    let medium = Rbm::random(784, 64, 0.05, &mut rng);
+    for (name, rbm, betas, chains) in
+        [("16x8", &small, 100usize, 10usize), ("784x64", &medium, 50, 5)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), rbm, |b, rbm| {
+            let ais = Ais::new(betas, chains);
+            let mut rng = StdRng::seed_from_u64(8);
+            b.iter(|| ais.log_partition(black_box(rbm), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_partition(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let rbm = Rbm::random(16, 8, 0.3, &mut rng);
+    c.bench_function("exact_log_partition_16x8", |b| {
+        b.iter(|| exact::log_partition(black_box(&rbm)));
+    });
+}
+
+criterion_group!(benches, bench_ais, bench_exact_partition);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks of the BRIM dynamical simulator: one Euler
+//! integration step (= one simulated phase point, ≈12 ps of machine time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use ember_brim::{BipartiteBrim, BrimConfig, BrimMachine};
+use ember_ising::{generate, BipartiteProblem};
+use ndarray::{Array1, Array2};
+
+fn bench_dense_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("brim_step_dense");
+    group.sample_size(20);
+    for &n in &[64usize, 256, 512] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let problem = generate::random_gaussian(n, 1.0, 0.1, &mut rng);
+        let mut machine = BrimMachine::new(problem, BrimConfig::default());
+        machine.randomize(&mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                machine.step(black_box(0.001), &mut rng);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bipartite_settle(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    use rand::Rng;
+    let w = Array2::from_shape_fn((784, 200), |_| rng.random_range(-0.2..0.2));
+    let p = BipartiteProblem::new(w, Array1::zeros(784), Array1::zeros(200)).unwrap();
+    let mut brim = BipartiteBrim::new(p, BrimConfig::default());
+    let clamp: Vec<f64> = (0..784).map(|i| (i % 2) as f64).collect();
+    c.bench_function("bipartite_settle_784x200_10pp", |b| {
+        b.iter(|| {
+            brim.clamp_visible(black_box(&clamp));
+            brim.settle(10);
+        });
+    });
+}
+
+criterion_group!(benches, bench_dense_step, bench_bipartite_settle);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks of the analog component models: charge-pump
+//! packets, sigmoid transfer, comparator sampling, converter quantization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use ember_analog::{Adc, ChargePump, Comparator, Dtc, SigmoidUnit, ThermalRng};
+
+fn bench_pump(c: &mut Criterion) {
+    let pump = ChargePump::new(1.0 / 2048.0).unwrap();
+    c.bench_function("charge_pump_increment", |b| {
+        let mut v = 0.5;
+        b.iter(|| {
+            v = pump.increment(black_box(v));
+            if v > 0.99 {
+                v = 0.5;
+            }
+        });
+    });
+    c.bench_function("charge_pump_packets_closed_form", |b| {
+        b.iter(|| pump.apply_packets(black_box(0.3), black_box(64), true));
+    });
+}
+
+fn bench_sigmoid_comparator(c: &mut Criterion) {
+    let s = SigmoidUnit::new(1.2, 0.1, 0.01).unwrap();
+    c.bench_function("sigmoid_transfer", |b| {
+        b.iter(|| s.transfer(black_box(0.73)));
+    });
+    let cmp = Comparator::ideal();
+    let noise = ThermalRng::default();
+    let mut rng = StdRng::seed_from_u64(5);
+    c.bench_function("comparator_sample", |b| {
+        b.iter(|| cmp.sample(black_box(0.4), &noise, &mut rng));
+    });
+}
+
+fn bench_converters(c: &mut Criterion) {
+    let dtc = Dtc::new(8, 0.005).unwrap();
+    c.bench_function("dtc_convert", |b| {
+        b.iter(|| dtc.convert(black_box(0.37)));
+    });
+    let adc = Adc::new(8, 0.01).unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    c.bench_function("adc_read", |b| {
+        b.iter(|| adc.read(black_box(0.61), 0.0, 1.0, &mut rng));
+    });
+}
+
+criterion_group!(benches, bench_pump, bench_sigmoid_comparator, bench_converters);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks of the synthetic dataset generators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generate_100");
+    group.sample_size(10);
+    group.bench_function("digits", |b| {
+        b.iter(|| ember_datasets::digits::generate(black_box(100), 1))
+    });
+    group.bench_function("kana", |b| {
+        b.iter(|| ember_datasets::kana::generate(black_box(100), 1))
+    });
+    group.bench_function("fashion", |b| {
+        b.iter(|| ember_datasets::fashion::generate(black_box(100), 1))
+    });
+    group.bench_function("letters", |b| {
+        b.iter(|| ember_datasets::letters::generate(black_box(100), 1))
+    });
+    group.bench_function("cifar", |b| {
+        b.iter(|| ember_datasets::cifar::generate(black_box(100), 1))
+    });
+    group.bench_function("norb", |b| {
+        b.iter(|| ember_datasets::norb::generate(black_box(100), 1))
+    });
+    group.finish();
+
+    c.bench_function("movielens_10k_ratings", |b| {
+        b.iter(|| ember_datasets::movielens::generate(black_box(10_000), 0.1, 1))
+    });
+    c.bench_function("fraud_5k", |b| {
+        b.iter(|| ember_datasets::fraud::generate(black_box(5000), 0.01, 1))
+    });
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks of the software Gibbs sampling path — the
+//! inner loop the Ising substrate replaces (Algorithm 1 lines 12–15).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndarray::Array1;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use ember_rbm::{gibbs, Rbm};
+
+fn bench_gibbs_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gibbs_chain_cd1");
+    for &(m, n) in &[(784usize, 200usize), (784, 500), (108, 1024)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let rbm = Rbm::random(m, n, 0.05, &mut rng);
+        let v0 = Array1::from_shape_fn(m, |i| (i % 2) as f64);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &rbm,
+            |b, rbm| {
+                b.iter(|| gibbs::chain(black_box(rbm), black_box(&v0), 1, &mut rng));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hidden_probs(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let rbm = Rbm::random(784, 200, 0.05, &mut rng);
+    let v = Array1::from_shape_fn(784, |i| (i % 2) as f64);
+    c.bench_function("hidden_probs_784x200", |b| {
+        b.iter(|| rbm.hidden_probs(black_box(&v.view())));
+    });
+}
+
+criterion_group!(benches, bench_gibbs_chain, bench_hidden_probs);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion micro-benchmarks of the analytic performance model (the
+//! Figures 5–6 / Tables 2–3 generators are pure arithmetic and should be
+//! effectively free).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ember_perf::{bgf_time, fig5_rows, fig6_rows, paper_benchmarks, table3_rows, tpu_time};
+
+fn bench_rows(c: &mut Criterion) {
+    c.bench_function("fig5_rows", |b| b.iter(fig5_rows));
+    c.bench_function("fig6_rows", |b| b.iter(fig6_rows));
+    c.bench_function("table3_rows", |b| b.iter(table3_rows));
+}
+
+fn bench_single_models(c: &mut Criterion) {
+    let bench = &paper_benchmarks()[0];
+    c.bench_function("tpu_time_single", |b| {
+        b.iter(|| tpu_time(black_box(bench)))
+    });
+    c.bench_function("bgf_time_single", |b| {
+        b.iter(|| bgf_time(black_box(bench)))
+    });
+}
+
+criterion_group!(benches, bench_rows, bench_single_models);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks comparing one epoch of every trainer on a
+//! common workload: software CD-1/CD-10, PCD, the GS accelerator model,
+//! and the BGF hardware model (behavioral cost, not wall-clock claims).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndarray::Array2;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ember_core::{BgfConfig, BoltzmannGradientFollower, GibbsSampler, GsConfig};
+use ember_rbm::{CdTrainer, PcdTrainer, Rbm};
+
+const M: usize = 196; // 14x14 images
+const N: usize = 32;
+const SAMPLES: usize = 64;
+
+fn data() -> Array2<f64> {
+    Array2::from_shape_fn((SAMPLES, M), |(i, j)| ((i + j) % 2) as f64)
+}
+
+fn bench_trainers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_epoch_196x32x64");
+    group.sample_size(10);
+    let data = data();
+
+    group.bench_function("cd1", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rbm = Rbm::random(M, N, 0.01, &mut rng);
+        let t = CdTrainer::new(1, 0.1);
+        b.iter(|| t.train_epoch(&mut rbm, &data, 16, &mut rng));
+    });
+
+    group.bench_function("cd10", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut rbm = Rbm::random(M, N, 0.01, &mut rng);
+        let t = CdTrainer::new(10, 0.1);
+        b.iter(|| t.train_epoch(&mut rbm, &data, 16, &mut rng));
+    });
+
+    group.bench_function("pcd1", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rbm = Rbm::random(M, N, 0.01, &mut rng);
+        let mut t = PcdTrainer::new(1, 0.05, 16, &rbm, &mut rng);
+        b.iter(|| t.train_epoch(&mut rbm, &data, 16, &mut rng));
+    });
+
+    group.bench_function("gs_k1", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let rbm = Rbm::random(M, N, 0.01, &mut rng);
+        let mut gs = GibbsSampler::new(rbm, GsConfig::default().with_k(1), &mut rng);
+        b.iter(|| gs.train_epoch(&data, 16, &mut rng));
+    });
+
+    group.bench_function("bgf", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rbm = Rbm::random(M, N, 0.01, &mut rng);
+        let mut bgf = BoltzmannGradientFollower::new(rbm, BgfConfig::default(), &mut rng);
+        b.iter(|| bgf.train_epoch(&data, &mut rng));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_trainers);
+criterion_main!(benches);

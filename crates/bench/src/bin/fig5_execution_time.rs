@@ -1,0 +1,60 @@
+//! Regenerates **Figure 5**: execution time of TPU v1, GS and GPU (Tesla
+//! T4) normalized over BGF for every benchmark, batch size 500.
+//!
+//! Paper anchors: BGF beats the TPU by ~29× (geometric mean), GS by ~2×,
+//! and the GPU trails the TPU.
+
+use ember_bench::{compare_row, header, RunConfig};
+use ember_perf::{bgf_time, fig5_rows, gs_time, paper_benchmarks, tpu_time};
+
+fn main() {
+    let config = RunConfig::from_args();
+    header("Figure 5: execution time normalized over BGF (batch 500)");
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>12}",
+        "Benchmark", "TPU(v1)", "GS", "GPU(T4)"
+    );
+    let rows = fig5_rows();
+    for row in &rows {
+        println!(
+            "{:<16} {:>10.1} {:>10.1} {:>12.1}",
+            row.name, row.tpu, row.gs, row.gpu
+        );
+    }
+
+    let gm = rows.last().expect("geomean row");
+    header("Paper vs measured (geometric means)");
+    compare_row("TPU/BGF speedup", "29x", &format!("{:.1}x", gm.tpu));
+    compare_row(
+        "GS speedup over TPU",
+        "2x",
+        &format!("{:.2}x", gm.tpu / gm.gs),
+    );
+    compare_row(
+        "GPU slower than TPU",
+        "yes",
+        if gm.gpu > gm.tpu { "yes" } else { "NO" },
+    );
+    let mnist = &paper_benchmarks()[0];
+    compare_row(
+        "GS comm share of host wait",
+        "~25%",
+        &format!("{:.0}%", gs_time(mnist).comm_fraction_of_wait() * 100.0),
+    );
+
+    header("Absolute per-benchmark times (model, seconds)");
+    for b in paper_benchmarks() {
+        println!(
+            "{:<16} TPU {:>9.3e}  GS {:>9.3e}  BGF {:>9.3e}",
+            b.name,
+            tpu_time(&b),
+            gs_time(&b).total(),
+            bgf_time(&b).total()
+        );
+    }
+
+    if config.json {
+        println!("{}", serde_json::to_string(&rows).expect("serializable"));
+    }
+}

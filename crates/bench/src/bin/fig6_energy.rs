@@ -1,0 +1,56 @@
+//! Regenerates **Figure 6**: training energy of TPU, GS and GPU
+//! normalized over BGF for every benchmark.
+//!
+//! Paper anchor: ~1000× energy reduction for BGF vs the TPU host.
+
+use ember_bench::{compare_row, header, RunConfig};
+use ember_perf::{bgf_energy, fig6_rows, gs_energy, paper_benchmarks, tpu_energy};
+
+fn main() {
+    let config = RunConfig::from_args();
+    header("Figure 6: energy normalized over BGF (batch 500)");
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>12}",
+        "Benchmark", "TPU", "GS", "GPU(T4)"
+    );
+    let rows = fig6_rows();
+    for row in &rows {
+        println!(
+            "{:<16} {:>10.0} {:>10.1} {:>12.0}",
+            row.name, row.tpu, row.gs, row.gpu
+        );
+    }
+
+    let gm = rows.last().expect("geomean row");
+    header("Paper vs measured (geometric means)");
+    compare_row("TPU/BGF energy", "~1000x", &format!("{:.0}x", gm.tpu));
+    compare_row(
+        "GS between TPU and BGF",
+        "yes",
+        if gm.gs > 1.0 && gm.gs < gm.tpu {
+            "yes"
+        } else {
+            "NO"
+        },
+    );
+
+    header("Energy breakdowns (model, joules / training run)");
+    for b in paper_benchmarks() {
+        let gs = gs_energy(&b);
+        let bgf = bgf_energy(&b);
+        println!(
+            "{:<16} TPU {:>9.2e}  GS {:>9.2e} (host {:.0}%)  BGF {:>9.2e} (stream {:.0}%)",
+            b.name,
+            tpu_energy(&b),
+            gs.total(),
+            100.0 * gs.host_j / gs.total(),
+            bgf.total(),
+            100.0 * bgf.comm_j / bgf.total(),
+        );
+    }
+
+    if config.json {
+        println!("{}", serde_json::to_string(&rows).expect("serializable"));
+    }
+}

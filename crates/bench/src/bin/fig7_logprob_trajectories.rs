@@ -1,0 +1,94 @@
+//! Regenerates **Figure 7**: average log probability of the training data
+//! over the course of training, for CD-1, CD-10 and BGF, on the
+//! MNIST/KMNIST/FMNIST/EMNIST-like datasets (AIS-estimated, as in §4.1).
+//!
+//! Expected shape (paper): all trajectories rise substantially; CD-1,
+//! CD-10 and BGF produce different but comparable trajectories, with BGF
+//! inside the CD family's spread.
+
+use ember_bench::{bgf_quality_config, header, RunConfig};
+use ember_core::BoltzmannGradientFollower;
+use ember_metrics::Ais;
+use ember_rbm::{CdTrainer, Rbm};
+
+fn main() {
+    let config = RunConfig::from_args();
+    let samples = config.pick(400, 4000);
+    let hidden = config.pick(32, 200);
+    let epochs = config.pick(8, 30);
+    let ais = Ais::new(config.pick(100, 500), config.pick(15, 60));
+    let batch = config.pick(20, 100);
+
+    header("Figure 7: average log probability trajectories (AIS estimate)");
+    println!(
+        "datasets: 4  samples: {samples}  hidden: {hidden}  epochs: {epochs}  (seed {})",
+        config.seed
+    );
+
+    let mut results = Vec::new();
+    for name in ["mnist", "kmnist", "fmnist", "emnist"] {
+        let data = match name {
+            "mnist" => ember_datasets::digits::generate(samples, config.seed),
+            "kmnist" => ember_datasets::kana::generate(samples, config.seed),
+            "fmnist" => ember_datasets::fashion::generate(samples, config.seed),
+            _ => ember_datasets::letters::generate(samples, config.seed),
+        }
+        .binarized(0.5);
+        let images = data.images();
+
+        let mut rng = config.rng();
+        let mut cd1 = Rbm::random(784, hidden, 0.01, &mut rng);
+        let mut cd10 = cd1.clone();
+        let mut bgf =
+            BoltzmannGradientFollower::new(cd1.clone(), bgf_quality_config(), &mut rng);
+        let t1 = CdTrainer::new(1, 0.1);
+        let t10 = CdTrainer::new(10, 0.1);
+
+        let mut traj: Vec<(f64, f64, f64)> = Vec::new();
+        for _ in 0..epochs {
+            t1.train_epoch(&mut cd1, images, batch, &mut rng);
+            t10.train_epoch(&mut cd10, images, batch, &mut rng);
+            bgf.train_epoch(images, &mut rng);
+            let lp1 = ais.mean_log_probability(&cd1, images, &mut rng);
+            let lp10 = ais.mean_log_probability(&cd10, images, &mut rng);
+            let lpb = ais.mean_log_probability(&bgf.effective_rbm(), images, &mut rng);
+            traj.push((lp1, lp10, lpb));
+        }
+
+        header(&format!("{name}-like: avg log P(train) per epoch"));
+        println!("{:<8} {:>10} {:>10} {:>10}", "epoch", "CD-1", "CD-10", "BGF");
+        for (e, (a, b, c)) in traj.iter().enumerate() {
+            println!("{:<8} {a:>10.2} {b:>10.2} {c:>10.2}", e + 1);
+        }
+
+        let first = traj.first().expect("non-empty");
+        let last = traj.last().expect("non-empty");
+        let rising = |f: f64, l: f64| if l > f { "rising" } else { "NOT rising" };
+        println!(
+            "trend: CD-1 {}, CD-10 {}, BGF {}",
+            rising(first.0, last.0),
+            rising(first.1, last.1),
+            rising(first.2, last.2)
+        );
+        results.push((name, traj));
+    }
+
+    header("Paper vs measured");
+    println!("paper: trajectories increase over time, often substantially; the");
+    println!("BGF trajectory differs from CD-k but stays within the family's spread.");
+    let mut ok = true;
+    for (name, traj) in &results {
+        let first = traj.first().expect("non-empty");
+        let last = traj.last().expect("non-empty");
+        let all_rise = last.0 > first.0 && last.1 > first.1 && last.2 > first.2;
+        println!("{name}-like: all three trajectories rising: {all_rise}");
+        ok &= all_rise;
+    }
+    println!("overall: {}", if ok { "SHAPE REPRODUCED" } else { "MISMATCH" });
+
+    if config.json {
+        let blob: Vec<(&str, &Vec<(f64, f64, f64)>)> =
+            results.iter().map(|(n, t)| (*n, t)).collect();
+        println!("{}", serde_json::to_string(&blob).expect("serializable"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Regenerates **Figure 8**: moving-average log probability of
+//! BGF-trained models under injected static variation and dynamic noise,
+//! for the six diagonal `(RMS_var, RMS_noise)` configurations.
+//!
+//! Expected shape (paper): ≤10% configurations are indistinguishable from
+//! noiseless; even 20–30% keeps learning with only modest degradation.
+
+use ember_bench::{bgf_quality_config, header, RunConfig};
+use ember_core::BoltzmannGradientFollower;
+use ember_analog::NoiseModel;
+use ember_metrics::{Ais, MovingAverage};
+use ember_rbm::Rbm;
+
+fn main() {
+    let config = RunConfig::from_args();
+    let samples = config.pick(400, 4000);
+    let hidden = config.pick(32, 200);
+    let epochs = config.pick(8, 30);
+    let ais = Ais::new(config.pick(100, 500), config.pick(15, 60));
+    let window = config.pick(3, 10);
+
+    header("Figure 8: log probability under noise/variation (MNIST-like, BGF)");
+    println!("samples: {samples}  hidden: {hidden}  epochs: {epochs}  seed: {}", config.seed);
+
+    let data = ember_datasets::digits::generate(samples, config.seed).binarized(0.5);
+    let images = data.images();
+
+    // Quick mode sweeps the six diagonal configurations plotted in Fig. 8;
+    // full mode covers the paper's complete 5x5 grid plus the clean
+    // reference (26 configurations, §4.5).
+    let grid = if config.full {
+        NoiseModel::paper_grid()
+    } else {
+        NoiseModel::paper_diagonal()
+    };
+    let mut finals = Vec::new();
+    for noise in grid {
+        let mut rng = config.rng();
+        let init = Rbm::random(784, hidden, 0.01, &mut rng);
+        let mut bgf = BoltzmannGradientFollower::new(
+            init,
+            bgf_quality_config().with_noise(noise),
+            &mut rng,
+        );
+        let mut trace = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            bgf.train_epoch(images, &mut rng);
+            trace.push(ais.mean_log_probability(&bgf.effective_rbm(), images, &mut rng));
+        }
+        let smoothed = MovingAverage::new(window).apply(&trace);
+        let label = noise.label();
+        println!(
+            "{label:<12} trace: {}",
+            smoothed
+                .iter()
+                .map(|x| format!("{x:7.1}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        finals.push((label, *smoothed.last().expect("non-empty")));
+    }
+
+    header("Paper vs measured");
+    let clean = finals[0].1;
+    println!("paper: <=10% noise has negligible impact; 20-30% still learns.");
+    for (label, value) in &finals {
+        let gap = clean - value;
+        println!(
+            "{label:<12} final avg logP {value:8.1}   gap to clean {gap:6.1}"
+        );
+    }
+    let mild_ok = finals[1..4].iter().all(|(_, v)| clean - v < 0.25 * clean.abs());
+    println!(
+        "mild-noise (<=10%) within 25% of clean: {}",
+        if mild_ok { "yes (SHAPE REPRODUCED)" } else { "NO" }
+    );
+
+    if config.json {
+        println!("{}", serde_json::to_string(&finals).expect("serializable"));
+    }
+}

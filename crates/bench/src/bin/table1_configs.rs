@@ -1,0 +1,51 @@
+//! Regenerates **Table 1**: dataset parameters of the networks used in
+//! the evaluation, cross-checked against the synthetic dataset geometry.
+
+use ember_bench::{header, RunConfig};
+use ember_perf::paper_benchmarks;
+
+fn main() {
+    let _config = RunConfig::from_args();
+    header("Table 1: dataset parameters of the evaluated networks");
+
+    println!("{:<22} {:<14} {:<24}", "Dataset", "RBM", "DBN-DNN");
+    let rows = [
+        ("MNIST", "784-200", "784-500-500-10"),
+        ("KMNIST", "784-500", "784-500-1000-10"),
+        ("FMNIST", "784-784", "784-784-1000-10"),
+        ("EMNIST", "784-1024", "784-784-784-26"),
+        ("CIFAR10", "108-1024", "-"),
+        ("SmallNorb", "36-1024", "-"),
+        ("Recommendation", "943-100", "-"),
+        ("Anomaly detection", "28-10", "-"),
+    ];
+    for (name, rbm, dbn) in rows {
+        println!("{name:<22} {rbm:<14} {dbn:<24}");
+    }
+
+    header("Cross-check: synthetic dataset geometry");
+    let digit = ember_datasets::digits::generate(2, 0);
+    println!("mnist-like pixels    : {} (= 784)", digit.pixel_len());
+    let cifar = ember_datasets::cifar::generate(2, 0);
+    println!(
+        "cifar-like patch dims: {} (6x6x{} = 108)",
+        6 * 6 * cifar.channels(),
+        cifar.channels()
+    );
+    let norb = ember_datasets::norb::generate(2, 0);
+    println!("norb-like patch dims : {} (6x6 = 36)", 6 * 6 * norb.channels());
+    println!(
+        "movielens-like users : {} (= 943 visible units)",
+        ember_datasets::movielens::USERS
+    );
+    println!(
+        "fraud-like features  : {} (= 28 visible units)",
+        ember_datasets::fraud::FEATURES
+    );
+
+    header("Cross-check: perf-model benchmark set (Figs. 5-6)");
+    for b in paper_benchmarks() {
+        let shape: Vec<String> = b.layers.iter().map(|(m, n)| format!("{m}x{n}")).collect();
+        println!("{:<16} layers: {}", b.name, shape.join(" + "));
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates **Table 3**: effective compute density (TOPS/mm²) and
+//! efficiency (TOPS/W) of TPU v1/v4, TIMELY and the 1600×1600 BGF.
+//!
+//! TPU/TIMELY rows are the published numbers the paper quotes; the BGF
+//! row is derived from the component area/power model plus the effective
+//! mesh MAC rate.
+
+use ember_bench::{compare_row, header, RunConfig};
+use ember_perf::table3_rows;
+
+fn main() {
+    let config = RunConfig::from_args();
+    header("Table 3: accelerator comparison");
+
+    println!("{:<18} {:>12} {:>10}", "Accelerator", "TOPS/mm2", "TOPS/W");
+    let rows = table3_rows();
+    for row in &rows {
+        println!(
+            "{:<18} {:>12.2} {:>10.1}",
+            row.name, row.tops_per_mm2, row.tops_per_w
+        );
+    }
+
+    header("Paper vs measured (BGF row)");
+    let bgf = rows.last().expect("bgf row");
+    compare_row("BGF TOPS/mm2", "119", &format!("{:.0}", bgf.tops_per_mm2));
+    compare_row("BGF TOPS/W", "3657", &format!("{:.0}", bgf.tops_per_w));
+
+    if config.json {
+        println!("{}", serde_json::to_string(&rows).expect("serializable"));
+    }
+}

@@ -1,0 +1,396 @@
+use ndarray::Array1;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ember_ising::{BipartiteProblem, IsingProblem};
+
+use crate::{BrimConfig, FlipSchedule};
+
+/// Which side of the bipartite machine is currently clamped by the clamp
+/// units of Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClampMode {
+    /// Both sides evolve freely.
+    Free,
+    /// Visible nodes are driven by the clamp units; hidden nodes evolve.
+    Visible,
+    /// Hidden nodes are driven; visible nodes evolve.
+    Hidden,
+}
+
+/// The bipartite BRIM of §3.1 / Fig. 3: visible nodes on one edge of the
+/// coupling mesh, hidden nodes on the other, clamp units to drive either
+/// side, and `m × n` coupling units.
+///
+/// Internally the RBM's bit-domain energy (Eq. 3) is embedded into the spin
+/// domain once at programming time; dynamics then run on the joint
+/// `m + n`-node Ising system with the clamped side held at its driven
+/// voltages. Bits map to rails as `0 ↦ −1`, `1 ↦ +1`; multi-bit inputs (the
+/// DTC-quantized gray levels) map linearly into `[−1, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use ember_brim::{BipartiteBrim, BrimConfig, ClampMode};
+/// use ember_ising::BipartiteProblem;
+/// use ndarray::{arr1, arr2};
+///
+/// # fn main() -> Result<(), ember_ising::IsingError> {
+/// let p = BipartiteProblem::new(
+///     arr2(&[[2.0], [2.0]]),   // both visible units excite the one hidden unit
+///     arr1(&[0.0, 0.0]),
+///     arr1(&[-1.0]),
+/// )?;
+/// let mut brim = BipartiteBrim::new(p, BrimConfig::default());
+/// brim.clamp_visible(&[1.0, 1.0]);
+/// brim.settle(400);
+/// assert_eq!(brim.read_hidden_bits(), vec![true]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BipartiteBrim {
+    problem: BipartiteProblem,
+    ising: IsingProblem,
+    config: BrimConfig,
+    voltages: Array1<f64>,
+    clamp: ClampMode,
+    phase_points: usize,
+}
+
+impl BipartiteBrim {
+    /// Programs the bipartite problem onto the machine.
+    pub fn new(problem: BipartiteProblem, config: BrimConfig) -> Self {
+        let ising = problem.to_ising();
+        let total = problem.visible_len() + problem.hidden_len();
+        let voltages = Array1::from_shape_fn(total, |i| if i % 2 == 0 { 0.01 } else { -0.01 });
+        BipartiteBrim {
+            problem,
+            ising,
+            config,
+            voltages,
+            clamp: ClampMode::Free,
+            phase_points: 0,
+        }
+    }
+
+    /// The programmed bipartite problem.
+    pub fn problem(&self) -> &BipartiteProblem {
+        &self.problem
+    }
+
+    /// Re-programs the coupling weights/biases (used between learning steps
+    /// by the Gibbs-sampler architecture, §3.2 step 2). Node voltages are
+    /// preserved.
+    pub fn reprogram(&mut self, problem: BipartiteProblem) {
+        assert_eq!(
+            problem.visible_len(),
+            self.problem.visible_len(),
+            "visible count cannot change"
+        );
+        assert_eq!(
+            problem.hidden_len(),
+            self.problem.hidden_len(),
+            "hidden count cannot change"
+        );
+        self.ising = problem.to_ising();
+        self.problem = problem;
+    }
+
+    /// Current clamp mode.
+    pub fn clamp_mode(&self) -> ClampMode {
+        self.clamp
+    }
+
+    /// Total phase points traversed.
+    pub fn phase_points(&self) -> usize {
+        self.phase_points
+    }
+
+    /// Clamps the visible nodes to unit-interval levels (`0 ↦ −1 … 1 ↦ +1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len()` differs from the visible count or any level
+    /// is outside `[0, 1]`.
+    pub fn clamp_visible(&mut self, levels: &[f64]) {
+        let m = self.problem.visible_len();
+        assert_eq!(levels.len(), m, "visible clamp length mismatch");
+        for (i, &x) in levels.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&x), "clamp level out of [0,1]");
+            self.voltages[i] = 2.0 * x - 1.0;
+        }
+        self.clamp = ClampMode::Visible;
+    }
+
+    /// Clamps the hidden nodes to unit-interval levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len()` differs from the hidden count or any level
+    /// is outside `[0, 1]`.
+    pub fn clamp_hidden(&mut self, levels: &[f64]) {
+        let m = self.problem.visible_len();
+        let n = self.problem.hidden_len();
+        assert_eq!(levels.len(), n, "hidden clamp length mismatch");
+        for (j, &x) in levels.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&x), "clamp level out of [0,1]");
+            self.voltages[m + j] = 2.0 * x - 1.0;
+        }
+        self.clamp = ClampMode::Hidden;
+    }
+
+    /// Loads hidden bits (e.g. a persistent particle) *without* clamping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the hidden count.
+    pub fn load_hidden_bits(&mut self, bits: &[bool]) {
+        let m = self.problem.visible_len();
+        assert_eq!(bits.len(), self.problem.hidden_len(), "hidden length");
+        for (j, &b) in bits.iter().enumerate() {
+            self.voltages[m + j] = if b { 1.0 } else { -1.0 };
+        }
+    }
+
+    /// Releases all clamps: both sides evolve.
+    pub fn release(&mut self) {
+        self.clamp = ClampMode::Free;
+    }
+
+    /// Visible-node voltages.
+    pub fn visible_voltages(&self) -> ndarray::ArrayView1<'_, f64> {
+        self.voltages.slice(ndarray::s![..self.problem.visible_len()])
+    }
+
+    /// Hidden-node voltages.
+    pub fn hidden_voltages(&self) -> ndarray::ArrayView1<'_, f64> {
+        self.voltages.slice(ndarray::s![self.problem.visible_len()..])
+    }
+
+    /// Thresholded visible bits.
+    pub fn read_visible_bits(&self) -> Vec<bool> {
+        self.visible_voltages().iter().map(|&v| v >= 0.0).collect()
+    }
+
+    /// Thresholded hidden bits.
+    pub fn read_hidden_bits(&self) -> Vec<bool> {
+        self.hidden_voltages().iter().map(|&v| v >= 0.0).collect()
+    }
+
+    /// RBM energy (Eq. 3) of the thresholded state.
+    pub fn energy_bits(&self) -> f64 {
+        self.problem
+            .energy_bits(&self.read_visible_bits(), &self.read_hidden_bits())
+    }
+
+    fn is_clamped(&self, index: usize) -> bool {
+        let m = self.problem.visible_len();
+        match self.clamp {
+            ClampMode::Free => false,
+            ClampMode::Visible => index < m,
+            ClampMode::Hidden => index >= m,
+        }
+    }
+
+    /// One integration step with flip probability `p` on the free nodes.
+    pub fn step<R: Rng + ?Sized>(&mut self, p: f64, rng: &mut R) {
+        let local = self.ising.couplings().dot(&self.voltages) + self.ising.field();
+        let kc = self.config.coupling_gain();
+        let kf = self.config.feedback_gain();
+        let dt = self.config.dt();
+        for (i, v) in self.voltages.iter_mut().enumerate() {
+            let m = self.problem.visible_len();
+            let clamped = match self.clamp {
+                ClampMode::Free => false,
+                ClampMode::Visible => i < m,
+                ClampMode::Hidden => i >= m,
+            };
+            if clamped {
+                continue;
+            }
+            let feedback = kf * *v * (1.0 - *v * *v);
+            *v = (*v + dt * (kc * local[i] + feedback)).clamp(-1.0, 1.0);
+        }
+        if p > 0.0 {
+            for i in 0..self.voltages.len() {
+                if !self.is_clamped(i) && rng.random::<f64>() < p {
+                    self.voltages[i] = -self.voltages[i];
+                }
+            }
+        }
+        self.phase_points += 1;
+    }
+
+    /// Noiseless settle of the free side (§3.2 step 4 / §3.3 step 3: "wait
+    /// for a predetermined time for the hidden units to settle").
+    pub fn settle(&mut self, steps: usize) {
+        struct NoRng;
+        impl rand::RngCore for NoRng {
+            fn next_u32(&mut self) -> u32 {
+                unreachable!("settle must not consume randomness")
+            }
+            fn next_u64(&mut self) -> u64 {
+                unreachable!("settle must not consume randomness")
+            }
+            fn fill_bytes(&mut self, _dest: &mut [u8]) {
+                unreachable!("settle must not consume randomness")
+            }
+        }
+        let mut rng = NoRng;
+        for _ in 0..steps {
+            self.step(0.0, &mut rng);
+        }
+    }
+
+    /// Annealed free-run under a flip schedule (§3.3 step 4: "load one of
+    /// `p` particles and start annealing process").
+    pub fn anneal<R: Rng + ?Sized>(&mut self, schedule: &FlipSchedule, rng: &mut R) {
+        for k in 0..schedule.steps() {
+            self.step(schedule.probability(k), rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndarray::{arr1, arr2, Array2};
+    use rand::SeedableRng;
+
+    fn and_gate_problem() -> BipartiteProblem {
+        // One hidden unit that activates only when both visible are on.
+        BipartiteProblem::new(
+            arr2(&[[2.0], [2.0]]),
+            arr1(&[0.0, 0.0]),
+            arr1(&[-3.0]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clamped_visible_drives_hidden_like_and() {
+        for (v0, v1, expect) in [
+            (0.0, 0.0, false),
+            (1.0, 0.0, false),
+            (0.0, 1.0, false),
+            (1.0, 1.0, true),
+        ] {
+            let mut brim = BipartiteBrim::new(and_gate_problem(), BrimConfig::default());
+            brim.clamp_visible(&[v0, v1]);
+            brim.settle(500);
+            assert_eq!(
+                brim.read_hidden_bits(),
+                vec![expect],
+                "inputs ({v0}, {v1})"
+            );
+            // Clamped side must be untouched.
+            assert_eq!(brim.read_visible_bits(), vec![v0 > 0.5, v1 > 0.5]);
+        }
+    }
+
+    #[test]
+    fn clamped_hidden_drives_visible() {
+        // Strong positive weights and biases that keep visibles off unless
+        // the hidden unit pushes them on.
+        let p = BipartiteProblem::new(
+            arr2(&[[3.0], [3.0]]),
+            arr1(&[-1.0, -1.0]),
+            arr1(&[0.0]),
+        )
+        .unwrap();
+        let mut brim = BipartiteBrim::new(p, BrimConfig::default());
+        brim.clamp_hidden(&[1.0]);
+        brim.settle(500);
+        assert_eq!(brim.read_visible_bits(), vec![true, true]);
+
+        let p2 = BipartiteProblem::new(
+            arr2(&[[3.0], [3.0]]),
+            arr1(&[-1.0, -1.0]),
+            arr1(&[0.0]),
+        )
+        .unwrap();
+        let mut brim = BipartiteBrim::new(p2, BrimConfig::default());
+        brim.clamp_hidden(&[0.0]);
+        brim.settle(500);
+        assert_eq!(brim.read_visible_bits(), vec![false, false]);
+    }
+
+    #[test]
+    fn free_run_lowers_rbm_energy() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        use rand::Rng;
+        let w = Array2::from_shape_fn((6, 4), |_| rng.random_range(-1.0..1.0));
+        let p = BipartiteProblem::new(w, Array1::zeros(6), Array1::zeros(4)).unwrap();
+        let mut brim = BipartiteBrim::new(p, BrimConfig::default());
+        let before = brim.energy_bits();
+        brim.release();
+        brim.settle(800);
+        assert!(brim.energy_bits() <= before);
+    }
+
+    #[test]
+    fn reprogram_changes_behavior() {
+        let mut brim = BipartiteBrim::new(and_gate_problem(), BrimConfig::default());
+        // Flip the hidden bias so the unit turns on unconditionally.
+        let or_like = BipartiteProblem::new(
+            arr2(&[[2.0], [2.0]]),
+            arr1(&[0.0, 0.0]),
+            arr1(&[3.0]),
+        )
+        .unwrap();
+        brim.reprogram(or_like);
+        brim.clamp_visible(&[0.0, 0.0]);
+        brim.settle(500);
+        assert_eq!(brim.read_hidden_bits(), vec![true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "visible count")]
+    fn reprogram_rejects_resize() {
+        let mut brim = BipartiteBrim::new(and_gate_problem(), BrimConfig::default());
+        let bigger = BipartiteProblem::new(
+            Array2::zeros((3, 1)),
+            Array1::zeros(3),
+            Array1::zeros(1),
+        )
+        .unwrap();
+        brim.reprogram(bigger);
+    }
+
+    #[test]
+    fn load_hidden_bits_sets_rails() {
+        let mut brim = BipartiteBrim::new(and_gate_problem(), BrimConfig::default());
+        brim.load_hidden_bits(&[true]);
+        assert_eq!(brim.hidden_voltages()[0], 1.0);
+        brim.load_hidden_bits(&[false]);
+        assert_eq!(brim.hidden_voltages()[0], -1.0);
+    }
+
+    #[test]
+    fn anneal_respects_clamp() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut brim = BipartiteBrim::new(and_gate_problem(), BrimConfig::default());
+        brim.clamp_visible(&[1.0, 0.0]);
+        brim.anneal(&FlipSchedule::constant(0.5, 50), &mut rng);
+        // Clamped visible rails unchanged even under heavy flip injection.
+        assert_eq!(brim.read_visible_bits(), vec![true, false]);
+    }
+
+    #[test]
+    fn multibit_clamp_levels_map_linearly() {
+        let mut brim = BipartiteBrim::new(and_gate_problem(), BrimConfig::default());
+        brim.clamp_visible(&[0.25, 0.75]);
+        assert!((brim.visible_voltages()[0] - (-0.5)).abs() < 1e-12);
+        assert!((brim.visible_voltages()[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_points_count_settle_and_anneal() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut brim = BipartiteBrim::new(and_gate_problem(), BrimConfig::default());
+        brim.settle(10);
+        brim.anneal(&FlipSchedule::constant(0.1, 5), &mut rng);
+        assert_eq!(brim.phase_points(), 15);
+    }
+}

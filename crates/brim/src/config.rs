@@ -1,0 +1,138 @@
+use serde::{Deserialize, Serialize};
+
+/// Integration and circuit parameters for the BRIM dynamical model.
+///
+/// All quantities are in normalized units: voltages in `[−1, 1]`, time in
+/// units of the nodal `RC` constant. The paper quotes ~a dozen picoseconds
+/// per phase point for the physical machine; [`BrimConfig::phase_point_ps`]
+/// carries that calibration for the performance model.
+///
+/// # Example
+///
+/// ```
+/// use ember_brim::BrimConfig;
+///
+/// let config = BrimConfig::default().with_dt(0.02).with_coupling_gain(0.8);
+/// assert!((config.dt() - 0.02).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BrimConfig {
+    dt: f64,
+    coupling_gain: f64,
+    feedback_gain: f64,
+    phase_point_ps: f64,
+}
+
+impl BrimConfig {
+    /// Euler step size (fraction of the nodal RC constant).
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Gain `k_c` applied to the resistive coupling current.
+    pub fn coupling_gain(&self) -> f64 {
+        self.coupling_gain
+    }
+
+    /// Gain `k_f` of the bistable feedback.
+    pub fn feedback_gain(&self) -> f64 {
+        self.feedback_gain
+    }
+
+    /// Wall-clock picoseconds one integration step models (≈12 ps, §3.3).
+    pub fn phase_point_ps(&self) -> f64 {
+        self.phase_point_ps
+    }
+
+    /// Returns a copy with the given Euler step.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < dt ≤ 0.5` (larger steps destabilize the
+    /// integration).
+    #[must_use]
+    pub fn with_dt(mut self, dt: f64) -> Self {
+        assert!(dt > 0.0 && dt <= 0.5, "dt must be in (0, 0.5]");
+        self.dt = dt;
+        self
+    }
+
+    /// Returns a copy with the given coupling gain.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `coupling_gain > 0`.
+    #[must_use]
+    pub fn with_coupling_gain(mut self, k: f64) -> Self {
+        assert!(k > 0.0, "coupling gain must be positive");
+        self.coupling_gain = k;
+        self
+    }
+
+    /// Returns a copy with the given feedback gain (0 disables bistability).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feedback_gain` is negative.
+    #[must_use]
+    pub fn with_feedback_gain(mut self, k: f64) -> Self {
+        assert!(k >= 0.0, "feedback gain must be non-negative");
+        self.feedback_gain = k;
+        self
+    }
+
+    /// Returns a copy with the given phase-point duration in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ps > 0`.
+    #[must_use]
+    pub fn with_phase_point_ps(mut self, ps: f64) -> Self {
+        assert!(ps > 0.0, "phase point duration must be positive");
+        self.phase_point_ps = ps;
+        self
+    }
+}
+
+impl Default for BrimConfig {
+    /// Defaults tuned for stable descent: `dt = 0.05`, `k_c = 1`,
+    /// `k_f = 0.5`, 12 ps per phase point.
+    fn default() -> Self {
+        BrimConfig {
+            dt: 0.05,
+            coupling_gain: 1.0,
+            feedback_gain: 0.5,
+            phase_point_ps: 12.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = BrimConfig::default()
+            .with_dt(0.1)
+            .with_coupling_gain(2.0)
+            .with_feedback_gain(0.0)
+            .with_phase_point_ps(10.0);
+        assert_eq!(c.dt(), 0.1);
+        assert_eq!(c.coupling_gain(), 2.0);
+        assert_eq!(c.feedback_gain(), 0.0);
+        assert_eq!(c.phase_point_ps(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be")]
+    fn rejects_huge_dt() {
+        let _ = BrimConfig::default().with_dt(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "coupling gain")]
+    fn rejects_nonpositive_gain() {
+        let _ = BrimConfig::default().with_coupling_gain(0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! # ember-brim
+//!
+//! A dynamical simulator of the **B**istable **R**esistively-coupled **I**sing
+//! **M**achine (BRIM) that the paper uses as its baseline substrate (§3.1,
+//! Fig. 2; Afoakwa et al., HPCA'21).
+//!
+//! Each node is a capacitor voltage `Vᵢ ∈ [−1, 1]` made bistable by a
+//! feedback circuit; a mesh of programmable resistors expresses the Ising
+//! couplings. Treated as a dynamical system, the nodal voltages obey
+//!
+//! ```text
+//! C · dVᵢ/dt = k_c · (Σⱼ Jᵢⱼ Vⱼ + hᵢ)  +  k_f · Vᵢ (1 − Vᵢ²)
+//! ```
+//!
+//! — the first term is the resistive coupling current (the local field), the
+//! second the bistable feedback that pins settled nodes at the rails. A
+//! Lyapunov analysis shows local minima of the Ising energy are the stable
+//! states ([`BrimMachine::lyapunov`] is non-increasing under noiseless
+//! dynamics — property-tested). Annealing control injects random spin flips
+//! with a decaying probability to escape local minima, analogous to
+//! accepting uphill moves in simulated annealing.
+//!
+//! For RBMs the coupling network is folded into the bipartite layout of
+//! Fig. 3 ([`BipartiteBrim`]), which supports clamping either side and needs
+//! `m × n` instead of `(m+n)²` coupling units.
+//!
+//! # Example
+//!
+//! ```
+//! use ember_brim::{BrimConfig, BrimMachine, FlipSchedule};
+//! use ember_ising::generate;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let problem = generate::ferromagnetic_ring(8, 1.0);
+//! let mut machine = BrimMachine::new(problem, BrimConfig::default());
+//! let sol = machine.anneal(&FlipSchedule::geometric(0.05, 1e-4, 600), &mut rng);
+//! // The ferromagnetic ring's ground energy is -8.
+//! assert!(sol.energy <= -6.0);
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bipartite;
+mod config;
+mod machine;
+mod schedule;
+
+pub use bipartite::{BipartiteBrim, ClampMode};
+pub use config::BrimConfig;
+pub use machine::{BrimMachine, BrimSolution};
+pub use schedule::FlipSchedule;

@@ -1,0 +1,121 @@
+use serde::{Deserialize, Serialize};
+
+/// The annealing control of the BRIM substrate: a schedule of random
+/// spin-flip injection probabilities (§3.1: "Extra annealing control is
+/// needed to inject random 'spin flips' to escape a local minimum").
+///
+/// At integration step `k` of `steps`, every node is independently flipped
+/// (`Vᵢ ← −Vᵢ`) with probability `p(k)`. A decaying `p` mimics the cooling
+/// schedule of simulated annealing.
+///
+/// # Example
+///
+/// ```
+/// use ember_brim::FlipSchedule;
+///
+/// let s = FlipSchedule::geometric(0.1, 1e-3, 100);
+/// assert_eq!(s.steps(), 100);
+/// assert!(s.probability(0) > s.probability(99));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlipSchedule {
+    p_start: f64,
+    p_end: f64,
+    steps: usize,
+}
+
+impl FlipSchedule {
+    /// Geometric decay from `p_start` to `p_end` over `steps` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p_end ≤ p_start ≤ 1`.
+    pub fn geometric(p_start: f64, p_end: f64, steps: usize) -> Self {
+        assert!(
+            p_end > 0.0 && p_end <= p_start && p_start <= 1.0,
+            "need 0 < p_end <= p_start <= 1"
+        );
+        FlipSchedule {
+            p_start,
+            p_end,
+            steps,
+        }
+    }
+
+    /// No flip injection at all: pure gradient descent to the nearest local
+    /// minimum (`steps` integration steps). This is the noiseless mode used
+    /// for Lyapunov validation and for the clamped *settle* operations of
+    /// the RBM architectures.
+    pub fn quench(steps: usize) -> Self {
+        FlipSchedule {
+            p_start: 0.0,
+            p_end: 0.0,
+            steps,
+        }
+    }
+
+    /// Constant flip probability (an "infinite temperature bath" when high).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    pub fn constant(p: f64, steps: usize) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        FlipSchedule {
+            p_start: p,
+            p_end: p,
+            steps,
+        }
+    }
+
+    /// Number of integration steps the schedule spans.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Flip probability at step `k` (clamped to the final value past the
+    /// end).
+    pub fn probability(&self, k: usize) -> f64 {
+        if self.p_start == 0.0 {
+            return 0.0;
+        }
+        if self.steps <= 1 || self.p_start == self.p_end {
+            return self.p_start;
+        }
+        let frac = (k.min(self.steps - 1)) as f64 / (self.steps - 1) as f64;
+        self.p_start * (self.p_end / self.p_start).powf(frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_endpoints() {
+        let s = FlipSchedule::geometric(0.2, 0.002, 50);
+        assert!((s.probability(0) - 0.2).abs() < 1e-12);
+        assert!((s.probability(49) - 0.002).abs() < 1e-12);
+        assert!((s.probability(1000) - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quench_is_zero_everywhere() {
+        let s = FlipSchedule::quench(10);
+        assert!((0..10).all(|k| s.probability(k) == 0.0));
+    }
+
+    #[test]
+    fn monotone_decay() {
+        let s = FlipSchedule::geometric(0.3, 1e-4, 200);
+        for k in 1..200 {
+            assert!(s.probability(k) <= s.probability(k - 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p_end")]
+    fn rejects_increasing() {
+        let _ = FlipSchedule::geometric(0.001, 0.1, 10);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests of the BRIM dynamical invariants.
+
+use ember_brim::{BipartiteBrim, BrimConfig, BrimMachine, FlipSchedule};
+use ember_ising::{generate, BipartiteProblem};
+use ndarray::{Array1, Array2};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The Lyapunov function never increases under noiseless dynamics,
+    /// for any problem, any stable dt, any feedback gain.
+    #[test]
+    fn lyapunov_descends(
+        seed in any::<u64>(),
+        n in 4usize..20,
+        dt in 0.01f64..0.08,
+        kf in 0.0f64..1.0,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let problem = generate::random_gaussian(n, 0.5, 0.2, &mut rng);
+        let config = BrimConfig::default().with_dt(dt).with_feedback_gain(kf);
+        let mut machine = BrimMachine::new(problem, config);
+        machine.randomize(&mut rng);
+        let mut prev = machine.lyapunov();
+        let mut no_rng = rand::rngs::StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            machine.step(0.0, &mut no_rng);
+            let l = machine.lyapunov();
+            prop_assert!(l <= prev + 1e-6, "lyapunov rose {prev} -> {l}");
+            prev = l;
+        }
+    }
+
+    /// Voltages stay within the rails no matter the flip schedule.
+    #[test]
+    fn rails_hold(seed in any::<u64>(), n in 3usize..16, p in 0.0f64..0.5) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let problem = generate::random_gaussian(n, 2.0, 1.0, &mut rng);
+        let mut machine = BrimMachine::new(problem, BrimConfig::default().with_dt(0.2));
+        machine.randomize(&mut rng);
+        for _ in 0..100 {
+            machine.step(p, &mut rng);
+            prop_assert!(machine.voltages().iter().all(|v| (-1.0..=1.0).contains(v)));
+        }
+    }
+
+    /// BRIM never reports an energy below the true ground state.
+    #[test]
+    fn never_below_ground(seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let problem = generate::random_gaussian(8, 1.0, 0.3, &mut rng);
+        let (_, ground) = problem.brute_force_ground_state();
+        let mut machine = BrimMachine::new(problem, BrimConfig::default());
+        machine.randomize(&mut rng);
+        let sol = machine.anneal(&FlipSchedule::geometric(0.05, 1e-3, 300), &mut rng);
+        prop_assert!(sol.energy >= ground - 1e-9);
+    }
+
+    /// Clamped nodes are never moved by dynamics or flip injection.
+    #[test]
+    fn clamp_is_inviolable(
+        seed in any::<u64>(),
+        m in 2usize..6,
+        n in 1usize..5,
+        p in 0.0f64..0.6,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let w = Array2::from_shape_fn((m, n), |_| rng.random_range(-2.0..2.0));
+        let problem = BipartiteProblem::new(w, Array1::zeros(m), Array1::zeros(n)).unwrap();
+        let mut brim = BipartiteBrim::new(problem, BrimConfig::default());
+        let clamp: Vec<f64> = (0..m).map(|i| (i % 2) as f64).collect();
+        brim.clamp_visible(&clamp);
+        let before: Vec<f64> = brim.visible_voltages().to_vec();
+        brim.anneal(&FlipSchedule::constant(p, 60), &mut rng);
+        prop_assert_eq!(before, brim.visible_voltages().to_vec());
+    }
+
+    /// Phase-point accounting is exact.
+    #[test]
+    fn phase_points_exact(steps in 1usize..200) {
+        let problem = generate::ferromagnetic_ring(5, 1.0);
+        let mut machine = BrimMachine::new(problem, BrimConfig::default());
+        let sol = machine.quench(steps);
+        prop_assert_eq!(sol.phase_points, steps);
+        prop_assert_eq!(machine.phase_points(), steps);
+        prop_assert_eq!(sol.energy_trace.len(), steps);
+    }
+}

@@ -1,0 +1,307 @@
+use ndarray::{Array1, Array2};
+use rand::Rng;
+
+use ember_analog::{Comparator, Dtc, VariationMap};
+use ember_rbm::{EpochStats, Rbm};
+
+use crate::{AnalogSampler, GsConfig, HardwareCounters};
+
+/// The Gibbs-sampler accelerator of §3.2: the Ising substrate performs the
+/// conditional sampling of Algorithm 1; the host keeps the master weights
+/// and applies the updates.
+///
+/// Operation per minibatch (§3.2 operation list):
+/// 1. the host programs the coupling matrix and biases (host→substrate
+///    transfer of `m·n + m + n` words);
+/// 2. for every sample, the visible units are clamped through DTCs, the
+///    hidden units settle and are read out (`h⁺`);
+/// 3. the equivalent of `k`-step Gibbs sampling runs by alternately
+///    clamping sides and letting the substrate produce samples;
+/// 4. the host accumulates `⟨v⁺ᵀh⁺⟩ − ⟨v⁻ᵀh⁻⟩` and updates the weights.
+///
+/// All sampling flows through the analog node path ([`AnalogSampler`]),
+/// including static coupler variation frozen at construction.
+///
+/// # Example
+///
+/// ```
+/// use ember_core::{GibbsSampler, GsConfig};
+/// use ember_rbm::Rbm;
+/// use ndarray::Array2;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let rbm = Rbm::random(6, 3, 0.01, &mut rng);
+/// let mut gs = GibbsSampler::new(rbm, GsConfig::default(), &mut rng);
+/// let data = Array2::from_shape_fn((20, 6), |(i, _)| (i % 2) as f64);
+/// let stats = gs.train_epoch(&data, 10, &mut rng);
+/// assert_eq!(stats.batches, 2);
+/// assert!(gs.counters().positive_samples >= 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GibbsSampler {
+    rbm: Rbm,
+    config: GsConfig,
+    sampler: AnalogSampler,
+    dtc: Dtc,
+    variation: VariationMap,
+    programmed_weights: Array2<f64>,
+    counters: HardwareCounters,
+}
+
+impl GibbsSampler {
+    /// Builds the accelerator around an initial host-side RBM. Static
+    /// coupler variation is sampled once here ("fabrication").
+    pub fn new<R: Rng + ?Sized>(rbm: Rbm, config: GsConfig, rng: &mut R) -> Self {
+        let variation = config
+            .noise()
+            .sample_variation((rbm.visible_len(), rbm.hidden_len()), rng);
+        let sampler = AnalogSampler::new(config.sigmoid(), Comparator::ideal(), config.noise());
+        let dtc = Dtc::new(config.dtc_bits(), 0.0).expect("validated bits");
+        let mut gs = GibbsSampler {
+            programmed_weights: Array2::zeros(rbm.weights().dim()),
+            rbm,
+            config,
+            sampler,
+            dtc,
+            variation,
+            counters: HardwareCounters::new(),
+        };
+        gs.program();
+        gs
+    }
+
+    /// The host-side master RBM (the weights the host believes it has).
+    pub fn rbm(&self) -> &Rbm {
+        &self.rbm
+    }
+
+    /// The accelerator configuration.
+    pub fn config(&self) -> &GsConfig {
+        &self.config
+    }
+
+    /// Cumulative hardware event counters.
+    pub fn counters(&self) -> &HardwareCounters {
+        &self.counters
+    }
+
+    /// Programs the host weights onto the coupling array (§3.2 step 2).
+    /// The physical array realizes `W ⊙ variation`.
+    fn program(&mut self) {
+        self.programmed_weights = self.variation.apply(self.rbm.weights());
+        let (m, n) = self.rbm.weights().dim();
+        self.counters.host_words_transferred += (m * n + m + n) as u64;
+    }
+
+    /// Substrate-assisted hidden sample: clamp `v` (DTC-quantized), settle,
+    /// read out (§3.2 steps 3–4).
+    fn substrate_sample_hidden<R: Rng + ?Sized>(
+        &mut self,
+        v: &Array1<f64>,
+        rng: &mut R,
+    ) -> Array1<f64> {
+        let clamped = v.mapv(|x| self.dtc.convert(x));
+        let h = self.sampler.sample_layer(
+            &self.programmed_weights.view(),
+            &self.rbm.hidden_bias().view(),
+            &clamped.view(),
+            rng,
+        );
+        self.counters.phase_points += self.config.settle_phase_points();
+        self.counters.host_words_transferred += h.len() as u64;
+        h
+    }
+
+    /// Substrate-assisted visible sample (hidden side clamped).
+    fn substrate_sample_visible<R: Rng + ?Sized>(
+        &mut self,
+        h: &Array1<f64>,
+        rng: &mut R,
+    ) -> Array1<f64> {
+        let v = self.sampler.sample_layer_rev(
+            &self.programmed_weights.view(),
+            &self.rbm.visible_bias().view(),
+            &h.view(),
+            rng,
+        );
+        self.counters.phase_points += self.config.settle_phase_points();
+        self.counters.host_words_transferred += v.len() as u64;
+        v
+    }
+
+    /// One epoch of substrate-accelerated CD-k (Algorithm 1 with steps
+    /// 9–15 offloaded). Returns epoch statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` width differs from the RBM or `batch_size == 0`.
+    pub fn train_epoch<R: Rng + ?Sized>(
+        &mut self,
+        data: &Array2<f64>,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> EpochStats {
+        assert_eq!(data.ncols(), self.rbm.visible_len(), "data width mismatch");
+        assert!(batch_size >= 1, "batch size must be positive");
+        let mut stats = Vec::new();
+        let rows = data.nrows();
+        let mut start = 0;
+        while start < rows {
+            let end = (start + batch_size).min(rows);
+            let batch = data.slice(ndarray::s![start..end, ..]).to_owned();
+            stats.push(self.train_batch(&batch, rng));
+            start = end;
+        }
+        let collected: Vec<(f64, f64)> = stats;
+        EpochStats::accumulate(&collected)
+    }
+
+    fn train_batch<R: Rng + ?Sized>(&mut self, batch: &Array2<f64>, rng: &mut R) -> (f64, f64) {
+        let (m, n) = self.rbm.weights().dim();
+        let bs = batch.nrows() as f64;
+        // Step 2: (re)program the current weights.
+        self.program();
+
+        let mut pos_w = Array2::<f64>::zeros((m, n));
+        let mut neg_w = Array2::<f64>::zeros((m, n));
+        let mut pos_bv = Array1::<f64>::zeros(m);
+        let mut neg_bv = Array1::<f64>::zeros(m);
+        let mut pos_bh = Array1::<f64>::zeros(n);
+        let mut neg_bh = Array1::<f64>::zeros(n);
+        let mut recon = 0.0;
+
+        for v_row in batch.rows() {
+            let v_pos = v_row.to_owned();
+            // Steps 3–4: positive phase on the substrate.
+            let h_pos = self.substrate_sample_hidden(&v_pos, rng);
+            self.counters.positive_samples += 1;
+
+            // Steps 5–6: k-step Gibbs equivalent on the substrate.
+            let mut h_neg = h_pos.clone();
+            let mut v_neg = v_pos.clone();
+            for _ in 0..self.config.k() {
+                v_neg = self.substrate_sample_visible(&h_neg, rng);
+                h_neg = self.substrate_sample_hidden(&v_neg, rng);
+            }
+            self.counters.negative_samples += 1;
+
+            // Step 7/8 accumulation on the host.
+            accumulate_outer(&mut pos_w, &v_pos, &h_pos);
+            accumulate_outer(&mut neg_w, &v_neg, &h_neg);
+            pos_bv += &v_pos;
+            neg_bv += &v_neg;
+            pos_bh += &h_pos;
+            neg_bh += &h_neg;
+            self.counters.host_mac_ops += 2 * (m * n) as u64;
+
+            recon += (&v_neg - &v_pos).mapv(f64::abs).sum() / m as f64;
+        }
+
+        // Step 8: host gradient update.
+        let alpha = self.config.learning_rate();
+        let grad_w = (&pos_w - &neg_w) / bs;
+        let grad_norm = grad_w.iter().map(|g| g * g).sum::<f64>().sqrt();
+        *self.rbm.weights_mut() += &(&grad_w * alpha);
+        *self.rbm.visible_bias_mut() += &(&(&pos_bv - &neg_bv) * (alpha / bs));
+        *self.rbm.hidden_bias_mut() += &(&(&pos_bh - &neg_bh) * (alpha / bs));
+        self.counters.host_mac_ops += (m * n + m + n) as u64;
+
+        (recon / bs, grad_norm)
+    }
+}
+
+fn accumulate_outer(acc: &mut Array2<f64>, v: &Array1<f64>, h: &Array1<f64>) {
+    for (i, &vi) in v.iter().enumerate() {
+        if vi == 0.0 {
+            continue;
+        }
+        for (j, &hj) in h.iter().enumerate() {
+            acc[[i, j]] += vi * hj;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ember_analog::NoiseModel;
+    use rand::SeedableRng;
+
+    fn two_mode_data(rows: usize, m: usize) -> Array2<f64> {
+        Array2::from_shape_fn((rows, m), |(i, _)| if i % 2 == 0 { 1.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn ideal_gs_improves_likelihood_like_software_cd() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let rbm = Rbm::random(8, 4, 0.01, &mut rng);
+        let data = two_mode_data(40, 8);
+        let before = ember_rbm::exact::mean_log_likelihood(&rbm, &data);
+        let mut gs = GibbsSampler::new(rbm, GsConfig::default().with_k(1), &mut rng);
+        for _ in 0..60 {
+            gs.train_epoch(&data, 10, &mut rng);
+        }
+        let after = ember_rbm::exact::mean_log_likelihood(gs.rbm(), &data);
+        assert!(after > before + 1.0, "LL {before} -> {after}");
+    }
+
+    #[test]
+    fn noisy_gs_still_learns() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let rbm = Rbm::random(8, 4, 0.01, &mut rng);
+        let data = two_mode_data(40, 8);
+        let before = ember_rbm::exact::mean_log_likelihood(&rbm, &data);
+        let config = GsConfig::default()
+            .with_k(1)
+            .with_noise(NoiseModel::new(0.1, 0.1).unwrap());
+        let mut gs = GibbsSampler::new(rbm, config, &mut rng);
+        for _ in 0..60 {
+            gs.train_epoch(&data, 10, &mut rng);
+        }
+        let after = ember_rbm::exact::mean_log_likelihood(gs.rbm(), &data);
+        assert!(after > before + 0.5, "LL {before} -> {after}");
+    }
+
+    #[test]
+    fn counters_track_operations() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let rbm = Rbm::random(4, 2, 0.01, &mut rng);
+        let mut gs = GibbsSampler::new(rbm, GsConfig::default().with_k(2), &mut rng);
+        let data = two_mode_data(10, 4);
+        gs.train_epoch(&data, 5, &mut rng);
+        let c = gs.counters();
+        assert_eq!(c.positive_samples, 10);
+        assert_eq!(c.negative_samples, 10);
+        // Per sample: 1 positive settle + 2*k settles. 10 samples.
+        assert_eq!(c.phase_points, 10 * (1 + 4) * 50);
+        assert!(c.host_words_transferred > 0);
+        assert!(c.host_mac_ops > 0);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let data = two_mode_data(12, 4);
+        let run = |seed: u64| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let rbm = Rbm::random(4, 2, 0.01, &mut rng);
+            let mut gs = GibbsSampler::new(rbm, GsConfig::default(), &mut rng);
+            gs.train_epoch(&data, 4, &mut rng);
+            gs.rbm().clone()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn variation_is_frozen_across_batches() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let rbm = Rbm::random(4, 3, 0.01, &mut rng);
+        let config = GsConfig::default().with_noise(NoiseModel::new(0.2, 0.0).unwrap());
+        let gs = GibbsSampler::new(rbm, config, &mut rng);
+        let v1 = gs.variation.clone();
+        // The variation map must not change between programming events.
+        let mut gs2 = gs.clone();
+        gs2.program();
+        assert_eq!(v1.factors(), gs2.variation.factors());
+    }
+}

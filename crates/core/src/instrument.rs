@@ -1,0 +1,71 @@
+use serde::{Deserialize, Serialize};
+
+/// Event counters the performance model (crate `ember-perf`) converts into
+/// execution time and energy (§4.2–4.3).
+///
+/// All counts are cumulative since construction of the owning accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HardwareCounters {
+    /// Positive-phase samples taken (one per training vector).
+    pub positive_samples: u64,
+    /// Negative-phase anneal/sampling passes.
+    pub negative_samples: u64,
+    /// Substrate phase points traversed (integration/settle steps); ≈12 ps
+    /// each on the physical machine.
+    pub phase_points: u64,
+    /// In-place charge-pump weight-update events (BGF only; each event is
+    /// one gated coupler adjustment).
+    pub weight_update_events: u64,
+    /// Words moved between host and substrate (coupling programming,
+    /// sample read-out, data streaming, final ADC read).
+    pub host_words_transferred: u64,
+    /// Host-side multiply-accumulate operations (GS: gradient accumulation
+    /// and weight update; BGF: none during training).
+    pub host_mac_ops: u64,
+}
+
+impl HardwareCounters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges another counter set into this one (used when sharding
+    /// training across machines in sweeps).
+    pub fn merge(&mut self, other: &HardwareCounters) {
+        self.positive_samples += other.positive_samples;
+        self.negative_samples += other.negative_samples;
+        self.phase_points += other.phase_points;
+        self.weight_update_events += other.weight_update_events;
+        self.host_words_transferred += other.host_words_transferred;
+        self.host_mac_ops += other.host_mac_ops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = HardwareCounters {
+            positive_samples: 1,
+            negative_samples: 2,
+            phase_points: 3,
+            weight_update_events: 4,
+            host_words_transferred: 5,
+            host_mac_ops: 6,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.positive_samples, 2);
+        assert_eq!(a.host_mac_ops, 12);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let c = HardwareCounters::new();
+        assert_eq!(c.phase_points, 0);
+        assert_eq!(c, HardwareCounters::default());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the accelerator architectures.
+
+use ember_analog::NoiseModel;
+use ember_core::{BgfConfig, BoltzmannGradientFollower, GibbsSampler, GsConfig};
+use ember_rbm::Rbm;
+use ndarray::Array2;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_data(max_rows: usize, cols: usize) -> impl Strategy<Value = Array2<f64>> {
+    (1..=max_rows, any::<u64>()).prop_map(move |(rows, seed)| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        Array2::from_shape_fn((rows, cols), |_| if rng.random_bool(0.5) { 1.0 } else { 0.0 })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// BGF gate voltages stay within the rails for any packet size,
+    /// noise level and data stream.
+    #[test]
+    fn bgf_rails_hold(
+        seed in any::<u64>(),
+        ratio_exp in 4u32..10,
+        rms in 0.0f64..0.3,
+        data in arb_data(12, 6),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let init = Rbm::random(6, 3, 0.3, &mut rng);
+        let config = BgfConfig::default()
+            .with_pump_ratio(1.0 / (1 << ratio_exp) as f64)
+            .with_noise(NoiseModel::new(rms, rms).unwrap());
+        let mut bgf = BoltzmannGradientFollower::new(init, config, &mut rng);
+        for _ in 0..3 {
+            bgf.train_epoch(&data, &mut rng);
+        }
+        let eff = bgf.effective_rbm();
+        let s = bgf.config().weight_scale();
+        // With conductance variation ≤ 1+3σ ≈ 2, effective weights are
+        // bounded by 2s.
+        prop_assert!(eff.weights().iter().all(|w| w.abs() <= 2.0 * s));
+        prop_assert!(eff.weights().iter().all(|w| w.is_finite()));
+    }
+
+    /// Noiseless read-out differs from the effective model only by ADC
+    /// quantization.
+    #[test]
+    fn readout_within_adc_lsb(seed in any::<u64>(), data in arb_data(6, 5)) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let init = Rbm::random(5, 3, 0.2, &mut rng);
+        let mut bgf = BoltzmannGradientFollower::new(init, BgfConfig::default(), &mut rng);
+        bgf.train_epoch(&data, &mut rng);
+        let exact = bgf.effective_rbm();
+        let read = bgf.read_out(&mut rng);
+        let lsb = 2.0 * bgf.config().weight_scale() / 255.0;
+        for (a, b) in exact.weights().iter().zip(read.weights().iter()) {
+            prop_assert!((a - b).abs() <= lsb + 1e-12);
+        }
+    }
+
+    /// Counters are exact: one positive and one negative phase per sample,
+    /// zero host MACs, phase points follow the config.
+    #[test]
+    fn bgf_counters_exact(data in arb_data(10, 4), epochs in 1usize..4) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let init = Rbm::random(4, 2, 0.01, &mut rng);
+        let mut bgf = BoltzmannGradientFollower::new(init, BgfConfig::default(), &mut rng);
+        for _ in 0..epochs {
+            bgf.train_epoch(&data, &mut rng);
+        }
+        let c = bgf.counters();
+        let samples = (data.nrows() * epochs) as u64;
+        prop_assert_eq!(c.positive_samples, samples);
+        prop_assert_eq!(c.negative_samples, samples);
+        prop_assert_eq!(c.host_mac_ops, 0);
+        let per = bgf.config().settle_phase_points() + bgf.config().anneal_phase_points();
+        prop_assert_eq!(c.phase_points, samples * per);
+    }
+
+    /// GS with the same seed is bit-reproducible.
+    #[test]
+    fn gs_deterministic(seed in any::<u64>(), data in arb_data(8, 5)) {
+        let run = || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let init = Rbm::random(5, 2, 0.01, &mut rng);
+            let mut gs = GibbsSampler::new(init, GsConfig::default(), &mut rng);
+            gs.train_epoch(&data, 4, &mut rng);
+            gs.rbm().clone()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// GS keeps host weights finite under any noise configuration.
+    #[test]
+    fn gs_finite_under_noise(seed in any::<u64>(), rms in 0.0f64..0.3, data in arb_data(8, 4)) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let init = Rbm::random(4, 3, 0.05, &mut rng);
+        let config = GsConfig::default().with_noise(NoiseModel::new(rms, rms).unwrap());
+        let mut gs = GibbsSampler::new(init, config, &mut rng);
+        for _ in 0..3 {
+            gs.train_epoch(&data, 4, &mut rng);
+        }
+        prop_assert!(gs.rbm().weights().iter().all(|w| w.is_finite()));
+    }
+}

@@ -1,0 +1,182 @@
+//! The CIFAR-10-like synthetic dataset: 32×32×3 color images of simple
+//! object/texture compositions, 10 classes. Downstream these feed the
+//! conv-RBM patch pipeline (108-dim 6×6×3 patches per Table 1).
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::{Canvas, ImageDataset};
+
+const SIZE: usize = 32;
+
+/// Class names, index-aligned with the labels.
+pub const CLASS_NAMES: [&str; 10] = [
+    "sky-disc", "wheels", "stripes-h", "stripes-v", "checker", "rings", "blobs", "cross",
+    "gradient", "triangles",
+];
+
+/// Per-class color palette `(background, foreground)` in RGB.
+fn palette(label: usize) -> ([f64; 3], [f64; 3]) {
+    match label {
+        0 => ([0.55, 0.75, 0.95], [0.85, 0.85, 0.85]), // sky + light object
+        1 => ([0.6, 0.6, 0.62], [0.85, 0.2, 0.15]),    // road + red body
+        2 => ([0.2, 0.45, 0.2], [0.9, 0.85, 0.3]),     // green + yellow
+        3 => ([0.5, 0.3, 0.55], [0.95, 0.95, 0.9]),    // purple + white
+        4 => ([0.15, 0.15, 0.2], [0.9, 0.5, 0.1]),     // dark + orange
+        5 => ([0.75, 0.7, 0.6], [0.3, 0.25, 0.55]),    // sand + indigo
+        6 => ([0.1, 0.35, 0.45], [0.6, 0.9, 0.5]),     // teal + lime
+        7 => ([0.8, 0.45, 0.45], [0.2, 0.2, 0.6]),     // rose + navy
+        8 => ([0.3, 0.3, 0.3], [0.95, 0.8, 0.75]),     // gray + cream
+        9 => ([0.85, 0.85, 0.55], [0.5, 0.15, 0.2]),   // pale + maroon
+        _ => unreachable!("label must be < 10"),
+    }
+}
+
+/// Draws the class structure into a grayscale mask canvas.
+fn render_mask<R: Rng + ?Sized>(label: usize, rng: &mut R, c: &mut Canvas) {
+    let w = SIZE as f64;
+    let jx = rng.random_range(-2.0..=2.0);
+    let jy = rng.random_range(-2.0..=2.0);
+    let s = rng.random_range(0.85..=1.15);
+    match label {
+        0 => c.fill_ellipse(16.0 + jx, 14.0 + jy, 9.0 * s, 6.0 * s, 1.0),
+        1 => {
+            c.fill_rect(6.0 + jx, 14.0 + jy, 26.0 + jx, 22.0 + jy, 1.0);
+            c.fill_ellipse(11.0 + jx, 24.0 + jy, 3.0 * s, 3.0 * s, 1.0);
+            c.fill_ellipse(21.0 + jx, 24.0 + jy, 3.0 * s, 3.0 * s, 1.0);
+        }
+        2 => {
+            let period = (4.0 * s).max(2.0);
+            let mut y = 2.0 + jy.abs();
+            while y < w {
+                c.fill_rect(0.0, y, w, y + period / 2.0, 1.0);
+                y += period;
+            }
+        }
+        3 => {
+            let period = (4.0 * s).max(2.0);
+            let mut x = 2.0 + jx.abs();
+            while x < w {
+                c.fill_rect(x, 0.0, x + period / 2.0, w, 1.0);
+                x += period;
+            }
+        }
+        4 => {
+            let cell = (5.0 * s).max(3.0);
+            for by in 0..(SIZE / cell as usize + 1) {
+                for bx in 0..(SIZE / cell as usize + 1) {
+                    if (bx + by) % 2 == 0 {
+                        let x0 = bx as f64 * cell + jx;
+                        let y0 = by as f64 * cell + jy;
+                        c.fill_rect(x0, y0, x0 + cell, y0 + cell, 1.0);
+                    }
+                }
+            }
+        }
+        5 => {
+            for r in [4.0, 8.0, 12.0] {
+                c.arc(
+                    16.0 + jx,
+                    16.0 + jy,
+                    r * s,
+                    r * s,
+                    0.0,
+                    std::f64::consts::TAU,
+                    1.0,
+                );
+            }
+        }
+        6 => {
+            for _ in 0..6 {
+                let bx = rng.random_range(4.0..28.0);
+                let by = rng.random_range(4.0..28.0);
+                c.fill_ellipse(bx, by, 3.5 * s, 3.0 * s, 1.0);
+            }
+        }
+        7 => {
+            c.fill_rect(14.0 + jx, 4.0 + jy, 18.0 + jx, 28.0 + jy, 1.0);
+            c.fill_rect(4.0 + jx, 14.0 + jy, 28.0 + jx, 18.0 + jy, 1.0);
+        }
+        8 => {
+            for y in 0..SIZE {
+                let v = y as f64 / w;
+                c.fill_rect(0.0, y as f64, w, y as f64 + 1.0, v);
+            }
+        }
+        9 => {
+            for k in 0..3 {
+                let cx = 8.0 + k as f64 * 8.0 + jx;
+                let cy = 20.0 + jy;
+                c.line((cx - 4.0, cy), (cx, cy - 8.0 * s), 0.9);
+                c.line((cx, cy - 8.0 * s), (cx + 4.0, cy), 0.9);
+                c.line((cx - 4.0, cy), (cx + 4.0, cy), 0.9);
+            }
+        }
+        _ => unreachable!("label must be < 10"),
+    }
+}
+
+/// Generates `total` CIFAR-like samples (32×32×3, classes balanced).
+pub fn generate(total: usize, seed: u64) -> ImageDataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let pixel_len = SIZE * SIZE * 3;
+    let mut images = ndarray::Array2::zeros((total, pixel_len));
+    let mut labels = Vec::with_capacity(total);
+    for i in 0..total {
+        let label = i % 10;
+        let (bg, fg) = palette(label);
+        let mut mask = Canvas::new(SIZE, SIZE);
+        render_mask(label, &mut rng, &mut mask);
+        let mut row = images.row_mut(i);
+        for y in 0..SIZE {
+            for x in 0..SIZE {
+                let m = mask.get(x, y);
+                for ch in 0..3 {
+                    let base = bg[ch] * (1.0 - m) + fg[ch] * m;
+                    let noisy = (base + rng.random_range(-0.05..=0.05)).clamp(0.0, 1.0);
+                    row[(y * SIZE + x) * 3 + ch] = noisy;
+                }
+            }
+        }
+        labels.push(label);
+    }
+    ImageDataset::new("cifar-like", images, labels, SIZE, SIZE, 3, 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_table1_pipeline() {
+        let ds = generate(10, 1);
+        assert_eq!(ds.pixel_len(), 3072);
+        assert_eq!(ds.channels(), 3);
+        // 6x6x3 patches must be 108-dim, matching the 108-1024 RBM.
+        assert_eq!(6 * 6 * ds.channels(), 108);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(12, 9), generate(12, 9));
+    }
+
+    #[test]
+    fn palettes_are_class_distinct() {
+        let ds = generate(10, 2);
+        // Mean color differs across classes.
+        let mut means = Vec::new();
+        for row in ds.images().rows() {
+            means.push(row.mean().unwrap());
+        }
+        let distinct: std::collections::BTreeSet<i64> =
+            means.iter().map(|m| (m * 1000.0) as i64).collect();
+        assert!(distinct.len() >= 7, "class colors too similar");
+    }
+
+    #[test]
+    fn pixels_in_unit_range() {
+        let ds = generate(5, 3);
+        assert!(ds.images().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+}

@@ -1,0 +1,255 @@
+use ndarray::{Array2, Axis};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A labeled image dataset with flattened pixels in `[0, 1]`
+/// (row-major, channel-last).
+///
+/// # Example
+///
+/// ```
+/// use ember_datasets::ImageDataset;
+/// use ndarray::Array2;
+///
+/// let ds = ImageDataset::new(
+///     "toy",
+///     Array2::zeros((4, 6)),
+///     vec![0, 1, 0, 1],
+///     2, 3, 1, 2,
+/// );
+/// assert_eq!(ds.len(), 4);
+/// assert_eq!(ds.pixel_len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImageDataset {
+    name: String,
+    images: Array2<f64>,
+    labels: Vec<usize>,
+    height: usize,
+    width: usize,
+    channels: usize,
+    classes: usize,
+}
+
+impl ImageDataset {
+    /// Bundles images with their metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not match the pixel count, the label
+    /// count differs from the row count, or any label is out of range.
+    pub fn new(
+        name: &str,
+        images: Array2<f64>,
+        labels: Vec<usize>,
+        height: usize,
+        width: usize,
+        channels: usize,
+        classes: usize,
+    ) -> Self {
+        assert_eq!(
+            images.ncols(),
+            height * width * channels,
+            "pixel count must match geometry"
+        );
+        assert_eq!(images.nrows(), labels.len(), "one label per image");
+        assert!(labels.iter().all(|&l| l < classes), "label out of range");
+        ImageDataset {
+            name: name.to_owned(),
+            images,
+            labels,
+            height,
+            width,
+            channels,
+            classes,
+        }
+    }
+
+    /// Dataset name (e.g. `"mnist-like"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The `(samples × pixels)` matrix.
+    pub fn images(&self) -> &Array2<f64> {
+        &self.images
+    }
+
+    /// Per-image class labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.images.nrows()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.nrows() == 0
+    }
+
+    /// Flattened pixels per image.
+    pub fn pixel_len(&self) -> usize {
+        self.images.ncols()
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Color channels (1 = grayscale).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Number of distinct classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// A copy with pixels thresholded to `{0, 1}` at `threshold` — the
+    /// binary visible units RBMs expect.
+    pub fn binarized(&self, threshold: f64) -> ImageDataset {
+        let images = self
+            .images
+            .mapv(|p| if p > threshold { 1.0 } else { 0.0 });
+        ImageDataset {
+            name: format!("{}-bin", self.name),
+            images,
+            labels: self.labels.clone(),
+            height: self.height,
+            width: self.width,
+            channels: self.channels,
+            classes: self.classes,
+        }
+    }
+
+    /// A copy with rows shuffled (images and labels kept in sync).
+    pub fn shuffled<R: Rng + ?Sized>(&self, rng: &mut R) -> ImageDataset {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        // Fisher–Yates.
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut images = Array2::zeros(self.images.dim());
+        let mut labels = Vec::with_capacity(self.labels.len());
+        for (new_row, &old_row) in order.iter().enumerate() {
+            images.row_mut(new_row).assign(&self.images.row(old_row));
+            labels.push(self.labels[old_row]);
+        }
+        ImageDataset {
+            name: self.name.clone(),
+            images,
+            labels,
+            height: self.height,
+            width: self.width,
+            channels: self.channels,
+            classes: self.classes,
+        }
+    }
+
+    /// The subset of rows `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, start: usize, end: usize) -> ImageDataset {
+        assert!(start <= end && end <= self.len(), "invalid slice range");
+        ImageDataset {
+            name: self.name.clone(),
+            images: self.images.slice(ndarray::s![start..end, ..]).to_owned(),
+            labels: self.labels[start..end].to_vec(),
+            height: self.height,
+            width: self.width,
+            channels: self.channels,
+            classes: self.classes,
+        }
+    }
+
+    /// Mean pixel intensity per class — a quick sanity diagnostic.
+    pub fn class_means(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.classes];
+        let mut counts = vec![0usize; self.classes];
+        for (row, &label) in self.images.axis_iter(Axis(0)).zip(&self.labels) {
+            sums[label] += row.mean().unwrap_or(0.0);
+            counts[label] += 1;
+        }
+        sums.iter()
+            .zip(&counts)
+            .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn toy() -> ImageDataset {
+        let images = Array2::from_shape_fn((6, 4), |(i, j)| ((i + j) % 3) as f64 / 2.0);
+        ImageDataset::new("toy", images, vec![0, 1, 2, 0, 1, 2], 2, 2, 1, 3)
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = toy();
+        assert_eq!(ds.len(), 6);
+        assert_eq!(ds.pixel_len(), 4);
+        assert_eq!(ds.classes(), 3);
+        assert_eq!(ds.name(), "toy");
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn binarize_thresholds() {
+        let b = toy().binarized(0.4);
+        assert!(b.images().iter().all(|&p| p == 0.0 || p == 1.0));
+        assert_eq!(b.labels(), toy().labels());
+    }
+
+    #[test]
+    fn shuffle_preserves_pairs() {
+        let ds = toy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let sh = ds.shuffled(&mut rng);
+        assert_eq!(sh.len(), ds.len());
+        // Every (image, label) pair in the shuffle exists in the original.
+        for (row, &label) in sh.images().axis_iter(Axis(0)).zip(sh.labels()) {
+            let found = ds
+                .images()
+                .axis_iter(Axis(0))
+                .zip(ds.labels())
+                .any(|(orig, &ol)| ol == label && orig == row);
+            assert!(found, "pair lost in shuffle");
+        }
+    }
+
+    #[test]
+    fn slicing() {
+        let ds = toy();
+        let s = ds.slice(2, 5);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.labels(), &[2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let _ = ImageDataset::new("bad", Array2::zeros((1, 4)), vec![7], 2, 2, 1, 3);
+    }
+
+    #[test]
+    fn class_means_have_expected_len() {
+        assert_eq!(toy().class_means().len(), 3);
+    }
+}

@@ -1,0 +1,162 @@
+//! The MNIST-like synthetic dataset: 28×28 stroke-rendered digits 0–9 with
+//! affine jitter and pixel flip noise.
+
+use std::f64::consts::{PI, TAU};
+
+use crate::glyph::{generate_glyph_dataset, Glyph, Stroke};
+use crate::ImageDataset;
+
+fn line(from: (f64, f64), to: (f64, f64)) -> Stroke {
+    Stroke::Line { from, to }
+}
+
+fn arc(center: (f64, f64), radii: (f64, f64), a0: f64, a1: f64) -> Stroke {
+    Stroke::Arc {
+        center,
+        radii,
+        a0,
+        a1,
+    }
+}
+
+/// The ten digit glyph templates (index = digit).
+pub fn templates() -> Vec<Glyph> {
+    let t = 0.045;
+    vec![
+        // 0 — oval ring
+        Glyph::new(vec![arc((0.5, 0.5), (0.22, 0.32), 0.0, TAU)], t),
+        // 1 — vertical bar with flag
+        Glyph::new(
+            vec![line((0.52, 0.14), (0.52, 0.86)), line((0.38, 0.3), (0.52, 0.14))],
+            t,
+        ),
+        // 2 — top bow, diagonal, base
+        Glyph::new(
+            vec![
+                arc((0.5, 0.33), (0.2, 0.18), PI, TAU),
+                line((0.7, 0.38), (0.3, 0.84)),
+                line((0.3, 0.84), (0.73, 0.84)),
+            ],
+            t,
+        ),
+        // 3 — two right-opening bows
+        Glyph::new(
+            vec![
+                arc((0.45, 0.33), (0.2, 0.18), 1.2 * PI, 2.5 * PI),
+                arc((0.45, 0.67), (0.21, 0.19), 1.5 * PI, 2.8 * PI),
+            ],
+            t,
+        ),
+        // 4 — open four
+        Glyph::new(
+            vec![
+                line((0.62, 0.14), (0.62, 0.86)),
+                line((0.62, 0.14), (0.28, 0.58)),
+                line((0.28, 0.58), (0.76, 0.58)),
+            ],
+            t,
+        ),
+        // 5 — cap, stem, bowl
+        Glyph::new(
+            vec![
+                line((0.7, 0.15), (0.36, 0.15)),
+                line((0.36, 0.15), (0.35, 0.45)),
+                arc((0.47, 0.64), (0.22, 0.2), 1.45 * PI, 2.85 * PI),
+            ],
+            t,
+        ),
+        // 6 — stem into lower loop
+        Glyph::new(
+            vec![
+                line((0.6, 0.14), (0.4, 0.52)),
+                arc((0.48, 0.64), (0.18, 0.19), 0.0, TAU),
+            ],
+            t,
+        ),
+        // 7 — cap and diagonal
+        Glyph::new(
+            vec![line((0.3, 0.15), (0.72, 0.15)), line((0.72, 0.15), (0.42, 0.85))],
+            t,
+        ),
+        // 8 — stacked rings
+        Glyph::new(
+            vec![
+                arc((0.5, 0.32), (0.16, 0.15), 0.0, TAU),
+                arc((0.5, 0.66), (0.19, 0.17), 0.0, TAU),
+            ],
+            t,
+        ),
+        // 9 — upper ring with tail
+        Glyph::new(
+            vec![
+                arc((0.5, 0.35), (0.17, 0.17), 0.0, TAU),
+                line((0.67, 0.38), (0.6, 0.86)),
+            ],
+            t,
+        ),
+    ]
+}
+
+/// Generates `total` MNIST-like samples (classes balanced, cycling).
+pub fn generate(total: usize, seed: u64) -> ImageDataset {
+    generate_glyph_dataset("mnist-like", &templates(), total, seed, 28, 28, 0.01)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_distinct_templates() {
+        let ts = templates();
+        assert_eq!(ts.len(), 10);
+        // Every pair of rendered templates must differ.
+        let rendered: Vec<_> = ts
+            .iter()
+            .map(|g| g.render(28, 28, &crate::Affine::identity()))
+            .collect();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let diff: f64 = rendered[i]
+                    .iter()
+                    .zip(rendered[j].iter())
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                assert!(diff > 10.0, "templates {i} and {j} too similar");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_balanced() {
+        let a = generate(50, 7);
+        let b = generate(50, 7);
+        assert_eq!(a, b);
+        let mut counts = [0usize; 10];
+        for &l in a.labels() {
+            counts[l] += 1;
+        }
+        assert_eq!(counts, [5; 10]);
+    }
+
+    #[test]
+    fn images_have_ink_and_unit_range() {
+        let ds = generate(20, 1);
+        for row in ds.images().rows() {
+            let total: f64 = row.sum();
+            assert!(total > 5.0, "image nearly blank");
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn same_class_varies_across_samples() {
+        let ds = generate(40, 3);
+        // Samples 0 and 10 are both class 0 but jittered differently.
+        let a = ds.images().row(0);
+        let b = ds.images().row(10);
+        assert_eq!(ds.labels()[0], ds.labels()[10]);
+        let diff: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1.0, "jitter should vary samples");
+    }
+}

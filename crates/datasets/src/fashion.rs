@@ -1,0 +1,187 @@
+//! The Fashion-MNIST-like synthetic dataset: 28×28 filled garment
+//! silhouettes (10 classes), rendered with canvas fills plus jitter.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::{Canvas, ImageDataset};
+
+/// Class names, index-aligned with the labels.
+pub const CLASS_NAMES: [&str; 10] = [
+    "tshirt", "trouser", "pullover", "dress", "coat", "sandal", "shirt", "sneaker", "bag",
+    "ankle-boot",
+];
+
+/// Renders one silhouette of class `label` with the given jitter
+/// parameters (normalized shift and scale).
+fn render_class(label: usize, dx: f64, dy: f64, s: f64, canvas: &mut Canvas) {
+    let w = canvas.width() as f64;
+    // Helper mapping normalized coords -> pixels with jitter.
+    let x = |v: f64| (v * s + dx) * w;
+    let y = |v: f64| (v * s + dy) * w;
+    match label {
+        0 => {
+            // T-shirt: torso + short sleeves.
+            canvas.fill_rect(x(0.33), y(0.3), x(0.67), y(0.82), 0.9);
+            canvas.fill_rect(x(0.18), y(0.3), x(0.33), y(0.48), 0.9);
+            canvas.fill_rect(x(0.67), y(0.3), x(0.82), y(0.48), 0.9);
+        }
+        1 => {
+            // Trouser: waist + two legs.
+            canvas.fill_rect(x(0.33), y(0.18), x(0.67), y(0.34), 0.9);
+            canvas.fill_rect(x(0.33), y(0.34), x(0.47), y(0.86), 0.9);
+            canvas.fill_rect(x(0.53), y(0.34), x(0.67), y(0.86), 0.9);
+        }
+        2 => {
+            // Pullover: torso + long sleeves.
+            canvas.fill_rect(x(0.34), y(0.28), x(0.66), y(0.8), 0.9);
+            canvas.fill_rect(x(0.16), y(0.28), x(0.34), y(0.74), 0.9);
+            canvas.fill_rect(x(0.66), y(0.28), x(0.84), y(0.74), 0.9);
+        }
+        3 => {
+            // Dress: narrow top widening to a skirt.
+            canvas.fill_rect(x(0.4), y(0.2), x(0.6), y(0.45), 0.9);
+            for k in 0..8 {
+                let f = k as f64 / 7.0;
+                canvas.fill_rect(
+                    x(0.4 - 0.12 * f),
+                    y(0.45 + 0.05 * k as f64),
+                    x(0.6 + 0.12 * f),
+                    y(0.5 + 0.05 * k as f64),
+                    0.9,
+                );
+            }
+        }
+        4 => {
+            // Coat: long torso halves with a gap + sleeves.
+            canvas.fill_rect(x(0.34), y(0.24), x(0.48), y(0.86), 0.9);
+            canvas.fill_rect(x(0.52), y(0.24), x(0.66), y(0.86), 0.9);
+            canvas.fill_rect(x(0.16), y(0.24), x(0.34), y(0.78), 0.9);
+            canvas.fill_rect(x(0.66), y(0.24), x(0.84), y(0.78), 0.9);
+        }
+        5 => {
+            // Sandal: thin sole + straps.
+            canvas.fill_rect(x(0.18), y(0.66), x(0.82), y(0.74), 0.9);
+            canvas.line((x(0.3), y(0.66)), (x(0.45), y(0.4)), 1.2);
+            canvas.line((x(0.45), y(0.4)), (x(0.62), y(0.66)), 1.2);
+        }
+        6 => {
+            // Shirt: torso + sleeves + collar notch.
+            canvas.fill_rect(x(0.35), y(0.26), x(0.65), y(0.84), 0.9);
+            canvas.fill_rect(x(0.2), y(0.26), x(0.35), y(0.6), 0.9);
+            canvas.fill_rect(x(0.65), y(0.26), x(0.8), y(0.6), 0.9);
+            canvas.line((x(0.44), y(0.26)), (x(0.5), y(0.36)), 1.0);
+            canvas.line((x(0.56), y(0.26)), (x(0.5), y(0.36)), 1.0);
+        }
+        7 => {
+            // Sneaker: low profile with sole.
+            canvas.fill_ellipse(x(0.5), y(0.62), 0.3 * s * w, 0.12 * s * w, 0.9);
+            canvas.fill_rect(x(0.2), y(0.66), x(0.8), y(0.74), 0.95);
+        }
+        8 => {
+            // Bag: box + handle arc.
+            canvas.fill_rect(x(0.28), y(0.42), x(0.72), y(0.8), 0.9);
+            canvas.arc(
+                x(0.5),
+                y(0.42),
+                0.14 * s * w,
+                0.12 * s * w,
+                std::f64::consts::PI,
+                std::f64::consts::TAU,
+                1.2,
+            );
+        }
+        9 => {
+            // Ankle boot: shaft + foot.
+            canvas.fill_rect(x(0.34), y(0.28), x(0.52), y(0.74), 0.9);
+            canvas.fill_rect(x(0.34), y(0.6), x(0.78), y(0.78), 0.9);
+        }
+        _ => unreachable!("label must be < 10"),
+    }
+}
+
+/// Generates `total` FMNIST-like samples (classes balanced, cycling).
+pub fn generate(total: usize, seed: u64) -> ImageDataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut images = ndarray::Array2::zeros((total, 28 * 28));
+    let mut labels = Vec::with_capacity(total);
+    for i in 0..total {
+        let label = i % 10;
+        let mut canvas = Canvas::new(28, 28);
+        let dx = rng.random_range(-0.04..=0.04);
+        let dy = rng.random_range(-0.04..=0.04);
+        let s = rng.random_range(0.9..=1.1);
+        render_class(label, dx, dy, s, &mut canvas);
+        let mut img = canvas.to_array();
+        // Fabric-texture noise: multiplicative speckle + rare flips.
+        img.mapv_inplace(|p| {
+            let speckled = p * rng.random_range(0.8..=1.0);
+            if rng.random::<f64>() < 0.005 {
+                1.0 - speckled
+            } else {
+                speckled
+            }
+        });
+        images.row_mut(i).assign(&img);
+        labels.push(label);
+    }
+    ImageDataset::new("fmnist-like", images, labels, 28, 28, 1, 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_and_deterministic() {
+        let a = generate(30, 5);
+        assert_eq!(a, generate(30, 5));
+        let mut counts = [0usize; 10];
+        for &l in a.labels() {
+            counts[l] += 1;
+        }
+        assert_eq!(counts, [3; 10]);
+    }
+
+    #[test]
+    fn silhouettes_have_mass() {
+        let ds = generate(20, 2);
+        for (i, row) in ds.images().rows().into_iter().enumerate() {
+            assert!(row.sum() > 20.0, "image {i} nearly blank");
+        }
+    }
+
+    #[test]
+    fn classes_differ_in_shape() {
+        // Class-mean images must be pairwise distinct (jitter-robust).
+        let ds = generate(100, 3);
+        let mut means = vec![vec![0.0f64; 784]; 10];
+        let mut counts = [0usize; 10];
+        for (row, &label) in ds.images().rows().into_iter().zip(ds.labels()) {
+            for (m, &p) in means[label].iter_mut().zip(row.iter()) {
+                *m += p;
+            }
+            counts[label] += 1;
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= c as f64;
+            }
+        }
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let diff: f64 = means[i]
+                    .iter()
+                    .zip(&means[j])
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                assert!(diff > 15.0, "classes {i} and {j} too similar ({diff})");
+            }
+        }
+    }
+
+    #[test]
+    fn class_names_count() {
+        assert_eq!(CLASS_NAMES.len(), 10);
+    }
+}

@@ -1,0 +1,203 @@
+//! The credit-card-fraud-like synthetic dataset: 28 features (the real
+//! dataset's PCA-transformed V1–V28), a heavily imbalanced minority class,
+//! and quantile binarization for the 28-10 RBM of Table 1.
+
+use ndarray::Array2;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Feature dimensionality (matches the real dataset's 28 PCA components).
+pub const FEATURES: usize = 28;
+
+/// The generated dataset: continuous features, binarized features, labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FraudDataset {
+    features: Array2<f64>,
+    binary: Array2<f64>,
+    labels: Vec<bool>,
+}
+
+impl FraudDataset {
+    /// Continuous feature matrix `(samples × 28)`.
+    pub fn features(&self) -> &Array2<f64> {
+        &self.features
+    }
+
+    /// Median-binarized features (the RBM's visible units).
+    pub fn binary(&self) -> &Array2<f64> {
+        &self.binary
+    }
+
+    /// `true` = fraudulent.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of fraudulent samples.
+    pub fn positives(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// The binarized rows of the *normal* class only — RBM anomaly
+    /// detection trains on legitimate transactions and scores outliers by
+    /// free energy.
+    pub fn normal_binary(&self) -> Array2<f64> {
+        let rows: Vec<usize> = self
+            .labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (!l).then_some(i))
+            .collect();
+        let mut out = Array2::zeros((rows.len(), FEATURES));
+        for (new_i, &old_i) in rows.iter().enumerate() {
+            out.row_mut(new_i).assign(&self.binary.row(old_i));
+        }
+        out
+    }
+}
+
+/// Generates `total` transactions with the given fraud rate.
+///
+/// Legitimate transactions follow a correlated Gaussian (3 latent
+/// factors); fraud shifts a subset of feature dimensions and inflates
+/// their variance — the displaced minority mode the detector must find.
+///
+/// # Panics
+///
+/// Panics unless `0 < fraud_rate < 0.5` and `total ≥ 10`.
+pub fn generate(total: usize, fraud_rate: f64, seed: u64) -> FraudDataset {
+    assert!(total >= 10, "need at least 10 samples");
+    assert!(
+        fraud_rate > 0.0 && fraud_rate < 0.5,
+        "fraud rate must be in (0, 0.5)"
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let normal = Normal::new(0.0, 1.0).expect("unit normal");
+
+    // Random loading matrix mapping 3 latent factors to 28 features.
+    let loadings: Vec<[f64; 3]> = (0..FEATURES)
+        .map(|_| {
+            [
+                normal.sample(&mut rng) * 0.7,
+                normal.sample(&mut rng) * 0.7,
+                normal.sample(&mut rng) * 0.7,
+            ]
+        })
+        .collect();
+    // Fraud signature: which dimensions shift, and by how much.
+    // Strong displacement on a third of the dimensions, moderate on the
+    // rest — tuned so free-energy detection lands near the real dataset's
+    // operating point (paper AUC ≈ 0.96).
+    let shift: Vec<f64> = (0..FEATURES)
+        .map(|d| if d % 3 == 0 { 3.4 } else { 1.1 } * if d % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
+
+    let mut features = Array2::zeros((total, FEATURES));
+    let mut labels = Vec::with_capacity(total);
+    for i in 0..total {
+        let is_fraud = rng.random::<f64>() < fraud_rate;
+        let f = [
+            normal.sample(&mut rng),
+            normal.sample(&mut rng),
+            normal.sample(&mut rng),
+        ];
+        for d in 0..FEATURES {
+            let base: f64 = loadings[d].iter().zip(&f).map(|(l, x)| l * x).sum();
+            let idiosyncratic = normal.sample(&mut rng) * 0.5;
+            let mut v = base + idiosyncratic;
+            if is_fraud {
+                v = v * 1.4 + shift[d];
+            }
+            features[[i, d]] = v;
+        }
+        labels.push(is_fraud);
+    }
+
+    // Median binarization per feature.
+    let mut binary = Array2::zeros((total, FEATURES));
+    for d in 0..FEATURES {
+        let mut col: Vec<f64> = features.column(d).to_vec();
+        col.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let median = col[total / 2];
+        for i in 0..total {
+            binary[[i, d]] = if features[[i, d]] > median { 1.0 } else { 0.0 };
+        }
+    }
+
+    FraudDataset {
+        features,
+        binary,
+        labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_matches_rate() {
+        let ds = generate(20000, 0.006, 1);
+        let rate = ds.positives() as f64 / ds.len() as f64;
+        assert!((rate - 0.006).abs() < 0.003, "rate {rate}");
+    }
+
+    #[test]
+    fn binary_features_are_binary_and_balanced() {
+        let ds = generate(2000, 0.01, 2);
+        assert!(ds.binary().iter().all(|&x| x == 0.0 || x == 1.0));
+        // Median binarization gives ~50% ones per column.
+        for d in 0..FEATURES {
+            let ones = ds.binary().column(d).sum() / ds.len() as f64;
+            assert!((ones - 0.5).abs() < 0.05, "feature {d} fraction {ones}");
+        }
+    }
+
+    #[test]
+    fn fraud_is_displaced_in_feature_space() {
+        let ds = generate(8000, 0.05, 3);
+        // Mean of shifted dimension 0 differs strongly between classes.
+        let mut fraud_mean = 0.0;
+        let mut normal_mean = 0.0;
+        let (mut nf, mut nn) = (0.0, 0.0);
+        for (i, &l) in ds.labels().iter().enumerate() {
+            if l {
+                fraud_mean += ds.features()[[i, 0]];
+                nf += 1.0;
+            } else {
+                normal_mean += ds.features()[[i, 0]];
+                nn += 1.0;
+            }
+        }
+        fraud_mean /= nf;
+        normal_mean /= nn;
+        assert!(
+            (fraud_mean - normal_mean).abs() > 1.0,
+            "classes not separated: {fraud_mean} vs {normal_mean}"
+        );
+    }
+
+    #[test]
+    fn normal_subset_excludes_fraud() {
+        let ds = generate(5000, 0.05, 4);
+        let normal = ds.normal_binary();
+        assert_eq!(normal.nrows(), ds.len() - ds.positives());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(500, 0.05, 8), generate(500, 0.05, 8));
+    }
+}

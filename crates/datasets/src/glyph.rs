@@ -1,0 +1,327 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::Canvas;
+
+/// One stroke of a glyph, in normalized `[0, 1]²` coordinates
+/// (`(0,0)` top-left).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Stroke {
+    /// A straight segment.
+    Line {
+        /// Start point.
+        from: (f64, f64),
+        /// End point.
+        to: (f64, f64),
+    },
+    /// An elliptical arc from `a0` to `a1` radians.
+    Arc {
+        /// Ellipse center.
+        center: (f64, f64),
+        /// Ellipse radii.
+        radii: (f64, f64),
+        /// Start angle (radians).
+        a0: f64,
+        /// End angle (radians).
+        a1: f64,
+    },
+    /// A filled dot.
+    Dot {
+        /// Dot center.
+        at: (f64, f64),
+        /// Dot radius (normalized units).
+        r: f64,
+    },
+}
+
+/// A random affine jitter: rotation, anisotropic scale and translation
+/// about the glyph center — the within-class variability of the synthetic
+/// image datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Affine {
+    rotation: f64,
+    scale_x: f64,
+    scale_y: f64,
+    dx: f64,
+    dy: f64,
+}
+
+impl Affine {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Affine {
+            rotation: 0.0,
+            scale_x: 1.0,
+            scale_y: 1.0,
+            dx: 0.0,
+            dy: 0.0,
+        }
+    }
+
+    /// Samples a jitter: rotation `±max_rot` radians, per-axis scale in
+    /// `[1−max_scale, 1+max_scale]`, translation `±max_shift` (normalized).
+    pub fn sample<R: Rng + ?Sized>(
+        max_rot: f64,
+        max_scale: f64,
+        max_shift: f64,
+        rng: &mut R,
+    ) -> Self {
+        Affine {
+            rotation: rng.random_range(-max_rot..=max_rot),
+            scale_x: 1.0 + rng.random_range(-max_scale..=max_scale),
+            scale_y: 1.0 + rng.random_range(-max_scale..=max_scale),
+            dx: rng.random_range(-max_shift..=max_shift),
+            dy: rng.random_range(-max_shift..=max_shift),
+        }
+    }
+
+    /// Applies the transform to a normalized point (rotating about the
+    /// glyph center `(0.5, 0.5)`).
+    pub fn apply(&self, p: (f64, f64)) -> (f64, f64) {
+        let (x, y) = (p.0 - 0.5, p.1 - 0.5);
+        let (x, y) = (x * self.scale_x, y * self.scale_y);
+        let (s, c) = self.rotation.sin_cos();
+        let (x, y) = (x * c - y * s, x * s + y * c);
+        (x + 0.5 + self.dx, y + 0.5 + self.dy)
+    }
+
+    /// Mean absolute scale factor (used to scale radii).
+    pub fn mean_scale(&self) -> f64 {
+        (self.scale_x.abs() + self.scale_y.abs()) / 2.0
+    }
+}
+
+/// A glyph template: a set of strokes plus a nominal line thickness
+/// (normalized units).
+///
+/// # Example
+///
+/// ```
+/// use ember_datasets::{Affine, Glyph, Stroke};
+///
+/// let glyph = Glyph::new(
+///     vec![Stroke::Line { from: (0.5, 0.15), to: (0.5, 0.85) }],
+///     0.05,
+/// );
+/// let img = glyph.render(28, 28, &Affine::identity());
+/// assert_eq!(img.len(), 784);
+/// assert!(img.iter().sum::<f64>() > 5.0); // some ink landed
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Glyph {
+    strokes: Vec<Stroke>,
+    thickness: f64,
+}
+
+impl Glyph {
+    /// Builds a glyph from strokes with the given nominal thickness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strokes` is empty or thickness is not positive.
+    pub fn new(strokes: Vec<Stroke>, thickness: f64) -> Self {
+        assert!(!strokes.is_empty(), "a glyph needs at least one stroke");
+        assert!(thickness > 0.0, "thickness must be positive");
+        Glyph { strokes, thickness }
+    }
+
+    /// The stroke list.
+    pub fn strokes(&self) -> &[Stroke] {
+        &self.strokes
+    }
+
+    /// Rasterizes the glyph at `width × height` under an affine jitter,
+    /// returning flattened pixels in `[0, 1]`.
+    pub fn render(&self, width: usize, height: usize, t: &Affine) -> ndarray::Array1<f64> {
+        let mut canvas = Canvas::new(width, height);
+        let sx = width as f64;
+        let sy = height as f64;
+        let px = |p: (f64, f64)| -> (f64, f64) {
+            let q = t.apply(p);
+            (q.0 * sx, q.1 * sy)
+        };
+        let thick = self.thickness * sx.min(sy) * t.mean_scale();
+        for stroke in &self.strokes {
+            match *stroke {
+                Stroke::Line { from, to } => {
+                    canvas.line(px(from), px(to), thick);
+                }
+                Stroke::Arc {
+                    center,
+                    radii,
+                    a0,
+                    a1,
+                } => {
+                    // Sample the arc in normalized space so rotation and
+                    // anisotropic scaling deform it correctly.
+                    let steps = (((a1 - a0).abs() * radii.0.max(radii.1) * sx) / 0.3)
+                        .ceil()
+                        .max(6.0) as usize;
+                    let mut prev: Option<(f64, f64)> = None;
+                    for s in 0..=steps {
+                        let ang = a0 + (a1 - a0) * s as f64 / steps as f64;
+                        let p = (
+                            center.0 + radii.0 * ang.cos(),
+                            center.1 + radii.1 * ang.sin(),
+                        );
+                        let q = px(p);
+                        if let Some(prev) = prev {
+                            canvas.line(prev, q, thick);
+                        }
+                        prev = Some(q);
+                    }
+                }
+                Stroke::Dot { at, r } => {
+                    let q = px(at);
+                    canvas.disk(q.0, q.1, r * sx.min(sy) * t.mean_scale(), 1.0);
+                }
+            }
+        }
+        canvas.to_array()
+    }
+
+    /// Renders with jitter and per-pixel Bernoulli flip noise (probability
+    /// `flip_p` per pixel after binarization at 0.5) — one synthetic
+    /// "handwritten" sample.
+    pub fn render_noisy<R: Rng + ?Sized>(
+        &self,
+        width: usize,
+        height: usize,
+        jitter: &Affine,
+        flip_p: f64,
+        rng: &mut R,
+    ) -> ndarray::Array1<f64> {
+        let mut img = self.render(width, height, jitter);
+        if flip_p > 0.0 {
+            img.mapv_inplace(|p| {
+                let bit = p > 0.5;
+                let flipped = if rng.random::<f64>() < flip_p { !bit } else { bit };
+                if flipped {
+                    1.0
+                } else {
+                    0.0
+                }
+            });
+        }
+        img
+    }
+}
+
+/// Renders a balanced glyph dataset: `total` samples cycling through the
+/// class templates, each with sampled affine jitter and pixel flip noise.
+/// Shared by the digit/kana/letter generators.
+pub(crate) fn generate_glyph_dataset(
+    name: &str,
+    templates: &[Glyph],
+    total: usize,
+    seed: u64,
+    width: usize,
+    height: usize,
+    flip_p: f64,
+) -> crate::ImageDataset {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let classes = templates.len();
+    let mut images = ndarray::Array2::zeros((total, width * height));
+    let mut labels = Vec::with_capacity(total);
+    for i in 0..total {
+        let label = i % classes;
+        let jitter = Affine::sample(0.12, 0.1, 0.06, &mut rng);
+        let img = templates[label].render_noisy(width, height, &jitter, flip_p, &mut rng);
+        images.row_mut(i).assign(&img);
+        labels.push(label);
+    }
+    crate::ImageDataset::new(name, images, labels, height, width, 1, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn bar() -> Glyph {
+        Glyph::new(
+            vec![Stroke::Line {
+                from: (0.5, 0.1),
+                to: (0.5, 0.9),
+            }],
+            0.06,
+        )
+    }
+
+    #[test]
+    fn identity_render_is_centered() {
+        let img = bar().render(28, 28, &Affine::identity());
+        // Ink in the middle column band, none at the far left.
+        let at = |x: usize, y: usize| img[y * 28 + x];
+        assert!(at(14, 14) > 0.5);
+        assert_eq!(at(1, 14), 0.0);
+    }
+
+    #[test]
+    fn translation_moves_ink() {
+        let mut t = Affine::identity();
+        t.dx = 0.3;
+        let img = bar().render(28, 28, &t);
+        let at = |x: usize, y: usize| img[y * 28 + x];
+        assert!(at(22, 14) > 0.4);
+        assert!(at(14, 14) < 0.3);
+    }
+
+    #[test]
+    fn rotation_tilts_the_bar() {
+        let mut t = Affine::identity();
+        t.rotation = std::f64::consts::FRAC_PI_2;
+        let img = bar().render(28, 28, &t);
+        let at = |x: usize, y: usize| img[y * 28 + x];
+        // Now horizontal: ink to the left and right of center.
+        assert!(at(5, 14) > 0.4);
+        assert!(at(22, 14) > 0.4);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seeded() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let t = Affine::sample(0.1, 0.05, 0.08, &mut rng);
+            assert!(t.rotation.abs() <= 0.1);
+            assert!((t.scale_x - 1.0).abs() <= 0.05);
+            assert!(t.dx.abs() <= 0.08);
+        }
+        let a = Affine::sample(0.1, 0.1, 0.1, &mut rand::rngs::StdRng::seed_from_u64(5));
+        let b = Affine::sample(0.1, 0.1, 0.1, &mut rand::rngs::StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_flips_pixels() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let clean = bar().render_noisy(28, 28, &Affine::identity(), 0.0, &mut rng);
+        let noisy = bar().render_noisy(28, 28, &Affine::identity(), 0.1, &mut rng);
+        let clean_bits: usize = clean.iter().filter(|&&p| p > 0.5).count();
+        let diff: usize = clean
+            .iter()
+            .zip(noisy.iter())
+            .filter(|(a, b)| (**a > 0.5) != (**b > 0.5))
+            .count();
+        assert!(diff > 30, "expected ~78 flips, saw {diff}");
+        assert!(clean_bits > 10);
+    }
+
+    #[test]
+    fn arc_glyph_renders_ring() {
+        let ring = Glyph::new(
+            vec![Stroke::Arc {
+                center: (0.5, 0.5),
+                radii: (0.3, 0.3),
+                a0: 0.0,
+                a1: std::f64::consts::TAU,
+            }],
+            0.05,
+        );
+        let img = ring.render(28, 28, &Affine::identity());
+        let at = |x: usize, y: usize| img[y * 28 + x];
+        assert!(at(14 + 8, 14) > 0.4);
+        assert!(at(14, 14) < 0.1, "ring center should be empty");
+    }
+}

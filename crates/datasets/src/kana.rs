@@ -1,0 +1,162 @@
+//! The KMNIST-like synthetic dataset: 28×28 kana-style glyphs — curvier,
+//! hook-heavy stroke patterns distinct from the digit set.
+
+use std::f64::consts::PI;
+
+use crate::glyph::{generate_glyph_dataset, Glyph, Stroke};
+use crate::ImageDataset;
+
+fn line(from: (f64, f64), to: (f64, f64)) -> Stroke {
+    Stroke::Line { from, to }
+}
+
+fn arc(center: (f64, f64), radii: (f64, f64), a0: f64, a1: f64) -> Stroke {
+    Stroke::Arc {
+        center,
+        radii,
+        a0,
+        a1,
+    }
+}
+
+fn dot(at: (f64, f64)) -> Stroke {
+    Stroke::Dot { at, r: 0.05 }
+}
+
+/// Ten kana-style glyph templates (stylized お/き/す/つ/な/は/ま/や/れ/を
+/// stroke skeletons).
+pub fn templates() -> Vec<Glyph> {
+    let t = 0.045;
+    vec![
+        // o: cross with lower loop
+        Glyph::new(
+            vec![
+                line((0.3, 0.3), (0.75, 0.3)),
+                line((0.5, 0.12), (0.5, 0.6)),
+                arc((0.5, 0.68), (0.18, 0.16), 0.7 * PI, 2.4 * PI),
+            ],
+            t,
+        ),
+        // ki: two bars, diagonal, lower hook
+        Glyph::new(
+            vec![
+                line((0.3, 0.25), (0.72, 0.2)),
+                line((0.28, 0.42), (0.74, 0.37)),
+                line((0.55, 0.1), (0.42, 0.62)),
+                arc((0.5, 0.72), (0.15, 0.13), 1.6 * PI, 2.9 * PI),
+            ],
+            t,
+        ),
+        // su: bar with loop-tail
+        Glyph::new(
+            vec![
+                line((0.28, 0.3), (0.76, 0.3)),
+                line((0.55, 0.12), (0.52, 0.5)),
+                arc((0.47, 0.6), (0.12, 0.11), 1.7 * PI, 3.4 * PI),
+                line((0.42, 0.68), (0.38, 0.88)),
+            ],
+            t,
+        ),
+        // tsu: wide open bowl
+        Glyph::new(vec![arc((0.5, 0.35), (0.3, 0.35), 0.15 * PI, 0.95 * PI)], t),
+        // na: cross, dot, lower hook
+        Glyph::new(
+            vec![
+                line((0.26, 0.28), (0.6, 0.24)),
+                line((0.42, 0.1), (0.36, 0.5)),
+                dot((0.72, 0.34)),
+                line((0.62, 0.5), (0.58, 0.8)),
+                arc((0.5, 0.74), (0.13, 0.12), 1.8 * PI, 2.9 * PI),
+            ],
+            t,
+        ),
+        // ha: two verticals bridged, right loop
+        Glyph::new(
+            vec![
+                line((0.3, 0.15), (0.3, 0.85)),
+                line((0.66, 0.12), (0.66, 0.66)),
+                line((0.3, 0.38), (0.66, 0.34)),
+                arc((0.6, 0.74), (0.14, 0.12), 1.4 * PI, 3.1 * PI),
+            ],
+            t,
+        ),
+        // ma: two bars, center stem, loop
+        Glyph::new(
+            vec![
+                line((0.3, 0.22), (0.72, 0.22)),
+                line((0.3, 0.4), (0.72, 0.4)),
+                line((0.52, 0.1), (0.52, 0.62)),
+                arc((0.48, 0.72), (0.15, 0.12), 0.3 * PI, 2.0 * PI),
+            ],
+            t,
+        ),
+        // ya: loop with crossing diagonal
+        Glyph::new(
+            vec![
+                arc((0.42, 0.4), (0.2, 0.15), 0.6 * PI, 2.6 * PI),
+                line((0.62, 0.2), (0.5, 0.88)),
+                line((0.26, 0.24), (0.36, 0.36)),
+            ],
+            t,
+        ),
+        // re: vertical with wave tail
+        Glyph::new(
+            vec![
+                line((0.32, 0.12), (0.32, 0.85)),
+                arc((0.52, 0.45), (0.17, 0.2), 1.1 * PI, 2.2 * PI),
+                line((0.66, 0.52), (0.72, 0.85)),
+            ],
+            t,
+        ),
+        // wo: layered arcs with stem
+        Glyph::new(
+            vec![
+                line((0.3, 0.2), (0.72, 0.2)),
+                arc((0.48, 0.45), (0.2, 0.15), 0.9 * PI, 2.1 * PI),
+                arc((0.52, 0.68), (0.2, 0.16), 1.3 * PI, 2.6 * PI),
+            ],
+            t,
+        ),
+    ]
+}
+
+/// Generates `total` KMNIST-like samples (classes balanced, cycling).
+pub fn generate(total: usize, seed: u64) -> ImageDataset {
+    generate_glyph_dataset("kmnist-like", &templates(), total, seed, 28, 28, 0.01)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_templates_distinct_from_digits() {
+        let kana = templates();
+        assert_eq!(kana.len(), 10);
+        let digits = crate::digits::templates();
+        let id = crate::Affine::identity();
+        for (i, k) in kana.iter().enumerate() {
+            let kr = k.render(28, 28, &id);
+            for (j, d) in digits.iter().enumerate() {
+                let dr = d.render(28, 28, &id);
+                let diff: f64 = kr.iter().zip(dr.iter()).map(|(a, b)| (a - b).abs()).sum();
+                assert!(diff > 8.0, "kana {i} too close to digit {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        assert_eq!(generate(30, 11), generate(30, 11));
+    }
+
+    #[test]
+    fn balanced_classes() {
+        let ds = generate(40, 2);
+        let mut counts = [0usize; 10];
+        for &l in ds.labels() {
+            counts[l] += 1;
+        }
+        assert_eq!(counts, [4; 10]);
+    }
+}

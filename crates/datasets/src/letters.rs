@@ -1,0 +1,272 @@
+//! The EMNIST-letters-like synthetic dataset: 28×28 stick-letter glyphs
+//! A–Z (26 classes).
+
+use std::f64::consts::{PI, TAU};
+
+use crate::glyph::{generate_glyph_dataset, Glyph, Stroke};
+use crate::ImageDataset;
+
+fn line(from: (f64, f64), to: (f64, f64)) -> Stroke {
+    Stroke::Line { from, to }
+}
+
+fn arc(center: (f64, f64), radii: (f64, f64), a0: f64, a1: f64) -> Stroke {
+    Stroke::Arc {
+        center,
+        radii,
+        a0,
+        a1,
+    }
+}
+
+/// The 26 letter glyph templates (index 0 = 'A').
+pub fn templates() -> Vec<Glyph> {
+    let t = 0.045;
+    // Common anchor points.
+    let top = 0.15;
+    let bot = 0.85;
+    let mid = 0.5;
+    let l = 0.3;
+    let r = 0.7;
+    let c = 0.5;
+    vec![
+        // A
+        Glyph::new(
+            vec![
+                line((l, bot), (c, top)),
+                line((c, top), (r, bot)),
+                line((0.38, 0.58), (0.62, 0.58)),
+            ],
+            t,
+        ),
+        // B
+        Glyph::new(
+            vec![
+                line((l, top), (l, bot)),
+                arc((l, 0.32), (0.22, 0.17), 1.5 * PI, 2.5 * PI),
+                arc((l, 0.67), (0.25, 0.18), 1.5 * PI, 2.5 * PI),
+            ],
+            t,
+        ),
+        // C
+        Glyph::new(vec![arc((0.55, mid), (0.25, 0.33), 0.6 * PI, 1.9 * PI)], t),
+        // D
+        Glyph::new(
+            vec![
+                line((l, top), (l, bot)),
+                arc((l, mid), (0.32, 0.35), 1.5 * PI, 2.5 * PI),
+            ],
+            t,
+        ),
+        // E
+        Glyph::new(
+            vec![
+                line((l, top), (l, bot)),
+                line((l, top), (r, top)),
+                line((l, mid), (0.62, mid)),
+                line((l, bot), (r, bot)),
+            ],
+            t,
+        ),
+        // F
+        Glyph::new(
+            vec![
+                line((l, top), (l, bot)),
+                line((l, top), (r, top)),
+                line((l, mid), (0.62, mid)),
+            ],
+            t,
+        ),
+        // G
+        Glyph::new(
+            vec![
+                arc((0.55, mid), (0.25, 0.33), 0.6 * PI, 2.0 * PI),
+                line((0.78, mid), (0.58, mid)),
+                line((0.78, mid), (0.78, 0.7)),
+            ],
+            t,
+        ),
+        // H
+        Glyph::new(
+            vec![
+                line((l, top), (l, bot)),
+                line((r, top), (r, bot)),
+                line((l, mid), (r, mid)),
+            ],
+            t,
+        ),
+        // I
+        Glyph::new(
+            vec![
+                line((c, top), (c, bot)),
+                line((0.38, top), (0.62, top)),
+                line((0.38, bot), (0.62, bot)),
+            ],
+            t,
+        ),
+        // J
+        Glyph::new(
+            vec![
+                line((0.6, top), (0.6, 0.65)),
+                arc((0.45, 0.65), (0.15, 0.18), 0.0, PI),
+            ],
+            t,
+        ),
+        // K
+        Glyph::new(
+            vec![
+                line((l, top), (l, bot)),
+                line((r, top), (l, mid)),
+                line((l, mid), (r, bot)),
+            ],
+            t,
+        ),
+        // L
+        Glyph::new(vec![line((l, top), (l, bot)), line((l, bot), (r, bot))], t),
+        // M
+        Glyph::new(
+            vec![
+                line((0.25, bot), (0.25, top)),
+                line((0.25, top), (c, 0.55)),
+                line((c, 0.55), (0.75, top)),
+                line((0.75, top), (0.75, bot)),
+            ],
+            t,
+        ),
+        // N
+        Glyph::new(
+            vec![
+                line((l, bot), (l, top)),
+                line((l, top), (r, bot)),
+                line((r, bot), (r, top)),
+            ],
+            t,
+        ),
+        // O
+        Glyph::new(vec![arc((c, mid), (0.24, 0.33), 0.0, TAU)], t),
+        // P
+        Glyph::new(
+            vec![
+                line((l, top), (l, bot)),
+                arc((l, 0.33), (0.24, 0.18), 1.5 * PI, 2.5 * PI),
+            ],
+            t,
+        ),
+        // Q
+        Glyph::new(
+            vec![
+                arc((c, mid), (0.24, 0.33), 0.0, TAU),
+                line((0.58, 0.68), (0.78, 0.88)),
+            ],
+            t,
+        ),
+        // R
+        Glyph::new(
+            vec![
+                line((l, top), (l, bot)),
+                arc((l, 0.33), (0.24, 0.18), 1.5 * PI, 2.5 * PI),
+                line((0.42, 0.5), (r, bot)),
+            ],
+            t,
+        ),
+        // S
+        Glyph::new(
+            vec![
+                arc((0.5, 0.32), (0.2, 0.17), 1.9 * PI, 0.7 * PI),
+                arc((0.5, 0.67), (0.2, 0.17), 0.9 * PI, 2.6 * PI),
+            ],
+            t,
+        ),
+        // T
+        Glyph::new(vec![line((0.25, top), (0.75, top)), line((c, top), (c, bot))], t),
+        // U
+        Glyph::new(
+            vec![
+                line((l, top), (l, 0.6)),
+                arc((c, 0.6), (0.2, 0.25), PI, TAU),
+                line((r, 0.6), (r, top)),
+            ],
+            t,
+        ),
+        // V
+        Glyph::new(vec![line((l, top), (c, bot)), line((c, bot), (r, top))], t),
+        // W
+        Glyph::new(
+            vec![
+                line((0.22, top), (0.36, bot)),
+                line((0.36, bot), (c, 0.45)),
+                line((c, 0.45), (0.64, bot)),
+                line((0.64, bot), (0.78, top)),
+            ],
+            t,
+        ),
+        // X
+        Glyph::new(vec![line((l, top), (r, bot)), line((r, top), (l, bot))], t),
+        // Y
+        Glyph::new(
+            vec![
+                line((l, top), (c, mid)),
+                line((r, top), (c, mid)),
+                line((c, mid), (c, bot)),
+            ],
+            t,
+        ),
+        // Z
+        Glyph::new(
+            vec![
+                line((l, top), (r, top)),
+                line((r, top), (l, bot)),
+                line((l, bot), (r, bot)),
+            ],
+            t,
+        ),
+    ]
+}
+
+/// Generates `total` EMNIST-like samples over 26 classes.
+pub fn generate(total: usize, seed: u64) -> ImageDataset {
+    generate_glyph_dataset("emnist-like", &templates(), total, seed, 28, 28, 0.01)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_six_templates() {
+        assert_eq!(templates().len(), 26);
+    }
+
+    #[test]
+    fn all_render_nonempty() {
+        let id = crate::Affine::identity();
+        for (i, g) in templates().iter().enumerate() {
+            let ink: f64 = g.render(28, 28, &id).sum();
+            assert!(ink > 5.0, "letter {i} nearly blank");
+        }
+    }
+
+    #[test]
+    fn pairwise_distinct() {
+        let id = crate::Affine::identity();
+        let rendered: Vec<_> = templates().iter().map(|g| g.render(28, 28, &id)).collect();
+        for i in 0..rendered.len() {
+            for j in (i + 1)..rendered.len() {
+                let diff: f64 = rendered[i]
+                    .iter()
+                    .zip(rendered[j].iter())
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                assert!(diff > 5.0, "letters {i} and {j} too similar");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_span_26_classes() {
+        let ds = generate(52, 1);
+        assert_eq!(ds.classes(), 26);
+        let distinct: std::collections::BTreeSet<usize> = ds.labels().iter().copied().collect();
+        assert_eq!(distinct.len(), 26);
+    }
+}

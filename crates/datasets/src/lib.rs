@@ -1,0 +1,54 @@
+//! # ember-datasets
+//!
+//! Deterministic, procedurally generated stand-ins for the paper's
+//! evaluation datasets (Table 1). Real MNIST/KMNIST/FMNIST/EMNIST/CIFAR/
+//! SmallNORB/MovieLens/fraud data cannot ship with this repository, so each
+//! generator synthesizes a distribution with the same dimensionality, class
+//! structure, and difficulty *shape* (see DESIGN.md §2 for the substitution
+//! argument). Every generator is a pure function of its seed.
+//!
+//! | Paper dataset | Generator | Geometry |
+//! |---|---|---|
+//! | MNIST | [`digits`] | 28×28 gray, 10 classes |
+//! | KMNIST | [`kana`] | 28×28 gray, 10 classes |
+//! | FMNIST | [`fashion`] | 28×28 gray, 10 classes |
+//! | EMNIST letters | [`letters`] | 28×28 gray, 26 classes |
+//! | CIFAR-10 | [`cifar`] | 32×32×3 color, 10 classes |
+//! | SmallNORB | [`norb`] | 32×32 gray, 5 classes |
+//! | MovieLens-100k | [`movielens`] | 943 users × 1682 items sparse ratings |
+//! | Credit-card fraud | [`fraud`] | 28 features, ~0.6% positives |
+//!
+//! # Example
+//!
+//! ```
+//! use ember_datasets::digits;
+//!
+//! let ds = digits::generate(100, 42);
+//! assert_eq!(ds.images().dim(), (100, 784));
+//! assert_eq!(ds.classes(), 10);
+//! let binary = ds.binarized(0.5);
+//! assert!(binary.images().iter().all(|&p| p == 0.0 || p == 1.0));
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cifar;
+mod dataset;
+pub mod digits;
+pub mod fashion;
+pub mod fraud;
+mod glyph;
+pub mod kana;
+pub mod letters;
+pub mod movielens;
+pub mod norb;
+mod raster;
+mod split;
+
+pub use dataset::ImageDataset;
+pub use fraud::FraudDataset;
+pub use glyph::{Affine, Glyph, Stroke};
+pub use movielens::{MovieLens, Rating};
+pub use raster::Canvas;
+pub use split::{train_test_split, SplitSets};

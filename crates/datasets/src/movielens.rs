@@ -1,0 +1,206 @@
+//! The MovieLens-100k-like synthetic rating dataset: 943 users × 1682
+//! items (the real dataset's shape), ratings 1–5 generated from a latent
+//! factor model, ~100k observed ratings.
+//!
+//! The collaborative-filtering RBM of Table 1 is `943-100`: items are the
+//! *samples* and the 943 users are the visible units (an item-based
+//! binary-preference RBM; see DESIGN.md §2 for the substitution note
+//! relative to the softmax-visible RBM of the paper's reference \[57\]).
+
+use ndarray::Array2;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Number of users (real MovieLens-100k value).
+pub const USERS: usize = 943;
+/// Number of items (real MovieLens-100k value).
+pub const ITEMS: usize = 1682;
+
+/// One observed rating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rating {
+    /// User index in `0..USERS`.
+    pub user: usize,
+    /// Item index in `0..ITEMS`.
+    pub item: usize,
+    /// Star rating in `1..=5`.
+    pub stars: u8,
+}
+
+/// The synthetic rating dataset with a train/test split.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MovieLens {
+    train: Vec<Rating>,
+    test: Vec<Rating>,
+    users: usize,
+    items: usize,
+}
+
+impl MovieLens {
+    /// Training ratings.
+    pub fn train(&self) -> &[Rating] {
+        &self.train
+    }
+
+    /// Held-out test ratings.
+    pub fn test(&self) -> &[Rating] {
+        &self.test
+    }
+
+    /// Number of users (visible units of the CF-RBM).
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// Number of items (training samples of the CF-RBM).
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// The item-based binary preference matrix from the *training* split:
+    /// row = item, column = user, entry 1 iff the user rated the item
+    /// ≥ `like_threshold` stars. This is the `(items × 943)` sample matrix
+    /// the 943-100 RBM trains on.
+    pub fn item_user_matrix(&self, like_threshold: u8) -> Array2<f64> {
+        let mut m = Array2::zeros((self.items, self.users));
+        for r in &self.train {
+            if r.stars >= like_threshold {
+                m[[r.item, r.user]] = 1.0;
+            }
+        }
+        m
+    }
+
+    /// Ratings per item in the training split (for filtering cold items).
+    pub fn train_counts_per_item(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.items];
+        for r in &self.train {
+            counts[r.item] += 1;
+        }
+        counts
+    }
+}
+
+/// Generates the dataset: `total_ratings` observations (~100k for the real
+/// scale), `test_fraction` of them held out, from a latent-factor model
+/// `r = clamp(round(3.0 + uᵀv + ε), 1, 5)` with user/item factors of
+/// dimension 6.
+///
+/// # Panics
+///
+/// Panics if `test_fraction` is outside `(0, 1)` or `total_ratings` is 0.
+pub fn generate(total_ratings: usize, test_fraction: f64, seed: u64) -> MovieLens {
+    assert!(total_ratings > 0, "need at least one rating");
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test fraction must be in (0, 1)"
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let factors = 6;
+    let normal = Normal::new(0.0, 0.45).expect("valid sigma");
+    let user_f: Vec<Vec<f64>> = (0..USERS)
+        .map(|_| (0..factors).map(|_| normal.sample(&mut rng)).collect())
+        .collect();
+    let item_f: Vec<Vec<f64>> = (0..ITEMS)
+        .map(|_| (0..factors).map(|_| normal.sample(&mut rng)).collect())
+        .collect();
+    // Per-user and per-item bias (some users rate high, some items are good).
+    let user_bias: Vec<f64> = (0..USERS).map(|_| normal.sample(&mut rng)).collect();
+    let item_bias: Vec<f64> = (0..ITEMS).map(|_| normal.sample(&mut rng)).collect();
+    let noise = Normal::new(0.0, 0.35).expect("valid sigma");
+
+    let mut seen = std::collections::HashSet::with_capacity(total_ratings * 2);
+    let mut ratings = Vec::with_capacity(total_ratings);
+    while ratings.len() < total_ratings {
+        let user = rng.random_range(0..USERS);
+        let item = rng.random_range(0..ITEMS);
+        if !seen.insert((user, item)) {
+            continue;
+        }
+        let dot: f64 = user_f[user]
+            .iter()
+            .zip(&item_f[item])
+            .map(|(a, b)| a * b)
+            .sum();
+        let raw = 3.0 + dot * 1.6 + user_bias[user] + item_bias[item] + noise.sample(&mut rng);
+        let stars = raw.round().clamp(1.0, 5.0) as u8;
+        ratings.push(Rating { user, item, stars });
+    }
+
+    // Shuffle and split.
+    for i in (1..ratings.len()).rev() {
+        let j = rng.random_range(0..=i);
+        ratings.swap(i, j);
+    }
+    let test_len = ((total_ratings as f64) * test_fraction).round() as usize;
+    let test = ratings.split_off(total_ratings - test_len);
+
+    MovieLens {
+        train: ratings,
+        test,
+        users: USERS,
+        items: ITEMS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_movielens_100k() {
+        let ml = generate(5000, 0.1, 1);
+        assert_eq!(ml.users(), 943);
+        assert_eq!(ml.items(), 1682);
+        assert_eq!(ml.train().len() + ml.test().len(), 5000);
+        assert_eq!(ml.test().len(), 500);
+    }
+
+    #[test]
+    fn ratings_in_star_range() {
+        let ml = generate(3000, 0.2, 2);
+        for r in ml.train().iter().chain(ml.test()) {
+            assert!((1..=5).contains(&r.stars));
+            assert!(r.user < USERS && r.item < ITEMS);
+        }
+    }
+
+    #[test]
+    fn ratings_use_full_scale() {
+        let ml = generate(20000, 0.1, 3);
+        let mut hist = [0usize; 6];
+        for r in ml.train() {
+            hist[r.stars as usize] += 1;
+        }
+        for s in 1..=5 {
+            assert!(hist[s] > 0, "no {s}-star ratings generated");
+        }
+        // 3 should dominate (centered model).
+        assert!(hist[3] > hist[1] && hist[3] > hist[5]);
+    }
+
+    #[test]
+    fn item_user_matrix_respects_threshold() {
+        let ml = generate(2000, 0.1, 4);
+        let m = ml.item_user_matrix(4);
+        let likes = ml.train().iter().filter(|r| r.stars >= 4).count();
+        let ones = m.iter().filter(|&&x| x == 1.0).count();
+        assert_eq!(ones, likes);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(1000, 0.1, 9), generate(1000, 0.1, 9));
+    }
+
+    #[test]
+    fn no_duplicate_user_item_pairs() {
+        let ml = generate(4000, 0.25, 5);
+        let mut seen = std::collections::HashSet::new();
+        for r in ml.train().iter().chain(ml.test()) {
+            assert!(seen.insert((r.user, r.item)), "duplicate rating");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The SmallNORB-like synthetic dataset: 32×32 grayscale renders of five
+//! geometric object categories under varying "pose" (scale, rotation) and
+//! "lighting" (global intensity) — mirroring SmallNORB's toy-object
+//! variation axes. Feeds the 36-dim (6×6) patch RBM of Table 1.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::{Canvas, ImageDataset};
+
+const SIZE: usize = 32;
+
+/// Class names, index-aligned with the labels.
+pub const CLASS_NAMES: [&str; 5] = ["ellipsoid", "box", "wedge", "cross", "ring"];
+
+fn render_object<R: Rng + ?Sized>(label: usize, rng: &mut R, c: &mut Canvas) {
+    let cx = 16.0 + rng.random_range(-2.0..=2.0);
+    let cy = 16.0 + rng.random_range(-2.0..=2.0);
+    let s = rng.random_range(0.8..=1.2);
+    let rot = rng.random_range(-0.4..=0.4f64);
+    let (sin, cos) = rot.sin_cos();
+    let rp = |dx: f64, dy: f64| -> (f64, f64) {
+        (cx + dx * cos - dy * sin, cy + dx * sin + dy * cos)
+    };
+    match label {
+        0 => c.fill_ellipse(cx, cy, 9.0 * s, 5.5 * s, 0.9),
+        1 => {
+            // A rotated box drawn as its four edges plus diagonal fill.
+            let corners = [
+                rp(-7.0 * s, -5.0 * s),
+                rp(7.0 * s, -5.0 * s),
+                rp(7.0 * s, 5.0 * s),
+                rp(-7.0 * s, 5.0 * s),
+            ];
+            for k in 0..4 {
+                c.line(corners[k], corners[(k + 1) % 4], 1.0);
+            }
+            for f in 0..10 {
+                let t = f as f64 / 9.0;
+                let a = (
+                    corners[0].0 + (corners[3].0 - corners[0].0) * t,
+                    corners[0].1 + (corners[3].1 - corners[0].1) * t,
+                );
+                let b = (
+                    corners[1].0 + (corners[2].0 - corners[1].0) * t,
+                    corners[1].1 + (corners[2].1 - corners[1].1) * t,
+                );
+                c.line(a, b, 0.8);
+            }
+        }
+        2 => {
+            // Wedge: filled triangle.
+            let a = rp(0.0, -8.0 * s);
+            let b = rp(-8.0 * s, 6.0 * s);
+            let d = rp(8.0 * s, 6.0 * s);
+            for f in 0..=12 {
+                let t = f as f64 / 12.0;
+                let p = (a.0 + (b.0 - a.0) * t, a.1 + (b.1 - a.1) * t);
+                let q = (a.0 + (d.0 - a.0) * t, a.1 + (d.1 - a.1) * t);
+                c.line(p, q, 0.9);
+            }
+        }
+        3 => {
+            c.line(rp(-9.0 * s, 0.0), rp(9.0 * s, 0.0), 2.0);
+            c.line(rp(0.0, -9.0 * s), rp(0.0, 9.0 * s), 2.0);
+        }
+        4 => c.arc(cx, cy, 8.0 * s, 8.0 * s, 0.0, std::f64::consts::TAU, 1.6),
+        _ => unreachable!("label must be < 5"),
+    }
+}
+
+/// Generates `total` SmallNORB-like samples over 5 classes.
+pub fn generate(total: usize, seed: u64) -> ImageDataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut images = ndarray::Array2::zeros((total, SIZE * SIZE));
+    let mut labels = Vec::with_capacity(total);
+    for i in 0..total {
+        let label = i % 5;
+        let mut canvas = Canvas::new(SIZE, SIZE);
+        render_object(label, &mut rng, &mut canvas);
+        let lighting = rng.random_range(0.6..=1.0);
+        let mut img = canvas.to_array();
+        img.mapv_inplace(|p| {
+            ((p * lighting) + rng.random_range(-0.03..=0.03)).clamp(0.0, 1.0)
+        });
+        images.row_mut(i).assign(&img);
+        labels.push(label);
+    }
+    ImageDataset::new("norb-like", images, labels, SIZE, SIZE, 1, 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_classes_and_patch_geometry() {
+        let ds = generate(15, 1);
+        assert_eq!(ds.classes(), 5);
+        // 6x6 patches are 36-dim, matching the 36-1024 RBM of Table 1.
+        assert_eq!(6 * 6 * ds.channels(), 36);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(10, 4), generate(10, 4));
+    }
+
+    #[test]
+    fn objects_have_ink() {
+        let ds = generate(10, 2);
+        for (i, row) in ds.images().rows().into_iter().enumerate() {
+            assert!(row.sum() > 5.0, "object {i} nearly blank");
+        }
+    }
+
+    #[test]
+    fn lighting_varies() {
+        let ds = generate(20, 3);
+        let sums: Vec<f64> = ds.images().rows().into_iter().map(|r| r.sum()).collect();
+        // Same class appears at indices 0,5,10,15 with different lighting.
+        let same_class = [sums[0], sums[5], sums[10], sums[15]];
+        let min = same_class.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = same_class.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > min * 1.05, "lighting variation too small");
+    }
+}

@@ -1,0 +1,216 @@
+use ndarray::Array1;
+
+/// A tiny grayscale software rasterizer used by all glyph/shape generators.
+///
+/// Coordinates are in pixels with `(0, 0)` the top-left corner; intensities
+/// accumulate and saturate at 1.0.
+///
+/// # Example
+///
+/// ```
+/// use ember_datasets::Canvas;
+///
+/// let mut c = Canvas::new(8, 8);
+/// c.line((1.0, 1.0), (6.0, 6.0), 0.8);
+/// assert!(c.get(3, 3) > 0.0);
+/// assert_eq!(c.get(0, 7), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Canvas {
+    width: usize,
+    height: usize,
+    pixels: Vec<f64>,
+}
+
+impl Canvas {
+    /// A black canvas of the given size.
+    pub fn new(width: usize, height: usize) -> Self {
+        Canvas {
+            width,
+            height,
+            pixels: vec![0.0; width * height],
+        }
+    }
+
+    /// Canvas width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Canvas height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Intensity at `(x, y)`; out-of-bounds reads return 0.
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        if x < self.width && y < self.height {
+            self.pixels[y * self.width + x]
+        } else {
+            0.0
+        }
+    }
+
+    /// Adds intensity at `(x, y)`, saturating at 1; out-of-bounds writes
+    /// are ignored (shapes may jitter off the edge).
+    pub fn add(&mut self, x: isize, y: isize, v: f64) {
+        if x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height {
+            let p = &mut self.pixels[y as usize * self.width + x as usize];
+            *p = (*p + v).min(1.0);
+        }
+    }
+
+    /// Stamps a filled antialiased-ish disk of radius `r` at `(cx, cy)`.
+    pub fn disk(&mut self, cx: f64, cy: f64, r: f64, v: f64) {
+        let x0 = (cx - r - 1.0).floor() as isize;
+        let x1 = (cx + r + 1.0).ceil() as isize;
+        let y0 = (cy - r - 1.0).floor() as isize;
+        let y1 = (cy + r + 1.0).ceil() as isize;
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let dx = x as f64 + 0.5 - cx;
+                let dy = y as f64 + 0.5 - cy;
+                let d = (dx * dx + dy * dy).sqrt();
+                if d <= r {
+                    self.add(x, y, v);
+                } else if d <= r + 0.7 {
+                    self.add(x, y, v * (r + 0.7 - d) / 0.7);
+                }
+            }
+        }
+    }
+
+    /// Draws a thick line segment by stamping disks along it.
+    pub fn line(&mut self, from: (f64, f64), to: (f64, f64), thickness: f64) {
+        let dx = to.0 - from.0;
+        let dy = to.1 - from.1;
+        let len = (dx * dx + dy * dy).sqrt().max(1e-9);
+        let steps = (len / 0.3).ceil() as usize;
+        for s in 0..=steps {
+            let t = s as f64 / steps as f64;
+            self.disk(from.0 + t * dx, from.1 + t * dy, thickness, 1.0);
+        }
+    }
+
+    /// Draws an elliptical arc from angle `a0` to `a1` (radians, standard
+    /// orientation) centered at `(cx, cy)` with radii `(rx, ry)`.
+    pub fn arc(&mut self, cx: f64, cy: f64, rx: f64, ry: f64, a0: f64, a1: f64, thickness: f64) {
+        let span = (a1 - a0).abs();
+        let steps = ((span * rx.max(ry)) / 0.3).ceil().max(4.0) as usize;
+        for s in 0..=steps {
+            let t = a0 + (a1 - a0) * s as f64 / steps as f64;
+            self.disk(cx + rx * t.cos(), cy + ry * t.sin(), thickness, 1.0);
+        }
+    }
+
+    /// Fills an axis-aligned rectangle.
+    pub fn fill_rect(&mut self, x0: f64, y0: f64, x1: f64, y1: f64, v: f64) {
+        let (xa, xb) = (x0.min(x1), x0.max(x1));
+        let (ya, yb) = (y0.min(y1), y0.max(y1));
+        for y in ya.floor() as isize..=yb.ceil() as isize {
+            for x in xa.floor() as isize..=xb.ceil() as isize {
+                let px = x as f64 + 0.5;
+                let py = y as f64 + 0.5;
+                if px >= xa && px <= xb && py >= ya && py <= yb {
+                    self.add(x, y, v);
+                }
+            }
+        }
+    }
+
+    /// Fills an axis-aligned ellipse.
+    pub fn fill_ellipse(&mut self, cx: f64, cy: f64, rx: f64, ry: f64, v: f64) {
+        for y in (cy - ry).floor() as isize..=(cy + ry).ceil() as isize {
+            for x in (cx - rx).floor() as isize..=(cx + rx).ceil() as isize {
+                let nx = (x as f64 + 0.5 - cx) / rx.max(1e-9);
+                let ny = (y as f64 + 0.5 - cy) / ry.max(1e-9);
+                if nx * nx + ny * ny <= 1.0 {
+                    self.add(x, y, v);
+                }
+            }
+        }
+    }
+
+    /// Flattens to a row vector (row-major).
+    pub fn to_array(&self) -> Array1<f64> {
+        Array1::from_vec(self.pixels.clone())
+    }
+
+    /// Total ink on the canvas.
+    pub fn total_intensity(&self) -> f64 {
+        self.pixels.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_canvas_is_zero() {
+        let c = Canvas::new(5, 4);
+        assert_eq!(c.total_intensity(), 0.0);
+        assert_eq!(c.to_array().len(), 20);
+    }
+
+    #[test]
+    fn disk_stamps_center() {
+        let mut c = Canvas::new(9, 9);
+        c.disk(4.5, 4.5, 2.0, 1.0);
+        assert!(c.get(4, 4) > 0.9);
+        assert_eq!(c.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn line_connects_endpoints() {
+        let mut c = Canvas::new(10, 10);
+        c.line((1.0, 5.0), (8.0, 5.0), 0.8);
+        for x in 1..=8 {
+            assert!(c.get(x, 5) > 0.5, "gap at x={x}");
+        }
+        assert_eq!(c.get(5, 0), 0.0);
+    }
+
+    #[test]
+    fn out_of_bounds_ignored() {
+        let mut c = Canvas::new(4, 4);
+        c.disk(-10.0, -10.0, 2.0, 1.0);
+        c.line((-5.0, -5.0), (-1.0, -1.0), 1.0);
+        assert!(c.total_intensity() < 1.0);
+    }
+
+    #[test]
+    fn saturation_at_one() {
+        let mut c = Canvas::new(3, 3);
+        for _ in 0..10 {
+            c.disk(1.5, 1.5, 1.0, 1.0);
+        }
+        assert!(c.get(1, 1) <= 1.0);
+    }
+
+    #[test]
+    fn fill_rect_covers_interior() {
+        let mut c = Canvas::new(8, 8);
+        c.fill_rect(2.0, 2.0, 5.0, 5.0, 1.0);
+        assert!(c.get(3, 3) > 0.9);
+        assert_eq!(c.get(6, 6), 0.0);
+    }
+
+    #[test]
+    fn fill_ellipse_covers_center_not_corner() {
+        let mut c = Canvas::new(10, 10);
+        c.fill_ellipse(5.0, 5.0, 3.0, 2.0, 1.0);
+        assert!(c.get(5, 5) > 0.9);
+        assert_eq!(c.get(8, 8), 0.0);
+    }
+
+    #[test]
+    fn arc_traces_circle() {
+        let mut c = Canvas::new(16, 16);
+        c.arc(8.0, 8.0, 5.0, 5.0, 0.0, std::f64::consts::TAU, 0.8);
+        // Points on the circle get ink; the center stays dark.
+        assert!(c.get(13, 8) > 0.3);
+        assert!(c.get(8, 13) > 0.3);
+        assert_eq!(c.get(8, 8), 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+use rand::Rng;
+
+use crate::ImageDataset;
+
+/// A train/test partition of an [`ImageDataset`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitSets {
+    /// The training portion.
+    pub train: ImageDataset,
+    /// The held-out test portion.
+    pub test: ImageDataset,
+}
+
+/// Shuffles and splits a dataset, putting `test_fraction` of the rows in
+/// the test set.
+///
+/// # Panics
+///
+/// Panics unless `0 < test_fraction < 1` and both resulting sets are
+/// non-empty.
+///
+/// # Example
+///
+/// ```
+/// use ember_datasets::{digits, train_test_split};
+/// use rand::SeedableRng;
+///
+/// let ds = digits::generate(50, 0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let split = train_test_split(&ds, 0.2, &mut rng);
+/// assert_eq!(split.train.len(), 40);
+/// assert_eq!(split.test.len(), 10);
+/// ```
+pub fn train_test_split<R: Rng + ?Sized>(
+    dataset: &ImageDataset,
+    test_fraction: f64,
+    rng: &mut R,
+) -> SplitSets {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test fraction must be in (0, 1)"
+    );
+    let shuffled = dataset.shuffled(rng);
+    let test_len = ((dataset.len() as f64) * test_fraction).round() as usize;
+    let train_len = dataset.len() - test_len;
+    assert!(
+        train_len > 0 && test_len > 0,
+        "split leaves an empty partition"
+    );
+    SplitSets {
+        train: shuffled.slice(0, train_len),
+        test: shuffled.slice(train_len, dataset.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn partitions_cover_dataset() {
+        let ds = crate::digits::generate(30, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let split = train_test_split(&ds, 0.3, &mut rng);
+        assert_eq!(split.train.len() + split.test.len(), 30);
+        assert_eq!(split.test.len(), 9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = crate::digits::generate(20, 3);
+        let a = train_test_split(&ds, 0.25, &mut rand::rngs::StdRng::seed_from_u64(7));
+        let b = train_test_split(&ds, 0.25, &mut rand::rngs::StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "test fraction")]
+    fn rejects_bad_fraction() {
+        let ds = crate::digits::generate(10, 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let _ = train_test_split(&ds, 1.5, &mut rng);
+    }
+}

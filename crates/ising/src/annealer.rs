@@ -1,0 +1,300 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{IsingProblem, SpinVec};
+
+/// A temperature schedule for simulated annealing.
+///
+/// The schedule yields one temperature per sweep; the Metropolis acceptance
+/// probability for an uphill move of `ΔE > 0` at temperature `T` is
+/// `exp(−ΔE / T)` (Kirkpatrick et al. 1983, the algorithm the paper cites as
+/// the software analogue of the Ising machine's annealing control).
+///
+/// # Example
+///
+/// ```
+/// use ember_ising::AnnealSchedule;
+///
+/// let sched = AnnealSchedule::geometric(10.0, 0.1, 5);
+/// let temps: Vec<f64> = sched.temperatures().collect();
+/// assert_eq!(temps.len(), 5);
+/// assert!(temps[0] > temps[4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnealSchedule {
+    t_start: f64,
+    t_end: f64,
+    sweeps: usize,
+}
+
+impl AnnealSchedule {
+    /// A geometric (exponentially decaying) schedule from `t_start` down to
+    /// `t_end` over `sweeps` sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either temperature is not positive or `t_end > t_start`.
+    pub fn geometric(t_start: f64, t_end: f64, sweeps: usize) -> Self {
+        assert!(
+            t_start > 0.0 && t_end > 0.0,
+            "temperatures must be positive"
+        );
+        assert!(t_end <= t_start, "schedule must cool, not heat");
+        AnnealSchedule {
+            t_start,
+            t_end,
+            sweeps,
+        }
+    }
+
+    /// A constant-temperature schedule (plain Metropolis sampling at fixed
+    /// `t` for `sweeps` sweeps). Used for Boltzmann-distribution sampling
+    /// tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not positive.
+    pub fn constant(t: f64, sweeps: usize) -> Self {
+        assert!(t > 0.0, "temperature must be positive");
+        AnnealSchedule {
+            t_start: t,
+            t_end: t,
+            sweeps,
+        }
+    }
+
+    /// Number of sweeps in the schedule.
+    pub fn sweeps(&self) -> usize {
+        self.sweeps
+    }
+
+    /// Iterator over the per-sweep temperatures.
+    pub fn temperatures(&self) -> impl Iterator<Item = f64> + '_ {
+        let n = self.sweeps;
+        let (t0, t1) = (self.t_start, self.t_end);
+        (0..n).map(move |k| {
+            if n <= 1 || t0 == t1 {
+                t0
+            } else {
+                let frac = k as f64 / (n - 1) as f64;
+                t0 * (t1 / t0).powf(frac)
+            }
+        })
+    }
+}
+
+/// The result of an annealing run: best state found and its energy, plus the
+/// per-sweep energy trace for convergence analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Best (lowest-energy) state observed during the run.
+    pub state: SpinVec,
+    /// Energy of [`Solution::state`].
+    pub energy: f64,
+    /// Energy of the *current* state after each sweep (not the best-so-far).
+    pub energy_trace: Vec<f64>,
+}
+
+/// Metropolis simulated-annealing solver: the von-Neumann baseline the paper
+/// compares nature-based substrates against (§2.1, §4.3).
+///
+/// # Example
+///
+/// ```
+/// use ember_ising::{Annealer, AnnealSchedule, generate};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let problem = generate::random_gaussian(16, 1.0, 0.0, &mut rng);
+/// let annealer = Annealer::new(AnnealSchedule::geometric(3.0, 0.05, 100));
+/// let sol = annealer.solve(&problem, &mut rng);
+/// assert_eq!(sol.energy_trace.len(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Annealer {
+    schedule: AnnealSchedule,
+}
+
+impl Annealer {
+    /// Creates an annealer with the given schedule.
+    pub fn new(schedule: AnnealSchedule) -> Self {
+        Annealer { schedule }
+    }
+
+    /// The configured schedule.
+    pub fn schedule(&self) -> &AnnealSchedule {
+        &self.schedule
+    }
+
+    /// Runs annealing from a uniformly random initial state.
+    pub fn solve<R: Rng + ?Sized>(&self, problem: &IsingProblem, rng: &mut R) -> Solution {
+        let init = SpinVec::random(problem.len(), rng);
+        self.solve_from(problem, init, rng)
+    }
+
+    /// Runs annealing from a caller-supplied initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` has the wrong length.
+    pub fn solve_from<R: Rng + ?Sized>(
+        &self,
+        problem: &IsingProblem,
+        init: SpinVec,
+        rng: &mut R,
+    ) -> Solution {
+        assert_eq!(init.len(), problem.len(), "initial state length mismatch");
+        let n = problem.len();
+        let mut state = init;
+        let mut energy = problem.energy(&state);
+        let mut best_state = state.clone();
+        let mut best_energy = energy;
+        let mut energy_trace = Vec::with_capacity(self.schedule.sweeps());
+
+        for t in self.schedule.temperatures() {
+            for _ in 0..n {
+                let i = rng.random_range(0..n);
+                let delta = problem.flip_delta(&state, i);
+                if delta <= 0.0 || rng.random::<f64>() < (-delta / t).exp() {
+                    state.flip(i);
+                    energy += delta;
+                    if energy < best_energy {
+                        best_energy = energy;
+                        best_state = state.clone();
+                    }
+                }
+            }
+            energy_trace.push(energy);
+        }
+
+        Solution {
+            state: best_state,
+            energy: best_energy,
+            energy_trace,
+        }
+    }
+
+    /// Draws `count` approximate Boltzmann samples at temperature `t` by
+    /// running Metropolis chains with `burn_in` sweeps of equilibration and
+    /// `thin` sweeps between samples.
+    ///
+    /// Used as a software reference for what the physical substrate does
+    /// "for free" (§3.3: the substrate "directly embodies" Boltzmann
+    /// statistics).
+    pub fn sample_boltzmann<R: Rng + ?Sized>(
+        &self,
+        problem: &IsingProblem,
+        t: f64,
+        count: usize,
+        burn_in: usize,
+        thin: usize,
+        rng: &mut R,
+    ) -> Vec<SpinVec> {
+        assert!(t > 0.0, "temperature must be positive");
+        let n = problem.len();
+        let mut state = SpinVec::random(n, rng);
+        let sweep = |state: &mut SpinVec, rng: &mut R| {
+            for _ in 0..n {
+                let i = rng.random_range(0..n);
+                let delta = problem.flip_delta(state, i);
+                if delta <= 0.0 || rng.random::<f64>() < (-delta / t).exp() {
+                    state.flip(i);
+                }
+            }
+        };
+        for _ in 0..burn_in {
+            sweep(&mut state, rng);
+        }
+        let mut samples = Vec::with_capacity(count);
+        for _ in 0..count {
+            for _ in 0..thin.max(1) {
+                sweep(&mut state, rng);
+            }
+            samples.push(state.clone());
+        }
+        samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schedule_is_monotone_decreasing() {
+        let sched = AnnealSchedule::geometric(5.0, 0.01, 50);
+        let temps: Vec<f64> = sched.temperatures().collect();
+        for w in temps.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!((temps[0] - 5.0).abs() < 1e-12);
+        assert!((temps[49] - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_schedule_is_flat() {
+        let temps: Vec<f64> = AnnealSchedule::constant(2.0, 4).temperatures().collect();
+        assert!(temps.iter().all(|&t| (t - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "cool")]
+    fn schedule_rejects_heating() {
+        let _ = AnnealSchedule::geometric(1.0, 2.0, 10);
+    }
+
+    #[test]
+    fn annealer_finds_ferromagnetic_ground_state() {
+        let mut b = IsingProblem::builder(10);
+        for i in 0..9 {
+            b.coupling(i, i + 1, 1.0).unwrap();
+        }
+        let p = b.build();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let annealer = Annealer::new(AnnealSchedule::geometric(3.0, 0.02, 300));
+        let sol = annealer.solve(&p, &mut rng);
+        assert!((sol.energy - (-9.0)).abs() < 1e-12, "energy {}", sol.energy);
+    }
+
+    #[test]
+    fn reported_energy_is_consistent_with_state() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let p = crate::generate::random_gaussian(12, 1.0, 0.3, &mut rng);
+        let annealer = Annealer::new(AnnealSchedule::geometric(2.0, 0.05, 100));
+        let sol = annealer.solve(&p, &mut rng);
+        assert!((p.energy(&sol.state) - sol.energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn annealer_matches_brute_force_on_small_problems() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for seed in 0..5 {
+            let mut prng = rand::rngs::StdRng::seed_from_u64(seed);
+            let p = crate::generate::random_gaussian(10, 1.0, 0.2, &mut prng);
+            let (_, ground) = p.brute_force_ground_state();
+            let annealer = Annealer::new(AnnealSchedule::geometric(4.0, 0.02, 400));
+            let sol = annealer.solve(&p, &mut rng);
+            assert!(
+                sol.energy <= ground + 1e-9,
+                "annealer energy {} worse than ground {ground}",
+                sol.energy
+            );
+        }
+    }
+
+    #[test]
+    fn boltzmann_sampling_prefers_low_energy() {
+        // Single strongly-biased spin: P(up) = σ(2h/T).
+        let mut b = IsingProblem::builder(1);
+        b.field(0, 1.0).unwrap();
+        let p = b.build();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let annealer = Annealer::new(AnnealSchedule::constant(1.0, 1));
+        let samples = annealer.sample_boltzmann(&p, 1.0, 2000, 50, 1, &mut rng);
+        let ups = samples.iter().filter(|s| s.spin(0).to_bit()).count() as f64;
+        let frac = ups / samples.len() as f64;
+        // Exact: e^1/(e^1+e^-1) = σ(2) ≈ 0.8808.
+        assert!((frac - 0.8808).abs() < 0.04, "frac {frac}");
+    }
+}

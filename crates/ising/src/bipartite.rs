@@ -1,0 +1,293 @@
+use ndarray::{Array1, Array2};
+use serde::{Deserialize, Serialize};
+
+use crate::{IsingError, IsingProblem, SpinVec};
+
+/// The bipartite special case of the Ising problem used for RBMs (§3.1,
+/// Fig. 3): `m` visible nodes couple only to `n` hidden nodes through the
+/// weight matrix `W` (`m × n`), with per-node biases.
+///
+/// Energy over *bit* variables `v ∈ {0,1}ᵐ, h ∈ {0,1}ⁿ` follows paper Eq. 3:
+///
+/// ```text
+/// E(v, h) = − vᵀ W h − bᵥᵀ v − bₕᵀ h
+/// ```
+///
+/// The paper notes the bipartite layout needs ~6× fewer coupling units than
+/// an all-to-all substrate for a 784×200 RBM; [`BipartiteProblem::coupler_count`]
+/// and [`BipartiteProblem::dense_coupler_count`] expose that comparison.
+///
+/// # Example
+///
+/// ```
+/// use ember_ising::BipartiteProblem;
+/// use ndarray::{arr1, arr2};
+///
+/// # fn main() -> Result<(), ember_ising::IsingError> {
+/// let p = BipartiteProblem::new(
+///     arr2(&[[1.0, -1.0], [0.5, 2.0]]),
+///     arr1(&[0.1, 0.2]),
+///     arr1(&[-0.3, 0.0]),
+/// )?;
+/// let e = p.energy_bits(&[true, false], &[false, true]);
+/// // E = -(W[0][1]*1*1) - bv0 - bh1 = 1.0 - 0.1 - 0.0
+/// assert!((e - 0.9).abs() < 1e-12);
+/// // 784×200 example from the paper: ~6× coupler savings.
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BipartiteProblem {
+    weights: Array2<f64>,
+    visible_bias: Array1<f64>,
+    hidden_bias: Array1<f64>,
+}
+
+impl BipartiteProblem {
+    /// Creates a bipartite problem from a weight matrix (`m × n`) and bias
+    /// vectors for the visible (`m`) and hidden (`n`) sides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsingError::DimensionMismatch`] if the bias lengths do not
+    /// match the weight matrix.
+    pub fn new(
+        weights: Array2<f64>,
+        visible_bias: Array1<f64>,
+        hidden_bias: Array1<f64>,
+    ) -> Result<Self, IsingError> {
+        let (m, n) = weights.dim();
+        if visible_bias.len() != m {
+            return Err(IsingError::DimensionMismatch {
+                expected: m,
+                actual: visible_bias.len(),
+            });
+        }
+        if hidden_bias.len() != n {
+            return Err(IsingError::DimensionMismatch {
+                expected: n,
+                actual: hidden_bias.len(),
+            });
+        }
+        Ok(BipartiteProblem {
+            weights,
+            visible_bias,
+            hidden_bias,
+        })
+    }
+
+    /// Number of visible nodes `m`.
+    pub fn visible_len(&self) -> usize {
+        self.weights.nrows()
+    }
+
+    /// Number of hidden nodes `n`.
+    pub fn hidden_len(&self) -> usize {
+        self.weights.ncols()
+    }
+
+    /// The `m × n` coupling weight matrix.
+    pub fn weights(&self) -> &Array2<f64> {
+        &self.weights
+    }
+
+    /// Visible-side biases.
+    pub fn visible_bias(&self) -> &Array1<f64> {
+        &self.visible_bias
+    }
+
+    /// Hidden-side biases.
+    pub fn hidden_bias(&self) -> &Array1<f64> {
+        &self.hidden_bias
+    }
+
+    /// Energy over bit variables (paper Eq. 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have the wrong lengths.
+    pub fn energy_bits(&self, v: &[bool], h: &[bool]) -> f64 {
+        assert_eq!(v.len(), self.visible_len(), "visible length mismatch");
+        assert_eq!(h.len(), self.hidden_len(), "hidden length mismatch");
+        let mut e = 0.0;
+        for (i, &vi) in v.iter().enumerate() {
+            if !vi {
+                continue;
+            }
+            e -= self.visible_bias[i];
+            for (j, &hj) in h.iter().enumerate() {
+                if hj {
+                    e -= self.weights[[i, j]];
+                }
+            }
+        }
+        for (j, &hj) in h.iter().enumerate() {
+            if hj {
+                e -= self.hidden_bias[j];
+            }
+        }
+        e
+    }
+
+    /// Energy with real-valued unit activations (used by analog models where
+    /// node voltages are continuous in `[0, 1]` before thresholding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays have the wrong lengths.
+    pub fn energy_real(&self, v: &Array1<f64>, h: &Array1<f64>) -> f64 {
+        assert_eq!(v.len(), self.visible_len(), "visible length mismatch");
+        assert_eq!(h.len(), self.hidden_len(), "hidden length mismatch");
+        -v.dot(&self.weights.dot(h)) - self.visible_bias.dot(v) - self.hidden_bias.dot(h)
+    }
+
+    /// Number of physical coupling units the bipartite substrate needs
+    /// (`m × n`, §3.1).
+    pub fn coupler_count(&self) -> usize {
+        self.visible_len() * self.hidden_len()
+    }
+
+    /// Number of coupling units an all-to-all substrate of the same node
+    /// count would need (`(m+n)²`, §3.1's comparison).
+    pub fn dense_coupler_count(&self) -> usize {
+        let total = self.visible_len() + self.hidden_len();
+        total * total
+    }
+
+    /// Embeds the bipartite problem into a full [`IsingProblem`] over
+    /// `m + n` **spin** variables (visible first), converting the bit-based
+    /// energy to spin form via `b = (σ+1)/2` so that for all assignments
+    /// `energy_bits(v, h) == ising.energy(σ(v) ⊕ σ(h))`.
+    pub fn to_ising(&self) -> IsingProblem {
+        let m = self.visible_len();
+        let n = self.hidden_len();
+        let total = m + n;
+        // E(b) = -Σ_ij W_ij v_i h_j - Σ bv_i v_i - Σ bh_j h_j with b=(σ+1)/2:
+        //   v_i h_j = (σ_i σ_j + σ_i + σ_j + 1)/4
+        //   v_i     = (σ_i + 1)/2
+        let mut j = Array2::<f64>::zeros((total, total));
+        let mut h = Array1::<f64>::zeros(total);
+        let mut offset = 0.0;
+        for i in 0..m {
+            h[i] += self.visible_bias[i] / 2.0;
+            offset -= self.visible_bias[i] / 2.0;
+            for k in 0..n {
+                let w = self.weights[[i, k]];
+                j[[i, m + k]] = w / 4.0;
+                j[[m + k, i]] = w / 4.0;
+                h[i] += w / 4.0;
+                h[m + k] += w / 4.0;
+                offset -= w / 4.0;
+            }
+        }
+        for k in 0..n {
+            h[m + k] += self.hidden_bias[k] / 2.0;
+            offset -= self.hidden_bias[k] / 2.0;
+        }
+        IsingProblem::from_parts(j, h, offset).expect("constructed parts are valid")
+    }
+
+    /// Splits a combined spin state (visible first) back into bit vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != visible_len() + hidden_len()`.
+    pub fn split_state(&self, state: &SpinVec) -> (Vec<bool>, Vec<bool>) {
+        let m = self.visible_len();
+        let n = self.hidden_len();
+        assert_eq!(state.len(), m + n, "combined state length mismatch");
+        let bits = state.to_bits();
+        (bits[..m].to_vec(), bits[m..].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndarray::{arr1, arr2};
+
+    fn problem() -> BipartiteProblem {
+        BipartiteProblem::new(
+            arr2(&[[1.0, -0.5], [0.25, 2.0], [-1.5, 0.75]]),
+            arr1(&[0.1, -0.2, 0.3]),
+            arr1(&[0.4, -0.6]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let p = problem();
+        assert_eq!(p.visible_len(), 3);
+        assert_eq!(p.hidden_len(), 2);
+        assert_eq!(p.coupler_count(), 6);
+        assert_eq!(p.dense_coupler_count(), 25);
+    }
+
+    #[test]
+    fn rejects_mismatched_biases() {
+        let err = BipartiteProblem::new(
+            arr2(&[[1.0, 0.0]]),
+            arr1(&[0.0, 0.0]),
+            arr1(&[0.0, 0.0]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, IsingError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn energy_bits_matches_real_on_binary_inputs() {
+        let p = problem();
+        for vc in 0u8..8 {
+            for hc in 0u8..4 {
+                let v: Vec<bool> = (0..3).map(|b| (vc >> b) & 1 == 1).collect();
+                let h: Vec<bool> = (0..2).map(|b| (hc >> b) & 1 == 1).collect();
+                let vr = Array1::from_iter(v.iter().map(|&b| if b { 1.0 } else { 0.0 }));
+                let hr = Array1::from_iter(h.iter().map(|&b| if b { 1.0 } else { 0.0 }));
+                assert!((p.energy_bits(&v, &h) - p.energy_real(&vr, &hr)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn ising_embedding_preserves_energy() {
+        let p = problem();
+        let ising = p.to_ising();
+        for vc in 0u8..8 {
+            for hc in 0u8..4 {
+                let v: Vec<bool> = (0..3).map(|b| (vc >> b) & 1 == 1).collect();
+                let h: Vec<bool> = (0..2).map(|b| (hc >> b) & 1 == 1).collect();
+                let combined: Vec<bool> = v.iter().chain(h.iter()).copied().collect();
+                let s = SpinVec::from_bits(&combined);
+                assert!(
+                    (p.energy_bits(&v, &h) - ising.energy(&s)).abs() < 1e-10,
+                    "mismatch v={v:?} h={h:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_state_roundtrip() {
+        let p = problem();
+        let s = SpinVec::from_bits(&[true, false, true, false, true]);
+        let (v, h) = p.split_state(&s);
+        assert_eq!(v, vec![true, false, true]);
+        assert_eq!(h, vec![false, true]);
+    }
+
+    #[test]
+    fn paper_784x200_coupler_savings_about_6x() {
+        let p = BipartiteProblem::new(
+            Array2::zeros((784, 200)),
+            Array1::zeros(784),
+            Array1::zeros(200),
+        )
+        .unwrap();
+        let ratio = p.dense_coupler_count() as f64 / p.coupler_count() as f64;
+        assert!(
+            (ratio - 6.17).abs() < 0.1,
+            "expected ~6x savings, got {ratio}"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or evaluating Ising problems.
+///
+/// # Example
+///
+/// ```
+/// use ember_ising::{IsingProblem, IsingError};
+///
+/// let mut builder = IsingProblem::builder(2);
+/// let err = builder.coupling(1, 1, 0.5).unwrap_err();
+/// assert!(matches!(err, IsingError::SelfCoupling(1)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IsingError {
+    /// A spin was coupled to itself, which the Hamiltonian forbids.
+    SelfCoupling(usize),
+    /// A spin index exceeded the problem size.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The number of spins in the problem.
+        len: usize,
+    },
+    /// A state vector did not match the problem dimension.
+    DimensionMismatch {
+        /// Dimension the problem expects.
+        expected: usize,
+        /// Dimension that was supplied.
+        actual: usize,
+    },
+    /// A supplied matrix was not symmetric where symmetry is required.
+    NotSymmetric {
+        /// Row of the first asymmetric entry found.
+        row: usize,
+        /// Column of the first asymmetric entry found.
+        col: usize,
+    },
+    /// A numeric parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for IsingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsingError::SelfCoupling(i) => {
+                write!(f, "spin {i} cannot be coupled to itself")
+            }
+            IsingError::IndexOutOfBounds { index, len } => {
+                write!(f, "spin index {index} out of bounds for {len} spins")
+            }
+            IsingError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            IsingError::NotSymmetric { row, col } => {
+                write!(f, "coupling matrix not symmetric at ({row}, {col})")
+            }
+            IsingError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for IsingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = IsingError::SelfCoupling(3);
+        let msg = e.to_string();
+        assert!(msg.starts_with("spin 3"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<IsingError>();
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert!(!format!(
+            "{:?}",
+            IsingError::DimensionMismatch {
+                expected: 1,
+                actual: 2
+            }
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Seeded random problem generators used by tests, examples and benches.
+//!
+//! All generators take a caller-supplied RNG so experiments are exactly
+//! reproducible from a seed.
+
+use ndarray::{Array1, Array2};
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+use crate::{IsingProblem, MaxCut};
+
+/// A dense Ising problem with i.i.d. Gaussian couplings
+/// `Jᵢⱼ ~ N(0, coupling_std²)` and fields `hᵢ ~ N(0, field_std²)`
+/// (a Sherrington–Kirkpatrick-style spin glass).
+///
+/// # Panics
+///
+/// Panics if either standard deviation is negative or not finite.
+pub fn random_gaussian<R: Rng + ?Sized>(
+    n: usize,
+    coupling_std: f64,
+    field_std: f64,
+    rng: &mut R,
+) -> IsingProblem {
+    assert!(coupling_std >= 0.0 && coupling_std.is_finite());
+    assert!(field_std >= 0.0 && field_std.is_finite());
+    let j_dist = Normal::new(0.0, coupling_std.max(f64::MIN_POSITIVE)).expect("validated std");
+    let h_dist = Normal::new(0.0, field_std.max(f64::MIN_POSITIVE)).expect("validated std");
+    let mut j = Array2::<f64>::zeros((n, n));
+    for i in 0..n {
+        for k in (i + 1)..n {
+            let v = if coupling_std == 0.0 {
+                0.0
+            } else {
+                j_dist.sample(rng)
+            };
+            j[[i, k]] = v;
+            j[[k, i]] = v;
+        }
+    }
+    let h = Array1::from_iter((0..n).map(|_| {
+        if field_std == 0.0 {
+            0.0
+        } else {
+            h_dist.sample(rng)
+        }
+    }));
+    IsingProblem::from_parts(j, h, 0.0).expect("generated parts are valid")
+}
+
+/// A dense Ising problem with couplings drawn uniformly from `{−1, +1}`
+/// on each pair with probability `density`, zero otherwise.
+///
+/// # Panics
+///
+/// Panics if `density` is outside `[0, 1]`.
+pub fn random_pm_one<R: Rng + ?Sized>(n: usize, density: f64, rng: &mut R) -> IsingProblem {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0,1]");
+    let mut j = Array2::<f64>::zeros((n, n));
+    for i in 0..n {
+        for k in (i + 1)..n {
+            if rng.random::<f64>() < density {
+                let v = if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+                j[[i, k]] = v;
+                j[[k, i]] = v;
+            }
+        }
+    }
+    IsingProblem::from_parts(j, Array1::zeros(n), 0.0).expect("generated parts are valid")
+}
+
+/// An Erdős–Rényi `G(n, p)` max-cut instance with unit edge weights.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn random_maxcut<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> MaxCut {
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0,1]");
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random::<f64>() < p {
+                edges.push((u, v, 1.0));
+            }
+        }
+    }
+    MaxCut::new(n, &edges).expect("generated edges are valid")
+}
+
+/// A ferromagnetic ring of `n` spins with coupling strength `j` — its ground
+/// states (all-up / all-down) are known analytically, making it a convenient
+/// validation problem.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ferromagnetic_ring(n: usize, j: f64) -> IsingProblem {
+    assert!(n >= 3, "a ring needs at least 3 spins");
+    let mut b = IsingProblem::builder(n);
+    for i in 0..n {
+        b.coupling(i, (i + 1) % n, j).expect("indices valid");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_problem_is_symmetric_zero_diag() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = random_gaussian(8, 1.0, 0.5, &mut rng);
+        let j = p.couplings();
+        for i in 0..8 {
+            assert_eq!(j[[i, i]], 0.0);
+            for k in 0..8 {
+                assert_eq!(j[[i, k]], j[[k, i]]);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_std_gives_zero_couplings() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let p = random_gaussian(5, 0.0, 0.0, &mut rng);
+        assert!(p.couplings().iter().all(|&v| v == 0.0));
+        assert!(p.field().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn pm_one_density_extremes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let empty = random_pm_one(6, 0.0, &mut rng);
+        assert!(empty.couplings().iter().all(|&v| v == 0.0));
+        let full = random_pm_one(6, 1.0, &mut rng);
+        for i in 0..6 {
+            for k in 0..6 {
+                if i != k {
+                    assert!(full.couplings()[[i, k]].abs() == 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a = random_gaussian(10, 1.0, 0.1, &mut rand::rngs::StdRng::seed_from_u64(9));
+        let b = random_gaussian(10, 1.0, 0.1, &mut rand::rngs::StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ring_ground_state_energy() {
+        let p = ferromagnetic_ring(6, 1.0);
+        let (_, e) = p.brute_force_ground_state();
+        assert!((e - (-6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_maxcut_edge_count_reasonable() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mc = random_maxcut(20, 0.5, &mut rng);
+        let max_edges = 20 * 19 / 2;
+        let count = mc.edges().len();
+        assert!(count > max_edges / 4 && count < 3 * max_edges / 4);
+    }
+}

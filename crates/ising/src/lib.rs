@@ -1,0 +1,66 @@
+//! # ember-ising
+//!
+//! Core Ising-model types shared by every other `ember` crate.
+//!
+//! An *Ising problem* is the Hamiltonian of a system of coupled spins
+//! `σᵢ ∈ {-1, +1}` (paper Eq. 1):
+//!
+//! ```text
+//! H(σ) = − Σ_{i<j} Jᵢⱼ σᵢ σⱼ − Σᵢ hᵢ σᵢ
+//! ```
+//!
+//! Physical Ising machines (quantum annealers, CIMs, OIMs, BRIM) seek
+//! low-energy states of this Hamiltonian. This crate provides:
+//!
+//! * [`SpinVec`] — a vector of binary spins with bit conversions,
+//! * [`IsingProblem`] — dense symmetric couplings + external field,
+//! * [`BipartiteProblem`] — the RBM-shaped special case of §3.1 where only
+//!   visible↔hidden couplings exist,
+//! * [`Qubo`] — quadratic unconstrained binary optimization problems and the
+//!   exact QUBO↔Ising transformation (`σᵢ = 2bᵢ − 1`),
+//! * [`MaxCut`] — the classic NP-complete benchmark mapped to Ising form,
+//! * [`Annealer`] — a Metropolis simulated-annealing baseline solver used as
+//!   the von-Neumann comparison point for the substrate,
+//! * [`generate`] — seeded random problem generators.
+//!
+//! # Example
+//!
+//! ```
+//! use ember_ising::{IsingProblem, SpinVec, Annealer, AnnealSchedule};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), ember_ising::IsingError> {
+//! // A 3-spin frustrated triangle: no state satisfies all couplings.
+//! let mut builder = IsingProblem::builder(3);
+//! builder.coupling(0, 1, -1.0)?;
+//! builder.coupling(1, 2, -1.0)?;
+//! builder.coupling(0, 2, -1.0)?;
+//! let problem = builder.build();
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let annealer = Annealer::new(AnnealSchedule::geometric(2.0, 0.05, 200));
+//! let solution = annealer.solve(&problem, &mut rng);
+//! assert_eq!(solution.energy, problem.energy(&solution.state));
+//! // Ground state of the frustrated triangle has energy -1.
+//! assert!((solution.energy - (-1.0)).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod annealer;
+mod bipartite;
+mod error;
+pub mod generate;
+mod maxcut;
+mod model;
+mod qubo;
+
+pub use annealer::{AnnealSchedule, Annealer, Solution};
+pub use bipartite::BipartiteProblem;
+pub use error::IsingError;
+pub use maxcut::MaxCut;
+pub use model::{IsingBuilder, IsingProblem, Spin, SpinVec};
+pub use qubo::Qubo;

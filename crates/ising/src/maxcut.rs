@@ -1,0 +1,181 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{IsingError, IsingProblem, SpinVec};
+
+/// A weighted max-cut instance over an undirected graph.
+///
+/// Max-cut is part of Karp's original NP-complete set and is the canonical
+/// benchmark for Ising machines (paper §2.1): partition the vertices into two
+/// sets maximizing the total weight of edges crossing the partition. The
+/// Ising mapping assigns `Jᵢⱼ = −wᵢⱼ` so that antiparallel spins (a cut edge)
+/// lower the energy; `cut = (W_total − H) / 2` where `W_total` is the sum of
+/// all edge weights.
+///
+/// # Example
+///
+/// ```
+/// use ember_ising::{MaxCut, SpinVec};
+///
+/// # fn main() -> Result<(), ember_ising::IsingError> {
+/// // A triangle: best cut severs 2 of the 3 edges.
+/// let mc = MaxCut::new(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])?;
+/// let partition = SpinVec::from_bits(&[true, false, true]);
+/// assert_eq!(mc.cut_value(&partition), 2.0);
+/// let ising = mc.to_ising();
+/// assert!((mc.cut_from_energy(ising.energy(&partition)) - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaxCut {
+    n: usize,
+    edges: Vec<(usize, usize, f64)>,
+    total_weight: f64,
+}
+
+impl MaxCut {
+    /// Creates a max-cut instance over `n` vertices with weighted edges.
+    ///
+    /// # Errors
+    ///
+    /// * [`IsingError::SelfCoupling`] for a self-loop edge.
+    /// * [`IsingError::IndexOutOfBounds`] for a vertex index `≥ n`.
+    pub fn new(n: usize, edges: &[(usize, usize, f64)]) -> Result<Self, IsingError> {
+        let mut total_weight = 0.0;
+        for &(u, v, w) in edges {
+            if u == v {
+                return Err(IsingError::SelfCoupling(u));
+            }
+            for &idx in &[u, v] {
+                if idx >= n {
+                    return Err(IsingError::IndexOutOfBounds { index: idx, len: n });
+                }
+            }
+            total_weight += w;
+        }
+        Ok(MaxCut {
+            n,
+            edges: edges.to_vec(),
+            total_weight,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The edge list `(u, v, weight)`.
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// The weight of edges crossing the partition encoded by `state`
+    /// (spins up on one side, down on the other).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has the wrong length.
+    pub fn cut_value(&self, state: &SpinVec) -> f64 {
+        assert_eq!(state.len(), self.n, "state length must match vertex count");
+        let s = state.values();
+        self.edges
+            .iter()
+            .map(|&(u, v, w)| if s[u] != s[v] { w } else { 0.0 })
+            .sum()
+    }
+
+    /// Maps the instance to Ising form: `Jᵢⱼ = −wᵢⱼ`, `h = 0`.
+    ///
+    /// Minimizing the resulting Hamiltonian maximizes the cut; recover the
+    /// cut with [`MaxCut::cut_from_energy`]. Parallel edges accumulate.
+    pub fn to_ising(&self) -> IsingProblem {
+        let mut accumulated: std::collections::HashMap<(usize, usize), f64> =
+            std::collections::HashMap::new();
+        for &(u, v, w) in &self.edges {
+            let key = (u.min(v), u.max(v));
+            *accumulated.entry(key).or_insert(0.0) -= w;
+        }
+        let mut builder = IsingProblem::builder(self.n);
+        for ((u, v), j) in accumulated {
+            builder
+                .coupling(u, v, j)
+                .expect("edges validated in constructor");
+        }
+        builder.build()
+    }
+
+    /// Converts an Ising energy (of the mapped problem) back to a cut value:
+    /// `cut = (W_total − H) / 2`.
+    pub fn cut_from_energy(&self, energy: f64) -> f64 {
+        (self.total_weight - energy) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_cut_matches_energy_mapping() {
+        let mc = MaxCut::new(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]).unwrap();
+        let ising = mc.to_ising();
+        for code in 0u32..8 {
+            let bits: Vec<bool> = (0..3).map(|b| (code >> b) & 1 == 1).collect();
+            let s = SpinVec::from_bits(&bits);
+            let direct = mc.cut_value(&s);
+            let via_energy = mc.cut_from_energy(ising.energy(&s));
+            assert!((direct - via_energy).abs() < 1e-12, "state {bits:?}");
+        }
+    }
+
+    #[test]
+    fn best_cut_of_triangle_is_two() {
+        let mc = MaxCut::new(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]).unwrap();
+        let ising = mc.to_ising();
+        let (_, ground) = ising.brute_force_ground_state();
+        assert!((mc.cut_from_energy(ground) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_cut() {
+        let mc = MaxCut::new(4, &[(0, 1, 2.5), (2, 3, 1.5), (0, 3, 1.0)]).unwrap();
+        let s = SpinVec::from_bits(&[true, false, true, false]);
+        // cuts (0,1) and (2,3); (0,3) also cut (true vs false).
+        assert!((mc.cut_value(&s) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mc = MaxCut::new(2, &[(0, 1, 1.0), (0, 1, 2.0)]).unwrap();
+        let ising = mc.to_ising();
+        assert!((ising.couplings()[[0, 1]] - (-3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        assert!(MaxCut::new(3, &[(1, 1, 1.0)]).is_err());
+        assert!(MaxCut::new(3, &[(0, 7, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn bisection_of_complete_graph_k4() {
+        // K4 with unit weights: max cut = 4 (2+2 split).
+        let edges: Vec<(usize, usize, f64)> = (0..4)
+            .flat_map(|u| ((u + 1)..4).map(move |v| (u, v, 1.0)))
+            .collect();
+        let mc = MaxCut::new(4, &edges).unwrap();
+        let (_, ground) = mc.to_ising().brute_force_ground_state();
+        assert!((mc.cut_from_energy(ground) - 4.0).abs() < 1e-12);
+    }
+}

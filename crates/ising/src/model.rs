@@ -1,0 +1,634 @@
+use ndarray::{Array1, Array2};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::IsingError;
+
+/// A single Ising spin, restricted to the two values `Up` (+1) and `Down` (−1).
+///
+/// # Example
+///
+/// ```
+/// use ember_ising::Spin;
+///
+/// assert_eq!(Spin::Up.value(), 1.0);
+/// assert_eq!(Spin::from_bit(false), Spin::Down);
+/// assert_eq!(Spin::Down.flipped(), Spin::Up);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Spin {
+    /// Spin value +1.
+    #[default]
+    Up,
+    /// Spin value −1.
+    Down,
+}
+
+impl Spin {
+    /// Numeric value of the spin: `+1.0` or `−1.0`.
+    #[inline]
+    pub fn value(self) -> f64 {
+        match self {
+            Spin::Up => 1.0,
+            Spin::Down => -1.0,
+        }
+    }
+
+    /// Converts a QUBO bit to a spin via `σ = 2b − 1` (paper §2.1).
+    #[inline]
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            Spin::Up
+        } else {
+            Spin::Down
+        }
+    }
+
+    /// Converts the spin back to a QUBO bit: `b = (σ + 1) / 2`.
+    #[inline]
+    pub fn to_bit(self) -> bool {
+        matches!(self, Spin::Up)
+    }
+
+    /// The opposite spin.
+    #[inline]
+    #[must_use]
+    pub fn flipped(self) -> Self {
+        match self {
+            Spin::Up => Spin::Down,
+            Spin::Down => Spin::Up,
+        }
+    }
+}
+
+impl From<bool> for Spin {
+    fn from(bit: bool) -> Self {
+        Spin::from_bit(bit)
+    }
+}
+
+/// A state vector of Ising spins.
+///
+/// Internally stores `±1.0` values so that energies are a plain dot product;
+/// the invariant that every entry is exactly `+1.0` or `−1.0` is maintained
+/// by construction.
+///
+/// # Example
+///
+/// ```
+/// use ember_ising::SpinVec;
+///
+/// let s = SpinVec::from_bits(&[true, false, true]);
+/// assert_eq!(s.len(), 3);
+/// assert_eq!(s.values()[1], -1.0);
+/// assert_eq!(s.to_bits(), vec![true, false, true]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpinVec {
+    values: Array1<f64>,
+}
+
+impl SpinVec {
+    /// Creates a state with every spin `Up`.
+    pub fn all_up(n: usize) -> Self {
+        SpinVec {
+            values: Array1::ones(n),
+        }
+    }
+
+    /// Creates a state with every spin `Down`.
+    pub fn all_down(n: usize) -> Self {
+        SpinVec {
+            values: Array1::from_elem(n, -1.0),
+        }
+    }
+
+    /// Creates a uniformly random state.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let values = Array1::from_iter((0..n).map(|_| if rng.random_bool(0.5) { 1.0 } else { -1.0 }));
+        SpinVec { values }
+    }
+
+    /// Builds a state from QUBO bits via `σ = 2b − 1`.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let values = Array1::from_iter(bits.iter().map(|&b| if b { 1.0 } else { -1.0 }));
+        SpinVec { values }
+    }
+
+    /// Builds a state from explicit spins.
+    pub fn from_spins(spins: &[Spin]) -> Self {
+        let values = Array1::from_iter(spins.iter().map(|s| s.value()));
+        SpinVec { values }
+    }
+
+    /// Builds a state from raw `±1.0` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsingError::InvalidParameter`] if any entry is not exactly
+    /// `+1.0` or `−1.0`.
+    pub fn try_from_values(values: Array1<f64>) -> Result<Self, IsingError> {
+        if values.iter().any(|&v| v != 1.0 && v != -1.0) {
+            return Err(IsingError::InvalidParameter {
+                name: "values",
+                reason: "every entry must be exactly +1.0 or -1.0",
+            });
+        }
+        Ok(SpinVec { values })
+    }
+
+    /// Number of spins.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the state holds no spins.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The spin at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn spin(&self, index: usize) -> Spin {
+        if self.values[index] > 0.0 {
+            Spin::Up
+        } else {
+            Spin::Down
+        }
+    }
+
+    /// Flips the spin at `index` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn flip(&mut self, index: usize) {
+        self.values[index] = -self.values[index];
+    }
+
+    /// Sets the spin at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set(&mut self, index: usize, spin: Spin) {
+        self.values[index] = spin.value();
+    }
+
+    /// Raw `±1.0` view, suitable for dot products.
+    pub fn values(&self) -> &Array1<f64> {
+        &self.values
+    }
+
+    /// Converts to QUBO bits (`b = (σ+1)/2`).
+    pub fn to_bits(&self) -> Vec<bool> {
+        self.values.iter().map(|&v| v > 0.0).collect()
+    }
+
+    /// Iterates over the spins.
+    pub fn iter(&self) -> impl Iterator<Item = Spin> + '_ {
+        self.values
+            .iter()
+            .map(|&v| if v > 0.0 { Spin::Up } else { Spin::Down })
+    }
+
+    /// Hamming distance to another state (number of differing spins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hamming(&self, other: &SpinVec) -> usize {
+        assert_eq!(self.len(), other.len(), "states must have equal length");
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+impl FromIterator<Spin> for SpinVec {
+    fn from_iter<I: IntoIterator<Item = Spin>>(iter: I) -> Self {
+        let values = Array1::from_iter(iter.into_iter().map(|s| s.value()));
+        SpinVec { values }
+    }
+}
+
+/// A dense Ising problem: symmetric couplings `J`, external field `h`, and a
+/// constant energy offset (used to track QUBO↔Ising equivalence exactly).
+///
+/// The Hamiltonian is `H(σ) = −½ σᵀJσ − hᵀσ + offset` where `J` is symmetric
+/// with zero diagonal, so each pair `(i, j)` with `i < j` contributes
+/// `−Jᵢⱼ σᵢ σⱼ` exactly once, matching paper Eq. 1.
+///
+/// # Example
+///
+/// ```
+/// use ember_ising::{IsingProblem, SpinVec};
+///
+/// # fn main() -> Result<(), ember_ising::IsingError> {
+/// let mut b = IsingProblem::builder(2);
+/// b.coupling(0, 1, 2.0)?.field(0, 0.5)?;
+/// let p = b.build();
+/// let s = SpinVec::from_bits(&[true, true]);
+/// // H = -J01*1*1 - h0*1 = -2.0 - 0.5
+/// assert!((p.energy(&s) - (-2.5)).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IsingProblem {
+    couplings: Array2<f64>,
+    field: Array1<f64>,
+    offset: f64,
+}
+
+impl IsingProblem {
+    /// Starts building a problem over `n` spins.
+    pub fn builder(n: usize) -> IsingBuilder {
+        IsingBuilder::new(n)
+    }
+
+    /// Constructs a problem directly from a symmetric coupling matrix and a
+    /// field vector.
+    ///
+    /// # Errors
+    ///
+    /// * [`IsingError::DimensionMismatch`] if `couplings` is not square or
+    ///   `field` has a different length.
+    /// * [`IsingError::NotSymmetric`] if `couplings` is not symmetric.
+    /// * [`IsingError::SelfCoupling`] if the diagonal is nonzero.
+    pub fn from_parts(
+        couplings: Array2<f64>,
+        field: Array1<f64>,
+        offset: f64,
+    ) -> Result<Self, IsingError> {
+        let (rows, cols) = couplings.dim();
+        if rows != cols {
+            return Err(IsingError::DimensionMismatch {
+                expected: rows,
+                actual: cols,
+            });
+        }
+        if field.len() != rows {
+            return Err(IsingError::DimensionMismatch {
+                expected: rows,
+                actual: field.len(),
+            });
+        }
+        for i in 0..rows {
+            if couplings[[i, i]] != 0.0 {
+                return Err(IsingError::SelfCoupling(i));
+            }
+            for j in (i + 1)..cols {
+                if (couplings[[i, j]] - couplings[[j, i]]).abs() > 1e-12 {
+                    return Err(IsingError::NotSymmetric { row: i, col: j });
+                }
+            }
+        }
+        Ok(IsingProblem {
+            couplings,
+            field,
+            offset,
+        })
+    }
+
+    /// Number of spins.
+    pub fn len(&self) -> usize {
+        self.field.len()
+    }
+
+    /// Whether the problem has zero spins.
+    pub fn is_empty(&self) -> bool {
+        self.field.is_empty()
+    }
+
+    /// The symmetric coupling matrix `J` (zero diagonal).
+    pub fn couplings(&self) -> &Array2<f64> {
+        &self.couplings
+    }
+
+    /// The external field `h`.
+    pub fn field(&self) -> &Array1<f64> {
+        &self.field
+    }
+
+    /// The constant energy offset.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Evaluates the Hamiltonian `H(σ) = −½ σᵀJσ − hᵀσ + offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has the wrong length.
+    pub fn energy(&self, state: &SpinVec) -> f64 {
+        assert_eq!(
+            state.len(),
+            self.len(),
+            "state length must match problem size"
+        );
+        let s = state.values();
+        let js = self.couplings.dot(s);
+        -0.5 * s.dot(&js) - self.field.dot(s) + self.offset
+    }
+
+    /// Energy change from flipping spin `i`: `ΔE = 2 σᵢ (Σⱼ Jᵢⱼ σⱼ + hᵢ)`.
+    ///
+    /// This is the `O(N)` incremental form used by annealers; it equals
+    /// `energy(flipped) − energy(state)` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds or `state` has the wrong length.
+    pub fn flip_delta(&self, state: &SpinVec, i: usize) -> f64 {
+        assert_eq!(
+            state.len(),
+            self.len(),
+            "state length must match problem size"
+        );
+        let s = state.values();
+        let local: f64 = self.couplings.row(i).dot(s);
+        2.0 * s[i] * (local + self.field[i])
+    }
+
+    /// The local field seen by spin `i`: `Σⱼ Jᵢⱼ σⱼ + hᵢ`.
+    ///
+    /// In the BRIM substrate this is the net current charging node `i`'s
+    /// capacitor (§3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds or `state` has the wrong length.
+    pub fn local_field(&self, state: &SpinVec, i: usize) -> f64 {
+        assert_eq!(state.len(), self.len());
+        self.couplings.row(i).dot(state.values()) + self.field[i]
+    }
+
+    /// Exhaustively finds a ground state by enumeration.
+    ///
+    /// Intended for validation on tiny problems only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem has more than 24 spins (enumeration would be
+    /// prohibitively slow).
+    pub fn brute_force_ground_state(&self) -> (SpinVec, f64) {
+        let n = self.len();
+        assert!(n <= 24, "brute force limited to 24 spins, got {n}");
+        let mut best_state = SpinVec::all_up(n);
+        let mut best_energy = self.energy(&best_state);
+        for code in 0u64..(1u64 << n) {
+            let bits: Vec<bool> = (0..n).map(|b| (code >> b) & 1 == 1).collect();
+            let state = SpinVec::from_bits(&bits);
+            let e = self.energy(&state);
+            if e < best_energy {
+                best_energy = e;
+                best_state = state;
+            }
+        }
+        (best_state, best_energy)
+    }
+}
+
+/// Incremental builder for [`IsingProblem`] (non-consuming, chainable).
+///
+/// # Example
+///
+/// ```
+/// use ember_ising::IsingProblem;
+///
+/// # fn main() -> Result<(), ember_ising::IsingError> {
+/// let mut b = IsingProblem::builder(3);
+/// b.coupling(0, 1, 1.0)?.coupling(1, 2, -0.5)?.field(2, 0.25)?;
+/// let p = b.build();
+/// assert_eq!(p.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IsingBuilder {
+    n: usize,
+    couplings: Array2<f64>,
+    field: Array1<f64>,
+    offset: f64,
+}
+
+impl IsingBuilder {
+    /// Creates a builder for `n` spins with zero couplings and field.
+    pub fn new(n: usize) -> Self {
+        IsingBuilder {
+            n,
+            couplings: Array2::zeros((n, n)),
+            field: Array1::zeros(n),
+            offset: 0.0,
+        }
+    }
+
+    /// Sets the symmetric coupling `Jᵢⱼ = Jⱼᵢ = value`.
+    ///
+    /// # Errors
+    ///
+    /// * [`IsingError::SelfCoupling`] if `i == j`.
+    /// * [`IsingError::IndexOutOfBounds`] if either index is out of range.
+    pub fn coupling(&mut self, i: usize, j: usize, value: f64) -> Result<&mut Self, IsingError> {
+        if i == j {
+            return Err(IsingError::SelfCoupling(i));
+        }
+        for &idx in &[i, j] {
+            if idx >= self.n {
+                return Err(IsingError::IndexOutOfBounds {
+                    index: idx,
+                    len: self.n,
+                });
+            }
+        }
+        self.couplings[[i, j]] = value;
+        self.couplings[[j, i]] = value;
+        Ok(self)
+    }
+
+    /// Sets the external field `hᵢ = value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsingError::IndexOutOfBounds`] if `i` is out of range.
+    pub fn field(&mut self, i: usize, value: f64) -> Result<&mut Self, IsingError> {
+        if i >= self.n {
+            return Err(IsingError::IndexOutOfBounds {
+                index: i,
+                len: self.n,
+            });
+        }
+        self.field[i] = value;
+        Ok(self)
+    }
+
+    /// Sets the constant energy offset.
+    pub fn offset(&mut self, value: f64) -> &mut Self {
+        self.offset = value;
+        self
+    }
+
+    /// Finalizes the problem.
+    pub fn build(&self) -> IsingProblem {
+        IsingProblem {
+            couplings: self.couplings.clone(),
+            field: self.field.clone(),
+            offset: self.offset,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn small_problem() -> IsingProblem {
+        let mut b = IsingProblem::builder(4);
+        b.coupling(0, 1, 1.0)
+            .unwrap()
+            .coupling(1, 2, -2.0)
+            .unwrap()
+            .coupling(2, 3, 0.5)
+            .unwrap()
+            .field(0, 0.3)
+            .unwrap()
+            .field(3, -0.7)
+            .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn energy_matches_pairwise_definition() {
+        let p = small_problem();
+        let s = SpinVec::from_bits(&[true, false, true, false]);
+        // Manual: -J01*(+1)(-1) - J12*(-1)(+1) - J23*(+1)(-1) - h0*(+1) - h3*(-1)
+        let expected = -(1.0 * 1.0 * -1.0) - (-2.0 * -1.0 * 1.0) - (0.5 * 1.0 * -1.0)
+            - (0.3 * 1.0)
+            - (-0.7 * -1.0);
+        assert!((p.energy(&s) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flip_delta_matches_full_recompute() {
+        let p = small_problem();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let mut s = SpinVec::random(4, &mut rng);
+            for i in 0..4 {
+                let before = p.energy(&s);
+                let delta = p.flip_delta(&s, i);
+                s.flip(i);
+                let after = p.energy(&s);
+                s.flip(i);
+                assert!(
+                    (after - before - delta).abs() < 1e-10,
+                    "delta mismatch at spin {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn builder_rejects_self_coupling_and_oob() {
+        let mut b = IsingProblem::builder(2);
+        assert_eq!(b.coupling(0, 0, 1.0).unwrap_err(), IsingError::SelfCoupling(0));
+        assert!(matches!(
+            b.coupling(0, 5, 1.0).unwrap_err(),
+            IsingError::IndexOutOfBounds { index: 5, len: 2 }
+        ));
+        assert!(matches!(
+            b.field(9, 1.0).unwrap_err(),
+            IsingError::IndexOutOfBounds { index: 9, len: 2 }
+        ));
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let j = ndarray::arr2(&[[0.0, 1.0], [2.0, 0.0]]);
+        let h = ndarray::arr1(&[0.0, 0.0]);
+        assert!(matches!(
+            IsingProblem::from_parts(j, h, 0.0).unwrap_err(),
+            IsingError::NotSymmetric { row: 0, col: 1 }
+        ));
+
+        let j = ndarray::arr2(&[[1.0, 0.0], [0.0, 0.0]]);
+        let h = ndarray::arr1(&[0.0, 0.0]);
+        assert!(matches!(
+            IsingProblem::from_parts(j, h, 0.0).unwrap_err(),
+            IsingError::SelfCoupling(0)
+        ));
+    }
+
+    #[test]
+    fn spinvec_bit_roundtrip() {
+        let bits = vec![true, false, false, true, true];
+        let s = SpinVec::from_bits(&bits);
+        assert_eq!(s.to_bits(), bits);
+    }
+
+    #[test]
+    fn spinvec_rejects_invalid_values() {
+        let v = ndarray::arr1(&[1.0, 0.5]);
+        assert!(SpinVec::try_from_values(v).is_err());
+        let v = ndarray::arr1(&[1.0, -1.0]);
+        assert!(SpinVec::try_from_values(v).is_ok());
+    }
+
+    #[test]
+    fn spinvec_flip_and_hamming() {
+        let mut s = SpinVec::all_up(3);
+        s.flip(1);
+        assert_eq!(s.spin(1), Spin::Down);
+        assert_eq!(s.hamming(&SpinVec::all_up(3)), 1);
+    }
+
+    #[test]
+    fn brute_force_finds_ferromagnetic_ground_state() {
+        // Ferromagnetic chain: ground states are all-up / all-down.
+        let mut b = IsingProblem::builder(5);
+        for i in 0..4 {
+            b.coupling(i, i + 1, 1.0).unwrap();
+        }
+        let p = b.build();
+        let (state, energy) = p.brute_force_ground_state();
+        assert!((energy - (-4.0)).abs() < 1e-12);
+        let bits = state.to_bits();
+        assert!(bits.iter().all(|&b| b == bits[0]));
+    }
+
+    #[test]
+    fn spin_conversions() {
+        assert_eq!(Spin::from_bit(true), Spin::Up);
+        assert!(Spin::Up.to_bit());
+        assert_eq!(Spin::from(false), Spin::Down);
+        assert_eq!(Spin::default(), Spin::Up);
+    }
+
+    #[test]
+    fn offset_shifts_energy_uniformly() {
+        let mut b = IsingProblem::builder(2);
+        b.coupling(0, 1, 1.0).unwrap().offset(5.0);
+        let p = b.build();
+        let s = SpinVec::all_up(2);
+        assert!((p.energy(&s) - (5.0 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_field_is_flip_delta_over_two_sigma() {
+        let p = small_problem();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let s = SpinVec::random(4, &mut rng);
+        for i in 0..4 {
+            let lf = p.local_field(&s, i);
+            let delta = p.flip_delta(&s, i);
+            assert!((delta - 2.0 * s.values()[i] * lf).abs() < 1e-12);
+        }
+    }
+}

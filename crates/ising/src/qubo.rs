@@ -1,0 +1,245 @@
+use ndarray::{Array1, Array2};
+use serde::{Deserialize, Serialize};
+
+use crate::{IsingError, IsingProblem, SpinVec};
+
+/// A quadratic unconstrained binary optimization (QUBO) problem.
+///
+/// Minimizes `f(b) = Σ_{i<j} Qᵢⱼ bᵢ bⱼ + Σᵢ Qᵢᵢ bᵢ + offset` over
+/// `b ∈ {0,1}ⁿ`, stored as a symmetric matrix whose diagonal holds the
+/// linear terms.
+///
+/// The paper (§2.1) notes that a QUBO maps to the Ising formula by the
+/// substitution `σᵢ = 2bᵢ − 1`; [`Qubo::to_ising`] performs that mapping
+/// exactly, tracking the constant offset so objective values are preserved,
+/// and [`Qubo::from_ising`] inverts it.
+///
+/// # Example
+///
+/// ```
+/// use ember_ising::{Qubo, SpinVec};
+/// use ndarray::arr2;
+///
+/// # fn main() -> Result<(), ember_ising::IsingError> {
+/// // Minimize b0 + b1 - 2 b0 b1 (both-on or both-off are optimal).
+/// let q = Qubo::new(arr2(&[[1.0, -1.0], [-1.0, 1.0]]), 0.0)?;
+/// let ising = q.to_ising();
+/// let both_on = SpinVec::from_bits(&[true, true]);
+/// assert!((ising.energy(&both_on) - q.value(&[true, true])).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Qubo {
+    /// Symmetric matrix; off-diagonal `[i][j]` and `[j][i]` each hold half…
+    /// no — both hold the same full pair coefficient; pairs are counted once.
+    matrix: Array2<f64>,
+    offset: f64,
+}
+
+impl Qubo {
+    /// Creates a QUBO from a symmetric coefficient matrix.
+    ///
+    /// Off-diagonal entry `(i, j)` (equal to `(j, i)`) is the coefficient of
+    /// the *pair* term `bᵢbⱼ` (counted once); diagonal entry `(i, i)` is the
+    /// linear coefficient of `bᵢ`.
+    ///
+    /// # Errors
+    ///
+    /// * [`IsingError::DimensionMismatch`] if the matrix is not square.
+    /// * [`IsingError::NotSymmetric`] if it is not symmetric.
+    pub fn new(matrix: Array2<f64>, offset: f64) -> Result<Self, IsingError> {
+        let (rows, cols) = matrix.dim();
+        if rows != cols {
+            return Err(IsingError::DimensionMismatch {
+                expected: rows,
+                actual: cols,
+            });
+        }
+        for i in 0..rows {
+            for j in (i + 1)..cols {
+                if (matrix[[i, j]] - matrix[[j, i]]).abs() > 1e-12 {
+                    return Err(IsingError::NotSymmetric { row: i, col: j });
+                }
+            }
+        }
+        Ok(Qubo { matrix, offset })
+    }
+
+    /// Number of binary variables.
+    pub fn len(&self) -> usize {
+        self.matrix.nrows()
+    }
+
+    /// Whether the problem has zero variables.
+    pub fn is_empty(&self) -> bool {
+        self.matrix.is_empty()
+    }
+
+    /// The symmetric coefficient matrix.
+    pub fn matrix(&self) -> &Array2<f64> {
+        &self.matrix
+    }
+
+    /// The constant offset.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Evaluates the objective on a bit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the problem size.
+    pub fn value(&self, bits: &[bool]) -> f64 {
+        assert_eq!(bits.len(), self.len(), "bit vector length mismatch");
+        let n = self.len();
+        let mut total = self.offset;
+        for (i, &bi) in bits.iter().enumerate() {
+            if !bi {
+                continue;
+            }
+            total += self.matrix[[i, i]];
+            for j in (i + 1)..n {
+                if bits[j] {
+                    total += self.matrix[[i, j]];
+                }
+            }
+        }
+        total
+    }
+
+    /// Converts to an equivalent Ising problem via `bᵢ = (σᵢ + 1)/2`.
+    ///
+    /// For every bit assignment `b` and its spin image `σ`,
+    /// `self.value(b) == ising.energy(σ)` exactly (up to floating error).
+    pub fn to_ising(&self) -> IsingProblem {
+        let n = self.len();
+        // f(b) = Σ_{i<j} Q_ij b_i b_j + Σ_i Q_ii b_i + c, with b = (σ+1)/2:
+        //   pair term: Q_ij/4 (σ_i σ_j + σ_i + σ_j + 1)
+        //   linear:    Q_ii/2 (σ_i + 1)
+        // Ising form H = -½σᵀJσ - hᵀσ + offset means J_ij = -Q_ij/4 per
+        // symmetric pair (counted once as -J_ij σ_i σ_j), h_i = -(Q_ii/2 +
+        // Σ_{j≠i} Q_ij/4).
+        let mut j = Array2::<f64>::zeros((n, n));
+        let mut h = Array1::<f64>::zeros(n);
+        let mut offset = self.offset;
+        for i in 0..n {
+            offset += self.matrix[[i, i]] / 2.0;
+            h[i] -= self.matrix[[i, i]] / 2.0;
+            for k in (i + 1)..n {
+                let q = self.matrix[[i, k]];
+                j[[i, k]] = -q / 4.0;
+                j[[k, i]] = -q / 4.0;
+                h[i] -= q / 4.0;
+                h[k] -= q / 4.0;
+                offset += q / 4.0;
+            }
+        }
+        IsingProblem::from_parts(j, h, offset)
+            .expect("construction from symmetric parts cannot fail")
+    }
+
+    /// Converts an Ising problem to an equivalent QUBO via `σᵢ = 2bᵢ − 1`.
+    ///
+    /// Inverse of [`Qubo::to_ising`]: energies are preserved exactly.
+    pub fn from_ising(ising: &IsingProblem) -> Self {
+        let n = ising.len();
+        let j = ising.couplings();
+        let h = ising.field();
+        // H = -Σ_{i<j} J_ij σ_i σ_j - Σ h_i σ_i + c, σ = 2b - 1:
+        //   σ_i σ_j = 4 b_i b_j - 2 b_i - 2 b_j + 1
+        //   σ_i     = 2 b_i - 1
+        let mut q = Array2::<f64>::zeros((n, n));
+        let mut offset = ising.offset();
+        for i in 0..n {
+            q[[i, i]] -= 2.0 * h[i];
+            offset += h[i];
+            for k in (i + 1)..n {
+                let jij = j[[i, k]];
+                q[[i, k]] -= 4.0 * jij;
+                q[[k, i]] -= 4.0 * jij;
+                q[[i, i]] += 2.0 * jij;
+                q[[k, k]] += 2.0 * jij;
+                offset -= jij;
+            }
+        }
+        Qubo { matrix: q, offset }
+    }
+
+    /// Evaluates the QUBO on the bit image of a spin state.
+    pub fn value_of_spins(&self, state: &SpinVec) -> f64 {
+        self.value(&state.to_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndarray::arr2;
+
+    fn enumerate_bits(n: usize) -> impl Iterator<Item = Vec<bool>> {
+        (0u32..(1 << n)).map(move |code| (0..n).map(|b| (code >> b) & 1 == 1).collect())
+    }
+
+    #[test]
+    fn qubo_to_ising_preserves_objective() {
+        let q = Qubo::new(
+            arr2(&[[1.0, -2.0, 0.5], [-2.0, 0.0, 3.0], [0.5, 3.0, -1.0]]),
+            0.25,
+        )
+        .unwrap();
+        let ising = q.to_ising();
+        for bits in enumerate_bits(3) {
+            let s = SpinVec::from_bits(&bits);
+            assert!(
+                (q.value(&bits) - ising.energy(&s)).abs() < 1e-10,
+                "mismatch at {bits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ising_to_qubo_preserves_energy() {
+        let mut b = IsingProblem::builder(3);
+        b.coupling(0, 1, 1.5)
+            .unwrap()
+            .coupling(1, 2, -0.75)
+            .unwrap()
+            .field(0, 0.3)
+            .unwrap()
+            .field(2, -1.1)
+            .unwrap()
+            .offset(0.4);
+        let ising = b.build();
+        let q = Qubo::from_ising(&ising);
+        for bits in enumerate_bits(3) {
+            let s = SpinVec::from_bits(&bits);
+            assert!(
+                (q.value(&bits) - ising.energy(&s)).abs() < 1e-10,
+                "mismatch at {bits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity_on_values() {
+        let q = Qubo::new(arr2(&[[2.0, 1.0], [1.0, -3.0]]), 1.0).unwrap();
+        let round = Qubo::from_ising(&q.to_ising());
+        for bits in enumerate_bits(2) {
+            assert!((q.value(&bits) - round.value(&bits)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let err = Qubo::new(arr2(&[[0.0, 1.0], [2.0, 0.0]]), 0.0).unwrap_err();
+        assert!(matches!(err, IsingError::NotSymmetric { .. }));
+    }
+
+    #[test]
+    fn value_counts_pairs_once() {
+        let q = Qubo::new(arr2(&[[0.0, 4.0], [4.0, 0.0]]), 0.0).unwrap();
+        assert!((q.value(&[true, true]) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the Ising core invariants.
+
+use ember_ising::{generate, BipartiteProblem, IsingProblem, Qubo, SpinVec};
+use ndarray::{Array1, Array2};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_problem(max_n: usize) -> impl Strategy<Value = IsingProblem> {
+    (2..=max_n, any::<u64>(), 0.0f64..2.0, 0.0f64..1.0).prop_map(|(n, seed, jstd, hstd)| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        generate::random_gaussian(n, jstd, hstd, &mut rng)
+    })
+}
+
+fn arb_bits(n: usize) -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(any::<bool>(), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flip delta must equal the full energy recomputation for every spin.
+    #[test]
+    fn flip_delta_consistent(problem in arb_problem(12), seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut state = SpinVec::random(problem.len(), &mut rng);
+        for i in 0..problem.len() {
+            let before = problem.energy(&state);
+            let delta = problem.flip_delta(&state, i);
+            state.flip(i);
+            let after = problem.energy(&state);
+            prop_assert!((after - before - delta).abs() < 1e-9);
+        }
+    }
+
+    /// Double flip returns to the original energy.
+    #[test]
+    fn double_flip_identity(problem in arb_problem(10), seed in any::<u64>(), idx in 0usize..10) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut state = SpinVec::random(problem.len(), &mut rng);
+        let i = idx % problem.len();
+        let e0 = problem.energy(&state);
+        state.flip(i);
+        state.flip(i);
+        prop_assert!((problem.energy(&state) - e0).abs() < 1e-12);
+    }
+
+    /// QUBO → Ising preserves objective values for all assignments.
+    #[test]
+    fn qubo_ising_equivalence(seed in any::<u64>(), n in 2usize..7) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dense = generate::random_gaussian(n, 1.0, 0.5, &mut rng);
+        let qubo = Qubo::from_ising(&dense);
+        let back = qubo.to_ising();
+        for code in 0u32..(1 << n) {
+            let bits: Vec<bool> = (0..n).map(|b| (code >> b) & 1 == 1).collect();
+            let s = SpinVec::from_bits(&bits);
+            let e_orig = dense.energy(&s);
+            let e_qubo = qubo.value(&bits);
+            let e_back = back.energy(&s);
+            prop_assert!((e_orig - e_qubo).abs() < 1e-8, "ising->qubo mismatch");
+            prop_assert!((e_orig - e_back).abs() < 1e-8, "roundtrip mismatch");
+        }
+    }
+
+    /// Bipartite embedding into the dense Ising form preserves energies.
+    #[test]
+    fn bipartite_embedding_equivalence(
+        seed in any::<u64>(),
+        m in 1usize..4,
+        n in 1usize..4,
+        v in arb_bits(4),
+        h in arb_bits(4),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let w = Array2::from_shape_fn((m, n), |_| rng.random::<f64>() * 2.0 - 1.0);
+        let bv = Array1::from_shape_fn(m, |_| rng.random::<f64>() - 0.5);
+        let bh = Array1::from_shape_fn(n, |_| rng.random::<f64>() - 0.5);
+        let p = BipartiteProblem::new(w, bv, bh).unwrap();
+        let ising = p.to_ising();
+        let v = &v[..m];
+        let h = &h[..n];
+        let combined: Vec<bool> = v.iter().chain(h.iter()).copied().collect();
+        let s = SpinVec::from_bits(&combined);
+        prop_assert!((p.energy_bits(v, h) - ising.energy(&s)).abs() < 1e-9);
+    }
+
+    /// Spin/bit conversion is a bijection.
+    #[test]
+    fn spin_bit_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..64)) {
+        let s = SpinVec::from_bits(&bits);
+        prop_assert_eq!(s.to_bits(), bits);
+    }
+
+    /// Hamming distance is a metric w.r.t. flips.
+    #[test]
+    fn hamming_counts_flips(bits in proptest::collection::vec(any::<bool>(), 1..32), flips in proptest::collection::vec(any::<proptest::sample::Index>(), 0..8)) {
+        let s0 = SpinVec::from_bits(&bits);
+        let mut s1 = s0.clone();
+        let mut flipped = std::collections::HashSet::new();
+        for f in flips {
+            let i = f.index(bits.len());
+            s1.flip(i);
+            if !flipped.insert(i) {
+                flipped.remove(&i);
+            }
+        }
+        prop_assert_eq!(s0.hamming(&s1), flipped.len());
+    }
+}

@@ -1,0 +1,253 @@
+use ndarray::{Array1, Array2, Axis};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ember_rbm::math::{logsumexp, sigmoid, softplus};
+use ember_rbm::Rbm;
+
+/// The result of an AIS run: the log-partition estimate and spread
+/// diagnostics over the independent chains.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AisEstimate {
+    /// `log Ẑ` of the target model.
+    pub estimate: f64,
+    /// Standard deviation of the per-chain importance weights (in log
+    /// space, computed around the estimate) — the ±3σ interval of
+    /// Salakhutdinov & Murray.
+    pub log_std: f64,
+    /// Number of chains used.
+    pub chains: usize,
+}
+
+/// Annealed importance sampling for RBM partition functions
+/// (Salakhutdinov & Murray 2008, the paper's reference \[58\]).
+///
+/// The base-rate model `p₀` has zero weights and visible biases fitted to
+/// nothing (uniform), for which `Z₀ = 2^(m+n)` exactly. A geometric ladder
+/// of `β` values interpolates `p_β(v) ∝ e^{−β F_A(v) − (1−β) F_0(v)}`; each
+/// chain alternates importance-weight accumulation and one Gibbs transition
+/// at the current temperature.
+///
+/// The mean log probability of data under the model is then
+/// `⟨−F(v)⟩ − log Ẑ` ([`Ais::mean_log_probability`]).
+///
+/// # Example
+///
+/// ```
+/// use ember_metrics::Ais;
+///
+/// let ais = Ais::new(100, 10);
+/// assert_eq!(ais.betas(), 100);
+/// assert_eq!(ais.chains(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ais {
+    betas: usize,
+    chains: usize,
+}
+
+impl Ais {
+    /// Creates an AIS estimator with `betas` intermediate temperatures and
+    /// `chains` independent particles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(betas: usize, chains: usize) -> Self {
+        assert!(betas >= 1, "need at least one temperature");
+        assert!(chains >= 1, "need at least one chain");
+        Ais { betas, chains }
+    }
+
+    /// Number of intermediate temperatures.
+    pub fn betas(&self) -> usize {
+        self.betas
+    }
+
+    /// Number of independent chains.
+    pub fn chains(&self) -> usize {
+        self.chains
+    }
+
+    /// Estimates `log Z` of `rbm`.
+    pub fn log_partition<R: Rng + ?Sized>(&self, rbm: &Rbm, rng: &mut R) -> AisEstimate {
+        let m = rbm.visible_len();
+        let n = rbm.hidden_len();
+        // Base model: zero weights, zero biases → uniform over v; its
+        // log Z is (m+n)·ln2.
+        let log_z0 = (m + n) as f64 * std::f64::consts::LN_2;
+
+        let mut log_weights = Vec::with_capacity(self.chains);
+        for _ in 0..self.chains {
+            // v ~ p0 = uniform.
+            let mut v =
+                Array1::from_shape_fn(m, |_| if rng.random_bool(0.5) { 1.0 } else { 0.0 });
+            let mut log_w = 0.0;
+            let mut beta_prev = 0.0;
+            for step in 1..=self.betas {
+                let beta = step as f64 / self.betas as f64;
+                // Importance weight: p*_{β}(v) / p*_{β_prev}(v) in logs.
+                log_w += self.log_p_star(rbm, &v, beta) - self.log_p_star(rbm, &v, beta_prev);
+                // Gibbs transition at temperature β (skip after last ratio).
+                if step < self.betas {
+                    v = self.gibbs_at_beta(rbm, &v, beta, rng);
+                }
+                beta_prev = beta;
+            }
+            log_weights.push(log_w);
+        }
+
+        let log_mean_w = logsumexp(&log_weights) - (self.chains as f64).ln();
+        let estimate = log_mean_w + log_z0;
+        let mean = log_weights.iter().sum::<f64>() / self.chains as f64;
+        let var = log_weights
+            .iter()
+            .map(|w| (w - mean).powi(2))
+            .sum::<f64>()
+            / self.chains as f64;
+        AisEstimate {
+            estimate,
+            log_std: var.sqrt(),
+            chains: self.chains,
+        }
+    }
+
+    /// `log p*_β(v)`: unnormalized log probability of the intermediate
+    /// model — the RBM with all parameters scaled by `β`, hiddens
+    /// marginalized analytically:
+    ///
+    /// ```text
+    /// log p*_β(v) = β·(b_v·v) + Σ_j softplus(β·act_j)
+    /// ```
+    ///
+    /// At `β = 0` this is the uniform base model (`p*_0(v) = 2ⁿ`, so
+    /// `Z₀ = 2^{m+n}`); at `β = 1` it is the target RBM.
+    fn log_p_star(&self, rbm: &Rbm, v: &Array1<f64>, beta: f64) -> f64 {
+        let act = rbm.weights().t().dot(v) + rbm.hidden_bias();
+        let hidden_term: f64 = act.iter().map(|&x| softplus(beta * x)).sum();
+        beta * rbm.visible_bias().dot(v) + hidden_term
+    }
+
+    /// One Gibbs sweep under the intermediate model at inverse temperature
+    /// `β`: `P(h_j|v) = σ(β·act_j)`, `P(v_i|h) = σ(β·(b_i + (Wh)_i))`.
+    fn gibbs_at_beta<R: Rng + ?Sized>(
+        &self,
+        rbm: &Rbm,
+        v: &Array1<f64>,
+        beta: f64,
+        rng: &mut R,
+    ) -> Array1<f64> {
+        let act_h = (rbm.weights().t().dot(v) + rbm.hidden_bias()) * beta;
+        let h = act_h.mapv(|x| {
+            if rng.random::<f64>() < sigmoid(x) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let act_v = (rbm.weights().dot(&h) + rbm.visible_bias()) * beta;
+        act_v.mapv(|x| {
+            if rng.random::<f64>() < sigmoid(x) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Mean log probability of `data` under `rbm`:
+    /// `⟨−F(v)⟩_data − log Ẑ` — the y-axis of Figs. 7–8.
+    pub fn mean_log_probability<R: Rng + ?Sized>(
+        &self,
+        rbm: &Rbm,
+        data: &Array2<f64>,
+        rng: &mut R,
+    ) -> f64 {
+        let log_z = self.log_partition(rbm, rng).estimate;
+        let mean_free: f64 = data
+            .axis_iter(Axis(0))
+            .map(|v| -rbm.free_energy(&v))
+            .sum::<f64>()
+            / data.nrows() as f64;
+        mean_free - log_z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ember_rbm::exact;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_on_zero_weight_model() {
+        // With W = 0 the AIS ladder is exact at any chain count: every
+        // importance ratio is deterministic.
+        let rbm = Rbm::new(5, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let est = Ais::new(50, 5).log_partition(&rbm, &mut rng);
+        let truth = exact::log_partition(&rbm);
+        assert!(
+            (est.estimate - truth).abs() < 1e-9,
+            "est {} truth {truth}",
+            est.estimate
+        );
+        assert!(est.log_std < 1e-12);
+    }
+
+    #[test]
+    fn close_to_enumeration_on_small_models() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for seed in 0..3 {
+            let mut prng = rand::rngs::StdRng::seed_from_u64(seed + 10);
+            let rbm = Rbm::random(6, 4, 0.5, &mut prng);
+            let truth = exact::log_partition(&rbm);
+            let est = Ais::new(500, 50).log_partition(&rbm, &mut rng);
+            assert!(
+                (est.estimate - truth).abs() < 0.3,
+                "seed {seed}: est {} vs {truth}",
+                est.estimate
+            );
+        }
+    }
+
+    #[test]
+    fn mean_log_probability_close_to_exact() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let rbm = Rbm::random(6, 3, 0.4, &mut rng);
+        let data = Array2::from_shape_fn((10, 6), |(i, j)| ((i + j) % 2) as f64);
+        let exact_ll = exact::mean_log_likelihood(&rbm, &data);
+        let ais_ll = Ais::new(400, 40).mean_log_probability(&rbm, &data, &mut rng);
+        assert!(
+            (ais_ll - exact_ll).abs() < 0.3,
+            "ais {ais_ll} vs exact {exact_ll}"
+        );
+    }
+
+    #[test]
+    fn more_betas_reduce_bias() {
+        // Coarse ladders overestimate variance; check the fine ladder is at
+        // least as close on average.
+        let mut prng = rand::rngs::StdRng::seed_from_u64(20);
+        let rbm = Rbm::random(6, 4, 0.8, &mut prng);
+        let truth = exact::log_partition(&rbm);
+        let mut err_coarse = 0.0;
+        let mut err_fine = 0.0;
+        for seed in 0..5 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            err_coarse += (Ais::new(10, 30).log_partition(&rbm, &mut rng).estimate - truth).abs();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            err_fine += (Ais::new(300, 30).log_partition(&rbm, &mut rng).estimate - truth).abs();
+        }
+        assert!(
+            err_fine <= err_coarse + 0.2,
+            "fine {err_fine} vs coarse {err_coarse}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_zero_chains() {
+        let _ = Ais::new(10, 0);
+    }
+}

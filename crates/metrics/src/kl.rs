@@ -1,0 +1,146 @@
+//! KL divergence and CDF helpers for the Appendix A bias study (Fig. 11).
+
+use ndarray::Array1;
+
+/// `D_KL(p ‖ q) = Σᵢ pᵢ ln(pᵢ/qᵢ)` in nats.
+///
+/// Zero-probability entries of `p` contribute nothing; zero entries of `q`
+/// where `p > 0` yield `+∞` (the divergence is genuinely infinite there).
+///
+/// # Panics
+///
+/// Panics if the distributions have different lengths, negative entries, or
+/// do not each sum to 1 within `1e-6`.
+///
+/// # Example
+///
+/// ```
+/// use ember_metrics::kl_divergence;
+/// use ndarray::arr1;
+///
+/// let p = arr1(&[0.5, 0.5]);
+/// let q = arr1(&[0.9, 0.1]);
+/// let d = kl_divergence(&p, &q);
+/// assert!(d > 0.0);
+/// assert_eq!(kl_divergence(&p, &p), 0.0);
+/// ```
+pub fn kl_divergence(p: &Array1<f64>, q: &Array1<f64>) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution lengths differ");
+    assert!(
+        p.iter().all(|&x| x >= 0.0) && q.iter().all(|&x| x >= 0.0),
+        "probabilities must be non-negative"
+    );
+    assert!((p.sum() - 1.0).abs() < 1e-6, "p must sum to 1");
+    assert!((q.sum() - 1.0).abs() < 1e-6, "q must sum to 1");
+    let mut total = 0.0;
+    for (&pi, &qi) in p.iter().zip(q.iter()) {
+        if pi == 0.0 {
+            continue;
+        }
+        if qi == 0.0 {
+            return f64::INFINITY;
+        }
+        total += pi * (pi / qi).ln();
+    }
+    total.max(0.0)
+}
+
+/// KL divergence from an empirical training distribution (the "ground
+/// truth" of the Appendix A methodology) to a model's visible
+/// distribution: `D_KL(data ‖ model)`.
+///
+/// `data_hist` is a count/frequency histogram over the same state indexing
+/// as `model_dist` (little-endian bit codes); it is normalized internally.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or `data_hist` sums to zero.
+pub fn kl_to_ground_truth(data_hist: &Array1<f64>, model_dist: &Array1<f64>) -> f64 {
+    assert_eq!(data_hist.len(), model_dist.len(), "length mismatch");
+    let total = data_hist.sum();
+    assert!(total > 0.0, "empty data histogram");
+    let p = data_hist.mapv(|c| c / total);
+    kl_divergence(&p, model_dist)
+}
+
+/// Empirical CDF points of a sample set: returns `(sorted_values,
+/// cumulative_fractions)` — every point `(x, y)` says "`y` of the runs had
+/// a value of `x` or less" (Fig. 11's presentation).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains NaN.
+pub fn empirical_cdf(values: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    assert!(!values.is_empty(), "need at least one value");
+    assert!(values.iter().all(|v| !v.is_nan()), "NaN in CDF input");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let n = sorted.len() as f64;
+    let fractions = (1..=sorted.len()).map(|i| i as f64 / n).collect();
+    (sorted, fractions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndarray::arr1;
+
+    #[test]
+    fn kl_nonnegative_and_zero_iff_equal() {
+        let p = arr1(&[0.2, 0.3, 0.5]);
+        let q = arr1(&[0.3, 0.3, 0.4]);
+        assert!(kl_divergence(&p, &q) > 0.0);
+        assert_eq!(kl_divergence(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn kl_asymmetric() {
+        let p = arr1(&[0.9, 0.1]);
+        let q = arr1(&[0.5, 0.5]);
+        let pq = kl_divergence(&p, &q);
+        let qp = kl_divergence(&q, &p);
+        assert!((pq - qp).abs() > 1e-3);
+    }
+
+    #[test]
+    fn kl_infinite_on_missing_support() {
+        let p = arr1(&[0.5, 0.5]);
+        let q = arr1(&[1.0, 0.0]);
+        assert!(kl_divergence(&p, &q).is_infinite());
+    }
+
+    #[test]
+    fn kl_handles_zero_p_entries() {
+        let p = arr1(&[1.0, 0.0]);
+        let q = arr1(&[0.5, 0.5]);
+        let d = kl_divergence(&p, &q);
+        assert!((d - (1.0f64 / 0.5).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ground_truth_normalizes_histogram() {
+        let hist = arr1(&[30.0, 10.0, 0.0, 0.0]);
+        let model = arr1(&[0.25, 0.25, 0.25, 0.25]);
+        let d = kl_to_ground_truth(&hist, &model);
+        let p = arr1(&[0.75, 0.25, 0.0, 0.0]);
+        assert!((d - kl_divergence(&p, &model)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let (xs, ys) = empirical_cdf(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(xs, vec![1.0, 2.0, 2.0, 3.0]);
+        assert!((ys.last().unwrap() - 1.0).abs() < 1e-12);
+        for w in ys.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_unnormalized() {
+        let p = arr1(&[0.5, 0.2]);
+        let q = arr1(&[0.5, 0.5]);
+        let _ = kl_divergence(&p, &q);
+    }
+}

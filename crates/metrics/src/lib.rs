@@ -1,0 +1,46 @@
+//! # ember-metrics
+//!
+//! The evaluation metrics of the paper's §4.1:
+//!
+//! * [`Ais`] — annealed importance sampling (Salakhutdinov & Murray 2008)
+//!   to estimate the RBM partition function, giving the "average log
+//!   probability of the training samples" of Figs. 7–8;
+//! * [`kl_divergence`] / [`kl_to_ground_truth`] — the Appendix A bias
+//!   study's distance between a trained model and an enumerated ground
+//!   truth (Fig. 11);
+//! * [`RocCurve`] — receiver operating characteristic and AUC for the
+//!   anomaly-detection benchmark (Fig. 10);
+//! * [`mean_absolute_error`] — the recommendation-system error metric
+//!   (Fig. 9, Table 4);
+//! * [`MovingAverage`] — the 10-point smoothing of Fig. 8;
+//! * [`empirical_cdf`] — the CDF presentation of Fig. 11.
+//!
+//! # Example: AIS on a tiny model vs. exact enumeration
+//!
+//! ```
+//! use ember_metrics::Ais;
+//! use ember_rbm::{exact, Rbm};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let rbm = Rbm::random(6, 4, 0.4, &mut rng);
+//! let ais = Ais::new(200, 30);
+//! let est = ais.log_partition(&rbm, &mut rng);
+//! let truth = exact::log_partition(&rbm);
+//! assert!((est.estimate - truth).abs() < 0.3);
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ais;
+mod kl;
+mod regression;
+mod roc;
+mod smooth;
+
+pub use ais::{Ais, AisEstimate};
+pub use kl::{empirical_cdf, kl_divergence, kl_to_ground_truth};
+pub use regression::{mean_absolute_error, root_mean_squared_error};
+pub use roc::RocCurve;
+pub use smooth::MovingAverage;

@@ -1,0 +1,86 @@
+//! Rating-prediction error metrics for the recommendation-system
+//! benchmark (Fig. 9, Table 4).
+
+/// Mean absolute error between predictions and targets.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+///
+/// # Example
+///
+/// ```
+/// use ember_metrics::mean_absolute_error;
+///
+/// let mae = mean_absolute_error(&[1.0, 2.0], &[1.5, 1.0]);
+/// assert!((mae - 0.75).abs() < 1e-12);
+/// ```
+pub fn mean_absolute_error(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        targets.len(),
+        "prediction/target length mismatch"
+    );
+    assert!(!predictions.is_empty(), "need at least one prediction");
+    predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Root mean squared error between predictions and targets.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+///
+/// # Example
+///
+/// ```
+/// use ember_metrics::root_mean_squared_error;
+///
+/// let rmse = root_mean_squared_error(&[0.0, 0.0], &[3.0, 4.0]);
+/// assert!((rmse - (12.5f64).sqrt()).abs() < 1e-12);
+/// ```
+pub fn root_mean_squared_error(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        targets.len(),
+        "prediction/target length mismatch"
+    );
+    assert!(!predictions.is_empty(), "need at least one prediction");
+    (predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t).powi(2))
+        .sum::<f64>()
+        / predictions.len() as f64)
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_on_exact_predictions() {
+        let xs = [1.0, -2.0, 3.5];
+        assert_eq!(mean_absolute_error(&xs, &xs), 0.0);
+        assert_eq!(root_mean_squared_error(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn rmse_at_least_mae() {
+        let p = [1.0, 2.0, 3.0, 4.0];
+        let t = [1.5, 1.0, 4.5, 2.0];
+        assert!(root_mean_squared_error(&p, &t) >= mean_absolute_error(&p, &t));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        let _ = mean_absolute_error(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,170 @@
+use serde::{Deserialize, Serialize};
+
+/// A receiver operating characteristic curve with its AUC — the
+/// anomaly-detection metric of Fig. 10 / Table 4.
+///
+/// Build from `(score, is_positive)` pairs where *higher scores mean more
+/// anomalous* (for RBM anomaly detection the score is the free energy of
+/// the sample, high free energy = poorly modeled = anomalous).
+///
+/// # Example
+///
+/// ```
+/// use ember_metrics::RocCurve;
+///
+/// // Perfect separation: positives all score higher.
+/// let scores = [0.9, 0.8, 0.2, 0.1];
+/// let labels = [true, true, false, false];
+/// let roc = RocCurve::new(&scores, &labels);
+/// assert!((roc.auc() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocCurve {
+    false_positive_rates: Vec<f64>,
+    true_positive_rates: Vec<f64>,
+    auc: f64,
+}
+
+impl RocCurve {
+    /// Computes the curve by sweeping a threshold over the sorted scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, are empty, contain NaN, or
+    /// contain only one class.
+    pub fn new(scores: &[f64], labels: &[bool]) -> Self {
+        assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+        assert!(!scores.is_empty(), "need at least one sample");
+        assert!(scores.iter().all(|s| !s.is_nan()), "NaN score");
+        let positives = labels.iter().filter(|&&l| l).count();
+        let negatives = labels.len() - positives;
+        assert!(
+            positives > 0 && negatives > 0,
+            "need both positive and negative samples"
+        );
+
+        // Sort by descending score; sweep thresholds between distinct
+        // scores, counting cumulative TP/FP.
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("no NaN"));
+
+        let mut fprs = vec![0.0];
+        let mut tprs = vec![0.0];
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut idx = 0;
+        while idx < order.len() {
+            // Process ties together so the curve is threshold-consistent.
+            let score = scores[order[idx]];
+            while idx < order.len() && scores[order[idx]] == score {
+                if labels[order[idx]] {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                idx += 1;
+            }
+            fprs.push(fp as f64 / negatives as f64);
+            tprs.push(tp as f64 / positives as f64);
+        }
+
+        // Trapezoidal AUC.
+        let mut auc = 0.0;
+        for w in fprs.windows(2).zip(tprs.windows(2)) {
+            let (fw, tw) = w;
+            auc += (fw[1] - fw[0]) * (tw[0] + tw[1]) / 2.0;
+        }
+
+        RocCurve {
+            false_positive_rates: fprs,
+            true_positive_rates: tprs,
+            auc,
+        }
+    }
+
+    /// Area under the curve, in `[0, 1]`.
+    pub fn auc(&self) -> f64 {
+        self.auc
+    }
+
+    /// The FPR axis points (including the (0,0) and (1,1) endpoints).
+    pub fn false_positive_rates(&self) -> &[f64] {
+        &self.false_positive_rates
+    }
+
+    /// The TPR axis points.
+    pub fn true_positive_rates(&self) -> &[f64] {
+        &self.true_positive_rates
+    }
+
+    /// The curve as `(fpr, tpr)` pairs for plotting.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.false_positive_rates
+            .iter()
+            .zip(&self.true_positive_rates)
+            .map(|(&f, &t)| (f, t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn perfect_and_inverted_classifiers() {
+        let scores = [0.9, 0.8, 0.7, 0.2, 0.1];
+        let labels = [true, true, true, false, false];
+        assert!((RocCurve::new(&scores, &labels).auc() - 1.0).abs() < 1e-12);
+        let inverted: Vec<bool> = labels.iter().map(|l| !l).collect();
+        assert!(RocCurve::new(&scores, &inverted).auc() < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_give_half_auc() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let scores: Vec<f64> = (0..4000).map(|_| rng.random::<f64>()).collect();
+        let labels: Vec<bool> = (0..4000).map(|_| rng.random_bool(0.3)).collect();
+        let auc = RocCurve::new(&scores, &labels).auc();
+        assert!((auc - 0.5).abs() < 0.03, "auc {auc}");
+    }
+
+    #[test]
+    fn auc_invariant_under_monotone_transform() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let scores: Vec<f64> = (0..200).map(|_| rng.random::<f64>() * 4.0 - 2.0).collect();
+        let labels: Vec<bool> = scores
+            .iter()
+            .map(|&s| s + 0.5 * rng.random::<f64>() > 0.0)
+            .collect();
+        let auc1 = RocCurve::new(&scores, &labels).auc();
+        let transformed: Vec<f64> = scores.iter().map(|&s| (s * 2.0).exp()).collect();
+        let auc2 = RocCurve::new(&transformed, &labels).auc();
+        assert!((auc1 - auc2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ties_handled_consistently() {
+        // All scores equal: AUC must be exactly 0.5.
+        let scores = [1.0, 1.0, 1.0, 1.0];
+        let labels = [true, false, true, false];
+        assert!((RocCurve::new(&scores, &labels).auc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_endpoints() {
+        let scores = [0.3, 0.6, 0.1];
+        let labels = [true, false, true];
+        let roc = RocCurve::new(&scores, &labels);
+        let pts = roc.points();
+        assert_eq!(pts.first(), Some(&(0.0, 0.0)));
+        assert_eq!(pts.last(), Some(&(1.0, 1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "both positive and negative")]
+    fn rejects_single_class() {
+        let _ = RocCurve::new(&[0.1, 0.2], &[true, true]);
+    }
+}

@@ -1,0 +1,94 @@
+use serde::{Deserialize, Serialize};
+
+/// Moving-average smoothing of a trace — Fig. 8 smooths the log-probability
+/// trajectories "using a moving average of 10 points".
+///
+/// # Example
+///
+/// ```
+/// use ember_metrics::MovingAverage;
+///
+/// let smoothed = MovingAverage::new(2).apply(&[1.0, 3.0, 5.0, 7.0]);
+/// assert_eq!(smoothed, vec![1.0, 2.0, 4.0, 6.0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MovingAverage {
+    window: usize,
+}
+
+impl MovingAverage {
+    /// Creates a smoother with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "window must be at least 1");
+        MovingAverage { window }
+    }
+
+    /// The window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Smooths the trace: output `i` is the mean of the last
+    /// `min(i+1, window)` inputs (warm-up uses the available prefix).
+    pub fn apply(&self, trace: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(trace.len());
+        let mut sum = 0.0;
+        for (i, &x) in trace.iter().enumerate() {
+            sum += x;
+            if i >= self.window {
+                sum -= trace[i - self.window];
+            }
+            let count = (i + 1).min(self.window);
+            out.push(sum / count as f64);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_one_is_identity() {
+        let xs = [4.0, -1.0, 2.5];
+        assert_eq!(MovingAverage::new(1).apply(&xs), xs.to_vec());
+    }
+
+    #[test]
+    fn constant_input_unchanged() {
+        let xs = [2.0; 20];
+        assert!(MovingAverage::new(10)
+            .apply(&xs)
+            .iter()
+            .all(|&y| (y - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn smooths_alternating_noise() {
+        let xs: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let smoothed = MovingAverage::new(10).apply(&xs);
+        // After warm-up, a window of 10 over ±1 alternation averages to 0.
+        assert!(smoothed[20..].iter().all(|&y| y.abs() < 1e-12));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(MovingAverage::new(5).apply(&[]).is_empty());
+    }
+
+    #[test]
+    fn matches_naive_windowed_mean() {
+        let xs: Vec<f64> = (0..25).map(|i| (i as f64 * 0.7).sin()).collect();
+        let got = MovingAverage::new(7).apply(&xs);
+        for i in 0..xs.len() {
+            let lo = i.saturating_sub(6);
+            let expected = xs[lo..=i].iter().sum::<f64>() / (i - lo + 1) as f64;
+            assert!((got[i] - expected).abs() < 1e-12, "index {i}");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of the metric implementations.
+
+use ember_metrics::{
+    empirical_cdf, kl_divergence, mean_absolute_error, Ais, MovingAverage, RocCurve,
+};
+use ember_rbm::{exact, Rbm};
+use ndarray::Array1;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_distribution(len: usize) -> impl Strategy<Value = Array1<f64>> {
+    proptest::collection::vec(0.01f64..1.0, len).prop_map(|raw| {
+        let sum: f64 = raw.iter().sum();
+        Array1::from_iter(raw.into_iter().map(|x| x / sum))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Gibbs' inequality: KL ≥ 0, zero iff equal.
+    #[test]
+    fn kl_nonnegative(p in arb_distribution(8), q in arb_distribution(8)) {
+        let d = kl_divergence(&p, &q);
+        prop_assert!(d >= 0.0);
+        prop_assert!(kl_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    /// AUC is within [0, 1] and invariant under strictly monotone score
+    /// transformations.
+    #[test]
+    fn auc_bounds_and_invariance(
+        scores in proptest::collection::vec(-10.0f64..10.0, 4..40),
+        flips in any::<u64>(),
+    ) {
+        let labels: Vec<bool> = (0..scores.len()).map(|i| (flips >> (i % 64)) & 1 == 1).collect();
+        prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+        let auc = RocCurve::new(&scores, &labels).auc();
+        prop_assert!((0.0..=1.0).contains(&auc));
+        let transformed: Vec<f64> = scores.iter().map(|s| s.exp() + 1.0).collect();
+        let auc2 = RocCurve::new(&transformed, &labels).auc();
+        prop_assert!((auc - auc2).abs() < 1e-9);
+    }
+
+    /// A moving average stays within [min, max] of its input.
+    #[test]
+    fn moving_average_bounded(xs in proptest::collection::vec(-5.0f64..5.0, 1..50), w in 1usize..12) {
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let smoothed = MovingAverage::new(w).apply(&xs);
+        prop_assert_eq!(smoothed.len(), xs.len());
+        prop_assert!(smoothed.iter().all(|&y| y >= min - 1e-12 && y <= max + 1e-12));
+    }
+
+    /// The empirical CDF is monotone, in [0,1], and sorted.
+    #[test]
+    fn cdf_monotone(xs in proptest::collection::vec(-100.0f64..100.0, 1..64)) {
+        let (vals, fracs) = empirical_cdf(&xs);
+        prop_assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(fracs.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!((fracs.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    /// MAE is translation-covariant: shifting predictions by c shifts the
+    /// error by at most |c|.
+    #[test]
+    fn mae_triangle(preds in proptest::collection::vec(-5.0f64..5.0, 1..20), c in -3.0f64..3.0) {
+        let targets: Vec<f64> = preds.iter().map(|p| p * 0.9).collect();
+        let base = mean_absolute_error(&preds, &targets);
+        let shifted: Vec<f64> = preds.iter().map(|p| p + c).collect();
+        let moved = mean_absolute_error(&shifted, &targets);
+        prop_assert!(moved <= base + c.abs() + 1e-12);
+        prop_assert!(moved >= base - c.abs() - 1e-12);
+    }
+
+    /// AIS is exact on factorized (zero-weight) models of any size.
+    #[test]
+    fn ais_exact_on_factorized(m in 2usize..8, n in 1usize..6, seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rbm = Rbm::new(m, n);
+        // Biases only: model stays factorized, AIS ratios stay exact in
+        // expectation with tiny variance.
+        use rand::Rng;
+        for b in rbm.visible_bias_mut().iter_mut() {
+            *b = rng.random_range(-1.0..1.0);
+        }
+        let est = Ais::new(60, 8).log_partition(&rbm, &mut rng);
+        let truth = exact::log_partition(&rbm);
+        prop_assert!((est.estimate - truth).abs() < 0.2, "est {} truth {}", est.estimate, truth);
+    }
+}

@@ -1,0 +1,113 @@
+use serde::Serialize;
+
+/// One evaluation workload: the RBM (or greedy DBN stack) shape of
+/// Table 1 plus the training regime of Figures 5–6 (batch 500, CD-10).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Benchmark {
+    /// Display name, matching Fig. 5's x-axis labels.
+    pub name: &'static str,
+    /// RBM layers `(visible, hidden)`; DBN workloads list each greedily
+    /// trained layer (the final 10/26-way softmax head is host-side in
+    /// every configuration and excluded, as in the paper).
+    pub layers: Vec<(usize, usize)>,
+    /// Training-set size (samples per epoch).
+    pub samples: usize,
+    /// Minibatch size (500 in Figs. 5–6).
+    pub batch: usize,
+    /// Gibbs steps per negative phase on the von-Neumann/GS path.
+    pub k: usize,
+}
+
+impl Benchmark {
+    /// Total coupler count `Σ mᵢ·nᵢ`.
+    pub fn coupler_count(&self) -> usize {
+        self.layers.iter().map(|&(m, n)| m * n).sum()
+    }
+
+    /// Total node count `Σ (mᵢ+nᵢ)` (layers are trained one at a time, so
+    /// the substrate must fit the largest layer; this sum is used for
+    /// per-sample trajectory lengths).
+    pub fn node_count(&self) -> usize {
+        self.layers.iter().map(|&(m, n)| m + n).sum()
+    }
+
+    /// The widest layer's node count — what the physical array must fit.
+    pub fn max_layer_nodes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|&(m, n)| m + n)
+            .max()
+            .expect("benchmarks have at least one layer")
+    }
+
+    /// Bytes of visible data streamed per sample (first-layer width; 8-bit
+    /// values).
+    pub fn sample_bytes(&self) -> usize {
+        self.layers.first().map(|&(m, _)| m).unwrap_or(0)
+    }
+}
+
+/// The eleven benchmarks of Figures 5–6, with the shapes of Table 1
+/// (training regime: 60k samples, batch 500, CD-10).
+pub fn paper_benchmarks() -> Vec<Benchmark> {
+    let mk = |name, layers: Vec<(usize, usize)>| Benchmark {
+        name,
+        layers,
+        samples: 60_000,
+        batch: 500,
+        k: 10,
+    };
+    vec![
+        mk("MNIST_RBM", vec![(784, 200)]),
+        mk("KMNIST_RBM", vec![(784, 500)]),
+        mk("FMNIST_RBM", vec![(784, 784)]),
+        mk("EMNIST_RBM", vec![(784, 1024)]),
+        mk("SmallNorb_RBM", vec![(36, 1024)]),
+        mk("CIFAR10_RBM", vec![(108, 1024)]),
+        mk("MNIST_DBN", vec![(784, 500), (500, 500)]),
+        mk("KMNIST_DBN", vec![(784, 500), (500, 1000)]),
+        mk("FMNIST_DBN", vec![(784, 784), (784, 1000)]),
+        mk("EMNIST_DBN", vec![(784, 784), (784, 784)]),
+        mk("RC_RBM", vec![(943, 100)]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_benchmarks_matching_fig5() {
+        let bs = paper_benchmarks();
+        assert_eq!(bs.len(), 11);
+        assert_eq!(bs[0].name, "MNIST_RBM");
+        assert_eq!(bs[0].layers, vec![(784, 200)]);
+        assert_eq!(bs[10].name, "RC_RBM");
+    }
+
+    #[test]
+    fn helper_counts() {
+        let b = Benchmark {
+            name: "t",
+            layers: vec![(784, 200), (200, 100)],
+            samples: 10,
+            batch: 5,
+            k: 1,
+        };
+        assert_eq!(b.coupler_count(), 784 * 200 + 200 * 100);
+        assert_eq!(b.node_count(), 984 + 300);
+        assert_eq!(b.max_layer_nodes(), 984);
+        assert_eq!(b.sample_bytes(), 784);
+    }
+
+    #[test]
+    fn dbn_configs_match_table1() {
+        let bs = paper_benchmarks();
+        let mnist_dbn = bs.iter().find(|b| b.name == "MNIST_DBN").unwrap();
+        // 784-500-500-10 => RBM layers 784x500, 500x500.
+        assert_eq!(mnist_dbn.layers, vec![(784, 500), (500, 500)]);
+        let emnist_dbn = bs.iter().find(|b| b.name == "EMNIST_DBN").unwrap();
+        // 784-784-784-26.
+        assert_eq!(emnist_dbn.layers, vec![(784, 784), (784, 784)]);
+    }
+}

@@ -1,0 +1,124 @@
+use serde::{Deserialize, Serialize};
+
+use crate::area::{bgf_power_w, gs_power_w};
+use crate::{
+    bgf_time, gpu_time, gs_time, tpu_time, Benchmark, BGF_STREAM_J_PER_BIT, GPU_POWER_W,
+    GS_LINK_J_PER_BIT, TPU_POWER_W,
+};
+
+/// Per-phase energy decomposition of one training run, joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Energy burned in the analog substrate.
+    pub substrate_j: f64,
+    /// Energy burned on the digital host.
+    pub host_j: f64,
+    /// Link/streaming energy.
+    pub comm_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.substrate_j + self.host_j + self.comm_j
+    }
+}
+
+/// Full-software training energy on the TPU v1 (joules).
+pub fn tpu_energy(b: &Benchmark) -> f64 {
+    tpu_time(b) * TPU_POWER_W
+}
+
+/// Full-software training energy on the Tesla T4 (joules).
+pub fn gpu_energy(b: &Benchmark) -> f64 {
+    gpu_time(b) * GPU_POWER_W
+}
+
+/// GS training energy: host runs at TPU busy power during its share,
+/// the substrate at its component-model power during settles, and each
+/// transferred bit costs PCIe-class energy.
+pub fn gs_energy(b: &Benchmark) -> EnergyBreakdown {
+    let t = gs_time(b);
+    let mut substrate_power = 0.0;
+    for &(m, n) in &b.layers {
+        substrate_power += gs_power_w(m, n);
+    }
+    let comm_bytes: f64 = b
+        .layers
+        .iter()
+        .map(|&(m, n)| {
+            ((2 * m + 2 * n) as f64 + (m * n) as f64 / b.batch as f64) * b.samples as f64
+        })
+        .sum();
+    EnergyBreakdown {
+        substrate_j: t.substrate_s * substrate_power,
+        host_j: t.host_s * TPU_POWER_W,
+        comm_j: comm_bytes * 8.0 * GS_LINK_J_PER_BIT,
+    }
+}
+
+/// BGF training energy: substrate power during the relaxation passes,
+/// streaming energy per sample bit, no host compute.
+pub fn bgf_energy(b: &Benchmark) -> EnergyBreakdown {
+    let t = bgf_time(b);
+    let mut substrate_power = 0.0;
+    for &(m, n) in &b.layers {
+        substrate_power += bgf_power_w(m, n);
+    }
+    let stream_bytes: f64 = b
+        .layers
+        .iter()
+        .map(|&(m, _)| m as f64 * b.samples as f64)
+        .sum();
+    EnergyBreakdown {
+        substrate_j: t.substrate_s * substrate_power,
+        host_j: 0.0,
+        comm_j: stream_bytes * 8.0 * BGF_STREAM_J_PER_BIT,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_benchmarks;
+
+    #[test]
+    fn energy_ordering_matches_fig6() {
+        for b in paper_benchmarks() {
+            let tpu = tpu_energy(&b);
+            let gs = gs_energy(&b).total();
+            let bgf = bgf_energy(&b).total();
+            assert!(tpu > gs, "{}: TPU {tpu} vs GS {gs}", b.name);
+            assert!(gs > bgf, "{}: GS {gs} vs BGF {bgf}", b.name);
+        }
+    }
+
+    #[test]
+    fn tpu_to_bgf_energy_about_1000x() {
+        let mut logsum = 0.0;
+        let bs = paper_benchmarks();
+        for b in &bs {
+            logsum += (tpu_energy(b) / bgf_energy(b).total()).ln();
+        }
+        let geomean = (logsum / bs.len() as f64).exp();
+        assert!(
+            geomean > 300.0 && geomean < 4000.0,
+            "TPU/BGF energy geomean {geomean}, expected ≈1000"
+        );
+    }
+
+    #[test]
+    fn gpu_energy_worst() {
+        for b in paper_benchmarks() {
+            assert!(gpu_energy(&b) > tpu_energy(&b), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn bgf_energy_has_no_host_component() {
+        let b = &paper_benchmarks()[0];
+        let e = bgf_energy(b);
+        assert_eq!(e.host_j, 0.0);
+        assert!(e.substrate_j > 0.0 && e.comm_j > 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! # ember-perf
+//!
+//! Analytic performance, energy and area models that regenerate the
+//! paper's architecture-level results: Figure 5 (execution time), Figure 6
+//! (energy), Table 2 (component area/power), and Table 3 (accelerator
+//! TOPS/mm², TOPS/W).
+//!
+//! The paper's own numbers come from datasheet arithmetic plus Cadence
+//! component models (§4.1); this crate mirrors that: a handful of
+//! documented calibration constants (utilizations, link bandwidths,
+//! per-bit energies, per-phase-point duration) feed closed-form
+//! workload models. Absolute values are theirs to disagree with — the
+//! *shape* (who wins, by what factor, where communication bites) is the
+//! reproduction target, and the tests pin that shape.
+//!
+//! # Example
+//!
+//! ```
+//! use ember_perf::{paper_benchmarks, tpu_time, bgf_time};
+//!
+//! let mnist = &paper_benchmarks()[0];
+//! let speedup = tpu_time(mnist) / bgf_time(mnist).total();
+//! assert!(speedup > 10.0 && speedup < 80.0);
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod benchmark;
+mod energy;
+mod report;
+mod timing;
+
+pub use area::{
+    bgf_area_mm2, bgf_components, bgf_power_w, gibbs_components, gs_area_mm2, gs_power_w,
+    Component, ComponentTable, Scaling,
+};
+pub use benchmark::{paper_benchmarks, Benchmark};
+pub use energy::{bgf_energy, gpu_energy, gs_energy, tpu_energy, EnergyBreakdown};
+pub use report::{fig5_rows, fig6_rows, geomean, table3_rows, AccelRow, NormalizedRow};
+pub use timing::{bgf_time, gpu_time, gs_time, tpu_time, TimeBreakdown};
+
+/// Duration of one substrate phase point (integration step), seconds.
+/// §3.3: "each taking roughly a dozen picoseconds on average".
+pub const PHASE_POINT_S: f64 = 12e-12;
+
+/// TPU v1 peak throughput (ops/s) and busy power (W), from Jouppi et al.
+/// 2017 (92 TOPS peak; ~40 W measured busy power).
+pub const TPU_PEAK_OPS: f64 = 92e12;
+/// TPU v1 busy power in watts.
+pub const TPU_POWER_W: f64 = 40.0;
+/// Effective TPU utilization on these small-matrix CD-k workloads.
+/// TPU v1 reaches its peak only on large 256×256-friendly matmuls; RBM
+/// layers (≤ 784×1024, batch 500) keep the MXU partially fed.
+pub const TPU_UTILIZATION: f64 = 0.035;
+
+/// Tesla T4 peak FP16 throughput (ops/s) and board power (W).
+pub const GPU_PEAK_OPS: f64 = 65e12;
+/// T4 board power in watts.
+pub const GPU_POWER_W: f64 = 70.0;
+/// Effective T4 utilization on the same workloads (small kernels, kernel
+/// launch overheads): GPUs fare worse than the TPU here, as in Fig. 5.
+pub const GPU_UTILIZATION: f64 = 0.012;
+
+/// Host↔substrate link bandwidth for the GS architecture (bytes/s) — a
+/// PCIe-class effective bandwidth.
+pub const GS_LINK_BYTES_PER_S: f64 = 8e9;
+/// Energy per transferred bit over the GS host link (PCIe-class, J/bit).
+pub const GS_LINK_J_PER_BIT: f64 = 10e-12;
+
+/// Sample-streaming bandwidth into the BGF's visible latches (bytes/s) —
+/// an on-board, DTC-fed interface.
+pub const BGF_STREAM_BYTES_PER_S: f64 = 100e9;
+/// Energy per streamed bit including the DTC conversion and latch drive
+/// (J/bit).
+pub const BGF_STREAM_J_PER_BIT: f64 = 20e-12;
+
+/// Effective TPU utilization on the GS host's residual work. The
+/// gradient-accumulation GEMMs (`VᵀH` outer-product batches) are skinnier
+/// than the forward/sampling matmuls and run below the full-pipeline
+/// efficiency.
+pub const GS_HOST_UTILIZATION: f64 = 0.023;
+
+/// Phase points for one clamped conditional settle on the GS substrate.
+pub const GS_SETTLE_PP: f64 = 100.0;
+
+/// BGF positive-phase settle: one parallel relaxation pass, whose
+/// trajectory length scales with the node count (§3.3 equates the
+/// s-step Markov chain with a trajectory of ≈ s phase points).
+pub const BGF_SETTLE_PASSES: f64 = 1.0;
+/// BGF negative-phase anneal: a short random walk worth ≈ 3 passes.
+pub const BGF_ANNEAL_PASSES: f64 = 3.0;
+
+/// Effective MAC rate of the BGF coupling mesh for the Table 3
+/// "effective TOPS" accounting: the analog array behaves like an `N²`
+/// MAC array at this equivalent update rate.
+pub const BGF_EFFECTIVE_MESH_HZ: f64 = 0.5e9;

@@ -1,0 +1,181 @@
+use serde::Serialize;
+
+use crate::area::bgf_components;
+use crate::{
+    bgf_energy, bgf_time, gpu_energy, gpu_time, gs_energy, gs_time, paper_benchmarks,
+    tpu_energy, tpu_time, BGF_EFFECTIVE_MESH_HZ,
+};
+
+/// One row of Figure 5 / Figure 6: values normalized to BGF.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct NormalizedRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// TPU v1 normalized to BGF.
+    pub tpu: f64,
+    /// Gibbs sampler normalized to BGF.
+    pub gs: f64,
+    /// Tesla T4 normalized to BGF.
+    pub gpu: f64,
+}
+
+/// Geometric mean of a slice of positive values.
+///
+/// # Panics
+///
+/// Panics on an empty slice or non-positive entries.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    assert!(values.iter().all(|&v| v > 0.0), "geomean needs positives");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// The rows of Figure 5: execution time of TPU/GS/GPU normalized over BGF
+/// for every benchmark, plus a final `GeoMean` row.
+pub fn fig5_rows() -> Vec<NormalizedRow> {
+    let mut rows: Vec<NormalizedRow> = paper_benchmarks()
+        .iter()
+        .map(|b| {
+            let bgf = bgf_time(b).total();
+            NormalizedRow {
+                name: b.name,
+                tpu: tpu_time(b) / bgf,
+                gs: gs_time(b).total() / bgf,
+                gpu: gpu_time(b) / bgf,
+            }
+        })
+        .collect();
+    push_geomean(&mut rows);
+    rows
+}
+
+/// The rows of Figure 6: energy of TPU/GS/GPU normalized over BGF.
+pub fn fig6_rows() -> Vec<NormalizedRow> {
+    let mut rows: Vec<NormalizedRow> = paper_benchmarks()
+        .iter()
+        .map(|b| {
+            let bgf = bgf_energy(b).total();
+            NormalizedRow {
+                name: b.name,
+                tpu: tpu_energy(b) / bgf,
+                gs: gs_energy(b).total() / bgf,
+                gpu: gpu_energy(b) / bgf,
+            }
+        })
+        .collect();
+    push_geomean(&mut rows);
+    rows
+}
+
+fn push_geomean(rows: &mut Vec<NormalizedRow>) {
+    let tpu = geomean(&rows.iter().map(|r| r.tpu).collect::<Vec<_>>());
+    let gs = geomean(&rows.iter().map(|r| r.gs).collect::<Vec<_>>());
+    let gpu = geomean(&rows.iter().map(|r| r.gpu).collect::<Vec<_>>());
+    rows.push(NormalizedRow {
+        name: "GeoMean",
+        tpu,
+        gs,
+        gpu,
+    });
+}
+
+/// One row of Table 3: effective compute density and efficiency.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AccelRow {
+    /// Accelerator name.
+    pub name: &'static str,
+    /// Effective TOPS per mm².
+    pub tops_per_mm2: f64,
+    /// Effective TOPS per watt.
+    pub tops_per_w: f64,
+}
+
+/// The rows of Table 3. TPU v1/v4 and TIMELY values are the published
+/// numbers the paper quotes; the BGF row is *derived* from this crate's
+/// area/power model and the effective mesh MAC rate.
+pub fn table3_rows() -> Vec<AccelRow> {
+    let n = 1600;
+    let eff_ops = 2.0 * (n * n) as f64 * BGF_EFFECTIVE_MESH_HZ; // MAC = 2 ops
+    // Square-array accounting, same as Table 2's columns.
+    let area: f64 = bgf_components().iter().map(|c| c.area_mm2(n)).sum();
+    let power: f64 = bgf_components().iter().map(|c| c.power_mw(n)).sum::<f64>() / 1000.0;
+    vec![
+        AccelRow {
+            name: "TPU (v1)",
+            tops_per_mm2: 1.16,
+            tops_per_w: 2.30,
+        },
+        AccelRow {
+            name: "TPU (v4)",
+            tops_per_mm2: 1.91,
+            tops_per_w: 1.62,
+        },
+        AccelRow {
+            name: "TIMELY",
+            tops_per_mm2: 38.3,
+            tops_per_w: 21.0,
+        },
+        AccelRow {
+            name: "BGF (1600x1600)",
+            tops_per_mm2: eff_ops / 1e12 / area,
+            tops_per_w: eff_ops / 1e12 / power,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_geomeans_match_paper_shape() {
+        let rows = fig5_rows();
+        let gm = rows.last().expect("geomean row");
+        assert_eq!(gm.name, "GeoMean");
+        assert!(gm.tpu > 15.0 && gm.tpu < 60.0, "TPU/BGF {}", gm.tpu);
+        assert!(gm.gs < gm.tpu, "GS must beat TPU");
+        assert!(gm.gpu > gm.tpu, "GPU must trail TPU");
+        // GS ≈ TPU/2.
+        let gs_speedup = gm.tpu / gm.gs;
+        assert!(gs_speedup > 1.4 && gs_speedup < 3.0, "GS speedup {gs_speedup}");
+    }
+
+    #[test]
+    fn fig6_geomeans_match_paper_shape() {
+        let rows = fig6_rows();
+        let gm = rows.last().expect("geomean row");
+        assert!(gm.tpu > 300.0 && gm.tpu < 4000.0, "TPU/BGF energy {}", gm.tpu);
+        assert!(gm.gs > 1.0 && gm.gs < gm.tpu);
+    }
+
+    #[test]
+    fn table3_bgf_row_close_to_paper() {
+        let rows = table3_rows();
+        let bgf = rows.last().expect("bgf row");
+        // Paper: 119 TOPS/mm², 3657 TOPS/W.
+        assert!(
+            (bgf.tops_per_mm2 - 119.0).abs() / 119.0 < 0.25,
+            "TOPS/mm2 {}",
+            bgf.tops_per_mm2
+        );
+        assert!(
+            (bgf.tops_per_w - 3657.0).abs() / 3657.0 < 0.3,
+            "TOPS/W {}",
+            bgf.tops_per_w
+        );
+        // And it dominates the digital accelerators on efficiency.
+        assert!(bgf.tops_per_w > 100.0 * rows[0].tops_per_w);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_benchmark_has_rows() {
+        assert_eq!(fig5_rows().len(), 12); // 11 benchmarks + geomean
+        assert_eq!(fig6_rows().len(), 12);
+    }
+}

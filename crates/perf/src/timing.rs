@@ -1,0 +1,191 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    Benchmark, BGF_ANNEAL_PASSES, BGF_SETTLE_PASSES, BGF_STREAM_BYTES_PER_S, GPU_PEAK_OPS,
+    GPU_UTILIZATION, GS_HOST_UTILIZATION, GS_LINK_BYTES_PER_S, GS_SETTLE_PP, PHASE_POINT_S,
+    TPU_PEAK_OPS, TPU_UTILIZATION,
+};
+
+/// Per-phase time decomposition of one training run, seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Time spent in the analog substrate.
+    pub substrate_s: f64,
+    /// Time spent computing on the digital host.
+    pub host_s: f64,
+    /// Host↔substrate communication time.
+    pub comm_s: f64,
+}
+
+impl TimeBreakdown {
+    /// Total wall-clock time.
+    pub fn total(&self) -> f64 {
+        self.substrate_s + self.host_s + self.comm_s
+    }
+
+    /// Fraction of the *host-waiting* time (host + comm) spent on
+    /// communication — the paper notes this is about a quarter for GS.
+    pub fn comm_fraction_of_wait(&self) -> f64 {
+        let wait = self.host_s + self.comm_s;
+        if wait == 0.0 {
+            0.0
+        } else {
+            self.comm_s / wait
+        }
+    }
+}
+
+/// Digital training ops for one sample of one layer `(m, n)` under CD-k:
+/// one hidden inference, `2k` sampling matvecs, gradient accumulation and
+/// update (`(2k+4)·m·n` MACs = `(4k+8)·m·n` ops).
+fn cd_ops_per_sample(m: usize, n: usize, k: usize) -> f64 {
+    ((2 * k + 4) * 2 * m * n) as f64
+}
+
+/// Host-side ops per sample when the substrate does the sampling (GS):
+/// only the two batched outer-product accumulations and the amortized
+/// update survive (`4·m·n` MACs = `8·m·n` ops).
+fn gs_host_ops_per_sample(m: usize, n: usize) -> f64 {
+    (8 * m * n) as f64
+}
+
+/// Full-software training time on the TPU v1 host (seconds).
+pub fn tpu_time(b: &Benchmark) -> f64 {
+    let eff = TPU_PEAK_OPS * TPU_UTILIZATION;
+    let ops: f64 = b
+        .layers
+        .iter()
+        .map(|&(m, n)| cd_ops_per_sample(m, n, b.k) * b.samples as f64)
+        .sum();
+    ops / eff
+}
+
+/// Full-software training time on the Tesla T4 (seconds).
+pub fn gpu_time(b: &Benchmark) -> f64 {
+    let eff = GPU_PEAK_OPS * GPU_UTILIZATION;
+    let ops: f64 = b
+        .layers
+        .iter()
+        .map(|&(m, n)| cd_ops_per_sample(m, n, b.k) * b.samples as f64)
+        .sum();
+    ops / eff
+}
+
+/// GS training time (§3.2): substrate does `2k+1` clamped settles per
+/// sample; host does gradient accumulation/update; the link carries the
+/// per-sample reads (`h⁺`, final `v⁻`, `h⁻`) plus per-batch programming.
+pub fn gs_time(b: &Benchmark) -> TimeBreakdown {
+    let eff = TPU_PEAK_OPS * GS_HOST_UTILIZATION;
+    let mut t = TimeBreakdown::default();
+    for &(m, n) in &b.layers {
+        let per_sample_substrate = (2 * b.k + 1) as f64 * GS_SETTLE_PP * PHASE_POINT_S;
+        let per_sample_host = gs_host_ops_per_sample(m, n) / eff;
+        // Write the clamp (m), read h⁺ (n), read final v⁻/h⁻ (m + n), plus
+        // the per-batch weight programming amortized per sample.
+        let per_sample_bytes = (2 * m + 2 * n) as f64 + (m * n) as f64 / b.batch as f64;
+        let per_sample_comm = per_sample_bytes / GS_LINK_BYTES_PER_S;
+        t.substrate_s += per_sample_substrate * b.samples as f64;
+        t.host_s += per_sample_host * b.samples as f64;
+        t.comm_s += per_sample_comm * b.samples as f64;
+    }
+    t
+}
+
+/// BGF training time (§3.3): per sample, one positive-phase relaxation
+/// pass plus a short annealed walk (trajectory lengths scale with the
+/// layer's node count), with the host only streaming the sample bytes.
+/// The one-time ADC read-out at the end is charged to comm.
+pub fn bgf_time(b: &Benchmark) -> TimeBreakdown {
+    let mut t = TimeBreakdown::default();
+    for &(m, n) in &b.layers {
+        let passes = BGF_SETTLE_PASSES + BGF_ANNEAL_PASSES;
+        let per_sample_substrate = passes * (m + n) as f64 * PHASE_POINT_S;
+        let per_sample_comm = m as f64 / BGF_STREAM_BYTES_PER_S;
+        t.substrate_s += per_sample_substrate * b.samples as f64;
+        t.comm_s += per_sample_comm * b.samples as f64;
+        // Final read-out: 2(mn + m + n) ADC words, once.
+        t.comm_s += (2 * (m * n + m + n)) as f64 / GS_LINK_BYTES_PER_S;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_benchmarks;
+
+    fn mnist() -> Benchmark {
+        paper_benchmarks().into_iter().next().expect("non-empty")
+    }
+
+    #[test]
+    fn tpu_slower_than_gs_slower_than_bgf() {
+        for b in paper_benchmarks() {
+            let tpu = tpu_time(&b);
+            let gs = gs_time(&b).total();
+            let bgf = bgf_time(&b).total();
+            assert!(tpu > gs, "{}: TPU {tpu} vs GS {gs}", b.name);
+            assert!(gs > bgf, "{}: GS {gs} vs BGF {bgf}", b.name);
+        }
+    }
+
+    #[test]
+    fn gpu_slower_than_tpu() {
+        for b in paper_benchmarks() {
+            assert!(gpu_time(&b) > tpu_time(&b), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn gs_speedup_over_tpu_about_two() {
+        // Paper: "BGF has 29x geometric mean speedup over TPU, whereas GS
+        // has 2x".
+        let mut logsum = 0.0;
+        let bs = paper_benchmarks();
+        for b in &bs {
+            logsum += (tpu_time(b) / gs_time(b).total()).ln();
+        }
+        let geomean = (logsum / bs.len() as f64).exp();
+        assert!(
+            geomean > 1.4 && geomean < 3.0,
+            "GS geomean speedup {geomean}, expected ≈2"
+        );
+    }
+
+    #[test]
+    fn bgf_speedup_over_tpu_about_29() {
+        let mut logsum = 0.0;
+        let bs = paper_benchmarks();
+        for b in &bs {
+            logsum += (tpu_time(b) / bgf_time(b).total()).ln();
+        }
+        let geomean = (logsum / bs.len() as f64).exp();
+        assert!(
+            geomean > 15.0 && geomean < 60.0,
+            "BGF geomean speedup {geomean}, expected ≈29"
+        );
+    }
+
+    #[test]
+    fn gs_comm_is_meaningful_fraction_of_wait() {
+        // "communication ... amounts to about a quarter of time GS spends
+        // waiting for host".
+        let frac = gs_time(&mnist()).comm_fraction_of_wait();
+        assert!(frac > 0.1 && frac < 0.5, "comm fraction {frac}");
+    }
+
+    #[test]
+    fn bgf_host_time_is_zero() {
+        let t = bgf_time(&mnist());
+        assert_eq!(t.host_s, 0.0);
+        assert!(t.substrate_s > 0.0);
+    }
+
+    #[test]
+    fn times_scale_with_samples() {
+        let mut b = mnist();
+        let t1 = tpu_time(&b);
+        b.samples *= 2;
+        assert!((tpu_time(&b) / t1 - 2.0).abs() < 1e-9);
+    }
+}

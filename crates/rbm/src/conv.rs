@@ -1,0 +1,305 @@
+use ndarray::{Array1, Array2, ArrayView1, Axis};
+use serde::{Deserialize, Serialize};
+
+use crate::Rbm;
+
+/// Extracts all patches of `patch × patch × channels` from a batch of
+/// flattened `height × width × channels` images (row-major, channel-last),
+/// sliding with the given stride.
+///
+/// This is the front end of the single-layer convolutional-RBM pipeline the
+/// paper applies to CIFAR10 (6×6×3 = 108-dim patches) and SmallNORB
+/// (6×6 = 36-dim patches), following Coates et al. 2011.
+///
+/// Returns a `(num_images × positions, patch_len)` matrix, patches of one
+/// image stored contiguously in row-major position order.
+///
+/// # Panics
+///
+/// Panics if the image length does not factor as `height × width ×
+/// channels`, or the patch does not fit.
+pub fn extract_patches(
+    images: &Array2<f64>,
+    height: usize,
+    width: usize,
+    channels: usize,
+    patch: usize,
+    stride: usize,
+) -> Array2<f64> {
+    assert_eq!(
+        images.ncols(),
+        height * width * channels,
+        "image length must equal height*width*channels"
+    );
+    assert!(patch <= height && patch <= width, "patch must fit image");
+    assert!(stride >= 1, "stride must be at least 1");
+    let pos_y = (height - patch) / stride + 1;
+    let pos_x = (width - patch) / stride + 1;
+    let patch_len = patch * patch * channels;
+    let mut out = Array2::zeros((images.nrows() * pos_y * pos_x, patch_len));
+    for (img_idx, img) in images.axis_iter(Axis(0)).enumerate() {
+        let mut pos = 0;
+        for py in 0..pos_y {
+            for px in 0..pos_x {
+                let row_idx = img_idx * pos_y * pos_x + pos;
+                let mut col = 0;
+                for dy in 0..patch {
+                    for dx in 0..patch {
+                        for c in 0..channels {
+                            let y = py * stride + dy;
+                            let x = px * stride + dx;
+                            out[[row_idx, col]] = img[(y * width + x) * channels + c];
+                            col += 1;
+                        }
+                    }
+                }
+                pos += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Binarizes patches against their own mean — the cheap contrast
+/// normalization that lets a binary RBM model gray/color patches.
+pub fn binarize_patches(patches: &Array2<f64>) -> Array2<f64> {
+    let mut out = patches.clone();
+    for mut row in out.axis_iter_mut(Axis(0)) {
+        let mean = row.sum() / row.len() as f64;
+        row.mapv_inplace(|x| if x > mean { 1.0 } else { 0.0 });
+    }
+    out
+}
+
+/// The Coates-style "conv-RBM" feature pipeline (§4.1): a patch-level RBM
+/// swept over the image, hidden activations average-pooled over a 2×2
+/// spatial grid, yielding a `4 × hidden` feature vector per image for the
+/// classifier head.
+///
+/// # Example
+///
+/// ```
+/// use ember_rbm::{PatchPipeline, Rbm};
+/// use ndarray::Array2;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let rbm = Rbm::random(4, 8, 0.1, &mut rng); // 2x2x1 patches
+/// let pipe = PatchPipeline::new(rbm, 6, 6, 1, 2, 2);
+/// let images = Array2::zeros((3, 36));
+/// let feats = pipe.features_batch(&images);
+/// assert_eq!(feats.dim(), (3, 4 * 8));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatchPipeline {
+    rbm: Rbm,
+    height: usize,
+    width: usize,
+    channels: usize,
+    patch: usize,
+    stride: usize,
+}
+
+impl PatchPipeline {
+    /// Wraps a patch-trained RBM with its sweep geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the RBM's visible size differs from
+    /// `patch × patch × channels`, or the patch does not fit the image.
+    pub fn new(
+        rbm: Rbm,
+        height: usize,
+        width: usize,
+        channels: usize,
+        patch: usize,
+        stride: usize,
+    ) -> Self {
+        assert_eq!(
+            rbm.visible_len(),
+            patch * patch * channels,
+            "RBM visible size must match the patch volume"
+        );
+        assert!(patch <= height && patch <= width, "patch must fit image");
+        assert!(stride >= 1, "stride must be at least 1");
+        PatchPipeline {
+            rbm,
+            height,
+            width,
+            channels,
+            patch,
+            stride,
+        }
+    }
+
+    /// The underlying patch RBM.
+    pub fn rbm(&self) -> &Rbm {
+        &self.rbm
+    }
+
+    /// Mutable access (so the patch RBM can be trained by any trainer,
+    /// including the hardware models).
+    pub fn rbm_mut(&mut self) -> &mut Rbm {
+        &mut self.rbm
+    }
+
+    /// Feature dimensionality: `4 × hidden` (2×2 pooling grid).
+    pub fn feature_len(&self) -> usize {
+        4 * self.rbm.hidden_len()
+    }
+
+    fn positions(&self) -> (usize, usize) {
+        (
+            (self.height - self.patch) / self.stride + 1,
+            (self.width - self.patch) / self.stride + 1,
+        )
+    }
+
+    /// Features of a single flattened image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image length is wrong.
+    pub fn features(&self, image: &ArrayView1<'_, f64>) -> Array1<f64> {
+        assert_eq!(
+            image.len(),
+            self.height * self.width * self.channels,
+            "image length mismatch"
+        );
+        let (pos_y, pos_x) = self.positions();
+        let n = self.rbm.hidden_len();
+        let mut pooled = Array2::<f64>::zeros((4, n));
+        let mut counts = [0.0f64; 4];
+        let mut patch_vec = Array1::<f64>::zeros(self.rbm.visible_len());
+        for py in 0..pos_y {
+            for px in 0..pos_x {
+                let mut col = 0;
+                let mut sum = 0.0;
+                for dy in 0..self.patch {
+                    for dx in 0..self.patch {
+                        for c in 0..self.channels {
+                            let y = py * self.stride + dy;
+                            let x = px * self.stride + dx;
+                            let v = image[(y * self.width + x) * self.channels + c];
+                            patch_vec[col] = v;
+                            sum += v;
+                            col += 1;
+                        }
+                    }
+                }
+                // Per-patch mean binarization (same as training).
+                let mean = sum / patch_vec.len() as f64;
+                patch_vec.mapv_inplace(|x| if x > mean { 1.0 } else { 0.0 });
+                let h = self.rbm.hidden_probs(&patch_vec.view());
+                // Quadrant pooling.
+                let qy = if py * 2 >= pos_y { 1 } else { 0 };
+                let qx = if px * 2 >= pos_x { 1 } else { 0 };
+                let q = qy * 2 + qx;
+                let mut row = pooled.row_mut(q);
+                row += &h;
+                counts[q] += 1.0;
+            }
+        }
+        let mut out = Array1::zeros(4 * n);
+        for q in 0..4 {
+            if counts[q] > 0.0 {
+                for j in 0..n {
+                    out[q * n + j] = pooled[[q, j]] / counts[q];
+                }
+            }
+        }
+        out
+    }
+
+    /// Features of a batch of flattened images, one row each.
+    pub fn features_batch(&self, images: &Array2<f64>) -> Array2<f64> {
+        let mut out = Array2::zeros((images.nrows(), self.feature_len()));
+        for (i, img) in images.axis_iter(Axis(0)).enumerate() {
+            out.row_mut(i).assign(&self.features(&img));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn patch_extraction_counts_and_contents() {
+        // 1 image, 4x4x1, patch 2, stride 2 -> 4 patches.
+        let img = Array2::from_shape_fn((1, 16), |(_, j)| j as f64);
+        let patches = extract_patches(&img, 4, 4, 1, 2, 2);
+        assert_eq!(patches.dim(), (4, 4));
+        // Top-left patch is pixels (0,0),(0,1),(1,0),(1,1) = 0,1,4,5.
+        assert_eq!(
+            patches.row(0).to_vec(),
+            vec![0.0, 1.0, 4.0, 5.0]
+        );
+        // Bottom-right patch: 10,11,14,15.
+        assert_eq!(
+            patches.row(3).to_vec(),
+            vec![10.0, 11.0, 14.0, 15.0]
+        );
+    }
+
+    #[test]
+    fn channels_interleave() {
+        // 2x2x2 image, patch 2: one patch with 8 values.
+        let img = Array2::from_shape_fn((1, 8), |(_, j)| j as f64);
+        let patches = extract_patches(&img, 2, 2, 2, 2, 1);
+        assert_eq!(patches.dim(), (1, 8));
+        assert_eq!(patches.row(0).to_vec(), (0..8).map(|x| x as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stride_one_overlapping() {
+        let img = Array2::zeros((2, 9)); // two 3x3 images
+        let patches = extract_patches(&img, 3, 3, 1, 2, 1);
+        assert_eq!(patches.dim(), (2 * 4, 4));
+    }
+
+    #[test]
+    fn binarize_against_mean() {
+        let patches = ndarray::arr2(&[[0.0, 0.5, 1.0, 0.9]]);
+        let b = binarize_patches(&patches);
+        // mean = 0.6
+        assert_eq!(b.row(0).to_vec(), vec![0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn pipeline_feature_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let rbm = Rbm::random(108, 16, 0.05, &mut rng); // 6x6x3 patches (CIFAR config)
+        let pipe = PatchPipeline::new(rbm, 12, 12, 3, 6, 3);
+        assert_eq!(pipe.feature_len(), 64);
+        let images = Array2::from_shape_fn((2, 12 * 12 * 3), |(i, j)| {
+            ((i + j) % 5) as f64 / 4.0
+        });
+        let f = pipe.features_batch(&images);
+        assert_eq!(f.dim(), (2, 64));
+        assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn distinct_images_give_distinct_features() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let rbm = Rbm::random(4, 6, 0.8, &mut rng);
+        let pipe = PatchPipeline::new(rbm, 4, 4, 1, 2, 2);
+        // Vertical vs horizontal stripes: constant patches would binarize
+        // to all-zeros (no contrast), so give the patches internal texture.
+        let a = Array1::from_shape_fn(16, |j| ((j % 4) % 2) as f64);
+        let b = Array1::from_shape_fn(16, |j| ((j / 4) % 2) as f64);
+        let fa = pipe.features(&a.view());
+        let fb = pipe.features(&b.view());
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    #[should_panic(expected = "patch volume")]
+    fn pipeline_validates_rbm_size() {
+        let rbm = Rbm::new(10, 4);
+        let _ = PatchPipeline::new(rbm, 6, 6, 1, 2, 2);
+    }
+}

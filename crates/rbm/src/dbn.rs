@@ -1,0 +1,281 @@
+use ndarray::Array2;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{CdTrainer, EpochStats, Rbm};
+
+/// A Deep Belief Network: a stack of RBMs trained greedily layer-by-layer
+/// (§2.3; the DBN-DNN configurations of Table 1).
+///
+/// Layer `l+1`'s visible units are layer `l`'s hidden probabilities —
+/// the "conventional approaches when stacking multiple layers together"
+/// the paper follows.
+///
+/// # Example
+///
+/// ```
+/// use ember_rbm::{Dbn, CdTrainer};
+/// use ndarray::Array2;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let data = Array2::from_shape_fn((20, 8), |(i, _)| (i % 2) as f64);
+/// let mut dbn = Dbn::random(&[8, 6, 4], 0.01, &mut rng);
+/// dbn.pretrain(&data, &CdTrainer::new(1, 0.1), 10, 3, &mut rng);
+/// let features = dbn.transform(&data);
+/// assert_eq!(features.dim(), (20, 4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dbn {
+    layers: Vec<Rbm>,
+}
+
+impl Dbn {
+    /// Creates a DBN with the given layer sizes, e.g. `&[784, 500, 500]`
+    /// builds RBMs `784×500` and `500×500`. Weights `~ N(0, std²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    pub fn random<R: Rng + ?Sized>(sizes: &[usize], std: f64, rng: &mut R) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and one hidden size");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        let layers = sizes
+            .windows(2)
+            .map(|w| Rbm::random(w[0], w[1], std, rng))
+            .collect();
+        Dbn { layers }
+    }
+
+    /// Builds a DBN from already-trained RBMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty or adjacent dimensions do not chain.
+    pub fn from_layers(layers: Vec<Rbm>) -> Self {
+        assert!(!layers.is_empty(), "a DBN needs at least one RBM");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].hidden_len(),
+                pair[1].visible_len(),
+                "adjacent RBM dimensions must chain"
+            );
+        }
+        Dbn { layers }
+    }
+
+    /// Number of RBM layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The `l`-th RBM (0 = closest to the data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of bounds.
+    pub fn layer(&self, l: usize) -> &Rbm {
+        &self.layers[l]
+    }
+
+    /// Mutable access to the `l`-th RBM (used when a layer is trained on
+    /// the accelerator instead of in software).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of bounds.
+    pub fn layer_mut(&mut self, l: usize) -> &mut Rbm {
+        &mut self.layers[l]
+    }
+
+    /// Input dimensionality.
+    pub fn input_len(&self) -> usize {
+        self.layers[0].visible_len()
+    }
+
+    /// Output (top hidden layer) dimensionality.
+    pub fn output_len(&self) -> usize {
+        self.layers.last().expect("non-empty").hidden_len()
+    }
+
+    /// Greedy layer-wise pretraining: trains layer 0 on the data, then each
+    /// subsequent layer on the previous layer's hidden probabilities.
+    /// Returns the final-epoch stats of each layer.
+    pub fn pretrain<R: Rng + ?Sized>(
+        &mut self,
+        data: &Array2<f64>,
+        trainer: &CdTrainer,
+        batch_size: usize,
+        epochs_per_layer: usize,
+        rng: &mut R,
+    ) -> Vec<EpochStats> {
+        let mut stats = Vec::with_capacity(self.layers.len());
+        let mut input = data.clone();
+        for rbm in self.layers.iter_mut() {
+            let s = trainer.train(rbm, &input, batch_size, epochs_per_layer, rng);
+            stats.push(s);
+            input = rbm.hidden_probs_batch(&input);
+        }
+        stats
+    }
+
+    /// Propagates data to the top layer's hidden probabilities — the
+    /// feature representation handed to the classifier head.
+    pub fn transform(&self, data: &Array2<f64>) -> Array2<f64> {
+        let mut x = data.clone();
+        for rbm in &self.layers {
+            x = rbm.hidden_probs_batch(&x);
+        }
+        x
+    }
+
+    /// Propagates only through the first `depth` layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth > self.depth()`.
+    pub fn transform_partial(&self, data: &Array2<f64>, depth: usize) -> Array2<f64> {
+        assert!(depth <= self.layers.len(), "depth out of range");
+        let mut x = data.clone();
+        for rbm in &self.layers[..depth] {
+            x = rbm.hidden_probs_batch(&x);
+        }
+        x
+    }
+
+    /// Generates `count` visible samples from the DBN's generative model:
+    /// Gibbs sampling in the top-layer RBM (`equilibration` alternations),
+    /// then a stochastic top-down pass through the directed lower layers —
+    /// the standard DBN ancestral sampling procedure.
+    pub fn sample<R: rand::Rng + ?Sized>(
+        &self,
+        count: usize,
+        equilibration: usize,
+        rng: &mut R,
+    ) -> Array2<f64> {
+        let top = self.layers.last().expect("non-empty");
+        let mut out = Array2::zeros((count, self.input_len()));
+        for i in 0..count {
+            // Equilibrate the top RBM from a random hidden state.
+            let mut h = ndarray::Array1::from_shape_fn(top.hidden_len(), |_| {
+                if rng.random_bool(0.5) {
+                    1.0
+                } else {
+                    0.0
+                }
+            });
+            let mut v_top = top.sample_visible(&h.view(), rng);
+            for _ in 0..equilibration {
+                h = top.sample_hidden(&v_top.view(), rng);
+                v_top = top.sample_visible(&h.view(), rng);
+            }
+            // Directed top-down pass through the remaining layers.
+            let mut x = v_top;
+            for rbm in self.layers.iter().rev().skip(1) {
+                x = rbm.sample_visible(&x.view(), rng);
+            }
+            out.row_mut(i).assign(&x);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let dbn = Dbn::random(&[10, 6, 4], 0.01, &mut rng);
+        assert_eq!(dbn.depth(), 2);
+        assert_eq!(dbn.input_len(), 10);
+        assert_eq!(dbn.output_len(), 4);
+        assert_eq!(dbn.layer(0).visible_len(), 10);
+        assert_eq!(dbn.layer(1).hidden_len(), 4);
+    }
+
+    #[test]
+    fn pretrain_improves_first_layer() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let data = Array2::from_shape_fn((40, 8), |(i, _)| (i % 2) as f64);
+        let mut dbn = Dbn::random(&[8, 4, 3], 0.01, &mut rng);
+        let before = crate::exact::mean_log_likelihood(dbn.layer(0), &data);
+        dbn.pretrain(&data, &CdTrainer::new(1, 0.1), 10, 40, &mut rng);
+        let after = crate::exact::mean_log_likelihood(dbn.layer(0), &data);
+        assert!(after > before, "layer-0 LL {before} -> {after}");
+    }
+
+    #[test]
+    fn transform_is_composition_of_layers() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let dbn = Dbn::random(&[5, 4, 3], 0.3, &mut rng);
+        let data = Array2::from_shape_fn((6, 5), |(i, j)| ((i + j) % 2) as f64);
+        let manual = {
+            let h1 = dbn.layer(0).hidden_probs_batch(&data);
+            dbn.layer(1).hidden_probs_batch(&h1)
+        };
+        assert_eq!(dbn.transform(&data), manual);
+        assert_eq!(dbn.transform_partial(&data, 1).dim(), (6, 4));
+        assert_eq!(dbn.transform_partial(&data, 0), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain")]
+    fn from_layers_validates_chaining() {
+        let a = Rbm::new(4, 3);
+        let b = Rbm::new(5, 2);
+        let _ = Dbn::from_layers(vec![a, b]);
+    }
+
+    #[test]
+    fn generative_sampling_shapes_and_binary() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let dbn = Dbn::random(&[7, 5, 3], 0.5, &mut rng);
+        let samples = dbn.sample(6, 4, &mut rng);
+        assert_eq!(samples.dim(), (6, 7));
+        assert!(samples.iter().all(|&x| x == 0.0 || x == 1.0));
+    }
+
+    #[test]
+    fn trained_dbn_generates_data_like_samples() {
+        // Two-mode data: generated samples should mostly be near a mode.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let data = Array2::from_shape_fn((60, 8), |(i, j)| {
+            if (i % 2 == 0) == (j < 4) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let mut dbn = Dbn::random(&[8, 6], 0.01, &mut rng);
+        dbn.pretrain(&data, &CdTrainer::new(1, 0.1), 10, 60, &mut rng);
+        let samples = dbn.sample(40, 30, &mut rng);
+        // A sample is "near a mode" if at least 6 of 8 pixels agree with
+        // one of the two prototypes.
+        let near_mode = samples
+            .rows()
+            .into_iter()
+            .filter(|row| {
+                let left: f64 = (0..4).map(|j| row[j]).sum::<f64>()
+                    + (4..8).map(|j| 1.0 - row[j]).sum::<f64>();
+                let right = 8.0 - left;
+                left >= 6.0 || right >= 6.0
+            })
+            .count();
+        assert!(
+            near_mode >= 24,
+            "only {near_mode}/40 generated samples near a training mode"
+        );
+    }
+
+    #[test]
+    fn features_in_unit_interval() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let dbn = Dbn::random(&[6, 5, 4], 1.0, &mut rng);
+        let data = Array2::from_shape_fn((8, 6), |(i, j)| ((i * j) % 2) as f64);
+        let f = dbn.transform(&data);
+        assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+}

@@ -1,0 +1,189 @@
+//! Numerically stable scalar helpers shared across the workspace.
+
+/// The logistic function `σ(x) = 1 / (1 + e^{−x})` (paper Eq. 4), stable
+/// for large `|x|`.
+///
+/// # Example
+///
+/// ```
+/// use ember_rbm::math::sigmoid;
+///
+/// assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+/// assert!(sigmoid(800.0) <= 1.0);
+/// assert!(sigmoid(-800.0) >= 0.0);
+/// ```
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Stable softplus `log(1 + e^x)`, the hidden-unit contribution to the RBM
+/// free energy.
+///
+/// # Example
+///
+/// ```
+/// use ember_rbm::math::softplus;
+///
+/// assert!((softplus(0.0) - 2f64.ln()).abs() < 1e-12);
+/// assert!((softplus(50.0) - 50.0).abs() < 1e-9);
+/// assert!(softplus(-50.0) < 1e-9);
+/// ```
+#[inline]
+pub fn softplus(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else if x < -30.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Stable `log(Σᵢ e^{xᵢ})`.
+///
+/// Returns `f64::NEG_INFINITY` for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// use ember_rbm::math::logsumexp;
+///
+/// let x = [1000.0, 1000.0];
+/// assert!((logsumexp(&x) - (1000.0 + 2f64.ln())).abs() < 1e-9);
+/// ```
+pub fn logsumexp(xs: &[f64]) -> f64 {
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Running mean/variance accumulator (Welford), used for trace statistics.
+///
+/// # Example
+///
+/// ```
+/// use ember_rbm::math::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.push(x);
+/// }
+/// assert!((s.mean() - 2.0).abs() < 1e-12);
+/// assert!((s.variance() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance with Bessel's correction (0 if fewer than 2 points).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_symmetry() {
+        for &x in &[-5.0, -1.0, 0.0, 2.0, 7.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sigmoid_extremes_do_not_overflow() {
+        assert_eq!(sigmoid(1e8), 1.0);
+        assert_eq!(sigmoid(-1e8), 0.0);
+    }
+
+    #[test]
+    fn softplus_matches_naive_midrange() {
+        for &x in &[-5.0, 0.0, 3.0, 10.0] {
+            let naive = (1.0 + (x as f64).exp()).ln();
+            assert!((softplus(x) - naive).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn softplus_derivative_is_sigmoid() {
+        let h = 1e-6;
+        for &x in &[-2.0, 0.0, 1.5] {
+            let numeric = (softplus(x + h) - softplus(x - h)) / (2.0 * h);
+            assert!((numeric - sigmoid(x)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn logsumexp_empty_and_single() {
+        assert_eq!(logsumexp(&[]), f64::NEG_INFINITY);
+        assert!((logsumexp(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logsumexp_shift_invariance() {
+        let xs = [0.1, 0.5, -2.0];
+        let shifted: Vec<f64> = xs.iter().map(|x| x + 100.0).collect();
+        assert!((logsumexp(&shifted) - (logsumexp(&xs) + 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_stats_matches_direct() {
+        let xs = [1.5, -0.5, 2.0, 4.0, 0.0];
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.count(), 5);
+    }
+}

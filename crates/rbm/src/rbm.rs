@@ -1,0 +1,434 @@
+use std::error::Error;
+use std::fmt;
+
+use ndarray::{Array1, Array2, ArrayView1, Axis};
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use ember_ising::BipartiteProblem;
+
+use crate::math::{sigmoid, softplus};
+
+/// Errors produced by RBM construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RbmError {
+    /// Supplied arrays had inconsistent dimensions.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Violated constraint.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for RbmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RbmError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            RbmError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for RbmError {}
+
+/// A Restricted Boltzmann Machine (paper Fig. 1, Eq. 3):
+/// `m` binary visible units, `n` binary hidden units, bipartite coupling
+/// `W (m × n)` and per-unit biases.
+///
+/// Conventions: data matrices are `(batch, m)` with entries in `{0, 1}`
+/// (real-valued entries in `[0, 1]` are treated as Bernoulli means where
+/// sampling is involved).
+///
+/// # Example
+///
+/// ```
+/// use ember_rbm::Rbm;
+/// use ndarray::arr1;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let rbm = Rbm::random(4, 2, 0.1, &mut rng);
+/// let v = arr1(&[1.0, 0.0, 1.0, 1.0]);
+/// let p_h = rbm.hidden_probs(&v.view());
+/// assert_eq!(p_h.len(), 2);
+/// assert!(p_h.iter().all(|&p| (0.0..=1.0).contains(&p)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rbm {
+    weights: Array2<f64>,
+    visible_bias: Array1<f64>,
+    hidden_bias: Array1<f64>,
+}
+
+impl Rbm {
+    /// An RBM with all-zero parameters.
+    pub fn new(visible: usize, hidden: usize) -> Self {
+        Rbm {
+            weights: Array2::zeros((visible, hidden)),
+            visible_bias: Array1::zeros(visible),
+            hidden_bias: Array1::zeros(hidden),
+        }
+    }
+
+    /// The common initialization: `Wᵢⱼ ~ N(0, std²)`, zero biases
+    /// (Algorithm 1 lines 1–3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or not finite.
+    pub fn random<R: Rng + ?Sized>(visible: usize, hidden: usize, std: f64, rng: &mut R) -> Self {
+        assert!(std >= 0.0 && std.is_finite(), "std must be finite and >= 0");
+        let mut rbm = Rbm::new(visible, hidden);
+        if std > 0.0 {
+            let dist = Normal::new(0.0, std).expect("validated std");
+            rbm.weights.mapv_inplace(|_| dist.sample(rng));
+        }
+        rbm
+    }
+
+    /// Builds an RBM from explicit parts.
+    ///
+    /// # Errors
+    ///
+    /// [`RbmError::DimensionMismatch`] if bias lengths do not match `weights`.
+    pub fn from_parts(
+        weights: Array2<f64>,
+        visible_bias: Array1<f64>,
+        hidden_bias: Array1<f64>,
+    ) -> Result<Self, RbmError> {
+        let (m, n) = weights.dim();
+        if visible_bias.len() != m {
+            return Err(RbmError::DimensionMismatch {
+                expected: m,
+                actual: visible_bias.len(),
+            });
+        }
+        if hidden_bias.len() != n {
+            return Err(RbmError::DimensionMismatch {
+                expected: n,
+                actual: hidden_bias.len(),
+            });
+        }
+        Ok(Rbm {
+            weights,
+            visible_bias,
+            hidden_bias,
+        })
+    }
+
+    /// Number of visible units `m`.
+    pub fn visible_len(&self) -> usize {
+        self.weights.nrows()
+    }
+
+    /// Number of hidden units `n`.
+    pub fn hidden_len(&self) -> usize {
+        self.weights.ncols()
+    }
+
+    /// The weight matrix `W (m × n)`.
+    pub fn weights(&self) -> &Array2<f64> {
+        &self.weights
+    }
+
+    /// Mutable access to the weights (used by hardware-update models).
+    pub fn weights_mut(&mut self) -> &mut Array2<f64> {
+        &mut self.weights
+    }
+
+    /// Visible biases `b_v`.
+    pub fn visible_bias(&self) -> &Array1<f64> {
+        &self.visible_bias
+    }
+
+    /// Mutable visible biases.
+    pub fn visible_bias_mut(&mut self) -> &mut Array1<f64> {
+        &mut self.visible_bias
+    }
+
+    /// Hidden biases `b_h`.
+    pub fn hidden_bias(&self) -> &Array1<f64> {
+        &self.hidden_bias
+    }
+
+    /// Mutable hidden biases.
+    pub fn hidden_bias_mut(&mut self) -> &mut Array1<f64> {
+        &mut self.hidden_bias
+    }
+
+    /// Joint energy `E(v, h)` of Eq. 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn energy(&self, v: &ArrayView1<'_, f64>, h: &ArrayView1<'_, f64>) -> f64 {
+        assert_eq!(v.len(), self.visible_len(), "visible length");
+        assert_eq!(h.len(), self.hidden_len(), "hidden length");
+        -v.dot(&self.weights.dot(h)) - self.visible_bias.dot(v) - self.hidden_bias.dot(h)
+    }
+
+    /// Free energy `F(v) = −b_vᵀv − Σⱼ softplus(b_hⱼ + (vᵀW)ⱼ)`, so that
+    /// `P(v) ∝ e^{−F(v)}`. The standard anomaly score and the quantity AIS
+    /// estimates expectations over.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn free_energy(&self, v: &ArrayView1<'_, f64>) -> f64 {
+        assert_eq!(v.len(), self.visible_len(), "visible length");
+        let act = self.weights.t().dot(v) + &self.hidden_bias;
+        -self.visible_bias.dot(v) - act.iter().map(|&x| softplus(x)).sum::<f64>()
+    }
+
+    /// Hidden conditional `P(hⱼ = 1 | v) = σ(b_hⱼ + Σᵢ Wᵢⱼ vᵢ)` (Eq. 4).
+    pub fn hidden_probs(&self, v: &ArrayView1<'_, f64>) -> Array1<f64> {
+        assert_eq!(v.len(), self.visible_len(), "visible length");
+        let mut act = self.weights.t().dot(v) + &self.hidden_bias;
+        act.mapv_inplace(sigmoid);
+        act
+    }
+
+    /// Visible conditional `P(vᵢ = 1 | h) = σ(b_vᵢ + Σⱼ Wᵢⱼ hⱼ)` (Eq. 5).
+    pub fn visible_probs(&self, h: &ArrayView1<'_, f64>) -> Array1<f64> {
+        assert_eq!(h.len(), self.hidden_len(), "hidden length");
+        let mut act = self.weights.dot(h) + &self.visible_bias;
+        act.mapv_inplace(sigmoid);
+        act
+    }
+
+    /// Batched hidden conditionals: input `(batch, m)`, output `(batch, n)`.
+    pub fn hidden_probs_batch(&self, v: &Array2<f64>) -> Array2<f64> {
+        assert_eq!(v.ncols(), self.visible_len(), "visible length");
+        let mut act = v.dot(&self.weights);
+        for mut row in act.axis_iter_mut(Axis(0)) {
+            row += &self.hidden_bias;
+        }
+        act.mapv_inplace(sigmoid);
+        act
+    }
+
+    /// Batched visible conditionals: input `(batch, n)`, output `(batch, m)`.
+    pub fn visible_probs_batch(&self, h: &Array2<f64>) -> Array2<f64> {
+        assert_eq!(h.ncols(), self.hidden_len(), "hidden length");
+        let mut act = h.dot(&self.weights.t());
+        for mut row in act.axis_iter_mut(Axis(0)) {
+            row += &self.visible_bias;
+        }
+        act.mapv_inplace(sigmoid);
+        act
+    }
+
+    /// Samples hidden units given visible ones (one Bernoulli draw per
+    /// unit): Algorithm 1 line 10.
+    pub fn sample_hidden<R: Rng + ?Sized>(
+        &self,
+        v: &ArrayView1<'_, f64>,
+        rng: &mut R,
+    ) -> Array1<f64> {
+        let mut p = self.hidden_probs(v);
+        p.mapv_inplace(|prob| if rng.random::<f64>() < prob { 1.0 } else { 0.0 });
+        p
+    }
+
+    /// Samples visible units given hidden ones: Algorithm 1 line 13.
+    pub fn sample_visible<R: Rng + ?Sized>(
+        &self,
+        h: &ArrayView1<'_, f64>,
+        rng: &mut R,
+    ) -> Array1<f64> {
+        let mut p = self.visible_probs(h);
+        p.mapv_inplace(|prob| if rng.random::<f64>() < prob { 1.0 } else { 0.0 });
+        p
+    }
+
+    /// Batched Bernoulli sampling of an entire probability matrix.
+    pub fn sample_batch<R: Rng + ?Sized>(probs: &Array2<f64>, rng: &mut R) -> Array2<f64> {
+        probs.mapv(|p| if rng.random::<f64>() < p { 1.0 } else { 0.0 })
+    }
+
+    /// One-step reconstruction error: mean fraction of visible units that
+    /// differ after `v → h → v'` with sampled `h` and thresholded `v'`.
+    pub fn reconstruction_error<R: Rng + ?Sized>(&self, data: &Array2<f64>, rng: &mut R) -> f64 {
+        assert_eq!(data.ncols(), self.visible_len(), "visible length");
+        let mut total = 0.0;
+        for v in data.axis_iter(Axis(0)) {
+            let h = self.sample_hidden(&v, rng);
+            let recon = self.visible_probs(&h.view());
+            let diff: f64 = v
+                .iter()
+                .zip(recon.iter())
+                .map(|(&a, &b)| if (a >= 0.5) != (b >= 0.5) { 1.0 } else { 0.0 })
+                .sum();
+            total += diff / self.visible_len() as f64;
+        }
+        total / data.nrows() as f64
+    }
+
+    /// Converts to the bipartite Ising layout the substrate is programmed
+    /// with (§3.1) — the weights and biases map across unchanged; only the
+    /// variable domain (bits vs spins) differs, handled by
+    /// [`BipartiteProblem::to_ising`].
+    pub fn to_bipartite(&self) -> BipartiteProblem {
+        BipartiteProblem::new(
+            self.weights.clone(),
+            self.visible_bias.clone(),
+            self.hidden_bias.clone(),
+        )
+        .expect("RBM dimensions are consistent by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndarray::{arr1, arr2};
+    use rand::SeedableRng;
+
+    fn tiny() -> Rbm {
+        Rbm::from_parts(
+            arr2(&[[1.0, -0.5], [0.25, 2.0], [-1.0, 0.5]]),
+            arr1(&[0.1, -0.2, 0.3]),
+            arr1(&[0.4, -0.6]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn energy_matches_manual() {
+        let rbm = tiny();
+        let v = arr1(&[1.0, 0.0, 1.0]);
+        let h = arr1(&[1.0, 1.0]);
+        // -vWh = -( (1)(1)+( -0.5)(1) + (-1)(1)+(0.5)(1) ) = -(0.5 + -0.5) = 0
+        // -bv·v = -(0.1+0.3) = -0.4 ; -bh·h = -(0.4-0.6) = 0.2
+        assert!((rbm.energy(&v.view(), &h.view()) - (-0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_energy_marginalizes_hidden() {
+        // e^{-F(v)} must equal Σ_h e^{-E(v,h)}.
+        let rbm = tiny();
+        let v = arr1(&[1.0, 1.0, 0.0]);
+        let mut sum = 0.0;
+        for code in 0u8..4 {
+            let h = arr1(&[(code & 1) as f64, ((code >> 1) & 1) as f64]);
+            sum += (-rbm.energy(&v.view(), &h.view())).exp();
+        }
+        assert!(((-rbm.free_energy(&v.view())).exp() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditionals_match_formulas() {
+        let rbm = tiny();
+        let v = arr1(&[1.0, 0.0, 1.0]);
+        let p = rbm.hidden_probs(&v.view());
+        let expected0 = sigmoid(0.4 + 1.0 - 1.0);
+        let expected1 = sigmoid(-0.6 - 0.5 + 0.5);
+        assert!((p[0] - expected0).abs() < 1e-12);
+        assert!((p[1] - expected1).abs() < 1e-12);
+
+        let h = arr1(&[0.0, 1.0]);
+        let q = rbm.visible_probs(&h.view());
+        assert!((q[0] - sigmoid(0.1 - 0.5)).abs() < 1e-12);
+        assert!((q[1] - sigmoid(-0.2 + 2.0)).abs() < 1e-12);
+        assert!((q[2] - sigmoid(0.3 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let rbm = tiny();
+        let batch = arr2(&[[1.0, 0.0, 1.0], [0.0, 1.0, 1.0]]);
+        let probs = rbm.hidden_probs_batch(&batch);
+        for (i, v) in batch.axis_iter(Axis(0)).enumerate() {
+            let single = rbm.hidden_probs(&v);
+            for j in 0..2 {
+                assert!((probs[[i, j]] - single[j]).abs() < 1e-12);
+            }
+        }
+        let hbatch = arr2(&[[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]);
+        let probs = rbm.visible_probs_batch(&hbatch);
+        for (i, h) in hbatch.axis_iter(Axis(0)).enumerate() {
+            let single = rbm.visible_probs(&h);
+            for j in 0..3 {
+                assert!((probs[[i, j]] - single[j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_respects_extreme_probs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let rbm = Rbm::from_parts(
+            arr2(&[[50.0], [-50.0]]),
+            arr1(&[0.0, 0.0]),
+            arr1(&[0.0]),
+        )
+        .unwrap();
+        let v = arr1(&[1.0, 0.0]);
+        for _ in 0..20 {
+            let h = rbm.sample_hidden(&v.view(), &mut rng);
+            assert_eq!(h[0], 1.0);
+        }
+    }
+
+    #[test]
+    fn random_init_statistics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let rbm = Rbm::random(50, 40, 0.01, &mut rng);
+        let w = rbm.weights();
+        let mean = w.mean().unwrap();
+        let std = w.std(0.0);
+        assert!(mean.abs() < 0.002, "mean {mean}");
+        assert!((std - 0.01).abs() < 0.002, "std {std}");
+        assert!(rbm.visible_bias().iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn from_parts_validates_dims() {
+        let err = Rbm::from_parts(
+            Array2::zeros((2, 3)),
+            Array1::zeros(5),
+            Array1::zeros(3),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RbmError::DimensionMismatch { expected: 2, actual: 5 }));
+    }
+
+    #[test]
+    fn bipartite_conversion_shares_energy() {
+        let rbm = tiny();
+        let bp = rbm.to_bipartite();
+        let v = [true, false, true];
+        let h = [false, true];
+        let va = arr1(&[1.0, 0.0, 1.0]);
+        let ha = arr1(&[0.0, 1.0]);
+        assert!((bp.energy_bits(&v, &h) - rbm.energy(&va.view(), &ha.view())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_error_zero_for_strong_autoencoder() {
+        // Identity-ish RBM: huge diagonal weights reproduce the input.
+        let mut w = Array2::zeros((4, 4));
+        for i in 0..4 {
+            w[[i, i]] = 60.0;
+        }
+        let rbm = Rbm::from_parts(w, Array1::from_elem(4, -30.0), Array1::from_elem(4, -30.0))
+            .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let data = arr2(&[[1.0, 0.0, 1.0, 0.0], [0.0, 1.0, 0.0, 1.0]]);
+        assert!(rbm.reconstruction_error(&data, &mut rng) < 1e-9);
+    }
+}

@@ -1,0 +1,298 @@
+use ndarray::{Array1, Array2, Axis};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::gibbs;
+use crate::trainer::EpochStats;
+use crate::Rbm;
+
+/// The contrastive-divergence trainer of Algorithm 1 (CD-k).
+///
+/// Per minibatch: clamp the data (`v⁺`), sample `h⁺ ~ P(h|v⁺)` (positive
+/// phase, lines 9–10), run `k` alternating Gibbs half-steps to obtain
+/// `(v⁻, h⁻)` (negative phase, lines 12–15), then ascend the stochastic
+/// log-likelihood gradient (lines 17–19):
+///
+/// ```text
+/// W  += α (⟨v⁺ᵀh⁺⟩ − ⟨v⁻ᵀh⁻⟩)
+/// b_v += α ⟨v⁺ − v⁻⟩
+/// b_h += α ⟨h⁺ − h⁻⟩
+/// ```
+///
+/// Optional momentum and L2 weight decay follow common practice (they
+/// default to off, matching the paper's plain Algorithm 1).
+///
+/// # Example
+///
+/// ```
+/// use ember_rbm::{Rbm, CdTrainer};
+/// use ndarray::Array2;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rbm = Rbm::random(4, 2, 0.05, &mut rng);
+/// let data = Array2::from_shape_fn((20, 4), |(i, j)| ((i + j) % 2) as f64);
+/// let trainer = CdTrainer::new(1, 0.05);
+/// let stats = trainer.train_epoch(&mut rbm, &data, 5, &mut rng);
+/// assert_eq!(stats.batches, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdTrainer {
+    k: usize,
+    learning_rate: f64,
+    momentum: f64,
+    weight_decay: f64,
+}
+
+impl CdTrainer {
+    /// Creates a CD-`k` trainer with the given learning rate `α`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `learning_rate <= 0`.
+    pub fn new(k: usize, learning_rate: f64) -> Self {
+        assert!(k >= 1, "CD-k needs k >= 1");
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        CdTrainer {
+            k,
+            learning_rate,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        }
+    }
+
+    /// Returns a copy with momentum `β ∈ [0, 1)` on all parameter updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ momentum < 1`.
+    #[must_use]
+    pub fn with_momentum(mut self, momentum: f64) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Returns a copy with L2 weight decay `λ` (applied to `W` only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_decay` is negative.
+    #[must_use]
+    pub fn with_weight_decay(mut self, weight_decay: f64) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Number of Gibbs steps `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Learning rate `α`.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// Trains one epoch over `data` (rows = samples) with the given
+    /// minibatch size; a trailing partial batch is used as-is.
+    /// Returns per-epoch statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` width differs from the RBM's visible count or
+    /// `batch_size == 0`.
+    pub fn train_epoch<R: Rng + ?Sized>(
+        &self,
+        rbm: &mut Rbm,
+        data: &Array2<f64>,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> EpochStats {
+        assert_eq!(data.ncols(), rbm.visible_len(), "data width mismatch");
+        assert!(batch_size >= 1, "batch size must be positive");
+        let mut velocity_w = Array2::<f64>::zeros(rbm.weights().dim());
+        let mut velocity_bv = Array1::<f64>::zeros(rbm.visible_len());
+        let mut velocity_bh = Array1::<f64>::zeros(rbm.hidden_len());
+        let mut stats = Vec::new();
+
+        let rows = data.nrows();
+        let mut start = 0;
+        while start < rows {
+            let end = (start + batch_size).min(rows);
+            let batch = data.slice(ndarray::s![start..end, ..]).to_owned();
+            let (recon, grad) = self.train_batch(
+                rbm,
+                &batch,
+                &mut velocity_w,
+                &mut velocity_bv,
+                &mut velocity_bh,
+                rng,
+            );
+            stats.push((recon, grad));
+            start = end;
+        }
+        EpochStats::accumulate(&stats)
+    }
+
+    /// One minibatch update (lines 8–19 of Algorithm 1). Returns
+    /// `(reconstruction error, gradient norm)`.
+    fn train_batch<R: Rng + ?Sized>(
+        &self,
+        rbm: &mut Rbm,
+        batch: &Array2<f64>,
+        velocity_w: &mut Array2<f64>,
+        velocity_bv: &mut Array1<f64>,
+        velocity_bh: &mut Array1<f64>,
+        rng: &mut R,
+    ) -> (f64, f64) {
+        let bs = batch.nrows() as f64;
+        // Positive phase.
+        let h_pos = Rbm::sample_batch(&rbm.hidden_probs_batch(batch), rng);
+        // Negative phase: k alternating Gibbs half-steps from h_pos.
+        let mut h_neg = h_pos.clone();
+        let mut v_neg = batch.clone();
+        for _ in 0..self.k {
+            v_neg = Rbm::sample_batch(&rbm.visible_probs_batch(&h_neg), rng);
+            h_neg = Rbm::sample_batch(&rbm.hidden_probs_batch(&v_neg), rng);
+        }
+
+        // Gradients (expectations over the minibatch).
+        let grad_w = (batch.t().dot(&h_pos) - v_neg.t().dot(&h_neg)) / bs;
+        let grad_bv = (batch.sum_axis(Axis(0)) - v_neg.sum_axis(Axis(0))) / bs;
+        let grad_bh = (h_pos.sum_axis(Axis(0)) - h_neg.sum_axis(Axis(0))) / bs;
+
+        let grad_norm = grad_w.iter().map(|g| g * g).sum::<f64>().sqrt();
+
+        // Momentum + weight decay.
+        *velocity_w = &*velocity_w * self.momentum
+            + &(&grad_w - &(rbm.weights() * self.weight_decay)) * self.learning_rate;
+        *velocity_bv = &*velocity_bv * self.momentum + &grad_bv * self.learning_rate;
+        *velocity_bh = &*velocity_bh * self.momentum + &grad_bh * self.learning_rate;
+
+        *rbm.weights_mut() += &*velocity_w;
+        *rbm.visible_bias_mut() += &*velocity_bv;
+        *rbm.hidden_bias_mut() += &*velocity_bh;
+
+        let recon = (&v_neg - batch).mapv(f64::abs).mean().unwrap_or(0.0);
+        (recon, grad_norm)
+    }
+
+    /// Convenience: full training run of `epochs` epochs; returns the final
+    /// epoch's statistics.
+    pub fn train<R: Rng + ?Sized>(
+        &self,
+        rbm: &mut Rbm,
+        data: &Array2<f64>,
+        batch_size: usize,
+        epochs: usize,
+        rng: &mut R,
+    ) -> EpochStats {
+        let mut last = EpochStats {
+            batches: 0,
+            reconstruction_error: 0.0,
+            gradient_norm: 0.0,
+        };
+        for _ in 0..epochs {
+            last = self.train_epoch(rbm, data, batch_size, rng);
+        }
+        last
+    }
+
+    /// Draws the negative-phase sample for external use (the piece the GS
+    /// architecture offloads to the substrate).
+    pub fn negative_phase<R: Rng + ?Sized>(
+        &self,
+        rbm: &Rbm,
+        v0: &Array1<f64>,
+        rng: &mut R,
+    ) -> (Array1<f64>, Array1<f64>) {
+        gibbs::chain(rbm, v0, self.k, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn two_mode_data(rows: usize, m: usize) -> Array2<f64> {
+        Array2::from_shape_fn((rows, m), |(i, _)| if i % 2 == 0 { 1.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn cd1_learns_two_modes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rbm = Rbm::random(8, 4, 0.01, &mut rng);
+        let data = two_mode_data(60, 8);
+        let before = crate::exact::mean_log_likelihood(&rbm, &data);
+        let trainer = CdTrainer::new(1, 0.1);
+        trainer.train(&mut rbm, &data, 10, 60, &mut rng);
+        let after = crate::exact::mean_log_likelihood(&rbm, &data);
+        assert!(
+            after > before + 1.0,
+            "log-likelihood should improve: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn cd10_at_least_as_good_as_cd1_on_average() {
+        // Not guaranteed per-seed, so average over a few.
+        let data = two_mode_data(40, 6);
+        let mut ll1 = 0.0;
+        let mut ll10 = 0.0;
+        for seed in 0..3 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut a = Rbm::random(6, 3, 0.01, &mut rng);
+            let mut b = a.clone();
+            CdTrainer::new(1, 0.1).train(&mut a, &data, 10, 40, &mut rng);
+            CdTrainer::new(10, 0.1).train(&mut b, &data, 10, 40, &mut rng);
+            ll1 += crate::exact::mean_log_likelihood(&a, &data);
+            ll10 += crate::exact::mean_log_likelihood(&b, &data);
+        }
+        // CD-10 shouldn't be dramatically worse.
+        assert!(ll10 > ll1 - 1.5, "cd1 {ll1} vs cd10 {ll10}");
+    }
+
+    #[test]
+    fn epoch_stats_counts_batches() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rbm = Rbm::random(4, 2, 0.01, &mut rng);
+        let data = two_mode_data(23, 4);
+        let stats = CdTrainer::new(1, 0.05).train_epoch(&mut rbm, &data, 10, &mut rng);
+        assert_eq!(stats.batches, 3); // 10 + 10 + 3
+        assert!(stats.reconstruction_error >= 0.0);
+    }
+
+    #[test]
+    fn momentum_and_decay_run() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rbm = Rbm::random(5, 3, 0.01, &mut rng);
+        let data = two_mode_data(20, 5);
+        let trainer = CdTrainer::new(2, 0.05)
+            .with_momentum(0.5)
+            .with_weight_decay(1e-4);
+        let stats = trainer.train(&mut rbm, &data, 5, 5, &mut rng);
+        assert!(stats.gradient_norm.is_finite());
+        assert!(rbm.weights().iter().all(|w| w.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn rejects_zero_k() {
+        let _ = CdTrainer::new(0, 0.1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = two_mode_data(16, 4);
+        let run = |seed: u64| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rbm = Rbm::random(4, 2, 0.01, &mut rng);
+            CdTrainer::new(1, 0.1).train(&mut rbm, &data, 4, 3, &mut rng);
+            rbm
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

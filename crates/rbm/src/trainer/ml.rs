@@ -1,0 +1,207 @@
+use ndarray::{Array1, Array2, Axis};
+use serde::{Deserialize, Serialize};
+
+use crate::exact;
+use crate::Rbm;
+
+/// Exact maximum-likelihood trainer — the intractable reference algorithm
+/// whose gradient CD-k approximates (paper Eqs. 8–10; used as "ML" in the
+/// Appendix A bias study, Fig. 11).
+///
+/// The positive statistics `⟨vᵢhⱼ⟩_data` use the analytic hidden
+/// conditionals; the negative statistics `⟨vᵢhⱼ⟩_model` are computed by
+/// enumerating every visible state and marginalizing the hiddens
+/// analytically — tractable only for tiny models (≤ 20 visible units).
+///
+/// # Example
+///
+/// ```
+/// use ember_rbm::{Rbm, MlTrainer};
+/// use ndarray::arr2;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let mut rbm = Rbm::random(3, 2, 0.01, &mut rng);
+/// let data = arr2(&[[1.0, 1.0, 0.0], [1.0, 1.0, 0.0], [0.0, 0.0, 1.0]]);
+/// let trainer = MlTrainer::new(0.2);
+/// for _ in 0..50 {
+///     trainer.step(&mut rbm, &data);
+/// }
+/// // Exact ML must strictly improve the data log-likelihood.
+/// let ll = ember_rbm::exact::mean_log_likelihood(&rbm, &data);
+/// assert!(ll > -2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MlTrainer {
+    learning_rate: f64,
+}
+
+impl MlTrainer {
+    /// Creates an exact-gradient trainer with learning rate `α`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate <= 0`.
+    pub fn new(learning_rate: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        MlTrainer { learning_rate }
+    }
+
+    /// Learning rate `α`.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// One full-batch exact gradient ascent step. Returns the L2 norm of
+    /// the weight gradient (zero exactly at a stationary point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data width mismatches or the model has more than 20
+    /// visible units (enumeration would be prohibitive).
+    pub fn step(&self, rbm: &mut Rbm, data: &Array2<f64>) -> f64 {
+        let (grad_w, grad_bv, grad_bh) = self.gradient(rbm, data);
+        let norm = grad_w.iter().map(|g| g * g).sum::<f64>().sqrt();
+        *rbm.weights_mut() += &(&grad_w * self.learning_rate);
+        *rbm.visible_bias_mut() += &(&grad_bv * self.learning_rate);
+        *rbm.hidden_bias_mut() += &(&grad_bh * self.learning_rate);
+        norm
+    }
+
+    /// The exact log-likelihood gradient `(∂W, ∂b_v, ∂b_h)`.
+    ///
+    /// # Panics
+    ///
+    /// See [`MlTrainer::step`].
+    pub fn gradient(
+        &self,
+        rbm: &Rbm,
+        data: &Array2<f64>,
+    ) -> (Array2<f64>, Array1<f64>, Array1<f64>) {
+        assert_eq!(data.ncols(), rbm.visible_len(), "data width mismatch");
+        let m = rbm.visible_len();
+        assert!(m <= 20, "exact ML limited to 20 visible units");
+        let t = data.nrows() as f64;
+
+        // Positive phase: ⟨v h⟩_data with analytic h|v.
+        let h_probs = rbm.hidden_probs_batch(data);
+        let pos_w = data.t().dot(&h_probs) / t;
+        let pos_bv = data.mean_axis(Axis(0)).expect("non-empty data");
+        let pos_bh = h_probs.mean_axis(Axis(0)).expect("non-empty data");
+
+        // Negative phase: ⟨v h⟩_model by enumeration (Eq. 10).
+        let p_v = exact::visible_distribution(rbm);
+        let mut neg_w = Array2::<f64>::zeros(rbm.weights().dim());
+        let mut neg_bv = Array1::<f64>::zeros(rbm.visible_len());
+        let mut neg_bh = Array1::<f64>::zeros(rbm.hidden_len());
+        for (code, &pv) in p_v.iter().enumerate() {
+            if pv == 0.0 {
+                continue;
+            }
+            let v = exact::bits_to_array(code as u64, m);
+            let h = rbm.hidden_probs(&v.view());
+            for i in 0..m {
+                if v[i] == 0.0 {
+                    continue;
+                }
+                neg_bv[i] += pv;
+                for j in 0..rbm.hidden_len() {
+                    neg_w[[i, j]] += pv * h[j];
+                }
+            }
+            for j in 0..rbm.hidden_len() {
+                neg_bh[j] += pv * h[j];
+            }
+        }
+
+        (pos_w - neg_w, pos_bv - neg_bv, pos_bh - neg_bh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndarray::arr2;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let rbm = Rbm::random(4, 3, 0.3, &mut rng);
+        let data = arr2(&[
+            [1.0, 0.0, 1.0, 0.0],
+            [1.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 1.0],
+        ]);
+        let trainer = MlTrainer::new(0.1);
+        let (grad_w, grad_bv, grad_bh) = trainer.gradient(&rbm, &data);
+
+        let h = 1e-5;
+        // Check a handful of weight coordinates.
+        for &(i, j) in &[(0usize, 0usize), (1, 2), (3, 1)] {
+            let mut plus = rbm.clone();
+            plus.weights_mut()[[i, j]] += h;
+            let mut minus = rbm.clone();
+            minus.weights_mut()[[i, j]] -= h;
+            let numeric = (exact::mean_log_likelihood(&plus, &data)
+                - exact::mean_log_likelihood(&minus, &data))
+                / (2.0 * h);
+            assert!(
+                (numeric - grad_w[[i, j]]).abs() < 1e-5,
+                "dW[{i}][{j}]: numeric {numeric} vs analytic {}",
+                grad_w[[i, j]]
+            );
+        }
+        // And one bias coordinate on each side.
+        let mut plus = rbm.clone();
+        plus.visible_bias_mut()[2] += h;
+        let mut minus = rbm.clone();
+        minus.visible_bias_mut()[2] -= h;
+        let numeric = (exact::mean_log_likelihood(&plus, &data)
+            - exact::mean_log_likelihood(&minus, &data))
+            / (2.0 * h);
+        assert!((numeric - grad_bv[2]).abs() < 1e-5);
+
+        let mut plus = rbm.clone();
+        plus.hidden_bias_mut()[1] += h;
+        let mut minus = rbm.clone();
+        minus.hidden_bias_mut()[1] -= h;
+        let numeric = (exact::mean_log_likelihood(&plus, &data)
+            - exact::mean_log_likelihood(&minus, &data))
+            / (2.0 * h);
+        assert!((numeric - grad_bh[1]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ml_monotonically_improves_likelihood() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let mut rbm = Rbm::random(5, 2, 0.1, &mut rng);
+        let data = arr2(&[
+            [1.0, 1.0, 1.0, 0.0, 0.0],
+            [1.0, 1.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0, 1.0],
+            [0.0, 0.0, 1.0, 1.0, 1.0],
+        ]);
+        let trainer = MlTrainer::new(0.05);
+        let mut prev = exact::mean_log_likelihood(&rbm, &data);
+        for _ in 0..40 {
+            trainer.step(&mut rbm, &data);
+            let ll = exact::mean_log_likelihood(&rbm, &data);
+            assert!(ll >= prev - 1e-6, "LL decreased: {prev} -> {ll}");
+            prev = ll;
+        }
+    }
+
+    #[test]
+    fn gradient_vanishes_at_convergence() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let mut rbm = Rbm::random(3, 2, 0.1, &mut rng);
+        let data = arr2(&[[1.0, 0.0, 1.0], [0.0, 1.0, 0.0]]);
+        let trainer = MlTrainer::new(0.5);
+        let mut norm = f64::INFINITY;
+        for _ in 0..2000 {
+            norm = trainer.step(&mut rbm, &data);
+        }
+        assert!(norm < 0.05, "gradient norm {norm} still large");
+    }
+}

@@ -1,0 +1,47 @@
+//! Software trainers for RBMs: CD-k (Algorithm 1), persistent CD, and the
+//! exact maximum-likelihood reference.
+
+mod cd;
+mod ml;
+mod pcd;
+
+pub use cd::CdTrainer;
+pub use ml::MlTrainer;
+pub use pcd::PcdTrainer;
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one training epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Number of minibatches processed.
+    pub batches: usize,
+    /// Mean absolute visible difference between the data and the final
+    /// negative-phase sample (a cheap learning-progress proxy).
+    pub reconstruction_error: f64,
+    /// Mean L2 norm of the weight-gradient estimate per batch.
+    pub gradient_norm: f64,
+}
+
+impl EpochStats {
+    /// Aggregates per-batch `(reconstruction error, gradient norm)` pairs
+    /// into epoch statistics. Exposed for external trainers (the hardware
+    /// models in `ember-core`) that produce the same per-batch pairs.
+    pub fn accumulate(stats: &[(f64, f64)]) -> EpochStats {
+        let batches = stats.len();
+        if batches == 0 {
+            return EpochStats {
+                batches: 0,
+                reconstruction_error: 0.0,
+                gradient_norm: 0.0,
+            };
+        }
+        let recon = stats.iter().map(|s| s.0).sum::<f64>() / batches as f64;
+        let grad = stats.iter().map(|s| s.1).sum::<f64>() / batches as f64;
+        EpochStats {
+            batches,
+            reconstruction_error: recon,
+            gradient_norm: grad,
+        }
+    }
+}

@@ -1,0 +1,207 @@
+use ndarray::{Array2, Axis};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::trainer::EpochStats;
+use crate::Rbm;
+
+/// Persistent contrastive divergence (Tieleman 2008, cited as \[63\] for the
+/// BGF's particle persistence, §3.3).
+///
+/// Unlike CD-k, the negative-phase Markov chains are **not** re-seeded at
+/// the data each minibatch; `p` persistent "fantasy particles" keep
+/// evolving under the current model, giving lower-bias negative statistics.
+/// This is exactly the role of the `p` hidden-state particles the BGF
+/// architecture stores and re-loads between negative phases.
+///
+/// # Example
+///
+/// ```
+/// use ember_rbm::{Rbm, PcdTrainer};
+/// use ndarray::Array2;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// let mut rbm = Rbm::random(6, 3, 0.01, &mut rng);
+/// let data = Array2::from_shape_fn((30, 6), |(i, _)| (i % 2) as f64);
+/// let mut trainer = PcdTrainer::new(1, 0.05, 10, &rbm, &mut rng);
+/// let stats = trainer.train_epoch(&mut rbm, &data, 10, &mut rng);
+/// assert_eq!(stats.batches, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PcdTrainer {
+    k: usize,
+    learning_rate: f64,
+    particles_v: Array2<f64>,
+}
+
+impl PcdTrainer {
+    /// Creates a PCD-`k` trainer with `p` particles initialized from random
+    /// visible states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `learning_rate <= 0`, or `particles == 0`.
+    pub fn new<R: Rng + ?Sized>(
+        k: usize,
+        learning_rate: f64,
+        particles: usize,
+        rbm: &Rbm,
+        rng: &mut R,
+    ) -> Self {
+        assert!(k >= 1, "PCD-k needs k >= 1");
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!(particles >= 1, "need at least one particle");
+        let particles_v = Array2::from_shape_fn((particles, rbm.visible_len()), |_| {
+            if rng.random_bool(0.5) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        PcdTrainer {
+            k,
+            learning_rate,
+            particles_v,
+        }
+    }
+
+    /// Number of persistent particles `p`.
+    pub fn particle_count(&self) -> usize {
+        self.particles_v.nrows()
+    }
+
+    /// Current particle visible states (`p × m`).
+    pub fn particles(&self) -> &Array2<f64> {
+        &self.particles_v
+    }
+
+    /// Trains one epoch; returns statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` width differs from the RBM's visible count or
+    /// `batch_size == 0`.
+    pub fn train_epoch<R: Rng + ?Sized>(
+        &mut self,
+        rbm: &mut Rbm,
+        data: &Array2<f64>,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> EpochStats {
+        assert_eq!(data.ncols(), rbm.visible_len(), "data width mismatch");
+        assert!(batch_size >= 1, "batch size must be positive");
+        let mut stats = Vec::new();
+        let rows = data.nrows();
+        let mut start = 0;
+        while start < rows {
+            let end = (start + batch_size).min(rows);
+            let batch = data.slice(ndarray::s![start..end, ..]).to_owned();
+            stats.push(self.train_batch(rbm, &batch, rng));
+            start = end;
+        }
+        EpochStats::accumulate(&stats)
+    }
+
+    fn train_batch<R: Rng + ?Sized>(
+        &mut self,
+        rbm: &mut Rbm,
+        batch: &Array2<f64>,
+        rng: &mut R,
+    ) -> (f64, f64) {
+        let bs = batch.nrows() as f64;
+        let p = self.particles_v.nrows() as f64;
+
+        // Positive phase from the data.
+        let h_pos = Rbm::sample_batch(&rbm.hidden_probs_batch(batch), rng);
+
+        // Negative phase from the persistent particles: advance k steps.
+        let mut v_neg = self.particles_v.clone();
+        let mut h_neg = Rbm::sample_batch(&rbm.hidden_probs_batch(&v_neg), rng);
+        for _ in 0..self.k {
+            v_neg = Rbm::sample_batch(&rbm.visible_probs_batch(&h_neg), rng);
+            h_neg = Rbm::sample_batch(&rbm.hidden_probs_batch(&v_neg), rng);
+        }
+        self.particles_v = v_neg.clone();
+
+        let grad_w = batch.t().dot(&h_pos) / bs - v_neg.t().dot(&h_neg) / p;
+        let grad_bv = batch.sum_axis(Axis(0)) / bs - v_neg.sum_axis(Axis(0)) / p;
+        let grad_bh = h_pos.sum_axis(Axis(0)) / bs - h_neg.sum_axis(Axis(0)) / p;
+        let grad_norm = grad_w.iter().map(|g| g * g).sum::<f64>().sqrt();
+
+        *rbm.weights_mut() += &(&grad_w * self.learning_rate);
+        *rbm.visible_bias_mut() += &(&grad_bv * self.learning_rate);
+        *rbm.hidden_bias_mut() += &(&grad_bh * self.learning_rate);
+
+        let recon = {
+            // Compare data statistics with particle statistics.
+            let d = batch.mean_axis(Axis(0)).expect("non-empty batch");
+            let m = v_neg.mean_axis(Axis(0)).expect("non-empty particles");
+            (&d - &m).mapv(f64::abs).mean().unwrap_or(0.0)
+        };
+        (recon, grad_norm)
+    }
+
+    /// Full run of `epochs` epochs; returns the final epoch's statistics.
+    pub fn train<R: Rng + ?Sized>(
+        &mut self,
+        rbm: &mut Rbm,
+        data: &Array2<f64>,
+        batch_size: usize,
+        epochs: usize,
+        rng: &mut R,
+    ) -> EpochStats {
+        let mut last = EpochStats {
+            batches: 0,
+            reconstruction_error: 0.0,
+            gradient_norm: 0.0,
+        };
+        for _ in 0..epochs {
+            last = self.train_epoch(rbm, data, batch_size, rng);
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pcd_improves_likelihood() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let mut rbm = Rbm::random(8, 4, 0.01, &mut rng);
+        let data = Array2::from_shape_fn((60, 8), |(i, _)| if i % 2 == 0 { 1.0 } else { 0.0 });
+        let before = crate::exact::mean_log_likelihood(&rbm, &data);
+        let mut trainer = PcdTrainer::new(1, 0.05, 20, &rbm, &mut rng);
+        trainer.train(&mut rbm, &data, 10, 80, &mut rng);
+        let after = crate::exact::mean_log_likelihood(&rbm, &data);
+        assert!(after > before + 1.0, "LL {before} -> {after}");
+    }
+
+    #[test]
+    fn particles_evolve() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let mut rbm = Rbm::random(6, 3, 0.5, &mut rng);
+        let data = Array2::zeros((10, 6));
+        let mut trainer = PcdTrainer::new(2, 0.01, 8, &rbm, &mut rng);
+        let before = trainer.particles().clone();
+        trainer.train_epoch(&mut rbm, &data, 5, &mut rng);
+        assert_ne!(&before, trainer.particles());
+        assert_eq!(trainer.particle_count(), 8);
+    }
+
+    #[test]
+    fn particle_values_stay_binary() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut rbm = Rbm::random(5, 3, 0.2, &mut rng);
+        let data = Array2::from_shape_fn((12, 5), |(i, j)| ((i * j) % 2) as f64);
+        let mut trainer = PcdTrainer::new(1, 0.1, 6, &rbm, &mut rng);
+        trainer.train(&mut rbm, &data, 4, 3, &mut rng);
+        assert!(trainer
+            .particles()
+            .iter()
+            .all(|&x| x == 0.0 || x == 1.0));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the RBM stack invariants.
+
+use ember_rbm::{exact, gibbs, math, CdTrainer, Rbm};
+use ndarray::{Array1, Array2};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_rbm(max_v: usize, max_h: usize) -> impl Strategy<Value = Rbm> {
+    (2..=max_v, 1..=max_h, any::<u64>(), 0.01f64..1.0).prop_map(|(m, n, seed, std)| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Rbm::random(m, n, std, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// e^{−F(v)} = Σ_h e^{−E(v,h)} for every visible vector.
+    #[test]
+    fn free_energy_marginalizes(rbm in arb_rbm(5, 4), code in 0u64..32) {
+        let m = rbm.visible_len();
+        let v = exact::bits_to_array(code % (1 << m), m);
+        let mut direct = Vec::new();
+        for h_code in 0u64..(1 << rbm.hidden_len()) {
+            let h = exact::bits_to_array(h_code, rbm.hidden_len());
+            direct.push(-rbm.energy(&v.view(), &h.view()));
+        }
+        let log_sum = math::logsumexp(&direct);
+        prop_assert!((log_sum - (-rbm.free_energy(&v.view()))).abs() < 1e-9);
+    }
+
+    /// Conditional probabilities are proper probabilities, batch == single.
+    #[test]
+    fn conditionals_proper(rbm in arb_rbm(6, 5), seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let v = Array1::from_shape_fn(rbm.visible_len(), |_| {
+            if rng.random_bool(0.5) { 1.0 } else { 0.0 }
+        });
+        let p = rbm.hidden_probs(&v.view());
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let batch = {
+            let mut b = Array2::zeros((1, rbm.visible_len()));
+            b.row_mut(0).assign(&v);
+            rbm.hidden_probs_batch(&b)
+        };
+        for j in 0..rbm.hidden_len() {
+            prop_assert!((batch[[0, j]] - p[j]).abs() < 1e-12);
+        }
+    }
+
+    /// The exact visible distribution is a proper distribution.
+    #[test]
+    fn exact_distribution_normalized(rbm in arb_rbm(6, 4)) {
+        let p = exact::visible_distribution(&rbm);
+        prop_assert!((p.sum() - 1.0).abs() < 1e-8);
+        prop_assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    /// Gibbs chains only produce binary states, of the right shapes.
+    #[test]
+    fn gibbs_binary(rbm in arb_rbm(6, 4), seed in any::<u64>(), k in 1usize..5) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let v0 = Array1::zeros(rbm.visible_len());
+        let (v, h) = gibbs::chain(&rbm, &v0, k, &mut rng);
+        prop_assert_eq!(v.len(), rbm.visible_len());
+        prop_assert_eq!(h.len(), rbm.hidden_len());
+        prop_assert!(v.iter().chain(h.iter()).all(|&x| x == 0.0 || x == 1.0));
+    }
+
+    /// A CD epoch never produces non-finite parameters.
+    #[test]
+    fn cd_stays_finite(seed in any::<u64>(), k in 1usize..4, lr in 0.001f64..0.5) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rbm = Rbm::random(6, 3, 0.1, &mut rng);
+        let data = Array2::from_shape_fn((16, 6), |(i, j)| ((i + j) % 2) as f64);
+        CdTrainer::new(k, lr).train_epoch(&mut rbm, &data, 4, &mut rng);
+        prop_assert!(rbm.weights().iter().all(|w| w.is_finite()));
+        prop_assert!(rbm.visible_bias().iter().all(|b| b.is_finite()));
+        prop_assert!(rbm.hidden_bias().iter().all(|b| b.is_finite()));
+    }
+
+    /// logsumexp is shift-invariant and ≥ max.
+    #[test]
+    fn logsumexp_properties(xs in proptest::collection::vec(-50.0f64..50.0, 1..12), c in -20.0f64..20.0) {
+        let lse = math::logsumexp(&xs);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lse >= max - 1e-12);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        prop_assert!((math::logsumexp(&shifted) - (lse + c)).abs() < 1e-9);
+    }
+
+    /// Bipartite conversion preserves the energy function.
+    #[test]
+    fn bipartite_roundtrip(rbm in arb_rbm(4, 3), vc in 0u64..16, hc in 0u64..8) {
+        let m = rbm.visible_len();
+        let n = rbm.hidden_len();
+        let v = exact::bits_to_array(vc % (1 << m), m);
+        let h = exact::bits_to_array(hc % (1 << n), n);
+        let bp = rbm.to_bipartite();
+        let vb: Vec<bool> = v.iter().map(|&x| x >= 0.5).collect();
+        let hb: Vec<bool> = h.iter().map(|&x| x >= 0.5).collect();
+        prop_assert!((bp.energy_bits(&vb, &hb) - rbm.energy(&v.view(), &h.view())).abs() < 1e-10);
+    }
+}

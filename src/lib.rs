@@ -1,0 +1,51 @@
+//! # ember
+//!
+//! Energy-based learning on a simulated Ising-machine substrate — a full
+//! reproduction of *"Supporting Energy-Based Learning with an Ising
+//! Machine Substrate: A Case Study on RBM"* (MICRO 2023) as a Rust
+//! workspace.
+//!
+//! This facade crate re-exports the workspace members under stable paths:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`ising`] | `ember-ising` | Ising model, QUBO, max-cut, simulated annealing |
+//! | [`brim`] | `ember-brim` | BRIM dynamical substrate simulator |
+//! | [`analog`] | `ember-analog` | Sigmoid unit, thermal RNG, comparator, converters, charge pump, noise models |
+//! | [`rbm`] | `ember-rbm` | RBM, CD-k/PCD/exact-ML trainers, DBN, MLP, conv-RBM patches |
+//! | [`core`] | `ember-core` | **The paper's contribution**: Gibbs Sampler and Boltzmann Gradient Follower accelerator models |
+//! | [`datasets`] | `ember-datasets` | Synthetic stand-ins for the paper's eight datasets |
+//! | [`metrics`] | `ember-metrics` | AIS, KL, ROC/AUC, MAE, smoothing |
+//! | [`perf`] | `ember-perf` | Timing/energy/area models for Figs. 5–6 and Tables 2–3 |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ember::core::{BgfConfig, BoltzmannGradientFollower};
+//! use ember::rbm::Rbm;
+//! use ndarray::Array2;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let data = Array2::from_shape_fn((40, 8), |(i, _)| (i % 2) as f64);
+//! let init = Rbm::random(8, 4, 0.01, &mut rng);
+//! let mut machine = BoltzmannGradientFollower::new(init, BgfConfig::default(), &mut rng);
+//! machine.train_epoch(&data, &mut rng);
+//! let trained = machine.read_out(&mut rng);
+//! assert_eq!(trained.visible_len(), 8);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/` for the per-table/figure experiment harness.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ember_analog as analog;
+pub use ember_brim as brim;
+pub use ember_core as core;
+pub use ember_datasets as datasets;
+pub use ember_ising as ising;
+pub use ember_metrics as metrics;
+pub use ember_perf as perf;
+pub use ember_rbm as rbm;

@@ -1,0 +1,129 @@
+//! End-to-end integration tests: the full training paths (software CD,
+//! GS accelerator, BGF hardware) on synthetic data, judged by exact
+//! log-likelihood and downstream task metrics.
+
+use ember::core::{BgfConfig, BoltzmannGradientFollower, GibbsSampler, GsConfig};
+use ember::datasets::{digits, train_test_split};
+use ember::rbm::{exact, CdTrainer, Mlp, MlpConfig, Rbm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A 14x14 down-scaled two-mode toy set keeps exact evaluation cheap.
+fn toy_data(rows: usize) -> ndarray::Array2<f64> {
+    ndarray::Array2::from_shape_fn((rows, 12), |(i, j)| {
+        let left = i % 2 == 0;
+        if (left && j < 6) || (!left && j >= 6) {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+#[test]
+fn all_three_trainers_improve_likelihood_comparably() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let data = toy_data(60);
+    let init = Rbm::random(12, 4, 0.01, &mut rng);
+    let before = exact::mean_log_likelihood(&init, &data);
+
+    let mut cd = init.clone();
+    CdTrainer::new(1, 0.1).train(&mut cd, &data, 10, 50, &mut rng);
+    let ll_cd = exact::mean_log_likelihood(&cd, &data);
+
+    let mut gs = GibbsSampler::new(init.clone(), GsConfig::default().with_k(1), &mut rng);
+    for _ in 0..50 {
+        gs.train_epoch(&data, 10, &mut rng);
+    }
+    let ll_gs = exact::mean_log_likelihood(gs.rbm(), &data);
+
+    let mut bgf = BoltzmannGradientFollower::new(
+        init,
+        BgfConfig::default().with_pump_ratio(1.0 / 512.0),
+        &mut rng,
+    );
+    for _ in 0..50 {
+        bgf.train_epoch(&data, &mut rng);
+    }
+    let ll_bgf = exact::mean_log_likelihood(&bgf.effective_rbm(), &data);
+
+    assert!(ll_cd > before + 2.0, "CD: {before} -> {ll_cd}");
+    assert!(ll_gs > before + 2.0, "GS: {before} -> {ll_gs}");
+    assert!(ll_bgf > before + 2.0, "BGF: {before} -> {ll_bgf}");
+    // The three should land in the same neighborhood (paper: "essentially
+    // the same accuracy").
+    let spread = [ll_cd, ll_gs, ll_bgf];
+    let min = spread.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = spread.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(max - min < 4.0, "trainers diverge: {spread:?}");
+}
+
+#[test]
+fn bgf_readout_supports_downstream_classification() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let ds = digits::generate(300, 9).binarized(0.5);
+    let split = train_test_split(&ds, 0.25, &mut rng);
+
+    let init = Rbm::random(784, 32, 0.01, &mut rng);
+    let mut bgf = BoltzmannGradientFollower::new(
+        init,
+        BgfConfig::default()
+            .with_pump_ratio(1.0 / 256.0)
+            .with_negative_sweeps(3),
+        &mut rng,
+    );
+    for _ in 0..10 {
+        bgf.train_epoch(split.train.images(), &mut rng);
+    }
+    // Read out through the ADCs, like the real flow.
+    let rbm = bgf.read_out(&mut rng);
+
+    let train_f = rbm.hidden_probs_batch(split.train.images());
+    let test_f = rbm.hidden_probs_batch(split.test.images());
+    let mut head = Mlp::new(32, &[], 10, 0.01, &mut rng);
+    let config = MlpConfig {
+        learning_rate: 0.3,
+        momentum: 0.8,
+        weight_decay: 1e-4,
+    };
+    for _ in 0..60 {
+        head.train_epoch(&train_f, split.train.labels(), 25, &config, &mut rng);
+    }
+    let acc = head.accuracy(&test_f, split.test.labels());
+    assert!(acc > 0.5, "accuracy {acc} barely above chance (0.1)");
+}
+
+#[test]
+fn gs_and_software_cd_produce_similar_models() {
+    // With ideal analog components the GS is algorithm-equivalent to CD-k
+    // (different randomness, same distribution family).
+    let mut rng = StdRng::seed_from_u64(3);
+    let data = toy_data(40);
+    let init = Rbm::random(12, 3, 0.01, &mut rng);
+
+    let mut cd = init.clone();
+    CdTrainer::new(2, 0.1).train(&mut cd, &data, 8, 40, &mut rng);
+    let mut gs = GibbsSampler::new(init, GsConfig::default().with_k(2), &mut rng);
+    for _ in 0..40 {
+        gs.train_epoch(&data, 8, &mut rng);
+    }
+
+    let ll_cd = exact::mean_log_likelihood(&cd, &data);
+    let ll_gs = exact::mean_log_likelihood(gs.rbm(), &data);
+    assert!((ll_cd - ll_gs).abs() < 2.5, "CD {ll_cd} vs GS {ll_gs}");
+}
+
+#[test]
+fn counters_enable_perf_accounting() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let data = toy_data(20);
+    let init = Rbm::random(12, 4, 0.01, &mut rng);
+    let mut bgf = BoltzmannGradientFollower::new(init, BgfConfig::default(), &mut rng);
+    bgf.train_epoch(&data, &mut rng);
+    let c = bgf.counters();
+    assert_eq!(c.positive_samples, 20);
+    assert_eq!(c.negative_samples, 20);
+    assert!(c.phase_points > 0);
+    assert!(c.weight_update_events > 0);
+    assert_eq!(c.host_mac_ops, 0, "BGF must not use the host for math");
+}

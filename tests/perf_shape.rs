@@ -1,0 +1,64 @@
+//! Integration tests pinning the paper's headline architecture results
+//! through the facade API.
+
+use ember::perf;
+
+#[test]
+fn headline_speedup_and_energy_claims() {
+    let fig5 = perf::fig5_rows();
+    let gm5 = fig5.last().expect("geomean");
+    // "about 29x speedup" over the TPU.
+    assert!(gm5.tpu > 15.0 && gm5.tpu < 60.0, "speedup {}", gm5.tpu);
+    // "GS has 2x".
+    let gs_speedup = gm5.tpu / gm5.gs;
+    assert!(gs_speedup > 1.4 && gs_speedup < 3.0, "GS {gs_speedup}");
+
+    let fig6 = perf::fig6_rows();
+    let gm6 = fig6.last().expect("geomean");
+    // "about 1000x reduction in energy".
+    assert!(gm6.tpu > 300.0 && gm6.tpu < 4000.0, "energy {}", gm6.tpu);
+}
+
+#[test]
+fn per_benchmark_monotonicity() {
+    // Larger models widen BGF's advantage over the TPU (O(mn) digital ops
+    // vs O(m+n) trajectory): MNIST (784x200) < EMNIST (784x1024).
+    let rows = perf::fig5_rows();
+    let get = |name: &str| rows.iter().find(|r| r.name == name).expect("row").tpu;
+    assert!(get("EMNIST_RBM") > get("MNIST_RBM"));
+    // Patch benchmarks (small m) sit below the geomean.
+    let gm = rows.last().expect("geomean").tpu;
+    assert!(get("SmallNorb_RBM") < gm);
+}
+
+#[test]
+fn table2_scaling_laws() {
+    let t = perf::ComponentTable::build(&perf::bgf_components(), &[400, 800, 1600]);
+    for (name, cells) in &t.rows {
+        let ratio_area = cells[2].0 / cells[0].0;
+        if name.starts_with("CU") {
+            assert!((ratio_area - 16.0).abs() < 1e-9, "{name} should scale N^2");
+        } else {
+            assert!((ratio_area - 4.0).abs() < 1e-9, "{name} should scale N");
+        }
+    }
+}
+
+#[test]
+fn table3_bgf_dominates_on_efficiency() {
+    let rows = perf::table3_rows();
+    let bgf = rows.last().expect("bgf");
+    assert!(bgf.tops_per_mm2 > rows[0].tops_per_mm2 * 50.0);
+    assert!(bgf.tops_per_w > rows[2].tops_per_w * 50.0);
+}
+
+#[test]
+fn breakdowns_are_self_consistent() {
+    for b in perf::paper_benchmarks() {
+        let t = perf::gs_time(&b);
+        assert!((t.total() - (t.substrate_s + t.host_s + t.comm_s)).abs() < 1e-15);
+        let e = perf::bgf_energy(&b);
+        assert!(e.total() > 0.0);
+        assert!(perf::tpu_energy(&b) > 0.0);
+    }
+}

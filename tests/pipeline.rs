@@ -1,0 +1,115 @@
+//! Cross-crate pipeline tests: datasets → models → metrics.
+
+use ember::datasets::{cifar, digits, fraud, movielens, norb, train_test_split};
+use ember::metrics::{Ais, RocCurve};
+use ember::rbm::{binarize_patches, exact, extract_patches, CdTrainer, PatchPipeline, Rbm};
+use ndarray::Axis;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn ais_tracks_exact_likelihood_through_training() {
+    let mut rng = StdRng::seed_from_u64(20);
+    let data = ndarray::Array2::from_shape_fn((40, 10), |(i, _)| (i % 2) as f64);
+    let mut rbm = Rbm::random(10, 5, 0.01, &mut rng);
+    let trainer = CdTrainer::new(1, 0.1);
+    let ais = Ais::new(300, 30);
+    for _ in 0..3 {
+        trainer.train(&mut rbm, &data, 10, 10, &mut rng);
+        let exact_ll = exact::mean_log_likelihood(&rbm, &data);
+        let ais_ll = ais.mean_log_probability(&rbm, &data, &mut rng);
+        assert!(
+            (exact_ll - ais_ll).abs() < 0.5,
+            "AIS {ais_ll} vs exact {exact_ll}"
+        );
+    }
+}
+
+#[test]
+fn conv_pipeline_classifies_cifar_like_above_chance() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let ds = cifar::generate(200, 5);
+    let split = train_test_split(&ds, 0.25, &mut rng);
+    let patches = extract_patches(split.train.images(), 32, 32, 3, 6, 6);
+    let patches = binarize_patches(&patches);
+    assert_eq!(patches.ncols(), 108, "Table 1's 108-dim patches");
+
+    let mut rbm = Rbm::random(108, 24, 0.01, &mut rng);
+    CdTrainer::new(1, 0.1).train(&mut rbm, &patches, 64, 3, &mut rng);
+    let pipe = PatchPipeline::new(rbm, 32, 32, 3, 6, 6);
+
+    let train_f = pipe.features_batch(split.train.images());
+    let test_f = pipe.features_batch(split.test.images());
+    let mut head = ember::rbm::Mlp::new(pipe.feature_len(), &[], 10, 0.01, &mut rng);
+    let cfg = ember::rbm::MlpConfig::default();
+    for _ in 0..80 {
+        head.train_epoch(&train_f, split.train.labels(), 25, &cfg, &mut rng);
+    }
+    let acc = head.accuracy(&test_f, split.test.labels());
+    assert!(acc > 0.3, "accuracy {acc} vs chance 0.1");
+}
+
+#[test]
+fn norb_patches_have_table1_dimensions() {
+    let ds = norb::generate(20, 2);
+    let patches = extract_patches(ds.images(), 32, 32, 1, 6, 6);
+    assert_eq!(patches.ncols(), 36, "Table 1's 36-dim patches");
+}
+
+#[test]
+fn fraud_free_energy_scoring_detects_anomalies() {
+    let mut rng = StdRng::seed_from_u64(22);
+    let ds = fraud::generate(4000, 0.03, 3);
+    let mut rbm = Rbm::random(28, 10, 0.01, &mut rng);
+    CdTrainer::new(10, 0.05).train(&mut rbm, &ds.normal_binary(), 32, 40, &mut rng);
+    let scores: Vec<f64> = ds
+        .binary()
+        .axis_iter(Axis(0))
+        .map(|row| rbm.free_energy(&row))
+        .collect();
+    let auc = RocCurve::new(&scores, ds.labels()).auc();
+    assert!(auc > 0.8, "AUC {auc}");
+}
+
+#[test]
+fn movielens_rbm_beats_global_mean_baseline() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let ml = movielens::generate(15_000, 0.1, 4);
+    let matrix = ml.item_user_matrix(4);
+    let mut rbm = Rbm::random(ml.users(), 30, 0.01, &mut rng);
+    CdTrainer::new(5, 0.05).train(&mut rbm, &matrix, 50, 3, &mut rng);
+
+    let mae_rbm = ember_bench::movielens_mae(&rbm, &ml, &matrix);
+    let mean_stars =
+        ml.train().iter().map(|r| r.stars as f64).sum::<f64>() / ml.train().len() as f64;
+    let naive: Vec<f64> = vec![mean_stars; ml.test().len()];
+    let target: Vec<f64> = ml.test().iter().map(|r| r.stars as f64).collect();
+    let mae_naive = ember::metrics::mean_absolute_error(&naive, &target);
+    assert!(
+        mae_rbm < mae_naive + 0.05,
+        "RBM MAE {mae_rbm} vs naive {mae_naive}"
+    );
+}
+
+#[test]
+fn digit_features_separate_classes_linearly() {
+    let mut rng = StdRng::seed_from_u64(24);
+    let ds = digits::generate(400, 6).binarized(0.5);
+    let split = train_test_split(&ds, 0.25, &mut rng);
+    let mut rbm = Rbm::random(784, 48, 0.01, &mut rng);
+    CdTrainer::new(1, 0.1).train(&mut rbm, split.train.images(), 20, 6, &mut rng);
+
+    let train_f = rbm.hidden_probs_batch(split.train.images());
+    let test_f = rbm.hidden_probs_batch(split.test.images());
+    let mut head = ember::rbm::Mlp::new(48, &[], 10, 0.01, &mut rng);
+    let cfg = ember::rbm::MlpConfig {
+        learning_rate: 0.3,
+        momentum: 0.8,
+        weight_decay: 1e-4,
+    };
+    for _ in 0..80 {
+        head.train_epoch(&train_f, split.train.labels(), 32, &cfg, &mut rng);
+    }
+    let acc = head.accuracy(&test_f, split.test.labels());
+    assert!(acc > 0.6, "digit accuracy {acc}");
+}
