@@ -105,7 +105,9 @@ mod tests {
         let cmp = Comparator::ideal();
         let noise = ThermalRng::default();
         for &p in &[0.1, 0.5, 0.9] {
-            let hits = (0..8000).filter(|_| cmp.sample(p, &noise, &mut rng)).count();
+            let hits = (0..8000)
+                .filter(|_| cmp.sample(p, &noise, &mut rng))
+                .count();
             let freq = hits as f64 / 8000.0;
             assert!((freq - p).abs() < 0.02, "p={p} freq={freq}");
         }

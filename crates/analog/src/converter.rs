@@ -277,7 +277,9 @@ mod tests {
     fn adc_noise_perturbs_codes() {
         let adc = Adc::new(8, 0.05).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let reads: Vec<f64> = (0..100).map(|_| adc.read(0.5, 0.0, 1.0, &mut rng)).collect();
+        let reads: Vec<f64> = (0..100)
+            .map(|_| adc.read(0.5, 0.0, 1.0, &mut rng))
+            .collect();
         let distinct: std::collections::BTreeSet<u64> =
             reads.iter().map(|r| (r * 1e9) as u64).collect();
         assert!(distinct.len() > 3, "noise should spread the codes");

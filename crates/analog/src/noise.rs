@@ -250,8 +250,12 @@ mod tests {
     fn perturb_scale_controls_sigma() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let noise = NoiseModel::new(0.0, 0.1).unwrap();
-        let small: Vec<f64> = (0..2000).map(|_| noise.perturb(0.0, 1.0, &mut rng)).collect();
-        let large: Vec<f64> = (0..2000).map(|_| noise.perturb(0.0, 5.0, &mut rng)).collect();
+        let small: Vec<f64> = (0..2000)
+            .map(|_| noise.perturb(0.0, 1.0, &mut rng))
+            .collect();
+        let large: Vec<f64> = (0..2000)
+            .map(|_| noise.perturb(0.0, 5.0, &mut rng))
+            .collect();
         let rms = |xs: &[f64]| (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt();
         assert!((rms(&small) - 0.1).abs() < 0.01);
         assert!((rms(&large) - 0.5).abs() < 0.05);

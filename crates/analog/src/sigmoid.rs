@@ -131,8 +131,8 @@ mod tests {
     #[test]
     fn ideal_matches_logistic() {
         let s = SigmoidUnit::ideal();
-        for &x in &[-3.0, -1.0, 0.0, 0.5, 2.0] {
-            let expected = 1.0 / (1.0 + (-x as f64).exp());
+        for &x in &[-3.0f64, -1.0, 0.0, 0.5, 2.0] {
+            let expected = 1.0 / (1.0 + (-x).exp());
             assert!((s.transfer(x) - expected).abs() < 1e-12);
         }
         assert!(s.max_deviation_from_logistic() < 1e-12);

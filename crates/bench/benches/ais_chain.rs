@@ -15,9 +15,10 @@ fn bench_ais(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
     let small = Rbm::random(16, 8, 0.3, &mut rng);
     let medium = Rbm::random(784, 64, 0.05, &mut rng);
-    for (name, rbm, betas, chains) in
-        [("16x8", &small, 100usize, 10usize), ("784x64", &medium, 50, 5)]
-    {
+    for (name, rbm, betas, chains) in [
+        ("16x8", &small, 100usize, 10usize),
+        ("784x64", &medium, 50, 5),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), rbm, |b, rbm| {
             let ais = Ais::new(betas, chains);
             let mut rng = StdRng::seed_from_u64(8);

@@ -49,5 +49,10 @@ fn bench_converters(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_pump, bench_sigmoid_comparator, bench_converters);
+criterion_group!(
+    benches,
+    bench_pump,
+    bench_sigmoid_comparator,
+    bench_converters
+);
 criterion_main!(benches);

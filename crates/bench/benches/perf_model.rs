@@ -15,12 +15,8 @@ fn bench_rows(c: &mut Criterion) {
 
 fn bench_single_models(c: &mut Criterion) {
     let bench = &paper_benchmarks()[0];
-    c.bench_function("tpu_time_single", |b| {
-        b.iter(|| tpu_time(black_box(bench)))
-    });
-    c.bench_function("bgf_time_single", |b| {
-        b.iter(|| bgf_time(black_box(bench)))
-    });
+    c.bench_function("tpu_time_single", |b| b.iter(|| tpu_time(black_box(bench))));
+    c.bench_function("bgf_time_single", |b| b.iter(|| bgf_time(black_box(bench))));
 }
 
 criterion_group!(benches, bench_rows, bench_single_models);

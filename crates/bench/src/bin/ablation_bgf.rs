@@ -17,7 +17,10 @@ fn main() {
     let ais = Ais::new(config.pick(100, 400), config.pick(15, 40));
 
     header("BGF ablation (MNIST-like, final AIS avg log probability)");
-    println!("samples: {samples}  hidden: {hidden}  epochs: {epochs}  seed: {}", config.seed);
+    println!(
+        "samples: {samples}  hidden: {hidden}  epochs: {epochs}  seed: {}",
+        config.seed
+    );
 
     let data = ember_datasets::digits::generate(samples, config.seed).binarized(0.5);
     let images = data.images();
@@ -71,7 +74,10 @@ fn main() {
         }
         let read = bgf.read_out(&mut rng);
         let lp = ais.mean_log_probability(&read, images, &mut rng);
-        println!("{:<34} avg logP {lp:9.1}", format!("ADC {bits}-bit read-out"));
+        println!(
+            "{:<34} avg logP {lp:9.1}",
+            format!("ADC {bits}-bit read-out")
+        );
     }
 
     println!("\nexpected shape: quality is flat across particles>=5 and sweeps>=2,");

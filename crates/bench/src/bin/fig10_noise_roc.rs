@@ -5,8 +5,8 @@
 //! Expected shape (paper): final AUC stays within 0.957–0.963 across all
 //! configurations.
 
-use ember_bench::{bgf_quality_config, header, train_bgf, RunConfig};
 use ember_analog::NoiseModel;
+use ember_bench::{bgf_quality_config, header, train_bgf, RunConfig};
 use ember_metrics::RocCurve;
 use ndarray::Axis;
 
@@ -16,7 +16,10 @@ fn main() {
     let epochs = config.pick(10, 40);
 
     header("Figure 10: anomaly-detection ROC under noise/variation (BGF)");
-    println!("transactions: {total}  epochs: {epochs}  seed: {}", config.seed);
+    println!(
+        "transactions: {total}  epochs: {epochs}  seed: {}",
+        config.seed
+    );
 
     let ds = ember_datasets::fraud::generate(total, 0.02, config.seed);
     let normals = ds.normal_binary();

@@ -58,7 +58,10 @@ fn main() {
     let images = 100;
 
     header("Figure 11: KL divergence CDF vs enumerated ground truth (12v x 4h)");
-    println!("runs: {runs}  iterations: {iters}  CD-big k: {big_k}  seed: {}", config.seed);
+    println!(
+        "runs: {runs}  iterations: {iters}  CD-big k: {big_k}  seed: {}",
+        config.seed
+    );
 
     let mut kl = vec![Vec::new(); 4]; // ML, CD-1, CD-big, BGF
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -81,7 +84,10 @@ fn main() {
         for _ in 0..iters {
             t1.train_epoch(&mut cd1, &data, images, &mut rng);
         }
-        kl[1].push(kl_to_ground_truth(&hist, &exact::visible_distribution(&cd1)));
+        kl[1].push(kl_to_ground_truth(
+            &hist,
+            &exact::visible_distribution(&cd1),
+        ));
 
         // CD with large k.
         let mut cdk = init.clone();
@@ -89,7 +95,10 @@ fn main() {
         for _ in 0..iters {
             tk.train_epoch(&mut cdk, &data, images, &mut rng);
         }
-        kl[2].push(kl_to_ground_truth(&hist, &exact::visible_distribution(&cdk)));
+        kl[2].push(kl_to_ground_truth(
+            &hist,
+            &exact::visible_distribution(&cdk),
+        ));
 
         // BGF on the hardware model (minibatch 1; match update count by
         // streaming the whole set `iters / images`-equivalent times).
@@ -114,7 +123,10 @@ fn main() {
 
     let names = ["ML", "CD-1", &format!("CD-{big_k}"), "BGF"];
     header("CDF of final KL divergence (nats)");
-    println!("{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}", "algorithm", "p10", "p25", "p50", "p75", "p90");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "algorithm", "p10", "p25", "p50", "p75", "p90"
+    );
     let mut medians = Vec::new();
     for (name, values) in names.iter().zip(&kl) {
         let (sorted, _) = empirical_cdf(values);
@@ -138,7 +150,11 @@ fn main() {
         "BGF median KL ({:.4}) not worse than ~1.5x CD-1 median ({:.4}): {}",
         medians[3],
         medians[1],
-        if bgf_ok { "yes (SHAPE REPRODUCED)" } else { "NO" }
+        if bgf_ok {
+            "yes (SHAPE REPRODUCED)"
+        } else {
+            "NO"
+        }
     );
 
     if config.json {

@@ -39,8 +39,7 @@ fn main() {
         let mut rng = config.rng();
         let mut cd1 = Rbm::random(784, hidden, 0.01, &mut rng);
         let mut cd10 = cd1.clone();
-        let mut bgf =
-            BoltzmannGradientFollower::new(cd1.clone(), bgf_quality_config(), &mut rng);
+        let mut bgf = BoltzmannGradientFollower::new(cd1.clone(), bgf_quality_config(), &mut rng);
         let t1 = CdTrainer::new(1, 0.1);
         let t10 = CdTrainer::new(10, 0.1);
 
@@ -56,7 +55,10 @@ fn main() {
         }
 
         header(&format!("{name}-like: avg log P(train) per epoch"));
-        println!("{:<8} {:>10} {:>10} {:>10}", "epoch", "CD-1", "CD-10", "BGF");
+        println!(
+            "{:<8} {:>10} {:>10} {:>10}",
+            "epoch", "CD-1", "CD-10", "BGF"
+        );
         for (e, (a, b, c)) in traj.iter().enumerate() {
             println!("{:<8} {a:>10.2} {b:>10.2} {c:>10.2}", e + 1);
         }
@@ -84,9 +86,13 @@ fn main() {
         println!("{name}-like: all three trajectories rising: {all_rise}");
         ok &= all_rise;
     }
-    println!("overall: {}", if ok { "SHAPE REPRODUCED" } else { "MISMATCH" });
+    println!(
+        "overall: {}",
+        if ok { "SHAPE REPRODUCED" } else { "MISMATCH" }
+    );
 
     if config.json {
+        #[allow(clippy::type_complexity)]
         let blob: Vec<(&str, &Vec<(f64, f64, f64)>)> =
             results.iter().map(|(n, t)| (*n, t)).collect();
         println!("{}", serde_json::to_string(&blob).expect("serializable"));

@@ -5,9 +5,9 @@
 //! Expected shape (paper): ≤10% configurations are indistinguishable from
 //! noiseless; even 20–30% keeps learning with only modest degradation.
 
+use ember_analog::NoiseModel;
 use ember_bench::{bgf_quality_config, header, RunConfig};
 use ember_core::BoltzmannGradientFollower;
-use ember_analog::NoiseModel;
 use ember_metrics::{Ais, MovingAverage};
 use ember_rbm::Rbm;
 
@@ -20,7 +20,10 @@ fn main() {
     let window = config.pick(3, 10);
 
     header("Figure 8: log probability under noise/variation (MNIST-like, BGF)");
-    println!("samples: {samples}  hidden: {hidden}  epochs: {epochs}  seed: {}", config.seed);
+    println!(
+        "samples: {samples}  hidden: {hidden}  epochs: {epochs}  seed: {}",
+        config.seed
+    );
 
     let data = ember_datasets::digits::generate(samples, config.seed).binarized(0.5);
     let images = data.images();
@@ -37,11 +40,8 @@ fn main() {
     for noise in grid {
         let mut rng = config.rng();
         let init = Rbm::random(784, hidden, 0.01, &mut rng);
-        let mut bgf = BoltzmannGradientFollower::new(
-            init,
-            bgf_quality_config().with_noise(noise),
-            &mut rng,
-        );
+        let mut bgf =
+            BoltzmannGradientFollower::new(init, bgf_quality_config().with_noise(noise), &mut rng);
         let mut trace = Vec::with_capacity(epochs);
         for _ in 0..epochs {
             bgf.train_epoch(images, &mut rng);
@@ -65,14 +65,18 @@ fn main() {
     println!("paper: <=10% noise has negligible impact; 20-30% still learns.");
     for (label, value) in &finals {
         let gap = clean - value;
-        println!(
-            "{label:<12} final avg logP {value:8.1}   gap to clean {gap:6.1}"
-        );
+        println!("{label:<12} final avg logP {value:8.1}   gap to clean {gap:6.1}");
     }
-    let mild_ok = finals[1..4].iter().all(|(_, v)| clean - v < 0.25 * clean.abs());
+    let mild_ok = finals[1..4]
+        .iter()
+        .all(|(_, v)| clean - v < 0.25 * clean.abs());
     println!(
         "mild-noise (<=10%) within 25% of clean: {}",
-        if mild_ok { "yes (SHAPE REPRODUCED)" } else { "NO" }
+        if mild_ok {
+            "yes (SHAPE REPRODUCED)"
+        } else {
+            "NO"
+        }
     );
 
     if config.json {

@@ -4,8 +4,8 @@
 //! Expected shape (paper): final MAE varies only a little across
 //! configurations (0.709–0.7258 in the paper's run).
 
-use ember_bench::{bgf_quality_config, header, train_bgf, RunConfig};
 use ember_analog::NoiseModel;
+use ember_bench::{bgf_quality_config, header, train_bgf, RunConfig};
 use ember_rbm::Rbm;
 
 fn main() {
@@ -15,7 +15,10 @@ fn main() {
     let epochs = config.pick(3, 10);
 
     header("Figure 9: recommendation MAE under noise/variation (BGF)");
-    println!("ratings: {ratings}  hidden: {hidden}  epochs: {epochs}  seed: {}", config.seed);
+    println!(
+        "ratings: {ratings}  hidden: {hidden}  epochs: {epochs}  seed: {}",
+        config.seed
+    );
 
     let ml = ember_datasets::movielens::generate(ratings, 0.1, config.seed);
     let matrix = ml.item_user_matrix(4);
@@ -43,10 +46,17 @@ fn main() {
     let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     println!("paper: final MAE ranges 0.709 - 0.7258 (spread 0.017)");
-    println!("measured: final MAE ranges {min:.4} - {max:.4} (spread {:.4})", max - min);
+    println!(
+        "measured: final MAE ranges {min:.4} - {max:.4} (spread {:.4})",
+        max - min
+    );
     println!(
         "noise robustness (spread < 0.1): {}",
-        if max - min < 0.1 { "yes (SHAPE REPRODUCED)" } else { "NO" }
+        if max - min < 0.1 {
+            "yes (SHAPE REPRODUCED)"
+        } else {
+            "NO"
+        }
     );
 
     if config.json {

@@ -33,7 +33,10 @@ fn main() {
         cifar.channels()
     );
     let norb = ember_datasets::norb::generate(2, 0);
-    println!("norb-like patch dims : {} (6x6 = 36)", 6 * 6 * norb.channels());
+    println!(
+        "norb-like patch dims : {} (6x6 = 36)",
+        6 * 6 * norb.channels()
+    );
     println!(
         "movielens-like users : {} (= 943 visible units)",
         ember_datasets::movielens::USERS

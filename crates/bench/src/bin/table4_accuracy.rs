@@ -61,7 +61,13 @@ fn image_dbn_pair(
 
     // CD-10 pretrained DBN + fine-tuned softmax head.
     let mut dbn = Dbn::random(sizes, 0.01, &mut rng);
-    dbn.pretrain(split.train.images(), &CdTrainer::new(10, 0.1), 20, epochs, &mut rng);
+    dbn.pretrain(
+        split.train.images(),
+        &CdTrainer::new(10, 0.1),
+        20,
+        epochs,
+        &mut rng,
+    );
     let acc_cd = dbn_accuracy(&dbn, &split, ds.classes(), head_epochs, &mut rng);
 
     // BGF-pretrained DBN: each layer trained on the hardware model.
@@ -237,13 +243,25 @@ fn main() {
     };
 
     let mnist = ember_datasets::digits::generate(samples, config.seed);
-    row("MNIST RBM", image_rbm_pair(&mnist, hidden, epochs, head_epochs, &config));
+    row(
+        "MNIST RBM",
+        image_rbm_pair(&mnist, hidden, epochs, head_epochs, &config),
+    );
     let kmnist = ember_datasets::kana::generate(samples, config.seed);
-    row("KMNIST RBM", image_rbm_pair(&kmnist, hidden, epochs, head_epochs, &config));
+    row(
+        "KMNIST RBM",
+        image_rbm_pair(&kmnist, hidden, epochs, head_epochs, &config),
+    );
     let fmnist = ember_datasets::fashion::generate(samples, config.seed);
-    row("FMNIST RBM", image_rbm_pair(&fmnist, hidden, epochs, head_epochs, &config));
+    row(
+        "FMNIST RBM",
+        image_rbm_pair(&fmnist, hidden, epochs, head_epochs, &config),
+    );
     let emnist = ember_datasets::letters::generate(samples, config.seed);
-    row("EMNIST RBM", image_rbm_pair(&emnist, hidden, epochs, head_epochs, &config));
+    row(
+        "EMNIST RBM",
+        image_rbm_pair(&emnist, hidden, epochs, head_epochs, &config),
+    );
 
     let dbn_sizes: Vec<usize> = config.pick(vec![784, 48, 32], vec![784, 500, 500]);
     row(
@@ -286,7 +304,11 @@ fn main() {
         .iter()
         .map(|(_, a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
-    compare_row("max |CD-10 - BGF| accuracy", "<~1.0%", &format!("{:.1}%", max_gap * 100.0));
+    compare_row(
+        "max |CD-10 - BGF| accuracy",
+        "<~1.0%",
+        &format!("{:.1}%", max_gap * 100.0),
+    );
     compare_row(
         "MAE parity",
         "0.76 / 0.72",

@@ -88,6 +88,7 @@ pub fn compare_row(name: &str, paper: &str, measured: &str) {
 }
 
 /// Trains a fresh RBM with CD-k and returns it.
+#[allow(clippy::too_many_arguments)]
 pub fn train_cd(
     visible: usize,
     hidden: usize,
@@ -229,7 +230,10 @@ mod tests {
             seed: 0,
             json: false,
         };
-        let full = RunConfig { full: true, ..quick };
+        let full = RunConfig {
+            full: true,
+            ..quick
+        };
         assert_eq!(quick.pick(1, 2), 1);
         assert_eq!(full.pick(1, 2), 2);
     }

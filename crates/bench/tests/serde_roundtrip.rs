@@ -23,9 +23,18 @@ fn close(a: f64, b: f64) -> bool {
 }
 
 fn rbm_close(a: &Rbm, b: &Rbm) -> bool {
-    a.weights().iter().zip(b.weights().iter()).all(|(x, y)| close(*x, *y))
-        && a.visible_bias().iter().zip(b.visible_bias().iter()).all(|(x, y)| close(*x, *y))
-        && a.hidden_bias().iter().zip(b.hidden_bias().iter()).all(|(x, y)| close(*x, *y))
+    a.weights()
+        .iter()
+        .zip(b.weights().iter())
+        .all(|(x, y)| close(*x, *y))
+        && a.visible_bias()
+            .iter()
+            .zip(b.visible_bias().iter())
+            .all(|(x, y)| close(*x, *y))
+        && a.hidden_bias()
+            .iter()
+            .zip(b.hidden_bias().iter())
+            .all(|(x, y)| close(*x, *y))
 }
 
 #[test]

@@ -1,4 +1,4 @@
-use ndarray::Array1;
+use ndarray::{Array1, Array2};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -51,27 +51,109 @@ pub enum ClampMode {
 #[derive(Debug, Clone)]
 pub struct BipartiteBrim {
     problem: BipartiteProblem,
-    ising: IsingProblem,
+    /// Spin-domain coupling scaled for the local-field kernel: `W / 4`.
+    w_quarter: Array2<f64>,
+    /// Spin-domain linear field of the embedded Ising system (visible
+    /// entries first) — the `h` of [`BipartiteProblem::to_ising`],
+    /// computed directly without materializing the dense `J`.
+    field: Array1<f64>,
+    /// Dense `(m+n)²` embedding, built only when the dense reference
+    /// kernel is enabled.
+    dense: Option<IsingProblem>,
     config: BrimConfig,
     voltages: Array1<f64>,
     clamp: ClampMode,
     phase_points: usize,
 }
 
+/// The embedded spin-domain linear field of `problem`, visible entries
+/// first (matches `BipartiteProblem::to_ising`, bitwise).
+fn embedded_field(problem: &BipartiteProblem) -> Array1<f64> {
+    let (m, n) = (problem.visible_len(), problem.hidden_len());
+    let mut field = Array1::zeros(m + n);
+    for i in 0..m {
+        field[i] += problem.visible_bias()[i] / 2.0;
+        for k in 0..n {
+            field[i] += problem.weights()[[i, k]] / 4.0;
+            field[m + k] += problem.weights()[[i, k]] / 4.0;
+        }
+    }
+    for k in 0..n {
+        field[m + k] += problem.hidden_bias()[k] / 2.0;
+    }
+    field
+}
+
 impl BipartiteBrim {
     /// Programs the bipartite problem onto the machine.
     pub fn new(problem: BipartiteProblem, config: BrimConfig) -> Self {
-        let ising = problem.to_ising();
         let total = problem.visible_len() + problem.hidden_len();
         let voltages = Array1::from_shape_fn(total, |i| if i % 2 == 0 { 0.01 } else { -0.01 });
+        let w_quarter = problem.weights().mapv(|w| w / 4.0);
+        let field = embedded_field(&problem);
         BipartiteBrim {
             problem,
-            ising,
+            w_quarter,
+            field,
+            dense: None,
             config,
             voltages,
             clamp: ClampMode::Free,
             phase_points: 0,
         }
+    }
+
+    /// Enables (or disables) the dense `(m+n)²` reference kernel: the
+    /// local field is then computed through the full embedded coupling
+    /// matrix instead of the two small GEMVs. Kept as the measured
+    /// baseline of the `bench_pr1` harness and the kernel-equivalence
+    /// tests — both kernels produce identical trajectories.
+    #[must_use]
+    pub fn with_dense_kernel(mut self, dense: bool) -> Self {
+        self.dense = if dense {
+            Some(self.problem.to_ising())
+        } else {
+            None
+        };
+        self
+    }
+
+    /// Whether the dense reference kernel is active.
+    pub fn uses_dense_kernel(&self) -> bool {
+        self.dense.is_some()
+    }
+
+    /// The local spin-domain field at every node: the bipartite fast
+    /// path computes it as two small GEMVs over the `m × n` coupling
+    /// block (`(W/4)·V_h` for the visible side, `(W/4)ᵀ·V_v` for the
+    /// hidden side) plus the precomputed linear field — `O(m·n)` work —
+    /// while the dense reference multiplies the full `(m+n)²` embedding.
+    ///
+    /// Entries belonging to a clamped side are never read by the
+    /// dynamics; the fast path leaves them at zero, the dense reference
+    /// still computes them.
+    pub fn local_field(&self) -> Array1<f64> {
+        if let Some(ising) = &self.dense {
+            return ising.couplings().dot(&self.voltages) + ising.field();
+        }
+        let m = self.problem.visible_len();
+        let mut local = Array1::zeros(self.voltages.len());
+        // A clamped side's nodes are driven, so their local field is never
+        // read — skip that GEMV entirely (the dense reference, like the
+        // seed, always pays the full product).
+        if self.clamp != ClampMode::Visible {
+            let vh = self.voltages.slice(ndarray::s![m..]);
+            for (i, x) in self.w_quarter.dot(&vh).iter().enumerate() {
+                local[i] = x + self.field[i];
+            }
+        }
+        if self.clamp != ClampMode::Hidden {
+            let vv = self.voltages.slice(ndarray::s![..m]);
+            for (j, x) in self.w_quarter.t().dot(&vv).iter().enumerate() {
+                local[m + j] = x + self.field[m + j];
+            }
+        }
+        local
     }
 
     /// The programmed bipartite problem.
@@ -93,7 +175,11 @@ impl BipartiteBrim {
             self.problem.hidden_len(),
             "hidden count cannot change"
         );
-        self.ising = problem.to_ising();
+        self.w_quarter = problem.weights().mapv(|w| w / 4.0);
+        self.field = embedded_field(&problem);
+        if self.dense.is_some() {
+            self.dense = Some(problem.to_ising());
+        }
         self.problem = problem;
     }
 
@@ -160,12 +246,14 @@ impl BipartiteBrim {
 
     /// Visible-node voltages.
     pub fn visible_voltages(&self) -> ndarray::ArrayView1<'_, f64> {
-        self.voltages.slice(ndarray::s![..self.problem.visible_len()])
+        self.voltages
+            .slice(ndarray::s![..self.problem.visible_len()])
     }
 
     /// Hidden-node voltages.
     pub fn hidden_voltages(&self) -> ndarray::ArrayView1<'_, f64> {
-        self.voltages.slice(ndarray::s![self.problem.visible_len()..])
+        self.voltages
+            .slice(ndarray::s![self.problem.visible_len()..])
     }
 
     /// Thresholded visible bits.
@@ -195,7 +283,7 @@ impl BipartiteBrim {
 
     /// One integration step with flip probability `p` on the free nodes.
     pub fn step<R: Rng + ?Sized>(&mut self, p: f64, rng: &mut R) {
-        let local = self.ising.couplings().dot(&self.voltages) + self.ising.field();
+        let local = self.local_field();
         let kc = self.config.coupling_gain();
         let kf = self.config.feedback_gain();
         let dt = self.config.dt();
@@ -260,12 +348,7 @@ mod tests {
 
     fn and_gate_problem() -> BipartiteProblem {
         // One hidden unit that activates only when both visible are on.
-        BipartiteProblem::new(
-            arr2(&[[2.0], [2.0]]),
-            arr1(&[0.0, 0.0]),
-            arr1(&[-3.0]),
-        )
-        .unwrap()
+        BipartiteProblem::new(arr2(&[[2.0], [2.0]]), arr1(&[0.0, 0.0]), arr1(&[-3.0])).unwrap()
     }
 
     #[test]
@@ -279,11 +362,7 @@ mod tests {
             let mut brim = BipartiteBrim::new(and_gate_problem(), BrimConfig::default());
             brim.clamp_visible(&[v0, v1]);
             brim.settle(500);
-            assert_eq!(
-                brim.read_hidden_bits(),
-                vec![expect],
-                "inputs ({v0}, {v1})"
-            );
+            assert_eq!(brim.read_hidden_bits(), vec![expect], "inputs ({v0}, {v1})");
             // Clamped side must be untouched.
             assert_eq!(brim.read_visible_bits(), vec![v0 > 0.5, v1 > 0.5]);
         }
@@ -293,23 +372,15 @@ mod tests {
     fn clamped_hidden_drives_visible() {
         // Strong positive weights and biases that keep visibles off unless
         // the hidden unit pushes them on.
-        let p = BipartiteProblem::new(
-            arr2(&[[3.0], [3.0]]),
-            arr1(&[-1.0, -1.0]),
-            arr1(&[0.0]),
-        )
-        .unwrap();
+        let p = BipartiteProblem::new(arr2(&[[3.0], [3.0]]), arr1(&[-1.0, -1.0]), arr1(&[0.0]))
+            .unwrap();
         let mut brim = BipartiteBrim::new(p, BrimConfig::default());
         brim.clamp_hidden(&[1.0]);
         brim.settle(500);
         assert_eq!(brim.read_visible_bits(), vec![true, true]);
 
-        let p2 = BipartiteProblem::new(
-            arr2(&[[3.0], [3.0]]),
-            arr1(&[-1.0, -1.0]),
-            arr1(&[0.0]),
-        )
-        .unwrap();
+        let p2 = BipartiteProblem::new(arr2(&[[3.0], [3.0]]), arr1(&[-1.0, -1.0]), arr1(&[0.0]))
+            .unwrap();
         let mut brim = BipartiteBrim::new(p2, BrimConfig::default());
         brim.clamp_hidden(&[0.0]);
         brim.settle(500);
@@ -333,12 +404,8 @@ mod tests {
     fn reprogram_changes_behavior() {
         let mut brim = BipartiteBrim::new(and_gate_problem(), BrimConfig::default());
         // Flip the hidden bias so the unit turns on unconditionally.
-        let or_like = BipartiteProblem::new(
-            arr2(&[[2.0], [2.0]]),
-            arr1(&[0.0, 0.0]),
-            arr1(&[3.0]),
-        )
-        .unwrap();
+        let or_like =
+            BipartiteProblem::new(arr2(&[[2.0], [2.0]]), arr1(&[0.0, 0.0]), arr1(&[3.0])).unwrap();
         brim.reprogram(or_like);
         brim.clamp_visible(&[0.0, 0.0]);
         brim.settle(500);
@@ -349,12 +416,9 @@ mod tests {
     #[should_panic(expected = "visible count")]
     fn reprogram_rejects_resize() {
         let mut brim = BipartiteBrim::new(and_gate_problem(), BrimConfig::default());
-        let bigger = BipartiteProblem::new(
-            Array2::zeros((3, 1)),
-            Array1::zeros(3),
-            Array1::zeros(1),
-        )
-        .unwrap();
+        let bigger =
+            BipartiteProblem::new(Array2::zeros((3, 1)), Array1::zeros(3), Array1::zeros(1))
+                .unwrap();
         brim.reprogram(bigger);
     }
 

@@ -1,6 +1,21 @@
 use ember_analog::{NoiseModel, SigmoidUnit};
 use serde::{Deserialize, Serialize};
 
+/// Which host-side execution engine the Gibbs-sampler accelerator model
+/// uses for a minibatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GsEngine {
+    /// The parallel batched engine: per-row chains fan out across the
+    /// rayon pool on per-row RNG streams, gradients accumulate through
+    /// batched GEMMs.
+    #[default]
+    Batched,
+    /// The original row-at-a-time scalar engine (element-wise outer
+    /// products). Kept as the measured baseline of the `bench_pr1`
+    /// harness and the equivalence tests.
+    SerialReference,
+}
+
 /// Configuration of the Gibbs-sampler accelerator (§3.2).
 ///
 /// # Example
@@ -23,6 +38,7 @@ pub struct GsConfig {
     noise: NoiseModel,
     dtc_bits: u32,
     settle_phase_points: u64,
+    engine: GsEngine,
 }
 
 impl GsConfig {
@@ -55,6 +71,11 @@ impl GsConfig {
     /// Phase points one clamped settle takes (feeds the perf model).
     pub fn settle_phase_points(&self) -> u64 {
         self.settle_phase_points
+    }
+
+    /// The host-side execution engine.
+    pub fn engine(&self) -> GsEngine {
+        self.engine
     }
 
     /// Returns a copy with the given `k`.
@@ -106,6 +127,13 @@ impl GsConfig {
         self.dtc_bits = bits;
         self
     }
+
+    /// Returns a copy with the given execution engine.
+    #[must_use]
+    pub fn with_engine(mut self, engine: GsEngine) -> Self {
+        self.engine = engine;
+        self
+    }
 }
 
 impl Default for GsConfig {
@@ -119,6 +147,7 @@ impl Default for GsConfig {
             noise: NoiseModel::noiseless(),
             dtc_bits: 8,
             settle_phase_points: 50,
+            engine: GsEngine::Batched,
         }
     }
 }
@@ -215,7 +244,10 @@ impl BgfConfig {
     /// Panics unless `0 < ratio ≤ 0.5`.
     #[must_use]
     pub fn with_pump_ratio(mut self, ratio: f64) -> Self {
-        assert!(ratio > 0.0 && ratio <= 0.5, "pump ratio must be in (0, 0.5]");
+        assert!(
+            ratio > 0.0 && ratio <= 0.5,
+            "pump ratio must be in (0, 0.5]"
+        );
         self.pump_ratio = ratio;
         self
     }

@@ -1,9 +1,10 @@
-use ndarray::{Array1, Array2};
+use ndarray::{Array1, Array2, Axis};
 use rand::Rng;
 
 use ember_analog::{Comparator, Dtc, VariationMap};
 use ember_rbm::{EpochStats, Rbm};
 
+use crate::config::GsEngine;
 use crate::{AnalogSampler, GsConfig, HardwareCounters};
 
 /// The Gibbs-sampler accelerator of §3.2: the Ising substrate performs the
@@ -94,18 +95,19 @@ impl GibbsSampler {
         self.counters.host_words_transferred += (m * n + m + n) as u64;
     }
 
-    /// Substrate-assisted hidden sample: clamp `v` (DTC-quantized), settle,
-    /// read out (§3.2 steps 3–4).
+    /// Substrate-assisted hidden sample: counted row-at-a-time variant
+    /// used by the serial reference engine (seed-style scalar kernels).
     fn substrate_sample_hidden<R: Rng + ?Sized>(
         &mut self,
         v: &Array1<f64>,
         rng: &mut R,
     ) -> Array1<f64> {
         let clamped = v.mapv(|x| self.dtc.convert(x));
-        let h = self.sampler.sample_layer(
+        let h = self.sampler.sample_layer_reference(
             &self.programmed_weights.view(),
             &self.rbm.hidden_bias().view(),
             &clamped.view(),
+            false,
             rng,
         );
         self.counters.phase_points += self.config.settle_phase_points();
@@ -113,16 +115,17 @@ impl GibbsSampler {
         h
     }
 
-    /// Substrate-assisted visible sample (hidden side clamped).
+    /// Substrate-assisted visible sample (hidden side clamped), counted.
     fn substrate_sample_visible<R: Rng + ?Sized>(
         &mut self,
         h: &Array1<f64>,
         rng: &mut R,
     ) -> Array1<f64> {
-        let v = self.sampler.sample_layer_rev(
+        let v = self.sampler.sample_layer_reference(
             &self.programmed_weights.view(),
             &self.rbm.visible_bias().view(),
             &h.view(),
+            true,
             rng,
         );
         self.counters.phase_points += self.config.settle_phase_points();
@@ -158,6 +161,94 @@ impl GibbsSampler {
     }
 
     fn train_batch<R: Rng + ?Sized>(&mut self, batch: &Array2<f64>, rng: &mut R) -> (f64, f64) {
+        match self.config.engine() {
+            GsEngine::Batched => self.train_batch_batched(batch, rng),
+            GsEngine::SerialReference => self.train_batch_serial(batch, rng),
+        }
+    }
+
+    /// The batched engine: the whole minibatch of substrate chains runs
+    /// at once — every conditional-sampling step is a single GEMM over
+    /// the `batch × layer` matrix (see
+    /// [`AnalogSampler::sample_layer_batch`]) instead of one GEMV per
+    /// row, and the gradient accumulates through two GEMMs (`v⁺ᵀh⁺`,
+    /// `v⁻ᵀh⁻`) instead of `batch` element-wise outer products. With the
+    /// vendored ndarray's `rayon` feature the GEMMs additionally fan
+    /// output-row blocks across the thread pool; results are
+    /// bit-identical at every thread count.
+    fn train_batch_batched<R: Rng + ?Sized>(
+        &mut self,
+        batch: &Array2<f64>,
+        rng: &mut R,
+    ) -> (f64, f64) {
+        let (m, n) = self.rbm.weights().dim();
+        let rows = batch.nrows();
+        let bs = rows as f64;
+        let k = self.config.k();
+        // Step 2: (re)program the current weights.
+        self.program();
+
+        // Steps 3–4: positive phase, whole minibatch at once. Only the
+        // data needs DTC quantization — the comparator read-outs fed back
+        // below are already exactly {0, 1}, on which the DTC is the
+        // identity for any resolution.
+        let clamped = batch.mapv(|x| self.dtc.convert(x));
+        let h_pos = self.sampler.sample_layer_batch(
+            &self.programmed_weights.view(),
+            &self.rbm.hidden_bias().view(),
+            &clamped,
+            rng,
+        );
+        // Steps 5–6: k-step Gibbs equivalent on the substrate, batched.
+        let mut h_neg = h_pos.clone();
+        let mut v_neg = batch.clone();
+        for _ in 0..k {
+            v_neg = self.sampler.sample_layer_rev_batch(
+                &self.programmed_weights.view(),
+                &self.rbm.visible_bias().view(),
+                &h_neg,
+                rng,
+            );
+            h_neg = self.sampler.sample_layer_batch(
+                &self.programmed_weights.view(),
+                &self.rbm.hidden_bias().view(),
+                &v_neg,
+                rng,
+            );
+        }
+
+        // Hardware event bookkeeping, identical totals to the serial path.
+        let settles = rows as u64 * (1 + 2 * k as u64);
+        self.counters.positive_samples += rows as u64;
+        self.counters.negative_samples += rows as u64;
+        self.counters.phase_points += settles * self.config.settle_phase_points();
+        self.counters.host_words_transferred +=
+            rows as u64 * ((1 + k as u64) * n as u64 + k as u64 * m as u64);
+        self.counters.host_mac_ops += rows as u64 * 2 * (m * n) as u64;
+
+        // Step 7/8: batched GEMM accumulation + host gradient update
+        // (mirrors the software trainer's formulation).
+        let alpha = self.config.learning_rate();
+        let grad_w = (batch.t().dot(&h_pos) - v_neg.t().dot(&h_neg)) / bs;
+        let grad_norm = grad_w.iter().map(|g| g * g).sum::<f64>().sqrt();
+        let grad_bv = (batch.sum_axis(Axis(0)) - v_neg.sum_axis(Axis(0))) / bs;
+        let grad_bh = (h_pos.sum_axis(Axis(0)) - h_neg.sum_axis(Axis(0))) / bs;
+        *self.rbm.weights_mut() += &(&grad_w * alpha);
+        *self.rbm.visible_bias_mut() += &(&grad_bv * (alpha));
+        *self.rbm.hidden_bias_mut() += &(&grad_bh * (alpha));
+        self.counters.host_mac_ops += (m * n + m + n) as u64;
+
+        let recon = (&v_neg - batch).mapv(f64::abs).mean().unwrap_or(0.0);
+        (recon, grad_norm)
+    }
+
+    /// The original row-at-a-time scalar engine (kept as the measured
+    /// baseline; see [`GsEngine::SerialReference`]).
+    fn train_batch_serial<R: Rng + ?Sized>(
+        &mut self,
+        batch: &Array2<f64>,
+        rng: &mut R,
+    ) -> (f64, f64) {
         let (m, n) = self.rbm.weights().dim();
         let bs = batch.nrows() as f64;
         // Step 2: (re)program the current weights.

@@ -235,12 +235,10 @@ impl BoltzmannGradientFollower {
             .collect();
         for &i in &v_on {
             for &j in &h_on {
-                let pump_p =
-                    ChargePump::with_device_factor(r, self.pump_factor_pos[[i, j]])
-                        .expect("factors pre-clamped");
-                let pump_n =
-                    ChargePump::with_device_factor(r, self.pump_factor_neg[[i, j]])
-                        .expect("factors pre-clamped");
+                let pump_p = ChargePump::with_device_factor(r, self.pump_factor_pos[[i, j]])
+                    .expect("factors pre-clamped");
+                let pump_n = ChargePump::with_device_factor(r, self.pump_factor_neg[[i, j]])
+                    .expect("factors pre-clamped");
                 if positive {
                     self.v_pos[[i, j]] = pump_p.increment(self.v_pos[[i, j]]);
                     self.v_neg[[i, j]] = pump_n.decrement(self.v_neg[[i, j]]);
@@ -285,9 +283,9 @@ impl BoltzmannGradientFollower {
         // Step 3: positive phase under Wᵗ — clamp, settle, sample h⁺.
         let w_eff = self.effective_weights();
         let bh_eff = self.effective_bh();
-        let h_pos = self
-            .sampler
-            .sample_layer(&w_eff.view(), &bh_eff.view(), &v_clamped.view(), rng);
+        let h_pos =
+            self.sampler
+                .sample_layer(&w_eff.view(), &bh_eff.view(), &v_clamped.view(), rng);
         self.counters.positive_samples += 1;
         self.counters.phase_points += self.config.settle_phase_points();
 
@@ -303,9 +301,9 @@ impl BoltzmannGradientFollower {
         let mut h_neg = self.particles.row(l).to_owned();
         let mut v_neg = Array1::zeros(v.len());
         for _ in 0..self.config.negative_sweeps() {
-            v_neg = self
-                .sampler
-                .sample_layer_rev(&w_eff.view(), &bv_eff.view(), &h_neg.view(), rng);
+            v_neg =
+                self.sampler
+                    .sample_layer_rev(&w_eff.view(), &bv_eff.view(), &h_neg.view(), rng);
             h_neg = self
                 .sampler
                 .sample_layer(&w_eff.view(), &bh_eff.view(), &v_neg.view(), rng);
@@ -422,7 +420,11 @@ mod tests {
         let s = bgf.config().weight_scale();
         let lsb = 2.0 * s / 255.0;
         for (a, b) in exact.weights().iter().zip(read.weights().iter()) {
-            assert!((a - b).abs() <= lsb, "adc error {} > lsb {lsb}", (a - b).abs());
+            assert!(
+                (a - b).abs() <= lsb,
+                "adc error {} > lsb {lsb}",
+                (a - b).abs()
+            );
         }
     }
 
@@ -437,10 +439,7 @@ mod tests {
         bgf.train_epoch(&data, &mut rng);
         assert_eq!(bgf.particles().dim(), (3, 3));
         assert_ne!(&before, bgf.particles());
-        assert!(bgf
-            .particles()
-            .iter()
-            .all(|&x| x == 0.0 || x == 1.0));
+        assert!(bgf.particles().iter().all(|&x| x == 0.0 || x == 1.0));
     }
 
     #[test]

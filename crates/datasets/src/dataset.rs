@@ -118,9 +118,7 @@ impl ImageDataset {
     /// A copy with pixels thresholded to `{0, 1}` at `threshold` — the
     /// binary visible units RBMs expect.
     pub fn binarized(&self, threshold: f64) -> ImageDataset {
-        let images = self
-            .images
-            .mapv(|p| if p > threshold { 1.0 } else { 0.0 });
+        let images = self.images.mapv(|p| if p > threshold { 1.0 } else { 0.0 });
         ImageDataset {
             name: format!("{}-bin", self.name),
             images,

@@ -27,7 +27,10 @@ pub fn templates() -> Vec<Glyph> {
         Glyph::new(vec![arc((0.5, 0.5), (0.22, 0.32), 0.0, TAU)], t),
         // 1 — vertical bar with flag
         Glyph::new(
-            vec![line((0.52, 0.14), (0.52, 0.86)), line((0.38, 0.3), (0.52, 0.14))],
+            vec![
+                line((0.52, 0.14), (0.52, 0.86)),
+                line((0.38, 0.3), (0.52, 0.14)),
+            ],
             t,
         ),
         // 2 — top bow, diagonal, base
@@ -75,7 +78,10 @@ pub fn templates() -> Vec<Glyph> {
         ),
         // 7 — cap and diagonal
         Glyph::new(
-            vec![line((0.3, 0.15), (0.72, 0.15)), line((0.72, 0.15), (0.42, 0.85))],
+            vec![
+                line((0.3, 0.15), (0.72, 0.15)),
+                line((0.72, 0.15), (0.42, 0.85)),
+            ],
             t,
         ),
         // 8 — stacked rings

@@ -8,7 +8,15 @@ use crate::{Canvas, ImageDataset};
 
 /// Class names, index-aligned with the labels.
 pub const CLASS_NAMES: [&str; 10] = [
-    "tshirt", "trouser", "pullover", "dress", "coat", "sandal", "shirt", "sneaker", "bag",
+    "tshirt",
+    "trouser",
+    "pullover",
+    "dress",
+    "coat",
+    "sandal",
+    "shirt",
+    "sneaker",
+    "bag",
     "ankle-boot",
 ];
 
@@ -146,7 +154,7 @@ mod tests {
     #[test]
     fn silhouettes_have_mass() {
         let ds = generate(20, 2);
-        for (i, row) in ds.images().rows().into_iter().enumerate() {
+        for (i, row) in ds.images().rows().enumerate() {
             assert!(row.sum() > 20.0, "image {i} nearly blank");
         }
     }
@@ -157,7 +165,7 @@ mod tests {
         let ds = generate(100, 3);
         let mut means = vec![vec![0.0f64; 784]; 10];
         let mut counts = [0usize; 10];
-        for (row, &label) in ds.images().rows().into_iter().zip(ds.labels()) {
+        for (row, &label) in ds.images().rows().zip(ds.labels()) {
             for (m, &p) in means[label].iter_mut().zip(row.iter()) {
                 *m += p;
             }

@@ -195,7 +195,11 @@ impl Glyph {
         if flip_p > 0.0 {
             img.mapv_inplace(|p| {
                 let bit = p > 0.5;
-                let flipped = if rng.random::<f64>() < flip_p { !bit } else { bit };
+                let flipped = if rng.random::<f64>() < flip_p {
+                    !bit
+                } else {
+                    bit
+                };
                 if flipped {
                     1.0
                 } else {

@@ -178,7 +178,10 @@ pub fn templates() -> Vec<Glyph> {
             t,
         ),
         // T
-        Glyph::new(vec![line((0.25, top), (0.75, top)), line((c, top), (c, bot))], t),
+        Glyph::new(
+            vec![line((0.25, top), (0.75, top)), line((c, top), (c, bot))],
+            t,
+        ),
         // U
         Glyph::new(
             vec![

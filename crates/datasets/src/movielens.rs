@@ -100,12 +100,11 @@ pub fn generate(total_ratings: usize, test_fraction: f64, seed: u64) -> MovieLen
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let factors = 6;
     let normal = Normal::new(0.0, 0.45).expect("valid sigma");
-    let user_f: Vec<Vec<f64>> = (0..USERS)
-        .map(|_| (0..factors).map(|_| normal.sample(&mut rng)).collect())
-        .collect();
-    let item_f: Vec<Vec<f64>> = (0..ITEMS)
-        .map(|_| (0..factors).map(|_| normal.sample(&mut rng)).collect())
-        .collect();
+    // Contiguous (rows × factors) factor matrices; row-major generation
+    // keeps the RNG draw order (and thus the dataset) identical to the
+    // earlier Vec<Vec<f64>> representation.
+    let user_f: Array2<f64> = Array2::from_shape_fn((USERS, factors), |_| normal.sample(&mut rng));
+    let item_f: Array2<f64> = Array2::from_shape_fn((ITEMS, factors), |_| normal.sample(&mut rng));
     // Per-user and per-item bias (some users rate high, some items are good).
     let user_bias: Vec<f64> = (0..USERS).map(|_| normal.sample(&mut rng)).collect();
     let item_bias: Vec<f64> = (0..ITEMS).map(|_| normal.sample(&mut rng)).collect();
@@ -119,11 +118,7 @@ pub fn generate(total_ratings: usize, test_fraction: f64, seed: u64) -> MovieLen
         if !seen.insert((user, item)) {
             continue;
         }
-        let dot: f64 = user_f[user]
-            .iter()
-            .zip(&item_f[item])
-            .map(|(a, b)| a * b)
-            .sum();
+        let dot: f64 = user_f.row(user).dot(&item_f.row(item));
         let raw = 3.0 + dot * 1.6 + user_bias[user] + item_bias[item] + noise.sample(&mut rng);
         let stars = raw.round().clamp(1.0, 5.0) as u8;
         ratings.push(Rating { user, item, stars });
@@ -174,8 +169,8 @@ mod tests {
         for r in ml.train() {
             hist[r.stars as usize] += 1;
         }
-        for s in 1..=5 {
-            assert!(hist[s] > 0, "no {s}-star ratings generated");
+        for (s, &count) in hist.iter().enumerate().take(6).skip(1) {
+            assert!(count > 0, "no {s}-star ratings generated");
         }
         // 3 should dominate (centered model).
         assert!(hist[3] > hist[1] && hist[3] > hist[5]);

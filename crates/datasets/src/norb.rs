@@ -19,9 +19,8 @@ fn render_object<R: Rng + ?Sized>(label: usize, rng: &mut R, c: &mut Canvas) {
     let s = rng.random_range(0.8..=1.2);
     let rot = rng.random_range(-0.4..=0.4f64);
     let (sin, cos) = rot.sin_cos();
-    let rp = |dx: f64, dy: f64| -> (f64, f64) {
-        (cx + dx * cos - dy * sin, cy + dx * sin + dy * cos)
-    };
+    let rp =
+        |dx: f64, dy: f64| -> (f64, f64) { (cx + dx * cos - dy * sin, cy + dx * sin + dy * cos) };
     match label {
         0 => c.fill_ellipse(cx, cy, 9.0 * s, 5.5 * s, 0.9),
         1 => {
@@ -80,9 +79,7 @@ pub fn generate(total: usize, seed: u64) -> ImageDataset {
         render_object(label, &mut rng, &mut canvas);
         let lighting = rng.random_range(0.6..=1.0);
         let mut img = canvas.to_array();
-        img.mapv_inplace(|p| {
-            ((p * lighting) + rng.random_range(-0.03..=0.03)).clamp(0.0, 1.0)
-        });
+        img.mapv_inplace(|p| ((p * lighting) + rng.random_range(-0.03..=0.03)).clamp(0.0, 1.0));
         images.row_mut(i).assign(&img);
         labels.push(label);
     }
@@ -109,7 +106,7 @@ mod tests {
     #[test]
     fn objects_have_ink() {
         let ds = generate(10, 2);
-        for (i, row) in ds.images().rows().into_iter().enumerate() {
+        for (i, row) in ds.images().rows().enumerate() {
             assert!(row.sum() > 5.0, "object {i} nearly blank");
         }
     }
@@ -117,7 +114,7 @@ mod tests {
     #[test]
     fn lighting_varies() {
         let ds = generate(20, 3);
-        let sums: Vec<f64> = ds.images().rows().into_iter().map(|r| r.sum()).collect();
+        let sums: Vec<f64> = ds.images().rows().map(|r| r.sum()).collect();
         // Same class appears at indices 0,5,10,15 with different lighting.
         let same_class = [sums[0], sums[5], sums[10], sums[15]];
         let min = same_class.iter().cloned().fold(f64::INFINITY, f64::min);

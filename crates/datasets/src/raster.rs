@@ -94,6 +94,7 @@ impl Canvas {
 
     /// Draws an elliptical arc from angle `a0` to `a1` (radians, standard
     /// orientation) centered at `(cx, cy)` with radii `(rx, ry)`.
+    #[allow(clippy::too_many_arguments)]
     pub fn arc(&mut self, cx: f64, cy: f64, rx: f64, ry: f64, a0: f64, a1: f64, thickness: f64) {
         let span = (a1 - a0).abs();
         let steps = ((span * rx.max(ry)) / 0.3).ceil().max(4.0) as usize;

@@ -226,12 +226,8 @@ mod tests {
 
     #[test]
     fn rejects_mismatched_biases() {
-        let err = BipartiteProblem::new(
-            arr2(&[[1.0, 0.0]]),
-            arr1(&[0.0, 0.0]),
-            arr1(&[0.0, 0.0]),
-        )
-        .unwrap_err();
+        let err = BipartiteProblem::new(arr2(&[[1.0, 0.0]]), arr1(&[0.0, 0.0]), arr1(&[0.0, 0.0]))
+            .unwrap_err();
         assert!(matches!(err, IsingError::DimensionMismatch { .. }));
     }
 

@@ -75,7 +75,10 @@ pub fn random_pm_one<R: Rng + ?Sized>(n: usize, density: f64, rng: &mut R) -> Is
 ///
 /// Panics if `p` is outside `[0, 1]`.
 pub fn random_maxcut<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> MaxCut {
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0,1]"
+    );
     let mut edges = Vec::new();
     for u in 0..n {
         for v in (u + 1)..n {

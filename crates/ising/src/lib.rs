@@ -57,6 +57,7 @@ pub mod generate;
 mod maxcut;
 mod model;
 mod qubo;
+mod stream;
 
 pub use annealer::{AnnealSchedule, Annealer, Solution};
 pub use bipartite::BipartiteProblem;
@@ -64,3 +65,4 @@ pub use error::IsingError;
 pub use maxcut::MaxCut;
 pub use model::{IsingBuilder, IsingProblem, Spin, SpinVec};
 pub use qubo::Qubo;
+pub use stream::RngStreams;

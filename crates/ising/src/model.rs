@@ -105,7 +105,8 @@ impl SpinVec {
 
     /// Creates a uniformly random state.
     pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
-        let values = Array1::from_iter((0..n).map(|_| if rng.random_bool(0.5) { 1.0 } else { -1.0 }));
+        let values =
+            Array1::from_iter((0..n).map(|_| if rng.random_bool(0.5) { 1.0 } else { -1.0 }));
         SpinVec { values }
     }
 
@@ -509,9 +510,8 @@ mod tests {
         let p = small_problem();
         let s = SpinVec::from_bits(&[true, false, true, false]);
         // Manual: -J01*(+1)(-1) - J12*(-1)(+1) - J23*(+1)(-1) - h0*(+1) - h3*(-1)
-        let expected = -(1.0 * 1.0 * -1.0) - (-2.0 * -1.0 * 1.0) - (0.5 * 1.0 * -1.0)
-            - (0.3 * 1.0)
-            - (-0.7 * -1.0);
+        let expected =
+            -(-(1.0 * 1.0)) - (-2.0 * -1.0 * 1.0) - -(0.5 * 1.0) - (0.3 * 1.0) - (-0.7 * -1.0);
         assert!((p.energy(&s) - expected).abs() < 1e-12);
     }
 
@@ -538,7 +538,10 @@ mod tests {
     #[test]
     fn builder_rejects_self_coupling_and_oob() {
         let mut b = IsingProblem::builder(2);
-        assert_eq!(b.coupling(0, 0, 1.0).unwrap_err(), IsingError::SelfCoupling(0));
+        assert_eq!(
+            b.coupling(0, 0, 1.0).unwrap_err(),
+            IsingError::SelfCoupling(0)
+        );
         assert!(matches!(
             b.coupling(0, 5, 1.0).unwrap_err(),
             IsingError::IndexOutOfBounds { index: 5, len: 2 }

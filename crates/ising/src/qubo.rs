@@ -93,15 +93,14 @@ impl Qubo {
     /// Panics if `bits.len()` differs from the problem size.
     pub fn value(&self, bits: &[bool]) -> f64 {
         assert_eq!(bits.len(), self.len(), "bit vector length mismatch");
-        let n = self.len();
         let mut total = self.offset;
         for (i, &bi) in bits.iter().enumerate() {
             if !bi {
                 continue;
             }
             total += self.matrix[[i, i]];
-            for j in (i + 1)..n {
-                if bits[j] {
+            for (j, &bj) in bits.iter().enumerate().skip(i + 1) {
+                if bj {
                     total += self.matrix[[i, j]];
                 }
             }

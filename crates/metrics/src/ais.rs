@@ -80,8 +80,7 @@ impl Ais {
         let mut log_weights = Vec::with_capacity(self.chains);
         for _ in 0..self.chains {
             // v ~ p0 = uniform.
-            let mut v =
-                Array1::from_shape_fn(m, |_| if rng.random_bool(0.5) { 1.0 } else { 0.0 });
+            let mut v = Array1::from_shape_fn(m, |_| if rng.random_bool(0.5) { 1.0 } else { 0.0 });
             let mut log_w = 0.0;
             let mut beta_prev = 0.0;
             for step in 1..=self.betas {
@@ -100,11 +99,7 @@ impl Ais {
         let log_mean_w = logsumexp(&log_weights) - (self.chains as f64).ln();
         let estimate = log_mean_w + log_z0;
         let mean = log_weights.iter().sum::<f64>() / self.chains as f64;
-        let var = log_weights
-            .iter()
-            .map(|w| (w - mean).powi(2))
-            .sum::<f64>()
-            / self.chains as f64;
+        let var = log_weights.iter().map(|w| (w - mean).powi(2)).sum::<f64>() / self.chains as f64;
         AisEstimate {
             estimate,
             log_std: var.sqrt(),

@@ -70,7 +70,9 @@ mod tests {
 
     #[test]
     fn smooths_alternating_noise() {
-        let xs: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let smoothed = MovingAverage::new(10).apply(&xs);
         // After warm-up, a window of 10 over ±1 alternation averages to 0.
         assert!(smoothed[20..].iter().all(|&y| y.abs() < 1e-12));

@@ -133,10 +133,9 @@ impl ComponentTable {
             .collect();
         let totals = (0..sizes.len())
             .map(|i| {
-                rows.iter()
-                    .fold((0.0, 0.0), |acc, (_, cells)| {
-                        (acc.0 + cells[i].0, acc.1 + cells[i].1)
-                    })
+                rows.iter().fold((0.0, 0.0), |acc, (_, cells)| {
+                    (acc.0 + cells[i].0, acc.1 + cells[i].1)
+                })
             })
             .collect();
         ComponentTable {
@@ -149,10 +148,7 @@ impl ComponentTable {
 
 /// Total substrate area (mm²) for a bipartite `m × n` BGF array.
 pub fn bgf_area_mm2(m: usize, n: usize) -> f64 {
-    bgf_components()
-        .iter()
-        .map(|c| c.area_mm2_rect(m, n))
-        .sum()
+    bgf_components().iter().map(|c| c.area_mm2_rect(m, n)).sum()
 }
 
 /// Total substrate power (W) for a bipartite `m × n` BGF array.
@@ -201,12 +197,24 @@ mod tests {
         // Paper totals: Gibbs 0.065 mm² / 60.5 mW at 400; BGF 21.5 mm² /
         // 700 mW at 1600.
         let gibbs = ComponentTable::build(&gibbs_components(), &[400]);
-        assert!((gibbs.totals[0].0 - 0.065).abs() < 0.005, "{}", gibbs.totals[0].0);
-        assert!((gibbs.totals[0].1 - 60.5).abs() < 1.0, "{}", gibbs.totals[0].1);
+        assert!(
+            (gibbs.totals[0].0 - 0.065).abs() < 0.005,
+            "{}",
+            gibbs.totals[0].0
+        );
+        assert!(
+            (gibbs.totals[0].1 - 60.5).abs() < 1.0,
+            "{}",
+            gibbs.totals[0].1
+        );
 
         let bgf = ComponentTable::build(&bgf_components(), &[1600]);
         assert!((bgf.totals[0].0 - 21.5).abs() < 1.0, "{}", bgf.totals[0].0);
-        assert!((bgf.totals[0].1 - 700.0).abs() < 30.0, "{}", bgf.totals[0].1);
+        assert!(
+            (bgf.totals[0].1 - 700.0).abs() < 30.0,
+            "{}",
+            bgf.totals[0].1
+        );
     }
 
     #[test]

@@ -2,8 +2,8 @@ use serde::Serialize;
 
 use crate::area::bgf_components;
 use crate::{
-    bgf_energy, bgf_time, gpu_energy, gpu_time, gs_energy, gs_time, paper_benchmarks,
-    tpu_energy, tpu_time, BGF_EFFECTIVE_MESH_HZ,
+    bgf_energy, bgf_time, gpu_energy, gpu_time, gs_energy, gs_time, paper_benchmarks, tpu_energy,
+    tpu_time, BGF_EFFECTIVE_MESH_HZ,
 };
 
 /// One row of Figure 5 / Figure 6: values normalized to BGF.
@@ -96,7 +96,7 @@ pub struct AccelRow {
 pub fn table3_rows() -> Vec<AccelRow> {
     let n = 1600;
     let eff_ops = 2.0 * (n * n) as f64 * BGF_EFFECTIVE_MESH_HZ; // MAC = 2 ops
-    // Square-array accounting, same as Table 2's columns.
+                                                                // Square-array accounting, same as Table 2's columns.
     let area: f64 = bgf_components().iter().map(|c| c.area_mm2(n)).sum();
     let power: f64 = bgf_components().iter().map(|c| c.power_mw(n)).sum::<f64>() / 1000.0;
     vec![
@@ -137,14 +137,21 @@ mod tests {
         assert!(gm.gpu > gm.tpu, "GPU must trail TPU");
         // GS ≈ TPU/2.
         let gs_speedup = gm.tpu / gm.gs;
-        assert!(gs_speedup > 1.4 && gs_speedup < 3.0, "GS speedup {gs_speedup}");
+        assert!(
+            gs_speedup > 1.4 && gs_speedup < 3.0,
+            "GS speedup {gs_speedup}"
+        );
     }
 
     #[test]
     fn fig6_geomeans_match_paper_shape() {
         let rows = fig6_rows();
         let gm = rows.last().expect("geomean row");
-        assert!(gm.tpu > 300.0 && gm.tpu < 4000.0, "TPU/BGF energy {}", gm.tpu);
+        assert!(
+            gm.tpu > 300.0 && gm.tpu < 4000.0,
+            "TPU/BGF energy {}",
+            gm.tpu
+        );
         assert!(gm.gs > 1.0 && gm.gs < gm.tpu);
     }
 

@@ -233,15 +233,9 @@ mod tests {
         let patches = extract_patches(&img, 4, 4, 1, 2, 2);
         assert_eq!(patches.dim(), (4, 4));
         // Top-left patch is pixels (0,0),(0,1),(1,0),(1,1) = 0,1,4,5.
-        assert_eq!(
-            patches.row(0).to_vec(),
-            vec![0.0, 1.0, 4.0, 5.0]
-        );
+        assert_eq!(patches.row(0).to_vec(), vec![0.0, 1.0, 4.0, 5.0]);
         // Bottom-right patch: 10,11,14,15.
-        assert_eq!(
-            patches.row(3).to_vec(),
-            vec![10.0, 11.0, 14.0, 15.0]
-        );
+        assert_eq!(patches.row(3).to_vec(), vec![10.0, 11.0, 14.0, 15.0]);
     }
 
     #[test]
@@ -250,7 +244,10 @@ mod tests {
         let img = Array2::from_shape_fn((1, 8), |(_, j)| j as f64);
         let patches = extract_patches(&img, 2, 2, 2, 2, 1);
         assert_eq!(patches.dim(), (1, 8));
-        assert_eq!(patches.row(0).to_vec(), (0..8).map(|x| x as f64).collect::<Vec<_>>());
+        assert_eq!(
+            patches.row(0).to_vec(),
+            (0..8).map(|x| x as f64).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -274,9 +271,7 @@ mod tests {
         let rbm = Rbm::random(108, 16, 0.05, &mut rng); // 6x6x3 patches (CIFAR config)
         let pipe = PatchPipeline::new(rbm, 12, 12, 3, 6, 3);
         assert_eq!(pipe.feature_len(), 64);
-        let images = Array2::from_shape_fn((2, 12 * 12 * 3), |(i, j)| {
-            ((i + j) % 5) as f64 / 4.0
-        });
+        let images = Array2::from_shape_fn((2, 12 * 12 * 3), |(i, j)| ((i + j) % 5) as f64 / 4.0);
         let f = pipe.features_batch(&images);
         assert_eq!(f.dim(), (2, 64));
         assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)));

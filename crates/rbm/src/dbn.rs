@@ -242,13 +242,16 @@ mod tests {
     fn trained_dbn_generates_data_like_samples() {
         // Two-mode data: generated samples should mostly be near a mode.
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
-        let data = Array2::from_shape_fn((60, 8), |(i, j)| {
-            if (i % 2 == 0) == (j < 4) {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let data = Array2::from_shape_fn(
+            (60, 8),
+            |(i, j)| {
+                if (i % 2 == 0) == (j < 4) {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         let mut dbn = Dbn::random(&[8, 6], 0.01, &mut rng);
         dbn.pretrain(&data, &CdTrainer::new(1, 0.1), 10, 60, &mut rng);
         let samples = dbn.sample(40, 30, &mut rng);
@@ -256,10 +259,9 @@ mod tests {
         // one of the two prototypes.
         let near_mode = samples
             .rows()
-            .into_iter()
             .filter(|row| {
-                let left: f64 = (0..4).map(|j| row[j]).sum::<f64>()
-                    + (4..8).map(|j| 1.0 - row[j]).sum::<f64>();
+                let left: f64 =
+                    (0..4).map(|j| row[j]).sum::<f64>() + (4..8).map(|j| 1.0 - row[j]).sum::<f64>();
                 let right = 8.0 - left;
                 left >= 6.0 || right >= 6.0
             })

@@ -181,12 +181,8 @@ mod tests {
     fn log_likelihood_of_point_mass_model() {
         // A model with big biases concentrates mass; its LL on matching
         // data should beat the uniform model's -m·ln2.
-        let rbm = Rbm::from_parts(
-            Array2::zeros((3, 1)),
-            arr1(&[5.0, 5.0, -5.0]),
-            arr1(&[0.0]),
-        )
-        .unwrap();
+        let rbm =
+            Rbm::from_parts(Array2::zeros((3, 1)), arr1(&[5.0, 5.0, -5.0]), arr1(&[0.0])).unwrap();
         let data = arr2(&[[1.0, 1.0, 0.0]]);
         let ll = mean_log_likelihood(&rbm, &data);
         let uniform = Rbm::new(3, 1);

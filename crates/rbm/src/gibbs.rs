@@ -1,11 +1,30 @@
 //! Gibbs-chain utilities shared by the software trainers (Algorithm 1
 //! lines 12–15) and used standalone as the MCMC reference the paper's
 //! substrate replaces.
+//!
+//! # The parallel batched engine and its RNG-stream contract
+//!
+//! Rows of a batch are independent Markov chains, so the `*_par`
+//! functions ([`chain_batch_par`], [`sample_model_par`]) fan the chains
+//! out across the rayon pool. Randomness is **never** drawn from a
+//! shared generator: a [`RngStreams`] family splits the caller's master
+//! seed into one deterministic substream per chain (SplitMix64 over the
+//! chain index, see [`crate::RngStreams`]), chain `i` consumes only
+//! stream `i`, and results are written back by index. Scheduling can
+//! therefore change *which thread* runs a chain but never *which random
+//! numbers* it sees: outputs are bit-identical at every thread count,
+//! including the serial fallback. The property tests in
+//! `tests/parallel_equivalence.rs` pin this at 1, 2, and 8 threads.
+//!
+//! The serial single-generator functions ([`chain_batch`],
+//! [`sample_model`]) are kept unchanged as the reference path (and as
+//! the baseline mode of the `bench_pr1` harness).
 
 use ndarray::{Array1, Array2, Axis};
 use rand::Rng;
+use rayon::prelude::*;
 
-use crate::Rbm;
+use crate::{Rbm, RngStreams};
 
 /// One full Gibbs step from a hidden state: samples `v ~ P(v|h)` then
 /// `h' ~ P(h|v)` (Algorithm 1 lines 13–14). Returns `(v, h')`.
@@ -94,6 +113,91 @@ pub fn sample_model<R: Rng + ?Sized>(
     out
 }
 
+/// Copies a list of equally-sized rows into a `(rows, cols)` matrix.
+///
+/// # Panics
+///
+/// Panics when a row's length differs from `cols`.
+pub(crate) fn stack_rows(rows: Vec<Array1<f64>>, cols: usize) -> Array2<f64> {
+    let mut out = Array2::zeros((rows.len(), cols));
+    for (i, row) in rows.into_iter().enumerate() {
+        assert_eq!(row.len(), cols, "row length mismatch");
+        out.row_mut(i).assign(&row);
+    }
+    out
+}
+
+/// Parallel batched `k`-step Gibbs chain: row `i` of `v0` evolves on its
+/// own RNG stream `streams.rng(i)`, chains run across the rayon pool,
+/// and the result is bit-identical at every thread count. Returns
+/// `(v⁻, h⁻)` matrices of shapes `(batch, m)` / `(batch, n)`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `v0` width differs from the RBM.
+pub fn chain_batch_par(
+    rbm: &Rbm,
+    v0: &Array2<f64>,
+    k: usize,
+    streams: RngStreams,
+) -> (Array2<f64>, Array2<f64>) {
+    assert!(k >= 1, "chain length must be at least 1");
+    assert_eq!(v0.ncols(), rbm.visible_len(), "visible width mismatch");
+    let indexed: Vec<(usize, Array1<f64>)> = v0.rows().map(|r| r.to_owned()).enumerate().collect();
+    let pairs: Vec<(Array1<f64>, Array1<f64>)> = indexed
+        .into_par_iter()
+        .map(|(i, row)| {
+            let mut rng = streams.rng(i as u64);
+            chain(rbm, &row, k, &mut rng)
+        })
+        .collect();
+    let (m, n) = (rbm.visible_len(), rbm.hidden_len());
+    let mut vs = Vec::with_capacity(pairs.len());
+    let mut hs = Vec::with_capacity(pairs.len());
+    for (v, h) in pairs {
+        vs.push(v);
+        hs.push(h);
+    }
+    (stack_rows(vs, m), stack_rows(hs, n))
+}
+
+/// Parallel model sampling: `chains` independent chains, each with its
+/// own RNG stream, burn-in, and thinning; chain `c` produces every
+/// `chains`-th row of the output so the result is bit-identical at every
+/// thread count. Returns `(count, m)` samples of `P(v)`.
+///
+/// # Panics
+///
+/// Panics if `chains == 0`.
+pub fn sample_model_par(
+    rbm: &Rbm,
+    count: usize,
+    burn_in: usize,
+    thin: usize,
+    chains: usize,
+    streams: RngStreams,
+) -> Array2<f64> {
+    assert!(chains >= 1, "need at least one chain");
+    let m = rbm.visible_len();
+    let per_chain: Vec<usize> = (0..chains)
+        .map(|c| count / chains + usize::from(c < count % chains))
+        .collect();
+    let chunks: Vec<Array2<f64>> = (0..chains)
+        .into_par_iter()
+        .map(|c| {
+            let mut rng = streams.rng(c as u64);
+            sample_model(rbm, per_chain[c], burn_in, thin, &mut rng)
+        })
+        .collect();
+    // Interleave: output row r comes from chain r % chains, draw r / chains.
+    let mut out = Array2::zeros((count, m));
+    for r in 0..count {
+        let chunk = &chunks[r % chains];
+        out.row_mut(r).assign(&chunk.row(r / chains));
+    }
+    out
+}
+
 /// Empirical marginal `P(vᵢ = 1)` of a sample matrix — a convergence
 /// diagnostic for chains.
 pub fn empirical_marginals(samples: &Array2<f64>) -> Array1<f64> {
@@ -130,12 +234,8 @@ mod tests {
     fn zero_weight_rbm_samples_match_bias_probability() {
         // With W = 0, P(v_i=1) = σ(bv_i) independent of the chain.
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let rbm = Rbm::from_parts(
-            Array2::zeros((2, 2)),
-            arr1(&[1.0, -1.0]),
-            arr1(&[0.0, 0.0]),
-        )
-        .unwrap();
+        let rbm =
+            Rbm::from_parts(Array2::zeros((2, 2)), arr1(&[1.0, -1.0]), arr1(&[0.0, 0.0])).unwrap();
         let samples = sample_model(&rbm, 3000, 10, 1, &mut rng);
         let marg = empirical_marginals(&samples);
         let p0 = crate::math::sigmoid(1.0);
@@ -151,7 +251,7 @@ mod tests {
         let rbm = Rbm::random(3, 2, 0.8, &mut rng);
         let exact = crate::exact::visible_distribution(&rbm);
         let samples = sample_model(&rbm, 20000, 200, 1, &mut rng);
-        let mut hist = vec![0.0; 8];
+        let mut hist = [0.0; 8];
         for row in samples.axis_iter(Axis(0)) {
             let idx = row
                 .iter()
@@ -163,7 +263,10 @@ mod tests {
             *h /= samples.nrows() as f64;
         }
         for (idx, (&emp, &ex)) in hist.iter().zip(exact.iter()).enumerate() {
-            assert!((emp - ex).abs() < 0.02, "state {idx}: emp {emp} vs exact {ex}");
+            assert!(
+                (emp - ex).abs() < 0.02,
+                "state {idx}: emp {emp} vs exact {ex}"
+            );
         }
     }
 }

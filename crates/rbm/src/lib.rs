@@ -55,6 +55,7 @@ mod trainer;
 
 pub use conv::{binarize_patches, extract_patches, PatchPipeline};
 pub use dbn::Dbn;
+pub use ember_ising::RngStreams;
 pub use nn::{Mlp, MlpConfig};
 pub use rbm::{Rbm, RbmError};
 pub use trainer::{CdTrainer, EpochStats, MlTrainer, PcdTrainer};

@@ -145,8 +145,8 @@ mod tests {
 
     #[test]
     fn softplus_matches_naive_midrange() {
-        for &x in &[-5.0, 0.0, 3.0, 10.0] {
-            let naive = (1.0 + (x as f64).exp()).ln();
+        for &x in &[-5.0f64, 0.0, 3.0, 10.0] {
+            let naive = (1.0 + x.exp()).ln();
             assert!((softplus(x) - naive).abs() < 1e-10);
         }
     }

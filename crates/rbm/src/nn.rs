@@ -80,7 +80,10 @@ impl Mlp {
     ) -> Self {
         assert!(input > 0, "input dimension must be positive");
         assert!(classes >= 2, "need at least two classes");
-        assert!(hidden.iter().all(|&h| h > 0), "hidden widths must be positive");
+        assert!(
+            hidden.iter().all(|&h| h > 0),
+            "hidden widths must be positive"
+        );
         assert!(init_std >= 0.0 && init_std.is_finite(), "bad init std");
         let dist = Normal::new(0.0, init_std.max(f64::MIN_POSITIVE)).expect("validated std");
         let mut dims = vec![input];
@@ -111,7 +114,9 @@ impl Mlp {
     /// Builds the DBN-DNN of Table 1: hidden layers initialized from the
     /// pretrained DBN's weights/hidden biases, plus a fresh softmax layer.
     pub fn from_dbn<R: Rng + ?Sized>(dbn: &Dbn, classes: usize, rng: &mut R) -> Self {
-        let hidden: Vec<usize> = (0..dbn.depth()).map(|l| dbn.layer(l).hidden_len()).collect();
+        let hidden: Vec<usize> = (0..dbn.depth())
+            .map(|l| dbn.layer(l).hidden_len())
+            .collect();
         let mut mlp = Mlp::new(dbn.layer(0).visible_len(), &hidden, classes, 0.01, rng);
         for (l, layer) in (0..dbn.depth()).map(|l| (l, dbn.layer(l))) {
             mlp.weights[l] = layer.weights().clone();
@@ -182,11 +187,7 @@ impl Mlp {
     pub fn accuracy(&self, batch: &Array2<f64>, labels: &[usize]) -> f64 {
         assert_eq!(labels.len(), batch.nrows(), "label count mismatch");
         let preds = self.predict(batch);
-        let correct = preds
-            .iter()
-            .zip(labels)
-            .filter(|(p, l)| p == l)
-            .count();
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
         correct as f64 / labels.len() as f64
     }
 
@@ -291,7 +292,7 @@ mod tests {
         for _ in 0..30 {
             for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
                 rows.push([a, b]);
-                labels.push(((a as usize) ^ (b as usize)) as usize);
+                labels.push((a as usize) ^ (b as usize));
             }
         }
         let data = Array2::from_shape_fn((rows.len(), 2), |(i, j)| rows[i][j]);
@@ -311,13 +312,7 @@ mod tests {
     #[test]
     fn logistic_head_learns_linear_problem() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let data = Array2::from_shape_fn((60, 3), |(i, j)| {
-            if (i % 3) == j {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let data = Array2::from_shape_fn((60, 3), |(i, j)| if (i % 3) == j { 1.0 } else { 0.0 });
         let labels: Vec<usize> = (0..60).map(|i| i % 3).collect();
         let mut mlp = Mlp::new(3, &[], 3, 0.01, &mut rng);
         for _ in 0..100 {

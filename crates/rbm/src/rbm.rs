@@ -371,12 +371,8 @@ mod tests {
     #[test]
     fn sampling_respects_extreme_probs() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let rbm = Rbm::from_parts(
-            arr2(&[[50.0], [-50.0]]),
-            arr1(&[0.0, 0.0]),
-            arr1(&[0.0]),
-        )
-        .unwrap();
+        let rbm =
+            Rbm::from_parts(arr2(&[[50.0], [-50.0]]), arr1(&[0.0, 0.0]), arr1(&[0.0])).unwrap();
         let v = arr1(&[1.0, 0.0]);
         for _ in 0..20 {
             let h = rbm.sample_hidden(&v.view(), &mut rng);
@@ -398,13 +394,15 @@ mod tests {
 
     #[test]
     fn from_parts_validates_dims() {
-        let err = Rbm::from_parts(
-            Array2::zeros((2, 3)),
-            Array1::zeros(5),
-            Array1::zeros(3),
-        )
-        .unwrap_err();
-        assert!(matches!(err, RbmError::DimensionMismatch { expected: 2, actual: 5 }));
+        let err =
+            Rbm::from_parts(Array2::zeros((2, 3)), Array1::zeros(5), Array1::zeros(3)).unwrap_err();
+        assert!(matches!(
+            err,
+            RbmError::DimensionMismatch {
+                expected: 2,
+                actual: 5
+            }
+        ));
     }
 
     #[test]
@@ -425,8 +423,8 @@ mod tests {
         for i in 0..4 {
             w[[i, i]] = 60.0;
         }
-        let rbm = Rbm::from_parts(w, Array1::from_elem(4, -30.0), Array1::from_elem(4, -30.0))
-            .unwrap();
+        let rbm =
+            Rbm::from_parts(w, Array1::from_elem(4, -30.0), Array1::from_elem(4, -30.0)).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let data = arr2(&[[1.0, 0.0, 1.0, 0.0], [0.0, 1.0, 0.0, 1.0]]);
         assert!(rbm.reconstruction_error(&data, &mut rng) < 1e-9);

@@ -1,9 +1,11 @@
-use ndarray::{Array2, Axis};
+use ndarray::{Array1, Array2, Axis};
 use rand::Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::gibbs;
 use crate::trainer::EpochStats;
-use crate::Rbm;
+use crate::{Rbm, RngStreams};
 
 /// Persistent contrastive divergence (Tieleman 2008, cited as \[63\] for the
 /// BGF's particle persistence, §3.3).
@@ -142,6 +144,134 @@ impl PcdTrainer {
         (recon, grad_norm)
     }
 
+    /// Parallel epoch: positive-phase rows and persistent-particle chains
+    /// run across the rayon pool, each on its own RNG stream, so the
+    /// trained model and the particle set are **bit-identical at every
+    /// thread count** for a fixed master seed.
+    ///
+    /// Stream layout per minibatch `b`: `streams.subfamily(2b)` drives
+    /// the positive rows, `streams.subfamily(2b + 1)` the particles.
+    ///
+    /// The streams are consumed deterministically per call: training for
+    /// several epochs must pass a **distinct subfamily per epoch**
+    /// (`streams.subfamily(epoch)`) — or use [`PcdTrainer::train_par`] —
+    /// otherwise every epoch replays the identical sampling noise and
+    /// the persistent chains never mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` width differs from the RBM's visible count or
+    /// `batch_size == 0`.
+    pub fn train_epoch_par(
+        &mut self,
+        rbm: &mut Rbm,
+        data: &Array2<f64>,
+        batch_size: usize,
+        streams: RngStreams,
+    ) -> EpochStats {
+        assert_eq!(data.ncols(), rbm.visible_len(), "data width mismatch");
+        assert!(batch_size >= 1, "batch size must be positive");
+        let mut stats = Vec::new();
+        let rows = data.nrows();
+        let (mut start, mut batch_index) = (0, 0u64);
+        while start < rows {
+            let end = (start + batch_size).min(rows);
+            let batch = data.slice(ndarray::s![start..end, ..]).to_owned();
+            let pos_streams = streams.subfamily(2 * batch_index);
+            let neg_streams = streams.subfamily(2 * batch_index + 1);
+            let bs = batch.nrows() as f64;
+            let p = self.particles_v.nrows() as f64;
+            let (m, n) = (rbm.visible_len(), rbm.hidden_len());
+
+            // Positive phase: one stream per data row.
+            let h_pos_rows: Vec<Array1<f64>> = batch
+                .rows()
+                .map(|r| r.to_owned())
+                .enumerate()
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|(i, v)| {
+                    let mut rng = pos_streams.rng(i as u64);
+                    rbm.sample_hidden(&v.view(), &mut rng)
+                })
+                .collect();
+            let h_pos = gibbs::stack_rows(h_pos_rows, n);
+
+            // Negative phase: each persistent particle advances k steps on
+            // its own stream.
+            let k = self.k;
+            let particle_chains: Vec<(Array1<f64>, Array1<f64>)> = self
+                .particles_v
+                .rows()
+                .map(|r| r.to_owned())
+                .enumerate()
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|(i, v0)| {
+                    let mut rng = neg_streams.rng(i as u64);
+                    let mut h = rbm.sample_hidden(&v0.view(), &mut rng);
+                    let mut v = v0;
+                    for _ in 0..k {
+                        v = rbm.sample_visible(&h.view(), &mut rng);
+                        h = rbm.sample_hidden(&v.view(), &mut rng);
+                    }
+                    (v, h)
+                })
+                .collect();
+            let mut v_neg_rows = Vec::with_capacity(particle_chains.len());
+            let mut h_neg_rows = Vec::with_capacity(particle_chains.len());
+            for (v, h) in particle_chains {
+                v_neg_rows.push(v);
+                h_neg_rows.push(h);
+            }
+            let v_neg = gibbs::stack_rows(v_neg_rows, m);
+            let h_neg = gibbs::stack_rows(h_neg_rows, n);
+            self.particles_v = v_neg.clone();
+
+            let grad_w = batch.t().dot(&h_pos) / bs - v_neg.t().dot(&h_neg) / p;
+            let grad_bv = batch.sum_axis(Axis(0)) / bs - v_neg.sum_axis(Axis(0)) / p;
+            let grad_bh = h_pos.sum_axis(Axis(0)) / bs - h_neg.sum_axis(Axis(0)) / p;
+            let grad_norm = grad_w.iter().map(|g| g * g).sum::<f64>().sqrt();
+
+            *rbm.weights_mut() += &(&grad_w * self.learning_rate);
+            *rbm.visible_bias_mut() += &(&grad_bv * self.learning_rate);
+            *rbm.hidden_bias_mut() += &(&grad_bh * self.learning_rate);
+
+            let recon = {
+                let d = batch.mean_axis(Axis(0)).expect("non-empty batch");
+                let mn = v_neg.mean_axis(Axis(0)).expect("non-empty particles");
+                (&d - &mn).mapv(f64::abs).mean().unwrap_or(0.0)
+            };
+            stats.push((recon, grad_norm));
+            start = end;
+            batch_index += 1;
+        }
+        EpochStats::accumulate(&stats)
+    }
+
+    /// Parallel full training run: `epochs` epochs of
+    /// [`PcdTrainer::train_epoch_par`], each on its own stream subfamily
+    /// so sampling noise is independent across epochs. Returns the final
+    /// epoch's statistics.
+    pub fn train_par(
+        &mut self,
+        rbm: &mut Rbm,
+        data: &Array2<f64>,
+        batch_size: usize,
+        epochs: usize,
+        streams: RngStreams,
+    ) -> EpochStats {
+        let mut last = EpochStats {
+            batches: 0,
+            reconstruction_error: 0.0,
+            gradient_norm: 0.0,
+        };
+        for epoch in 0..epochs {
+            last = self.train_epoch_par(rbm, data, batch_size, streams.subfamily(epoch as u64));
+        }
+        last
+    }
+
     /// Full run of `epochs` epochs; returns the final epoch's statistics.
     pub fn train<R: Rng + ?Sized>(
         &mut self,
@@ -199,9 +329,6 @@ mod tests {
         let data = Array2::from_shape_fn((12, 5), |(i, j)| ((i * j) % 2) as f64);
         let mut trainer = PcdTrainer::new(1, 0.1, 6, &rbm, &mut rng);
         trainer.train(&mut rbm, &data, 4, 3, &mut rng);
-        assert!(trainer
-            .particles()
-            .iter()
-            .all(|&x| x == 0.0 || x == 1.0));
+        assert!(trainer.particles().iter().all(|&x| x == 0.0 || x == 1.0));
     }
 }

@@ -3,7 +3,7 @@
 use ember_rbm::{exact, gibbs, math, CdTrainer, Rbm};
 use ndarray::{Array1, Array2};
 use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn arb_rbm(max_v: usize, max_h: usize) -> impl Strategy<Value = Rbm> {
     (2..=max_v, 1..=max_h, any::<u64>(), 0.01f64..1.0).prop_map(|(m, n, seed, std)| {

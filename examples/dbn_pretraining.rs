@@ -23,7 +23,13 @@ fn main() {
 
     // Greedy pretraining.
     let mut dbn = Dbn::random(&[784, 64, 32], 0.01, &mut rng);
-    let stats = dbn.pretrain(split.train.images(), &CdTrainer::new(1, 0.1), 20, 6, &mut rng);
+    let stats = dbn.pretrain(
+        split.train.images(),
+        &CdTrainer::new(1, 0.1),
+        20,
+        6,
+        &mut rng,
+    );
     for (l, s) in stats.iter().enumerate() {
         println!(
             "layer {l}: final reconstruction error {:.3} over {} batches",
@@ -40,14 +46,26 @@ fn main() {
     // Fine-tune the DBN-initialized network.
     let mut pretrained = Mlp::from_dbn(&dbn, 10, &mut rng);
     for _ in 0..30 {
-        pretrained.train_epoch(split.train.images(), split.train.labels(), 32, &config, &mut rng);
+        pretrained.train_epoch(
+            split.train.images(),
+            split.train.labels(),
+            32,
+            &config,
+            &mut rng,
+        );
     }
     let acc_pre = pretrained.accuracy(split.test.images(), split.test.labels());
 
     // Same architecture from random init.
     let mut scratch = Mlp::new(784, &[64, 32], 10, 0.05, &mut rng);
     for _ in 0..30 {
-        scratch.train_epoch(split.train.images(), split.train.labels(), 32, &config, &mut rng);
+        scratch.train_epoch(
+            split.train.images(),
+            split.train.labels(),
+            32,
+            &config,
+            &mut rng,
+        );
     }
     let acc_scratch = scratch.accuracy(split.test.images(), split.test.labels());
 

@@ -13,11 +13,7 @@ use ember::rbm::{CdTrainer, Mlp, MlpConfig, Rbm};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn head_accuracy(
-    rbm: &Rbm,
-    split: &ember::datasets::SplitSets,
-    rng: &mut StdRng,
-) -> f64 {
+fn head_accuracy(rbm: &Rbm, split: &ember::datasets::SplitSets, rng: &mut StdRng) -> f64 {
     let train_feats = rbm.hidden_probs_batch(split.train.images());
     let test_feats = rbm.hidden_probs_batch(split.test.images());
     let mut head = Mlp::new(rbm.hidden_len(), &[], split.train.classes(), 0.01, rng);
@@ -47,7 +43,10 @@ fn main() {
     let mut cd = Rbm::random(784, 64, 0.01, &mut rng);
     CdTrainer::new(10, 0.1).train(&mut cd, split.train.images(), 20, 8, &mut rng);
     let acc_cd = head_accuracy(&cd, &split, &mut rng);
-    println!("CD-10 RBM + logistic head : {:.1}% test accuracy", acc_cd * 100.0);
+    println!(
+        "CD-10 RBM + logistic head : {:.1}% test accuracy",
+        acc_cd * 100.0
+    );
 
     // BGF hardware RBM.
     let init = Rbm::random(784, 64, 0.01, &mut rng);
@@ -62,7 +61,10 @@ fn main() {
         bgf.train_epoch(split.train.images(), &mut rng);
     }
     let acc_bgf = head_accuracy(&bgf.effective_rbm(), &split, &mut rng);
-    println!("BGF RBM + logistic head   : {:.1}% test accuracy", acc_bgf * 100.0);
+    println!(
+        "BGF RBM + logistic head   : {:.1}% test accuracy",
+        acc_bgf * 100.0
+    );
 
     println!(
         "\nagreement |CD - BGF| = {:.1}% (the paper's Table 4 finds parity within ~1%)",

@@ -27,12 +27,16 @@ fn main() {
     let sa_sol = annealer.solve(&problem, &mut rng);
 
     println!("  optimal cut        : {optimal}");
-    println!("  BRIM cut           : {} ({} phase points ≈ {:.1} ns of machine time)",
+    println!(
+        "  BRIM cut           : {} ({} phase points ≈ {:.1} ns of machine time)",
         mc.cut_from_energy(brim_sol.energy),
         brim_sol.phase_points,
         brim_sol.phase_points as f64 * 12e-3,
     );
-    println!("  simulated annealing: {}", mc.cut_from_energy(sa_sol.energy));
+    println!(
+        "  simulated annealing: {}",
+        mc.cut_from_energy(sa_sol.energy)
+    );
 
     println!("\nlarger instance (120 vertices): best of 5 BRIM anneals vs SA");
     let mc = generate::random_maxcut(120, 0.3, &mut rng);
@@ -46,6 +50,9 @@ fn main() {
     }
     let sa_sol = annealer.solve(&problem, &mut rng);
     println!("  BRIM cut           : {}", mc.cut_from_energy(best_brim));
-    println!("  simulated annealing: {}", mc.cut_from_energy(sa_sol.energy));
+    println!(
+        "  simulated annealing: {}",
+        mc.cut_from_energy(sa_sol.energy)
+    );
     println!("  total edges        : {}", mc.edges().len());
 }

@@ -43,7 +43,10 @@ fn main() {
 
     let mut cd = Rbm::random(ml.users(), 50, 0.01, &mut rng);
     CdTrainer::new(10, 0.05).train(&mut cd, &matrix, 50, 4, &mut rng);
-    println!("CD-10 RBM MAE             : {:.3}  (paper: 0.76)", mae(&cd, &ml, &matrix));
+    println!(
+        "CD-10 RBM MAE             : {:.3}  (paper: 0.76)",
+        mae(&cd, &ml, &matrix)
+    );
 
     let init = Rbm::random(ml.users(), 50, 0.01, &mut rng);
     let mut bgf = BoltzmannGradientFollower::new(

@@ -30,8 +30,14 @@ fn brim_and_annealer_agree_on_maxcut() {
     let annealer = Annealer::new(AnnealSchedule::geometric(3.0, 0.02, 400));
     let sa_cut = mc.cut_from_energy(annealer.solve(&problem, &mut rng).energy);
 
-    assert!(brim_cut >= optimal_cut - 1.0, "BRIM {brim_cut} vs optimal {optimal_cut}");
-    assert!(sa_cut >= optimal_cut - 1.0, "SA {sa_cut} vs optimal {optimal_cut}");
+    assert!(
+        brim_cut >= optimal_cut - 1.0,
+        "BRIM {brim_cut} vs optimal {optimal_cut}"
+    );
+    assert!(
+        sa_cut >= optimal_cut - 1.0,
+        "SA {sa_cut} vs optimal {optimal_cut}"
+    );
 }
 
 #[test]
@@ -40,11 +46,7 @@ fn qubo_path_through_substrate() {
     let mut rng = StdRng::seed_from_u64(11);
     // Minimize (b0 + b1 - 1)^2 + (b2 - 1)^2 expanded into QUBO form:
     // b0 + b1 + 2 b0 b1 - 2 b0 - 2 b1 ... use a simple penalty matrix.
-    let q = ndarray::arr2(&[
-        [-1.0, 2.0, 0.0],
-        [2.0, -1.0, 0.0],
-        [0.0, 0.0, -1.0],
-    ]);
+    let q = ndarray::arr2(&[[-1.0, 2.0, 0.0], [2.0, -1.0, 0.0], [0.0, 0.0, -1.0]]);
     let qubo = Qubo::new(q, 0.0).unwrap();
     let ising = qubo.to_ising();
     let mut brim = BrimMachine::new(ising, BrimConfig::default());

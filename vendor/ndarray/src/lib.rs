@@ -1,0 +1,1563 @@
+//! Offline vendored subset of the `ndarray` API.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the array slice it uses: [`Array1`]/[`Array2`] owning
+//! row-major storage, lightweight [`ArrayView1`]/[`ArrayView2`] (strided
+//! 1-D, transpose-aware 2-D), elementwise arithmetic with scalar
+//! broadcast, and cache-friendly `dot` kernels (vec·vec, GEMV, GEMM with
+//! transpose-specialized loops). Everything numeric is `f64` — the only
+//! element type the workspace stores.
+//!
+//! Known divergence from upstream: [`Array2::rows`] returns a type that
+//! is itself an [`Iterator`] (upstream's `Lanes` is only
+//! `IntoIterator`), so call sites here chain `.map(..)` directly.
+//! When/if the real crates.io `ndarray` returns, those call sites need
+//! `.into_iter()` restored.
+
+mod ops;
+#[cfg(feature = "serde")]
+mod serde_impls;
+mod slicing;
+
+pub use ops::{MatOperand, VecOperand};
+pub use slicing::SliceArg1;
+
+/// An axis index: `Axis(0)` = rows, `Axis(1)` = columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Axis(pub usize);
+
+// ---------------------------------------------------------------------------
+// Owned arrays
+// ---------------------------------------------------------------------------
+
+/// A 1-D owned array.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Array1<T> {
+    pub(crate) data: Vec<T>,
+}
+
+/// A 2-D owned array in row-major layout.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Array2<T> {
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    pub(crate) data: Vec<T>,
+}
+
+// ---------------------------------------------------------------------------
+// Views
+// ---------------------------------------------------------------------------
+
+/// A strided read-only 1-D view (stride in elements).
+#[derive(Debug)]
+pub struct ArrayView1<'a, T> {
+    pub(crate) data: &'a [T],
+    pub(crate) stride: usize,
+    pub(crate) len: usize,
+}
+
+/// A contiguous mutable 1-D view.
+#[derive(Debug)]
+pub struct ArrayViewMut1<'a, T> {
+    pub(crate) data: &'a mut [T],
+}
+
+/// A read-only 2-D view over row-major storage; `trans` marks a lazily
+/// transposed view (as produced by [`Array2::t`]).
+#[derive(Debug)]
+pub struct ArrayView2<'a, T> {
+    pub(crate) data: &'a [T],
+    pub(crate) phys_rows: usize,
+    pub(crate) phys_cols: usize,
+    pub(crate) trans: bool,
+}
+
+impl<T> Clone for ArrayView1<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for ArrayView1<'_, T> {}
+
+impl<T: PartialEq> PartialEq for ArrayView1<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: PartialEq> PartialEq<Array1<T>> for ArrayView1<'_, T> {
+    fn eq(&self, other: &Array1<T>) -> bool {
+        self.len == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: PartialEq> PartialEq<ArrayView1<'_, T>> for Array1<T> {
+    fn eq(&self, other: &ArrayView1<'_, T>) -> bool {
+        other == self
+    }
+}
+
+impl<T> Clone for ArrayView2<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for ArrayView2<'_, T> {}
+
+// ---------------------------------------------------------------------------
+// Array1
+// ---------------------------------------------------------------------------
+
+impl<T> Array1<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The length (mirrors `Array2::dim`).
+    pub fn dim(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Element iterator.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Mutable element iterator.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.data.iter_mut()
+    }
+
+    /// Underlying contiguous slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Builds from an existing `Vec`.
+    pub fn from_vec(data: Vec<T>) -> Self {
+        Array1 { data }
+    }
+
+    /// Builds from an iterator.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Array1 {
+            data: iter.into_iter().collect(),
+        }
+    }
+
+    /// Builds by evaluating `f` at each index.
+    pub fn from_shape_fn<F: FnMut(usize) -> T>(len: usize, mut f: F) -> Self {
+        Array1 {
+            data: (0..len).map(&mut f).collect(),
+        }
+    }
+
+    /// Read-only view of the whole array.
+    pub fn view(&self) -> ArrayView1<'_, T> {
+        ArrayView1 {
+            data: &self.data,
+            stride: 1,
+            len: self.data.len(),
+        }
+    }
+
+    /// Strided slice view; see the [`s!`] macro.
+    pub fn slice<S: SliceArg1>(&self, spec: S) -> ArrayView1<'_, T> {
+        let (start, end) = spec.bounds(self.data.len());
+        ArrayView1 {
+            data: &self.data[start..end],
+            stride: 1,
+            len: end - start,
+        }
+    }
+
+    /// Maps every element through `f` into a new array.
+    pub fn mapv<U, F: FnMut(T) -> U>(&self, mut f: F) -> Array1<U>
+    where
+        T: Clone,
+    {
+        Array1 {
+            data: self.data.iter().map(|x| f(x.clone())).collect(),
+        }
+    }
+
+    /// Maps every element in place.
+    pub fn mapv_inplace<F: FnMut(T) -> T>(&mut self, mut f: F)
+    where
+        T: Clone,
+    {
+        for x in self.data.iter_mut() {
+            *x = f(x.clone());
+        }
+    }
+
+    /// Overwrites every element with `value`.
+    pub fn fill(&mut self, value: T)
+    where
+        T: Clone,
+    {
+        for x in self.data.iter_mut() {
+            *x = value.clone();
+        }
+    }
+
+    /// Copies the contents of `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn assign<S: VecOperand>(&mut self, other: &S)
+    where
+        T: From<f64>,
+    {
+        let len = other.vlen().expect("assign needs an array source");
+        assert_eq!(self.len(), len, "assign length mismatch");
+        for (i, x) in self.data.iter_mut().enumerate() {
+            *x = T::from(other.vget(i));
+        }
+    }
+}
+
+impl Array1<f64> {
+    /// An all-zero array.
+    pub fn zeros(len: usize) -> Self {
+        Array1 {
+            data: vec![0.0; len],
+        }
+    }
+
+    /// An all-one array.
+    pub fn ones(len: usize) -> Self {
+        Array1 {
+            data: vec![1.0; len],
+        }
+    }
+
+    /// An array filled with `value`.
+    pub fn from_elem(len: usize, value: f64) -> Self {
+        Array1 {
+            data: vec![value; len],
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.data.is_empty() {
+            None
+        } else {
+            Some(self.sum() / self.data.len() as f64)
+        }
+    }
+
+    /// Standard deviation with `ddof` delta degrees of freedom.
+    pub fn std(&self, ddof: f64) -> f64 {
+        std_of(&self.data, ddof)
+    }
+
+    /// Dot product / matrix product dispatch (see [`Dot`]).
+    pub fn dot<Rhs>(&self, rhs: &Rhs) -> <Self as Dot<Rhs>>::Output
+    where
+        Self: Dot<Rhs>,
+    {
+        self.dot_impl(rhs)
+    }
+}
+
+impl<T> std::ops::Index<usize> for Array1<T> {
+    type Output = T;
+    fn index(&self, i: usize) -> &T {
+        &self.data[i]
+    }
+}
+
+impl<T> std::ops::IndexMut<usize> for Array1<T> {
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.data[i]
+    }
+}
+
+impl<T> FromIterator<T> for Array1<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Array1 {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Array1<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Array2
+// ---------------------------------------------------------------------------
+
+impl<T> Array2<T> {
+    /// `(rows, cols)`.
+    pub fn dim(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major element iterator.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Mutable row-major element iterator.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.data.iter_mut()
+    }
+
+    /// Underlying contiguous row-major slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Builds by evaluating `f` at each `(row, col)` index.
+    pub fn from_shape_fn<F: FnMut((usize, usize)) -> T>(dim: (usize, usize), mut f: F) -> Self {
+        let (rows, cols) = dim;
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f((i, j)));
+            }
+        }
+        Array2 { rows, cols, data }
+    }
+
+    /// Builds from a row-major `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when `data.len() != rows * cols`.
+    pub fn from_shape_vec(dim: (usize, usize), data: Vec<T>) -> Result<Self, ShapeError> {
+        if data.len() != dim.0 * dim.1 {
+            return Err(ShapeError);
+        }
+        Ok(Array2 {
+            rows: dim.0,
+            cols: dim.1,
+            data,
+        })
+    }
+
+    /// Read-only view of the whole array.
+    pub fn view(&self) -> ArrayView2<'_, T> {
+        ArrayView2 {
+            data: &self.data,
+            phys_rows: self.rows,
+            phys_cols: self.cols,
+            trans: false,
+        }
+    }
+
+    /// Lazily transposed view.
+    pub fn t(&self) -> ArrayView2<'_, T> {
+        ArrayView2 {
+            data: &self.data,
+            phys_rows: self.rows,
+            phys_cols: self.cols,
+            trans: true,
+        }
+    }
+
+    /// Row `i` as a view.
+    pub fn row(&self, i: usize) -> ArrayView1<'_, T> {
+        assert!(i < self.rows, "row index out of bounds");
+        ArrayView1 {
+            data: &self.data[i * self.cols..(i + 1) * self.cols],
+            stride: 1,
+            len: self.cols,
+        }
+    }
+
+    /// Row `i` as a mutable view.
+    pub fn row_mut(&mut self, i: usize) -> ArrayViewMut1<'_, T> {
+        assert!(i < self.rows, "row index out of bounds");
+        let cols = self.cols;
+        ArrayViewMut1 {
+            data: &mut self.data[i * cols..(i + 1) * cols],
+        }
+    }
+
+    /// Column `j` as a (strided) view.
+    pub fn column(&self, j: usize) -> ArrayView1<'_, T> {
+        assert!(j < self.cols, "column index out of bounds");
+        ArrayView1 {
+            data: &self.data[j..],
+            stride: self.cols,
+            len: self.rows,
+        }
+    }
+
+    /// Iterator over rows.
+    pub fn rows(&self) -> Rows<'_, T> {
+        Rows {
+            array: self,
+            next: 0,
+        }
+    }
+
+    /// Iterator over the sub-views along `axis` (0 = rows, 1 = columns).
+    pub fn axis_iter(&self, axis: Axis) -> AxisIter<'_, T> {
+        assert!(axis.0 < 2, "axis out of bounds");
+        AxisIter {
+            array: self,
+            axis: axis.0,
+            next: 0,
+        }
+    }
+
+    /// Mutable iterator over rows (`Axis(0)` only).
+    pub fn axis_iter_mut(&mut self, axis: Axis) -> impl Iterator<Item = ArrayViewMut1<'_, T>> {
+        assert_eq!(axis.0, 0, "axis_iter_mut supports Axis(0) only");
+        self.data
+            .chunks_mut(self.cols.max(1))
+            .map(|chunk| ArrayViewMut1 { data: chunk })
+    }
+
+    /// Contiguous row-block slice; see the [`s!`] macro. The column spec
+    /// must be the full range.
+    pub fn slice<R: SliceArg1, C: SliceArg1>(&self, spec: (R, C)) -> ArrayView2<'_, T> {
+        let (r0, r1) = spec.0.bounds(self.rows);
+        let (c0, c1) = spec.1.bounds(self.cols);
+        assert!(
+            c0 == 0 && c1 == self.cols,
+            "column sub-slicing is not supported by the vendored ndarray"
+        );
+        ArrayView2 {
+            data: &self.data[r0 * self.cols..r1 * self.cols],
+            phys_rows: r1 - r0,
+            phys_cols: self.cols,
+            trans: false,
+        }
+    }
+
+    /// Maps every element through `f` into a new array.
+    pub fn mapv<U, F: FnMut(T) -> U>(&self, mut f: F) -> Array2<U>
+    where
+        T: Clone,
+    {
+        Array2 {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| f(x.clone())).collect(),
+        }
+    }
+
+    /// Maps every element in place.
+    pub fn mapv_inplace<F: FnMut(T) -> T>(&mut self, mut f: F)
+    where
+        T: Clone,
+    {
+        for x in self.data.iter_mut() {
+            *x = f(x.clone());
+        }
+    }
+
+    /// Overwrites every element with `value`.
+    pub fn fill(&mut self, value: T)
+    where
+        T: Clone,
+    {
+        for x in self.data.iter_mut() {
+            *x = value.clone();
+        }
+    }
+}
+
+/// Shape mismatch error from [`Array2::from_shape_vec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeError;
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "data length does not match shape")
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+impl Array2<f64> {
+    /// An all-zero array.
+    pub fn zeros(dim: (usize, usize)) -> Self {
+        Array2 {
+            rows: dim.0,
+            cols: dim.1,
+            data: vec![0.0; dim.0 * dim.1],
+        }
+    }
+
+    /// An all-one array.
+    pub fn ones(dim: (usize, usize)) -> Self {
+        Array2 {
+            rows: dim.0,
+            cols: dim.1,
+            data: vec![1.0; dim.0 * dim.1],
+        }
+    }
+
+    /// An array filled with `value`.
+    pub fn from_elem(dim: (usize, usize), value: f64) -> Self {
+        Array2 {
+            rows: dim.0,
+            cols: dim.1,
+            data: vec![value; dim.0 * dim.1],
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.data.is_empty() {
+            None
+        } else {
+            Some(self.sum() / self.data.len() as f64)
+        }
+    }
+
+    /// Standard deviation with `ddof` delta degrees of freedom.
+    pub fn std(&self, ddof: f64) -> f64 {
+        std_of(&self.data, ddof)
+    }
+
+    /// Sums along `axis`: `Axis(0)` collapses rows (result length =
+    /// `ncols`), `Axis(1)` collapses columns.
+    pub fn sum_axis(&self, axis: Axis) -> Array1<f64> {
+        match axis.0 {
+            0 => {
+                let mut out = vec![0.0; self.cols];
+                for row in self.data.chunks(self.cols.max(1)) {
+                    for (o, &x) in out.iter_mut().zip(row.iter()) {
+                        *o += x;
+                    }
+                }
+                Array1 { data: out }
+            }
+            1 => Array1 {
+                data: self
+                    .data
+                    .chunks(self.cols.max(1))
+                    .map(|row| row.iter().sum())
+                    .collect(),
+            },
+            _ => panic!("axis out of bounds"),
+        }
+    }
+
+    /// Means along `axis`, or `None` when the collapsed dimension is 0.
+    pub fn mean_axis(&self, axis: Axis) -> Option<Array1<f64>> {
+        let denom = match axis.0 {
+            0 => self.rows,
+            1 => self.cols,
+            _ => panic!("axis out of bounds"),
+        };
+        if denom == 0 {
+            return None;
+        }
+        let mut out = self.sum_axis(axis);
+        for x in out.iter_mut() {
+            *x /= denom as f64;
+        }
+        Some(out)
+    }
+
+    /// Dot product / matrix product dispatch (see [`Dot`]).
+    pub fn dot<Rhs>(&self, rhs: &Rhs) -> <Self as Dot<Rhs>>::Output
+    where
+        Self: Dot<Rhs>,
+    {
+        self.dot_impl(rhs)
+    }
+}
+
+fn std_of(data: &[f64], ddof: f64) -> f64 {
+    let n = data.len() as f64;
+    if n == 0.0 {
+        return f64::NAN;
+    }
+    let mean = data.iter().sum::<f64>() / n;
+    let ss: f64 = data.iter().map(|&x| (x - mean) * (x - mean)).sum();
+    (ss / (n - ddof)).sqrt()
+}
+
+impl<T> std::ops::Index<[usize; 2]> for Array2<T> {
+    type Output = T;
+    fn index(&self, idx: [usize; 2]) -> &T {
+        assert!(
+            idx[0] < self.rows && idx[1] < self.cols,
+            "index out of bounds"
+        );
+        &self.data[idx[0] * self.cols + idx[1]]
+    }
+}
+
+impl<T> std::ops::IndexMut<[usize; 2]> for Array2<T> {
+    fn index_mut(&mut self, idx: [usize; 2]) -> &mut T {
+        assert!(
+            idx[0] < self.rows && idx[1] < self.cols,
+            "index out of bounds"
+        );
+        &mut self.data[idx[0] * self.cols + idx[1]]
+    }
+}
+
+/// Iterator over the rows of an [`Array2`].
+pub struct Rows<'a, T> {
+    array: &'a Array2<T>,
+    next: usize,
+}
+
+impl<'a, T> Iterator for Rows<'a, T> {
+    type Item = ArrayView1<'a, T>;
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.array.rows {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        Some(ArrayView1 {
+            data: &self.array.data[i * self.array.cols..(i + 1) * self.array.cols],
+            stride: 1,
+            len: self.array.cols,
+        })
+    }
+}
+
+/// Iterator over sub-views along an axis of an [`Array2`].
+pub struct AxisIter<'a, T> {
+    array: &'a Array2<T>,
+    axis: usize,
+    next: usize,
+}
+
+impl<'a, T> Iterator for AxisIter<'a, T> {
+    type Item = ArrayView1<'a, T>;
+    fn next(&mut self) -> Option<Self::Item> {
+        let limit = if self.axis == 0 {
+            self.array.rows
+        } else {
+            self.array.cols
+        };
+        if self.next >= limit {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        Some(if self.axis == 0 {
+            ArrayView1 {
+                data: &self.array.data[i * self.array.cols..(i + 1) * self.array.cols],
+                stride: 1,
+                len: self.array.cols,
+            }
+        } else {
+            ArrayView1 {
+                data: &self.array.data[i..],
+                stride: self.array.cols,
+                len: self.array.rows,
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// View methods
+// ---------------------------------------------------------------------------
+
+impl<'a, T> ArrayView1<'a, T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Element iterator (stride-aware).
+    pub fn iter(&self) -> ViewIter<'a, T> {
+        ViewIter {
+            data: self.data,
+            stride: self.stride,
+            next: 0,
+            len: self.len,
+        }
+    }
+
+    /// Copies into an owned [`Array1`].
+    pub fn to_owned(&self) -> Array1<T>
+    where
+        T: Clone,
+    {
+        Array1 {
+            data: self.iter().cloned().collect(),
+        }
+    }
+
+    /// Copies into a `Vec`.
+    pub fn to_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.iter().cloned().collect()
+    }
+
+    /// Identity view (mirrors the owned API).
+    pub fn view(&self) -> ArrayView1<'a, T> {
+        *self
+    }
+
+    /// Maps every element through `f` into an owned array.
+    pub fn mapv<U, F: FnMut(T) -> U>(&self, mut f: F) -> Array1<U>
+    where
+        T: Clone,
+    {
+        Array1 {
+            data: self.iter().map(|x| f(x.clone())).collect(),
+        }
+    }
+}
+
+impl ArrayView1<'_, f64> {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.iter().sum()
+    }
+
+    /// Mean of all elements, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.sum() / self.len as f64)
+        }
+    }
+
+    /// Dot product / matrix product dispatch (see [`Dot`]).
+    pub fn dot<Rhs>(&self, rhs: &Rhs) -> <Self as Dot<Rhs>>::Output
+    where
+        Self: Dot<Rhs>,
+    {
+        self.dot_impl(rhs)
+    }
+}
+
+impl<T> std::ops::Index<usize> for ArrayView1<'_, T> {
+    type Output = T;
+    fn index(&self, i: usize) -> &T {
+        assert!(i < self.len, "index out of bounds");
+        &self.data[i * self.stride]
+    }
+}
+
+impl<'a, T> IntoIterator for &ArrayView1<'a, T> {
+    type Item = &'a T;
+    type IntoIter = ViewIter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<'a, T> IntoIterator for ArrayView1<'a, T> {
+    type Item = &'a T;
+    type IntoIter = ViewIter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Stride-aware iterator over a [`ArrayView1`].
+pub struct ViewIter<'a, T> {
+    data: &'a [T],
+    stride: usize,
+    next: usize,
+    len: usize,
+}
+
+impl<'a, T> Iterator for ViewIter<'a, T> {
+    type Item = &'a T;
+    fn next(&mut self) -> Option<&'a T> {
+        if self.next >= self.len {
+            return None;
+        }
+        let item = &self.data[self.next * self.stride];
+        self.next += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.len - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl<T> ExactSizeIterator for ViewIter<'_, T> {}
+
+impl<'a, T> ArrayViewMut1<'a, T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element iterator.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Mutable element iterator.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.data.iter_mut()
+    }
+
+    /// Overwrites every element with `value`.
+    pub fn fill(&mut self, value: T)
+    where
+        T: Clone,
+    {
+        for x in self.data.iter_mut() {
+            *x = value.clone();
+        }
+    }
+
+    /// Copies the contents of `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn assign<S: VecOperand>(&mut self, other: &S)
+    where
+        T: From<f64>,
+    {
+        let len = other.vlen().expect("assign needs an array source");
+        assert_eq!(self.data.len(), len, "assign length mismatch");
+        for (i, x) in self.data.iter_mut().enumerate() {
+            *x = T::from(other.vget(i));
+        }
+    }
+
+    /// Maps every element in place.
+    pub fn mapv_inplace<F: FnMut(T) -> T>(&mut self, mut f: F)
+    where
+        T: Clone,
+    {
+        for x in self.data.iter_mut() {
+            *x = f(x.clone());
+        }
+    }
+}
+
+impl ArrayViewMut1<'_, f64> {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.data.is_empty() {
+            None
+        } else {
+            Some(self.sum() / self.data.len() as f64)
+        }
+    }
+}
+
+impl<T> std::ops::Index<usize> for ArrayViewMut1<'_, T> {
+    type Output = T;
+    fn index(&self, i: usize) -> &T {
+        &self.data[i]
+    }
+}
+
+impl<T> std::ops::IndexMut<usize> for ArrayViewMut1<'_, T> {
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.data[i]
+    }
+}
+
+impl<'a, T> ArrayView2<'a, T> {
+    /// Logical `(rows, cols)` after any transpose.
+    pub fn dim(&self) -> (usize, usize) {
+        if self.trans {
+            (self.phys_cols, self.phys_rows)
+        } else {
+            (self.phys_rows, self.phys_cols)
+        }
+    }
+
+    /// Logical number of rows.
+    pub fn nrows(&self) -> usize {
+        self.dim().0
+    }
+
+    /// Logical number of columns.
+    pub fn ncols(&self) -> usize {
+        self.dim().1
+    }
+
+    /// Lazily transposed view.
+    pub fn t(&self) -> ArrayView2<'a, T> {
+        ArrayView2 {
+            trans: !self.trans,
+            ..*self
+        }
+    }
+
+    /// Identity view (mirrors the owned API).
+    pub fn view(&self) -> ArrayView2<'a, T> {
+        *self
+    }
+
+    /// Element at logical position `(i, j)`.
+    fn get(&self, i: usize, j: usize) -> &T {
+        if self.trans {
+            &self.data[j * self.phys_cols + i]
+        } else {
+            &self.data[i * self.phys_cols + j]
+        }
+    }
+
+    /// Copies into an owned [`Array2`] (resolving any transpose).
+    pub fn to_owned(&self) -> Array2<T>
+    where
+        T: Clone,
+    {
+        let (rows, cols) = self.dim();
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(self.get(i, j).clone());
+            }
+        }
+        Array2 { rows, cols, data }
+    }
+
+    /// Row-major element iterator over logical positions.
+    pub fn iter(&self) -> impl Iterator<Item = &'a T> + '_ {
+        let (rows, cols) = self.dim();
+        (0..rows).flat_map(move |i| {
+            (0..cols).map(move |j| {
+                if self.trans {
+                    &self.data[j * self.phys_cols + i]
+                } else {
+                    &self.data[i * self.phys_cols + j]
+                }
+            })
+        })
+    }
+
+    /// Maps every element through `f` into an owned array.
+    pub fn mapv<U, F: FnMut(T) -> U>(&self, mut f: F) -> Array2<U>
+    where
+        T: Clone,
+    {
+        let (rows, cols) = self.dim();
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(self.get(i, j).clone()));
+            }
+        }
+        Array2 { rows, cols, data }
+    }
+}
+
+impl ArrayView2<'_, f64> {
+    /// Dot product / matrix product dispatch (see [`Dot`]).
+    pub fn dot<Rhs>(&self, rhs: &Rhs) -> <Self as Dot<Rhs>>::Output
+    where
+        Self: Dot<Rhs>,
+    {
+        self.dot_impl(rhs)
+    }
+}
+
+impl<T> std::ops::Index<[usize; 2]> for ArrayView2<'_, T> {
+    type Output = T;
+    fn index(&self, idx: [usize; 2]) -> &T {
+        let (rows, cols) = self.dim();
+        assert!(idx[0] < rows && idx[1] < cols, "index out of bounds");
+        self.get(idx[0], idx[1])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Constructors
+// ---------------------------------------------------------------------------
+
+/// Builds a 1-D array from a slice.
+pub fn arr1(xs: &[f64]) -> Array1<f64> {
+    Array1 { data: xs.to_vec() }
+}
+
+/// Builds a 2-D array from nested fixed-size rows.
+pub fn arr2<const N: usize>(xs: &[[f64; N]]) -> Array2<f64> {
+    let mut data = Vec::with_capacity(xs.len() * N);
+    for row in xs {
+        data.extend_from_slice(row);
+    }
+    Array2 {
+        rows: xs.len(),
+        cols: N,
+        data,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dot products
+// ---------------------------------------------------------------------------
+
+/// Internal descriptor of a (possibly strided) f64 vector.
+#[derive(Clone, Copy)]
+pub struct VecDesc<'a> {
+    data: &'a [f64],
+    stride: usize,
+    len: usize,
+}
+
+/// Internal descriptor of a (possibly transposed) row-major f64 matrix.
+#[derive(Clone, Copy)]
+pub struct MatDesc<'a> {
+    data: &'a [f64],
+    phys_rows: usize,
+    phys_cols: usize,
+    trans: bool,
+}
+
+/// Conversion into [`VecDesc`] (sealed; implementation detail of `dot`).
+pub trait AsVecDesc {
+    /// The descriptor.
+    fn vec_desc(&self) -> VecDesc<'_>;
+}
+
+/// Conversion into [`MatDesc`] (sealed; implementation detail of `dot`).
+pub trait AsMatDesc {
+    /// The descriptor.
+    fn mat_desc(&self) -> MatDesc<'_>;
+}
+
+impl AsVecDesc for Array1<f64> {
+    fn vec_desc(&self) -> VecDesc<'_> {
+        VecDesc {
+            data: &self.data,
+            stride: 1,
+            len: self.data.len(),
+        }
+    }
+}
+
+impl AsVecDesc for ArrayView1<'_, f64> {
+    fn vec_desc(&self) -> VecDesc<'_> {
+        VecDesc {
+            data: self.data,
+            stride: self.stride,
+            len: self.len,
+        }
+    }
+}
+
+impl AsMatDesc for Array2<f64> {
+    fn mat_desc(&self) -> MatDesc<'_> {
+        MatDesc {
+            data: &self.data,
+            phys_rows: self.rows,
+            phys_cols: self.cols,
+            trans: false,
+        }
+    }
+}
+
+impl AsMatDesc for ArrayView2<'_, f64> {
+    fn mat_desc(&self) -> MatDesc<'_> {
+        MatDesc {
+            data: self.data,
+            phys_rows: self.phys_rows,
+            phys_cols: self.phys_cols,
+            trans: self.trans,
+        }
+    }
+}
+
+impl MatDesc<'_> {
+    fn ldim(&self) -> (usize, usize) {
+        if self.trans {
+            (self.phys_cols, self.phys_rows)
+        } else {
+            (self.phys_rows, self.phys_cols)
+        }
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        if self.trans {
+            self.data[j * self.phys_cols + i]
+        } else {
+            self.data[i * self.phys_cols + j]
+        }
+    }
+}
+
+fn contiguous(v: VecDesc<'_>) -> std::borrow::Cow<'_, [f64]> {
+    if v.stride == 1 {
+        std::borrow::Cow::Borrowed(&v.data[..v.len])
+    } else {
+        std::borrow::Cow::Owned((0..v.len).map(|i| v.data[i * v.stride]).collect())
+    }
+}
+
+/// Unrolled four-accumulator dot product: rustc cannot auto-vectorize a
+/// plain `f64` reduction (FP addition is not associative), so the lanes
+/// are split explicitly. This is the single hottest kernel in the
+/// workspace.
+#[inline]
+pub(crate) fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        s0 += x[0] * y[0];
+        s1 += x[1] * y[1];
+        s2 += x[2] * y[2];
+        s3 += x[3] * y[3];
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        s += x * y;
+    }
+    s
+}
+
+/// `o += x * b`, element-wise over slices (vectorizable as written).
+#[inline]
+fn axpy(o: &mut [f64], x: f64, b: &[f64]) {
+    for (oi, &bi) in o.iter_mut().zip(b.iter()) {
+        *oi += x * bi;
+    }
+}
+
+/// Samples (up to 4096 elements of) a matrix for zero density; ≥ 40%
+/// zeros flips the GEMM into its sparse-row kernel.
+fn is_mostly_zero(data: &[f64]) -> bool {
+    let sample = &data[..data.len().min(4096)];
+    if sample.is_empty() {
+        return false;
+    }
+    let zeros = sample.iter().filter(|&&x| x == 0.0).count();
+    zeros * 5 >= sample.len() * 2
+}
+
+pub(crate) fn vec_dot(a: VecDesc<'_>, b: VecDesc<'_>) -> f64 {
+    assert_eq!(a.len, b.len, "dot length mismatch");
+    if a.stride == 1 && b.stride == 1 {
+        dot_slices(&a.data[..a.len], &b.data[..b.len])
+    } else {
+        (0..a.len)
+            .map(|i| a.data[i * a.stride] * b.data[i * b.stride])
+            .sum()
+    }
+}
+
+pub(crate) fn mat_vec(m: MatDesc<'_>, v: VecDesc<'_>) -> Array1<f64> {
+    let (rows, cols) = m.ldim();
+    assert_eq!(cols, v.len, "matrix·vector dimension mismatch");
+    let x = contiguous(v);
+    let mut out = vec![0.0; rows];
+    if !m.trans {
+        for (o, row) in out.iter_mut().zip(m.data.chunks(m.phys_cols.max(1))) {
+            *o = dot_slices(row, &x);
+        }
+    } else {
+        // out[j] = Σ_i data[i, j] x[i]: stream the physical rows.
+        for (i, row) in m.data.chunks(m.phys_cols.max(1)).enumerate() {
+            let xi = x[i];
+            if xi != 0.0 {
+                axpy(&mut out, xi, row);
+            }
+        }
+    }
+    Array1 { data: out }
+}
+
+pub(crate) fn vec_mat(v: VecDesc<'_>, m: MatDesc<'_>) -> Array1<f64> {
+    // v (1×k) · M (k×n) = (Mᵀ · v)
+    mat_vec(
+        MatDesc {
+            trans: !m.trans,
+            ..m
+        },
+        v,
+    )
+}
+
+/// Whether a GEMM of `m·k·n` multiply-adds is worth fanning out across
+/// the rayon pool (only with the `rayon` feature; the pool degrades to
+/// inline execution at one thread).
+#[cfg(feature = "rayon")]
+fn gemm_parallel_rows(m: usize, k: usize, n: usize) -> usize {
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || m < 2 || m * k * n < 1 << 21 {
+        1
+    } else {
+        threads.min(m)
+    }
+}
+
+pub(crate) fn mat_mat(a: MatDesc<'_>, b: MatDesc<'_>) -> Array2<f64> {
+    let (m, k) = a.ldim();
+    let (k2, n) = b.ldim();
+    assert_eq!(k, k2, "matrix·matrix dimension mismatch");
+
+    // Output rows are independent: with the `rayon` feature enabled and a
+    // large enough product, split the *logical* A rows into contiguous
+    // blocks and compute each block on its own worker. Each output row is
+    // produced entirely by one worker, so the result is bit-identical at
+    // every thread count.
+    #[cfg(feature = "rayon")]
+    {
+        let workers = gemm_parallel_rows(m, k, n);
+        if workers > 1 && !a.trans {
+            use rayon::prelude::*;
+            let block = m.div_ceil(workers);
+            let blocks: Vec<Array2<f64>> = (0..workers)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|w| {
+                    let lo = w * block;
+                    let hi = ((w + 1) * block).min(m);
+                    let sub = MatDesc {
+                        data: &a.data[lo * k..hi * k],
+                        phys_rows: hi - lo,
+                        phys_cols: k,
+                        trans: false,
+                    };
+                    mat_mat_serial(sub, b)
+                })
+                .collect();
+            let mut data = Vec::with_capacity(m * n);
+            for blk in blocks {
+                data.extend_from_slice(&blk.data);
+            }
+            return Array2 {
+                rows: m,
+                cols: n,
+                data,
+            };
+        }
+    }
+    mat_mat_serial(a, b)
+}
+
+fn mat_mat_serial(a: MatDesc<'_>, b: MatDesc<'_>) -> Array2<f64> {
+    let (m, k) = a.ldim();
+    let (k2, n) = b.ldim();
+    assert_eq!(k, k2, "matrix·matrix dimension mismatch");
+    let mut out = vec![0.0; m * n];
+    match (a.trans, b.trans) {
+        (false, false) if is_mostly_zero(a.data) => {
+            // Sparse-A ikj: RBM activations are 0/1 matrices that are
+            // mostly zero, where skipping whole B-row streams beats the
+            // blocked kernel's traffic savings.
+            for (arow, orow) in a.data.chunks(k).zip(out.chunks_mut(n)) {
+                for (p, &aip) in arow.iter().enumerate() {
+                    if aip != 0.0 {
+                        axpy(orow, aip, &b.data[p * n..(p + 1) * n]);
+                    }
+                }
+            }
+        }
+        (false, false) => {
+            // Blocked ikj: four A rows share each streamed B row, cutting
+            // B traffic 4× versus the row-at-a-time loop.
+            let mut ablocks = a.data.chunks(4 * k);
+            let mut oblocks = out.chunks_mut(4 * n);
+            for (ablock, oblock) in (&mut ablocks).zip(&mut oblocks) {
+                if ablock.len() == 4 * k {
+                    let (o0, rest) = oblock.split_at_mut(n);
+                    let (o1, rest) = rest.split_at_mut(n);
+                    let (o2, o3) = rest.split_at_mut(n);
+                    for p in 0..k {
+                        let brow = &b.data[p * n..(p + 1) * n];
+                        let (a0, a1) = (ablock[p], ablock[k + p]);
+                        let (a2, a3) = (ablock[2 * k + p], ablock[3 * k + p]);
+                        if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                            continue;
+                        }
+                        for (((b_, q0), q1), (q2, q3)) in brow
+                            .iter()
+                            .zip(o0.iter_mut())
+                            .zip(o1.iter_mut())
+                            .zip(o2.iter_mut().zip(o3.iter_mut()))
+                        {
+                            *q0 += a0 * b_;
+                            *q1 += a1 * b_;
+                            *q2 += a2 * b_;
+                            *q3 += a3 * b_;
+                        }
+                    }
+                } else {
+                    // Trailing block of fewer than four rows.
+                    for (arow, orow) in ablock.chunks(k).zip(oblock.chunks_mut(n)) {
+                        for (p, &aip) in arow.iter().enumerate() {
+                            if aip != 0.0 {
+                                axpy(orow, aip, &b.data[p * n..(p + 1) * n]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (true, false) => {
+            // A physical is (k × m): stream both physical rows.
+            for p in 0..k {
+                let arow = &a.data[p * m..(p + 1) * m];
+                let brow = &b.data[p * n..(p + 1) * n];
+                for (i, &aip) in arow.iter().enumerate() {
+                    if aip != 0.0 {
+                        axpy(&mut out[i * n..(i + 1) * n], aip, brow);
+                    }
+                }
+            }
+        }
+        (false, true) => {
+            // B physical is (n × k): row·row dot products.
+            for i in 0..m {
+                let arow = &a.data[i * k..(i + 1) * k];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = dot_slices(arow, &b.data[j * k..(j + 1) * k]);
+                }
+            }
+        }
+        (true, true) => {
+            for i in 0..m {
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = (0..k).map(|p| a.at(i, p) * b.at(p, j)).sum();
+                }
+            }
+        }
+    }
+    Array2 {
+        rows: m,
+        cols: n,
+        data: out,
+    }
+}
+
+/// Product dispatch trait behind the inherent `dot` methods (mirrors
+/// ndarray's `Dot`).
+pub trait Dot<Rhs> {
+    /// Result type: `f64` for vec·vec, [`Array1`] for mat·vec / vec·mat,
+    /// [`Array2`] for mat·mat.
+    type Output;
+    /// Computes the product.
+    fn dot_impl(&self, rhs: &Rhs) -> Self::Output;
+}
+
+macro_rules! impl_dot_vv {
+    ($(($l:ty, $r:ty)),*) => {$(
+        impl Dot<$r> for $l {
+            type Output = f64;
+            fn dot_impl(&self, rhs: &$r) -> f64 {
+                vec_dot(self.vec_desc(), rhs.vec_desc())
+            }
+        }
+    )*};
+}
+impl_dot_vv!(
+    (Array1<f64>, Array1<f64>),
+    (Array1<f64>, ArrayView1<'_, f64>),
+    (ArrayView1<'_, f64>, Array1<f64>),
+    (ArrayView1<'_, f64>, ArrayView1<'_, f64>)
+);
+
+macro_rules! impl_dot_mv {
+    ($(($l:ty, $r:ty)),*) => {$(
+        impl Dot<$r> for $l {
+            type Output = Array1<f64>;
+            fn dot_impl(&self, rhs: &$r) -> Array1<f64> {
+                mat_vec(self.mat_desc(), rhs.vec_desc())
+            }
+        }
+    )*};
+}
+impl_dot_mv!(
+    (Array2<f64>, Array1<f64>),
+    (Array2<f64>, ArrayView1<'_, f64>),
+    (ArrayView2<'_, f64>, Array1<f64>),
+    (ArrayView2<'_, f64>, ArrayView1<'_, f64>)
+);
+
+macro_rules! impl_dot_vm {
+    ($(($l:ty, $r:ty)),*) => {$(
+        impl Dot<$r> for $l {
+            type Output = Array1<f64>;
+            fn dot_impl(&self, rhs: &$r) -> Array1<f64> {
+                vec_mat(self.vec_desc(), rhs.mat_desc())
+            }
+        }
+    )*};
+}
+impl_dot_vm!(
+    (Array1<f64>, Array2<f64>),
+    (Array1<f64>, ArrayView2<'_, f64>),
+    (ArrayView1<'_, f64>, Array2<f64>),
+    (ArrayView1<'_, f64>, ArrayView2<'_, f64>)
+);
+
+macro_rules! impl_dot_mm {
+    ($(($l:ty, $r:ty)),*) => {$(
+        impl Dot<$r> for $l {
+            type Output = Array2<f64>;
+            fn dot_impl(&self, rhs: &$r) -> Array2<f64> {
+                mat_mat(self.mat_desc(), rhs.mat_desc())
+            }
+        }
+    )*};
+}
+impl_dot_mm!(
+    (Array2<f64>, Array2<f64>),
+    (Array2<f64>, ArrayView2<'_, f64>),
+    (ArrayView2<'_, f64>, Array2<f64>),
+    (ArrayView2<'_, f64>, ArrayView2<'_, f64>)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_all_transpose_cases_agree() {
+        let a = arr2(&[[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]); // 2×3
+        let b = arr2(&[[7.0, 8.0], [9.0, 10.0], [11.0, 12.0]]); // 3×2
+        let c = a.dot(&b);
+        assert_eq!(c.dim(), (2, 2));
+        assert_eq!(c[[0, 0]], 58.0);
+        assert_eq!(c[[1, 1]], 154.0);
+
+        // (AᵀᵀB) through the transposed paths.
+        let at = a.t().to_owned(); // 3×2
+        let c2 = at.t().dot(&b);
+        assert_eq!(c, c2);
+        let bt = b.t().to_owned(); // 2×3
+        let c3 = a.dot(&bt.t());
+        assert_eq!(c, c3);
+        let c4 = at.t().dot(&bt.t());
+        assert_eq!(c, c4);
+    }
+
+    #[test]
+    fn gemv_and_transposed_gemv() {
+        let a = arr2(&[[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]); // 3×2
+        let x = arr1(&[1.0, -1.0]);
+        let y = a.dot(&x);
+        assert_eq!(y.as_slice(), &[-1.0, -1.0, -1.0]);
+        let z = a.t().dot(&arr1(&[1.0, 1.0, 1.0]));
+        assert_eq!(z.as_slice(), &[9.0, 12.0]);
+        let w = x.dot(&a.t()); // vec·mat
+        assert_eq!(w.as_slice(), &[-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn axis_reductions() {
+        let a = arr2(&[[1.0, 2.0], [3.0, 4.0]]);
+        assert_eq!(a.sum_axis(Axis(0)).as_slice(), &[4.0, 6.0]);
+        assert_eq!(a.sum_axis(Axis(1)).as_slice(), &[3.0, 7.0]);
+        assert_eq!(a.mean_axis(Axis(0)).unwrap().as_slice(), &[2.0, 3.0]);
+        assert_eq!(a.mean().unwrap(), 2.5);
+    }
+
+    #[test]
+    fn slicing_and_views() {
+        let a = arr2(&[[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]);
+        let block = a.slice(s![1..3, ..]).to_owned();
+        assert_eq!(block.dim(), (2, 2));
+        assert_eq!(block[[0, 0]], 3.0);
+        let v = arr1(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.slice(s![..2]).to_owned().as_slice(), &[1.0, 2.0]);
+        assert_eq!(v.slice(s![2..]).to_owned().as_slice(), &[3.0, 4.0]);
+        let col = a.column(1);
+        assert_eq!(col.to_owned().as_slice(), &[2.0, 4.0, 6.0]);
+        assert_eq!(col[2], 6.0);
+    }
+
+    #[test]
+    fn rows_and_axis_iter() {
+        let a = arr2(&[[1.0, 2.0], [3.0, 4.0]]);
+        let rows: Vec<Vec<f64>> = a.rows().map(|r| r.iter().cloned().collect()).collect();
+        assert_eq!(rows, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let cols: Vec<Vec<f64>> = a
+            .axis_iter(Axis(1))
+            .map(|c| c.iter().cloned().collect())
+            .collect();
+        assert_eq!(cols, vec![vec![1.0, 3.0], vec![2.0, 4.0]]);
+        let mut b = a.clone();
+        for mut row in b.axis_iter_mut(Axis(0)) {
+            row += &arr1(&[10.0, 20.0]);
+        }
+        assert_eq!(b[[1, 1]], 24.0);
+    }
+
+    #[test]
+    fn elementwise_and_scalar_ops() {
+        let a = arr1(&[1.0, 2.0]);
+        let b = arr1(&[3.0, 4.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 6.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 2.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        let mut c = a.clone();
+        c += &b;
+        c /= 2.0;
+        assert_eq!(c.as_slice(), &[2.0, 3.0]);
+        let m = arr2(&[[1.0, 2.0], [3.0, 4.0]]);
+        assert_eq!((&m * 2.0)[[1, 0]], 6.0);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+    }
+}

@@ -1,0 +1,308 @@
+//! Elementwise arithmetic with scalar broadcast.
+//!
+//! A single generic impl per operator covers array ⊕ array, array ⊕ view,
+//! and array ⊕ scalar: the RHS is anything implementing [`VecOperand`] /
+//! [`MatOperand`], where a bare `f64` broadcasts (its `vlen`/`mdim` is
+//! `None`).
+
+use crate::{Array1, Array2, ArrayView1, ArrayView2, ArrayViewMut1};
+
+/// Right-hand operand of a 1-D elementwise operation.
+pub trait VecOperand {
+    /// Length, or `None` for a broadcast scalar.
+    fn vlen(&self) -> Option<usize>;
+    /// Element at `i` (ignored index for scalars).
+    fn vget(&self, i: usize) -> f64;
+}
+
+impl VecOperand for f64 {
+    fn vlen(&self) -> Option<usize> {
+        None
+    }
+    #[inline]
+    fn vget(&self, _i: usize) -> f64 {
+        *self
+    }
+}
+
+impl VecOperand for Array1<f64> {
+    fn vlen(&self) -> Option<usize> {
+        Some(self.data.len())
+    }
+    #[inline]
+    fn vget(&self, i: usize) -> f64 {
+        self.data[i]
+    }
+}
+
+impl VecOperand for ArrayView1<'_, f64> {
+    fn vlen(&self) -> Option<usize> {
+        Some(self.len)
+    }
+    #[inline]
+    fn vget(&self, i: usize) -> f64 {
+        self.data[i * self.stride]
+    }
+}
+
+impl<S: VecOperand + ?Sized> VecOperand for &S {
+    fn vlen(&self) -> Option<usize> {
+        (**self).vlen()
+    }
+    #[inline]
+    fn vget(&self, i: usize) -> f64 {
+        (**self).vget(i)
+    }
+}
+
+/// Right-hand operand of a 2-D elementwise operation.
+pub trait MatOperand {
+    /// `(rows, cols)`, or `None` for a broadcast scalar.
+    fn mdim(&self) -> Option<(usize, usize)>;
+    /// Element at `(i, j)` (ignored for scalars).
+    fn mget(&self, i: usize, j: usize) -> f64;
+}
+
+impl MatOperand for f64 {
+    fn mdim(&self) -> Option<(usize, usize)> {
+        None
+    }
+    #[inline]
+    fn mget(&self, _i: usize, _j: usize) -> f64 {
+        *self
+    }
+}
+
+impl MatOperand for Array2<f64> {
+    fn mdim(&self) -> Option<(usize, usize)> {
+        Some((self.rows, self.cols))
+    }
+    #[inline]
+    fn mget(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+}
+
+impl MatOperand for ArrayView2<'_, f64> {
+    fn mdim(&self) -> Option<(usize, usize)> {
+        Some(self.dim())
+    }
+    #[inline]
+    fn mget(&self, i: usize, j: usize) -> f64 {
+        if self.trans {
+            self.data[j * self.phys_cols + i]
+        } else {
+            self.data[i * self.phys_cols + j]
+        }
+    }
+}
+
+impl<S: MatOperand + ?Sized> MatOperand for &S {
+    fn mdim(&self) -> Option<(usize, usize)> {
+        (**self).mdim()
+    }
+    #[inline]
+    fn mget(&self, i: usize, j: usize) -> f64 {
+        (**self).mget(i, j)
+    }
+}
+
+fn check_vlen(lhs: usize, rhs: Option<usize>) {
+    if let Some(r) = rhs {
+        assert_eq!(lhs, r, "elementwise length mismatch");
+    }
+}
+
+fn check_mdim(lhs: (usize, usize), rhs: Option<(usize, usize)>) {
+    if let Some(r) = rhs {
+        assert_eq!(lhs, r, "elementwise shape mismatch");
+    }
+}
+
+macro_rules! impl_vec_binop {
+    ($($trait:ident, $method:ident, $op:tt;)*) => {$(
+        impl<R: VecOperand> std::ops::$trait<R> for Array1<f64> {
+            type Output = Array1<f64>;
+            // clippy's assign-op suggestion would splice the wrong
+            // operator into this macro body.
+            #[allow(clippy::assign_op_pattern)]
+            fn $method(mut self, rhs: R) -> Array1<f64> {
+                check_vlen(self.data.len(), rhs.vlen());
+                for (i, x) in self.data.iter_mut().enumerate() {
+                    *x = *x $op rhs.vget(i);
+                }
+                self
+            }
+        }
+        impl<R: VecOperand> std::ops::$trait<R> for &Array1<f64> {
+            type Output = Array1<f64>;
+            fn $method(self, rhs: R) -> Array1<f64> {
+                check_vlen(self.data.len(), rhs.vlen());
+                Array1 {
+                    data: self
+                        .data
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &x)| x $op rhs.vget(i))
+                        .collect(),
+                }
+            }
+        }
+        impl<R: VecOperand> std::ops::$trait<R> for ArrayView1<'_, f64> {
+            type Output = Array1<f64>;
+            fn $method(self, rhs: R) -> Array1<f64> {
+                check_vlen(self.len, rhs.vlen());
+                Array1 {
+                    data: (0..self.len)
+                        .map(|i| self.data[i * self.stride] $op rhs.vget(i))
+                        .collect(),
+                }
+            }
+        }
+        impl<R: VecOperand> std::ops::$trait<R> for &ArrayView1<'_, f64> {
+            type Output = Array1<f64>;
+            fn $method(self, rhs: R) -> Array1<f64> {
+                (*self).$method(rhs)
+            }
+        }
+    )*};
+}
+
+impl_vec_binop! {
+    Add, add, +;
+    Sub, sub, -;
+    Mul, mul, *;
+    Div, div, /;
+}
+
+macro_rules! impl_vec_assign {
+    ($($trait:ident, $method:ident, $op:tt;)*) => {$(
+        impl<R: VecOperand> std::ops::$trait<R> for Array1<f64> {
+            fn $method(&mut self, rhs: R) {
+                check_vlen(self.data.len(), rhs.vlen());
+                for (i, x) in self.data.iter_mut().enumerate() {
+                    *x $op rhs.vget(i);
+                }
+            }
+        }
+        impl<R: VecOperand> std::ops::$trait<R> for ArrayViewMut1<'_, f64> {
+            fn $method(&mut self, rhs: R) {
+                check_vlen(self.data.len(), rhs.vlen());
+                for (i, x) in self.data.iter_mut().enumerate() {
+                    *x $op rhs.vget(i);
+                }
+            }
+        }
+    )*};
+}
+
+impl_vec_assign! {
+    AddAssign, add_assign, +=;
+    SubAssign, sub_assign, -=;
+    MulAssign, mul_assign, *=;
+    DivAssign, div_assign, /=;
+}
+
+macro_rules! impl_mat_binop {
+    ($($trait:ident, $method:ident, $op:tt;)*) => {$(
+        impl<R: MatOperand> std::ops::$trait<R> for Array2<f64> {
+            type Output = Array2<f64>;
+            // clippy's assign-op suggestion would splice the wrong
+            // operator into this macro body.
+            #[allow(clippy::assign_op_pattern)]
+            fn $method(mut self, rhs: R) -> Array2<f64> {
+                check_mdim((self.rows, self.cols), rhs.mdim());
+                let cols = self.cols;
+                for (idx, x) in self.data.iter_mut().enumerate() {
+                    *x = *x $op rhs.mget(idx / cols, idx % cols);
+                }
+                self
+            }
+        }
+        impl<R: MatOperand> std::ops::$trait<R> for &Array2<f64> {
+            type Output = Array2<f64>;
+            fn $method(self, rhs: R) -> Array2<f64> {
+                check_mdim((self.rows, self.cols), rhs.mdim());
+                let cols = self.cols;
+                Array2 {
+                    rows: self.rows,
+                    cols,
+                    data: self
+                        .data
+                        .iter()
+                        .enumerate()
+                        .map(|(idx, &x)| x $op rhs.mget(idx / cols, idx % cols))
+                        .collect(),
+                }
+            }
+        }
+    )*};
+}
+
+impl_mat_binop! {
+    Add, add, +;
+    Sub, sub, -;
+    Mul, mul, *;
+    Div, div, /;
+}
+
+macro_rules! impl_mat_assign {
+    ($($trait:ident, $method:ident, $op:tt;)*) => {$(
+        impl<R: MatOperand> std::ops::$trait<R> for Array2<f64> {
+            fn $method(&mut self, rhs: R) {
+                check_mdim((self.rows, self.cols), rhs.mdim());
+                let cols = self.cols;
+                for (idx, x) in self.data.iter_mut().enumerate() {
+                    *x $op rhs.mget(idx / cols, idx % cols);
+                }
+            }
+        }
+    )*};
+}
+
+impl_mat_assign! {
+    AddAssign, add_assign, +=;
+    SubAssign, sub_assign, -=;
+    MulAssign, mul_assign, *=;
+    DivAssign, div_assign, /=;
+}
+
+impl std::ops::Neg for Array1<f64> {
+    type Output = Array1<f64>;
+    fn neg(mut self) -> Array1<f64> {
+        for x in self.data.iter_mut() {
+            *x = -*x;
+        }
+        self
+    }
+}
+
+impl std::ops::Neg for &Array1<f64> {
+    type Output = Array1<f64>;
+    fn neg(self) -> Array1<f64> {
+        Array1 {
+            data: self.data.iter().map(|&x| -x).collect(),
+        }
+    }
+}
+
+impl std::ops::Neg for Array2<f64> {
+    type Output = Array2<f64>;
+    fn neg(mut self) -> Array2<f64> {
+        for x in self.data.iter_mut() {
+            *x = -*x;
+        }
+        self
+    }
+}
+
+impl std::ops::Neg for &Array2<f64> {
+    type Output = Array2<f64>;
+    fn neg(self) -> Array2<f64> {
+        Array2 {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| -x).collect(),
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Serde support for the vendored arrays (own format; only read back by
+//! this workspace's vendored `serde_json`).
+
+use crate::{Array1, Array2};
+use serde::{Deserialize, Error, Serialize, Value};
+
+impl<T: Serialize> Serialize for Array1<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.data.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Array1<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let seq = value
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected sequence for Array1"))?;
+        Ok(Array1 {
+            data: seq.iter().map(T::from_value).collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+impl<T: Serialize> Serialize for Array2<T> {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (
+                "dim".to_string(),
+                Value::Seq(vec![
+                    (self.rows as u64).to_value(),
+                    (self.cols as u64).to_value(),
+                ]),
+            ),
+            (
+                "data".to_string(),
+                Value::Seq(self.data.iter().map(Serialize::to_value).collect()),
+            ),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for Array2<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let dim: Vec<u64> = Deserialize::from_value(serde::get_field(value, "dim")?)?;
+        if dim.len() != 2 {
+            return Err(Error::custom("Array2 dim must have two entries"));
+        }
+        let seq = serde::get_field(value, "data")?
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected sequence for Array2 data"))?;
+        let (rows, cols) = (dim[0] as usize, dim[1] as usize);
+        if seq.len() != rows * cols {
+            return Err(Error::custom("Array2 data length mismatch"));
+        }
+        Ok(Array2 {
+            rows,
+            cols,
+            data: seq.iter().map(T::from_value).collect::<Result<_, _>>()?,
+        })
+    }
+}

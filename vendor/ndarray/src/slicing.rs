@@ -1,0 +1,56 @@
+//! The [`s!`] slice-spec macro and its supporting range trait.
+
+/// A 1-D slice specification: any standard range over `usize`.
+pub trait SliceArg1 {
+    /// Resolves to concrete `(start, end)` bounds for a given length.
+    fn bounds(self, len: usize) -> (usize, usize);
+}
+
+impl SliceArg1 for std::ops::Range<usize> {
+    fn bounds(self, len: usize) -> (usize, usize) {
+        assert!(
+            self.start <= self.end && self.end <= len,
+            "slice out of bounds"
+        );
+        (self.start, self.end)
+    }
+}
+
+impl SliceArg1 for std::ops::RangeFrom<usize> {
+    fn bounds(self, len: usize) -> (usize, usize) {
+        assert!(self.start <= len, "slice out of bounds");
+        (self.start, len)
+    }
+}
+
+impl SliceArg1 for std::ops::RangeTo<usize> {
+    fn bounds(self, len: usize) -> (usize, usize) {
+        assert!(self.end <= len, "slice out of bounds");
+        (0, self.end)
+    }
+}
+
+impl SliceArg1 for std::ops::RangeInclusive<usize> {
+    fn bounds(self, len: usize) -> (usize, usize) {
+        let (a, b) = (*self.start(), *self.end() + 1);
+        assert!(a <= b && b <= len, "slice out of bounds");
+        (a, b)
+    }
+}
+
+impl SliceArg1 for std::ops::RangeFull {
+    fn bounds(self, len: usize) -> (usize, usize) {
+        (0, len)
+    }
+}
+
+/// Slice-spec constructor: `s![a..b]` for 1-D, `s![a..b, ..]` for 2-D.
+#[macro_export]
+macro_rules! s {
+    ($a:expr) => {
+        $a
+    };
+    ($a:expr, $b:expr) => {
+        ($a, $b)
+    };
+}

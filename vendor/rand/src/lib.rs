@@ -1,0 +1,362 @@
+//! Offline vendored subset of the `rand` 0.9 API.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of `rand` it actually uses: the
+//! [`RngCore`]/[`Rng`]/[`SeedableRng`] traits, uniform sampling of
+//! primitives and ranges, and a deterministic [`rngs::StdRng`].
+//!
+//! `StdRng` here is xoshiro256** seeded through SplitMix64 — a different
+//! stream than upstream's ChaCha12, but the workspace only relies on
+//! *determinism* and statistical quality, never on upstream's exact
+//! stream.
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types samplable uniformly from an RNG's raw output (the vendored
+/// stand-in for `StandardUniform: Distribution<T>`).
+pub trait UniformSample: Sized {
+    /// Draws one uniformly distributed value.
+    fn uniform_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl UniformSample for f64 {
+    #[inline]
+    fn uniform_sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UniformSample for f32 {
+    #[inline]
+    fn uniform_sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl UniformSample for bool {
+    #[inline]
+    fn uniform_sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $from:ident),*) => {$(
+        impl UniformSample for $t {
+            #[inline]
+            fn uniform_sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.$from() as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64);
+
+/// Element types usable as range bounds in [`Rng::random_range`].
+///
+/// The [`SampleRange`] impls are *blanket* over this trait (one impl per
+/// range shape) so type inference can unify the range's element type with
+/// the requested output type the same way upstream rand does.
+pub trait SampleBounds: Sized + Copy {
+    /// Uniform draw from `[start, end)`.
+    fn sample_exclusive<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[start, end]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_float_bounds {
+    ($($t:ty => $word:ident, $shift:expr, $denom:expr;)*) => {$(
+        impl SampleBounds for $t {
+            #[inline]
+            fn sample_exclusive<R: RngCore + ?Sized>(start: $t, end: $t, rng: &mut R) -> $t {
+                assert!(start < end, "empty range");
+                start + <$t>::uniform_sample(rng) * (end - start)
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(start: $t, end: $t, rng: &mut R) -> $t {
+                assert!(start <= end, "empty range");
+                // Mantissa-width uniform over [0, 1] *inclusive* so the
+                // upper bound is reachable, matching `..=` semantics.
+                let unit = (rng.$word() >> $shift) as $t / $denom;
+                start + unit * (end - start)
+            }
+        }
+    )*};
+}
+impl_float_bounds! {
+    f64 => next_u64, 11, ((1u64 << 53) - 1) as f64;
+    f32 => next_u32, 8, ((1u32 << 24) - 1) as f32;
+}
+
+// Integer ranges use plain modulo reduction: the bias is < span/2⁶⁴,
+// immaterial for this workspace's small spans, and keeps the stream
+// consumption at exactly one word per draw (determinism contract).
+macro_rules! impl_int_bounds {
+    ($($t:ty),*) => {$(
+        impl SampleBounds for $t {
+            #[inline]
+            fn sample_exclusive<R: RngCore + ?Sized>(start: $t, end: $t, rng: &mut R) -> $t {
+                assert!(start < end, "empty range");
+                let span = (end as i128 - start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (start as i128 + v) as $t
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(start: $t, end: $t, rng: &mut R) -> $t {
+                assert!(start <= end, "empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+impl_int_bounds!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges samplable by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleBounds> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleBounds> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value of type `T`.
+    #[inline]
+    fn random<T: UniformSample>(&mut self) -> T {
+        T::uniform_sample(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of [0,1]");
+        f64::uniform_sample(self) < p
+    }
+
+    /// Draws uniformly from `range`.
+    #[inline]
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns an iterator of uniformly distributed values.
+    fn random_iter<T: UniformSample>(&mut self) -> RandomIter<'_, Self, T> {
+        RandomIter {
+            rng: self,
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Iterator over uniform draws, see [`Rng::random_iter`].
+pub struct RandomIter<'a, R: ?Sized, T> {
+    rng: &'a mut R,
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<R: RngCore + ?Sized, T: UniformSample> Iterator for RandomIter<'_, R, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        Some(T::uniform_sample(self.rng))
+    }
+}
+
+/// RNGs constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanded through SplitMix64
+    /// (matches upstream's documented behavior of seeding the full state
+    /// deterministically from one word).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let w = splitmix64(&mut state);
+            for (b, s) in chunk.iter_mut().zip(w.to_le_bytes().iter()) {
+                *b = *s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Builds the generator by drawing a seed from another RNG.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut seed = Self::Seed::default();
+        rng.fill_bytes(seed.as_mut());
+        Self::from_seed(seed)
+    }
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**.
+    ///
+    /// High statistical quality, tiny state, and a pure function of its
+    /// seed — everything the experiments rely on.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn step(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let w = self.step().to_le_bytes();
+                chunk.copy_from_slice(&w[..chunk.len()]);
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(w);
+            }
+            // All-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+
+    /// Small fast generator — same engine as [`StdRng`] in this vendored
+    /// build.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval_with_correct_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_are_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let k = rng.random_range(0..5);
+            assert!((0..5).contains(&k));
+            let j = rng.random_range(2..=4usize);
+            assert!((2..=4).contains(&j));
+        }
+    }
+
+    #[test]
+    fn random_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+}

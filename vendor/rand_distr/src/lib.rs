@@ -1,0 +1,117 @@
+//! Offline vendored subset of `rand_distr`: the [`Distribution`] trait and
+//! the [`Normal`] (Gaussian) distribution, which is all this workspace
+//! uses. Sampling uses the Marsaglia polar method (exact, not an
+//! approximation), consuming a variable number of uniforms per call.
+
+use rand::{Rng, RngCore};
+
+/// Types that can draw samples of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl core::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid normal distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev²)`.
+    ///
+    /// # Errors
+    ///
+    /// [`NormalError`] if `std_dev` is negative or either parameter is
+    /// non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, NormalError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The location parameter.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The scale parameter.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia polar method; one of the pair is discarded so each
+        // call is a pure function of the RNG stream consumed.
+        loop {
+            let u = 2.0 * rng.random::<f64>() - 1.0;
+            let v = 2.0 * rng.random::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.mean + self.std_dev * u * factor;
+            }
+        }
+    }
+}
+
+/// Standard normal `N(0, 1)`, sampled the same way as [`Normal`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        Normal {
+            mean: 0.0,
+            std_dev: 1.0,
+        }
+        .sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_match() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = Normal::new(2.0, 3.0).unwrap();
+        let n = 200_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = dist.sample(&mut rng);
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!((mean - 2.0).abs() < 0.03, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.03, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! Offline vendored subset of the `rayon` API, built on
+//! `std::thread::scope`.
+//!
+//! Provides genuinely parallel, **order-preserving** `par_iter`-style
+//! mapping over indexed work items: the item list is split into one
+//! contiguous chunk per worker, each worker maps its chunk on its own OS
+//! thread, and the chunks are re-joined in index order. Because results
+//! are keyed by index (never by completion order), any algorithm whose
+//! per-item work is a pure function of the item is **bit-identical at
+//! every thread count** — the property the workspace's parallel sampling
+//! engine builds its reproducibility contract on.
+//!
+//! Thread count: `RAYON_NUM_THREADS` env var, else the machine's
+//! available parallelism; [`ThreadPoolBuilder::build`] +
+//! [`ThreadPool::install`] scopes an override (used by the
+//! parallel/serial equivalence tests to pin 1, 2, and 8 threads).
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = value.parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The number of worker threads parallel operations will use in the
+/// current scope.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS
+        .with(|t| t.get())
+        .unwrap_or_else(default_threads)
+}
+
+/// Error building a thread pool (never produced by this vendored build;
+/// kept for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a scoped thread-count override.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: None }
+    }
+
+    /// Sets the worker count (0 = automatic).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this vendored build.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(default_threads),
+        })
+    }
+}
+
+/// A handle that scopes a thread-count override; workers are spawned per
+/// operation (scoped threads), not retained.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count installed for every
+    /// parallel operation `f` performs on this thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|t| t.replace(Some(self.num_threads)));
+        let result = f();
+        INSTALLED_THREADS.with(|t| t.set(prev));
+        result
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Order-preserving parallel map: applies `f` to every item, splitting
+/// the items into one contiguous chunk per worker thread.
+fn parallel_map_vec<I, O, F>(items: Vec<I>, f: &F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::new();
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_size));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let mut results: Vec<Vec<O>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// A materialized parallel iterator (items are collected up front).
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// A parallel iterator with a pending map stage.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+/// Conversion into a [`ParIter`].
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing conversion (`.par_iter()`), yielding `&T` items.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type.
+    type Item: Send + 'a;
+    /// Converts `&self`.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<I: Send> ParIter<I> {
+    /// Maps each item through `f` (lazily; executed by a collect/reduce).
+    pub fn map<O: Send, F: Fn(I) -> O + Sync>(self, f: F) -> ParMap<I, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+        parallel_map_vec(self.items, &f);
+    }
+}
+
+impl<I: Send, O: Send, F: Fn(I) -> O + Sync> ParMap<I, F> {
+    /// Executes the map in parallel, preserving item order.
+    pub fn collect<C: FromParallelResults<O>>(self) -> C {
+        C::from_ordered(parallel_map_vec(self.items, &self.f))
+    }
+
+    /// Executes and sums the results.
+    pub fn sum<S: std::iter::Sum<O>>(self) -> S {
+        parallel_map_vec(self.items, &self.f).into_iter().sum()
+    }
+
+    /// Executes and reduces with `op` starting from `identity`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> O
+    where
+        ID: Fn() -> O,
+        OP: Fn(O, O) -> O,
+    {
+        parallel_map_vec(self.items, &self.f)
+            .into_iter()
+            .fold(identity(), op)
+    }
+}
+
+/// Collection types a parallel map can gather into.
+pub trait FromParallelResults<O> {
+    /// Builds the collection from results in item order.
+    fn from_ordered(results: Vec<O>) -> Self;
+}
+
+impl<O> FromParallelResults<O> for Vec<O> {
+    fn from_ordered(results: Vec<O>) -> Vec<O> {
+        results
+    }
+}
+
+/// The usual glob import: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let serial: Vec<u64> = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| (0..64).into_par_iter().map(|i| (i as u64).pow(2)).collect());
+        let parallel: Vec<u64> = ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap()
+            .install(|| (0..64).into_par_iter().map(|i| (i as u64).pow(2)).collect());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn actually_spawns_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            (0..64).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            });
+        });
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "expected multiple worker threads"
+        );
+    }
+}
