@@ -1,0 +1,149 @@
+//! The bench-trajectory regression gate: diffs two `BENCH_PR<N>.json`
+//! files and **fails (exit 1) when any row present in both regresses by
+//! more than the tolerance** (default 10% throughput). Rows are matched
+//! on `(name, visible, hidden, mode)`; rows that exist only in the newer
+//! file (new suites, e.g. the PR 2 `substrate-cd1` dimension) are listed
+//! but never gated.
+//!
+//! ```sh
+//! cargo run --release -p ember_bench --bin bench_gate -- \
+//!     BENCH_PR1.json BENCH_PR2.json [--tolerance 0.10]
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use serde::Value;
+
+type RowKey = (String, i64, i64, String);
+
+fn str_field(row: &Value, key: &str) -> String {
+    match row.get(key) {
+        Some(Value::Str(s)) => s.clone(),
+        other => panic!("row field `{key}` should be a string, got {other:?}"),
+    }
+}
+
+fn num_field(row: &Value, key: &str) -> f64 {
+    match row.get(key) {
+        Some(Value::Int(i)) => *i as f64,
+        Some(Value::UInt(u)) => *u as f64,
+        Some(Value::Float(x)) => *x,
+        other => panic!("row field `{key}` should be a number, got {other:?}"),
+    }
+}
+
+/// Parses one trajectory file into `(name, visible, hidden, mode) → throughput`.
+fn load_rows(path: &str) -> BTreeMap<RowKey, f64> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let value = serde_json::parse_value(&text).unwrap_or_else(|e| panic!("parse {path}: {e:?}"));
+    let benches = value
+        .get("benches")
+        .and_then(Value::as_seq)
+        .unwrap_or_else(|| panic!("{path}: missing `benches` array"));
+    let mut rows = BTreeMap::new();
+    for row in benches {
+        let key = (
+            str_field(row, "name"),
+            num_field(row, "visible") as i64,
+            num_field(row, "hidden") as i64,
+            str_field(row, "mode"),
+        );
+        rows.insert(key, num_field(row, "throughput"));
+    }
+    rows
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args
+        .next()
+        .expect("usage: bench_gate <baseline.json> <candidate.json> [--tolerance 0.10]");
+    let candidate_path = args
+        .next()
+        .expect("usage: bench_gate <baseline.json> <candidate.json> [--tolerance 0.10]");
+    let mut tolerance = 0.10;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let v = args.next().expect("--tolerance needs a value");
+                tolerance = v.parse().expect("--tolerance needs a number");
+            }
+            other => panic!("unknown flag `{other}` (try --tolerance)"),
+        }
+    }
+
+    let baseline = load_rows(&baseline_path);
+    let candidate = load_rows(&candidate_path);
+
+    println!(
+        "bench gate: {candidate_path} vs {baseline_path} (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    println!(
+        "{:<16} {:>7} {:>7} {:<18} {:>14} {:>14} {:>8}",
+        "name", "visible", "hidden", "mode", "baseline", "candidate", "delta"
+    );
+
+    let mut regressions = Vec::new();
+    let mut matched = 0usize;
+    for (key, &new_throughput) in &candidate {
+        let (name, visible, hidden, mode) = key;
+        match baseline.get(key) {
+            Some(&old_throughput) => {
+                matched += 1;
+                let delta = new_throughput / old_throughput - 1.0;
+                let flag = if delta < -tolerance {
+                    "  <-- REGRESSION"
+                } else {
+                    ""
+                };
+                println!(
+                    "{name:<16} {visible:>7} {hidden:>7} {mode:<18} {old_throughput:>14.1} {new_throughput:>14.1} {:>+7.1}%{flag}",
+                    delta * 100.0
+                );
+                if delta < -tolerance {
+                    regressions.push((key.clone(), old_throughput, new_throughput));
+                }
+            }
+            None => {
+                println!(
+                    "{name:<16} {visible:>7} {hidden:>7} {mode:<18} {:>14} {new_throughput:>14.1}      new",
+                    "-"
+                );
+            }
+        }
+    }
+    // A baseline row missing from the candidate is itself a failure:
+    // otherwise deleting a regressed suite would silently evade the gate.
+    let mut dropped = Vec::new();
+    for key in baseline.keys() {
+        if !candidate.contains_key(key) {
+            let (name, visible, hidden, mode) = key;
+            println!("{name:<16} {visible:>7} {hidden:>7} {mode:<18}   dropped from candidate");
+            dropped.push(key.clone());
+        }
+    }
+
+    assert!(matched > 0, "no matching rows between the two trajectories");
+    if regressions.is_empty() && dropped.is_empty() {
+        println!(
+            "\nbench gate PASSED: {matched} matched rows within {:.0}%",
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\nbench gate FAILED: {} row(s) regressed, {} baseline row(s) dropped:",
+            regressions.len(),
+            dropped.len()
+        );
+        for ((name, visible, hidden, mode), old, new) in &regressions {
+            println!("  {name} {visible}x{hidden} {mode}: {old:.1} -> {new:.1}");
+        }
+        for (name, visible, hidden, mode) in &dropped {
+            println!("  {name} {visible}x{hidden} {mode}: dropped from candidate");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -4,260 +4,28 @@
 //! 784×500 wide, 108×1024 fraud-class).
 //!
 //! Emits `BENCH_PR1.json` — the first point of the per-PR performance
-//! trajectory every future PR is held to. Run with `--quick` (default)
-//! for CI-scale workloads or `--full` for longer measurement windows.
+//! trajectory every future PR is held to (see the `bench_gate` binary).
+//! Run with `--quick` (default) for CI-scale workloads or `--full` for
+//! longer measurement windows.
 //!
-//! Measured suites:
+//! Measured suites (shared with later trajectory points through
+//! [`ember_bench::trajectory`]):
 //!
 //! * **gibbs-cd1** — one substrate-accelerated CD-1 epoch on the
-//!   [`GibbsSampler`] at batch 64: batched GEMM engine vs the
-//!   row-at-a-time scalar reference ([`GsEngine::SerialReference`]).
+//!   `GibbsSampler` at batch 64: batched GEMM engine vs the
+//!   row-at-a-time scalar reference (`GsEngine::SerialReference`).
 //!   Unit: samples/sec.
 //! * **gibbs-chain** — software `k`-step batched Gibbs chains:
-//!   [`gibbs::chain_batch_par`] (per-chain RNG streams) vs the serial
-//!   single-generator [`gibbs::chain_batch`]. Unit: samples/sec.
-//! * **brim-anneal** — bipartite BRIM anneal sweeps: `O(m·n)` two-GEMV
-//!   kernel vs the dense `(m+n)²` reference kernel. Unit: sweeps/sec.
+//!   `gibbs::chain_batch_par` (per-chain RNG streams) vs the serial
+//!   single-generator `gibbs::chain_batch`. Unit: samples/sec.
+//! * **brim-anneal** / **brim-settle** — bipartite BRIM sweeps: `O(m·n)`
+//!   two-GEMV kernel vs the dense `(m+n)²` reference kernel. Unit:
+//!   sweeps/sec.
 
-use std::time::Instant;
-
+use ember_bench::trajectory::{
+    bench_brim_anneal, bench_brim_settle, bench_gibbs_cd1, bench_gibbs_chain, write_trajectory,
+};
 use ember_bench::{header, RunConfig};
-use ember_brim::{BipartiteBrim, BrimConfig, FlipSchedule};
-use ember_core::{GibbsSampler, GsConfig, GsEngine};
-use ember_ising::{BipartiteProblem, RngStreams};
-use ember_rbm::{gibbs, Rbm};
-use ndarray::Array2;
-use rand::Rng;
-
-/// The paper's layer sizes exercised by the suite.
-const SIZES: [(usize, usize); 3] = [(784, 200), (784, 500), (108, 1024)];
-
-struct BenchRow {
-    name: String,
-    visible: usize,
-    hidden: usize,
-    mode: &'static str,
-    wall_ms: f64,
-    throughput: f64,
-    unit: &'static str,
-}
-
-impl BenchRow {
-    fn json(&self) -> String {
-        format!(
-            "{{\"name\":\"{}\",\"visible\":{},\"hidden\":{},\"mode\":\"{}\",\"wall_ms\":{:.3},\"throughput\":{:.3},\"unit\":\"{}\"}}",
-            self.name, self.visible, self.hidden, self.mode, self.wall_ms, self.throughput,
-            self.unit
-        )
-    }
-}
-
-fn time<F: FnMut()>(mut f: F, reps: usize) -> f64 {
-    // One warm-up, then the minimum over `reps` runs (the standard
-    // noise-robust estimator for a deterministic workload).
-    f();
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        f();
-        best = best.min(start.elapsed().as_secs_f64() * 1000.0);
-    }
-    best
-}
-
-fn random_batch(rows: usize, cols: usize, rng: &mut impl Rng) -> Array2<f64> {
-    Array2::from_shape_fn(
-        (rows, cols),
-        |_| if rng.random_bool(0.35) { 1.0 } else { 0.0 },
-    )
-}
-
-fn bench_gibbs_cd1(
-    config: &RunConfig,
-    rows: &mut Vec<BenchRow>,
-    speedups: &mut Vec<(String, f64)>,
-) {
-    header("GS accelerator CD-1 epoch (batch 64): batched GEMM vs serial reference");
-    let batch = 64;
-    let reps = config.pick(1, 3);
-    for &(m, n) in &SIZES {
-        let mut rng = config.rng();
-        let rbm = Rbm::random(m, n, 0.01, &mut rng);
-        let data = random_batch(batch, m, &mut rng);
-        let mut results = [0.0f64; 2];
-        for (slot, engine, mode) in [
-            (0, GsEngine::SerialReference, "serial-baseline"),
-            (1, GsEngine::Batched, "batched"),
-        ] {
-            let gs_config = GsConfig::default().with_k(1).with_engine(engine);
-            let mut gs = GibbsSampler::new(rbm.clone(), gs_config, &mut rng);
-            let mut epoch_rng = config.rng();
-            let wall_ms = time(
-                || {
-                    gs.train_epoch(&data, batch, &mut epoch_rng);
-                },
-                reps,
-            );
-            let throughput = batch as f64 / (wall_ms / 1000.0);
-            results[slot] = throughput;
-            println!("  {m}x{n} {mode:<16} {wall_ms:>10.2} ms/epoch  {throughput:>12.1} samples/s");
-            rows.push(BenchRow {
-                name: "gibbs-cd1".into(),
-                visible: m,
-                hidden: n,
-                mode,
-                wall_ms,
-                throughput,
-                unit: "samples/sec",
-            });
-        }
-        let speedup = results[1] / results[0];
-        println!("  {m}x{n} speedup {speedup:.2}x");
-        speedups.push((format!("gibbs-cd1-{m}x{n}"), speedup));
-    }
-}
-
-fn bench_gibbs_chain(
-    config: &RunConfig,
-    rows: &mut Vec<BenchRow>,
-    speedups: &mut Vec<(String, f64)>,
-) {
-    header("Software batched Gibbs chain (k=1, batch 64): parallel streams vs serial");
-    let batch = 64;
-    let reps = config.pick(2, 5);
-    for &(m, n) in &SIZES {
-        let mut rng = config.rng();
-        let rbm = Rbm::random(m, n, 0.01, &mut rng);
-        let v0 = random_batch(batch, m, &mut rng);
-        let mut results = [0.0f64; 2];
-
-        let mut serial_rng = config.rng();
-        let wall_serial = time(
-            || {
-                let _ = gibbs::chain_batch(&rbm, &v0, 1, &mut serial_rng);
-            },
-            reps,
-        );
-        results[0] = batch as f64 / (wall_serial / 1000.0);
-        rows.push(BenchRow {
-            name: "gibbs-chain".into(),
-            visible: m,
-            hidden: n,
-            mode: "serial-baseline",
-            wall_ms: wall_serial,
-            throughput: results[0],
-            unit: "samples/sec",
-        });
-
-        let streams = RngStreams::new(config.seed);
-        let wall_par = time(
-            || {
-                let _ = gibbs::chain_batch_par(&rbm, &v0, 1, streams);
-            },
-            reps,
-        );
-        results[1] = batch as f64 / (wall_par / 1000.0);
-        rows.push(BenchRow {
-            name: "gibbs-chain".into(),
-            visible: m,
-            hidden: n,
-            mode: "parallel-streams",
-            wall_ms: wall_par,
-            throughput: results[1],
-            unit: "samples/sec",
-        });
-
-        let speedup = results[1] / results[0];
-        println!(
-            "  {m}x{n} serial {wall_serial:>9.2} ms  parallel {wall_par:>9.2} ms  speedup {speedup:.2}x"
-        );
-        speedups.push((format!("gibbs-chain-{m}x{n}"), speedup));
-    }
-}
-
-fn bench_brim_anneal(
-    config: &RunConfig,
-    rows: &mut Vec<BenchRow>,
-    speedups: &mut Vec<(String, f64)>,
-) {
-    header("Bipartite BRIM anneal: O(m*n) two-GEMV kernel vs dense (m+n)^2 reference");
-    let sweeps = config.pick(40, 200);
-    for &(m, n) in &SIZES {
-        let mut rng = config.rng();
-        let w = Array2::from_shape_fn((m, n), |_| rng.random_range(-0.1..0.1));
-        let problem =
-            BipartiteProblem::new(w, ndarray::Array1::zeros(m), ndarray::Array1::zeros(n))
-                .expect("consistent dims");
-        let schedule = FlipSchedule::geometric(0.05, 1e-3, sweeps);
-        let mut results = [0.0f64; 2];
-        let reps = config.pick(3, 5);
-        for (slot, dense, mode) in [(0, true, "dense-baseline"), (1, false, "bipartite")] {
-            let mut brim =
-                BipartiteBrim::new(problem.clone(), BrimConfig::default()).with_dense_kernel(dense);
-            let mut anneal_rng = config.rng();
-            let wall_ms = time(|| brim.anneal(&schedule, &mut anneal_rng), reps);
-            let throughput = sweeps as f64 / (wall_ms / 1000.0);
-            results[slot] = throughput;
-            println!(
-                "  {m}x{n} {mode:<16} {wall_ms:>10.2} ms/{sweeps} sweeps  {throughput:>12.1} sweeps/s"
-            );
-            rows.push(BenchRow {
-                name: "brim-anneal".into(),
-                visible: m,
-                hidden: n,
-                mode,
-                wall_ms,
-                throughput,
-                unit: "sweeps/sec",
-            });
-        }
-        let speedup = results[1] / results[0];
-        println!("  {m}x{n} speedup {speedup:.2}x");
-        speedups.push((format!("brim-anneal-{m}x{n}"), speedup));
-    }
-}
-
-fn bench_brim_settle(
-    config: &RunConfig,
-    rows: &mut Vec<BenchRow>,
-    speedups: &mut Vec<(String, f64)>,
-) {
-    header("Bipartite BRIM clamped settle (the §3.2 sampling op): clamp-aware kernel vs dense");
-    let sweeps = config.pick(100, 400);
-    let reps = config.pick(3, 5);
-    for &(m, n) in &SIZES {
-        let mut rng = config.rng();
-        let w = Array2::from_shape_fn((m, n), |_| rng.random_range(-0.1..0.1));
-        let problem =
-            BipartiteProblem::new(w, ndarray::Array1::zeros(m), ndarray::Array1::zeros(n))
-                .expect("consistent dims");
-        let levels: Vec<f64> = (0..m).map(|i| f64::from(i % 2 == 0)).collect();
-        let mut results = [0.0f64; 2];
-        for (slot, dense, mode) in [(0, true, "dense-baseline"), (1, false, "bipartite")] {
-            let mut brim =
-                BipartiteBrim::new(problem.clone(), BrimConfig::default()).with_dense_kernel(dense);
-            brim.clamp_visible(&levels);
-            let wall_ms = time(|| brim.settle(sweeps), reps);
-            let throughput = sweeps as f64 / (wall_ms / 1000.0);
-            results[slot] = throughput;
-            println!(
-                "  {m}x{n} {mode:<16} {wall_ms:>10.2} ms/{sweeps} sweeps  {throughput:>12.1} sweeps/s"
-            );
-            rows.push(BenchRow {
-                name: "brim-settle".into(),
-                visible: m,
-                hidden: n,
-                mode,
-                wall_ms,
-                throughput,
-                unit: "sweeps/sec",
-            });
-        }
-        let speedup = results[1] / results[0];
-        println!("  {m}x{n} speedup {speedup:.2}x");
-        speedups.push((format!("brim-settle-{m}x{n}"), speedup));
-    }
-}
 
 fn main() {
     let config = RunConfig::from_args();
@@ -274,21 +42,7 @@ fn main() {
         println!("  {name:<28} {s:.2}x");
     }
 
-    let rows_json: Vec<String> = rows.iter().map(BenchRow::json).collect();
-    let speedups_json: Vec<String> = speedups
-        .iter()
-        .map(|(k, v)| format!("\"{k}\":{v:.3}"))
-        .collect();
-    let json = format!(
-        "{{\n  \"pr\": 1,\n  \"seed\": {},\n  \"mode\": \"{}\",\n  \"threads\": {},\n  \"benches\": [\n    {}\n  ],\n  \"speedups\": {{{}}}\n}}\n",
-        config.seed,
-        if config.full { "full" } else { "quick" },
-        rayon::current_num_threads(),
-        rows_json.join(",\n    "),
-        speedups_json.join(",")
-    );
-    std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");
-    println!("\nwrote BENCH_PR1.json");
+    let json = write_trajectory(1, &config, &rows, &speedups);
     if config.json {
         println!("{json}");
     }

@@ -1,0 +1,42 @@
+//! PR 2 performance-trajectory benchmark: everything `bench_pr1`
+//! measures (same suites, same `(name, visible, hidden, mode)` row
+//! identities, so the `bench_gate` binary can diff the two trajectory
+//! files) **plus the substrate dimension**: CD-1 training driven through
+//! the `Substrate` trait with interchangeable backends — software Gibbs
+//! and BRIM-in-the-loop — at the paper's layer sizes (784×200, 784×500,
+//! 108×1024).
+//!
+//! Emits `BENCH_PR2.json`. Gate it against the previous point with:
+//!
+//! ```sh
+//! cargo run --release -p ember_bench --bin bench_pr2 -- --quick
+//! cargo run --release -p ember_bench --bin bench_gate -- BENCH_PR1.json BENCH_PR2.json
+//! ```
+
+use ember_bench::trajectory::{
+    bench_brim_anneal, bench_brim_settle, bench_gibbs_cd1, bench_gibbs_chain, bench_substrate_cd1,
+    write_trajectory,
+};
+use ember_bench::{header, RunConfig};
+
+fn main() {
+    let config = RunConfig::from_args();
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+
+    bench_gibbs_cd1(&config, &mut rows, &mut speedups);
+    bench_gibbs_chain(&config, &mut rows, &mut speedups);
+    bench_brim_anneal(&config, &mut rows, &mut speedups);
+    bench_brim_settle(&config, &mut rows, &mut speedups);
+    bench_substrate_cd1(&config, &mut rows, &mut speedups);
+
+    header("Speedup summary");
+    for (name, s) in &speedups {
+        println!("  {name:<28} {s:.2}x");
+    }
+
+    let json = write_trajectory(2, &config, &rows, &speedups);
+    if config.json {
+        println!("{json}");
+    }
+}

@@ -14,6 +14,8 @@
 //! the reproduction can be judged line by line (EXPERIMENTS.md records a
 //! snapshot).
 
+pub mod trajectory;
+
 use ndarray::Array2;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

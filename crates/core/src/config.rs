@@ -1,4 +1,4 @@
-use ember_analog::{NoiseModel, SigmoidUnit};
+use ember_analog::{Comparator, NoiseModel, SigmoidUnit};
 use serde::{Deserialize, Serialize};
 
 /// Which host-side execution engine the Gibbs-sampler accelerator model
@@ -35,6 +35,7 @@ pub struct GsConfig {
     k: usize,
     learning_rate: f64,
     sigmoid: SigmoidUnit,
+    comparator: Comparator,
     noise: NoiseModel,
     dtc_bits: u32,
     settle_phase_points: u64,
@@ -56,6 +57,12 @@ impl GsConfig {
     /// The sigmoid-unit transfer model.
     pub fn sigmoid(&self) -> SigmoidUnit {
         self.sigmoid
+    }
+
+    /// The comparator model latching the Bernoulli samples (offset
+    /// non-ideality of §4.5 flows through here).
+    pub fn comparator(&self) -> Comparator {
+        self.comparator
     }
 
     /// The substrate noise/variation model.
@@ -109,6 +116,13 @@ impl GsConfig {
         self
     }
 
+    /// Returns a copy with the given comparator model.
+    #[must_use]
+    pub fn with_comparator(mut self, comparator: Comparator) -> Self {
+        self.comparator = comparator;
+        self
+    }
+
     /// Returns a copy with the given noise model.
     #[must_use]
     pub fn with_noise(mut self, noise: NoiseModel) -> Self {
@@ -138,12 +152,14 @@ impl GsConfig {
 
 impl Default for GsConfig {
     /// CD-5-equivalent sampling, `α = 0.1` (the paper's learning rate),
-    /// ideal analog components, 8-bit DTCs, 50 phase points per settle.
+    /// ideal analog components (offset-free comparator), 8-bit DTCs,
+    /// 50 phase points per settle.
     fn default() -> Self {
         GsConfig {
             k: 5,
             learning_rate: 0.1,
             sigmoid: SigmoidUnit::ideal(),
+            comparator: Comparator::ideal(),
             noise: NoiseModel::noiseless(),
             dtc_bits: 8,
             settle_phase_points: 50,

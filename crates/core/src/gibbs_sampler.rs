@@ -1,11 +1,12 @@
 use ndarray::{Array1, Array2, Axis};
-use rand::Rng;
+use rand::{Rng, RngCore};
 
-use ember_analog::{Comparator, Dtc, VariationMap};
 use ember_rbm::{EpochStats, Rbm};
+use ember_substrate::{HardwareCounters, Substrate};
 
 use crate::config::GsEngine;
-use crate::{AnalogSampler, GsConfig, HardwareCounters};
+use crate::substrate::SoftwareGibbs;
+use crate::GsConfig;
 
 /// The Gibbs-sampler accelerator of §3.2: the Ising substrate performs the
 /// conditional sampling of Algorithm 1; the host keeps the master weights
@@ -20,8 +21,12 @@ use crate::{AnalogSampler, GsConfig, HardwareCounters};
 ///    clamping sides and letting the substrate produce samples;
 /// 4. the host accumulates `⟨v⁺ᵀh⁺⟩ − ⟨v⁻ᵀh⁻⟩` and updates the weights.
 ///
-/// All sampling flows through the analog node path ([`AnalogSampler`]),
-/// including static coupler variation frozen at construction.
+/// The accelerator is generic over the sampling backend: any
+/// [`Substrate`] slots in (the software analog node path, the BRIM
+/// dynamical machine, a Metropolis annealer, future hardware). The
+/// default backend is [`SoftwareGibbs`] — the analog node path with
+/// static coupler variation frozen at construction — which reproduces
+/// the pre-refactor behavior bit for bit.
 ///
 /// # Example
 ///
@@ -39,37 +44,72 @@ use crate::{AnalogSampler, GsConfig, HardwareCounters};
 /// assert_eq!(stats.batches, 2);
 /// assert!(gs.counters().positive_samples >= 20);
 /// ```
+///
+/// # Example: hardware in the loop
+///
+/// ```
+/// use ember_core::substrate::BrimSubstrate;
+/// use ember_core::{GibbsSampler, GsConfig};
+/// use ember_brim::BrimConfig;
+/// use ember_rbm::Rbm;
+/// use ndarray::Array2;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let rbm = Rbm::random(6, 3, 0.01, &mut rng);
+/// let brim = BrimSubstrate::for_rbm(&rbm, BrimConfig::default())
+///     .with_thermal_bath(0.02, 40);
+/// let mut gs = GibbsSampler::with_substrate(rbm, GsConfig::default().with_k(1), brim);
+/// let data = Array2::from_shape_fn((8, 6), |(i, _)| (i % 2) as f64);
+/// gs.train_epoch(&data, 4, &mut rng);
+/// assert!(gs.counters().phase_points > 0);
+/// ```
 #[derive(Debug, Clone)]
-pub struct GibbsSampler {
+pub struct GibbsSampler<S: Substrate = SoftwareGibbs> {
     rbm: Rbm,
     config: GsConfig,
-    sampler: AnalogSampler,
-    dtc: Dtc,
-    variation: VariationMap,
-    programmed_weights: Array2<f64>,
-    counters: HardwareCounters,
+    substrate: S,
 }
 
-impl GibbsSampler {
-    /// Builds the accelerator around an initial host-side RBM. Static
-    /// coupler variation is sampled once here ("fabrication").
+impl GibbsSampler<SoftwareGibbs> {
+    /// Builds the accelerator around an initial host-side RBM with the
+    /// default software analog substrate. Static coupler variation is
+    /// sampled once here ("fabrication").
     pub fn new<R: Rng + ?Sized>(rbm: Rbm, config: GsConfig, rng: &mut R) -> Self {
-        let variation = config
-            .noise()
-            .sample_variation((rbm.visible_len(), rbm.hidden_len()), rng);
-        let sampler = AnalogSampler::new(config.sigmoid(), Comparator::ideal(), config.noise());
-        let dtc = Dtc::new(config.dtc_bits(), 0.0).expect("validated bits");
-        let mut gs = GibbsSampler {
-            programmed_weights: Array2::zeros(rbm.weights().dim()),
+        let substrate = SoftwareGibbs::new(rbm.visible_len(), rbm.hidden_len(), &config, rng);
+        GibbsSampler::with_substrate(rbm, config, substrate)
+    }
+}
+
+impl<S: Substrate> GibbsSampler<S> {
+    /// Builds the accelerator around an arbitrary sampling backend. The
+    /// substrate is programmed with the initial weights immediately
+    /// (§3.2 step 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the substrate's fabricated size differs from the RBM.
+    pub fn with_substrate(rbm: Rbm, config: GsConfig, mut substrate: S) -> Self {
+        assert_eq!(
+            substrate.visible_len(),
+            rbm.visible_len(),
+            "substrate visible size mismatch"
+        );
+        assert_eq!(
+            substrate.hidden_len(),
+            rbm.hidden_len(),
+            "substrate hidden size mismatch"
+        );
+        substrate.program(
+            &rbm.weights().view(),
+            &rbm.visible_bias().view(),
+            &rbm.hidden_bias().view(),
+        );
+        GibbsSampler {
             rbm,
             config,
-            sampler,
-            dtc,
-            variation,
-            counters: HardwareCounters::new(),
-        };
-        gs.program();
-        gs
+            substrate,
+        }
     }
 
     /// The host-side master RBM (the weights the host believes it has).
@@ -82,55 +122,31 @@ impl GibbsSampler {
         &self.config
     }
 
-    /// Cumulative hardware event counters.
+    /// The sampling backend.
+    pub fn substrate(&self) -> &S {
+        &self.substrate
+    }
+
+    /// Consumes the accelerator, returning the backend (with its
+    /// accumulated counters and physical state).
+    pub fn into_substrate(self) -> S {
+        self.substrate
+    }
+
+    /// Cumulative hardware event counters (owned by the substrate; the
+    /// host accounts its MAC/sample events there too so one counter set
+    /// describes the whole accelerated run).
     pub fn counters(&self) -> &HardwareCounters {
-        &self.counters
+        self.substrate.counters()
     }
 
-    /// Programs the host weights onto the coupling array (§3.2 step 2).
-    /// The physical array realizes `W ⊙ variation`.
+    /// Programs the host weights onto the substrate (§3.2 step 2).
     fn program(&mut self) {
-        self.programmed_weights = self.variation.apply(self.rbm.weights());
-        let (m, n) = self.rbm.weights().dim();
-        self.counters.host_words_transferred += (m * n + m + n) as u64;
-    }
-
-    /// Substrate-assisted hidden sample: counted row-at-a-time variant
-    /// used by the serial reference engine (seed-style scalar kernels).
-    fn substrate_sample_hidden<R: Rng + ?Sized>(
-        &mut self,
-        v: &Array1<f64>,
-        rng: &mut R,
-    ) -> Array1<f64> {
-        let clamped = v.mapv(|x| self.dtc.convert(x));
-        let h = self.sampler.sample_layer_reference(
-            &self.programmed_weights.view(),
-            &self.rbm.hidden_bias().view(),
-            &clamped.view(),
-            false,
-            rng,
-        );
-        self.counters.phase_points += self.config.settle_phase_points();
-        self.counters.host_words_transferred += h.len() as u64;
-        h
-    }
-
-    /// Substrate-assisted visible sample (hidden side clamped), counted.
-    fn substrate_sample_visible<R: Rng + ?Sized>(
-        &mut self,
-        h: &Array1<f64>,
-        rng: &mut R,
-    ) -> Array1<f64> {
-        let v = self.sampler.sample_layer_reference(
-            &self.programmed_weights.view(),
+        self.substrate.program(
+            &self.rbm.weights().view(),
             &self.rbm.visible_bias().view(),
-            &h.view(),
-            true,
-            rng,
+            &self.rbm.hidden_bias().view(),
         );
-        self.counters.phase_points += self.config.settle_phase_points();
-        self.counters.host_words_transferred += v.len() as u64;
-        v
     }
 
     /// One epoch of substrate-accelerated CD-k (Algorithm 1 with steps
@@ -168,19 +184,20 @@ impl GibbsSampler {
     }
 
     /// The batched engine: the whole minibatch of substrate chains runs
-    /// at once — every conditional-sampling step is a single GEMM over
-    /// the `batch × layer` matrix (see
-    /// [`AnalogSampler::sample_layer_batch`]) instead of one GEMV per
-    /// row, and the gradient accumulates through two GEMMs (`v⁺ᵀh⁺`,
+    /// at once — one [`Substrate::sample_hidden_batch`] /
+    /// [`Substrate::sample_visible_batch`] call per conditional-sampling
+    /// step, and the gradient accumulates through two GEMMs (`v⁺ᵀh⁺`,
     /// `v⁻ᵀh⁻`) instead of `batch` element-wise outer products. With the
-    /// vendored ndarray's `rayon` feature the GEMMs additionally fan
-    /// output-row blocks across the thread pool; results are
-    /// bit-identical at every thread count.
+    /// default [`SoftwareGibbs`] backend every sampling step is a single
+    /// GEMM over the `batch × layer` matrix; results are bit-identical
+    /// at every rayon thread count.
     fn train_batch_batched<R: Rng + ?Sized>(
         &mut self,
         batch: &Array2<f64>,
         rng: &mut R,
     ) -> (f64, f64) {
+        let mut rng = rng;
+        let rng: &mut dyn RngCore = &mut rng;
         let (m, n) = self.rbm.weights().dim();
         let rows = batch.nrows();
         let bs = rows as f64;
@@ -189,42 +206,24 @@ impl GibbsSampler {
         self.program();
 
         // Steps 3–4: positive phase, whole minibatch at once. Only the
-        // data needs DTC quantization — the comparator read-outs fed back
-        // below are already exactly {0, 1}, on which the DTC is the
-        // identity for any resolution.
-        let clamped = batch.mapv(|x| self.dtc.convert(x));
-        let h_pos = self.sampler.sample_layer_batch(
-            &self.programmed_weights.view(),
-            &self.rbm.hidden_bias().view(),
-            &clamped,
-            rng,
-        );
+        // data needs DTC quantization — the read-outs fed back below are
+        // already exactly {0, 1}, on which quantization is the identity.
+        let clamped = self.substrate.quantize_batch(batch);
+        let h_pos = self.substrate.sample_hidden_batch(&clamped, rng);
         // Steps 5–6: k-step Gibbs equivalent on the substrate, batched.
         let mut h_neg = h_pos.clone();
         let mut v_neg = batch.clone();
         for _ in 0..k {
-            v_neg = self.sampler.sample_layer_rev_batch(
-                &self.programmed_weights.view(),
-                &self.rbm.visible_bias().view(),
-                &h_neg,
-                rng,
-            );
-            h_neg = self.sampler.sample_layer_batch(
-                &self.programmed_weights.view(),
-                &self.rbm.hidden_bias().view(),
-                &v_neg,
-                rng,
-            );
+            v_neg = self.substrate.sample_visible_batch(&h_neg, rng);
+            h_neg = self.substrate.sample_hidden_batch(&v_neg, rng);
         }
 
-        // Hardware event bookkeeping, identical totals to the serial path.
-        let settles = rows as u64 * (1 + 2 * k as u64);
-        self.counters.positive_samples += rows as u64;
-        self.counters.negative_samples += rows as u64;
-        self.counters.phase_points += settles * self.config.settle_phase_points();
-        self.counters.host_words_transferred +=
-            rows as u64 * ((1 + k as u64) * n as u64 + k as u64 * m as u64);
-        self.counters.host_mac_ops += rows as u64 * 2 * (m * n) as u64;
+        // Host-side event bookkeeping (settle phase points and read-out
+        // words were counted by the substrate per call).
+        let counters = self.substrate.counters_mut();
+        counters.positive_samples += rows as u64;
+        counters.negative_samples += rows as u64;
+        counters.host_mac_ops += rows as u64 * 2 * (m * n) as u64;
 
         // Step 7/8: batched GEMM accumulation + host gradient update
         // (mirrors the software trainer's formulation).
@@ -236,19 +235,22 @@ impl GibbsSampler {
         *self.rbm.weights_mut() += &(&grad_w * alpha);
         *self.rbm.visible_bias_mut() += &(&grad_bv * (alpha));
         *self.rbm.hidden_bias_mut() += &(&grad_bh * (alpha));
-        self.counters.host_mac_ops += (m * n + m + n) as u64;
+        self.substrate.counters_mut().host_mac_ops += (m * n + m + n) as u64;
 
         let recon = (&v_neg - batch).mapv(f64::abs).mean().unwrap_or(0.0);
         (recon, grad_norm)
     }
 
     /// The original row-at-a-time scalar engine (kept as the measured
-    /// baseline; see [`GsEngine::SerialReference`]).
+    /// baseline; see [`GsEngine::SerialReference`]). Chains flow through
+    /// the substrate's row methods, one sample at a time.
     fn train_batch_serial<R: Rng + ?Sized>(
         &mut self,
         batch: &Array2<f64>,
         rng: &mut R,
     ) -> (f64, f64) {
+        let mut rng = rng;
+        let rng: &mut dyn RngCore = &mut rng;
         let (m, n) = self.rbm.weights().dim();
         let bs = batch.nrows() as f64;
         // Step 2: (re)program the current weights.
@@ -262,20 +264,26 @@ impl GibbsSampler {
         let mut neg_bh = Array1::<f64>::zeros(n);
         let mut recon = 0.0;
 
-        for v_row in batch.rows() {
+        // Step 3: clamp the data through the substrate's converter model
+        // once, like the batched engine — fed-back samples are exact
+        // {0, 1}, on which quantization is the identity. (Gradients still
+        // accumulate against the raw data, mirroring the batched path.)
+        let clamped = self.substrate.quantize_batch(batch);
+
+        for (v_row, clamped_row) in batch.rows().zip(clamped.rows()) {
             let v_pos = v_row.to_owned();
             // Steps 3–4: positive phase on the substrate.
-            let h_pos = self.substrate_sample_hidden(&v_pos, rng);
-            self.counters.positive_samples += 1;
+            let h_pos = self.substrate.sample_hidden_row(&clamped_row, rng);
+            self.substrate.counters_mut().positive_samples += 1;
 
             // Steps 5–6: k-step Gibbs equivalent on the substrate.
             let mut h_neg = h_pos.clone();
             let mut v_neg = v_pos.clone();
             for _ in 0..self.config.k() {
-                v_neg = self.substrate_sample_visible(&h_neg, rng);
-                h_neg = self.substrate_sample_hidden(&v_neg, rng);
+                v_neg = self.substrate.sample_visible_row(&h_neg.view(), rng);
+                h_neg = self.substrate.sample_hidden_row(&v_neg.view(), rng);
             }
-            self.counters.negative_samples += 1;
+            self.substrate.counters_mut().negative_samples += 1;
 
             // Step 7/8 accumulation on the host.
             accumulate_outer(&mut pos_w, &v_pos, &h_pos);
@@ -284,7 +292,7 @@ impl GibbsSampler {
             neg_bv += &v_neg;
             pos_bh += &h_pos;
             neg_bh += &h_neg;
-            self.counters.host_mac_ops += 2 * (m * n) as u64;
+            self.substrate.counters_mut().host_mac_ops += 2 * (m * n) as u64;
 
             recon += (&v_neg - &v_pos).mapv(f64::abs).sum() / m as f64;
         }
@@ -296,7 +304,7 @@ impl GibbsSampler {
         *self.rbm.weights_mut() += &(&grad_w * alpha);
         *self.rbm.visible_bias_mut() += &(&(&pos_bv - &neg_bv) * (alpha / bs));
         *self.rbm.hidden_bias_mut() += &(&(&pos_bh - &neg_bh) * (alpha / bs));
-        self.counters.host_mac_ops += (m * n + m + n) as u64;
+        self.substrate.counters_mut().host_mac_ops += (m * n + m + n) as u64;
 
         (recon / bs, grad_norm)
     }
@@ -389,10 +397,42 @@ mod tests {
         let rbm = Rbm::random(4, 3, 0.01, &mut rng);
         let config = GsConfig::default().with_noise(NoiseModel::new(0.2, 0.0).unwrap());
         let gs = GibbsSampler::new(rbm, config, &mut rng);
-        let v1 = gs.variation.clone();
+        let v1 = gs.substrate().variation().clone();
         // The variation map must not change between programming events.
         let mut gs2 = gs.clone();
         gs2.program();
-        assert_eq!(v1.factors(), gs2.variation.factors());
+        assert_eq!(v1.factors(), gs2.substrate().variation().factors());
+    }
+
+    #[test]
+    fn comparator_offset_flows_through_config() {
+        use ember_analog::Comparator;
+        // A +0.5 offset lifts the zero-field probability of 0.5 to the
+        // full rail: if the configured comparator is really plumbed into
+        // the sampler, every read-out is 1.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let rbm = Rbm::random(4, 3, 0.01, &mut rng);
+        let config = GsConfig::default().with_comparator(Comparator::with_offset(0.5).unwrap());
+        let gs = GibbsSampler::new(rbm, config, &mut rng);
+        let mut sub = gs.into_substrate();
+        let v = Array2::zeros((6, 4));
+        let h = sub.sample_hidden_batch(&v, &mut rng);
+        assert!(h.iter().all(|&x| x == 1.0), "offset comparator ignored");
+    }
+
+    #[test]
+    fn serial_and_batched_engines_share_substrate_counters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let rbm = Rbm::random(4, 2, 0.01, &mut rng);
+        let config = GsConfig::default()
+            .with_k(1)
+            .with_engine(GsEngine::SerialReference);
+        let mut gs = GibbsSampler::new(rbm, config, &mut rng);
+        let data = two_mode_data(6, 4);
+        gs.train_epoch(&data, 3, &mut rng);
+        let c = gs.counters();
+        assert_eq!(c.positive_samples, 6);
+        // 1 positive + 2 negative settles per sample at k=1.
+        assert_eq!(c.phase_points, 6 * 3 * 50);
     }
 }

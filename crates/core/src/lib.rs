@@ -21,6 +21,12 @@
 //!   The host only initializes, streams samples, and reads the result once
 //!   through ADCs at the end.
 //!
+//! The conditional-sampling seam itself is the [`substrate`] module: a
+//! [`Substrate`] trait with three interchangeable backends
+//! ([`SoftwareGibbs`], [`BrimSubstrate`], [`AnnealerSubstrate`]), over
+//! which [`GibbsSampler`] and `ember_rbm`'s trainers are generic — the
+//! paper's "drop-in replacement" claim as a type.
+//!
 //! Both are *behavioral* models at the same level as the paper's Matlab
 //! models (§4.1): every circuit non-ideality — sigmoid transfer curve,
 //! comparator offsets, DTC quantization, charge-sharing nonlinearity,
@@ -50,11 +56,15 @@
 mod config;
 mod gibbs_sampler;
 mod gradient_follower;
-mod instrument;
 mod sampler;
+pub mod substrate;
 
 pub use config::{BgfConfig, GsConfig, GsEngine};
 pub use gibbs_sampler::GibbsSampler;
 pub use gradient_follower::BoltzmannGradientFollower;
-pub use instrument::HardwareCounters;
 pub use sampler::AnalogSampler;
+pub use substrate::{AnnealerSubstrate, BrimSubstrate, SoftwareGibbs, Substrate};
+
+// `HardwareCounters` moved to `ember_substrate` (so trainers can be
+// generic over any backend); re-exported here for compatibility.
+pub use ember_substrate::HardwareCounters;

@@ -1,0 +1,249 @@
+use ndarray::{Array1, Array2, ArrayView1, ArrayView2};
+use rand::{Rng, RngCore};
+
+use ember_analog::{Dtc, VariationMap};
+use ember_substrate::{HardwareCounters, Substrate};
+
+use crate::{AnalogSampler, GsConfig};
+
+/// The software-modelled analog substrate of §3.2 (Fig. 12): the
+/// coupling mesh performs the vector-matrix product, a modified-inverter
+/// sigmoid unit shapes the field, and a comparator fed by thermal noise
+/// latches the Bernoulli sample.
+///
+/// Batch sampling runs through the GEMM-batched
+/// [`AnalogSampler::sample_layer_batch`] path; the row methods use the
+/// scalar reference kernels ([`AnalogSampler::sample_layer_reference`]),
+/// preserving the `GsEngine::SerialReference` baseline.
+///
+/// Static coupler variation is sampled once at construction
+/// ("fabrication") and applied at every programming event: the physical
+/// array realizes `W ⊙ variation`.
+///
+/// # Example
+///
+/// ```
+/// use ember_core::substrate::{SoftwareGibbs, Substrate};
+/// use ember_core::GsConfig;
+/// use ndarray::{Array1, Array2};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut sub = SoftwareGibbs::new(4, 2, &GsConfig::default(), &mut rng);
+/// let w = Array2::from_elem((4, 2), 0.5);
+/// sub.program(&w.view(), &Array1::zeros(4).view(), &Array1::zeros(2).view());
+/// let v = Array2::from_elem((3, 4), 1.0);
+/// let h = sub.sample_hidden_batch(&v, &mut rng);
+/// assert_eq!(h.dim(), (3, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SoftwareGibbs {
+    sampler: AnalogSampler,
+    dtc: Dtc,
+    variation: VariationMap,
+    weights: Array2<f64>,
+    visible_bias: Array1<f64>,
+    hidden_bias: Array1<f64>,
+    settle_phase_points: u64,
+    counters: HardwareCounters,
+}
+
+impl SoftwareGibbs {
+    /// Fabricates a substrate of the given size: static coupler
+    /// variation is sampled here, once; all analog component models come
+    /// from `config`. Weights/biases are zero until the first
+    /// [`Substrate::program`].
+    pub fn new<R: Rng + ?Sized>(
+        visible: usize,
+        hidden: usize,
+        config: &GsConfig,
+        rng: &mut R,
+    ) -> Self {
+        let variation = config.noise().sample_variation((visible, hidden), rng);
+        let sampler = AnalogSampler::new(config.sigmoid(), config.comparator(), config.noise());
+        let dtc = Dtc::new(config.dtc_bits(), 0.0).expect("validated bits");
+        SoftwareGibbs {
+            sampler,
+            dtc,
+            variation,
+            weights: Array2::zeros((visible, hidden)),
+            visible_bias: Array1::zeros(visible),
+            hidden_bias: Array1::zeros(hidden),
+            settle_phase_points: config.settle_phase_points(),
+            counters: HardwareCounters::new(),
+        }
+    }
+
+    /// The frozen fabrication-time coupler variation map.
+    pub fn variation(&self) -> &VariationMap {
+        &self.variation
+    }
+
+    /// The analog node-path model.
+    pub fn sampler(&self) -> &AnalogSampler {
+        &self.sampler
+    }
+
+    /// The physically programmed weights (`W ⊙ variation`).
+    pub fn programmed_weights(&self) -> &Array2<f64> {
+        &self.weights
+    }
+}
+
+impl Substrate for SoftwareGibbs {
+    fn name(&self) -> &'static str {
+        "software-gibbs"
+    }
+
+    fn visible_len(&self) -> usize {
+        self.weights.nrows()
+    }
+
+    fn hidden_len(&self) -> usize {
+        self.weights.ncols()
+    }
+
+    fn program(
+        &mut self,
+        weights: &ArrayView2<'_, f64>,
+        visible_bias: &ArrayView1<'_, f64>,
+        hidden_bias: &ArrayView1<'_, f64>,
+    ) {
+        assert_eq!(
+            weights.dim(),
+            self.variation.factors().dim(),
+            "fabricated size"
+        );
+        self.weights = weights.to_owned() * self.variation.factors();
+        self.visible_bias = visible_bias.to_owned();
+        self.hidden_bias = hidden_bias.to_owned();
+        self.counters.host_words_transferred += self.programming_cost();
+    }
+
+    fn quantize_batch(&self, levels: &Array2<f64>) -> Array2<f64> {
+        levels.mapv(|x| self.dtc.convert(x))
+    }
+
+    fn sample_hidden_batch(&mut self, visible: &Array2<f64>, rng: &mut dyn RngCore) -> Array2<f64> {
+        let h = self.sampler.sample_layer_batch(
+            &self.weights.view(),
+            &self.hidden_bias.view(),
+            visible,
+            rng,
+        );
+        self.counters.phase_points += visible.nrows() as u64 * self.settle_phase_points;
+        self.counters.host_words_transferred += h.len() as u64;
+        h
+    }
+
+    fn sample_visible_batch(&mut self, hidden: &Array2<f64>, rng: &mut dyn RngCore) -> Array2<f64> {
+        let v = self.sampler.sample_layer_rev_batch(
+            &self.weights.view(),
+            &self.visible_bias.view(),
+            hidden,
+            rng,
+        );
+        self.counters.phase_points += hidden.nrows() as u64 * self.settle_phase_points;
+        self.counters.host_words_transferred += v.len() as u64;
+        v
+    }
+
+    fn sample_hidden_row(
+        &mut self,
+        visible: &ArrayView1<'_, f64>,
+        rng: &mut dyn RngCore,
+    ) -> Array1<f64> {
+        let clamped = visible.mapv(|x| self.dtc.convert(x));
+        let h = self.sampler.sample_layer_reference(
+            &self.weights.view(),
+            &self.hidden_bias.view(),
+            &clamped.view(),
+            false,
+            rng,
+        );
+        self.counters.phase_points += self.settle_phase_points;
+        self.counters.host_words_transferred += h.len() as u64;
+        h
+    }
+
+    fn sample_visible_row(
+        &mut self,
+        hidden: &ArrayView1<'_, f64>,
+        rng: &mut dyn RngCore,
+    ) -> Array1<f64> {
+        let v = self.sampler.sample_layer_reference(
+            &self.weights.view(),
+            &self.visible_bias.view(),
+            hidden,
+            true,
+            rng,
+        );
+        self.counters.phase_points += self.settle_phase_points;
+        self.counters.host_words_transferred += v.len() as u64;
+        v
+    }
+
+    fn counters(&self) -> &HardwareCounters {
+        &self.counters
+    }
+
+    fn counters_mut(&mut self) -> &mut HardwareCounters {
+        &mut self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ember_rbm::math::sigmoid;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_batch_sampling_matches_logistic_conditionals() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut sub = SoftwareGibbs::new(2, 1, &GsConfig::default(), &mut rng);
+        let w = ndarray::arr2(&[[0.8], [-0.3]]);
+        sub.program(
+            &w.view(),
+            &Array1::zeros(2).view(),
+            &ndarray::arr1(&[0.2]).view(),
+        );
+        let v = Array2::from_elem((4000, 2), 1.0);
+        let h = sub.sample_hidden_batch(&v, &mut rng);
+        let freq = h.sum() / 4000.0;
+        let expected = sigmoid(0.8 - 0.3 + 0.2);
+        assert!((freq - expected).abs() < 0.02, "freq {freq} vs {expected}");
+    }
+
+    #[test]
+    fn counters_accumulate_per_call() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let config = GsConfig::default();
+        let mut sub = SoftwareGibbs::new(3, 2, &config, &mut rng);
+        let w = Array2::zeros((3, 2));
+        sub.program(
+            &w.view(),
+            &Array1::zeros(3).view(),
+            &Array1::zeros(2).view(),
+        );
+        assert_eq!(sub.counters().host_words_transferred, 3 * 2 + 3 + 2);
+        let v = Array2::zeros((5, 3));
+        let _ = sub.sample_hidden_batch(&v, &mut rng);
+        assert_eq!(
+            sub.counters().phase_points,
+            5 * config.settle_phase_points()
+        );
+        assert_eq!(
+            sub.counters().host_words_transferred,
+            (3 * 2 + 3 + 2) + 5 * 2
+        );
+    }
+
+    #[test]
+    fn quantize_is_identity_on_binary_levels() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let sub = SoftwareGibbs::new(2, 2, &GsConfig::default(), &mut rng);
+        let x = ndarray::arr2(&[[0.0, 1.0], [1.0, 0.0]]);
+        assert_eq!(sub.quantize_batch(&x), x);
+    }
+}

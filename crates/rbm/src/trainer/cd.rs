@@ -1,11 +1,23 @@
 use ndarray::{Array1, Array2, Axis};
-use rand::Rng;
+use rand::{Rng, RngCore};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use ember_substrate::{HardwareCounters, Substrate};
+
 use crate::gibbs;
-use crate::trainer::EpochStats;
+use crate::trainer::{chunk_ranges, EpochStats};
 use crate::{Rbm, RngStreams};
+
+/// Per-replica result of one sharded minibatch chunk:
+/// `(row offset, h⁺, v⁻, h⁻, replica counters)`.
+type ChunkResult = (
+    usize,
+    Array2<f64>,
+    Array2<f64>,
+    Array2<f64>,
+    HardwareCounters,
+);
 
 /// The contrastive-divergence trainer of Algorithm 1 (CD-k).
 ///
@@ -148,7 +160,6 @@ impl CdTrainer {
         velocity_bh: &mut Array1<f64>,
         rng: &mut R,
     ) -> (f64, f64) {
-        let bs = batch.nrows() as f64;
         // Positive phase.
         let h_pos = Rbm::sample_batch(&rbm.hidden_probs_batch(batch), rng);
         // Negative phase: k alternating Gibbs half-steps from h_pos.
@@ -158,15 +169,244 @@ impl CdTrainer {
             v_neg = Rbm::sample_batch(&rbm.visible_probs_batch(&h_neg), rng);
             h_neg = Rbm::sample_batch(&rbm.hidden_probs_batch(&v_neg), rng);
         }
+        self.apply_gradients(
+            rbm,
+            batch,
+            &h_pos,
+            &v_neg,
+            &h_neg,
+            velocity_w,
+            velocity_bv,
+            velocity_bh,
+        )
+    }
 
-        // Gradients (expectations over the minibatch).
-        let grad_w = (batch.t().dot(&h_pos) - v_neg.t().dot(&h_neg)) / bs;
+    /// One epoch of CD-k with the conditional sampling offloaded to an
+    /// arbitrary [`Substrate`] backend (software Gibbs, BRIM, annealer,
+    /// future hardware): the substrate is re-programmed with the current
+    /// weights before every minibatch (§3.2 step 2), data rows are
+    /// clamped through the substrate's DTC model, and the k-step Gibbs
+    /// equivalent runs by alternating clamped sides. The host-side
+    /// gradient update (momentum, weight decay) is identical to
+    /// [`CdTrainer::train_epoch`] — that method *is* this one
+    /// specialized to exact software conditionals, kept on its dedicated
+    /// GEMM fast path.
+    ///
+    /// Hardware event accounting accumulates on `substrate.counters()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` width differs from the RBM's visible count, the
+    /// substrate's fabricated size differs from the RBM, or
+    /// `batch_size == 0`.
+    pub fn train_epoch_with<S, R>(
+        &self,
+        rbm: &mut Rbm,
+        data: &Array2<f64>,
+        batch_size: usize,
+        substrate: &mut S,
+        rng: &mut R,
+    ) -> EpochStats
+    where
+        S: Substrate + ?Sized,
+        R: Rng + ?Sized,
+    {
+        assert_eq!(data.ncols(), rbm.visible_len(), "data width mismatch");
+        assert_eq!(
+            substrate.visible_len(),
+            rbm.visible_len(),
+            "substrate visible size mismatch"
+        );
+        assert_eq!(
+            substrate.hidden_len(),
+            rbm.hidden_len(),
+            "substrate hidden size mismatch"
+        );
+        assert!(batch_size >= 1, "batch size must be positive");
+        let mut rng = rng;
+        let rng: &mut dyn RngCore = &mut rng;
+        let (m, n) = rbm.weights().dim();
+        let mut velocity_w = Array2::<f64>::zeros((m, n));
+        let mut velocity_bv = Array1::<f64>::zeros(m);
+        let mut velocity_bh = Array1::<f64>::zeros(n);
+        let mut stats = Vec::new();
+
+        let rows = data.nrows();
+        let mut start = 0;
+        while start < rows {
+            let end = (start + batch_size).min(rows);
+            let batch = data.slice(ndarray::s![start..end, ..]).to_owned();
+            substrate.program(
+                &rbm.weights().view(),
+                &rbm.visible_bias().view(),
+                &rbm.hidden_bias().view(),
+            );
+            let clamped = substrate.quantize_batch(&batch);
+            let h_pos = substrate.sample_hidden_batch(&clamped, rng);
+            let mut h_neg = h_pos.clone();
+            let mut v_neg = batch.clone();
+            for _ in 0..self.k {
+                v_neg = substrate.sample_visible_batch(&h_neg, rng);
+                h_neg = substrate.sample_hidden_batch(&v_neg, rng);
+            }
+            let bs = batch.nrows() as u64;
+            let counters = substrate.counters_mut();
+            counters.positive_samples += bs;
+            counters.negative_samples += bs;
+            counters.host_mac_ops += bs * 2 * (m * n) as u64 + (m * n + m + n) as u64;
+
+            stats.push(self.apply_gradients(
+                rbm,
+                &batch,
+                &h_pos,
+                &v_neg,
+                &h_neg,
+                &mut velocity_w,
+                &mut velocity_bv,
+                &mut velocity_bh,
+            ));
+            start = end;
+        }
+        EpochStats::accumulate(&stats)
+    }
+
+    /// Parallel substrate epoch: each minibatch's rows are sharded into
+    /// `replicas` contiguous chunks, each chunk driven through its own
+    /// **clone** of the substrate (an ensemble of identically-programmed
+    /// machines, as a multi-instance deployment would be) on its own RNG
+    /// stream. Results depend on `replicas` but are **bit-identical at
+    /// every thread count** for a fixed master seed. Per-replica
+    /// hardware counters are merged back into `substrate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`CdTrainer::train_epoch_with`],
+    /// or if `replicas == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_epoch_par_with<S>(
+        &self,
+        rbm: &mut Rbm,
+        data: &Array2<f64>,
+        batch_size: usize,
+        substrate: &mut S,
+        replicas: usize,
+        streams: RngStreams,
+    ) -> EpochStats
+    where
+        S: Substrate + Clone + Send + Sync,
+    {
+        assert_eq!(data.ncols(), rbm.visible_len(), "data width mismatch");
+        assert_eq!(
+            substrate.visible_len(),
+            rbm.visible_len(),
+            "substrate visible size mismatch"
+        );
+        assert_eq!(
+            substrate.hidden_len(),
+            rbm.hidden_len(),
+            "substrate hidden size mismatch"
+        );
+        assert!(batch_size >= 1, "batch size must be positive");
+        assert!(replicas >= 1, "need at least one substrate replica");
+        let (m, n) = rbm.weights().dim();
+        let mut velocity_w = Array2::<f64>::zeros((m, n));
+        let mut velocity_bv = Array1::<f64>::zeros(m);
+        let mut velocity_bh = Array1::<f64>::zeros(n);
+        let mut stats = Vec::new();
+
+        let rows = data.nrows();
+        let (mut start, mut batch_index) = (0, 0u64);
+        while start < rows {
+            let end = (start + batch_size).min(rows);
+            let batch = data.slice(ndarray::s![start..end, ..]).to_owned();
+            substrate.program(
+                &rbm.weights().view(),
+                &rbm.visible_bias().view(),
+                &rbm.hidden_bias().view(),
+            );
+            let clamped = substrate.quantize_batch(&batch);
+            let batch_streams = streams.subfamily(batch_index);
+            let k = self.k;
+            let sub = &*substrate;
+
+            let work: Vec<(usize, usize, usize)> = chunk_ranges(batch.nrows(), replicas)
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, (s, e))| e > s)
+                .map(|(c, (s, e))| (c, s, e))
+                .collect();
+            let chunks: Vec<ChunkResult> = work
+                .into_par_iter()
+                .map(|(c, s, e)| {
+                    let mut replica = sub.clone();
+                    *replica.counters_mut() = HardwareCounters::new();
+                    let mut rng = batch_streams.rng(c as u64);
+                    let rng: &mut dyn RngCore = &mut rng;
+                    let chunk_clamped = clamped.slice(ndarray::s![s..e, ..]).to_owned();
+                    let h_pos = replica.sample_hidden_batch(&chunk_clamped, rng);
+                    let mut h_neg = h_pos.clone();
+                    let mut v_neg = batch.slice(ndarray::s![s..e, ..]).to_owned();
+                    for _ in 0..k {
+                        v_neg = replica.sample_visible_batch(&h_neg, rng);
+                        h_neg = replica.sample_hidden_batch(&v_neg, rng);
+                    }
+                    (s, h_pos, v_neg, h_neg, *replica.counters())
+                })
+                .collect();
+
+            let mut h_pos = Array2::zeros((batch.nrows(), n));
+            let mut v_neg = Array2::zeros((batch.nrows(), m));
+            let mut h_neg = Array2::zeros((batch.nrows(), n));
+            for (s, hp, vn, hn, counters) in chunks {
+                for i in 0..hp.nrows() {
+                    h_pos.row_mut(s + i).assign(&hp.row(i));
+                    v_neg.row_mut(s + i).assign(&vn.row(i));
+                    h_neg.row_mut(s + i).assign(&hn.row(i));
+                }
+                substrate.counters_mut().merge(&counters);
+            }
+            let bs = batch.nrows() as u64;
+            let counters = substrate.counters_mut();
+            counters.positive_samples += bs;
+            counters.negative_samples += bs;
+            counters.host_mac_ops += bs * 2 * (m * n) as u64 + (m * n + m + n) as u64;
+
+            stats.push(self.apply_gradients(
+                rbm,
+                &batch,
+                &h_pos,
+                &v_neg,
+                &h_neg,
+                &mut velocity_w,
+                &mut velocity_bv,
+                &mut velocity_bh,
+            ));
+            start = end;
+            batch_index += 1;
+        }
+        EpochStats::accumulate(&stats)
+    }
+
+    /// Shared host-side gradient step (lines 17–19 of Algorithm 1 with
+    /// momentum and weight decay): the common tail of every CD variant.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_gradients(
+        &self,
+        rbm: &mut Rbm,
+        batch: &Array2<f64>,
+        h_pos: &Array2<f64>,
+        v_neg: &Array2<f64>,
+        h_neg: &Array2<f64>,
+        velocity_w: &mut Array2<f64>,
+        velocity_bv: &mut Array1<f64>,
+        velocity_bh: &mut Array1<f64>,
+    ) -> (f64, f64) {
+        let bs = batch.nrows() as f64;
+        let grad_w = (batch.t().dot(h_pos) - v_neg.t().dot(h_neg)) / bs;
         let grad_bv = (batch.sum_axis(Axis(0)) - v_neg.sum_axis(Axis(0))) / bs;
         let grad_bh = (h_pos.sum_axis(Axis(0)) - h_neg.sum_axis(Axis(0))) / bs;
-
         let grad_norm = grad_w.iter().map(|g| g * g).sum::<f64>().sqrt();
 
-        // Momentum + weight decay.
         *velocity_w = &*velocity_w * self.momentum
             + &(&grad_w - &(rbm.weights() * self.weight_decay)) * self.learning_rate;
         *velocity_bv = &*velocity_bv * self.momentum + &grad_bv * self.learning_rate;
@@ -176,7 +416,7 @@ impl CdTrainer {
         *rbm.visible_bias_mut() += &*velocity_bv;
         *rbm.hidden_bias_mut() += &*velocity_bh;
 
-        let recon = (&v_neg - batch).mapv(f64::abs).mean().unwrap_or(0.0);
+        let recon = (v_neg - batch).mapv(f64::abs).mean().unwrap_or(0.0);
         (recon, grad_norm)
     }
 
@@ -239,7 +479,6 @@ impl CdTrainer {
                 })
                 .collect();
 
-            let bs = chains.len() as f64;
             let n = rbm.hidden_len();
             let m = rbm.visible_len();
             let mut h_pos_rows = Vec::with_capacity(chains.len());
@@ -255,21 +494,16 @@ impl CdTrainer {
             let h_neg = gibbs::stack_rows(h_neg_rows, n);
 
             // Same batched GEMM gradient as the serial path.
-            let grad_w = (batch.t().dot(&h_pos) - v_neg.t().dot(&h_neg)) / bs;
-            let grad_bv = (batch.sum_axis(Axis(0)) - v_neg.sum_axis(Axis(0))) / bs;
-            let grad_bh = (h_pos.sum_axis(Axis(0)) - h_neg.sum_axis(Axis(0))) / bs;
-            let grad_norm = grad_w.iter().map(|g| g * g).sum::<f64>().sqrt();
-
-            velocity_w = &velocity_w * self.momentum
-                + &(&grad_w - &(rbm.weights() * self.weight_decay)) * self.learning_rate;
-            velocity_bv = &velocity_bv * self.momentum + &grad_bv * self.learning_rate;
-            velocity_bh = &velocity_bh * self.momentum + &grad_bh * self.learning_rate;
-            *rbm.weights_mut() += &velocity_w;
-            *rbm.visible_bias_mut() += &velocity_bv;
-            *rbm.hidden_bias_mut() += &velocity_bh;
-
-            let recon = (&v_neg - &batch).mapv(f64::abs).mean().unwrap_or(0.0);
-            stats.push((recon, grad_norm));
+            stats.push(self.apply_gradients(
+                rbm,
+                &batch,
+                &h_pos,
+                &v_neg,
+                &h_neg,
+                &mut velocity_w,
+                &mut velocity_bv,
+                &mut velocity_bh,
+            ));
             start = end;
             batch_index += 1;
         }

@@ -1,5 +1,11 @@
 //! Software trainers for RBMs: CD-k (Algorithm 1), persistent CD, and the
 //! exact maximum-likelihood reference.
+//!
+//! The CD and PCD trainers additionally run over any
+//! [`ember_substrate::Substrate`] backend (`train_epoch_with` /
+//! `train_epoch_par_with`): the learning loop stays on the host, the
+//! conditional sampling is offloaded — the paper's §3.2 division of
+//! labor, with the substrate freely swappable.
 
 mod cd;
 mod ml;
@@ -21,6 +27,24 @@ pub struct EpochStats {
     pub reconstruction_error: f64,
     /// Mean L2 norm of the weight-gradient estimate per batch.
     pub gradient_norm: f64,
+}
+
+/// Splits `rows` into `chunks` contiguous ranges whose sizes differ by at
+/// most one (empty ranges when `chunks > rows`). The substrate-parallel
+/// trainers shard minibatch rows across substrate replicas with this, so
+/// results depend on the replica count but never on the thread count.
+pub(crate) fn chunk_ranges(rows: usize, chunks: usize) -> Vec<(usize, usize)> {
+    assert!(chunks >= 1, "need at least one chunk");
+    let base = rows / chunks;
+    let extra = rows % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let len = base + usize::from(c < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
 }
 
 impl EpochStats {

@@ -1,10 +1,12 @@
 use ndarray::{Array1, Array2, Axis};
-use rand::Rng;
+use rand::{Rng, RngCore};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use ember_substrate::{HardwareCounters, Substrate};
+
 use crate::gibbs;
-use crate::trainer::EpochStats;
+use crate::trainer::{chunk_ranges, EpochStats};
 use crate::{Rbm, RngStreams};
 
 /// Persistent contrastive divergence (Tieleman 2008, cited as \[63\] for the
@@ -111,9 +113,6 @@ impl PcdTrainer {
         batch: &Array2<f64>,
         rng: &mut R,
     ) -> (f64, f64) {
-        let bs = batch.nrows() as f64;
-        let p = self.particles_v.nrows() as f64;
-
         // Positive phase from the data.
         let h_pos = Rbm::sample_batch(&rbm.hidden_probs_batch(batch), rng);
 
@@ -126,7 +125,23 @@ impl PcdTrainer {
         }
         self.particles_v = v_neg.clone();
 
-        let grad_w = batch.t().dot(&h_pos) / bs - v_neg.t().dot(&h_neg) / p;
+        self.apply_gradients(rbm, batch, &h_pos, &v_neg, &h_neg)
+    }
+
+    /// Shared host-side gradient step: data statistics normalized by the
+    /// batch size, particle statistics by the particle count. The common
+    /// tail of every PCD variant.
+    fn apply_gradients(
+        &self,
+        rbm: &mut Rbm,
+        batch: &Array2<f64>,
+        h_pos: &Array2<f64>,
+        v_neg: &Array2<f64>,
+        h_neg: &Array2<f64>,
+    ) -> (f64, f64) {
+        let bs = batch.nrows() as f64;
+        let p = v_neg.nrows() as f64;
+        let grad_w = batch.t().dot(h_pos) / bs - v_neg.t().dot(h_neg) / p;
         let grad_bv = batch.sum_axis(Axis(0)) / bs - v_neg.sum_axis(Axis(0)) / p;
         let grad_bh = h_pos.sum_axis(Axis(0)) / bs - h_neg.sum_axis(Axis(0)) / p;
         let grad_norm = grad_w.iter().map(|g| g * g).sum::<f64>().sqrt();
@@ -142,6 +157,213 @@ impl PcdTrainer {
             (&d - &m).mapv(f64::abs).mean().unwrap_or(0.0)
         };
         (recon, grad_norm)
+    }
+
+    /// One epoch of PCD-k with both the positive phase and the
+    /// persistent-particle evolution offloaded to an arbitrary
+    /// [`Substrate`] backend. The substrate is re-programmed with the
+    /// current weights before every minibatch; the `p` fantasy particles
+    /// advance `k` full Gibbs steps on the substrate and persist in the
+    /// trainer exactly as in [`PcdTrainer::train_epoch`] — this mirrors
+    /// the paper's BGF particle store (§3.3), but with the weights still
+    /// host-resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` width differs from the RBM's visible count, the
+    /// substrate's fabricated size differs from the RBM, or
+    /// `batch_size == 0`.
+    pub fn train_epoch_with<S, R>(
+        &mut self,
+        rbm: &mut Rbm,
+        data: &Array2<f64>,
+        batch_size: usize,
+        substrate: &mut S,
+        rng: &mut R,
+    ) -> EpochStats
+    where
+        S: Substrate + ?Sized,
+        R: Rng + ?Sized,
+    {
+        assert_eq!(data.ncols(), rbm.visible_len(), "data width mismatch");
+        assert_eq!(
+            substrate.visible_len(),
+            rbm.visible_len(),
+            "substrate visible size mismatch"
+        );
+        assert_eq!(
+            substrate.hidden_len(),
+            rbm.hidden_len(),
+            "substrate hidden size mismatch"
+        );
+        assert!(batch_size >= 1, "batch size must be positive");
+        let mut rng = rng;
+        let rng: &mut dyn RngCore = &mut rng;
+        let (m, n) = rbm.weights().dim();
+        let mut stats = Vec::new();
+        let rows = data.nrows();
+        let mut start = 0;
+        while start < rows {
+            let end = (start + batch_size).min(rows);
+            let batch = data.slice(ndarray::s![start..end, ..]).to_owned();
+            substrate.program(
+                &rbm.weights().view(),
+                &rbm.visible_bias().view(),
+                &rbm.hidden_bias().view(),
+            );
+            // Positive phase from the data.
+            let clamped = substrate.quantize_batch(&batch);
+            let h_pos = substrate.sample_hidden_batch(&clamped, rng);
+            // Negative phase from the persistent particles: k full steps.
+            let mut v_neg = self.particles_v.clone();
+            let mut h_neg = substrate.sample_hidden_batch(&v_neg, rng);
+            for _ in 0..self.k {
+                v_neg = substrate.sample_visible_batch(&h_neg, rng);
+                h_neg = substrate.sample_hidden_batch(&v_neg, rng);
+            }
+            self.particles_v = v_neg.clone();
+
+            let counters = substrate.counters_mut();
+            counters.positive_samples += batch.nrows() as u64;
+            counters.negative_samples += v_neg.nrows() as u64;
+            counters.host_mac_ops +=
+                (batch.nrows() + v_neg.nrows()) as u64 * (m * n) as u64 + (m * n + m + n) as u64;
+
+            stats.push(self.apply_gradients(rbm, &batch, &h_pos, &v_neg, &h_neg));
+            start = end;
+        }
+        EpochStats::accumulate(&stats)
+    }
+
+    /// Parallel substrate epoch: positive-phase rows and persistent
+    /// particles are sharded into `replicas` contiguous chunks, each
+    /// driven through its own **clone** of the substrate on its own RNG
+    /// stream (`subfamily(2b)` for the data, `subfamily(2b+1)` for the
+    /// particles, matching [`PcdTrainer::train_epoch_par`]'s layout).
+    /// Results depend on `replicas` but are bit-identical at every
+    /// thread count. Per-replica counters merge back into `substrate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`PcdTrainer::train_epoch_with`],
+    /// or if `replicas == 0`.
+    pub fn train_epoch_par_with<S>(
+        &mut self,
+        rbm: &mut Rbm,
+        data: &Array2<f64>,
+        batch_size: usize,
+        substrate: &mut S,
+        replicas: usize,
+        streams: RngStreams,
+    ) -> EpochStats
+    where
+        S: Substrate + Clone + Send + Sync,
+    {
+        assert_eq!(data.ncols(), rbm.visible_len(), "data width mismatch");
+        assert_eq!(
+            substrate.visible_len(),
+            rbm.visible_len(),
+            "substrate visible size mismatch"
+        );
+        assert_eq!(
+            substrate.hidden_len(),
+            rbm.hidden_len(),
+            "substrate hidden size mismatch"
+        );
+        assert!(batch_size >= 1, "batch size must be positive");
+        assert!(replicas >= 1, "need at least one substrate replica");
+        let (m, n) = rbm.weights().dim();
+        let mut stats = Vec::new();
+        let rows = data.nrows();
+        let (mut start, mut batch_index) = (0, 0u64);
+        while start < rows {
+            let end = (start + batch_size).min(rows);
+            let batch = data.slice(ndarray::s![start..end, ..]).to_owned();
+            substrate.program(
+                &rbm.weights().view(),
+                &rbm.visible_bias().view(),
+                &rbm.hidden_bias().view(),
+            );
+            let clamped = substrate.quantize_batch(&batch);
+            let pos_streams = streams.subfamily(2 * batch_index);
+            let neg_streams = streams.subfamily(2 * batch_index + 1);
+            let k = self.k;
+            let sub = &*substrate;
+
+            // Positive phase: replica c samples its row chunk.
+            let pos_work: Vec<(usize, usize, usize)> = chunk_ranges(batch.nrows(), replicas)
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, (s, e))| e > s)
+                .map(|(c, (s, e))| (c, s, e))
+                .collect();
+            let pos_chunks: Vec<(usize, Array2<f64>, HardwareCounters)> = pos_work
+                .into_par_iter()
+                .map(|(c, s, e)| {
+                    let mut replica = sub.clone();
+                    *replica.counters_mut() = HardwareCounters::new();
+                    let mut rng = pos_streams.rng(c as u64);
+                    let rng: &mut dyn RngCore = &mut rng;
+                    let chunk = clamped.slice(ndarray::s![s..e, ..]).to_owned();
+                    let h = replica.sample_hidden_batch(&chunk, rng);
+                    (s, h, *replica.counters())
+                })
+                .collect();
+            // Negative phase: replica c advances its particle chunk.
+            let neg_work: Vec<(usize, usize, usize)> =
+                chunk_ranges(self.particles_v.nrows(), replicas)
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(_, (s, e))| e > s)
+                    .map(|(c, (s, e))| (c, s, e))
+                    .collect();
+            let particles = &self.particles_v;
+            let neg_chunks: Vec<(usize, Array2<f64>, Array2<f64>, HardwareCounters)> = neg_work
+                .into_par_iter()
+                .map(|(c, s, e)| {
+                    let mut replica = sub.clone();
+                    *replica.counters_mut() = HardwareCounters::new();
+                    let mut rng = neg_streams.rng(c as u64);
+                    let rng: &mut dyn RngCore = &mut rng;
+                    let mut v = particles.slice(ndarray::s![s..e, ..]).to_owned();
+                    let mut h = replica.sample_hidden_batch(&v, rng);
+                    for _ in 0..k {
+                        v = replica.sample_visible_batch(&h, rng);
+                        h = replica.sample_hidden_batch(&v, rng);
+                    }
+                    (s, v, h, *replica.counters())
+                })
+                .collect();
+
+            let mut h_pos = Array2::zeros((batch.nrows(), n));
+            for (s, h, counters) in pos_chunks {
+                for i in 0..h.nrows() {
+                    h_pos.row_mut(s + i).assign(&h.row(i));
+                }
+                substrate.counters_mut().merge(&counters);
+            }
+            let mut v_neg = Array2::zeros((self.particles_v.nrows(), m));
+            let mut h_neg = Array2::zeros((self.particles_v.nrows(), n));
+            for (s, v, h, counters) in neg_chunks {
+                for i in 0..v.nrows() {
+                    v_neg.row_mut(s + i).assign(&v.row(i));
+                    h_neg.row_mut(s + i).assign(&h.row(i));
+                }
+                substrate.counters_mut().merge(&counters);
+            }
+            self.particles_v = v_neg.clone();
+
+            let counters = substrate.counters_mut();
+            counters.positive_samples += batch.nrows() as u64;
+            counters.negative_samples += v_neg.nrows() as u64;
+            counters.host_mac_ops +=
+                (batch.nrows() + v_neg.nrows()) as u64 * (m * n) as u64 + (m * n + m + n) as u64;
+
+            stats.push(self.apply_gradients(rbm, &batch, &h_pos, &v_neg, &h_neg));
+            start = end;
+            batch_index += 1;
+        }
+        EpochStats::accumulate(&stats)
     }
 
     /// Parallel epoch: positive-phase rows and persistent-particle chains
@@ -179,8 +401,6 @@ impl PcdTrainer {
             let batch = data.slice(ndarray::s![start..end, ..]).to_owned();
             let pos_streams = streams.subfamily(2 * batch_index);
             let neg_streams = streams.subfamily(2 * batch_index + 1);
-            let bs = batch.nrows() as f64;
-            let p = self.particles_v.nrows() as f64;
             let (m, n) = (rbm.visible_len(), rbm.hidden_len());
 
             // Positive phase: one stream per data row.
@@ -228,21 +448,7 @@ impl PcdTrainer {
             let h_neg = gibbs::stack_rows(h_neg_rows, n);
             self.particles_v = v_neg.clone();
 
-            let grad_w = batch.t().dot(&h_pos) / bs - v_neg.t().dot(&h_neg) / p;
-            let grad_bv = batch.sum_axis(Axis(0)) / bs - v_neg.sum_axis(Axis(0)) / p;
-            let grad_bh = h_pos.sum_axis(Axis(0)) / bs - h_neg.sum_axis(Axis(0)) / p;
-            let grad_norm = grad_w.iter().map(|g| g * g).sum::<f64>().sqrt();
-
-            *rbm.weights_mut() += &(&grad_w * self.learning_rate);
-            *rbm.visible_bias_mut() += &(&grad_bv * self.learning_rate);
-            *rbm.hidden_bias_mut() += &(&grad_bh * self.learning_rate);
-
-            let recon = {
-                let d = batch.mean_axis(Axis(0)).expect("non-empty batch");
-                let mn = v_neg.mean_axis(Axis(0)).expect("non-empty particles");
-                (&d - &mn).mapv(f64::abs).mean().unwrap_or(0.0)
-            };
-            stats.push((recon, grad_norm));
+            stats.push(self.apply_gradients(rbm, &batch, &h_pos, &v_neg, &h_neg));
             start = end;
             batch_index += 1;
         }

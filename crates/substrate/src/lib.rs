@@ -1,0 +1,320 @@
+//! # ember-substrate
+//!
+//! The seam at the heart of the paper's claim: the Ising substrate is a
+//! *drop-in replacement* for software Gibbs sampling in the RBM training
+//! loop (§3.2). This crate defines the [`Substrate`] trait — "given
+//! programmed weights/biases and a clamped layer, produce conditional
+//! samples for a whole minibatch" — so that every trainer can run over
+//! any backend: the analog node-path model, the BRIM dynamical
+//! simulator, a Metropolis annealer, or future hardware.
+//!
+//! The trait methods map one-to-one onto the paper's §3.2 operation
+//! list for the Gibbs-sampler accelerator:
+//!
+//! | §3.2 operation | Trait method |
+//! |---|---|
+//! | 1–2. host programs the coupling matrix and biases (`m·n + m + n` words) | [`Substrate::program`] / [`Substrate::programming_cost`] |
+//! | 3. visible units are clamped through DTCs | [`Substrate::quantize_batch`] |
+//! | 4–5. the clamped side drives the free side, which settles and is read out | [`Substrate::sample_hidden_batch`] / [`Substrate::sample_visible_batch`] |
+//! | 6. alternate clamped sides for the k-step Gibbs equivalent | callers alternate the two sampling methods |
+//! | 7–8. the host accumulates `⟨v⁺ᵀh⁺⟩ − ⟨v⁻ᵀh⁻⟩` and updates weights | host-side (trainers); substrate only reports [`Substrate::counters`] |
+//!
+//! Implementations live next to their physics: `ember_core` ships
+//! `SoftwareGibbs` (the analog node path of Fig. 12), `BrimSubstrate`
+//! (clamp/anneal/read on the bipartite BRIM of Fig. 3), and
+//! `AnnealerSubstrate` (Metropolis sampling over the bipartite
+//! coupling). `ember_rbm`'s `CdTrainer`/`PcdTrainer` accept any of them
+//! through `train_epoch_with`/`train_epoch_par_with`.
+//!
+//! The trait is object-safe: sampling takes `&mut dyn RngCore`, so a
+//! `Vec<Box<dyn Substrate>>` of heterogeneous backends can be driven by
+//! one loop (see `examples/substrate_sampling.rs`).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use ndarray::{Array1, Array2, ArrayView1, ArrayView2};
+use rand::RngCore;
+
+mod instrument;
+
+pub use instrument::HardwareCounters;
+
+/// A conditional-sampling backend for bipartite energy-based models.
+///
+/// The contract, per minibatch of training (Algorithm 1 with the
+/// sampling steps offloaded):
+///
+/// 1. the host calls [`Substrate::program`] with its master weights;
+/// 2. data rows are clamped through [`Substrate::quantize_batch`];
+/// 3. alternating [`Substrate::sample_hidden_batch`] /
+///    [`Substrate::sample_visible_batch`] calls realize the k-step
+///    Gibbs equivalent;
+/// 4. the host reads [`Substrate::counters`] to convert the work into
+///    execution time and energy (crate `ember-perf`).
+///
+/// Outputs are hard `{0, 1}` read-outs (comparator latches or
+/// thresholded node voltages). Inputs are clamp levels in `[0, 1]` —
+/// binary samples fed back from the previous half-step, or multi-bit
+/// DTC-quantized gray levels for the data.
+///
+/// Sampling methods take `&mut dyn RngCore` (rather than a generic
+/// parameter) to keep the trait object-safe; the randomness models the
+/// substrate's thermal noise, so a fixed seed reproduces a run exactly.
+pub trait Substrate {
+    /// Short stable identifier (used in bench rows and diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Number of visible-side nodes `m`.
+    fn visible_len(&self) -> usize;
+
+    /// Number of hidden-side nodes `n`.
+    fn hidden_len(&self) -> usize;
+
+    /// §3.2 steps 1–2: programs the coupling array and biases.
+    ///
+    /// `weights` is `m × n`; the substrate realizes them with whatever
+    /// non-idealities its physics imposes (static variation, spin-domain
+    /// embedding, …). Implementations must count
+    /// [`Substrate::programming_cost`] words on
+    /// `counters().host_words_transferred`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch with the substrate's fabricated size.
+    fn program(
+        &mut self,
+        weights: &ArrayView2<'_, f64>,
+        visible_bias: &ArrayView1<'_, f64>,
+        hidden_bias: &ArrayView1<'_, f64>,
+    );
+
+    /// §3.2 step 3: converts raw clamp levels to what the physical clamp
+    /// units can actually drive (e.g. DTC quantization). The identity by
+    /// default. Binary samples fed back between half-steps are already
+    /// exact `{0, 1}`, on which any implementation must be the identity,
+    /// so callers only quantize the *data* once per minibatch.
+    fn quantize_batch(&self, levels: &Array2<f64>) -> Array2<f64> {
+        levels.clone()
+    }
+
+    /// §3.2 steps 4–5, forward direction, whole minibatch: clamp each
+    /// row of `visible` (`batch × m`, levels in `[0, 1]`), let the
+    /// hidden side settle, read it out. Returns `batch × n` samples in
+    /// `{0, 1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `visible` has a row width other than `visible_len()`.
+    fn sample_hidden_batch(&mut self, visible: &Array2<f64>, rng: &mut dyn RngCore) -> Array2<f64>;
+
+    /// §3.2 steps 4–5, reverse direction: clamp the hidden side
+    /// (`batch × n`), sample the visible side. Returns `batch × m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` has a row width other than `hidden_len()`.
+    fn sample_visible_batch(&mut self, hidden: &Array2<f64>, rng: &mut dyn RngCore) -> Array2<f64>;
+
+    /// Single-row forward sample (serial engines). Defaults to a
+    /// batch of one; implementations may override with a cheaper or
+    /// differently-counted row kernel.
+    fn sample_hidden_row(
+        &mut self,
+        visible: &ArrayView1<'_, f64>,
+        rng: &mut dyn RngCore,
+    ) -> Array1<f64> {
+        let mut batch = Array2::zeros((1, visible.len()));
+        batch.row_mut(0).assign(visible);
+        self.sample_hidden_batch(&batch, rng).row(0).to_owned()
+    }
+
+    /// Single-row reverse sample (serial engines). Defaults to a batch
+    /// of one.
+    fn sample_visible_row(
+        &mut self,
+        hidden: &ArrayView1<'_, f64>,
+        rng: &mut dyn RngCore,
+    ) -> Array1<f64> {
+        let mut batch = Array2::zeros((1, hidden.len()));
+        batch.row_mut(0).assign(hidden);
+        self.sample_visible_batch(&batch, rng).row(0).to_owned()
+    }
+
+    /// Host→substrate words one programming event transfers
+    /// (`m·n + m + n` in the paper's §3.2 accounting).
+    fn programming_cost(&self) -> u64 {
+        (self.visible_len() * self.hidden_len() + self.visible_len() + self.hidden_len()) as u64
+    }
+
+    /// Cumulative hardware event counters since construction.
+    fn counters(&self) -> &HardwareCounters;
+
+    /// Mutable counter access: hosts account their own events here
+    /// (positive/negative sample counts, host MAC ops) so one counter
+    /// set describes the whole accelerated run.
+    fn counters_mut(&mut self) -> &mut HardwareCounters;
+}
+
+impl<S: Substrate + ?Sized> Substrate for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn visible_len(&self) -> usize {
+        (**self).visible_len()
+    }
+    fn hidden_len(&self) -> usize {
+        (**self).hidden_len()
+    }
+    fn program(
+        &mut self,
+        weights: &ArrayView2<'_, f64>,
+        visible_bias: &ArrayView1<'_, f64>,
+        hidden_bias: &ArrayView1<'_, f64>,
+    ) {
+        (**self).program(weights, visible_bias, hidden_bias);
+    }
+    fn quantize_batch(&self, levels: &Array2<f64>) -> Array2<f64> {
+        (**self).quantize_batch(levels)
+    }
+    fn sample_hidden_batch(&mut self, visible: &Array2<f64>, rng: &mut dyn RngCore) -> Array2<f64> {
+        (**self).sample_hidden_batch(visible, rng)
+    }
+    fn sample_visible_batch(&mut self, hidden: &Array2<f64>, rng: &mut dyn RngCore) -> Array2<f64> {
+        (**self).sample_visible_batch(hidden, rng)
+    }
+    fn sample_hidden_row(
+        &mut self,
+        visible: &ArrayView1<'_, f64>,
+        rng: &mut dyn RngCore,
+    ) -> Array1<f64> {
+        (**self).sample_hidden_row(visible, rng)
+    }
+    fn sample_visible_row(
+        &mut self,
+        hidden: &ArrayView1<'_, f64>,
+        rng: &mut dyn RngCore,
+    ) -> Array1<f64> {
+        (**self).sample_visible_row(hidden, rng)
+    }
+    fn programming_cost(&self) -> u64 {
+        (**self).programming_cost()
+    }
+    fn counters(&self) -> &HardwareCounters {
+        (**self).counters()
+    }
+    fn counters_mut(&mut self) -> &mut HardwareCounters {
+        (**self).counters_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal deterministic stub used to pin the trait's default
+    /// methods (row fallbacks, programming cost, Box forwarding).
+    struct Stub {
+        m: usize,
+        n: usize,
+        counters: HardwareCounters,
+    }
+
+    impl Substrate for Stub {
+        fn name(&self) -> &'static str {
+            "stub"
+        }
+        fn visible_len(&self) -> usize {
+            self.m
+        }
+        fn hidden_len(&self) -> usize {
+            self.n
+        }
+        fn program(
+            &mut self,
+            weights: &ArrayView2<'_, f64>,
+            _bv: &ArrayView1<'_, f64>,
+            _bh: &ArrayView1<'_, f64>,
+        ) {
+            assert_eq!(weights.dim(), (self.m, self.n));
+            self.counters.host_words_transferred += self.programming_cost();
+        }
+        fn sample_hidden_batch(
+            &mut self,
+            visible: &Array2<f64>,
+            _rng: &mut dyn RngCore,
+        ) -> Array2<f64> {
+            // "All hidden units latch 1" — enough to observe shapes.
+            Array2::from_elem((visible.nrows(), self.n), 1.0)
+        }
+        fn sample_visible_batch(
+            &mut self,
+            hidden: &Array2<f64>,
+            _rng: &mut dyn RngCore,
+        ) -> Array2<f64> {
+            Array2::zeros((hidden.nrows(), self.m))
+        }
+        fn counters(&self) -> &HardwareCounters {
+            &self.counters
+        }
+        fn counters_mut(&mut self) -> &mut HardwareCounters {
+            &mut self.counters
+        }
+    }
+
+    fn rng() -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn default_row_methods_use_batch_of_one() {
+        let mut s = Stub {
+            m: 3,
+            n: 2,
+            counters: HardwareCounters::new(),
+        };
+        let v = Array1::from_vec(vec![1.0, 0.0, 1.0]);
+        let h = s.sample_hidden_row(&v.view(), &mut rng());
+        assert_eq!(h, Array1::from_vec(vec![1.0, 1.0]));
+        let back = s.sample_visible_row(&h.view(), &mut rng());
+        assert_eq!(back, Array1::zeros(3));
+    }
+
+    #[test]
+    fn programming_cost_is_words_of_section_3_2() {
+        let s = Stub {
+            m: 784,
+            n: 200,
+            counters: HardwareCounters::new(),
+        };
+        assert_eq!(s.programming_cost(), 784 * 200 + 784 + 200);
+    }
+
+    #[test]
+    fn quantize_default_is_identity() {
+        let s = Stub {
+            m: 2,
+            n: 1,
+            counters: HardwareCounters::new(),
+        };
+        let x = Array2::from_shape_fn((2, 2), |(i, j)| (i + j) as f64 / 3.0);
+        assert_eq!(s.quantize_batch(&x), x);
+    }
+
+    #[test]
+    fn boxed_substrate_forwards() {
+        let mut s: Box<dyn Substrate> = Box::new(Stub {
+            m: 2,
+            n: 2,
+            counters: HardwareCounters::new(),
+        });
+        let w = Array2::zeros((2, 2));
+        let b = Array1::zeros(2);
+        s.program(&w.view(), &b.view(), &b.view());
+        assert_eq!(s.counters().host_words_transferred, 8);
+        assert_eq!(s.name(), "stub");
+        let out = s.sample_hidden_batch(&Array2::zeros((4, 2)), &mut rng());
+        assert_eq!(out.dim(), (4, 2));
+    }
+}

@@ -12,8 +12,9 @@
 //! | [`ising`] | `ember-ising` | Ising model, QUBO, max-cut, simulated annealing |
 //! | [`brim`] | `ember-brim` | BRIM dynamical substrate simulator |
 //! | [`analog`] | `ember-analog` | Sigmoid unit, thermal RNG, comparator, converters, charge pump, noise models |
-//! | [`rbm`] | `ember-rbm` | RBM, CD-k/PCD/exact-ML trainers, DBN, MLP, conv-RBM patches |
-//! | [`core`] | `ember-core` | **The paper's contribution**: Gibbs Sampler and Boltzmann Gradient Follower accelerator models |
+//! | [`substrate`] | `ember-substrate` | The [`substrate::Substrate`] trait: the seam between trainers and interchangeable sampling backends |
+//! | [`rbm`] | `ember-rbm` | RBM, CD-k/PCD/exact-ML trainers (substrate-generic), DBN, MLP, conv-RBM patches |
+//! | [`core`] | `ember-core` | **The paper's contribution**: Gibbs Sampler and Boltzmann Gradient Follower accelerator models, plus the three `Substrate` backends (`core::substrate`) |
 //! | [`datasets`] | `ember-datasets` | Synthetic stand-ins for the paper's eight datasets |
 //! | [`metrics`] | `ember-metrics` | AIS, KL, ROC/AUC, MAE, smoothing |
 //! | [`perf`] | `ember-perf` | Timing/energy/area models for Figs. 5–6 and Tables 2–3 |
@@ -49,3 +50,4 @@ pub use ember_ising as ising;
 pub use ember_metrics as metrics;
 pub use ember_perf as perf;
 pub use ember_rbm as rbm;
+pub use ember_substrate as substrate;
