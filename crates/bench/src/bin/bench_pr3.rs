@@ -1,0 +1,43 @@
+//! PR 3 performance-trajectory benchmark: everything `bench_pr2`
+//! measures (same suites, same `(name, visible, hidden, mode)` row
+//! identities, so the `bench_gate` binary can diff the two trajectory
+//! files) **plus the serving dimension**: waves of concurrent single-row
+//! sample requests through the sharded `SamplingService`, request
+//! coalescing on vs off, at 1/2/4 worker shards and the paper's 784×200
+//! and 108×1024 layer sizes.
+//!
+//! Emits `BENCH_PR3.json`. Gate it against the previous point with:
+//!
+//! ```sh
+//! cargo run --release -p ember_bench --bin bench_pr3 -- --quick
+//! cargo run --release -p ember_bench --bin bench_gate -- BENCH_PR2.json BENCH_PR3.json
+//! ```
+
+use ember_bench::trajectory::{
+    bench_brim_anneal, bench_brim_settle, bench_gibbs_cd1, bench_gibbs_chain,
+    bench_serve_throughput, bench_substrate_cd1, write_trajectory,
+};
+use ember_bench::{header, RunConfig};
+
+fn main() {
+    let config = RunConfig::from_args();
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+
+    bench_gibbs_cd1(&config, &mut rows, &mut speedups);
+    bench_gibbs_chain(&config, &mut rows, &mut speedups);
+    bench_brim_anneal(&config, &mut rows, &mut speedups);
+    bench_brim_settle(&config, &mut rows, &mut speedups);
+    bench_substrate_cd1(&config, &mut rows, &mut speedups);
+    bench_serve_throughput(&config, &mut rows, &mut speedups);
+
+    header("Speedup summary");
+    for (name, s) in &speedups {
+        println!("  {name:<34} {s:.2}x");
+    }
+
+    let json = write_trajectory(3, &config, &rows, &speedups);
+    if config.json {
+        println!("{json}");
+    }
+}

@@ -14,15 +14,28 @@
 //! reflects per-thread efficiency, not the wall-clock win. The
 //! algorithmic gates (batched GEMM vs scalar, bipartite vs dense
 //! kernel) are unaffected.
+//!
+//! **Committed artifacts:** shared runners oscillate their effective
+//! clock by double digits over minutes (a same-binary self-gate fails
+//! at 10% on the reference box), which no within-process estimator can
+//! reject. [`time`] therefore takes the best of three windows *within*
+//! a process (interference only ever adds time to a deterministic
+//! workload), and the committed `BENCH_PR<N>.json` points are per-row
+//! **medians across several process runs** — both files produced with
+//! the same estimator, so the gate compares like with like. A few
+//! percent of irreducible between-binary variance remains (final-link
+//! code layout shifts hot-kernel alignment), which is part of what the
+//! gate's drift tolerance absorbs.
 
 use std::time::Instant;
 
 use ember_brim::{BipartiteBrim, BrimConfig, FlipSchedule};
 use ember_core::substrate::{BrimSubstrate, SoftwareGibbs};
-use ember_core::{GibbsSampler, GsConfig, GsEngine};
+use ember_core::{GibbsSampler, GsConfig, GsEngine, SubstrateSpec};
 use ember_ising::{BipartiteProblem, RngStreams};
 use ember_rbm::{gibbs, CdTrainer, Rbm};
-use ndarray::Array2;
+use ember_serve::{SampleRequest, SamplingService};
+use ndarray::{Array1, Array2};
 use rand::Rng;
 
 use crate::{header, RunConfig};
@@ -80,32 +93,43 @@ fn process_cpu_time_ms() -> Option<f64> {
     Some((utime + stime) * 10.0)
 }
 
-/// Mean per-call time of a deterministic workload, in milliseconds.
+/// Per-call time of a deterministic workload, in milliseconds: the
+/// **best of three measurement windows**.
 ///
-/// One warm-up call, then repeated calls until **at least `reps` calls
-/// and ≥ 400 ms of accumulated CPU time** have been spent, returning
-/// `total / calls`. Accumulating CPU time (a) is robust to background
-/// load stealing the core mid-measurement, and (b) amortizes the 10 ms
-/// `/proc` tick far below 1%. Falls back to the same accumulation over
-/// wall-clock time when `/proc` is unavailable.
+/// Each window makes repeated calls until **at least `reps` calls and
+/// ≥ 150 ms of accumulated CPU time** have been spent, yielding
+/// `total / calls`; the minimum window mean is returned. Accumulating
+/// CPU time (a) is robust to background load stealing the core
+/// mid-measurement, and (b) amortizes the 10 ms `/proc` tick far below
+/// 1%; taking the best window additionally rejects the slow-side drift
+/// (thermal throttling, noisy neighbors ramping up) that a single mean
+/// cannot — interference only ever *adds* time to a deterministic
+/// workload. Falls back to the same procedure over wall-clock time when
+/// `/proc` is unavailable. One warm-up call precedes the first window.
 pub fn time<F: FnMut()>(mut f: F, reps: usize) -> f64 {
-    const MIN_WINDOW_MS: f64 = 400.0;
+    const WINDOWS: usize = 3;
+    const MIN_WINDOW_MS: f64 = 150.0;
     const MAX_CALLS: usize = 20_000;
     f();
-    let wall_start = Instant::now();
-    let cpu_start = process_cpu_time_ms();
-    let mut calls = 0usize;
-    loop {
-        f();
-        calls += 1;
-        let elapsed = match cpu_start {
-            Some(start) => process_cpu_time_ms().expect("cpu clock vanished") - start,
-            None => wall_start.elapsed().as_secs_f64() * 1000.0,
+    let mut best = f64::INFINITY;
+    for _ in 0..WINDOWS {
+        let wall_start = Instant::now();
+        let cpu_start = process_cpu_time_ms();
+        let mut calls = 0usize;
+        let mean = loop {
+            f();
+            calls += 1;
+            let elapsed = match cpu_start {
+                Some(start) => process_cpu_time_ms().expect("cpu clock vanished") - start,
+                None => wall_start.elapsed().as_secs_f64() * 1000.0,
+            };
+            if (calls >= reps && elapsed >= MIN_WINDOW_MS) || calls >= MAX_CALLS {
+                break elapsed / calls as f64;
+            }
         };
-        if (calls >= reps && elapsed >= MIN_WINDOW_MS) || calls >= MAX_CALLS {
-            return elapsed / calls as f64;
-        }
+        best = best.min(mean);
     }
+    best
 }
 
 /// A deterministic sparse binary batch.
@@ -399,6 +423,97 @@ pub fn bench_substrate_cd1(
         let ratio = results[0] / results[1];
         println!("  {m}x{n} software/brim throughput ratio {ratio:.1}x (simulation cost)");
         speedups.push((format!("substrate-cd1-{m}x{n}-sim-cost"), ratio));
+    }
+}
+
+/// The PR 3 serving dimension: a wave of 64 concurrent single-row
+/// sample requests (batch-64 class load) pushed through the
+/// `SamplingService` at 1/2/4 worker shards, with request coalescing on
+/// vs off (request-at-a-time). Coalescing amortizes substrate
+/// programming and turns 64 row kernels into whole-batch GEMM calls —
+/// the serving-side replay of the paper's per-minibatch economics.
+///
+/// Like every suite here, throughput is per CPU-second: multi-shard rows
+/// measure total work efficiency, not wall-clock latency.
+pub fn bench_serve_throughput(
+    config: &RunConfig,
+    rows: &mut Vec<BenchRow>,
+    speedups: &mut Vec<(String, f64)>,
+) {
+    header("Sampling service (64 concurrent single-row requests): coalesced vs request-at-a-time");
+    const SERVE_SIZES: [(usize, usize); 2] = [(784, 200), (108, 1024)];
+    fn mode_name(shards: usize, coalesced: bool) -> &'static str {
+        match (shards, coalesced) {
+            (1, false) => "request-at-a-time-1shard",
+            (2, false) => "request-at-a-time-2shard",
+            (4, false) => "request-at-a-time-4shard",
+            (1, true) => "coalesced-1shard",
+            (2, true) => "coalesced-2shard",
+            (4, true) => "coalesced-4shard",
+            _ => unreachable!("benched shard counts are 1/2/4"),
+        }
+    }
+    let wave = 64;
+    let reps = config.pick(2, 3);
+    for &(m, n) in &SERVE_SIZES {
+        let mut rng = config.rng();
+        let rbm = Rbm::random(m, n, 0.01, &mut rng);
+        let proto = SubstrateSpec::software(GsConfig::default()).fabricate_for(&rbm, &mut rng);
+        let clamp = Array1::from_shape_fn(m, |_| f64::from(rng.random_bool(0.35)));
+        for shards in [1usize, 2, 4] {
+            let mut results = [0.0f64; 2];
+            for (slot, coalesced) in [(0, false), (1, true)] {
+                let service = SamplingService::builder()
+                    .shards(shards)
+                    .coalescing(coalesced)
+                    .max_coalesce_rows(wave)
+                    .queue_rows(8 * wave)
+                    .build();
+                service
+                    .register_model("m", rbm.clone(), proto.clone_boxed())
+                    .expect("register bench model");
+                let mut wave_index = 0u64;
+                let wall_ms = time(
+                    || {
+                        let handles: Vec<_> = (0..wave as u64)
+                            .map(|i| {
+                                service
+                                    .submit(
+                                        SampleRequest::new("m")
+                                            .with_gibbs_steps(1)
+                                            .with_clamp(clamp.clone())
+                                            .with_seed(wave_index * 1000 + i),
+                                    )
+                                    .expect("bench queue sized for a full wave")
+                            })
+                            .collect();
+                        wave_index += 1;
+                        for handle in handles {
+                            handle.wait().expect("bench request served");
+                        }
+                    },
+                    reps,
+                );
+                let throughput = wave as f64 / (wall_ms / 1000.0);
+                results[slot] = throughput;
+                let mode = mode_name(shards, coalesced);
+                println!(
+                    "  {m}x{n} {mode:<26} {wall_ms:>10.2} ms/wave  {throughput:>12.1} requests/s"
+                );
+                rows.push(BenchRow {
+                    name: "serve-throughput".into(),
+                    visible: m,
+                    hidden: n,
+                    mode,
+                    wall_ms,
+                    throughput,
+                    unit: "requests/sec",
+                });
+            }
+            let speedup = results[1] / results[0];
+            println!("  {m}x{n} {shards}-shard coalescing speedup {speedup:.2}x");
+            speedups.push((format!("serve-coalesce-{m}x{n}-{shards}shard"), speedup));
+        }
     }
 }
 

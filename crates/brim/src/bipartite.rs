@@ -84,11 +84,17 @@ fn embedded_field(problem: &BipartiteProblem) -> Array1<f64> {
     field
 }
 
+/// The deterministic power-on voltage pattern: a small alternating
+/// perturbation that breaks the symmetry of the all-zero fixed point.
+fn power_on_voltages(total: usize) -> Array1<f64> {
+    Array1::from_shape_fn(total, |i| if i % 2 == 0 { 0.01 } else { -0.01 })
+}
+
 impl BipartiteBrim {
     /// Programs the bipartite problem onto the machine.
     pub fn new(problem: BipartiteProblem, config: BrimConfig) -> Self {
         let total = problem.visible_len() + problem.hidden_len();
-        let voltages = Array1::from_shape_fn(total, |i| if i % 2 == 0 { 0.01 } else { -0.01 });
+        let voltages = power_on_voltages(total);
         let w_quarter = problem.weights().mapv(|w| w / 4.0);
         let field = embedded_field(&problem);
         BipartiteBrim {
@@ -241,6 +247,18 @@ impl BipartiteBrim {
 
     /// Releases all clamps: both sides evolve.
     pub fn release(&mut self) {
+        self.clamp = ClampMode::Free;
+    }
+
+    /// Returns every node to the deterministic power-on voltage pattern
+    /// of [`BipartiteBrim::new`] and releases all clamps — a reproducible
+    /// "power cycle". The serving layer uses this to make each served
+    /// chain an independent trajectory (one request's read-out must not
+    /// depend on what the machine sampled for the previous tenant).
+    /// Programmed couplings/biases and the phase-point count are
+    /// untouched.
+    pub fn reset_voltages(&mut self) {
+        self.voltages = power_on_voltages(self.voltages.len());
         self.clamp = ClampMode::Free;
     }
 
@@ -420,6 +438,26 @@ mod tests {
             BipartiteProblem::new(Array2::zeros((3, 1)), Array1::zeros(3), Array1::zeros(1))
                 .unwrap();
         brim.reprogram(bigger);
+    }
+
+    #[test]
+    fn reset_voltages_is_a_reproducible_power_cycle() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let mut brim = BipartiteBrim::new(and_gate_problem(), BrimConfig::default());
+        let fresh = BipartiteBrim::new(and_gate_problem(), BrimConfig::default());
+        brim.clamp_visible(&[1.0, 1.0]);
+        brim.anneal(&FlipSchedule::constant(0.2, 40), &mut rng);
+        assert_ne!(brim.hidden_voltages(), fresh.hidden_voltages());
+        let points = brim.phase_points();
+        brim.reset_voltages();
+        assert_eq!(brim.visible_voltages(), fresh.visible_voltages());
+        assert_eq!(brim.hidden_voltages(), fresh.hidden_voltages());
+        assert_eq!(brim.clamp_mode(), ClampMode::Free);
+        // Programmed problem and accounting survive the power cycle.
+        assert_eq!(brim.phase_points(), points);
+        brim.clamp_visible(&[1.0, 1.0]);
+        brim.settle(500);
+        assert_eq!(brim.read_hidden_bits(), vec![true]);
     }
 
     #[test]

@@ -7,6 +7,10 @@ use serde::{Deserialize, Serialize};
 /// per phase point for the physical machine; [`BrimConfig::phase_point_ps`]
 /// carries that calibration for the performance model.
 ///
+/// All fields are private: construction is `Default` refined through the
+/// `with_*` builders, the same idiom as `ember_core::GsConfig` /
+/// `ember_core::BgfConfig`. Every builder validates its argument.
+///
 /// # Example
 ///
 /// ```

@@ -18,6 +18,12 @@ pub enum GsEngine {
 
 /// Configuration of the Gibbs-sampler accelerator (§3.2).
 ///
+/// All fields are private: construction is `Default` (the paper's
+/// baseline) refined through the `with_*` builders — the single config
+/// idiom shared by [`BgfConfig`] and `ember_brim::BrimConfig`. Every
+/// builder validates its argument, so a constructed config is always
+/// physically meaningful.
+///
 /// # Example
 ///
 /// ```
@@ -148,6 +154,18 @@ impl GsConfig {
         self.engine = engine;
         self
     }
+
+    /// Returns a copy with the given settle duration in phase points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points == 0`.
+    #[must_use]
+    pub fn with_settle_phase_points(mut self, points: u64) -> Self {
+        assert!(points >= 1, "need at least one settle phase point");
+        self.settle_phase_points = points;
+        self
+    }
 }
 
 impl Default for GsConfig {
@@ -176,6 +194,10 @@ impl Default for GsConfig {
 /// minibatch of 1 this must be ~`batch_size×` smaller than the software
 /// `α` (§3.3: "a correspondingly smaller α, roughly 500× less than that
 /// needed for n = 500").
+///
+/// All fields are private: construction is `Default` refined through
+/// the `with_*` builders, the same idiom as [`GsConfig`] and
+/// `ember_brim::BrimConfig`.
 ///
 /// # Example
 ///
@@ -329,6 +351,45 @@ impl BgfConfig {
         self.adc_bits = bits;
         self
     }
+
+    /// Returns a copy with the given DTC resolution for the visible
+    /// clamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ bits ≤ 16`.
+    #[must_use]
+    pub fn with_dtc_bits(mut self, bits: u32) -> Self {
+        assert!((1..=16).contains(&bits), "DTC bits must be 1..=16");
+        self.dtc_bits = bits;
+        self
+    }
+
+    /// Returns a copy with the given positive-phase settle duration in
+    /// phase points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points == 0`.
+    #[must_use]
+    pub fn with_settle_phase_points(mut self, points: u64) -> Self {
+        assert!(points >= 1, "need at least one settle phase point");
+        self.settle_phase_points = points;
+        self
+    }
+
+    /// Returns a copy with the given negative-phase anneal duration in
+    /// phase points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points == 0`.
+    #[must_use]
+    pub fn with_anneal_phase_points(mut self, points: u64) -> Self {
+        assert!(points >= 1, "need at least one anneal phase point");
+        self.anneal_phase_points = points;
+        self
+    }
 }
 
 impl Default for BgfConfig {
@@ -373,12 +434,30 @@ mod tests {
             .with_weight_scale(2.0)
             .with_particles(3)
             .with_negative_sweeps(4)
-            .with_adc_bits(10);
+            .with_adc_bits(10)
+            .with_dtc_bits(6)
+            .with_settle_phase_points(20)
+            .with_anneal_phase_points(200);
         assert_eq!(c.pump_ratio(), 0.01);
         assert_eq!(c.weight_scale(), 2.0);
         assert_eq!(c.particles(), 3);
         assert_eq!(c.negative_sweeps(), 4);
         assert_eq!(c.adc_bits(), 10);
+        assert_eq!(c.dtc_bits(), 6);
+        assert_eq!(c.settle_phase_points(), 20);
+        assert_eq!(c.anneal_phase_points(), 200);
+    }
+
+    #[test]
+    fn gs_settle_phase_points_builder() {
+        let c = GsConfig::default().with_settle_phase_points(75);
+        assert_eq!(c.settle_phase_points(), 75);
+    }
+
+    #[test]
+    #[should_panic(expected = "settle phase point")]
+    fn gs_rejects_zero_settle() {
+        let _ = GsConfig::default().with_settle_phase_points(0);
     }
 
     #[test]

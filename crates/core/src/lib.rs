@@ -63,8 +63,16 @@ pub use config::{BgfConfig, GsConfig, GsEngine};
 pub use gibbs_sampler::GibbsSampler;
 pub use gradient_follower::BoltzmannGradientFollower;
 pub use sampler::AnalogSampler;
-pub use substrate::{AnnealerSubstrate, BrimSubstrate, SoftwareGibbs, Substrate};
+pub use substrate::{
+    AnnealerSubstrate, BrimSubstrate, ReplicableSubstrate, SoftwareGibbs, Substrate, SubstrateSpec,
+};
 
-// `HardwareCounters` moved to `ember_substrate` (so trainers can be
-// generic over any backend); re-exported here for compatibility.
+// Deprecated compat re-export: `HardwareCounters` moved to
+// `ember_substrate` in PR 2 (so trainers can be generic over any
+// backend). Use the canonical `ember_substrate::HardwareCounters`
+// (also reachable as `ember::substrate::HardwareCounters` and
+// `ember_core::substrate::HardwareCounters`); this top-level alias is
+// hidden from the docs and kept only so pre-PR-2 downstream code keeps
+// compiling.
+#[doc(hidden)]
 pub use ember_substrate::HardwareCounters;

@@ -216,6 +216,99 @@ impl AnalogSampler {
         fields
     }
 
+    /// Whole-minibatch node path, forward direction, with **one RNG
+    /// stream per row**: the analog vector-matrix products still collapse
+    /// into a single GEMM, but the sigmoid/comparator tail of row `i`
+    /// draws exclusively from `rngs[i]`.
+    ///
+    /// This is the serving-layer kernel: because the GEMM accumulates
+    /// each output row independently of the others and the stochastic
+    /// tail is per-row, row `i`'s bits depend only on (weights, bias,
+    /// row `i`, `rngs[i]`) — identical whether the row is sampled alone
+    /// or coalesced into any batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or if `rngs.len() != inputs.nrows()`.
+    pub fn sample_layer_batch_rows(
+        &self,
+        weights: &ndarray::ArrayView2<'_, f64>,
+        bias: &ArrayView1<'_, f64>,
+        inputs: &Array2<f64>,
+        rngs: &mut [&mut dyn rand::RngCore],
+    ) -> Array2<f64> {
+        assert_eq!(weights.nrows(), inputs.ncols(), "fan-in mismatch");
+        assert_eq!(weights.ncols(), bias.len(), "fan-out mismatch");
+        let mut fields = inputs.dot(weights);
+        self.finish_batch_rows(&mut fields, bias, weights, inputs, false, rngs);
+        fields
+    }
+
+    /// Reverse-direction counterpart of
+    /// [`AnalogSampler::sample_layer_batch_rows`] (output layer clamped,
+    /// fan-in side sampled), one RNG stream per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or if `rngs.len() != inputs.nrows()`.
+    pub fn sample_layer_rev_batch_rows(
+        &self,
+        weights: &ndarray::ArrayView2<'_, f64>,
+        bias: &ArrayView1<'_, f64>,
+        inputs: &Array2<f64>,
+        rngs: &mut [&mut dyn rand::RngCore],
+    ) -> Array2<f64> {
+        assert_eq!(weights.ncols(), inputs.ncols(), "fan-in mismatch (rev)");
+        assert_eq!(weights.nrows(), bias.len(), "fan-out mismatch (rev)");
+        let mut fields = inputs.dot(&weights.t());
+        self.finish_batch_rows(&mut fields, bias, weights, inputs, true, rngs);
+        fields
+    }
+
+    /// Per-row-stream tail of the batched node path: same arithmetic as
+    /// [`AnalogSampler::finish_batch`], but row `i` of the field matrix
+    /// consumes only `rngs[i]`.
+    fn finish_batch_rows(
+        &self,
+        fields: &mut Array2<f64>,
+        bias: &ArrayView1<'_, f64>,
+        weights: &ndarray::ArrayView2<'_, f64>,
+        inputs: &Array2<f64>,
+        rev: bool,
+        rngs: &mut [&mut dyn rand::RngCore],
+    ) {
+        assert_eq!(fields.nrows(), rngs.len(), "one RNG stream per row");
+        let var_coupler = if self.noise.noise_rms() > 0.0 {
+            let sq_in = inputs.mapv(|x| x * x);
+            let sq_w = weights.mapv(|w| w * w);
+            Some(if rev {
+                sq_in.dot(&sq_w.t())
+            } else {
+                sq_in.dot(&sq_w)
+            })
+        } else {
+            None
+        };
+        for (i, mut row) in fields.axis_iter_mut(ndarray::Axis(0)).enumerate() {
+            row += bias;
+            let rng = &mut *rngs[i];
+            if let Some(var) = &var_coupler {
+                for (j, f) in row.iter_mut().enumerate() {
+                    let sigma = (var[[i, j]] + 1.0).sqrt(); // +1: unit-scale node noise
+                    *f = self.noise.perturb(*f, sigma, rng);
+                }
+            }
+            for f in row.iter_mut() {
+                let p = self.sigmoid.transfer(*f);
+                *f = if self.comparator.sample(p, &self.thermal, rng) {
+                    1.0
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+
     /// Shared tail of the batched node path: bias add, closed-form
     /// coupler-noise perturbation, sigmoid transfer, comparator latch —
     /// all element-wise over the field matrix in row-major order.
@@ -401,6 +494,45 @@ mod tests {
         let f = sampler.fields(&w.view(), &bias.view(), &v.view(), &mut rng);
         assert!((f[0] - 0.6).abs() < 1e-12);
         assert!((f[1] - (-1.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_rows_output_is_invariant_to_co_batched_rows() {
+        // Row 1 of a 3-row batch must equal the same row sampled alone
+        // under the same stream — the coalescing-invisibility contract —
+        // including with dynamic noise enabled.
+        let sampler = AnalogSampler::new(
+            SigmoidUnit::ideal(),
+            Comparator::ideal(),
+            NoiseModel::new(0.05, 0.1).unwrap(),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        use rand::Rng as _;
+        let w = Array2::from_shape_fn((6, 4), |_| rng.random_range(-0.5..0.5));
+        let bias = arr1(&[0.1, -0.2, 0.0, 0.3]);
+        for rev in [false, true] {
+            let fan_in = if rev { 4 } else { 6 };
+            let inputs = Array2::from_shape_fn((3, fan_in), |_| f64::from(rng.random_bool(0.5)));
+            let sample = |rows: &Array2<f64>, seeds: &[u64]| {
+                let mut rngs: Vec<rand::rngs::StdRng> = seeds
+                    .iter()
+                    .map(|&s| rand::rngs::StdRng::seed_from_u64(s))
+                    .collect();
+                let mut dyn_rngs: Vec<&mut dyn rand::RngCore> = rngs
+                    .iter_mut()
+                    .map(|r| r as &mut dyn rand::RngCore)
+                    .collect();
+                if rev {
+                    let b = arr1(&[0.0; 6]);
+                    sampler.sample_layer_rev_batch_rows(&w.view(), &b.view(), rows, &mut dyn_rngs)
+                } else {
+                    sampler.sample_layer_batch_rows(&w.view(), &bias.view(), rows, &mut dyn_rngs)
+                }
+            };
+            let full = sample(&inputs, &[7, 8, 9]);
+            let solo = sample(&inputs.slice(ndarray::s![1..2, ..]).to_owned(), &[8]);
+            assert_eq!(full.row(1), solo.row(0), "rev={rev}");
+        }
     }
 
     #[test]

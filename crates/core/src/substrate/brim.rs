@@ -166,6 +166,65 @@ impl Substrate for BrimSubstrate {
         out
     }
 
+    fn sample_hidden_batch_rows(
+        &mut self,
+        visible: &Array2<f64>,
+        rngs: &mut [&mut dyn RngCore],
+    ) -> Array2<f64> {
+        let (m, n) = (self.visible_len(), self.hidden_len());
+        assert_eq!(visible.ncols(), m, "visible clamp width mismatch");
+        assert_eq!(visible.nrows(), rngs.len(), "one RNG stream per row");
+        let schedule = self.thermal_schedule();
+        let mut out = Array2::zeros((visible.nrows(), n));
+        let mut levels = vec![0.0; m];
+        for (r, row) in visible.rows().enumerate() {
+            for (level, &x) in levels.iter_mut().zip(row.iter()) {
+                *level = x;
+            }
+            // Serving semantics: every row is an independent trajectory
+            // from the machine's power-on state, so its read-out depends
+            // only on (programmed model, clamp, own stream) — never on
+            // the previous tenant of this replica. The plain batch
+            // methods above keep the §3 continuous physical trajectory.
+            self.brim.reset_voltages();
+            self.brim.clamp_visible(&levels);
+            self.brim.anneal(&schedule, &mut *rngs[r]);
+            for (j, &bit) in self.brim.read_hidden_bits().iter().enumerate() {
+                out[[r, j]] = f64::from(bit);
+            }
+        }
+        self.counters.phase_points += (visible.nrows() * self.anneal_steps) as u64;
+        self.counters.host_words_transferred += (visible.nrows() * n) as u64;
+        out
+    }
+
+    fn sample_visible_batch_rows(
+        &mut self,
+        hidden: &Array2<f64>,
+        rngs: &mut [&mut dyn RngCore],
+    ) -> Array2<f64> {
+        let (m, n) = (self.visible_len(), self.hidden_len());
+        assert_eq!(hidden.ncols(), n, "hidden clamp width mismatch");
+        assert_eq!(hidden.nrows(), rngs.len(), "one RNG stream per row");
+        let schedule = self.thermal_schedule();
+        let mut out = Array2::zeros((hidden.nrows(), m));
+        let mut levels = vec![0.0; n];
+        for (r, row) in hidden.rows().enumerate() {
+            for (level, &x) in levels.iter_mut().zip(row.iter()) {
+                *level = x;
+            }
+            self.brim.reset_voltages();
+            self.brim.clamp_hidden(&levels);
+            self.brim.anneal(&schedule, &mut *rngs[r]);
+            for (i, &bit) in self.brim.read_visible_bits().iter().enumerate() {
+                out[[r, i]] = f64::from(bit);
+            }
+        }
+        self.counters.phase_points += (hidden.nrows() * self.anneal_steps) as u64;
+        self.counters.host_words_transferred += (hidden.nrows() * m) as u64;
+        out
+    }
+
     fn counters(&self) -> &HardwareCounters {
         &self.counters
     }

@@ -37,12 +37,14 @@
 //! same RBM through one loop, and `crates/core/tests/substrate_conformance.rs`
 //! for the shared distribution-conformance suite.
 
-pub use ember_substrate::{HardwareCounters, Substrate};
+pub use ember_substrate::{HardwareCounters, ReplicableSubstrate, Substrate};
 
 mod annealer;
 mod brim;
 mod software;
+mod spec;
 
 pub use annealer::AnnealerSubstrate;
 pub use brim::BrimSubstrate;
 pub use software::SoftwareGibbs;
+pub use spec::SubstrateSpec;

@@ -14,7 +14,11 @@ use crate::{AnalogSampler, GsConfig};
 /// Batch sampling runs through the GEMM-batched
 /// [`AnalogSampler::sample_layer_batch`] path; the row methods use the
 /// scalar reference kernels ([`AnalogSampler::sample_layer_reference`]),
-/// preserving the `GsEngine::SerialReference` baseline.
+/// preserving the `GsEngine::SerialReference` baseline. The serving
+/// kernels (`sample_hidden_batch_rows` / `sample_visible_batch_rows`)
+/// keep the single GEMM but drive each row's stochastic tail from its
+/// own RNG stream ([`AnalogSampler::sample_layer_batch_rows`]), so a
+/// row's bits are invariant to request coalescing.
 ///
 /// Static coupler variation is sampled once at construction
 /// ("fabrication") and applied at every programming event: the physical
@@ -142,6 +146,38 @@ impl Substrate for SoftwareGibbs {
             &self.visible_bias.view(),
             hidden,
             rng,
+        );
+        self.counters.phase_points += hidden.nrows() as u64 * self.settle_phase_points;
+        self.counters.host_words_transferred += v.len() as u64;
+        v
+    }
+
+    fn sample_hidden_batch_rows(
+        &mut self,
+        visible: &Array2<f64>,
+        rngs: &mut [&mut dyn RngCore],
+    ) -> Array2<f64> {
+        let h = self.sampler.sample_layer_batch_rows(
+            &self.weights.view(),
+            &self.hidden_bias.view(),
+            visible,
+            rngs,
+        );
+        self.counters.phase_points += visible.nrows() as u64 * self.settle_phase_points;
+        self.counters.host_words_transferred += h.len() as u64;
+        h
+    }
+
+    fn sample_visible_batch_rows(
+        &mut self,
+        hidden: &Array2<f64>,
+        rngs: &mut [&mut dyn RngCore],
+    ) -> Array2<f64> {
+        let v = self.sampler.sample_layer_rev_batch_rows(
+            &self.weights.view(),
+            &self.visible_bias.view(),
+            hidden,
+            rngs,
         );
         self.counters.phase_points += hidden.nrows() as u64 * self.settle_phase_points;
         self.counters.host_words_transferred += v.len() as u64;

@@ -1,0 +1,211 @@
+use ndarray::{Array1, Array2};
+use rand::Rng;
+
+use ember_brim::BrimConfig;
+use ember_ising::BipartiteProblem;
+use ember_rbm::Rbm;
+use ember_substrate::{ReplicableSubstrate, Substrate};
+
+use crate::{AnnealerSubstrate, BrimSubstrate, GsConfig, SoftwareGibbs};
+
+/// A fabrication recipe for substrate replicas: which backend physics to
+/// build and with what component models, independent of any particular
+/// machine size.
+///
+/// This is the constructor seam the serving layer shards on. Fabricating
+/// a substrate is a *stochastic* act for some backends (`SoftwareGibbs`
+/// freezes its coupler-variation map from the fabrication RNG), so a
+/// service that wants every worker shard to realize the *same* physical
+/// machine must fabricate **one prototype** from the spec and replicate
+/// it with [`ReplicableSubstrate::clone_boxed`] — never fabricate per
+/// shard.
+///
+/// # Example
+///
+/// ```
+/// use ember_core::{GsConfig, SubstrateSpec};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let proto = SubstrateSpec::software(GsConfig::default()).fabricate(8, 4, &mut rng);
+/// let replica = proto.clone_boxed(); // same frozen variation map
+/// assert_eq!(replica.visible_len(), 8);
+/// assert_eq!(replica.name(), proto.name());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubstrateSpec {
+    /// The analog node path of §3.2 ([`SoftwareGibbs`]) with the given
+    /// accelerator config (sigmoid/comparator/noise/DTC models).
+    SoftwareGibbs(GsConfig),
+    /// The bipartite BRIM of §3.1 ([`BrimSubstrate`]) with the given
+    /// integration config and thermal bath.
+    Brim {
+        /// Integration and circuit parameters.
+        config: BrimConfig,
+        /// Per-step flip-injection probability of the thermal bath.
+        flip_probability: f64,
+        /// Anneal length per conditional sample, in phase points.
+        anneal_steps: usize,
+    },
+    /// The T=1 Metropolis annealer ([`AnnealerSubstrate`]) with the
+    /// given temperature and mixing parameters.
+    Annealer {
+        /// Sampling temperature (`1.0` is the RBM's native temperature).
+        temperature: f64,
+        /// Equilibration sweeps before each read-out.
+        burn_in: usize,
+        /// Thinning sweeps per sample.
+        thin: usize,
+    },
+}
+
+impl SubstrateSpec {
+    /// Thermal-bath defaults of [`BrimSubstrate`] (flip probability /
+    /// anneal length under which the free-running machine tracks the
+    /// Boltzmann distribution in the §3.3 experiment).
+    const BRIM_FLIP: f64 = 0.02;
+    const BRIM_STEPS: usize = 120;
+
+    /// The software analog node path with the given config.
+    pub fn software(config: GsConfig) -> Self {
+        SubstrateSpec::SoftwareGibbs(config)
+    }
+
+    /// The bipartite BRIM with its default thermal bath.
+    pub fn brim(config: BrimConfig) -> Self {
+        SubstrateSpec::Brim {
+            config,
+            flip_probability: Self::BRIM_FLIP,
+            anneal_steps: Self::BRIM_STEPS,
+        }
+    }
+
+    /// The T=1 Metropolis annealer with its default mixing.
+    pub fn annealer() -> Self {
+        SubstrateSpec::Annealer {
+            temperature: 1.0,
+            burn_in: 8,
+            thin: 2,
+        }
+    }
+
+    /// Short stable identifier of the backend this spec fabricates
+    /// (matches [`Substrate::name`] of the fabricated machine).
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            SubstrateSpec::SoftwareGibbs(_) => "software-gibbs",
+            SubstrateSpec::Brim { .. } => "brim",
+            SubstrateSpec::Annealer { .. } => "annealer",
+        }
+    }
+
+    /// Fabricates one `visible × hidden` machine. Weights and biases are
+    /// zero until the first [`Substrate::program`]; `rng` is the
+    /// fabrication randomness (frozen coupler variation for the software
+    /// backend — deterministic replicas require a fixed seed here).
+    pub fn fabricate<R: Rng + ?Sized>(
+        &self,
+        visible: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Box<dyn ReplicableSubstrate> {
+        let zero_problem = || {
+            BipartiteProblem::new(
+                Array2::zeros((visible, hidden)),
+                Array1::zeros(visible),
+                Array1::zeros(hidden),
+            )
+            .expect("zero problem dimensions are consistent")
+        };
+        match self {
+            SubstrateSpec::SoftwareGibbs(config) => {
+                Box::new(SoftwareGibbs::new(visible, hidden, config, rng))
+            }
+            SubstrateSpec::Brim {
+                config,
+                flip_probability,
+                anneal_steps,
+            } => Box::new(
+                BrimSubstrate::new(zero_problem(), *config)
+                    .with_thermal_bath(*flip_probability, *anneal_steps),
+            ),
+            SubstrateSpec::Annealer {
+                temperature,
+                burn_in,
+                thin,
+            } => Box::new(
+                AnnealerSubstrate::new(zero_problem())
+                    .with_temperature(*temperature)
+                    .with_mixing(*burn_in, *thin),
+            ),
+        }
+    }
+
+    /// Fabricates a machine sized for `rbm` and programs it with the
+    /// model's current parameters (§3.2 steps 1–2).
+    pub fn fabricate_for<R: Rng + ?Sized>(
+        &self,
+        rbm: &Rbm,
+        rng: &mut R,
+    ) -> Box<dyn ReplicableSubstrate> {
+        let mut sub = self.fabricate(rbm.visible_len(), rbm.hidden_len(), rng);
+        sub.program(
+            &rbm.weights().view(),
+            &rbm.visible_bias().view(),
+            &rbm.hidden_bias().view(),
+        );
+        sub
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fabricate_builds_each_backend_at_size() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for spec in [
+            SubstrateSpec::software(GsConfig::default()),
+            SubstrateSpec::brim(BrimConfig::default()),
+            SubstrateSpec::annealer(),
+        ] {
+            let sub = spec.fabricate(5, 3, &mut rng);
+            assert_eq!(sub.visible_len(), 5);
+            assert_eq!(sub.hidden_len(), 3);
+            assert_eq!(sub.name(), spec.backend_name());
+        }
+    }
+
+    #[test]
+    fn fabricate_for_programs_the_model() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let rbm = Rbm::random(4, 2, 0.3, &mut rng);
+        let sub = SubstrateSpec::annealer().fabricate_for(&rbm, &mut rng);
+        assert_eq!(
+            sub.counters().host_words_transferred,
+            (4 * 2 + 4 + 2) as u64
+        );
+    }
+
+    #[test]
+    fn cloned_software_replicas_share_the_frozen_variation() {
+        use ember_analog::NoiseModel;
+        let config = GsConfig::default().with_noise(NoiseModel::new(0.2, 0.0).unwrap());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let rbm = Rbm::random(6, 4, 0.5, &mut rng);
+        let proto = SubstrateSpec::software(config).fabricate_for(&rbm, &mut rng);
+        let mut a = proto.clone_boxed();
+        let mut b = proto.clone_boxed();
+        // Identical replicas + identical streams ⇒ identical samples,
+        // even with static fabrication variation in play.
+        let v = ndarray::Array2::from_elem((3, 6), 1.0);
+        let mut ra = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rb = rand::rngs::StdRng::seed_from_u64(9);
+        assert_eq!(
+            a.sample_hidden_batch(&v, &mut ra),
+            b.sample_hidden_batch(&v, &mut rb)
+        );
+    }
+}

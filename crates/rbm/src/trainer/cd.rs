@@ -270,6 +270,34 @@ impl CdTrainer {
         EpochStats::accumulate(&stats)
     }
 
+    /// Convenience: `epochs` substrate-offloaded epochs
+    /// ([`CdTrainer::train_epoch_with`] in a loop, one shared RNG), the
+    /// entry point a serving shard calls to honor a training request.
+    /// Returns the final epoch's statistics.
+    pub fn train_with<S, R>(
+        &self,
+        rbm: &mut Rbm,
+        data: &Array2<f64>,
+        batch_size: usize,
+        substrate: &mut S,
+        epochs: usize,
+        rng: &mut R,
+    ) -> EpochStats
+    where
+        S: Substrate + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let mut last = EpochStats {
+            batches: 0,
+            reconstruction_error: 0.0,
+            gradient_norm: 0.0,
+        };
+        for _ in 0..epochs {
+            last = self.train_epoch_with(rbm, data, batch_size, substrate, rng);
+        }
+        last
+    }
+
     /// Parallel substrate epoch: each minibatch's rows are sharded into
     /// `replicas` contiguous chunks, each chunk driven through its own
     /// **clone** of the substrate (an ensemble of identically-programmed

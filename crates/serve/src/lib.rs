@@ -1,0 +1,49 @@
+//! # ember-serve
+//!
+//! Sampling-as-a-service over the `Substrate` seam: the paper's
+//! accelerator earns its keep by amortizing substrate operations over
+//! whole minibatches (§3.2), and the same economics apply to *serving* —
+//! many concurrent clients each wanting a few samples or a free-running
+//! chain from some model. Related work already treats the Ising machine
+//! as a shared multi-tenant sampling resource (Niazi et al. drive many
+//! chains through one physical sampler; Schmid et al. put the machine
+//! behind a uniform sample-request interface); this crate makes that a
+//! service API:
+//!
+//! * [`ModelRegistry`] — named, **versioned** RBMs behind one
+//!   thread-safe handle; training publishes new versions, sampling
+//!   always reads a consistent snapshot.
+//! * [`SamplingService`] — a pool of worker shards
+//!   (`std::thread`), each holding cloned
+//!   [`ReplicableSubstrate`](ember_substrate::ReplicableSubstrate)
+//!   replicas on its own deterministic
+//!   [`RngStreams`](ember_rbm::RngStreams) lane, fed from a **bounded**
+//!   request queue that rejects (never blocks) when full.
+//! * typed requests — [`SampleRequest`] → [`SampleResponse`],
+//!   [`TrainRequest`] → [`TrainResponse`] — answered through per-request
+//!   channels.
+//! * **request coalescing** — pending sample requests for the same
+//!   `(model, gibbs_steps)` key merge into one batched substrate call
+//!   ([`batch::sample_rows`]), the serving-side analogue of the paper's
+//!   per-minibatch operation list; per-row RNG streams make the
+//!   coalescing bit-invisible to every caller.
+//! * [`ServiceStats`] — per-shard and per-model
+//!   [`HardwareCounters`](ember_substrate::HardwareCounters)
+//!   aggregation, batch-size and backpressure accounting.
+//!
+//! See `examples/sampling_service.rs` for two models served over all
+//! three substrate backends under mixed sample/train traffic.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+mod registry;
+mod request;
+mod service;
+
+pub use registry::{ModelRegistry, ModelSnapshot};
+pub use request::{SampleRequest, SampleResponse, ServeError, TrainRequest, TrainResponse};
+pub use service::{
+    ModelStats, ResponseHandle, SamplingService, ServiceBuilder, ServiceStats, ShardStats,
+};

@@ -1,0 +1,245 @@
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use ember_rbm::Rbm;
+
+use crate::ServeError;
+
+/// A snapshot of one registry entry: the model parameters (shared, never
+/// mutated in place) and the version they were published under.
+#[derive(Debug, Clone)]
+pub struct ModelSnapshot {
+    /// The model parameters at this version.
+    pub rbm: Arc<Rbm>,
+    /// Monotonically increasing version, starting at 1 on registration.
+    pub version: u64,
+}
+
+/// A thread-safe registry of named, versioned RBMs — the service's
+/// source of truth for "which parameters does model X currently have".
+///
+/// Models are immutable snapshots behind `Arc`: publishing a new version
+/// swaps the snapshot and bumps the version, it never mutates the old
+/// one, so shards mid-flight keep sampling a consistent model. Sizes are
+/// part of a model's identity — a publish that changes the layer sizes
+/// is rejected (serving replicas are fabricated at registration size).
+///
+/// Cloning the registry clones the *handle*; all clones share state.
+///
+/// # Example
+///
+/// ```
+/// use ember_serve::ModelRegistry;
+/// use ember_rbm::Rbm;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let registry = ModelRegistry::new();
+/// registry.register("demo", Rbm::random(4, 2, 0.1, &mut rng)).unwrap();
+/// let v2 = registry.publish("demo", Rbm::random(4, 2, 0.1, &mut rng)).unwrap();
+/// assert_eq!(v2, 2);
+/// assert_eq!(registry.get("demo").unwrap().version, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ModelRegistry {
+    inner: Arc<RwLock<BTreeMap<String, ModelSnapshot>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new model under `name` at version 1.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ModelExists`] if the name is taken.
+    pub fn register(&self, name: impl Into<String>, rbm: Rbm) -> Result<u64, ServeError> {
+        let name = name.into();
+        let mut map = self.inner.write().expect("registry lock");
+        if map.contains_key(&name) {
+            return Err(ServeError::ModelExists(name));
+        }
+        map.insert(
+            name,
+            ModelSnapshot {
+                rbm: Arc::new(rbm),
+                version: 1,
+            },
+        );
+        Ok(1)
+    }
+
+    /// Publishes new parameters for an existing model, returning the new
+    /// version.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ModelNotFound`] for an unregistered name;
+    /// [`ServeError::InvalidRequest`] if the layer sizes differ from the
+    /// registered model's.
+    pub fn publish(&self, name: &str, rbm: Rbm) -> Result<u64, ServeError> {
+        self.publish_guarded(name, rbm, None)
+    }
+
+    /// Compare-and-swap publish: succeeds only if the current version
+    /// still equals `base_version` (the version the new parameters were
+    /// derived from). This is how concurrent trainers avoid the
+    /// lost-update race — the loser gets
+    /// [`ServeError::TrainConflict`] instead of silently overwriting
+    /// the winner's work.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::TrainConflict`] if the version moved;
+    /// otherwise the same errors as [`ModelRegistry::publish`].
+    pub fn publish_if(&self, name: &str, rbm: Rbm, base_version: u64) -> Result<u64, ServeError> {
+        self.publish_guarded(name, rbm, Some(base_version))
+    }
+
+    /// Shared publish path: look up, optionally enforce the CAS base
+    /// version, validate sizes, swap the snapshot — all under one write
+    /// lock.
+    fn publish_guarded(
+        &self,
+        name: &str,
+        rbm: Rbm,
+        base_version: Option<u64>,
+    ) -> Result<u64, ServeError> {
+        let mut map = self.inner.write().expect("registry lock");
+        let entry = map
+            .get_mut(name)
+            .ok_or_else(|| ServeError::ModelNotFound(name.to_string()))?;
+        if let Some(base) = base_version {
+            if entry.version != base {
+                return Err(ServeError::TrainConflict {
+                    model: name.to_string(),
+                    base_version: base,
+                    current_version: entry.version,
+                });
+            }
+        }
+        if rbm.visible_len() != entry.rbm.visible_len()
+            || rbm.hidden_len() != entry.rbm.hidden_len()
+        {
+            return Err(ServeError::InvalidRequest(format!(
+                "published `{name}` is {}x{}, registered as {}x{}",
+                rbm.visible_len(),
+                rbm.hidden_len(),
+                entry.rbm.visible_len(),
+                entry.rbm.hidden_len(),
+            )));
+        }
+        entry.version += 1;
+        entry.rbm = Arc::new(rbm);
+        Ok(entry.version)
+    }
+
+    /// The current snapshot of `name`, if registered.
+    pub fn get(&self, name: &str) -> Option<ModelSnapshot> {
+        self.inner.read().expect("registry lock").get(name).cloned()
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.inner
+            .read()
+            .expect("registry lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("registry lock").len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rbm(m: usize, n: usize, seed: u64) -> Rbm {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Rbm::random(m, n, 0.1, &mut rng)
+    }
+
+    #[test]
+    fn register_publish_versioning() {
+        let reg = ModelRegistry::new();
+        assert_eq!(reg.register("a", rbm(3, 2, 1)).unwrap(), 1);
+        assert_eq!(reg.publish("a", rbm(3, 2, 2)).unwrap(), 2);
+        assert_eq!(reg.publish("a", rbm(3, 2, 3)).unwrap(), 3);
+        let snap = reg.get("a").unwrap();
+        assert_eq!(snap.version, 3);
+        assert_eq!(snap.rbm.visible_len(), 3);
+    }
+
+    #[test]
+    fn register_rejects_duplicates_and_publish_rejects_resize() {
+        let reg = ModelRegistry::new();
+        reg.register("a", rbm(3, 2, 1)).unwrap();
+        assert_eq!(
+            reg.register("a", rbm(3, 2, 2)),
+            Err(ServeError::ModelExists("a".into()))
+        );
+        assert!(matches!(
+            reg.publish("a", rbm(4, 2, 2)),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        assert_eq!(
+            reg.publish("missing", rbm(3, 2, 2)),
+            Err(ServeError::ModelNotFound("missing".into()))
+        );
+    }
+
+    #[test]
+    fn publish_if_rejects_stale_base_version() {
+        let reg = ModelRegistry::new();
+        reg.register("a", rbm(3, 2, 1)).unwrap();
+        // Two trainers both start from version 1; only the first lands.
+        assert_eq!(reg.publish_if("a", rbm(3, 2, 2), 1).unwrap(), 2);
+        assert_eq!(
+            reg.publish_if("a", rbm(3, 2, 3), 1),
+            Err(ServeError::TrainConflict {
+                model: "a".into(),
+                base_version: 1,
+                current_version: 2,
+            })
+        );
+        // The winner's parameters survive.
+        assert_eq!(*reg.get("a").unwrap().rbm, rbm(3, 2, 2));
+        // Retrying from the current version succeeds.
+        assert_eq!(reg.publish_if("a", rbm(3, 2, 3), 2).unwrap(), 3);
+    }
+
+    #[test]
+    fn snapshots_are_immutable_across_publishes() {
+        let reg = ModelRegistry::new();
+        reg.register("a", rbm(3, 2, 1)).unwrap();
+        let before = reg.get("a").unwrap();
+        reg.publish("a", rbm(3, 2, 99)).unwrap();
+        // The old snapshot still points at the version-1 parameters.
+        assert_eq!(before.version, 1);
+        assert_eq!(*before.rbm, rbm(3, 2, 1));
+        assert_ne!(*reg.get("a").unwrap().rbm, *before.rbm);
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let reg = ModelRegistry::new();
+        let other = reg.clone();
+        reg.register("a", rbm(2, 2, 1)).unwrap();
+        assert_eq!(other.names(), vec!["a".to_string()]);
+        assert!(!other.is_empty());
+    }
+}

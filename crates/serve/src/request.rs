@@ -1,0 +1,253 @@
+use std::error::Error;
+use std::fmt;
+
+use ndarray::{Array1, Array2};
+
+use ember_rbm::{CdTrainer, EpochStats};
+use ember_substrate::HardwareCounters;
+
+/// A request for conditional/free-running samples from a registered
+/// model.
+///
+/// Semantics: the request expands to [`SampleRequest::n_samples`]
+/// independent Gibbs chains. Chain `j` runs on its own deterministic RNG
+/// stream derived from the request seed (`RngStreams::new(seed).seed(j)`
+/// — the same per-chain discipline as `ember_rbm::gibbs::sample_model_par`),
+/// starts from [`SampleRequest::clamp`] (or a random visible state drawn
+/// from the chain's stream), takes [`SampleRequest::gibbs_steps`] full
+/// Gibbs steps through the substrate, and contributes its final visible
+/// configuration as one row of the response.
+///
+/// Because every chain's bits depend only on (model parameters, clamp,
+/// steps, its stream) — see `Substrate::sample_hidden_batch_rows` — the
+/// response is **bit-identical no matter how the service coalesces,
+/// shards, or reorders requests**, provided a `seed` is given.
+///
+/// # Example
+///
+/// ```
+/// use ember_serve::SampleRequest;
+///
+/// let req = SampleRequest::new("mnist-784x200")
+///     .with_samples(16)
+///     .with_gibbs_steps(5)
+///     .with_seed(42);
+/// assert_eq!(req.n_samples, 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SampleRequest {
+    /// Registered model name.
+    pub model: String,
+    /// Number of independent chains (= response rows) to draw.
+    pub n_samples: usize,
+    /// Full Gibbs steps per chain (the `k` of CD-k; ≥ 1).
+    pub gibbs_steps: usize,
+    /// Initial visible levels in `[0, 1]` shared by every chain (data to
+    /// reconstruct / denoise / daydream from). `None` starts each chain
+    /// from a random visible state drawn from its own stream — a
+    /// free-running model sample.
+    pub clamp: Option<Array1<f64>>,
+    /// Master seed of the request's chain streams. `None` lets the
+    /// executing shard draw one from its own deterministic lane (the
+    /// response is then reproducible per shard sequence, not globally).
+    pub seed: Option<u64>,
+}
+
+impl SampleRequest {
+    /// One free-running single-sample request for `model` (1 chain,
+    /// 1 Gibbs step, no clamp, shard-lane seeding).
+    pub fn new(model: impl Into<String>) -> Self {
+        SampleRequest {
+            model: model.into(),
+            n_samples: 1,
+            gibbs_steps: 1,
+            clamp: None,
+            seed: None,
+        }
+    }
+
+    /// Returns a copy requesting `n` samples.
+    #[must_use]
+    pub fn with_samples(mut self, n: usize) -> Self {
+        self.n_samples = n;
+        self
+    }
+
+    /// Returns a copy taking `k` Gibbs steps per chain.
+    #[must_use]
+    pub fn with_gibbs_steps(mut self, k: usize) -> Self {
+        self.gibbs_steps = k;
+        self
+    }
+
+    /// Returns a copy with every chain starting from `levels`.
+    #[must_use]
+    pub fn with_clamp(mut self, levels: Array1<f64>) -> Self {
+        self.clamp = Some(levels);
+        self
+    }
+
+    /// Returns a copy with a fixed master seed (full reproducibility).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+}
+
+/// The samples drawn for one [`SampleRequest`], plus execution metadata.
+#[derive(Debug, Clone)]
+pub struct SampleResponse {
+    /// One final visible configuration per requested chain
+    /// (`n_samples × visible_len`).
+    pub samples: Array2<f64>,
+    /// Hardware-event delta of the coalesced execution this request rode
+    /// in (the *whole group's* events — prorate by
+    /// `samples.nrows() / coalesced_rows` for a per-request estimate).
+    pub counters: HardwareCounters,
+    /// Index of the worker shard that executed the request.
+    pub shard: usize,
+    /// Version of the model the samples were drawn from.
+    pub model_version: u64,
+    /// Total rows of the coalesced batch this request was executed in
+    /// (≥ `samples.nrows()`; equal when the request ran alone).
+    pub coalesced_rows: usize,
+}
+
+/// A request to run CD-k training epochs on a registered model.
+///
+/// The executing shard snapshots the model from the registry, trains it
+/// through its own substrate replica
+/// (`CdTrainer::train_with`), and publishes the result back as a new
+/// model version — subsequent sample requests (on any shard) see the
+/// updated weights.
+#[derive(Debug, Clone)]
+pub struct TrainRequest {
+    /// Registered model name.
+    pub model: String,
+    /// Training data, rows = samples (`rows × visible_len`).
+    pub data: Array2<f64>,
+    /// The CD-k trainer to run (k, learning rate, momentum, decay).
+    pub trainer: CdTrainer,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Seed of the training RNG. `None` lets the shard draw one from its
+    /// lane.
+    pub seed: Option<u64>,
+}
+
+impl TrainRequest {
+    /// One CD-1 epoch over `data` with learning rate 0.05 and batch 10.
+    pub fn new(model: impl Into<String>, data: Array2<f64>) -> Self {
+        TrainRequest {
+            model: model.into(),
+            data,
+            trainer: CdTrainer::new(1, 0.05),
+            batch_size: 10,
+            epochs: 1,
+            seed: None,
+        }
+    }
+
+    /// Returns a copy using the given trainer.
+    #[must_use]
+    pub fn with_trainer(mut self, trainer: CdTrainer) -> Self {
+        self.trainer = trainer;
+        self
+    }
+
+    /// Returns a copy with the given minibatch size.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Returns a copy running `epochs` epochs.
+    #[must_use]
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Returns a copy with a fixed training seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+}
+
+/// The outcome of one [`TrainRequest`].
+#[derive(Debug, Clone)]
+pub struct TrainResponse {
+    /// Final epoch's statistics.
+    pub stats: EpochStats,
+    /// Model version the trained parameters were published under.
+    pub new_version: u64,
+    /// Index of the worker shard that trained.
+    pub shard: usize,
+    /// Hardware-event delta of the training run on the shard's replica.
+    pub counters: HardwareCounters,
+}
+
+/// Errors surfaced by the serving API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The named model is not in the registry.
+    ModelNotFound(String),
+    /// A model is already registered under this name.
+    ModelExists(String),
+    /// The request failed validation (reason inside).
+    InvalidRequest(String),
+    /// A training run raced another publish on the same model: the
+    /// trained parameters were derived from `base_version` but the
+    /// registry already holds `current_version`, so publishing them
+    /// would silently discard the other update. Re-submit to train from
+    /// the current snapshot.
+    TrainConflict {
+        /// The contended model.
+        model: String,
+        /// The version this training run started from.
+        base_version: u64,
+        /// The version found at publish time.
+        current_version: u64,
+    },
+    /// The bounded request queue is at capacity; the request was
+    /// **rejected, not blocked** — retry later or shed load.
+    QueueFull,
+    /// The service has been shut down.
+    ServiceClosed,
+    /// The executing shard disappeared before answering (service dropped
+    /// mid-flight).
+    Disconnected,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ModelNotFound(name) => write!(f, "model `{name}` is not registered"),
+            ServeError::ModelExists(name) => {
+                write!(f, "model `{name}` is already registered")
+            }
+            ServeError::InvalidRequest(reason) => write!(f, "invalid request: {reason}"),
+            ServeError::TrainConflict {
+                model,
+                base_version,
+                current_version,
+            } => write!(
+                f,
+                "training on `{model}` raced another publish (trained from v{base_version}, \
+                 registry is at v{current_version}); re-submit to train from the current snapshot"
+            ),
+            ServeError::QueueFull => write!(f, "request queue is full (backpressure)"),
+            ServeError::ServiceClosed => write!(f, "service is shut down"),
+            ServeError::Disconnected => write!(f, "serving shard disconnected"),
+        }
+    }
+}
+
+impl Error for ServeError {}

@@ -1,0 +1,912 @@
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ember_rbm::{Rbm, RngStreams};
+use ember_substrate::{HardwareCounters, ReplicableSubstrate};
+
+use crate::batch::{self, ChainRequest};
+use crate::{
+    ModelRegistry, SampleRequest, SampleResponse, ServeError, TrainRequest, TrainResponse,
+};
+
+/// Builder for [`SamplingService`] (see there for the architecture).
+///
+/// Defaults: 2 shards, a 1024-row queue, coalescing on with batches of
+/// up to 64 rows, master seed `0x5EED`.
+#[derive(Debug, Clone)]
+pub struct ServiceBuilder {
+    shards: usize,
+    queue_rows: usize,
+    max_coalesce_rows: usize,
+    coalescing: bool,
+    program_retention: bool,
+    master_seed: u64,
+    registry: Option<ModelRegistry>,
+}
+
+impl ServiceBuilder {
+    /// Number of worker shards (threads), each owning its own substrate
+    /// replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// Row-weighted capacity of the bounded ingress queue: a sample
+    /// request weighs its `n_samples`, a training request weighs 1.
+    /// Submissions beyond capacity are **rejected** with
+    /// [`ServeError::QueueFull`], never blocked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0`.
+    #[must_use]
+    pub fn queue_rows(mut self, rows: usize) -> Self {
+        assert!(rows >= 1, "queue capacity must be at least one row");
+        self.queue_rows = rows;
+        self
+    }
+
+    /// Upper bound on the rows one coalesced batch may gather.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0`.
+    #[must_use]
+    pub fn max_coalesce_rows(mut self, rows: usize) -> Self {
+        assert!(rows >= 1, "coalesce bound must be at least one row");
+        self.max_coalesce_rows = rows;
+        self
+    }
+
+    /// Enables or disables request coalescing. Disabled, every request
+    /// is executed alone (the request-at-a-time baseline the
+    /// `serve-throughput` bench measures against).
+    #[must_use]
+    pub fn coalescing(mut self, on: bool) -> Self {
+        self.coalescing = on;
+        self
+    }
+
+    /// Treats a replica's programmed weights as retained across jobs.
+    ///
+    /// By default the service assumes **no retention**: analog coupling
+    /// weights live on leaky gate charges, so every job re-programs its
+    /// replica — the paper's §3.2 accounting, where each minibatch pays
+    /// the `m·n + m + n` programming words. Coalescing exists precisely
+    /// to amortize that per-job cost over many requests. Enabling
+    /// retention models an idealized substrate that re-programs only
+    /// when the registry version moved; the sampled bits are identical
+    /// either way (programming is deterministic).
+    #[must_use]
+    pub fn program_retention(mut self, retained: bool) -> Self {
+        self.program_retention = retained;
+        self
+    }
+
+    /// Master seed of the per-shard [`RngStreams`] lanes (used to seed
+    /// requests submitted without an explicit seed).
+    #[must_use]
+    pub fn master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Serves models from an existing registry handle instead of a fresh
+    /// one.
+    #[must_use]
+    pub fn registry(mut self, registry: ModelRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Starts the worker shards and returns the running service.
+    pub fn build(self) -> SamplingService {
+        let registry = self.registry.unwrap_or_default();
+        let core = Arc::new(Core {
+            state: Mutex::new(QueueState {
+                open: true,
+                queued_rows: 0,
+                queue: VecDeque::new(),
+                controls: (0..self.shards).map(|_| Vec::new()).collect(),
+            }),
+            cv: Condvar::new(),
+            stats: Mutex::new(StatsInner {
+                shards: vec![ShardStats::default(); self.shards],
+                models: BTreeMap::new(),
+                rejected: 0,
+            }),
+            queue_rows: self.queue_rows,
+            max_coalesce_rows: self.max_coalesce_rows,
+            coalescing: self.coalescing,
+            program_retention: self.program_retention,
+        });
+        let streams = RngStreams::new(self.master_seed);
+        let workers = (0..self.shards)
+            .map(|shard| {
+                let core = Arc::clone(&core);
+                let registry = registry.clone();
+                let lane = streams.subfamily(shard as u64);
+                std::thread::Builder::new()
+                    .name(format!("ember-serve-shard-{shard}"))
+                    .spawn(move || run_shard(&core, &registry, shard, lane))
+                    .expect("spawn serving shard")
+            })
+            .collect();
+        SamplingService {
+            core,
+            registry,
+            workers,
+        }
+    }
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> Self {
+        ServiceBuilder {
+            shards: 2,
+            queue_rows: 1024,
+            max_coalesce_rows: 64,
+            coalescing: true,
+            program_retention: false,
+            master_seed: 0x5EED,
+            registry: None,
+        }
+    }
+}
+
+/// The in-flight side of a submitted request: await the response with
+/// [`ResponseHandle::wait`].
+#[derive(Debug)]
+pub struct ResponseHandle<T> {
+    rx: mpsc::Receiver<Result<T, ServeError>>,
+}
+
+impl<T> ResponseHandle<T> {
+    /// Blocks until the executing shard answers.
+    pub fn wait(self) -> Result<T, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
+    }
+
+    /// Non-blocking poll: `None` while the request is still queued or
+    /// executing.
+    pub fn try_wait(&self) -> Option<Result<T, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Disconnected)),
+        }
+    }
+}
+
+/// Sampling-as-a-service over the [`Substrate`](ember_substrate::Substrate)
+/// seam: a pool of worker shards serving named, versioned models to many
+/// concurrent clients.
+///
+/// # Architecture
+///
+/// * A [`ModelRegistry`] holds the named, versioned [`Rbm`]s.
+/// * [`SamplingService::register_model`] fabricates nothing itself: the
+///   caller provides a **prototype substrate** (see
+///   `ember_core::SubstrateSpec`), which is cloned into every shard via
+///   [`ReplicableSubstrate::clone_boxed`] — all shards realize the same
+///   physical machine, heterogeneous backends coexist per model.
+/// * Requests enter a **bounded, row-weighted queue** (backpressure:
+///   [`ServeError::QueueFull`] instead of blocking) and are answered
+///   through per-request `mpsc` channels.
+/// * An idle shard pops the queue head and **coalesces** every other
+///   pending sample request with the same `(model, gibbs_steps)` key
+///   into one batched kernel call
+///   ([`batch::sample_rows`]) — the serving-side analogue of the paper's
+///   per-minibatch §3.2 operation list: program once, quantize once,
+///   whole-batch conditional samples, scatter rows back to callers.
+///   Chains carry per-row RNG streams, so coalescing, sharding, and
+///   scheduling are invisible in the sampled bits.
+/// * Programming is paid **per coalesced group**, not per request: the
+///   default volatile-weights model re-programs a replica for every job
+///   (the paper's per-minibatch `m·n + m + n` word accounting — what
+///   coalescing amortizes); [`ServiceBuilder::program_retention`]
+///   switches to an idealized retained-weights substrate that
+///   re-programs only when the registry version moves.
+/// * [`TrainRequest`]s run CD-k on the shard's replica and publish the
+///   update back to the registry as a new version.
+///
+/// Dropping the service closes the queue, drains the remaining work, and
+/// joins the shards.
+///
+/// # Example
+///
+/// ```
+/// use ember_serve::{SamplingService, SampleRequest};
+/// use ember_core::{GsConfig, SubstrateSpec};
+/// use ember_rbm::Rbm;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let rbm = Rbm::random(6, 3, 0.5, &mut rng);
+/// let proto = SubstrateSpec::software(GsConfig::default()).fabricate_for(&rbm, &mut rng);
+/// let service = SamplingService::builder().shards(2).build();
+/// service.register_model("demo", rbm, proto).unwrap();
+/// let resp = service
+///     .sample(SampleRequest::new("demo").with_samples(4).with_seed(1))
+///     .unwrap();
+/// assert_eq!(resp.samples.dim(), (4, 6));
+/// ```
+#[derive(Debug)]
+pub struct SamplingService {
+    core: Arc<Core>,
+    registry: ModelRegistry,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SamplingService {
+    /// A builder with serving defaults.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::default()
+    }
+
+    /// The registry handle this service serves from.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Registers `rbm` under `name` (version 1) and provisions every
+    /// shard with a replica of `prototype`.
+    ///
+    /// The prototype must be fabricated at the model's size; fabricate
+    /// it once (e.g. via `ember_core::SubstrateSpec::fabricate_for`) so
+    /// all replicas share one fabricated identity.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidRequest`] on size mismatch,
+    /// [`ServeError::ModelExists`] on a duplicate name,
+    /// [`ServeError::ServiceClosed`] after shutdown.
+    pub fn register_model(
+        &self,
+        name: impl Into<String>,
+        rbm: Rbm,
+        prototype: Box<dyn ReplicableSubstrate>,
+    ) -> Result<u64, ServeError> {
+        let name = name.into();
+        if prototype.visible_len() != rbm.visible_len()
+            || prototype.hidden_len() != rbm.hidden_len()
+        {
+            return Err(ServeError::InvalidRequest(format!(
+                "prototype is {}x{}, model `{name}` is {}x{}",
+                prototype.visible_len(),
+                prototype.hidden_len(),
+                rbm.visible_len(),
+                rbm.hidden_len(),
+            )));
+        }
+        // Deep-copying a replica per shard is expensive (weights +
+        // variation maps); do it before taking the service lock.
+        let replicas = self.clone_per_shard(prototype);
+        let mut st = self.core.state.lock().expect("service lock");
+        if !st.open {
+            return Err(ServeError::ServiceClosed);
+        }
+        let version = self.registry.register(name.clone(), rbm)?;
+        Self::broadcast_replicas(&mut st, name, replicas);
+        drop(st);
+        self.core.cv.notify_all();
+        Ok(version)
+    }
+
+    /// Provisions every shard with a replica of `prototype` for a model
+    /// that is **already in the registry** — the path for serving a
+    /// registry shared with another service
+    /// ([`ServiceBuilder::registry`]), whose pre-existing entries this
+    /// service has no replicas for. [`SamplingService::register_model`]
+    /// is `ModelRegistry::register` + this.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ModelNotFound`] for an unregistered name,
+    /// [`ServeError::InvalidRequest`] on size mismatch,
+    /// [`ServeError::ServiceClosed`] after shutdown.
+    pub fn provision_model(
+        &self,
+        name: impl Into<String>,
+        prototype: Box<dyn ReplicableSubstrate>,
+    ) -> Result<(), ServeError> {
+        let name = name.into();
+        let snapshot = self
+            .registry
+            .get(&name)
+            .ok_or_else(|| ServeError::ModelNotFound(name.clone()))?;
+        if prototype.visible_len() != snapshot.rbm.visible_len()
+            || prototype.hidden_len() != snapshot.rbm.hidden_len()
+        {
+            return Err(ServeError::InvalidRequest(format!(
+                "prototype is {}x{}, model `{name}` is {}x{}",
+                prototype.visible_len(),
+                prototype.hidden_len(),
+                snapshot.rbm.visible_len(),
+                snapshot.rbm.hidden_len(),
+            )));
+        }
+        let replicas = self.clone_per_shard(prototype);
+        let mut st = self.core.state.lock().expect("service lock");
+        if !st.open {
+            return Err(ServeError::ServiceClosed);
+        }
+        Self::broadcast_replicas(&mut st, name, replicas);
+        drop(st);
+        self.core.cv.notify_all();
+        Ok(())
+    }
+
+    /// One replica per shard, cloned from `prototype` (which becomes the
+    /// last shard's replica). Runs outside any lock — the deep copies
+    /// depend on nothing but the prototype.
+    fn clone_per_shard(
+        &self,
+        prototype: Box<dyn ReplicableSubstrate>,
+    ) -> Vec<Box<dyn ReplicableSubstrate>> {
+        let mut replicas: Vec<Box<dyn ReplicableSubstrate>> = (1..self.workers.len())
+            .map(|_| prototype.clone_boxed())
+            .collect();
+        replicas.push(prototype);
+        replicas
+    }
+
+    /// Pushes an `AddModel` control (with its pre-cloned replica) into
+    /// every shard inbox, under the queue lock so no shard can see a
+    /// request for the model before its replica.
+    fn broadcast_replicas(
+        st: &mut QueueState,
+        name: String,
+        replicas: Vec<Box<dyn ReplicableSubstrate>>,
+    ) {
+        debug_assert_eq!(replicas.len(), st.controls.len());
+        for (shard, replica) in replicas.into_iter().enumerate() {
+            st.controls[shard].push(Control::AddModel {
+                name: name.clone(),
+                replica,
+            });
+        }
+    }
+
+    /// Submits a sample request; returns immediately with a handle.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors ([`ServeError::ModelNotFound`],
+    /// [`ServeError::InvalidRequest`]), [`ServeError::QueueFull`] under
+    /// backpressure, [`ServeError::ServiceClosed`] after shutdown.
+    pub fn submit(
+        &self,
+        request: SampleRequest,
+    ) -> Result<ResponseHandle<SampleResponse>, ServeError> {
+        let snapshot = self
+            .registry
+            .get(&request.model)
+            .ok_or_else(|| ServeError::ModelNotFound(request.model.clone()))?;
+        if request.n_samples == 0 {
+            return Err(ServeError::InvalidRequest("n_samples must be ≥ 1".into()));
+        }
+        if request.gibbs_steps == 0 {
+            return Err(ServeError::InvalidRequest("gibbs_steps must be ≥ 1".into()));
+        }
+        if let Some(clamp) = &request.clamp {
+            if clamp.len() != snapshot.rbm.visible_len() {
+                return Err(ServeError::InvalidRequest(format!(
+                    "clamp has {} levels, model `{}` has {} visible units",
+                    clamp.len(),
+                    request.model,
+                    snapshot.rbm.visible_len(),
+                )));
+            }
+            if clamp.iter().any(|&x| !(0.0..=1.0).contains(&x)) {
+                return Err(ServeError::InvalidRequest(
+                    "clamp levels must lie in [0, 1]".into(),
+                ));
+            }
+        }
+        let weight = request.n_samples;
+        let (tx, rx) = mpsc::channel();
+        self.enqueue(weight, Queued::Sample(QueuedSample { request, reply: tx }))?;
+        Ok(ResponseHandle { rx })
+    }
+
+    /// Convenience: [`SamplingService::submit`] + wait.
+    pub fn sample(&self, request: SampleRequest) -> Result<SampleResponse, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Submits a training request; returns immediately with a handle.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`SamplingService::submit`].
+    pub fn submit_train(
+        &self,
+        request: TrainRequest,
+    ) -> Result<ResponseHandle<TrainResponse>, ServeError> {
+        let snapshot = self
+            .registry
+            .get(&request.model)
+            .ok_or_else(|| ServeError::ModelNotFound(request.model.clone()))?;
+        if request.data.ncols() != snapshot.rbm.visible_len() {
+            return Err(ServeError::InvalidRequest(format!(
+                "training data has {} columns, model `{}` has {} visible units",
+                request.data.ncols(),
+                request.model,
+                snapshot.rbm.visible_len(),
+            )));
+        }
+        if request.data.nrows() == 0 || request.batch_size == 0 || request.epochs == 0 {
+            return Err(ServeError::InvalidRequest(
+                "training needs data rows, batch_size ≥ 1 and epochs ≥ 1".into(),
+            ));
+        }
+        let (tx, rx) = mpsc::channel();
+        self.enqueue(1, Queued::Train(QueuedTrain { request, reply: tx }))?;
+        Ok(ResponseHandle { rx })
+    }
+
+    /// Convenience: [`SamplingService::submit_train`] + wait.
+    pub fn train(&self, request: TrainRequest) -> Result<TrainResponse, ServeError> {
+        self.submit_train(request)?.wait()
+    }
+
+    /// A consistent snapshot of the service's accounting.
+    pub fn stats(&self) -> ServiceStats {
+        let inner = self.core.stats.lock().expect("stats lock");
+        ServiceStats {
+            shards: inner.shards.clone(),
+            models: inner.models.clone(),
+            rejected: inner.rejected,
+        }
+    }
+
+    fn enqueue(&self, weight: usize, item: Queued) -> Result<(), ServeError> {
+        let weight = weight.max(1);
+        if weight > self.core.queue_rows {
+            // Heavier than the whole queue: no amount of retrying will
+            // ever get this accepted, so it is a validation error, not
+            // transient backpressure.
+            return Err(ServeError::InvalidRequest(format!(
+                "request weighs {weight} rows but the queue holds at most {}; \
+                 split it or raise `ServiceBuilder::queue_rows`",
+                self.core.queue_rows,
+            )));
+        }
+        let mut st = self.core.state.lock().expect("service lock");
+        if !st.open {
+            return Err(ServeError::ServiceClosed);
+        }
+        if st.queued_rows + weight > self.core.queue_rows {
+            drop(st);
+            self.core.stats.lock().expect("stats lock").rejected += 1;
+            return Err(ServeError::QueueFull);
+        }
+        st.queued_rows += weight;
+        st.queue.push_back(item);
+        drop(st);
+        self.core.cv.notify_all();
+        Ok(())
+    }
+}
+
+impl Drop for SamplingService {
+    /// Graceful shutdown: close the queue (new submissions fail), let
+    /// the shards drain what is already queued, join them.
+    fn drop(&mut self) {
+        {
+            let mut st = self.core.state.lock().expect("service lock");
+            st.open = false;
+        }
+        self.core.cv.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Per-shard accounting (one entry per worker in
+/// [`ServiceStats::shards`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Sample requests answered.
+    pub sample_requests: u64,
+    /// Chain rows sampled.
+    pub rows: u64,
+    /// Batched kernel executions (coalesced groups).
+    pub batches: u64,
+    /// Rows of the largest coalesced batch executed.
+    pub largest_batch: u64,
+    /// Training requests executed.
+    pub train_requests: u64,
+    /// Hardware events of this shard's replicas.
+    pub counters: HardwareCounters,
+}
+
+/// Per-model accounting (keyed by model name in
+/// [`ServiceStats::models`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Sample requests answered for this model.
+    pub sample_requests: u64,
+    /// Chain rows sampled from this model.
+    pub rows: u64,
+    /// Training requests executed on this model.
+    pub train_requests: u64,
+    /// Hardware events spent serving this model, summed over shards.
+    pub counters: HardwareCounters,
+}
+
+/// A snapshot of the service's per-shard and per-model accounting.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// One entry per worker shard.
+    pub shards: Vec<ShardStats>,
+    /// Aggregates per model name.
+    pub models: BTreeMap<String, ModelStats>,
+    /// Requests rejected by backpressure ([`ServeError::QueueFull`]).
+    pub rejected: u64,
+}
+
+impl ServiceStats {
+    /// Total chain rows sampled across shards.
+    pub fn total_rows(&self) -> u64 {
+        self.shards.iter().map(|s| s.rows).sum()
+    }
+
+    /// Total batched kernel executions across shards.
+    pub fn total_batches(&self) -> u64 {
+        self.shards.iter().map(|s| s.batches).sum()
+    }
+
+    /// Mean rows per batched execution — the realized coalescing factor
+    /// (1.0 means every request ran alone).
+    pub fn mean_coalesced_rows(&self) -> f64 {
+        let batches = self.total_batches();
+        if batches == 0 {
+            0.0
+        } else {
+            self.total_rows() as f64 / batches as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Internals: the shared queue and the shard workers.
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Core {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    stats: Mutex<StatsInner>,
+    queue_rows: usize,
+    max_coalesce_rows: usize,
+    coalescing: bool,
+    program_retention: bool,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    open: bool,
+    queued_rows: usize,
+    queue: VecDeque<Queued>,
+    /// Per-shard control inboxes (model provisioning), drained by a
+    /// shard before it takes new work.
+    controls: Vec<Vec<Control>>,
+}
+
+enum Control {
+    AddModel {
+        name: String,
+        replica: Box<dyn ReplicableSubstrate>,
+    },
+}
+
+impl std::fmt::Debug for Control {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Control::AddModel { name, replica } => f
+                .debug_struct("AddModel")
+                .field("name", name)
+                .field("backend", &replica.name())
+                .finish(),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Queued {
+    Sample(QueuedSample),
+    Train(QueuedTrain),
+}
+
+#[derive(Debug)]
+struct QueuedSample {
+    request: SampleRequest,
+    reply: mpsc::Sender<Result<SampleResponse, ServeError>>,
+}
+
+#[derive(Debug)]
+struct QueuedTrain {
+    request: TrainRequest,
+    reply: mpsc::Sender<Result<TrainResponse, ServeError>>,
+}
+
+#[derive(Debug)]
+struct StatsInner {
+    shards: Vec<ShardStats>,
+    models: BTreeMap<String, ModelStats>,
+    rejected: u64,
+}
+
+enum Work {
+    Controls(Vec<Control>),
+    Sample(Vec<QueuedSample>),
+    Train(QueuedTrain),
+    Exit,
+}
+
+/// One provisioned model replica on a shard. `programmed_version` only
+/// carries meaning when program retention is enabled; without it the
+/// replica's analog weights are treated as volatile and every job
+/// re-programs (`None` always forces reprogramming).
+struct Replica {
+    substrate: Box<dyn ReplicableSubstrate>,
+    programmed_version: Option<u64>,
+}
+
+/// Blocks until this shard has work: control messages first, then the
+/// queue head — coalesced with every pending same-`(model, gibbs_steps)`
+/// sample request up to the row bound — then shutdown once the queue is
+/// drained.
+fn next_work(core: &Core, shard: usize) -> Work {
+    let mut st = core.state.lock().expect("service lock");
+    loop {
+        if !st.controls[shard].is_empty() {
+            return Work::Controls(std::mem::take(&mut st.controls[shard]));
+        }
+        match st.queue.pop_front() {
+            Some(Queued::Train(train)) => {
+                st.queued_rows -= 1;
+                return Work::Train(train);
+            }
+            Some(Queued::Sample(first)) => {
+                st.queued_rows -= first.request.n_samples.max(1);
+                let mut members = vec![first];
+                if core.coalescing {
+                    // One forward pass over the queue (O(n), done while
+                    // holding the service lock): take every same-key
+                    // sample request up to the row bound, keep the rest
+                    // in order.
+                    let mut rows = members[0].request.n_samples.max(1);
+                    let key_model = members[0].request.model.clone();
+                    let key_steps = members[0].request.gibbs_steps;
+                    let mut kept = VecDeque::with_capacity(st.queue.len());
+                    while let Some(item) = st.queue.pop_front() {
+                        match item {
+                            Queued::Sample(s)
+                                if rows < core.max_coalesce_rows
+                                    && s.request.model == key_model
+                                    && s.request.gibbs_steps == key_steps
+                                    && rows + s.request.n_samples.max(1)
+                                        <= core.max_coalesce_rows =>
+                            {
+                                let weight = s.request.n_samples.max(1);
+                                st.queued_rows -= weight;
+                                rows += weight;
+                                members.push(s);
+                            }
+                            other => kept.push_back(other),
+                        }
+                    }
+                    st.queue = kept;
+                }
+                return Work::Sample(members);
+            }
+            None => {
+                if !st.open {
+                    return Work::Exit;
+                }
+                st = core.cv.wait(st).expect("service lock");
+            }
+        }
+    }
+}
+
+/// The shard worker: drains controls, serves coalesced sample groups and
+/// training jobs until shutdown. `lane` is this shard's deterministic
+/// RNG-stream family, consumed (one stream per event) to seed requests
+/// submitted without an explicit seed.
+fn run_shard(core: &Core, registry: &ModelRegistry, shard: usize, lane: RngStreams) {
+    let mut replicas: HashMap<String, Replica> = HashMap::new();
+    let mut lane_next: u64 = 0;
+    let mut lane_seed = move || {
+        let seed = lane.seed(lane_next);
+        lane_next += 1;
+        seed
+    };
+    loop {
+        match next_work(core, shard) {
+            Work::Exit => return,
+            Work::Controls(controls) => {
+                for Control::AddModel { name, replica } in controls {
+                    replicas.insert(
+                        name,
+                        Replica {
+                            substrate: replica,
+                            programmed_version: None,
+                        },
+                    );
+                }
+            }
+            Work::Sample(members) => {
+                serve_sample_group(
+                    core,
+                    registry,
+                    shard,
+                    &mut replicas,
+                    members,
+                    &mut lane_seed,
+                );
+            }
+            Work::Train(train) => {
+                serve_train(core, registry, shard, &mut replicas, train, &mut lane_seed);
+            }
+        }
+    }
+}
+
+/// Executes one coalesced group: program-if-stale, one batched kernel
+/// run, scatter the rows back to the member requests.
+fn serve_sample_group(
+    core: &Core,
+    registry: &ModelRegistry,
+    shard: usize,
+    replicas: &mut HashMap<String, Replica>,
+    members: Vec<QueuedSample>,
+    lane_seed: &mut impl FnMut() -> u64,
+) {
+    let model = members[0].request.model.clone();
+    let gibbs_steps = members[0].request.gibbs_steps;
+    let (Some(snapshot), Some(replica)) = (registry.get(&model), replicas.get_mut(&model)) else {
+        // Registration is atomic (registry + provisioning under one
+        // lock), so this means the model vanished mid-flight.
+        for member in members {
+            let _ = member
+                .reply
+                .send(Err(ServeError::ModelNotFound(model.clone())));
+        }
+        return;
+    };
+
+    // §3.2 steps 1–2, once per coalesced group: volatile analog weights
+    // are re-programmed for every job unless retention is enabled and
+    // the registry version has not moved.
+    if replica.programmed_version != Some(snapshot.version) {
+        replica.substrate.program(
+            &snapshot.rbm.weights().view(),
+            &snapshot.rbm.visible_bias().view(),
+            &snapshot.rbm.hidden_bias().view(),
+        );
+        replica.programmed_version = core.program_retention.then_some(snapshot.version);
+    }
+
+    // Expand members to chain rows; remember each member's row range.
+    let mut rows: Vec<ChainRequest> = Vec::new();
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(members.len());
+    for member in &members {
+        let master_seed = member.request.seed.unwrap_or_else(&mut *lane_seed);
+        let start = rows.len();
+        rows.extend(batch::expand_request(&member.request, master_seed));
+        ranges.push((start, rows.len()));
+    }
+
+    let before = *replica.substrate.counters();
+    let samples = batch::sample_rows(&mut *replica.substrate, &rows, gibbs_steps);
+    let delta = replica.substrate.counters().delta_since(&before);
+
+    // Account first, reply second: once a caller holds its response,
+    // `SamplingService::stats` already reflects the work it paid for.
+    {
+        let mut stats = core.stats.lock().expect("stats lock");
+        let shard_stats = &mut stats.shards[shard];
+        shard_stats.sample_requests += members.len() as u64;
+        shard_stats.rows += rows.len() as u64;
+        shard_stats.batches += 1;
+        shard_stats.largest_batch = shard_stats.largest_batch.max(rows.len() as u64);
+        shard_stats.counters.merge(&delta);
+        let model_stats = stats.models.entry(model).or_default();
+        model_stats.sample_requests += members.len() as u64;
+        model_stats.rows += rows.len() as u64;
+        model_stats.counters.merge(&delta);
+    }
+
+    // Scatter rows back to the callers: each member's rows are a
+    // contiguous range of the group result.
+    for (member, (start, end)) in members.iter().zip(&ranges) {
+        let own = samples.slice(ndarray::s![*start..*end, ..]).to_owned();
+        let _ = member.reply.send(Ok(SampleResponse {
+            samples: own,
+            counters: delta,
+            shard,
+            model_version: snapshot.version,
+            coalesced_rows: rows.len(),
+        }));
+    }
+}
+
+/// Executes one training job on this shard's replica and publishes the
+/// updated parameters as a new model version.
+fn serve_train(
+    core: &Core,
+    registry: &ModelRegistry,
+    shard: usize,
+    replicas: &mut HashMap<String, Replica>,
+    train: QueuedTrain,
+    lane_seed: &mut impl FnMut() -> u64,
+) {
+    let QueuedTrain { request, reply } = train;
+    let (Some(snapshot), Some(replica)) = (
+        registry.get(&request.model),
+        replicas.get_mut(&request.model),
+    ) else {
+        let _ = reply.send(Err(ServeError::ModelNotFound(request.model.clone())));
+        return;
+    };
+
+    let mut rbm = (*snapshot.rbm).clone();
+    let mut rng = StdRng::seed_from_u64(request.seed.unwrap_or_else(&mut *lane_seed));
+    let before = *replica.substrate.counters();
+    let stats = request.trainer.train_with(
+        &mut rbm,
+        &request.data,
+        request.batch_size,
+        &mut *replica.substrate,
+        request.epochs,
+        &mut rng,
+    );
+    let delta = replica.substrate.counters().delta_since(&before);
+    // The replica now holds the last *mid-training* programming; force a
+    // reprogram from the published version before the next sample group.
+    replica.programmed_version = None;
+
+    // Compare-and-swap publish: if another shard published meanwhile
+    // (concurrent training on the same model), fail with TrainConflict
+    // instead of silently discarding that update — the caller re-trains
+    // from the current snapshot.
+    let result = registry
+        .publish_if(&request.model, rbm, snapshot.version)
+        .map(|new_version| TrainResponse {
+            stats,
+            new_version,
+            shard,
+            counters: delta,
+        });
+
+    {
+        let mut service_stats = core.stats.lock().expect("stats lock");
+        service_stats.shards[shard].train_requests += 1;
+        service_stats.shards[shard].counters.merge(&delta);
+        let model_stats = service_stats.models.entry(request.model).or_default();
+        model_stats.train_requests += 1;
+        model_stats.counters.merge(&delta);
+    }
+    let _ = reply.send(result);
+}

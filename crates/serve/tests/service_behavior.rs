@@ -1,0 +1,312 @@
+//! Service-level behavior: bounded-queue backpressure (reject, never
+//! deadlock), coalescing under load, training-through-the-service with
+//! version publication, and validation errors.
+
+use ember_core::{GsConfig, SubstrateSpec};
+use ember_rbm::{CdTrainer, Rbm};
+use ember_serve::{SampleRequest, SamplingService, ServeError, TrainRequest};
+use ndarray::Array2;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixture(m: usize, n: usize) -> (Rbm, Box<dyn ember_substrate::ReplicableSubstrate>) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let rbm = Rbm::random(m, n, 0.3, &mut rng);
+    let proto = SubstrateSpec::software(GsConfig::default()).fabricate(m, n, &mut rng);
+    (rbm, proto)
+}
+
+/// A request slow enough (many steps on a mid-size model) to pin a shard
+/// while the test manipulates the queue behind it.
+fn slow_request(seed: u64) -> SampleRequest {
+    SampleRequest::new("m")
+        .with_gibbs_steps(400)
+        .with_seed(seed)
+}
+
+#[test]
+fn bounded_queue_rejects_rather_than_deadlocks_when_full() {
+    let (rbm, proto) = fixture(64, 32);
+    let service = SamplingService::builder().shards(1).queue_rows(2).build();
+    service.register_model("m", rbm, proto).unwrap();
+
+    // Occupy the single shard, then keep submitting until the two-row
+    // queue is at capacity: the next submission must be REJECTED with
+    // QueueFull — not block, not deadlock.
+    let mut handles = vec![service.submit(slow_request(0)).unwrap()];
+    let mut saw_full = false;
+    for i in 1..200 {
+        match service.submit(slow_request(i)) {
+            Ok(handle) => handles.push(handle),
+            Err(ServeError::QueueFull) => {
+                saw_full = true;
+                break;
+            }
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+    assert!(saw_full, "a 2-row queue must fill under a pinned shard");
+    assert!(service.stats().rejected >= 1);
+
+    // No deadlock: every accepted request still completes.
+    for handle in handles {
+        let resp = handle.wait().unwrap();
+        assert_eq!(resp.samples.nrows(), 1);
+    }
+}
+
+#[test]
+fn pending_same_key_requests_coalesce_into_one_batch() {
+    let (rbm, proto) = fixture(64, 32);
+    let service = SamplingService::builder().shards(1).queue_rows(256).build();
+    service.register_model("m", rbm, proto).unwrap();
+
+    // Pin the shard, then queue 16 fast same-key requests: when the
+    // shard frees up it must take them as one coalesced batch.
+    let slow = service.submit(slow_request(1)).unwrap();
+    let fast: Vec<_> = (0..16)
+        .map(|i| {
+            service
+                .submit(
+                    SampleRequest::new("m")
+                        .with_gibbs_steps(1)
+                        .with_seed(100 + i),
+                )
+                .unwrap()
+        })
+        .collect();
+    slow.wait().unwrap();
+    for handle in fast {
+        let resp = handle.wait().unwrap();
+        assert_eq!(resp.coalesced_rows, 16, "all 16 should ride one batch");
+    }
+    let stats = service.stats();
+    assert_eq!(stats.shards[0].largest_batch, 16);
+    assert_eq!(stats.total_batches(), 2); // the slow one + the coalesced one
+    assert!(stats.mean_coalesced_rows() > 8.0);
+}
+
+#[test]
+fn disabling_coalescing_serves_request_at_a_time() {
+    let (rbm, proto) = fixture(32, 16);
+    let service = SamplingService::builder()
+        .shards(1)
+        .coalescing(false)
+        .build();
+    service.register_model("m", rbm, proto).unwrap();
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            service
+                .submit(SampleRequest::new("m").with_seed(i))
+                .unwrap()
+        })
+        .collect();
+    for handle in handles {
+        assert_eq!(handle.wait().unwrap().coalesced_rows, 1);
+    }
+    assert_eq!(service.stats().total_batches(), 8);
+}
+
+#[test]
+fn train_through_service_publishes_a_version_and_matches_direct_training() {
+    let (rbm, proto) = fixture(8, 4);
+    let data = Array2::from_shape_fn((24, 8), |(i, _)| f64::from(i % 2 == 0));
+    let trainer = CdTrainer::new(1, 0.05);
+
+    // Direct reference: same snapshot, replica, seed, entry point.
+    let mut expected = rbm.clone();
+    let mut replica = proto.clone_boxed();
+    let mut rng = StdRng::seed_from_u64(77);
+    let expected_stats = trainer.train_with(&mut expected, &data, 6, &mut *replica, 2, &mut rng);
+
+    let service = SamplingService::builder().shards(2).build();
+    service.register_model("m", rbm, proto).unwrap();
+    let resp = service
+        .train(
+            TrainRequest::new("m", data)
+                .with_trainer(trainer)
+                .with_batch_size(6)
+                .with_epochs(2)
+                .with_seed(77),
+        )
+        .unwrap();
+    assert_eq!(resp.new_version, 2);
+    assert_eq!(resp.stats, expected_stats);
+    assert!(resp.counters.phase_points > 0);
+
+    let snapshot = service.registry().get("m").unwrap();
+    assert_eq!(snapshot.version, 2);
+    assert_eq!(*snapshot.rbm, expected, "published parameters must match");
+
+    // Sampling continues against the new version.
+    let sampled = service
+        .sample(SampleRequest::new("m").with_seed(5))
+        .unwrap();
+    assert_eq!(sampled.model_version, 2);
+    assert_eq!(service.stats().models["m"].train_requests, 1);
+}
+
+#[test]
+fn submit_validates_against_the_registry() {
+    let (rbm, proto) = fixture(6, 3);
+    let service = SamplingService::builder().shards(1).build();
+    service.register_model("m", rbm, proto).unwrap();
+
+    assert!(matches!(
+        service.sample(SampleRequest::new("ghost")),
+        Err(ServeError::ModelNotFound(_))
+    ));
+    assert!(matches!(
+        service.sample(SampleRequest::new("m").with_samples(0)),
+        Err(ServeError::InvalidRequest(_))
+    ));
+    assert!(matches!(
+        service.sample(SampleRequest::new("m").with_gibbs_steps(0)),
+        Err(ServeError::InvalidRequest(_))
+    ));
+    assert!(matches!(
+        service.sample(SampleRequest::new("m").with_clamp(ndarray::Array1::zeros(5))),
+        Err(ServeError::InvalidRequest(_))
+    ));
+    assert!(matches!(
+        service.sample(SampleRequest::new("m").with_clamp(ndarray::Array1::from_elem(6, 1.5))),
+        Err(ServeError::InvalidRequest(_))
+    ));
+    assert!(matches!(
+        service.train(TrainRequest::new("m", Array2::zeros((4, 5)))),
+        Err(ServeError::InvalidRequest(_))
+    ));
+
+    let (other, wrong_proto) = fixture(9, 3);
+    assert!(matches!(
+        service.register_model("n", other, {
+            let (_, p) = fixture(6, 3);
+            p
+        }),
+        Err(ServeError::InvalidRequest(_))
+    ));
+    drop(wrong_proto);
+}
+
+#[test]
+fn oversized_requests_are_invalid_not_backpressure() {
+    // Heavier than the whole queue can ever hold: retrying would never
+    // help, so this must be a validation error, not QueueFull.
+    let (rbm, proto) = fixture(6, 3);
+    let service = SamplingService::builder().shards(1).queue_rows(8).build();
+    service.register_model("m", rbm, proto).unwrap();
+    assert!(matches!(
+        service.submit(SampleRequest::new("m").with_samples(9)),
+        Err(ServeError::InvalidRequest(_))
+    ));
+    // At exactly the capacity it is accepted.
+    let resp = service
+        .sample(SampleRequest::new("m").with_samples(8).with_seed(1))
+        .unwrap();
+    assert_eq!(resp.samples.nrows(), 8);
+    assert_eq!(service.stats().rejected, 0);
+}
+
+#[test]
+fn shared_registry_models_are_served_after_provisioning() {
+    // Service A registers; service B shares the registry and provisions
+    // its own replicas for the pre-existing model.
+    let (rbm, proto) = fixture(6, 3);
+    let a = SamplingService::builder().shards(1).build();
+    a.register_model("m", rbm, proto.clone_boxed()).unwrap();
+
+    let b = SamplingService::builder()
+        .shards(2)
+        .registry(a.registry().clone())
+        .build();
+    // Visible in the registry but not yet provisioned on B's shards:
+    // the executing shard reports the model as unservable.
+    assert!(matches!(
+        b.sample(SampleRequest::new("m").with_seed(3)),
+        Err(ServeError::ModelNotFound(_))
+    ));
+    b.provision_model("m", proto.clone_boxed()).unwrap();
+    let via_b = b.sample(SampleRequest::new("m").with_seed(3)).unwrap();
+    let via_a = a.sample(SampleRequest::new("m").with_seed(3)).unwrap();
+    assert_eq!(via_b.samples, via_a.samples, "same model, same seed");
+
+    // provision_model validates like register_model.
+    assert!(matches!(
+        b.provision_model("ghost", proto.clone_boxed()),
+        Err(ServeError::ModelNotFound(_))
+    ));
+    let (_, wrong) = fixture(9, 3);
+    assert!(matches!(
+        b.provision_model("m", wrong),
+        Err(ServeError::InvalidRequest(_))
+    ));
+}
+
+#[test]
+fn concurrent_training_loses_no_updates() {
+    // Two clients train the same model concurrently on a 2-shard
+    // service: either both land (serialized on one shard) or the loser
+    // gets TrainConflict — never a silent lost update.
+    let (rbm, proto) = fixture(8, 4);
+    let service = SamplingService::builder().shards(2).build();
+    service.register_model("m", rbm, proto).unwrap();
+    let data = Array2::from_shape_fn((16, 8), |(i, _)| f64::from(i % 2 == 0));
+    let h1 = service
+        .submit_train(TrainRequest::new("m", data.clone()).with_seed(1))
+        .unwrap();
+    let h2 = service
+        .submit_train(TrainRequest::new("m", data).with_seed(2))
+        .unwrap();
+    let results = [h1.wait(), h2.wait()];
+    let won = results.iter().filter(|r| r.is_ok()).count();
+    let conflicted = results
+        .iter()
+        .filter(|r| matches!(r, Err(ServeError::TrainConflict { .. })))
+        .count();
+    assert_eq!(won + conflicted, 2, "unexpected failure: {results:?}");
+    assert!(won >= 1, "at least one trainer must land");
+    // The registry version reflects exactly the publishes that landed.
+    assert_eq!(service.registry().get("m").unwrap().version, 1 + won as u64);
+}
+
+#[test]
+fn seedless_requests_are_served_from_the_shard_lane() {
+    let (rbm, proto) = fixture(6, 3);
+    let service = SamplingService::builder().shards(1).build();
+    service.register_model("m", rbm, proto).unwrap();
+    let a = service
+        .sample(SampleRequest::new("m").with_samples(3))
+        .unwrap();
+    let b = service
+        .sample(SampleRequest::new("m").with_samples(3))
+        .unwrap();
+    assert_eq!(a.samples.dim(), (3, 6));
+    // Successive lane seeds differ, so the two draws are (almost surely)
+    // different — the service is not replaying one stream.
+    assert_ne!(a.samples, b.samples);
+}
+
+#[test]
+fn mixed_model_traffic_keeps_per_model_accounting() {
+    let (rbm_a, proto_a) = fixture(6, 3);
+    let (rbm_b, proto_b) = fixture(10, 5);
+    let service = SamplingService::builder().shards(2).build();
+    service.register_model("a", rbm_a, proto_a).unwrap();
+    service.register_model("b", rbm_b, proto_b).unwrap();
+    let handles: Vec<_> = (0..12)
+        .map(|i| {
+            let name = if i % 2 == 0 { "a" } else { "b" };
+            service
+                .submit(SampleRequest::new(name).with_seed(i))
+                .unwrap()
+        })
+        .collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let resp = handle.wait().unwrap();
+        assert_eq!(resp.samples.ncols(), if i % 2 == 0 { 6 } else { 10 });
+    }
+    let stats = service.stats();
+    assert_eq!(stats.models["a"].sample_requests, 6);
+    assert_eq!(stats.models["b"].sample_requests, 6);
+    assert_eq!(stats.total_rows(), 12);
+}

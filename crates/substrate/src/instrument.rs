@@ -30,6 +30,47 @@ impl HardwareCounters {
         Self::default()
     }
 
+    /// The events accumulated since `earlier` (an older snapshot of this
+    /// same counter set): field-wise `self − earlier`. The serving layer
+    /// uses this to attribute one coalesced execution's hardware events
+    /// to the responses it scatters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field of `earlier` exceeds the corresponding field
+    /// of `self` (i.e. `earlier` is not an earlier snapshot).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &HardwareCounters) -> HardwareCounters {
+        let sub = |now: u64, then: u64, what: &str| {
+            now.checked_sub(then)
+                .unwrap_or_else(|| panic!("`{what}` went backwards: {now} < {then}"))
+        };
+        HardwareCounters {
+            positive_samples: sub(
+                self.positive_samples,
+                earlier.positive_samples,
+                "positive_samples",
+            ),
+            negative_samples: sub(
+                self.negative_samples,
+                earlier.negative_samples,
+                "negative_samples",
+            ),
+            phase_points: sub(self.phase_points, earlier.phase_points, "phase_points"),
+            weight_update_events: sub(
+                self.weight_update_events,
+                earlier.weight_update_events,
+                "weight_update_events",
+            ),
+            host_words_transferred: sub(
+                self.host_words_transferred,
+                earlier.host_words_transferred,
+                "host_words_transferred",
+            ),
+            host_mac_ops: sub(self.host_mac_ops, earlier.host_mac_ops, "host_mac_ops"),
+        }
+    }
+
     /// Merges another counter set into this one (used when sharding
     /// training across machines in sweeps).
     pub fn merge(&mut self, other: &HardwareCounters) {
@@ -60,6 +101,37 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.positive_samples, 2);
         assert_eq!(a.host_mac_ops, 12);
+    }
+
+    #[test]
+    fn delta_since_inverts_merge() {
+        let earlier = HardwareCounters {
+            positive_samples: 1,
+            negative_samples: 2,
+            phase_points: 3,
+            weight_update_events: 4,
+            host_words_transferred: 5,
+            host_mac_ops: 6,
+        };
+        let mut now = earlier;
+        let delta = HardwareCounters {
+            phase_points: 40,
+            host_words_transferred: 8,
+            ..HardwareCounters::new()
+        };
+        now.merge(&delta);
+        assert_eq!(now.delta_since(&earlier), delta);
+        assert_eq!(now.delta_since(&now), HardwareCounters::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn delta_since_rejects_non_snapshot() {
+        let a = HardwareCounters {
+            phase_points: 1,
+            ..HardwareCounters::new()
+        };
+        let _ = HardwareCounters::new().delta_since(&a);
     }
 
     #[test]

@@ -29,6 +29,16 @@
 //! The trait is object-safe: sampling takes `&mut dyn RngCore`, so a
 //! `Vec<Box<dyn Substrate>>` of heterogeneous backends can be driven by
 //! one loop (see `examples/substrate_sampling.rs`).
+//!
+//! Two extensions serve the sharded serving layer (`ember_serve`):
+//!
+//! * the `*_batch_rows` methods sample a whole batch under **one RNG
+//!   stream per row**, so a row's bits depend only on its own stream —
+//!   the property that makes request coalescing invisible in the
+//!   samples; and
+//! * [`ReplicableSubstrate`] (sealed) adds
+//!   [`ReplicableSubstrate::clone_boxed`], letting a service clone a
+//!   fabricated prototype into per-shard replicas behind `dyn`.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -141,6 +151,63 @@ pub trait Substrate {
         self.sample_visible_batch(&batch, rng).row(0).to_owned()
     }
 
+    /// Forward batch sample with **one RNG stream per row**: row `i` of
+    /// the output is drawn using `rngs[i]` and nothing else.
+    ///
+    /// The contract — relied on by the serving layer's request
+    /// coalescing — is that row `i` depends only on the programmed
+    /// parameters, `visible` row `i`, and the state of `rngs[i]`:
+    /// *never* on the other rows of the batch or on state left behind
+    /// by earlier calls. Under this contract the same row produces the
+    /// same bits whether it is sampled alone or coalesced into any
+    /// batch, on any replica programmed with the same parameters.
+    ///
+    /// The default implementation loops [`Substrate::sample_hidden_row`]
+    /// and inherits its counter accounting; implementations with a
+    /// batched fast path (GEMM over the whole batch) may override it,
+    /// and implementations with persistent physical state must
+    /// re-initialize that state per row to honor the contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rngs.len() != visible.nrows()` or on row-width
+    /// mismatch.
+    fn sample_hidden_batch_rows(
+        &mut self,
+        visible: &Array2<f64>,
+        rngs: &mut [&mut dyn RngCore],
+    ) -> Array2<f64> {
+        assert_eq!(visible.nrows(), rngs.len(), "one RNG stream per row");
+        let mut out = Array2::zeros((visible.nrows(), self.hidden_len()));
+        for (i, row) in visible.rows().enumerate() {
+            out.row_mut(i)
+                .assign(&self.sample_hidden_row(&row, &mut *rngs[i]));
+        }
+        out
+    }
+
+    /// Reverse-direction counterpart of
+    /// [`Substrate::sample_hidden_batch_rows`]: clamp hidden rows,
+    /// sample visible rows, one RNG stream per row, same row-independence
+    /// contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rngs.len() != hidden.nrows()` or on row-width mismatch.
+    fn sample_visible_batch_rows(
+        &mut self,
+        hidden: &Array2<f64>,
+        rngs: &mut [&mut dyn RngCore],
+    ) -> Array2<f64> {
+        assert_eq!(hidden.nrows(), rngs.len(), "one RNG stream per row");
+        let mut out = Array2::zeros((hidden.nrows(), self.visible_len()));
+        for (i, row) in hidden.rows().enumerate() {
+            out.row_mut(i)
+                .assign(&self.sample_visible_row(&row, &mut *rngs[i]));
+        }
+        out
+    }
+
     /// Host→substrate words one programming event transfers
     /// (`m·n + m + n` in the paper's §3.2 accounting).
     fn programming_cost(&self) -> u64 {
@@ -197,6 +264,20 @@ impl<S: Substrate + ?Sized> Substrate for Box<S> {
     ) -> Array1<f64> {
         (**self).sample_visible_row(hidden, rng)
     }
+    fn sample_hidden_batch_rows(
+        &mut self,
+        visible: &Array2<f64>,
+        rngs: &mut [&mut dyn RngCore],
+    ) -> Array2<f64> {
+        (**self).sample_hidden_batch_rows(visible, rngs)
+    }
+    fn sample_visible_batch_rows(
+        &mut self,
+        hidden: &Array2<f64>,
+        rngs: &mut [&mut dyn RngCore],
+    ) -> Array2<f64> {
+        (**self).sample_visible_batch_rows(hidden, rngs)
+    }
     fn programming_cost(&self) -> u64 {
         (**self).programming_cost()
     }
@@ -208,12 +289,54 @@ impl<S: Substrate + ?Sized> Substrate for Box<S> {
     }
 }
 
+mod sealed {
+    /// Seals [`super::ReplicableSubstrate`]: the blanket impl below is
+    /// its *only* implementation. Backends opt in by being
+    /// `Substrate + Clone + Send + 'static`; nothing downstream can
+    /// implement the trait by hand (and thereby break the
+    /// clone-is-a-faithful-replica guarantee the serving layer shards
+    /// on).
+    pub trait Sealed {}
+    impl<S: Clone + Send + 'static> Sealed for S {}
+}
+
+/// A [`Substrate`] that can replicate itself behind a trait object.
+///
+/// A replica produced by [`ReplicableSubstrate::clone_boxed`] carries
+/// the *fabricated identity* of the original — frozen variation maps,
+/// programmed parameters, thermal-bath settings, accumulated counters —
+/// exactly as `Clone` would. The serving layer fabricates one prototype
+/// per model and clones it into every worker shard, so all shards
+/// realize the same physical machine.
+///
+/// The trait is sealed: it is implemented automatically for every
+/// `Substrate + Clone + Send + 'static` type (including
+/// `Box<dyn ReplicableSubstrate>` itself, which is `Clone` via
+/// `clone_boxed`) and cannot be implemented manually.
+pub trait ReplicableSubstrate: Substrate + Send + sealed::Sealed {
+    /// Clones this substrate into a fresh boxed replica.
+    fn clone_boxed(&self) -> Box<dyn ReplicableSubstrate>;
+}
+
+impl<S: Substrate + Clone + Send + 'static> ReplicableSubstrate for S {
+    fn clone_boxed(&self) -> Box<dyn ReplicableSubstrate> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn ReplicableSubstrate> {
+    fn clone(&self) -> Self {
+        (**self).clone_boxed()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     /// A minimal deterministic stub used to pin the trait's default
     /// methods (row fallbacks, programming cost, Box forwarding).
+    #[derive(Clone)]
     struct Stub {
         m: usize,
         n: usize,
@@ -300,6 +423,61 @@ mod tests {
         };
         let x = Array2::from_shape_fn((2, 2), |(i, j)| (i + j) as f64 / 3.0);
         assert_eq!(s.quantize_batch(&x), x);
+    }
+
+    #[test]
+    fn default_batch_rows_methods_use_one_stream_per_row() {
+        let mut s = Stub {
+            m: 3,
+            n: 2,
+            counters: HardwareCounters::new(),
+        };
+        let v = Array2::from_elem((4, 3), 1.0);
+        let mut rngs: Vec<rand::rngs::StdRng> = (0..4).map(|_| rng()).collect();
+        let mut dyn_rngs: Vec<&mut dyn RngCore> =
+            rngs.iter_mut().map(|r| r as &mut dyn RngCore).collect();
+        let h = s.sample_hidden_batch_rows(&v, &mut dyn_rngs);
+        assert_eq!(h, Array2::from_elem((4, 2), 1.0));
+        let mut dyn_rngs: Vec<&mut dyn RngCore> =
+            rngs.iter_mut().map(|r| r as &mut dyn RngCore).collect();
+        let back = s.sample_visible_batch_rows(&h, &mut dyn_rngs);
+        assert_eq!(back, Array2::zeros((4, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "one RNG stream per row")]
+    fn batch_rows_rejects_stream_count_mismatch() {
+        let mut s = Stub {
+            m: 2,
+            n: 2,
+            counters: HardwareCounters::new(),
+        };
+        let v = Array2::zeros((3, 2));
+        let mut r = rng();
+        let mut dyn_rngs: Vec<&mut dyn RngCore> = vec![&mut r];
+        let _ = s.sample_hidden_batch_rows(&v, &mut dyn_rngs);
+    }
+
+    #[test]
+    fn clone_boxed_replicates_fabricated_identity() {
+        let mut proto: Box<dyn ReplicableSubstrate> = Box::new(Stub {
+            m: 2,
+            n: 3,
+            counters: HardwareCounters::new(),
+        });
+        let w = Array2::zeros((2, 3));
+        let bv = Array1::zeros(2);
+        let bh = Array1::zeros(3);
+        proto.program(&w.view(), &bv.view(), &bh.view());
+        // A replica carries programmed state and counters of the original…
+        let mut replica = proto.clone();
+        assert_eq!(replica.name(), "stub");
+        assert_eq!(replica.visible_len(), 2);
+        assert_eq!(replica.counters().host_words_transferred, 2 * 3 + 2 + 3);
+        // …and diverges independently afterwards.
+        replica.counters_mut().phase_points += 7;
+        assert_eq!(proto.counters().phase_points, 0);
+        assert_eq!(replica.counters().phase_points, 7);
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! | [`analog`] | `ember-analog` | Sigmoid unit, thermal RNG, comparator, converters, charge pump, noise models |
 //! | [`substrate`] | `ember-substrate` | The [`substrate::Substrate`] trait: the seam between trainers and interchangeable sampling backends |
 //! | [`rbm`] | `ember-rbm` | RBM, CD-k/PCD/exact-ML trainers (substrate-generic), DBN, MLP, conv-RBM patches |
-//! | [`core`] | `ember-core` | **The paper's contribution**: Gibbs Sampler and Boltzmann Gradient Follower accelerator models, plus the three `Substrate` backends (`core::substrate`) |
+//! | [`core`] | `ember-core` | **The paper's contribution**: Gibbs Sampler and Boltzmann Gradient Follower accelerator models, plus the three `Substrate` backends (`core::substrate`) and the `SubstrateSpec` fabrication recipes |
+//! | [`serve`] | `ember-serve` | Sampling-as-a-service: `ModelRegistry` of named versioned RBMs, sharded request-coalescing `SamplingService` over any substrate backend |
 //! | [`datasets`] | `ember-datasets` | Synthetic stand-ins for the paper's eight datasets |
 //! | [`metrics`] | `ember-metrics` | AIS, KL, ROC/AUC, MAE, smoothing |
 //! | [`perf`] | `ember-perf` | Timing/energy/area models for Figs. 5–6 and Tables 2–3 |
@@ -36,8 +37,34 @@
 //! assert_eq!(trained.visible_len(), 8);
 //! ```
 //!
-//! See `examples/` for runnable end-to-end scenarios and
-//! `crates/bench/src/bin/` for the per-table/figure experiment harness.
+//! # Quickstart: sampling as a service
+//!
+//! Models live in a registry; worker shards serve them over cloned
+//! substrate replicas, coalescing concurrent requests into batched
+//! substrate calls (seeded requests are bit-reproducible at any shard
+//! count):
+//!
+//! ```
+//! use ember::core::{GsConfig, SubstrateSpec};
+//! use ember::rbm::Rbm;
+//! use ember::serve::{SampleRequest, SamplingService};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let rbm = Rbm::random(8, 4, 0.2, &mut rng);
+//! let proto = SubstrateSpec::software(GsConfig::default()).fabricate_for(&rbm, &mut rng);
+//! let service = SamplingService::builder().shards(2).build();
+//! service.register_model("demo", rbm, proto).unwrap();
+//! let resp = service
+//!     .sample(SampleRequest::new("demo").with_samples(4).with_gibbs_steps(2).with_seed(1))
+//!     .unwrap();
+//! assert_eq!(resp.samples.dim(), (4, 8));
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios (e.g.
+//! `examples/sampling_service.rs` for mixed sample/train traffic over
+//! all three backends) and `crates/bench/src/bin/` for the
+//! per-table/figure experiment harness.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,4 +77,5 @@ pub use ember_ising as ising;
 pub use ember_metrics as metrics;
 pub use ember_perf as perf;
 pub use ember_rbm as rbm;
+pub use ember_serve as serve;
 pub use ember_substrate as substrate;
