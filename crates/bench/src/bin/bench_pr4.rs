@@ -1,0 +1,52 @@
+//! PR 4 performance-trajectory benchmark: everything `bench_pr3`
+//! measures (same suites, same `(name, visible, hidden, mode)` row
+//! identities, so the `bench_gate` binary can diff the two trajectory
+//! files) **plus the kernel dimension**: the CD-1 batch-64 sampling
+//! chain on the software substrate with the bit-packed binary-state
+//! kernel vs the dense-GEMM baseline, in the same binary, at 784×200
+//! and 108×1024.
+//!
+//! Emits `BENCH_PR4.json`. Gate it against the previous point with:
+//!
+//! ```sh
+//! cargo run --release -p ember_bench --bin bench_pr4 -- --quick
+//! cargo run --release -p ember_bench --bin bench_gate -- BENCH_PR3.json BENCH_PR4.json
+//! ```
+//!
+//! The committed `BENCH_PR4.json` follows the estimator convention the
+//! PR 2/3 points established for the drifting shared reference box:
+//! per-row medians over 8 process runs of this binary (`--quick`),
+//! with each `speedups` entry the median of the per-run ratios (the
+//! paired within-process estimator). The committed point shows the
+//! packed kernel ≥1.5× over dense at 784×200 (row-level median ratio
+//! 1.56).
+
+use ember_bench::trajectory::{
+    bench_brim_anneal, bench_brim_settle, bench_gibbs_cd1, bench_gibbs_chain, bench_packed_kernel,
+    bench_serve_throughput, bench_substrate_cd1, write_trajectory,
+};
+use ember_bench::{header, RunConfig};
+
+fn main() {
+    let config = RunConfig::from_args();
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+
+    bench_gibbs_cd1(&config, &mut rows, &mut speedups);
+    bench_gibbs_chain(&config, &mut rows, &mut speedups);
+    bench_brim_anneal(&config, &mut rows, &mut speedups);
+    bench_brim_settle(&config, &mut rows, &mut speedups);
+    bench_substrate_cd1(&config, &mut rows, &mut speedups);
+    bench_serve_throughput(&config, &mut rows, &mut speedups);
+    bench_packed_kernel(&config, &mut rows, &mut speedups);
+
+    header("Speedup summary");
+    for (name, s) in &speedups {
+        println!("  {name:<34} {s:.2}x");
+    }
+
+    let json = write_trajectory(4, &config, &rows, &speedups);
+    if config.json {
+        println!("{json}");
+    }
+}

@@ -30,8 +30,8 @@
 use std::time::Instant;
 
 use ember_brim::{BipartiteBrim, BrimConfig, FlipSchedule};
-use ember_core::substrate::{BrimSubstrate, SoftwareGibbs};
-use ember_core::{GibbsSampler, GsConfig, GsEngine, SubstrateSpec};
+use ember_core::substrate::{BrimSubstrate, SoftwareGibbs, Substrate};
+use ember_core::{GibbsSampler, GsConfig, GsEngine, GsKernel, SubstrateSpec};
 use ember_ising::{BipartiteProblem, RngStreams};
 use ember_rbm::{gibbs, CdTrainer, Rbm};
 use ember_serve::{SampleRequest, SamplingService};
@@ -423,6 +423,75 @@ pub fn bench_substrate_cd1(
         let ratio = results[0] / results[1];
         println!("  {m}x{n} software/brim throughput ratio {ratio:.1}x (simulation cost)");
         speedups.push((format!("substrate-cd1-{m}x{n}-sim-cost"), ratio));
+    }
+}
+
+/// The PR 4 kernel dimension: the CD-1 sampling chain (one positive
+/// half-step plus one full Gibbs step — the §3.2 conditional-sampling
+/// unit, batch 64) on the software substrate, bit-packed binary-state
+/// kernel vs the dense-GEMM baseline **in the same binary**. Both
+/// kernels produce bit-identical samples (pinned by the conformance
+/// suite); this suite measures what the packing buys: no multiplies,
+/// zero states skipped 64 at a time, and the reverse half-step running
+/// over a cached contiguous transpose instead of per-output dot
+/// products.
+pub fn bench_packed_kernel(
+    config: &RunConfig,
+    rows: &mut Vec<BenchRow>,
+    speedups: &mut Vec<(String, f64)>,
+) {
+    header("Bit-packed binary-state kernel (CD-1 sampling chain, batch 64): packed vs dense GEMM");
+    const KERNEL_SIZES: [(usize, usize); 2] = [(784, 200), (108, 1024)];
+    let batch = 64;
+    // High rep floor: one chain is only a few ms, so the 150 ms window
+    // alone quantizes the per-call mean in ~3% steps — demanding ≥40
+    // calls per window keeps the estimator resolution ~1%.
+    let reps = config.pick(40, 48);
+    for &(m, n) in &KERNEL_SIZES {
+        let mut rng = config.rng();
+        let rbm = Rbm::random(m, n, 0.01, &mut rng);
+        let v0 = random_batch(batch, m, &mut rng);
+        let mut results = [0.0f64; 2];
+        for (slot, kernel, mode) in [
+            (0, GsKernel::Dense, "dense-gemm"),
+            (1, GsKernel::Packed, "bit-packed"),
+        ] {
+            let gs_config = GsConfig::default().with_kernel(kernel);
+            let mut fab_rng = config.rng();
+            let mut sub = SoftwareGibbs::new(m, n, &gs_config, &mut fab_rng);
+            sub.program(
+                &rbm.weights().view(),
+                &rbm.visible_bias().view(),
+                &rbm.hidden_bias().view(),
+            );
+            let mut chain_rng = config.rng();
+            let wall_ms = time(
+                || {
+                    // One CD-1 sampling unit: h⁺ | v, then v⁻ | h⁺ and
+                    // h⁻ | v⁻ (all binary operands, the packed kernel's
+                    // home turf and exactly what training offloads).
+                    let h_pos = sub.sample_hidden_batch(&v0, &mut chain_rng);
+                    let v_neg = sub.sample_visible_batch(&h_pos, &mut chain_rng);
+                    let _ = sub.sample_hidden_batch(&v_neg, &mut chain_rng);
+                },
+                reps,
+            );
+            let throughput = batch as f64 / (wall_ms / 1000.0);
+            results[slot] = throughput;
+            println!("  {m}x{n} {mode:<16} {wall_ms:>10.2} ms/chain  {throughput:>12.1} samples/s");
+            rows.push(BenchRow {
+                name: "packed-kernel".into(),
+                visible: m,
+                hidden: n,
+                mode,
+                wall_ms,
+                throughput,
+                unit: "samples/sec",
+            });
+        }
+        let speedup = results[1] / results[0];
+        println!("  {m}x{n} packed speedup {speedup:.2}x");
+        speedups.push((format!("packed-kernel-{m}x{n}"), speedup));
     }
 }
 

@@ -108,6 +108,8 @@ fn configs_roundtrip() {
         weight_update_events: 4,
         host_words_transferred: 5,
         host_mac_ops: 6,
+        packed_kernel_calls: 7,
+        dense_kernel_calls: 8,
     };
     assert_eq!(counters, roundtrip(&counters));
 }

@@ -90,6 +90,22 @@ fn power_on_voltages(total: usize) -> Array1<f64> {
     Array1::from_shape_fn(total, |i| if i % 2 == 0 { 0.01 } else { -0.01 })
 }
 
+/// Thresholds a voltage rail into LSB-first packed words (`v ≥ 0 ↦ 1`).
+fn pack_threshold(voltages: ndarray::ArrayView1<'_, f64>, words: &mut [u64]) {
+    let needed = voltages.len().div_ceil(64);
+    assert!(
+        words.len() >= needed,
+        "packed read needs {needed} words, got {}",
+        words.len()
+    );
+    words[..needed].fill(0);
+    for (i, &v) in voltages.iter().enumerate() {
+        if v >= 0.0 {
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+}
+
 impl BipartiteBrim {
     /// Programs the bipartite problem onto the machine.
     pub fn new(problem: BipartiteProblem, config: BrimConfig) -> Self {
@@ -275,13 +291,57 @@ impl BipartiteBrim {
     }
 
     /// Thresholded visible bits.
+    ///
+    /// Allocates a fresh `Vec<bool>` per read; inside anneal/settle
+    /// loops prefer [`BipartiteBrim::read_visible_bits_into`] (reused
+    /// buffer) or [`BipartiteBrim::read_visible_packed`] (bit-packed,
+    /// 64 nodes per word).
     pub fn read_visible_bits(&self) -> Vec<bool> {
         self.visible_voltages().iter().map(|&v| v >= 0.0).collect()
     }
 
     /// Thresholded hidden bits.
+    ///
+    /// Allocation caveats as for [`BipartiteBrim::read_visible_bits`].
     pub fn read_hidden_bits(&self) -> Vec<bool> {
         self.hidden_voltages().iter().map(|&v| v >= 0.0).collect()
+    }
+
+    /// Thresholded visible bits into a caller-owned buffer (cleared and
+    /// refilled, so a loop reuses one allocation for every read).
+    pub fn read_visible_bits_into(&self, out: &mut Vec<bool>) {
+        out.clear();
+        out.extend(self.visible_voltages().iter().map(|&v| v >= 0.0));
+    }
+
+    /// Thresholded hidden bits into a caller-owned buffer.
+    pub fn read_hidden_bits_into(&self, out: &mut Vec<bool>) {
+        out.clear();
+        out.extend(self.hidden_voltages().iter().map(|&v| v >= 0.0));
+    }
+
+    /// Packed threshold read of the visible rail: bit `i` of the
+    /// visible side lands in `words[i / 64]` at position `i % 64` (LSB
+    /// first — the row layout of `ember_core::kernels::BitMatrix`, so a
+    /// read can feed the bit-packed sampling kernels without ever
+    /// materializing a `Vec<bool>`). Unused high bits of the last word
+    /// are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is shorter than `⌈m / 64⌉`.
+    pub fn read_visible_packed(&self, words: &mut [u64]) {
+        pack_threshold(self.visible_voltages(), words);
+    }
+
+    /// Packed threshold read of the hidden rail; layout as for
+    /// [`BipartiteBrim::read_visible_packed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is shorter than `⌈n / 64⌉`.
+    pub fn read_hidden_packed(&self, words: &mut [u64]) {
+        pack_threshold(self.hidden_voltages(), words);
     }
 
     /// RBM energy (Eq. 3) of the thresholded state.
@@ -458,6 +518,44 @@ mod tests {
         brim.clamp_visible(&[1.0, 1.0]);
         brim.settle(500);
         assert_eq!(brim.read_hidden_bits(), vec![true]);
+    }
+
+    #[test]
+    fn buffered_and_packed_reads_match_allocating_reads() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        use rand::Rng;
+        // 70 visible nodes so the packed read crosses a word boundary.
+        let w = Array2::from_shape_fn((70, 3), |_| rng.random_range(-1.0..1.0));
+        let p = BipartiteProblem::new(w, Array1::zeros(70), Array1::zeros(3)).unwrap();
+        let mut brim = BipartiteBrim::new(p, BrimConfig::default());
+        brim.release();
+        brim.anneal(&FlipSchedule::constant(0.1, 30), &mut rng);
+        let (mut vbuf, mut hbuf) = (Vec::new(), Vec::new());
+        brim.read_visible_bits_into(&mut vbuf);
+        brim.read_hidden_bits_into(&mut hbuf);
+        assert_eq!(vbuf, brim.read_visible_bits());
+        assert_eq!(hbuf, brim.read_hidden_bits());
+        let mut vwords = [u64::MAX; 2];
+        let mut hwords = [u64::MAX; 1];
+        brim.read_visible_packed(&mut vwords);
+        brim.read_hidden_packed(&mut hwords);
+        for (i, &bit) in vbuf.iter().enumerate() {
+            assert_eq!((vwords[i / 64] >> (i % 64)) & 1 == 1, bit, "visible {i}");
+        }
+        // Padding bits above node 69 must be cleared.
+        assert_eq!(vwords[1] >> 6, 0);
+        for (j, &bit) in hbuf.iter().enumerate() {
+            assert_eq!((hwords[0] >> j) & 1 == 1, bit, "hidden {j}");
+        }
+        assert_eq!(hwords[0] >> 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "packed read needs")]
+    fn packed_read_rejects_short_word_slice() {
+        let brim = BipartiteBrim::new(and_gate_problem(), BrimConfig::default());
+        let mut words: [u64; 0] = [];
+        brim.read_visible_packed(&mut words);
     }
 
     #[test]

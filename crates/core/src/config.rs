@@ -16,6 +16,29 @@ pub enum GsEngine {
     SerialReference,
 }
 
+/// Which GEMM kernel the software substrates use for the binary-state
+/// products of the sampling hot path (`states · W`, `states · Wᵀ`).
+///
+/// Both kernels produce **bit-identical samples**: they accumulate
+/// every output element's fan-in terms in the same ascending index
+/// order, and skipping an exact-zero term is a floating-point no-op
+/// (see [`crate::kernels`]). The flag only selects how fast the product
+/// is computed; [`ember_substrate::HardwareCounters`] records which
+/// kernel served each call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GsKernel {
+    /// Bit-packed fast path: batches that are exactly `{0, 1}` are
+    /// packed into a [`crate::kernels::BitMatrix`] and multiplied by
+    /// accumulating selected weight rows ([`crate::kernels::binary_gemm`]);
+    /// non-binary batches (multi-bit DTC gray levels) fall back to the
+    /// dense GEMM per call.
+    #[default]
+    Packed,
+    /// Always the dense GEMM — the measured baseline of the
+    /// `bench_pr4` `packed-kernel` suite.
+    Dense,
+}
+
 /// Configuration of the Gibbs-sampler accelerator (§3.2).
 ///
 /// All fields are private: construction is `Default` (the paper's
@@ -46,6 +69,7 @@ pub struct GsConfig {
     dtc_bits: u32,
     settle_phase_points: u64,
     engine: GsEngine,
+    kernel: GsKernel,
 }
 
 impl GsConfig {
@@ -89,6 +113,11 @@ impl GsConfig {
     /// The host-side execution engine.
     pub fn engine(&self) -> GsEngine {
         self.engine
+    }
+
+    /// The GEMM kernel of the binary-state sampling hot path.
+    pub fn kernel(&self) -> GsKernel {
+        self.kernel
     }
 
     /// Returns a copy with the given `k`.
@@ -155,6 +184,14 @@ impl GsConfig {
         self
     }
 
+    /// Returns a copy with the given sampling GEMM kernel (samples are
+    /// bit-identical either way; see [`GsKernel`]).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: GsKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// Returns a copy with the given settle duration in phase points.
     ///
     /// # Panics
@@ -182,6 +219,7 @@ impl Default for GsConfig {
             dtc_bits: 8,
             settle_phase_points: 50,
             engine: GsEngine::Batched,
+            kernel: GsKernel::Packed,
         }
     }
 }
@@ -446,6 +484,13 @@ mod tests {
         assert_eq!(c.dtc_bits(), 6);
         assert_eq!(c.settle_phase_points(), 20);
         assert_eq!(c.anneal_phase_points(), 200);
+    }
+
+    #[test]
+    fn gs_kernel_builder_roundtrip() {
+        assert_eq!(GsConfig::default().kernel(), GsKernel::Packed);
+        let c = GsConfig::default().with_kernel(GsKernel::Dense);
+        assert_eq!(c.kernel(), GsKernel::Dense);
     }
 
     #[test]

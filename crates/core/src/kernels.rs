@@ -1,0 +1,427 @@
+//! Bit-packed binary-state kernels for the sampling hot path.
+//!
+//! Every hot loop in the stack moves RBM states around as dense `f64`
+//! 0/1 matrices and pays a full dense GEMM for products whose left
+//! operand is binary. The paper's accelerator economics rest on exactly
+//! this structure — binary node states driving an analog vector-matrix
+//! product (§3.2) — and the same structure is free throughput in
+//! software: a batch of binary states packs 64 states per `u64` word,
+//! and `states · W` reduces to *summing the weight rows selected by the
+//! set bits* — no multiplies, zero states skipped 64 at a time.
+//!
+//! The packed product is **bit-identical** to the scalar row-loop
+//! reference kernel ([`scalar_ref_gemm`]): both accumulate the fan-in
+//! terms of every output element in ascending index order, and skipping
+//! an exact-zero term is a floating-point no-op (`x + 0.0 == x` for
+//! every finite `x`, and `1.0 · w == w`). It is equally bit-identical
+//! to the vendored `ndarray` GEMM's non-transposed kernels, which
+//! accumulate in the same `ikj` order — so flipping a sampler between
+//! the packed and dense kernels never changes a sampled bit, only the
+//! time it takes to produce it. [`GsKernel`](crate::GsKernel) selects
+//! between them; [`HardwareCounters`](ember_substrate::HardwareCounters)
+//! records which kernel served each call
+//! (`packed_kernel_calls` / `dense_kernel_calls`).
+//!
+//! # Example
+//!
+//! ```
+//! use ember_core::kernels::{binary_gemm, BitMatrix};
+//! use ndarray::{arr1, arr2, Array2};
+//!
+//! let states = arr2(&[[1.0, 0.0, 1.0], [0.0, 0.0, 0.0]]);
+//! let w = arr2(&[[0.5, -1.0], [9.0, 9.0], [0.25, 2.0]]);
+//! let bits = BitMatrix::from_batch(&states).expect("binary batch");
+//! let out = binary_gemm(&bits, &w, Some(&arr1(&[0.0, 1.0]).view()));
+//! assert_eq!(out, arr2(&[[0.75, 2.0], [0.0, 1.0]]));
+//! ```
+
+use ndarray::{Array2, ArrayView1};
+
+/// Number of `u64` words needed to hold `cols` bits.
+fn words_for(cols: usize) -> usize {
+    cols.div_ceil(64)
+}
+
+/// A batch of binary states packed row-major into `u64` words: bit `j`
+/// of row `r` lives at word `j / 64`, bit position `j % 64` (LSB
+/// first). Rows are padded to a whole word; padding bits are always
+/// zero.
+///
+/// This is the in-flight representation of everything the substrates
+/// exchange after the first half-step: comparator latches, thresholded
+/// BRIM node voltages, Metropolis spin read-outs — all exact `{0, 1}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An all-zero matrix of the given logical dimensions.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_row = words_for(cols);
+        BitMatrix {
+            rows,
+            cols,
+            words_per_row,
+            words: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Packs a dense batch of **exactly binary** levels. Returns `None`
+    /// if any entry is neither `0.0` nor `1.0` — the caller falls back
+    /// to the dense kernel (multi-bit DTC gray levels, or a hostile
+    /// input).
+    ///
+    /// The scan is branchless per element (comparisons fold into the
+    /// word and a validity accumulator), so packing costs a small
+    /// fraction of the product it enables even on wide batches.
+    pub fn from_batch(batch: &Array2<f64>) -> Option<Self> {
+        let (rows, cols) = batch.dim();
+        let mut packed = BitMatrix::zeros(rows, cols);
+        let data = batch.as_slice();
+        let mut all_binary = true;
+        for (r, row) in data.chunks(cols.max(1)).enumerate().take(rows) {
+            let words = &mut packed.words[r * packed.words_per_row..(r + 1) * packed.words_per_row];
+            for (word, chunk) in words.iter_mut().zip(row.chunks(64)) {
+                let mut w = 0u64;
+                for (j, &x) in chunk.iter().enumerate() {
+                    w |= u64::from(x == 1.0) << j;
+                    all_binary &= x == 0.0 || x == 1.0;
+                }
+                *word = w;
+            }
+        }
+        all_binary.then_some(packed)
+    }
+
+    /// Logical row count.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical column count (bits per row).
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Words per packed row (`ncols` rounded up to a whole `u64`).
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The packed words of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row_words(&self, r: usize) -> &[u64] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        &self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Mutable packed words of row `r` — the seam the BRIM's packed
+    /// threshold reads write into without materializing a `Vec<bool>`.
+    ///
+    /// Writers must keep the padding bits (bit positions ≥ `ncols()` of
+    /// the last word) zero; [`binary_gemm`] relies on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row_words_mut(&mut self, r: usize) -> &mut [u64] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        &mut self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// The bit at `(r, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn get(&self, r: usize, j: usize) -> bool {
+        assert!(j < self.cols, "col {j} out of range ({} cols)", self.cols);
+        (self.row_words(r)[j / 64] >> (j % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at `(r, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn set(&mut self, r: usize, j: usize, bit: bool) {
+        assert!(j < self.cols, "col {j} out of range ({} cols)", self.cols);
+        let word = &mut self.row_words_mut(r)[j / 64];
+        if bit {
+            *word |= 1u64 << (j % 64);
+        } else {
+            *word &= !(1u64 << (j % 64));
+        }
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Unpacks to the dense `f64` 0/1 representation the `Substrate`
+    /// API exchanges.
+    pub fn to_dense(&self) -> Array2<f64> {
+        let mut data = vec![0.0; self.rows * self.cols];
+        for (r, out) in data.chunks_mut(self.cols.max(1)).enumerate() {
+            for (w, &word) in self.row_words(r).iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let j = w * 64 + bits.trailing_zeros() as usize;
+                    out[j] = 1.0;
+                    bits &= bits - 1;
+                }
+            }
+        }
+        Array2::from_shape_vec((self.rows, self.cols), data).expect("consistent dims")
+    }
+}
+
+/// `o += w`, element-wise — the only arithmetic the packed product
+/// performs (selected weight rows are *summed*, never multiplied).
+#[inline]
+fn add_row(o: &mut [f64], w: &[f64]) {
+    for (o, &x) in o.iter_mut().zip(w) {
+        *o += x;
+    }
+}
+
+/// One packed row × `W`: set bits accumulated in ascending index order.
+fn binary_gemv(orow: &mut [f64], row_words: &[u64], wdata: &[f64], out_width: usize) {
+    for (wi, &word) in row_words.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            let i = wi * 64 + bits.trailing_zeros() as usize;
+            add_row(orow, &wdata[i * out_width..(i + 1) * out_width]);
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// `states · W (+ bias)` with a bit-packed binary left operand: for
+/// every row, the weight rows selected by the set bits are accumulated
+/// in ascending index order — no multiplies, zero states skipped a word
+/// (64 states) at a time. Output rows are processed four at a time over
+/// the block's set-bit *union*, so a weight row shared by several
+/// chains is streamed from memory once per block instead of once per
+/// chain (the same traffic-blocking idea as the vendored dense GEMM's
+/// four-row `ikj` kernel) — each row still receives exactly its own
+/// weight rows in ascending order, so the blocking is invisible in the
+/// bits.
+///
+/// Bit-identical to [`scalar_ref_gemm`] on the unpacked batch (see the
+/// module docs for why), and therefore to the dense `ikj` GEMM the
+/// samplers used before this kernel existed.
+///
+/// # Panics
+///
+/// Panics if `states.ncols() != w.nrows()` or the bias length differs
+/// from `w.ncols()`.
+pub fn binary_gemm(
+    states: &BitMatrix,
+    w: &Array2<f64>,
+    bias: Option<&ArrayView1<'_, f64>>,
+) -> Array2<f64> {
+    let (fan_in, out_width) = w.dim();
+    assert_eq!(states.ncols(), fan_in, "fan-in mismatch (binary_gemm)");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), out_width, "fan-out mismatch (binary_gemm)");
+    }
+    let wdata = w.as_slice();
+    let wpr = states.words_per_row();
+    const BLOCK: usize = 8;
+    let mut data = vec![0.0; states.nrows() * out_width];
+    let mut wblocks = states.words.chunks(BLOCK * wpr.max(1));
+    let mut oblocks = data.chunks_mut(BLOCK * out_width.max(1));
+    for (wblock, oblock) in (&mut wblocks).zip(&mut oblocks) {
+        if wblock.len() == BLOCK * wpr && wpr > 0 {
+            let orows: Vec<&mut [f64]> = oblock.chunks_mut(out_width).collect();
+            let mut orows: [&mut [f64]; BLOCK] = orows.try_into().expect("full block");
+            // Column tiling keeps the block's output working set
+            // (BLOCK×TILE f64) L1-resident on wide outputs; per output
+            // element the accumulation order is untouched.
+            const TILE: usize = 448;
+            let mut t0 = 0;
+            while t0 < out_width {
+                let t1 = (t0 + TILE).min(out_width);
+                for wi in 0..wpr {
+                    let mut union = 0u64;
+                    for k in 0..BLOCK {
+                        union |= wblock[k * wpr + wi];
+                    }
+                    while union != 0 {
+                        let bit = union.trailing_zeros();
+                        let i = wi * 64 + bit as usize;
+                        let wrow = &wdata[i * out_width + t0..i * out_width + t1];
+                        let mask = 1u64 << bit;
+                        for (k, orow) in orows.iter_mut().enumerate() {
+                            if wblock[k * wpr + wi] & mask != 0 {
+                                add_row(&mut orow[t0..t1], wrow);
+                            }
+                        }
+                        union &= union - 1;
+                    }
+                }
+                t0 = t1;
+            }
+        } else {
+            // Trailing block of fewer than BLOCK rows.
+            for (row_words, orow) in wblock
+                .chunks(wpr.max(1))
+                .zip(oblock.chunks_mut(out_width.max(1)))
+            {
+                binary_gemv(orow, row_words, wdata, out_width);
+            }
+        }
+    }
+    if let Some(b) = bias {
+        for orow in data.chunks_mut(out_width.max(1)) {
+            for (o, &x) in orow.iter_mut().zip(b.iter()) {
+                *o += x;
+            }
+        }
+    }
+    Array2::from_shape_vec((states.nrows(), out_width), data).expect("consistent dims")
+}
+
+/// The scalar row-loop reference kernel: `out[r][j] = Σ_i states[r][i] ·
+/// W[i][j] (+ bias[j])`, fan-in terms accumulated in ascending index
+/// order, zero terms *included*. This is the summation order of the
+/// seed's row-at-a-time sampling strategy
+/// (`AnalogSampler::sample_layer_reference`), kept here as the pinned
+/// ground truth the packed kernel is property-tested against.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn scalar_ref_gemm(
+    states: &Array2<f64>,
+    w: &Array2<f64>,
+    bias: Option<&ArrayView1<'_, f64>>,
+) -> Array2<f64> {
+    let (fan_in, out_width) = w.dim();
+    assert_eq!(states.ncols(), fan_in, "fan-in mismatch (scalar_ref_gemm)");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), out_width, "fan-out mismatch (scalar_ref_gemm)");
+    }
+    let mut out = Array2::zeros((states.nrows(), out_width));
+    for r in 0..states.nrows() {
+        for j in 0..out_width {
+            let mut acc = 0.0;
+            for i in 0..fan_in {
+                acc += states[[r, i]] * w[[i, j]];
+            }
+            if let Some(b) = bias {
+                acc += b[j];
+            }
+            out[[r, j]] = acc;
+        }
+    }
+    out
+}
+
+/// Whether every entry of `batch` is exactly `0.0` or `1.0` — the
+/// precondition for packing, and the documented domain on which every
+/// `Substrate::quantize_batch` implementation is the identity (so
+/// callers may skip quantization entirely for binary feedback).
+pub fn is_binary(batch: &Array2<f64>) -> bool {
+    batch.iter().all(|&x| x == 0.0 || x == 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndarray::{arr1, arr2};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn pack_rejects_non_binary() {
+        let gray = arr2(&[[0.0, 0.5], [1.0, 0.0]]);
+        assert!(BitMatrix::from_batch(&gray).is_none());
+        assert!(!is_binary(&gray));
+        let binary = arr2(&[[0.0, 1.0], [1.0, 0.0]]);
+        assert!(BitMatrix::from_batch(&binary).is_some());
+        assert!(is_binary(&binary));
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_at_word_boundaries() {
+        for cols in [1, 63, 64, 65, 127, 128, 130] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(cols as u64);
+            let dense = Array2::from_shape_fn((3, cols), |_| f64::from(rng.random_bool(0.5)));
+            let bits = BitMatrix::from_batch(&dense).expect("binary");
+            assert_eq!(bits.to_dense(), dense, "cols = {cols}");
+            assert_eq!(bits.count_ones() as f64, dense.sum(), "cols = {cols}");
+        }
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut bits = BitMatrix::zeros(2, 70);
+        assert!(!bits.get(1, 69));
+        bits.set(1, 69, true);
+        assert!(bits.get(1, 69));
+        assert_eq!(bits.count_ones(), 1);
+        bits.set(1, 69, false);
+        assert_eq!(bits.count_ones(), 0);
+    }
+
+    #[test]
+    fn binary_gemm_selects_weight_rows() {
+        let states = arr2(&[[1.0, 0.0, 1.0], [0.0, 1.0, 0.0]]);
+        let w = arr2(&[[1.0, 2.0], [10.0, 20.0], [100.0, 200.0]]);
+        let bits = BitMatrix::from_batch(&states).unwrap();
+        let out = binary_gemm(&bits, &w, None);
+        assert_eq!(out, arr2(&[[101.0, 202.0], [10.0, 20.0]]));
+        let with_bias = binary_gemm(&bits, &w, Some(&arr1(&[0.5, -0.5]).view()));
+        assert_eq!(with_bias, arr2(&[[101.5, 201.5], [10.5, 19.5]]));
+    }
+
+    #[test]
+    fn binary_gemm_bit_identical_to_scalar_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for &(rows, fan_in, out) in &[(5, 67, 9), (1, 64, 3), (8, 130, 17)] {
+            let states = Array2::from_shape_fn((rows, fan_in), |_| f64::from(rng.random_bool(0.4)));
+            let w = Array2::from_shape_fn((fan_in, out), |_| rng.random_range(-1.0..1.0));
+            let bias = ndarray::Array1::from_shape_fn(out, |_| rng.random_range(-1.0..1.0));
+            let bits = BitMatrix::from_batch(&states).unwrap();
+            let packed = binary_gemm(&bits, &w, Some(&bias.view()));
+            let reference = scalar_ref_gemm(&states, &w, Some(&bias.view()));
+            let packed_bits: Vec<u64> = packed.iter().map(|x| x.to_bits()).collect();
+            let ref_bits: Vec<u64> = reference.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(packed_bits, ref_bits, "{rows}x{fan_in}x{out}");
+        }
+    }
+
+    #[test]
+    fn binary_gemm_bit_identical_to_dense_dot() {
+        // The vendored GEMM's non-transposed kernels accumulate in the
+        // same ikj order, so the packed product must match `.dot()`
+        // bitwise too — the property that lets the packed kernel be the
+        // default without perturbing a single golden bit.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let states = Array2::from_shape_fn((6, 100), |_| f64::from(rng.random_bool(0.3)));
+        let w = Array2::from_shape_fn((100, 11), |_| rng.random_range(-1.0..1.0));
+        let bits = BitMatrix::from_batch(&states).unwrap();
+        let packed = binary_gemm(&bits, &w, None);
+        let dense = states.dot(&w);
+        let packed_bits: Vec<u64> = packed.iter().map(|x| x.to_bits()).collect();
+        let dense_bits: Vec<u64> = dense.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(packed_bits, dense_bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-in mismatch")]
+    fn binary_gemm_rejects_mismatched_fan_in() {
+        let bits = BitMatrix::zeros(1, 3);
+        let w = Array2::zeros((4, 2));
+        let _ = binary_gemm(&bits, &w, None);
+    }
+}

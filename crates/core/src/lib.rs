@@ -27,6 +27,13 @@
 //! which [`GibbsSampler`] and `ember_rbm`'s trainers are generic — the
 //! paper's "drop-in replacement" claim as a type.
 //!
+//! The sampling hot path of every software backend runs on the
+//! bit-packed binary-state kernels of the [`kernels`] module by
+//! default: binary batches pack into a [`BitMatrix`] and the field GEMM
+//! reduces to summing selected weight rows, bit-identical to the dense
+//! GEMM ([`GsKernel`] selects; `HardwareCounters` records which kernel
+//! served each call).
+//!
 //! Both are *behavioral* models at the same level as the paper's Matlab
 //! models (§4.1): every circuit non-ideality — sigmoid transfer curve,
 //! comparator offsets, DTC quantization, charge-sharing nonlinearity,
@@ -56,12 +63,14 @@
 mod config;
 mod gibbs_sampler;
 mod gradient_follower;
+pub mod kernels;
 mod sampler;
 pub mod substrate;
 
-pub use config::{BgfConfig, GsConfig, GsEngine};
+pub use config::{BgfConfig, GsConfig, GsEngine, GsKernel};
 pub use gibbs_sampler::GibbsSampler;
 pub use gradient_follower::BoltzmannGradientFollower;
+pub use kernels::BitMatrix;
 pub use sampler::AnalogSampler;
 pub use substrate::{
     AnnealerSubstrate, BrimSubstrate, ReplicableSubstrate, SoftwareGibbs, Substrate, SubstrateSpec,

@@ -277,7 +277,6 @@ impl AnalogSampler {
         rev: bool,
         rngs: &mut [&mut dyn rand::RngCore],
     ) {
-        assert_eq!(fields.nrows(), rngs.len(), "one RNG stream per row");
         let var_coupler = if self.noise.noise_rms() > 0.0 {
             let sq_in = inputs.mapv(|x| x * x);
             let sq_w = weights.mapv(|w| w * w);
@@ -289,10 +288,28 @@ impl AnalogSampler {
         } else {
             None
         };
+        self.latch_batch_rows(fields, bias, var_coupler.as_ref(), rngs);
+    }
+
+    /// Stochastic tail of the per-row-stream batched node path, over
+    /// precomputed fields: bias add, then for each row — coupler-noise
+    /// perturbation (when `var_coupler` is given) and the
+    /// sigmoid/comparator latch, drawing exclusively from that row's
+    /// stream. The packed-kernel substrates call this directly with
+    /// fields (and variances) produced by
+    /// [`crate::kernels::binary_gemm`].
+    pub(crate) fn latch_batch_rows(
+        &self,
+        fields: &mut Array2<f64>,
+        bias: &ArrayView1<'_, f64>,
+        var_coupler: Option<&Array2<f64>>,
+        rngs: &mut [&mut dyn rand::RngCore],
+    ) {
+        assert_eq!(fields.nrows(), rngs.len(), "one RNG stream per row");
         for (i, mut row) in fields.axis_iter_mut(ndarray::Axis(0)).enumerate() {
             row += bias;
             let rng = &mut *rngs[i];
-            if let Some(var) = &var_coupler {
+            if let Some(var) = var_coupler {
                 for (j, f) in row.iter_mut().enumerate() {
                     let sigma = (var[[i, j]] + 1.0).sqrt(); // +1: unit-scale node noise
                     *f = self.noise.perturb(*f, sigma, rng);
@@ -309,9 +326,9 @@ impl AnalogSampler {
         }
     }
 
-    /// Shared tail of the batched node path: bias add, closed-form
-    /// coupler-noise perturbation, sigmoid transfer, comparator latch —
-    /// all element-wise over the field matrix in row-major order.
+    /// Shared tail of the batched node path: computes the closed-form
+    /// coupler-noise variance from the raw operands, then runs
+    /// [`AnalogSampler::latch_batch`].
     fn finish_batch<R: Rng + ?Sized>(
         &self,
         fields: &mut Array2<f64>,
@@ -321,18 +338,38 @@ impl AnalogSampler {
         rev: bool,
         rng: &mut R,
     ) {
-        for mut row in fields.axis_iter_mut(ndarray::Axis(0)) {
-            row += bias;
-        }
-        if self.noise.noise_rms() > 0.0 {
+        let var_coupler = if self.noise.noise_rms() > 0.0 {
             let sq_in = inputs.mapv(|x| x * x);
             let sq_w = weights.mapv(|w| w * w);
-            let var_coupler = if rev {
+            Some(if rev {
                 sq_in.dot(&sq_w.t())
             } else {
                 sq_in.dot(&sq_w)
-            };
-            for (f, v) in fields.iter_mut().zip(var_coupler.iter()) {
+            })
+        } else {
+            None
+        };
+        self.latch_batch(fields, bias, var_coupler.as_ref(), rng);
+    }
+
+    /// Stochastic tail of the batched node path, over precomputed
+    /// fields: bias add, closed-form coupler-noise perturbation (when
+    /// `var_coupler` is given), sigmoid transfer, comparator latch —
+    /// all element-wise over the field matrix in row-major order. The
+    /// packed-kernel substrates call this directly with fields (and
+    /// variances) produced by [`crate::kernels::binary_gemm`].
+    pub(crate) fn latch_batch<R: Rng + ?Sized>(
+        &self,
+        fields: &mut Array2<f64>,
+        bias: &ArrayView1<'_, f64>,
+        var_coupler: Option<&Array2<f64>>,
+        rng: &mut R,
+    ) {
+        for mut row in fields.axis_iter_mut(ndarray::Axis(0)) {
+            row += bias;
+        }
+        if let Some(var) = var_coupler {
+            for (f, v) in fields.iter_mut().zip(var.iter()) {
                 let sigma = (v + 1.0).sqrt(); // +1: unit-scale node noise
                 *f = self.noise.perturb(*f, sigma, rng);
             }

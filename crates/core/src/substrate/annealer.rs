@@ -5,6 +5,9 @@ use ember_ising::{AnnealSchedule, Annealer, BipartiteProblem, IsingProblem};
 use ember_rbm::Rbm;
 use ember_substrate::{HardwareCounters, Substrate};
 
+use crate::kernels::{binary_gemm, BitMatrix};
+use crate::GsKernel;
+
 /// A Metropolis annealer driven as a conditional sampler over the
 /// bipartite coupling — the software stand-in for an annealing-capable
 /// Ising machine (the paper's §2.1 baseline; the seam future
@@ -37,10 +40,15 @@ use ember_substrate::{HardwareCounters, Substrate};
 #[derive(Debug, Clone)]
 pub struct AnnealerSubstrate {
     problem: BipartiteProblem,
+    /// Materialized transpose of the programmed coupling, refreshed at
+    /// every programming event: the packed reverse sweep-field kernel
+    /// accumulates contiguous `Wᵀ` rows.
+    weights_t: Array2<f64>,
     annealer: Annealer,
     temperature: f64,
     burn_in: usize,
     thin: usize,
+    kernel: GsKernel,
     counters: HardwareCounters,
 }
 
@@ -50,12 +58,15 @@ impl AnnealerSubstrate {
     /// single-spin-flip on independent spins, so they mix in a handful
     /// of sweeps).
     pub fn new(problem: BipartiteProblem) -> Self {
+        let weights_t = problem.weights().t().to_owned();
         AnnealerSubstrate {
             problem,
+            weights_t,
             annealer: Annealer::new(AnnealSchedule::constant(1.0, 1)),
             temperature: 1.0,
             burn_in: 8,
             thin: 2,
+            kernel: GsKernel::Packed,
             counters: HardwareCounters::new(),
         }
     }
@@ -94,9 +105,56 @@ impl AnnealerSubstrate {
         self
     }
 
+    /// Returns a copy running the sweep-field products on the given
+    /// kernel (conditional fields — and therefore samples — are
+    /// bit-identical either way; see [`GsKernel`]).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: GsKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The selected sweep-field GEMM kernel.
+    pub fn kernel(&self) -> GsKernel {
+        self.kernel
+    }
+
     /// The programmed bipartite coupling.
     pub fn problem(&self) -> &BipartiteProblem {
         &self.problem
+    }
+
+    /// The conditional bit fields of one batched half-step
+    /// (`clamped · W (+ bias)` forward, `clamped · Wᵀ (+ bias)`
+    /// reverse), through the selected kernel. Binary batches run the
+    /// bit-packed product; gray levels and the dense baseline pay the
+    /// dense GEMM. Returns the fields and whether the packed kernel
+    /// served the call (for the counter accounting).
+    fn batch_fields(&self, clamped: &Array2<f64>, rev: bool) -> (Array2<f64>, bool) {
+        let (w, bias) = if rev {
+            (&self.weights_t, self.problem.visible_bias())
+        } else {
+            (self.problem.weights(), self.problem.hidden_bias())
+        };
+        if self.kernel == GsKernel::Packed {
+            if let Some(bits) = BitMatrix::from_batch(clamped) {
+                return (binary_gemm(&bits, w, Some(&bias.view())), true);
+            }
+        }
+        let mut fields = clamped.dot(w);
+        for mut row in fields.axis_iter_mut(ndarray::Axis(0)) {
+            row += bias;
+        }
+        (fields, false)
+    }
+
+    /// Accounts one batched half-step's kernel choice.
+    fn count_kernel(&mut self, packed: bool) {
+        if packed {
+            self.counters.packed_kernel_calls += 1;
+        } else {
+            self.counters.dense_kernel_calls += 1;
+        }
     }
 
     /// Draws one free-side configuration given per-unit conditional bit
@@ -153,12 +211,24 @@ impl Substrate for AnnealerSubstrate {
             self.problem.weights().dim(),
             "fabricated size"
         );
-        self.problem = BipartiteProblem::new(
-            weights.to_owned(),
-            visible_bias.to_owned(),
-            hidden_bias.to_owned(),
-        )
-        .expect("consistent weight/bias dimensions");
+        // Volatile re-programming of identical parameters (the serving
+        // layer's per-job norm) pays the transfer words but skips the
+        // host-side rebuild of the problem and the cached transpose.
+        let unchanged = weights
+            .iter()
+            .zip(self.problem.weights().iter())
+            .all(|(a, b)| a == b)
+            && *visible_bias == *self.problem.visible_bias()
+            && *hidden_bias == *self.problem.hidden_bias();
+        if !unchanged {
+            self.problem = BipartiteProblem::new(
+                weights.to_owned(),
+                visible_bias.to_owned(),
+                hidden_bias.to_owned(),
+            )
+            .expect("consistent weight/bias dimensions");
+            self.weights_t = self.problem.weights().t().to_owned();
+        }
         self.counters.host_words_transferred += self.programming_cost();
     }
 
@@ -169,12 +239,10 @@ impl Substrate for AnnealerSubstrate {
             "visible width mismatch"
         );
         let n = self.hidden_len();
-        // Conditional bit fields for the whole batch in one GEMM:
-        // a = v · W + b_h.
-        let mut fields = visible.dot(self.problem.weights());
-        for mut row in fields.axis_iter_mut(ndarray::Axis(0)) {
-            row += self.problem.hidden_bias();
-        }
+        // Conditional bit fields for the whole batch in one product:
+        // a = v · W + b_h — bit-packed when the clamp is binary.
+        let (fields, packed) = self.batch_fields(visible, false);
+        self.count_kernel(packed);
         let mut out = Array2::zeros((visible.nrows(), n));
         for (r, field_row) in fields.rows().enumerate() {
             out.row_mut(r)
@@ -188,10 +256,8 @@ impl Substrate for AnnealerSubstrate {
     fn sample_visible_batch(&mut self, hidden: &Array2<f64>, rng: &mut dyn RngCore) -> Array2<f64> {
         assert_eq!(hidden.ncols(), self.hidden_len(), "hidden width mismatch");
         let m = self.visible_len();
-        let mut fields = hidden.dot(&self.problem.weights().t());
-        for mut row in fields.axis_iter_mut(ndarray::Axis(0)) {
-            row += self.problem.visible_bias();
-        }
+        let (fields, packed) = self.batch_fields(hidden, true);
+        self.count_kernel(packed);
         let mut out = Array2::zeros((hidden.nrows(), m));
         for (r, field_row) in fields.rows().enumerate() {
             out.row_mut(r)
@@ -249,6 +315,33 @@ mod tests {
         let freq = h.sum() / 3000.0;
         // σ(3/10) ≈ 0.574, far from the T=1 value σ(3) ≈ 0.953.
         assert!((freq - sigmoid(0.3)).abs() < 0.04, "freq {freq}");
+    }
+
+    #[test]
+    fn packed_and_dense_sweep_fields_sample_identically() {
+        use rand::Rng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let w = Array2::from_shape_fn((6, 4), |_| rng.random_range(-1.0..1.0));
+        let problem = BipartiteProblem::new(
+            w,
+            ndarray::Array1::from_shape_fn(6, |_| rng.random_range(-0.5..0.5)),
+            ndarray::Array1::from_shape_fn(4, |_| rng.random_range(-0.5..0.5)),
+        )
+        .unwrap();
+        let v = Array2::from_shape_fn((5, 6), |_| f64::from(rng.random_bool(0.5)));
+        let run = |kernel| {
+            let mut sub = AnnealerSubstrate::new(problem.clone()).with_kernel(kernel);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+            let h = sub.sample_hidden_batch(&v, &mut rng);
+            let back = sub.sample_visible_batch(&h, &mut rng);
+            (h, back, *sub.counters())
+        };
+        let (h_p, v_p, c_p) = run(crate::GsKernel::Packed);
+        let (h_d, v_d, c_d) = run(crate::GsKernel::Dense);
+        assert_eq!(h_p, h_d);
+        assert_eq!(v_p, v_d);
+        assert_eq!(c_p.packed_kernel_calls, 2);
+        assert_eq!(c_d.dense_kernel_calls, 2);
     }
 
     #[test]

@@ -6,6 +6,8 @@ use ember_ising::BipartiteProblem;
 use ember_rbm::Rbm;
 use ember_substrate::{HardwareCounters, Substrate};
 
+use crate::kernels::BitMatrix;
+
 /// The bipartite BRIM of §3.1/Fig. 3 driven as a conditional sampler:
 /// clamp units hold one side at its data rails, the free side's coupled
 /// ring oscillators evolve under constant flip injection (the thermal
@@ -128,7 +130,10 @@ impl Substrate for BrimSubstrate {
         let (m, n) = (self.visible_len(), self.hidden_len());
         assert_eq!(visible.ncols(), m, "visible clamp width mismatch");
         let schedule = self.thermal_schedule();
-        let mut out = Array2::zeros((visible.nrows(), n));
+        // Each settled read-out thresholds straight into one packed
+        // row — no per-read `Vec<bool>`; the dense `f64` matrix the
+        // Substrate API exchanges is materialized once at the end.
+        let mut out = BitMatrix::zeros(visible.nrows(), n);
         let mut levels = vec![0.0; m];
         for (r, row) in visible.rows().enumerate() {
             for (level, &x) in levels.iter_mut().zip(row.iter()) {
@@ -136,20 +141,19 @@ impl Substrate for BrimSubstrate {
             }
             self.brim.clamp_visible(&levels);
             self.brim.anneal(&schedule, rng);
-            for (j, &bit) in self.brim.read_hidden_bits().iter().enumerate() {
-                out[[r, j]] = f64::from(bit);
-            }
+            self.brim.read_hidden_packed(out.row_words_mut(r));
         }
+        self.counters.packed_kernel_calls += 1;
         self.counters.phase_points += (visible.nrows() * self.anneal_steps) as u64;
         self.counters.host_words_transferred += (visible.nrows() * n) as u64;
-        out
+        out.to_dense()
     }
 
     fn sample_visible_batch(&mut self, hidden: &Array2<f64>, rng: &mut dyn RngCore) -> Array2<f64> {
         let (m, n) = (self.visible_len(), self.hidden_len());
         assert_eq!(hidden.ncols(), n, "hidden clamp width mismatch");
         let schedule = self.thermal_schedule();
-        let mut out = Array2::zeros((hidden.nrows(), m));
+        let mut out = BitMatrix::zeros(hidden.nrows(), m);
         let mut levels = vec![0.0; n];
         for (r, row) in hidden.rows().enumerate() {
             for (level, &x) in levels.iter_mut().zip(row.iter()) {
@@ -157,13 +161,12 @@ impl Substrate for BrimSubstrate {
             }
             self.brim.clamp_hidden(&levels);
             self.brim.anneal(&schedule, rng);
-            for (i, &bit) in self.brim.read_visible_bits().iter().enumerate() {
-                out[[r, i]] = f64::from(bit);
-            }
+            self.brim.read_visible_packed(out.row_words_mut(r));
         }
+        self.counters.packed_kernel_calls += 1;
         self.counters.phase_points += (hidden.nrows() * self.anneal_steps) as u64;
         self.counters.host_words_transferred += (hidden.nrows() * m) as u64;
-        out
+        out.to_dense()
     }
 
     fn sample_hidden_batch_rows(
@@ -175,7 +178,7 @@ impl Substrate for BrimSubstrate {
         assert_eq!(visible.ncols(), m, "visible clamp width mismatch");
         assert_eq!(visible.nrows(), rngs.len(), "one RNG stream per row");
         let schedule = self.thermal_schedule();
-        let mut out = Array2::zeros((visible.nrows(), n));
+        let mut out = BitMatrix::zeros(visible.nrows(), n);
         let mut levels = vec![0.0; m];
         for (r, row) in visible.rows().enumerate() {
             for (level, &x) in levels.iter_mut().zip(row.iter()) {
@@ -189,13 +192,12 @@ impl Substrate for BrimSubstrate {
             self.brim.reset_voltages();
             self.brim.clamp_visible(&levels);
             self.brim.anneal(&schedule, &mut *rngs[r]);
-            for (j, &bit) in self.brim.read_hidden_bits().iter().enumerate() {
-                out[[r, j]] = f64::from(bit);
-            }
+            self.brim.read_hidden_packed(out.row_words_mut(r));
         }
+        self.counters.packed_kernel_calls += 1;
         self.counters.phase_points += (visible.nrows() * self.anneal_steps) as u64;
         self.counters.host_words_transferred += (visible.nrows() * n) as u64;
-        out
+        out.to_dense()
     }
 
     fn sample_visible_batch_rows(
@@ -207,7 +209,7 @@ impl Substrate for BrimSubstrate {
         assert_eq!(hidden.ncols(), n, "hidden clamp width mismatch");
         assert_eq!(hidden.nrows(), rngs.len(), "one RNG stream per row");
         let schedule = self.thermal_schedule();
-        let mut out = Array2::zeros((hidden.nrows(), m));
+        let mut out = BitMatrix::zeros(hidden.nrows(), m);
         let mut levels = vec![0.0; n];
         for (r, row) in hidden.rows().enumerate() {
             for (level, &x) in levels.iter_mut().zip(row.iter()) {
@@ -216,13 +218,12 @@ impl Substrate for BrimSubstrate {
             self.brim.reset_voltages();
             self.brim.clamp_hidden(&levels);
             self.brim.anneal(&schedule, &mut *rngs[r]);
-            for (i, &bit) in self.brim.read_visible_bits().iter().enumerate() {
-                out[[r, i]] = f64::from(bit);
-            }
+            self.brim.read_visible_packed(out.row_words_mut(r));
         }
+        self.counters.packed_kernel_calls += 1;
         self.counters.phase_points += (hidden.nrows() * self.anneal_steps) as u64;
         self.counters.host_words_transferred += (hidden.nrows() * m) as u64;
-        out
+        out.to_dense()
     }
 
     fn counters(&self) -> &HardwareCounters {

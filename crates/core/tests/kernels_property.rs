@@ -1,0 +1,89 @@
+//! Property-based tests of the bit-packed binary-state kernel layer
+//! (`ember_core::kernels`): pack/unpack round-trips at widths that are
+//! not multiples of 64, and bit-identity of the packed GEMM against the
+//! scalar row-loop reference kernel on random binary batches.
+
+use ember_core::kernels::{binary_gemm, is_binary, scalar_ref_gemm, BitMatrix};
+use ndarray::{Array1, Array2};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// A random binary batch with the given density, from a derived seed.
+fn binary_batch(rows: usize, cols: usize, density: f64, seed: u64) -> Array2<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Array2::from_shape_fn((rows, cols), |_| f64::from(rng.random_bool(density)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Packing any binary batch and unpacking it is the identity, at
+    /// widths straddling word boundaries (1..=200 covers 0, 1, 2, 3
+    /// whole words plus every residue class that matters).
+    #[test]
+    fn pack_unpack_round_trips(
+        rows in 1usize..12,
+        cols in 1usize..200,
+        density in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let dense = binary_batch(rows, cols, density, seed);
+        let bits = BitMatrix::from_batch(&dense).expect("binary batch packs");
+        prop_assert_eq!(bits.nrows(), rows);
+        prop_assert_eq!(bits.ncols(), cols);
+        prop_assert_eq!(bits.words_per_row(), cols.div_ceil(64));
+        prop_assert_eq!(bits.to_dense(), dense.clone());
+        prop_assert_eq!(bits.count_ones() as f64, dense.sum());
+        // Every bit individually agrees too.
+        for r in 0..rows {
+            for j in 0..cols {
+                prop_assert_eq!(bits.get(r, j), dense[[r, j]] == 1.0);
+            }
+        }
+    }
+
+    /// The packed product is bit-identical to the scalar row-loop
+    /// reference kernel on random binary batches — set-bit iteration
+    /// order is index order, and skipping exact zeros is a
+    /// floating-point no-op.
+    #[test]
+    fn binary_gemm_is_bit_identical_to_scalar_reference(
+        rows in 1usize..8,
+        fan_in in 1usize..150,
+        out in 1usize..12,
+        density in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let states = binary_batch(rows, fan_in, density, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(1));
+        let w = Array2::from_shape_fn((fan_in, out), |_| rng.random_range(-2.0..2.0));
+        let bias = Array1::from_shape_fn(out, |_| rng.random_range(-1.0..1.0));
+        let bits = BitMatrix::from_batch(&states).expect("binary batch packs");
+        for use_bias in [false, true] {
+            let b = use_bias.then(|| bias.view());
+            let packed = binary_gemm(&bits, &w, b.as_ref());
+            let reference = scalar_ref_gemm(&states, &w, b.as_ref());
+            let packed_bits: Vec<u64> = packed.iter().map(|x| x.to_bits()).collect();
+            let ref_bits: Vec<u64> = reference.iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(packed_bits, ref_bits, "use_bias = {}", use_bias);
+        }
+    }
+
+    /// Any batch containing a non-binary entry refuses to pack (the
+    /// callers' dense-fallback trigger), and `is_binary` agrees.
+    #[test]
+    fn non_binary_entries_refuse_to_pack(
+        rows in 1usize..6,
+        cols in 1usize..80,
+        poke_r in any::<u64>(),
+        poke_c in any::<u64>(),
+        level in -2.0f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let mut dense = binary_batch(rows, cols, 0.5, seed);
+        prop_assume!(level != 0.0 && level != 1.0);
+        dense[[poke_r as usize % rows, poke_c as usize % cols]] = level;
+        prop_assert!(!is_binary(&dense));
+        prop_assert!(BitMatrix::from_batch(&dense).is_none());
+    }
+}

@@ -99,8 +99,16 @@ pub fn sample_rows<S: Substrate + ?Sized>(
 
     // §3.2 step 3, once for the whole coalesced batch: multi-bit data
     // levels pass through the substrate's DTC model; everything after
-    // this point is binary feedback.
-    let mut v = substrate.quantize_batch(&v0);
+    // this point is binary feedback. An exactly-binary gather (random
+    // inits, 0/1 clamps — the common serving case) skips the conversion
+    // pass outright: every `quantize_batch` implementation is the
+    // identity on `{0, 1}` by contract, and the skipped copy keeps the
+    // gathered batch bit-packable for the substrate's fast kernel.
+    let mut v = if ember_core::kernels::is_binary(&v0) {
+        v0
+    } else {
+        substrate.quantize_batch(&v0)
+    };
     let mut h = {
         let mut lanes = rng_lanes(&mut rngs);
         substrate.sample_hidden_batch_rows(&v, &mut lanes)

@@ -585,6 +585,39 @@ impl ServiceStats {
             self.total_rows() as f64 / batches as f64
         }
     }
+
+    /// Total sampling calls served by the bit-packed kernel, summed
+    /// over shards (see
+    /// [`HardwareCounters::packed_kernel_calls`]).
+    pub fn total_packed_kernel_calls(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.counters.packed_kernel_calls)
+            .sum()
+    }
+
+    /// Total sampling calls served by the dense/scalar fallback kernel,
+    /// summed over shards.
+    pub fn total_dense_kernel_calls(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.counters.dense_kernel_calls)
+            .sum()
+    }
+
+    /// Fraction of kernel-served sampling calls that ran bit-packed
+    /// (`0.0` when no sampling call has executed yet) — the
+    /// one-number health check that the serving hot path is actually
+    /// exercising the fast kernel.
+    pub fn packed_kernel_fraction(&self) -> f64 {
+        let packed = self.total_packed_kernel_calls();
+        let total = packed + self.total_dense_kernel_calls();
+        if total == 0 {
+            0.0
+        } else {
+            packed as f64 / total as f64
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -310,3 +310,34 @@ fn mixed_model_traffic_keeps_per_model_accounting() {
     assert_eq!(stats.models["b"].sample_requests, 6);
     assert_eq!(stats.total_rows(), 12);
 }
+
+#[test]
+fn serving_binary_traffic_runs_on_the_packed_kernel() {
+    // A served Gibbs chain is binary end to end (random binary inits,
+    // exact {0, 1} feedback), so every sampling call of every shard
+    // must be served by the bit-packed kernel — and the service stats
+    // must say so.
+    let (rbm, proto) = fixture(32, 16);
+    let service = SamplingService::builder().shards(2).build();
+    service.register_model("m", rbm, proto).unwrap();
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            service
+                .submit(SampleRequest::new("m").with_samples(2).with_seed(i))
+                .unwrap()
+        })
+        .collect();
+    for handle in handles {
+        handle.wait().unwrap();
+    }
+    let stats = service.stats();
+    assert!(stats.total_packed_kernel_calls() > 0);
+    assert_eq!(stats.total_dense_kernel_calls(), 0);
+    assert_eq!(stats.packed_kernel_fraction(), 1.0);
+    // The per-response counter delta carries the same attribution.
+    let resp = service
+        .sample(SampleRequest::new("m").with_seed(99))
+        .unwrap();
+    assert!(resp.counters.packed_kernel_calls > 0);
+    assert_eq!(resp.counters.dense_kernel_calls, 0);
+}

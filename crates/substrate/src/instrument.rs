@@ -22,6 +22,14 @@ pub struct HardwareCounters {
     /// Host-side multiply-accumulate operations (GS: gradient accumulation
     /// and weight update; BGF: none during training).
     pub host_mac_ops: u64,
+    /// Batched sampling calls whose hot kernel ran bit-packed (the
+    /// `ember_core::kernels` binary GEMM over a `BitMatrix`-packed
+    /// state batch, or a packed threshold read on the BRIM).
+    pub packed_kernel_calls: u64,
+    /// Batched sampling calls served by the dense-GEMM / scalar
+    /// fallback kernel (non-binary clamp levels, or the dense kernel
+    /// selected explicitly as the measured baseline).
+    pub dense_kernel_calls: u64,
 }
 
 impl HardwareCounters {
@@ -68,6 +76,16 @@ impl HardwareCounters {
                 "host_words_transferred",
             ),
             host_mac_ops: sub(self.host_mac_ops, earlier.host_mac_ops, "host_mac_ops"),
+            packed_kernel_calls: sub(
+                self.packed_kernel_calls,
+                earlier.packed_kernel_calls,
+                "packed_kernel_calls",
+            ),
+            dense_kernel_calls: sub(
+                self.dense_kernel_calls,
+                earlier.dense_kernel_calls,
+                "dense_kernel_calls",
+            ),
         }
     }
 
@@ -80,6 +98,8 @@ impl HardwareCounters {
         self.weight_update_events += other.weight_update_events;
         self.host_words_transferred += other.host_words_transferred;
         self.host_mac_ops += other.host_mac_ops;
+        self.packed_kernel_calls += other.packed_kernel_calls;
+        self.dense_kernel_calls += other.dense_kernel_calls;
     }
 }
 
@@ -96,11 +116,15 @@ mod tests {
             weight_update_events: 4,
             host_words_transferred: 5,
             host_mac_ops: 6,
+            packed_kernel_calls: 7,
+            dense_kernel_calls: 8,
         };
         let b = a;
         a.merge(&b);
         assert_eq!(a.positive_samples, 2);
         assert_eq!(a.host_mac_ops, 12);
+        assert_eq!(a.packed_kernel_calls, 14);
+        assert_eq!(a.dense_kernel_calls, 16);
     }
 
     #[test]
@@ -112,11 +136,14 @@ mod tests {
             weight_update_events: 4,
             host_words_transferred: 5,
             host_mac_ops: 6,
+            packed_kernel_calls: 7,
+            dense_kernel_calls: 8,
         };
         let mut now = earlier;
         let delta = HardwareCounters {
             phase_points: 40,
             host_words_transferred: 8,
+            packed_kernel_calls: 2,
             ..HardwareCounters::new()
         };
         now.merge(&delta);

@@ -144,4 +144,10 @@ fn main() {
         stats.total_batches(),
         stats.rejected
     );
+    println!(
+        "kernel mix: {:.0}% of sampling calls bit-packed ({} packed / {} dense)",
+        100.0 * stats.packed_kernel_fraction(),
+        stats.total_packed_kernel_calls(),
+        stats.total_dense_kernel_calls()
+    );
 }

@@ -14,7 +14,7 @@
 //! | [`analog`] | `ember-analog` | Sigmoid unit, thermal RNG, comparator, converters, charge pump, noise models |
 //! | [`substrate`] | `ember-substrate` | The [`substrate::Substrate`] trait: the seam between trainers and interchangeable sampling backends |
 //! | [`rbm`] | `ember-rbm` | RBM, CD-k/PCD/exact-ML trainers (substrate-generic), DBN, MLP, conv-RBM patches |
-//! | [`core`] | `ember-core` | **The paper's contribution**: Gibbs Sampler and Boltzmann Gradient Follower accelerator models, plus the three `Substrate` backends (`core::substrate`) and the `SubstrateSpec` fabrication recipes |
+//! | [`core`] | `ember-core` | **The paper's contribution**: Gibbs Sampler and Boltzmann Gradient Follower accelerator models, the three `Substrate` backends (`core::substrate`), the `SubstrateSpec` fabrication recipes, and the bit-packed binary-state sampling kernels (`core::kernels`) |
 //! | [`serve`] | `ember-serve` | Sampling-as-a-service: `ModelRegistry` of named versioned RBMs, sharded request-coalescing `SamplingService` over any substrate backend |
 //! | [`datasets`] | `ember-datasets` | Synthetic stand-ins for the paper's eight datasets |
 //! | [`metrics`] | `ember-metrics` | AIS, KL, ROC/AUC, MAE, smoothing |
@@ -59,6 +59,38 @@
 //!     .sample(SampleRequest::new("demo").with_samples(4).with_gibbs_steps(2).with_seed(1))
 //!     .unwrap();
 //! assert_eq!(resp.samples.dim(), (4, 8));
+//! ```
+//!
+//! # Kernel selection: bit-packed vs dense
+//!
+//! Every product with a binary left operand in the sampling hot path —
+//! `states · W`, `states · Wᵀ` — runs on the bit-packed kernel layer
+//! (`core::kernels`) by default: exact-`{0, 1}` batches pack 64 states
+//! per `u64` word and the GEMM reduces to summing selected weight rows
+//! (no multiplies, zeros skipped a word at a time). The packed and
+//! dense kernels accumulate in the same index order, so **samples are
+//! bit-identical either way** — select with
+//! `GsConfig::with_kernel(GsKernel::Dense)` (or
+//! `AnnealerSubstrate::with_kernel`) to measure against the dense
+//! baseline, and read `HardwareCounters::packed_kernel_calls` /
+//! `dense_kernel_calls` (also surfaced per shard by
+//! `serve::ServiceStats`) to see which kernel served each call:
+//!
+//! ```
+//! use ember::core::{GsConfig, GsKernel, SubstrateSpec};
+//! use ember::core::substrate::Substrate;
+//! use ember::rbm::Rbm;
+//! use ndarray::Array2;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let rbm = Rbm::random(8, 4, 0.2, &mut rng);
+//! let config = GsConfig::default().with_kernel(GsKernel::Packed); // the default
+//! let mut sub = SubstrateSpec::software(config).fabricate_for(&rbm, &mut rng);
+//! let v = Array2::from_shape_fn((4, 8), |(i, j)| f64::from((i + j) % 2 == 0));
+//! let h = sub.sample_hidden_batch(&v, &mut rng);
+//! assert_eq!(h.dim(), (4, 4));
+//! assert_eq!(sub.counters().packed_kernel_calls, 1);
 //! ```
 //!
 //! See `examples/` for runnable end-to-end scenarios (e.g.

@@ -1236,16 +1236,34 @@ pub(crate) fn vec_mat(v: VecDesc<'_>, m: MatDesc<'_>) -> Array1<f64> {
     )
 }
 
-/// Whether a GEMM of `m·k·n` multiply-adds is worth fanning out across
-/// the rayon pool (only with the `rayon` feature; the pool degrades to
-/// inline execution at one thread).
+/// How many workers a GEMM of `m·k·n` multiply-adds should fan out
+/// across the rayon pool (only with the `rayon` feature; the pool
+/// degrades to inline execution at one thread).
+///
+/// Retuned for the batched-sampler workloads (PR 4), measured on the
+/// reference box: the blocked serial kernel sustains ~3 GMAC/s, and the
+/// vendored rayon's scoped fan-out costs ~25–40 µs of thread spawn per
+/// worker — so a worker needs ≥ `2^20` MACs (~350 µs of work) to keep
+/// the spawn overhead under ~10%. The old gate (`total ≥ 2^21`, then
+/// *all* threads) both under-engaged mid-size products on few-core
+/// runners and over-fanned them on many-core ones (16 workers × 128k
+/// MACs is ~45 µs of work against ~30 µs of spawn each); the per-worker
+/// floor replaces it: fan out as wide as the pool and the row count
+/// allow while every worker keeps at least `2^20` MACs. A batch-64
+/// CD-1 sampling GEMM at 784×200 (10 M MACs) now engages up to 9
+/// workers; small coalesced serving batches (8×784×200 ≈ 1.25 M MACs)
+/// stay serial, which the spawn-cost measurement says is the faster
+/// choice.
 #[cfg(feature = "rayon")]
 fn gemm_parallel_rows(m: usize, k: usize, n: usize) -> usize {
+    /// Minimum multiply-adds per worker (see above).
+    const MIN_MACS_PER_WORKER: usize = 1 << 20;
     let threads = rayon::current_num_threads();
-    if threads <= 1 || m < 2 || m * k * n < 1 << 21 {
+    let macs = m * k * n;
+    if threads <= 1 || m < 2 || macs < 2 * MIN_MACS_PER_WORKER {
         1
     } else {
-        threads.min(m)
+        threads.min(m).min(macs / MIN_MACS_PER_WORKER)
     }
 }
 
@@ -1314,7 +1332,15 @@ fn mat_mat_serial(a: MatDesc<'_>, b: MatDesc<'_>) -> Array2<f64> {
         }
         (false, false) => {
             // Blocked ikj: four A rows share each streamed B row, cutting
-            // B traffic 4× versus the row-at-a-time loop.
+            // B traffic 4× versus the row-at-a-time loop. The tile height
+            // is deliberately 4 (not wider): each step of the p-loop holds
+            // one A coefficient per tile row in a register (`a0..a3`)
+            // alongside the four output-row pointers, which is what the
+            // measurement on the reference box showed to be the
+            // register-pressure sweet spot for this shape of kernel; the
+            // bit-packed kernels in `ember_core::kernels`, which carry
+            // *masks* instead of coefficient registers, profitably block
+            // 8 rows.
             let mut ablocks = a.data.chunks(4 * k);
             let mut oblocks = out.chunks_mut(4 * n);
             for (ablock, oblock) in (&mut ablocks).zip(&mut oblocks) {
@@ -1491,6 +1517,62 @@ mod tests {
         assert_eq!(c, c3);
         let c4 = at.t().dot(&bt.t());
         assert_eq!(c, c4);
+    }
+
+    #[cfg(feature = "rayon")]
+    #[test]
+    fn gemm_fan_out_keeps_a_full_block_per_worker() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(16)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            // Tiny and mid-size products stay serial…
+            assert_eq!(gemm_parallel_rows(8, 10, 10), 1);
+            assert_eq!(gemm_parallel_rows(8, 784, 200), 1); // ≈1.25M MACs
+                                                            // …the batch-64 sampler GEMM engages, but only as many
+                                                            // workers as keep ≥2^20 MACs each (not the whole pool)…
+            assert_eq!(gemm_parallel_rows(64, 784, 200), 9);
+            // …and a huge product takes the pool, capped by rows.
+            assert_eq!(gemm_parallel_rows(4096, 784, 200), 16);
+            assert_eq!(gemm_parallel_rows(2, 4096, 4096), 2);
+        });
+        // One thread: always serial.
+        let serial = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool");
+        serial.install(|| assert_eq!(gemm_parallel_rows(4096, 784, 200), 1));
+    }
+
+    #[cfg(feature = "rayon")]
+    #[test]
+    fn parallel_gemm_matches_serial_bitwise() {
+        // The fan-out splits logical A rows into contiguous blocks, so
+        // the result must be bit-identical to the serial kernel at any
+        // worker count — including the retuned engagement sizes.
+        let mut seed = 7u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        let a = Array2::from_shape_fn((64, 300), |_| if next() > 0.2 { 0.0 } else { 1.0 });
+        let b = Array2::from_shape_fn((300, 120), |_| next());
+        let serial = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool")
+            .install(|| a.dot(&b));
+        let parallel = rayon::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .expect("pool")
+            .install(|| a.dot(&b));
+        let sbits: Vec<u64> = serial.iter().map(|x| x.to_bits()).collect();
+        let pbits: Vec<u64> = parallel.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(sbits, pbits);
     }
 
     #[test]
