@@ -1,0 +1,51 @@
+//! PR 6 performance-trajectory benchmark: everything `bench_pr4`
+//! measures (same suites, same `(name, visible, hidden, mode)` row
+//! identities, so the `bench_gate` binary can diff the two trajectory
+//! files) **plus the robustness dimension**: the coalesced serving wave
+//! over a `ChaosSubstrate`-wrapped software backend at a 0% vs 1%
+//! injected fault rate — pricing the fallible seam and the
+//! reprogram-and-retry recovery machinery this PR threads through the
+//! serving hot path.
+//!
+//! Emits `BENCH_PR6.json`. Gate it against the previous point with:
+//!
+//! ```sh
+//! cargo run --release -p ember_bench --bin bench_pr6 -- --quick
+//! cargo run --release -p ember_bench --bin bench_gate -- BENCH_PR4.json BENCH_PR6.json --tolerance 0.25
+//! ```
+//!
+//! The committed `BENCH_PR6.json` follows the estimator convention of
+//! the PR 2–4 points on the drifting shared reference box: per-row
+//! medians over 8 process runs of this binary (`--quick`), with each
+//! `speedups` entry the median of the per-run ratios.
+
+use ember_bench::trajectory::{
+    bench_brim_anneal, bench_brim_settle, bench_faulty_serve, bench_gibbs_cd1, bench_gibbs_chain,
+    bench_packed_kernel, bench_serve_throughput, bench_substrate_cd1, write_trajectory,
+};
+use ember_bench::{header, RunConfig};
+
+fn main() {
+    let config = RunConfig::from_args();
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+
+    bench_gibbs_cd1(&config, &mut rows, &mut speedups);
+    bench_gibbs_chain(&config, &mut rows, &mut speedups);
+    bench_brim_anneal(&config, &mut rows, &mut speedups);
+    bench_brim_settle(&config, &mut rows, &mut speedups);
+    bench_substrate_cd1(&config, &mut rows, &mut speedups);
+    bench_serve_throughput(&config, &mut rows, &mut speedups);
+    bench_packed_kernel(&config, &mut rows, &mut speedups);
+    bench_faulty_serve(&config, &mut rows, &mut speedups);
+
+    header("Speedup summary");
+    for (name, s) in &speedups {
+        println!("  {name:<34} {s:.2}x");
+    }
+
+    let json = write_trajectory(6, &config, &rows, &speedups);
+    if config.json {
+        println!("{json}");
+    }
+}

@@ -586,6 +586,94 @@ pub fn bench_serve_throughput(
     }
 }
 
+/// The PR 6 robustness dimension: the 64-request coalesced serving wave
+/// (2 shards, 784×200, software backend) pushed through a
+/// `ChaosSubstrate` wrapper at a **0% vs 1% injected fault rate**. The
+/// 0% row prices the fallible seam itself (per-read sanity screens,
+/// readback verification, the chaos wrapper's bookkeeping); the 1% row
+/// adds the reprogram-and-retry recovery work. The `faulty-serve-…`
+/// speedup entry is the 0%-rate / 1%-rate throughput ratio — the fault
+/// storm's overhead factor (close to 1.0 is good).
+///
+/// Backoff sleeps between retries do not charge CPU time, so the rows
+/// measure the *recovery compute*, consistent with the suite's
+/// work-per-CPU-second semantics.
+pub fn bench_faulty_serve(
+    config: &RunConfig,
+    rows: &mut Vec<BenchRow>,
+    speedups: &mut Vec<(String, f64)>,
+) {
+    use ember_core::substrate::{ChaosConfig, ChaosSubstrate};
+    use ember_core::RetryPolicy;
+    use std::time::Duration;
+
+    header("Fault-injected serving (64 concurrent requests, 2 shards): 0% vs 1% fault rate");
+    let (m, n) = (784usize, 200usize);
+    let wave = 64;
+    let reps = config.pick(2, 3);
+    let mut rng = config.rng();
+    let rbm = Rbm::random(m, n, 0.01, &mut rng);
+    let proto = SubstrateSpec::software(GsConfig::default()).fabricate_for(&rbm, &mut rng);
+    let clamp = Array1::from_shape_fn(m, |_| f64::from(rng.random_bool(0.35)));
+    let mut results = [0.0f64; 2];
+    for (slot, rate, mode) in [(0usize, 0.0, "fault-0pct"), (1, 0.01, "fault-1pct")] {
+        let chaotic = Box::new(ChaosSubstrate::new(
+            proto.clone_boxed(),
+            ChaosConfig::new(config.seed ^ 0xC4A0).with_fault_rate(rate),
+        ));
+        let service = SamplingService::builder()
+            .shards(2)
+            .max_coalesce_rows(wave)
+            .queue_rows(8 * wave)
+            .retry_policy(RetryPolicy::default().with_max_retries(8).with_backoff(
+                Duration::from_micros(50),
+                2.0,
+                Duration::from_millis(1),
+            ))
+            .build();
+        service
+            .register_model("m", rbm.clone(), chaotic)
+            .expect("register bench model");
+        let mut wave_index = 0u64;
+        let wall_ms = time(
+            || {
+                let handles: Vec<_> = (0..wave as u64)
+                    .map(|i| {
+                        service
+                            .submit(
+                                SampleRequest::new("m")
+                                    .with_gibbs_steps(1)
+                                    .with_clamp(clamp.clone())
+                                    .with_seed(wave_index * 1000 + i),
+                            )
+                            .expect("bench queue sized for a full wave")
+                    })
+                    .collect();
+                wave_index += 1;
+                for handle in handles {
+                    handle.wait().expect("bench request served despite faults");
+                }
+            },
+            reps,
+        );
+        let throughput = wave as f64 / (wall_ms / 1000.0);
+        results[slot] = throughput;
+        println!("  {m}x{n} {mode:<26} {wall_ms:>10.2} ms/wave  {throughput:>12.1} requests/s");
+        rows.push(BenchRow {
+            name: "faulty-serve".into(),
+            visible: m,
+            hidden: n,
+            mode,
+            wall_ms,
+            throughput,
+            unit: "requests/sec",
+        });
+    }
+    let overhead = results[0] / results[1];
+    println!("  {m}x{n} 1%-fault overhead {overhead:.2}x (0%-rate ÷ 1%-rate throughput)");
+    speedups.push((format!("faulty-serve-overhead-{m}x{n}"), overhead));
+}
+
 /// Serializes a trajectory to the `BENCH_PR<N>.json` schema and writes it.
 pub fn write_trajectory(
     pr: u32,

@@ -110,6 +110,10 @@ fn configs_roundtrip() {
         host_mac_ops: 6,
         packed_kernel_calls: 7,
         dense_kernel_calls: 8,
+        substrate_faults: 9,
+        corrupted_programmings: 10,
+        corrupted_reads: 11,
+        recovery_retries: 12,
     };
     assert_eq!(counters, roundtrip(&counters));
 }

@@ -64,6 +64,7 @@ mod config;
 mod gibbs_sampler;
 mod gradient_follower;
 pub mod kernels;
+pub mod recovery;
 mod sampler;
 pub mod substrate;
 
@@ -71,6 +72,7 @@ pub use config::{BgfConfig, GsConfig, GsEngine, GsKernel};
 pub use gibbs_sampler::GibbsSampler;
 pub use gradient_follower::BoltzmannGradientFollower;
 pub use kernels::BitMatrix;
+pub use recovery::{couplings_checksum, screen_samples, verify_programming, RetryPolicy};
 pub use sampler::AnalogSampler;
 pub use substrate::{
     AnnealerSubstrate, BrimSubstrate, ReplicableSubstrate, SoftwareGibbs, Substrate, SubstrateSpec,

@@ -37,7 +37,9 @@
 //! same RBM through one loop, and `crates/core/tests/substrate_conformance.rs`
 //! for the shared distribution-conformance suite.
 
-pub use ember_substrate::{HardwareCounters, ReplicableSubstrate, Substrate};
+pub use ember_substrate::{
+    ChaosConfig, ChaosSubstrate, HardwareCounters, ReplicableSubstrate, Substrate, SubstrateFault,
+};
 
 mod annealer;
 mod brim;

@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
 use ember_rbm::RngStreams;
-use ember_substrate::Substrate;
+use ember_substrate::{Substrate, SubstrateFault};
 
 use crate::SampleRequest;
 
@@ -68,6 +68,93 @@ pub fn sample_rows<S: Substrate + ?Sized>(
     rows: &[ChainRequest],
     gibbs_steps: usize,
 ) -> Array2<f64> {
+    let (mut rngs, mut v) = init_chains(substrate, rows, gibbs_steps);
+    let mut h = {
+        let mut lanes = rng_lanes(&mut rngs);
+        substrate.sample_hidden_batch_rows(&v, &mut lanes)
+    };
+    for step in 0..gibbs_steps {
+        let mut lanes = rng_lanes(&mut rngs);
+        v = substrate.sample_visible_batch_rows(&h, &mut lanes);
+        if step + 1 < gibbs_steps {
+            let mut lanes = rng_lanes(&mut rngs);
+            h = substrate.sample_hidden_batch_rows(&v, &mut lanes);
+        }
+    }
+    v
+}
+
+/// The fallible twin of [`sample_rows`]: identical chain semantics, but
+/// every substrate read goes through the **fallible seam**
+/// ([`Substrate::try_sample_hidden_batch_rows`] /
+/// [`Substrate::try_sample_visible_batch_rows`]), and — on substrates
+/// that declare themselves [`Substrate::is_fallible`] — every returned
+/// batch passes the host's binary sanity screen
+/// (`ember_core::recovery::screen_samples`) before it is fed back into
+/// the next half-step, so a corrupted read is caught at the read that
+/// produced it, never silently laundered into downstream bits.
+/// Infallible backends (the default) skip the screens: the fault
+/// machinery costs nothing on the fault-free hot path.
+///
+/// On an infallible substrate this is bit-identical to [`sample_rows`].
+/// On a fault the per-row RNGs die with the call; the caller reprograms
+/// the volatile couplings and re-invokes with the same `rows`, which
+/// recreates every chain stream from its seed — a successful retry is
+/// therefore bit-identical to a fault-free run.
+///
+/// # Errors
+///
+/// Any [`SubstrateFault`] raised by the substrate, plus
+/// [`SubstrateFault::CorruptSamples`] from the sanity screen.
+///
+/// # Panics
+///
+/// As [`sample_rows`]: empty `rows`, zero `gibbs_steps`, or a clamp
+/// width mismatch.
+pub fn try_sample_rows<S: Substrate + ?Sized>(
+    substrate: &mut S,
+    rows: &[ChainRequest],
+    gibbs_steps: usize,
+) -> Result<Array2<f64>, SubstrateFault> {
+    let screened = substrate.is_fallible();
+    let screen = |batch: &Array2<f64>| -> Result<(), SubstrateFault> {
+        if screened {
+            ember_core::recovery::screen_samples(batch)
+        } else {
+            Ok(())
+        }
+    };
+    let (mut rngs, mut v) = init_chains(substrate, rows, gibbs_steps);
+    let mut h = {
+        let mut lanes = rng_lanes(&mut rngs);
+        substrate.try_sample_hidden_batch_rows(&v, &mut lanes)?
+    };
+    screen(&h)?;
+    for step in 0..gibbs_steps {
+        {
+            let mut lanes = rng_lanes(&mut rngs);
+            v = substrate.try_sample_visible_batch_rows(&h, &mut lanes)?;
+        }
+        screen(&v)?;
+        if step + 1 < gibbs_steps {
+            {
+                let mut lanes = rng_lanes(&mut rngs);
+                h = substrate.try_sample_hidden_batch_rows(&v, &mut lanes)?;
+            }
+            screen(&h)?;
+        }
+    }
+    Ok(v)
+}
+
+/// Shared chain setup of [`sample_rows`] / [`try_sample_rows`]: one RNG
+/// per chain seeded from its stream, and the quantized initial visible
+/// batch.
+fn init_chains<S: Substrate + ?Sized>(
+    substrate: &S,
+    rows: &[ChainRequest],
+    gibbs_steps: usize,
+) -> (Vec<StdRng>, Array2<f64>) {
     assert!(gibbs_steps >= 1, "need at least one Gibbs step");
     assert!(!rows.is_empty(), "need at least one chain");
     let m = substrate.visible_len();
@@ -104,24 +191,12 @@ pub fn sample_rows<S: Substrate + ?Sized>(
     // pass outright: every `quantize_batch` implementation is the
     // identity on `{0, 1}` by contract, and the skipped copy keeps the
     // gathered batch bit-packable for the substrate's fast kernel.
-    let mut v = if ember_core::kernels::is_binary(&v0) {
+    let v = if ember_core::kernels::is_binary(&v0) {
         v0
     } else {
         substrate.quantize_batch(&v0)
     };
-    let mut h = {
-        let mut lanes = rng_lanes(&mut rngs);
-        substrate.sample_hidden_batch_rows(&v, &mut lanes)
-    };
-    for step in 0..gibbs_steps {
-        let mut lanes = rng_lanes(&mut rngs);
-        v = substrate.sample_visible_batch_rows(&h, &mut lanes);
-        if step + 1 < gibbs_steps {
-            let mut lanes = rng_lanes(&mut rngs);
-            h = substrate.sample_hidden_batch_rows(&v, &mut lanes);
-        }
-    }
-    v
+    (rngs, v)
 }
 
 /// Reborrows each chain's RNG as an object-safe lane slice.

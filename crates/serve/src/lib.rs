@@ -30,9 +30,21 @@
 //! * [`ServiceStats`] — per-shard and per-model
 //!   [`HardwareCounters`](ember_substrate::HardwareCounters)
 //!   aggregation, batch-size and backpressure accounting.
+//! * **self-healing** — the substrate is treated as fallible analog
+//!   hardware: faulted groups are *reprogrammed and retried* under a
+//!   deterministic [`RetryPolicy`](ember_core::RetryPolicy) (successful
+//!   retries are bit-identical to the fault-free run); repeated failures
+//!   trip a per-model circuit breaker that degrades to a software
+//!   fallback ([`SampleResponse::degraded`]); panicking requests answer
+//!   everyone with a typed [`ServeError::ShardRestarted`] and the shard
+//!   re-provisions from retained prototypes; deadline-expired requests
+//!   are shed; [`SamplingService::shutdown`] drains within a deadline
+//!   and reports a [`DrainReport`].
 //!
 //! See `examples/sampling_service.rs` for two models served over all
-//! three substrate backends under mixed sample/train traffic.
+//! three substrate backends under mixed sample/train traffic, and
+//! `examples/chaos_service.rs` for the same service riding out an
+//! injected fault storm.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,5 +57,6 @@ mod service;
 pub use registry::{ModelRegistry, ModelSnapshot};
 pub use request::{SampleRequest, SampleResponse, ServeError, TrainRequest, TrainResponse};
 pub use service::{
-    ModelStats, ResponseHandle, SamplingService, ServiceBuilder, ServiceStats, ShardStats,
+    DrainReport, ModelStats, ResponseHandle, SamplingService, ServiceBuilder, ServiceStats,
+    ShardStats,
 };

@@ -1,10 +1,11 @@
 use std::error::Error;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use ndarray::{Array1, Array2};
 
 use ember_rbm::{CdTrainer, EpochStats};
-use ember_substrate::HardwareCounters;
+use ember_substrate::{HardwareCounters, SubstrateFault};
 
 /// A request for conditional/free-running samples from a registered
 /// model.
@@ -51,6 +52,11 @@ pub struct SampleRequest {
     /// executing shard draw one from its own deterministic lane (the
     /// response is then reproducible per shard sequence, not globally).
     pub seed: Option<u64>,
+    /// Latest useful answer time. A request still queued (or picked up
+    /// by a shard) past its deadline is **shed** with
+    /// [`ServeError::DeadlineExceeded`] instead of wasting substrate
+    /// time on an answer nobody is waiting for. `None` never expires.
+    pub deadline: Option<Instant>,
 }
 
 impl SampleRequest {
@@ -63,6 +69,7 @@ impl SampleRequest {
             gibbs_steps: 1,
             clamp: None,
             seed: None,
+            deadline: None,
         }
     }
 
@@ -93,6 +100,19 @@ impl SampleRequest {
         self.seed = Some(seed);
         self
     }
+
+    /// Returns a copy that expires at `deadline`.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Returns a copy that expires `budget` from now.
+    #[must_use]
+    pub fn with_deadline_in(self, budget: Duration) -> Self {
+        self.with_deadline(Instant::now() + budget)
+    }
 }
 
 /// The samples drawn for one [`SampleRequest`], plus execution metadata.
@@ -112,6 +132,11 @@ pub struct SampleResponse {
     /// Total rows of the coalesced batch this request was executed in
     /// (≥ `samples.nrows()`; equal when the request ran alone).
     pub coalesced_rows: usize,
+    /// `true` when the per-model circuit breaker had tripped and this
+    /// response was served by the shard's `SoftwareGibbs` **fallback**
+    /// instead of the registered (faulting) substrate. Degraded samples
+    /// are valid model samples, but not the registered backend's bits.
+    pub degraded: bool,
 }
 
 /// A request to run CD-k training epochs on a registered model.
@@ -218,7 +243,34 @@ pub enum ServeError {
     },
     /// The bounded request queue is at capacity; the request was
     /// **rejected, not blocked** — retry later or shed load.
-    QueueFull,
+    QueueFull {
+        /// Estimated time until the present backlog has drained, derived
+        /// from the queue depth and the observed per-row service time —
+        /// the value an HTTP edge would emit as `429` + `Retry-After`.
+        /// A hint, not a reservation: the queue may refill.
+        retry_after: Duration,
+    },
+    /// The request expired ([`SampleRequest::deadline`]) before a shard
+    /// could answer it; the work was shed, no substrate time was spent.
+    DeadlineExceeded,
+    /// The executing shard exhausted the service's retry policy against
+    /// a faulting substrate; the underlying hardware fault is attached.
+    /// Repeated occurrences trip the model's circuit breaker (subsequent
+    /// requests degrade to the software fallback instead of erroring).
+    SubstrateFault {
+        /// The model whose replica faulted.
+        model: String,
+        /// The last fault observed after all retries.
+        fault: SubstrateFault,
+    },
+    /// The executing shard panicked mid-request and was restarted (its
+    /// replicas re-provisioned from the registered prototypes). The
+    /// request itself was **not** completed — resubmit it; the restarted
+    /// shard serves again immediately.
+    ShardRestarted {
+        /// Index of the shard that died and was restarted.
+        shard: usize,
+    },
     /// The service has been shut down.
     ServiceClosed,
     /// The executing shard disappeared before answering (service dropped
@@ -243,7 +295,22 @@ impl fmt::Display for ServeError {
                 "training on `{model}` raced another publish (trained from v{base_version}, \
                  registry is at v{current_version}); re-submit to train from the current snapshot"
             ),
-            ServeError::QueueFull => write!(f, "request queue is full (backpressure)"),
+            ServeError::QueueFull { retry_after } => write!(
+                f,
+                "request queue is full (backpressure); retry after ~{:.1} ms",
+                retry_after.as_secs_f64() * 1e3
+            ),
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline expired before a shard could serve it")
+            }
+            ServeError::SubstrateFault { model, fault } => write!(
+                f,
+                "substrate serving `{model}` faulted beyond the retry budget: {fault}"
+            ),
+            ServeError::ShardRestarted { shard } => write!(
+                f,
+                "shard {shard} panicked mid-request and was restarted; resubmit"
+            ),
             ServeError::ServiceClosed => write!(f, "service is shut down"),
             ServeError::Disconnected => write!(f, "serving shard disconnected"),
         }

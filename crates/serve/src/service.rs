@@ -1,14 +1,19 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use ember_core::recovery::verify_programming;
+use ember_core::{GsConfig, RetryPolicy, SubstrateSpec};
 use ember_rbm::{Rbm, RngStreams};
-use ember_substrate::{HardwareCounters, ReplicableSubstrate};
+use ember_substrate::{HardwareCounters, ReplicableSubstrate, SubstrateFault};
 
 use crate::batch::{self, ChainRequest};
+use crate::registry::ModelSnapshot;
 use crate::{
     ModelRegistry, SampleRequest, SampleResponse, ServeError, TrainRequest, TrainResponse,
 };
@@ -16,7 +21,10 @@ use crate::{
 /// Builder for [`SamplingService`] (see there for the architecture).
 ///
 /// Defaults: 2 shards, a 1024-row queue, coalescing on with batches of
-/// up to 64 rows, master seed `0x5EED`.
+/// up to 64 rows, master seed `0x5EED`, the default
+/// [`RetryPolicy`] against substrate faults, and a circuit breaker that
+/// degrades a model to the software fallback after 3 consecutive
+/// retry-exhausted groups.
 #[derive(Debug, Clone)]
 pub struct ServiceBuilder {
     shards: usize,
@@ -25,6 +33,8 @@ pub struct ServiceBuilder {
     coalescing: bool,
     program_retention: bool,
     master_seed: u64,
+    retry_policy: RetryPolicy,
+    breaker_threshold: u32,
     registry: Option<ModelRegistry>,
 }
 
@@ -95,10 +105,39 @@ impl ServiceBuilder {
     }
 
     /// Master seed of the per-shard [`RngStreams`] lanes (used to seed
-    /// requests submitted without an explicit seed).
+    /// requests submitted without an explicit seed, and the shards'
+    /// backoff jitter).
     #[must_use]
     pub fn master_seed(mut self, seed: u64) -> Self {
         self.master_seed = seed;
+        self
+    }
+
+    /// Recovery schedule against [`SubstrateFault`]s: how many times a
+    /// shard **reprograms and re-runs** a faulted group before giving
+    /// up, and how it backs off in between. Retried chains recreate
+    /// their RNG streams from their seeds, so a successful retry is
+    /// bit-identical to a fault-free run. `RetryPolicy::none()` fails
+    /// fast on the first fault.
+    #[must_use]
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = policy;
+        self
+    }
+
+    /// Consecutive retry-exhausted groups on one model before its
+    /// circuit breaker trips and the model **degrades** to each shard's
+    /// deterministic `SoftwareGibbs` fallback (responses then carry
+    /// [`SampleResponse::degraded`], and the model is listed in
+    /// [`ServiceStats::degraded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0`.
+    #[must_use]
+    pub fn breaker_threshold(mut self, threshold: u32) -> Self {
+        assert!(threshold >= 1, "breaker threshold must be at least 1");
+        self.breaker_threshold = threshold;
         self
     }
 
@@ -117,6 +156,7 @@ impl ServiceBuilder {
             state: Mutex::new(QueueState {
                 open: true,
                 queued_rows: 0,
+                in_flight: 0,
                 queue: VecDeque::new(),
                 controls: (0..self.shards).map(|_| Vec::new()).collect(),
             }),
@@ -126,10 +166,14 @@ impl ServiceBuilder {
                 models: BTreeMap::new(),
                 rejected: 0,
             }),
+            breakers: Mutex::new(BTreeMap::new()),
+            prototypes: Mutex::new(HashMap::new()),
             queue_rows: self.queue_rows,
             max_coalesce_rows: self.max_coalesce_rows,
             coalescing: self.coalescing,
             program_retention: self.program_retention,
+            retry_policy: self.retry_policy,
+            breaker_threshold: self.breaker_threshold,
         });
         let streams = RngStreams::new(self.master_seed);
         let workers = (0..self.shards)
@@ -160,6 +204,8 @@ impl Default for ServiceBuilder {
             coalescing: true,
             program_retention: false,
             master_seed: 0x5EED,
+            retry_policy: RetryPolicy::default(),
+            breaker_threshold: 3,
             registry: None,
         }
     }
@@ -189,6 +235,18 @@ impl<T> ResponseHandle<T> {
     }
 }
 
+/// The outcome of [`SamplingService::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// `true` if every queued and in-flight request completed within the
+    /// drain deadline; `false` if the deadline expired first.
+    pub drained: bool,
+    /// Requests still queued at the deadline, each answered with a typed
+    /// [`ServeError::ServiceClosed`] instead of being executed (always
+    /// `0` when `drained`).
+    pub aborted_requests: usize,
+}
+
 /// Sampling-as-a-service over the [`Substrate`](ember_substrate::Substrate)
 /// seam: a pool of worker shards serving named, versioned models to many
 /// concurrent clients.
@@ -200,18 +258,20 @@ impl<T> ResponseHandle<T> {
 ///   caller provides a **prototype substrate** (see
 ///   `ember_core::SubstrateSpec`), which is cloned into every shard via
 ///   [`ReplicableSubstrate::clone_boxed`] — all shards realize the same
-///   physical machine, heterogeneous backends coexist per model.
+///   physical machine, heterogeneous backends coexist per model. The
+///   service retains its own prototype clone for shard recovery.
 /// * Requests enter a **bounded, row-weighted queue** (backpressure:
-///   [`ServeError::QueueFull`] instead of blocking) and are answered
-///   through per-request `mpsc` channels.
+///   [`ServeError::QueueFull`] with a drain-time `retry_after` hint
+///   instead of blocking) and are answered through per-request `mpsc`
+///   channels.
 /// * An idle shard pops the queue head and **coalesces** every other
 ///   pending sample request with the same `(model, gibbs_steps)` key
 ///   into one batched kernel call
-///   ([`batch::sample_rows`]) — the serving-side analogue of the paper's
-///   per-minibatch §3.2 operation list: program once, quantize once,
-///   whole-batch conditional samples, scatter rows back to callers.
-///   Chains carry per-row RNG streams, so coalescing, sharding, and
-///   scheduling are invisible in the sampled bits.
+///   ([`batch::try_sample_rows`]) — the serving-side analogue of the
+///   paper's per-minibatch §3.2 operation list: program once, quantize
+///   once, whole-batch conditional samples, scatter rows back to
+///   callers. Chains carry per-row RNG streams, so coalescing, sharding,
+///   and scheduling are invisible in the sampled bits.
 /// * Programming is paid **per coalesced group**, not per request: the
 ///   default volatile-weights model re-programs a replica for every job
 ///   (the paper's per-minibatch `m·n + m + n` word accounting — what
@@ -221,8 +281,36 @@ impl<T> ResponseHandle<T> {
 /// * [`TrainRequest`]s run CD-k on the shard's replica and publish the
 ///   update back to the registry as a new version.
 ///
-/// Dropping the service closes the queue, drains the remaining work, and
-/// joins the shards.
+/// # Fault posture
+///
+/// The substrate is *analog hardware* and treated as fallible
+/// throughout:
+///
+/// * Every group runs through the fallible seam (`try_program` /
+///   `try_sample_*`), with readback-checksum verification of
+///   programmings and a binary sanity screen on every sampled batch.
+/// * A faulted group is **reprogrammed and retried** under the
+///   builder's [`RetryPolicy`] (volatile weights: the upset that broke
+///   the read may have disturbed the couplings). Retries recreate every
+///   chain RNG from its seed, so a successful retry returns exactly the
+///   fault-free bits. Exhausted retries answer every member with a
+///   typed [`ServeError::SubstrateFault`].
+/// * Consecutive exhausted groups trip a **per-model circuit breaker**
+///   ([`ServiceBuilder::breaker_threshold`]): the model degrades to a
+///   deterministic per-shard `SoftwareGibbs` fallback (responses carry
+///   [`SampleResponse::degraded`]; [`ServiceStats::degraded`] lists the
+///   model).
+/// * Workers run every request under `catch_unwind`: a panicking
+///   request answers **all** its group members with
+///   [`ServeError::ShardRestarted`] — nobody hangs on a dropped reply
+///   channel — and the shard re-provisions its replicas from the
+///   retained prototypes before taking the next job
+///   ([`ShardStats::restarts`]).
+/// * Requests past their [`SampleRequest::deadline`] are **shed** with
+///   [`ServeError::DeadlineExceeded`] before any substrate time is
+///   spent ([`ShardStats::shed_requests`]).
+/// * [`SamplingService::shutdown`] drains within an explicit deadline;
+///   dropping the service still drains everything, without a bound.
 ///
 /// # Example
 ///
@@ -270,7 +358,9 @@ impl SamplingService {
     ///
     /// The prototype must be fabricated at the model's size; fabricate
     /// it once (e.g. via `ember_core::SubstrateSpec::fabricate_for`) so
-    /// all replicas share one fabricated identity.
+    /// all replicas share one fabricated identity. The service keeps its
+    /// own clone of the prototype to re-provision a shard that dies
+    /// mid-request.
     ///
     /// # Errors
     ///
@@ -296,13 +386,20 @@ impl SamplingService {
             )));
         }
         // Deep-copying a replica per shard is expensive (weights +
-        // variation maps); do it before taking the service lock.
+        // variation maps); do it before taking the service lock. One
+        // extra clone is retained for shard recovery.
+        let retained = prototype.clone_boxed();
         let replicas = self.clone_per_shard(prototype);
         let mut st = self.core.state.lock().expect("service lock");
         if !st.open {
             return Err(ServeError::ServiceClosed);
         }
         let version = self.registry.register(name.clone(), rbm)?;
+        self.core
+            .prototypes
+            .lock()
+            .expect("prototype lock")
+            .insert(name.clone(), retained);
         Self::broadcast_replicas(&mut st, name, replicas);
         drop(st);
         self.core.cv.notify_all();
@@ -342,11 +439,17 @@ impl SamplingService {
                 snapshot.rbm.hidden_len(),
             )));
         }
+        let retained = prototype.clone_boxed();
         let replicas = self.clone_per_shard(prototype);
         let mut st = self.core.state.lock().expect("service lock");
         if !st.open {
             return Err(ServeError::ServiceClosed);
         }
+        self.core
+            .prototypes
+            .lock()
+            .expect("prototype lock")
+            .insert(name.clone(), retained);
         Self::broadcast_replicas(&mut st, name, replicas);
         drop(st);
         self.core.cv.notify_all();
@@ -470,10 +573,82 @@ impl SamplingService {
     /// A consistent snapshot of the service's accounting.
     pub fn stats(&self) -> ServiceStats {
         let inner = self.core.stats.lock().expect("stats lock");
+        let degraded = self
+            .core
+            .breakers
+            .lock()
+            .expect("breaker lock")
+            .iter()
+            .filter(|(_, b)| b.tripped)
+            .map(|(name, _)| name.clone())
+            .collect();
         ServiceStats {
             shards: inner.shards.clone(),
             models: inner.models.clone(),
             rejected: inner.rejected,
+            degraded,
+        }
+    }
+
+    /// Graceful drain: closes the queue (new submissions fail with
+    /// [`ServeError::ServiceClosed`]), waits up to `deadline` for every
+    /// queued and in-flight request to complete, then joins the shards.
+    ///
+    /// If the deadline expires first, requests **still queued** are
+    /// answered with a typed [`ServeError::ServiceClosed`] (counted in
+    /// [`DrainReport::aborted_requests`]) instead of being executed;
+    /// requests already executing on a shard are allowed to finish —
+    /// the substrate seam has no preemption — so the final join may
+    /// outlast the deadline by up to one group's compute time.
+    ///
+    /// Dropping the service instead drains *everything* with no bound.
+    pub fn shutdown(mut self, deadline: Duration) -> DrainReport {
+        let deadline_at = Instant::now() + deadline;
+        {
+            let mut st = self.core.state.lock().expect("service lock");
+            st.open = false;
+        }
+        self.core.cv.notify_all();
+
+        let mut st = self.core.state.lock().expect("service lock");
+        let drained = loop {
+            if st.queue.is_empty() && st.in_flight == 0 {
+                break true;
+            }
+            let now = Instant::now();
+            if now >= deadline_at {
+                break false;
+            }
+            let (guard, _) = self
+                .core
+                .cv
+                .wait_timeout(st, deadline_at - now)
+                .expect("service lock");
+            st = guard;
+        };
+        let mut aborted = 0usize;
+        if !drained {
+            while let Some(item) = st.queue.pop_front() {
+                aborted += 1;
+                match item {
+                    Queued::Sample(sample) => {
+                        let _ = sample.reply.send(Err(ServeError::ServiceClosed));
+                    }
+                    Queued::Train(train) => {
+                        let _ = train.reply.send(Err(ServeError::ServiceClosed));
+                    }
+                }
+            }
+            st.queued_rows = 0;
+        }
+        drop(st);
+        self.core.cv.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        DrainReport {
+            drained,
+            aborted_requests: aborted,
         }
     }
 
@@ -494,9 +669,12 @@ impl SamplingService {
             return Err(ServeError::ServiceClosed);
         }
         if st.queued_rows + weight > self.core.queue_rows {
+            let backlog_rows = st.queued_rows;
             drop(st);
-            self.core.stats.lock().expect("stats lock").rejected += 1;
-            return Err(ServeError::QueueFull);
+            let mut stats = self.core.stats.lock().expect("stats lock");
+            stats.rejected += 1;
+            let retry_after = retry_after_hint(&stats, backlog_rows, self.workers.len());
+            return Err(ServeError::QueueFull { retry_after });
         }
         st.queued_rows += weight;
         st.queue.push_back(item);
@@ -508,7 +686,8 @@ impl SamplingService {
 
 impl Drop for SamplingService {
     /// Graceful shutdown: close the queue (new submissions fail), let
-    /// the shards drain what is already queued, join them.
+    /// the shards drain what is already queued, join them. For a
+    /// *bounded* drain use [`SamplingService::shutdown`].
     fn drop(&mut self) {
         {
             let mut st = self.core.state.lock().expect("service lock");
@@ -519,6 +698,23 @@ impl Drop for SamplingService {
             let _ = worker.join();
         }
     }
+}
+
+/// Estimated time for the present backlog to drain: queue depth × the
+/// observed mean per-row service time ÷ shards. Before any row has been
+/// served, assumes 1 ms/row; floored at 100 µs so the hint is never a
+/// busy-loop invitation.
+fn retry_after_hint(stats: &StatsInner, backlog_rows: usize, shards: usize) -> Duration {
+    let (rows, busy) = stats
+        .shards
+        .iter()
+        .fold((0u64, 0u64), |(r, b), s| (r + s.rows, b + s.busy_nanos));
+    let per_row_nanos = match busy.checked_div(rows) {
+        None => 1_000_000,
+        Some(per_row) => per_row.max(1_000),
+    };
+    let nanos = (backlog_rows as u64).saturating_mul(per_row_nanos) / shards.max(1) as u64;
+    Duration::from_nanos(nanos.max(100_000))
 }
 
 /// Per-shard accounting (one entry per worker in
@@ -535,6 +731,14 @@ pub struct ShardStats {
     pub largest_batch: u64,
     /// Training requests executed.
     pub train_requests: u64,
+    /// Times this shard died mid-request (panic) and was re-provisioned
+    /// from the retained prototypes.
+    pub restarts: u64,
+    /// Requests shed past their deadline without substrate work.
+    pub shed_requests: u64,
+    /// Wall-clock nanoseconds this shard spent executing sample groups
+    /// (drives the [`ServeError::QueueFull`] `retry_after` hint).
+    pub busy_nanos: u64,
     /// Hardware events of this shard's replicas.
     pub counters: HardwareCounters,
 }
@@ -549,7 +753,16 @@ pub struct ModelStats {
     pub rows: u64,
     /// Training requests executed on this model.
     pub train_requests: u64,
-    /// Hardware events spent serving this model, summed over shards.
+    /// Sample requests answered by the software fallback after the
+    /// model's circuit breaker tripped.
+    pub degraded_requests: u64,
+    /// Sample requests answered with [`ServeError::SubstrateFault`]
+    /// after the retry budget was exhausted.
+    pub failed_requests: u64,
+    /// Hardware events spent serving this model, summed over shards
+    /// (fault and retry totals live in
+    /// [`HardwareCounters::substrate_faults`] /
+    /// [`HardwareCounters::recovery_retries`] and friends).
     pub counters: HardwareCounters,
 }
 
@@ -562,6 +775,10 @@ pub struct ServiceStats {
     pub models: BTreeMap<String, ModelStats>,
     /// Requests rejected by backpressure ([`ServeError::QueueFull`]).
     pub rejected: u64,
+    /// Models whose circuit breaker has tripped: they are currently
+    /// served by the `SoftwareGibbs` fallback, not their registered
+    /// substrate.
+    pub degraded: Vec<String>,
 }
 
 impl ServiceStats {
@@ -618,31 +835,87 @@ impl ServiceStats {
             packed as f64 / total as f64
         }
     }
+
+    /// Total shard restarts (mid-request panics recovered by
+    /// re-provisioning).
+    pub fn total_restarts(&self) -> u64 {
+        self.shards.iter().map(|s| s.restarts).sum()
+    }
+
+    /// Total requests shed past their deadline.
+    pub fn total_shed_requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed_requests).sum()
+    }
+
+    /// Total substrate fault events observed across shards (hard
+    /// faults + corrupted programmings + corrupted reads).
+    pub fn total_fault_events(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.counters.total_fault_events())
+            .sum()
+    }
+
+    /// Total recovery retries executed across shards.
+    pub fn total_recovery_retries(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.counters.recovery_retries)
+            .sum()
+    }
 }
 
 // ---------------------------------------------------------------------
 // Internals: the shared queue and the shard workers.
 // ---------------------------------------------------------------------
 
-#[derive(Debug)]
 struct Core {
     state: Mutex<QueueState>,
     cv: Condvar,
     stats: Mutex<StatsInner>,
+    /// Per-model circuit-breaker state.
+    breakers: Mutex<BTreeMap<String, Breaker>>,
+    /// Retained prototype per model, for re-provisioning a restarted
+    /// shard.
+    prototypes: Mutex<HashMap<String, Box<dyn ReplicableSubstrate>>>,
     queue_rows: usize,
     max_coalesce_rows: usize,
     coalescing: bool,
     program_retention: bool,
+    retry_policy: RetryPolicy,
+    breaker_threshold: u32,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("queue_rows", &self.queue_rows)
+            .field("max_coalesce_rows", &self.max_coalesce_rows)
+            .field("coalescing", &self.coalescing)
+            .field("program_retention", &self.program_retention)
+            .field("retry_policy", &self.retry_policy)
+            .field("breaker_threshold", &self.breaker_threshold)
+            .finish_non_exhaustive()
+    }
 }
 
 #[derive(Debug)]
 struct QueueState {
     open: bool,
     queued_rows: usize,
+    /// Requests popped by a shard but not yet answered — what a bounded
+    /// drain waits on besides the queue itself.
+    in_flight: usize,
     queue: VecDeque<Queued>,
     /// Per-shard control inboxes (model provisioning), drained by a
     /// shard before it takes new work.
     controls: Vec<Vec<Control>>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Breaker {
+    consecutive_failures: u32,
+    tripped: bool,
 }
 
 enum Control {
@@ -699,16 +972,29 @@ enum Work {
 /// One provisioned model replica on a shard. `programmed_version` only
 /// carries meaning when program retention is enabled; without it the
 /// replica's analog weights are treated as volatile and every job
-/// re-programs (`None` always forces reprogramming).
+/// re-programs (`None` always forces reprogramming). `fallback` is the
+/// lazily fabricated `SoftwareGibbs` standing in after the model's
+/// circuit breaker trips.
 struct Replica {
     substrate: Box<dyn ReplicableSubstrate>,
     programmed_version: Option<u64>,
+    fallback: Option<Box<dyn ReplicableSubstrate>>,
+}
+
+impl Replica {
+    fn new(substrate: Box<dyn ReplicableSubstrate>) -> Self {
+        Replica {
+            substrate,
+            programmed_version: None,
+            fallback: None,
+        }
+    }
 }
 
 /// Blocks until this shard has work: control messages first, then the
 /// queue head — coalesced with every pending same-`(model, gibbs_steps)`
 /// sample request up to the row bound — then shutdown once the queue is
-/// drained.
+/// drained. Taken work is counted in-flight until [`finish_work`].
 fn next_work(core: &Core, shard: usize) -> Work {
     let mut st = core.state.lock().expect("service lock");
     loop {
@@ -718,6 +1004,7 @@ fn next_work(core: &Core, shard: usize) -> Work {
         match st.queue.pop_front() {
             Some(Queued::Train(train)) => {
                 st.queued_rows -= 1;
+                st.in_flight += 1;
                 return Work::Train(train);
             }
             Some(Queued::Sample(first)) => {
@@ -751,6 +1038,7 @@ fn next_work(core: &Core, shard: usize) -> Work {
                     }
                     st.queue = kept;
                 }
+                st.in_flight += 1;
                 return Work::Sample(members);
             }
             None => {
@@ -763,12 +1051,31 @@ fn next_work(core: &Core, shard: usize) -> Work {
     }
 }
 
+/// Marks one in-flight work item answered and wakes any bounded drain
+/// waiting on the count.
+fn finish_work(core: &Core) {
+    let mut st = core.state.lock().expect("service lock");
+    st.in_flight -= 1;
+    drop(st);
+    core.cv.notify_all();
+}
+
 /// The shard worker: drains controls, serves coalesced sample groups and
 /// training jobs until shutdown. `lane` is this shard's deterministic
 /// RNG-stream family, consumed (one stream per event) to seed requests
 /// submitted without an explicit seed.
+///
+/// Every request executes under `catch_unwind`: a panic mid-group
+/// answers all members with [`ServeError::ShardRestarted`] (no caller is
+/// ever left hanging on a dropped reply channel) and the shard
+/// re-provisions its replicas from the retained prototypes before
+/// taking the next job.
 fn run_shard(core: &Core, registry: &ModelRegistry, shard: usize, lane: RngStreams) {
     let mut replicas: HashMap<String, Replica> = HashMap::new();
+    // Backoff jitter draws from a dedicated stream far outside the
+    // request-seeding sequence, so fault recovery never perturbs the
+    // seeds handed to seedless requests.
+    let mut backoff_rng = StdRng::seed_from_u64(lane.seed(u64::MAX));
     let mut lane_next: u64 = 0;
     let mut lane_seed = move || {
         let seed = lane.seed(lane_next);
@@ -780,109 +1087,312 @@ fn run_shard(core: &Core, registry: &ModelRegistry, shard: usize, lane: RngStrea
             Work::Exit => return,
             Work::Controls(controls) => {
                 for Control::AddModel { name, replica } in controls {
-                    replicas.insert(
-                        name,
-                        Replica {
-                            substrate: replica,
-                            programmed_version: None,
-                        },
-                    );
+                    replicas.insert(name, Replica::new(replica));
                 }
             }
             Work::Sample(members) => {
-                serve_sample_group(
-                    core,
-                    registry,
-                    shard,
-                    &mut replicas,
-                    members,
-                    &mut lane_seed,
-                );
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    serve_sample_group(
+                        core,
+                        registry,
+                        shard,
+                        &mut replicas,
+                        &members,
+                        &mut lane_seed,
+                        &mut backoff_rng,
+                    )
+                }));
+                match outcome {
+                    Ok(replies) => {
+                        debug_assert_eq!(replies.len(), members.len());
+                        for (member, reply) in members.iter().zip(replies) {
+                            let _ = member.reply.send(reply);
+                        }
+                    }
+                    Err(_) => {
+                        for member in &members {
+                            let _ = member.reply.send(Err(ServeError::ShardRestarted { shard }));
+                        }
+                        restart_shard(core, registry, shard, &mut replicas);
+                    }
+                }
+                finish_work(core);
             }
-            Work::Train(train) => {
-                serve_train(core, registry, shard, &mut replicas, train, &mut lane_seed);
+            Work::Train(QueuedTrain { request, reply }) => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    serve_train(
+                        core,
+                        registry,
+                        shard,
+                        &mut replicas,
+                        &request,
+                        &mut lane_seed,
+                    )
+                }));
+                match outcome {
+                    Ok(result) => {
+                        let _ = reply.send(result);
+                    }
+                    Err(_) => {
+                        let _ = reply.send(Err(ServeError::ShardRestarted { shard }));
+                        restart_shard(core, registry, shard, &mut replicas);
+                    }
+                }
+                finish_work(core);
             }
         }
     }
 }
 
-/// Executes one coalesced group: program-if-stale, one batched kernel
-/// run, scatter the rows back to the member requests.
+/// Rebuilds a shard's replica set after a mid-request panic: every
+/// registered model gets a fresh clone of its retained prototype. The
+/// poisoned replicas (whatever state the panic left them in) are
+/// dropped wholesale.
+fn restart_shard(
+    core: &Core,
+    registry: &ModelRegistry,
+    shard: usize,
+    replicas: &mut HashMap<String, Replica>,
+) {
+    replicas.clear();
+    {
+        let prototypes = core.prototypes.lock().expect("prototype lock");
+        for (name, prototype) in prototypes.iter() {
+            if registry.get(name).is_some() {
+                replicas.insert(name.clone(), Replica::new(prototype.clone_boxed()));
+            }
+        }
+    }
+    core.stats.lock().expect("stats lock").shards[shard].restarts += 1;
+}
+
+/// Programs `substrate` with the snapshot's parameters through the
+/// fallible seam, then verifies the readback checksum (vacuous on
+/// backends without readback).
+fn program_verified<S: ember_substrate::Substrate + ?Sized>(
+    substrate: &mut S,
+    snapshot: &ModelSnapshot,
+) -> Result<(), SubstrateFault> {
+    let weights = snapshot.rbm.weights().view();
+    let visible_bias = snapshot.rbm.visible_bias().view();
+    let hidden_bias = snapshot.rbm.hidden_bias().view();
+    substrate.try_program(&weights, &visible_bias, &hidden_bias)?;
+    verify_programming(substrate, &weights, &visible_bias, &hidden_bias)
+}
+
+/// The degraded-service substrate: a `SoftwareGibbs` fabricated
+/// deterministically from the model *name* (not the shard index), so
+/// every shard's fallback realizes the same machine and degraded
+/// responses stay shard-invariant.
+fn fabricate_fallback(model: &str, snapshot: &ModelSnapshot) -> Box<dyn ReplicableSubstrate> {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in model.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = StdRng::seed_from_u64(hash);
+    SubstrateSpec::software(GsConfig::default()).fabricate(
+        snapshot.rbm.visible_len(),
+        snapshot.rbm.hidden_len(),
+        &mut rng,
+    )
+}
+
+/// Executes one coalesced group and returns one reply per member (in
+/// member order): shed expired deadlines, program-if-stale through the
+/// verified fallible seam, run the batched kernel with
+/// reprogram-and-retry under the service's [`RetryPolicy`], scatter the
+/// rows back — or degrade to the software fallback when the model's
+/// circuit breaker has tripped.
 fn serve_sample_group(
     core: &Core,
     registry: &ModelRegistry,
     shard: usize,
     replicas: &mut HashMap<String, Replica>,
-    members: Vec<QueuedSample>,
+    members: &[QueuedSample],
     lane_seed: &mut impl FnMut() -> u64,
-) {
+    backoff_rng: &mut StdRng,
+) -> Vec<Result<SampleResponse, ServeError>> {
+    let started = Instant::now();
     let model = members[0].request.model.clone();
     let gibbs_steps = members[0].request.gibbs_steps;
     let (Some(snapshot), Some(replica)) = (registry.get(&model), replicas.get_mut(&model)) else {
         // Registration is atomic (registry + provisioning under one
         // lock), so this means the model vanished mid-flight.
-        for member in members {
-            let _ = member
-                .reply
-                .send(Err(ServeError::ModelNotFound(model.clone())));
-        }
-        return;
+        return members
+            .iter()
+            .map(|_| Err(ServeError::ModelNotFound(model.clone())))
+            .collect();
     };
 
-    // §3.2 steps 1–2, once per coalesced group: volatile analog weights
-    // are re-programmed for every job unless retention is enabled and
-    // the registry version has not moved.
-    if replica.programmed_version != Some(snapshot.version) {
-        replica.substrate.program(
+    // Deadline shedding: a member already past due gets its typed error
+    // now and costs zero substrate time.
+    let now = Instant::now();
+    let mut replies: Vec<Option<Result<SampleResponse, ServeError>>> =
+        (0..members.len()).map(|_| None).collect();
+    let mut live: Vec<usize> = Vec::with_capacity(members.len());
+    for (i, member) in members.iter().enumerate() {
+        match member.request.deadline {
+            Some(deadline) if now >= deadline => {
+                replies[i] = Some(Err(ServeError::DeadlineExceeded));
+            }
+            _ => live.push(i),
+        }
+    }
+    let shed = (members.len() - live.len()) as u64;
+    if live.is_empty() {
+        core.stats.lock().expect("stats lock").shards[shard].shed_requests += shed;
+        return replies
+            .into_iter()
+            .map(|r| r.expect("every member shed"))
+            .collect();
+    }
+
+    // Expand live members to chain rows; remember each member's range.
+    let mut rows: Vec<ChainRequest> = Vec::new();
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(live.len());
+    for &i in &live {
+        let master_seed = members[i].request.seed.unwrap_or_else(&mut *lane_seed);
+        let start = rows.len();
+        rows.extend(batch::expand_request(&members[i].request, master_seed));
+        ranges.push((start, rows.len()));
+    }
+
+    let degraded = core
+        .breakers
+        .lock()
+        .expect("breaker lock")
+        .get(&model)
+        .map(|b| b.tripped)
+        .unwrap_or(false);
+
+    let (outcome, delta, retries) = if degraded {
+        // Circuit broken: serve from the deterministic software
+        // fallback. Volatile-weights discipline still applies — program
+        // it for this group from the current snapshot.
+        let fallback = replica
+            .fallback
+            .get_or_insert_with(|| fabricate_fallback(&model, &snapshot));
+        fallback.program(
             &snapshot.rbm.weights().view(),
             &snapshot.rbm.visible_bias().view(),
             &snapshot.rbm.hidden_bias().view(),
         );
-        replica.programmed_version = core.program_retention.then_some(snapshot.version);
-    }
+        let before = *fallback.counters();
+        let samples = batch::sample_rows(&mut **fallback, &rows, gibbs_steps);
+        let delta = fallback.counters().delta_since(&before);
+        (Ok(samples), delta, 0u32)
+    } else {
+        let before = *replica.substrate.counters();
+        let mut retries = 0u32;
+        let outcome = loop {
+            // §3.2 steps 1–2, once per coalesced group — through the
+            // fallible seam, with readback verification. After any
+            // fault the volatile couplings are assumed disturbed, so
+            // `programmed_version` is cleared and this re-runs.
+            let programmed = if replica.programmed_version == Some(snapshot.version) {
+                Ok(())
+            } else {
+                program_verified(&mut *replica.substrate, &snapshot).map(|()| {
+                    replica.programmed_version = core.program_retention.then_some(snapshot.version);
+                })
+            };
+            let fault = match programmed {
+                Err(fault) => fault,
+                Ok(()) => {
+                    match batch::try_sample_rows(&mut *replica.substrate, &rows, gibbs_steps) {
+                        Ok(samples) => break Ok(samples),
+                        Err(fault) => fault,
+                    }
+                }
+            };
+            replica.programmed_version = None;
+            if retries >= core.retry_policy.max_retries {
+                break Err(fault);
+            }
+            retries += 1;
+            replica.substrate.counters_mut().recovery_retries += 1;
+            std::thread::sleep(core.retry_policy.backoff(retries, backoff_rng));
+        };
+        let delta = replica.substrate.counters().delta_since(&before);
 
-    // Expand members to chain rows; remember each member's row range.
-    let mut rows: Vec<ChainRequest> = Vec::new();
-    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(members.len());
-    for member in &members {
-        let master_seed = member.request.seed.unwrap_or_else(&mut *lane_seed);
-        let start = rows.len();
-        rows.extend(batch::expand_request(&member.request, master_seed));
-        ranges.push((start, rows.len()));
-    }
-
-    let before = *replica.substrate.counters();
-    let samples = batch::sample_rows(&mut *replica.substrate, &rows, gibbs_steps);
-    let delta = replica.substrate.counters().delta_since(&before);
+        // Breaker bookkeeping: consecutive exhausted groups trip the
+        // model into degraded (fallback) service; any primary success
+        // resets the count.
+        let mut breakers = core.breakers.lock().expect("breaker lock");
+        let breaker = breakers.entry(model.clone()).or_default();
+        match &outcome {
+            Ok(_) => breaker.consecutive_failures = 0,
+            Err(_) => {
+                breaker.consecutive_failures += 1;
+                if breaker.consecutive_failures >= core.breaker_threshold {
+                    breaker.tripped = true;
+                }
+            }
+        }
+        drop(breakers);
+        (outcome, delta, retries)
+    };
 
     // Account first, reply second: once a caller holds its response,
     // `SamplingService::stats` already reflects the work it paid for.
     {
         let mut stats = core.stats.lock().expect("stats lock");
-        let shard_stats = &mut stats.shards[shard];
-        shard_stats.sample_requests += members.len() as u64;
-        shard_stats.rows += rows.len() as u64;
-        shard_stats.batches += 1;
-        shard_stats.largest_batch = shard_stats.largest_batch.max(rows.len() as u64);
-        shard_stats.counters.merge(&delta);
-        let model_stats = stats.models.entry(model).or_default();
-        model_stats.sample_requests += members.len() as u64;
-        model_stats.rows += rows.len() as u64;
+        {
+            let shard_stats = &mut stats.shards[shard];
+            shard_stats.shed_requests += shed;
+            shard_stats.busy_nanos += started.elapsed().as_nanos() as u64;
+            shard_stats.counters.merge(&delta);
+            if outcome.is_ok() {
+                shard_stats.sample_requests += live.len() as u64;
+                shard_stats.rows += rows.len() as u64;
+                shard_stats.batches += 1;
+                shard_stats.largest_batch = shard_stats.largest_batch.max(rows.len() as u64);
+            }
+        }
+        let model_stats = stats.models.entry(model.clone()).or_default();
         model_stats.counters.merge(&delta);
+        let _ = retries; // retries are visible via counters.recovery_retries
+        if outcome.is_ok() {
+            model_stats.sample_requests += live.len() as u64;
+            model_stats.rows += rows.len() as u64;
+            if degraded {
+                model_stats.degraded_requests += live.len() as u64;
+            }
+        } else {
+            model_stats.failed_requests += live.len() as u64;
+        }
     }
 
-    // Scatter rows back to the callers: each member's rows are a
+    // Scatter rows back to the callers: each live member's rows are a
     // contiguous range of the group result.
-    for (member, (start, end)) in members.iter().zip(&ranges) {
-        let own = samples.slice(ndarray::s![*start..*end, ..]).to_owned();
-        let _ = member.reply.send(Ok(SampleResponse {
-            samples: own,
-            counters: delta,
-            shard,
-            model_version: snapshot.version,
-            coalesced_rows: rows.len(),
-        }));
+    match outcome {
+        Ok(samples) => {
+            for (&i, (start, end)) in live.iter().zip(&ranges) {
+                let own = samples.slice(ndarray::s![*start..*end, ..]).to_owned();
+                replies[i] = Some(Ok(SampleResponse {
+                    samples: own,
+                    counters: delta,
+                    shard,
+                    model_version: snapshot.version,
+                    coalesced_rows: rows.len(),
+                    degraded,
+                }));
+            }
+        }
+        Err(fault) => {
+            for &i in &live {
+                replies[i] = Some(Err(ServeError::SubstrateFault {
+                    model: model.clone(),
+                    fault: fault.clone(),
+                }));
+            }
+        }
     }
+    replies
+        .into_iter()
+        .map(|r| r.expect("every member answered"))
+        .collect()
 }
 
 /// Executes one training job on this shard's replica and publishes the
@@ -892,16 +1402,14 @@ fn serve_train(
     registry: &ModelRegistry,
     shard: usize,
     replicas: &mut HashMap<String, Replica>,
-    train: QueuedTrain,
+    request: &TrainRequest,
     lane_seed: &mut impl FnMut() -> u64,
-) {
-    let QueuedTrain { request, reply } = train;
+) -> Result<TrainResponse, ServeError> {
     let (Some(snapshot), Some(replica)) = (
         registry.get(&request.model),
         replicas.get_mut(&request.model),
     ) else {
-        let _ = reply.send(Err(ServeError::ModelNotFound(request.model.clone())));
-        return;
+        return Err(ServeError::ModelNotFound(request.model.clone()));
     };
 
     let mut rbm = (*snapshot.rbm).clone();
@@ -937,9 +1445,12 @@ fn serve_train(
         let mut service_stats = core.stats.lock().expect("stats lock");
         service_stats.shards[shard].train_requests += 1;
         service_stats.shards[shard].counters.merge(&delta);
-        let model_stats = service_stats.models.entry(request.model).or_default();
+        let model_stats = service_stats
+            .models
+            .entry(request.model.clone())
+            .or_default();
         model_stats.train_requests += 1;
         model_stats.counters.merge(&delta);
     }
-    let _ = reply.send(result);
+    result
 }

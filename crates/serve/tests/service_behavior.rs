@@ -38,7 +38,11 @@ fn bounded_queue_rejects_rather_than_deadlocks_when_full() {
     for i in 1..200 {
         match service.submit(slow_request(i)) {
             Ok(handle) => handles.push(handle),
-            Err(ServeError::QueueFull) => {
+            Err(ServeError::QueueFull { retry_after }) => {
+                assert!(
+                    retry_after >= std::time::Duration::from_micros(100),
+                    "retry_after hint must be a usable, non-zero pause"
+                );
                 saw_full = true;
                 break;
             }
@@ -340,4 +344,113 @@ fn serving_binary_traffic_runs_on_the_packed_kernel() {
         .unwrap();
     assert!(resp.counters.packed_kernel_calls > 0);
     assert_eq!(resp.counters.dense_kernel_calls, 0);
+}
+
+#[test]
+fn panicking_request_does_not_hang_its_neighbors() {
+    // Regression: a panic mid-request used to kill the worker thread and
+    // leave every queued caller blocked forever on a dropped reply
+    // channel. Now the panicking request gets a typed ShardRestarted,
+    // the shard re-provisions, and the queue keeps draining.
+    let (rbm, proto) = fixture(8, 4);
+    let chaotic = Box::new(ember_substrate::ChaosSubstrate::new(
+        proto,
+        ember_substrate::ChaosConfig::new(7).with_panic_on_sample_call(1),
+    ));
+    let service = SamplingService::builder()
+        .shards(1)
+        .coalescing(false)
+        .build();
+    service.register_model("m", rbm, chaotic).unwrap();
+
+    // First request trips the injected panic; its neighbors are queued
+    // behind it on the same (single) shard.
+    let doomed = service
+        .submit(SampleRequest::new("m").with_seed(0))
+        .unwrap();
+    let neighbors: Vec<_> = (1..5)
+        .map(|i| {
+            service
+                .submit(SampleRequest::new("m").with_seed(i))
+                .unwrap()
+        })
+        .collect();
+
+    assert!(matches!(
+        doomed.wait(),
+        Err(ServeError::ShardRestarted { shard: 0 })
+    ));
+    for neighbor in neighbors {
+        let resp = neighbor.wait().expect("neighbors must still be served");
+        assert_eq!(resp.samples.nrows(), 1);
+    }
+    let stats = service.stats();
+    assert_eq!(stats.total_restarts(), 1, "exactly one recovery");
+    // The restarted shard serves resubmissions immediately.
+    let resubmitted = service
+        .sample(SampleRequest::new("m").with_seed(0))
+        .unwrap();
+    assert_eq!(resubmitted.samples.nrows(), 1);
+}
+
+#[test]
+fn concurrent_flood_accounts_for_every_request_exactly() {
+    // 16 client threads flood a tiny queue; backpressure may reject any
+    // number of submissions, but accepted + rejected must equal
+    // submitted, every accepted request must complete, and the service's
+    // own `rejected` counter must agree with the clients' tally.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const THREADS: usize = 16;
+    const PER_THREAD: u64 = 50;
+
+    let (rbm, proto) = fixture(16, 8);
+    let service = Arc::new(SamplingService::builder().shards(2).queue_rows(8).build());
+    service.register_model("m", rbm, proto).unwrap();
+
+    let accepted = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let accepted = Arc::clone(&accepted);
+            let rejected = Arc::clone(&rejected);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let seed = t as u64 * PER_THREAD + i;
+                    match service
+                        .submit(SampleRequest::new("m").with_gibbs_steps(3).with_seed(seed))
+                    {
+                        Ok(handle) => {
+                            accepted.fetch_add(1, Ordering::SeqCst);
+                            let resp = handle.wait().expect("accepted requests must complete");
+                            assert_eq!(resp.samples.nrows(), 1);
+                        }
+                        Err(ServeError::QueueFull { retry_after }) => {
+                            rejected.fetch_add(1, Ordering::SeqCst);
+                            assert!(retry_after > std::time::Duration::ZERO);
+                        }
+                        Err(other) => panic!("unexpected error under flood: {other}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let accepted = accepted.load(Ordering::SeqCst);
+    let rejected = rejected.load(Ordering::SeqCst);
+    assert_eq!(
+        accepted + rejected,
+        (THREADS as u64) * PER_THREAD,
+        "every submission must be either accepted or rejected"
+    );
+    assert!(accepted > 0, "a live service must accept some of the flood");
+    let stats = service.stats();
+    assert_eq!(stats.rejected, rejected, "service and clients must agree");
+    let served: u64 = stats.shards.iter().map(|s| s.sample_requests).sum();
+    assert_eq!(served, accepted, "every accepted request must be served");
 }

@@ -30,6 +30,22 @@ pub struct HardwareCounters {
     /// fallback kernel (non-binary clamp levels, or the dense kernel
     /// selected explicitly as the measured baseline).
     pub dense_kernel_calls: u64,
+    /// Hard substrate faults raised through the fallible entry points
+    /// (`try_program` / `try_sample_*`): the operation failed outright
+    /// and returned a `SubstrateFault` instead of data.
+    pub substrate_faults: u64,
+    /// Programming events that realized **corrupted** couplings
+    /// (stuck-at weight bits): the array was written, but not with the
+    /// host's intended values. Detectable by readback checksum.
+    pub corrupted_programmings: u64,
+    /// Sample read-outs with injected corruption (comparator latches
+    /// stuck mid-rail, surfaced as non-binary/NaN cells). Detectable by
+    /// the host's sanity screen.
+    pub corrupted_reads: u64,
+    /// Recovery retries the host executed against this substrate
+    /// (host-accounted, like `host_mac_ops`): each retry re-programs
+    /// the volatile couplings and re-runs the failed operation.
+    pub recovery_retries: u64,
 }
 
 impl HardwareCounters {
@@ -86,6 +102,26 @@ impl HardwareCounters {
                 earlier.dense_kernel_calls,
                 "dense_kernel_calls",
             ),
+            substrate_faults: sub(
+                self.substrate_faults,
+                earlier.substrate_faults,
+                "substrate_faults",
+            ),
+            corrupted_programmings: sub(
+                self.corrupted_programmings,
+                earlier.corrupted_programmings,
+                "corrupted_programmings",
+            ),
+            corrupted_reads: sub(
+                self.corrupted_reads,
+                earlier.corrupted_reads,
+                "corrupted_reads",
+            ),
+            recovery_retries: sub(
+                self.recovery_retries,
+                earlier.recovery_retries,
+                "recovery_retries",
+            ),
         }
     }
 
@@ -100,6 +136,16 @@ impl HardwareCounters {
         self.host_mac_ops += other.host_mac_ops;
         self.packed_kernel_calls += other.packed_kernel_calls;
         self.dense_kernel_calls += other.dense_kernel_calls;
+        self.substrate_faults += other.substrate_faults;
+        self.corrupted_programmings += other.corrupted_programmings;
+        self.corrupted_reads += other.corrupted_reads;
+        self.recovery_retries += other.recovery_retries;
+    }
+
+    /// Total injected/observed fault events of any kind — the one-number
+    /// "did anything go wrong on this substrate" check.
+    pub fn total_fault_events(&self) -> u64 {
+        self.substrate_faults + self.corrupted_programmings + self.corrupted_reads
     }
 }
 
@@ -118,6 +164,10 @@ mod tests {
             host_mac_ops: 6,
             packed_kernel_calls: 7,
             dense_kernel_calls: 8,
+            substrate_faults: 9,
+            corrupted_programmings: 10,
+            corrupted_reads: 11,
+            recovery_retries: 12,
         };
         let b = a;
         a.merge(&b);
@@ -125,6 +175,11 @@ mod tests {
         assert_eq!(a.host_mac_ops, 12);
         assert_eq!(a.packed_kernel_calls, 14);
         assert_eq!(a.dense_kernel_calls, 16);
+        assert_eq!(a.substrate_faults, 18);
+        assert_eq!(a.corrupted_programmings, 20);
+        assert_eq!(a.corrupted_reads, 22);
+        assert_eq!(a.recovery_retries, 24);
+        assert_eq!(a.total_fault_events(), 18 + 20 + 22);
     }
 
     #[test]
@@ -138,12 +193,18 @@ mod tests {
             host_mac_ops: 6,
             packed_kernel_calls: 7,
             dense_kernel_calls: 8,
+            substrate_faults: 9,
+            corrupted_programmings: 10,
+            corrupted_reads: 11,
+            recovery_retries: 12,
         };
         let mut now = earlier;
         let delta = HardwareCounters {
             phase_points: 40,
             host_words_transferred: 8,
             packed_kernel_calls: 2,
+            substrate_faults: 3,
+            recovery_retries: 1,
             ..HardwareCounters::new()
         };
         now.merge(&delta);

@@ -30,15 +30,24 @@
 //! `Vec<Box<dyn Substrate>>` of heterogeneous backends can be driven by
 //! one loop (see `examples/substrate_sampling.rs`).
 //!
-//! Two extensions serve the sharded serving layer (`ember_serve`):
+//! Three extensions serve the sharded serving layer (`ember_serve`):
 //!
 //! * the `*_batch_rows` methods sample a whole batch under **one RNG
 //!   stream per row**, so a row's bits depend only on its own stream —
 //!   the property that makes request coalescing invisible in the
-//!   samples; and
+//!   samples;
 //! * [`ReplicableSubstrate`] (sealed) adds
 //!   [`ReplicableSubstrate::clone_boxed`], letting a service clone a
-//!   fabricated prototype into per-shard replicas behind `dyn`.
+//!   fabricated prototype into per-shard replicas behind `dyn`; and
+//! * the **fallible seam** — `try_program` / `try_sample_*` returning
+//!   [`SubstrateFault`], plus [`Substrate::programmed_checksum`]
+//!   readback — models hardware that can drop a transfer, realize
+//!   stuck-at couplings, or read out garbage. Every method is
+//!   default-implemented over the infallible API (existing backends
+//!   never fail); the seed-driven [`ChaosSubstrate`] decorator injects
+//!   faults through it for resilience testing, and
+//!   `ember_serve`'s recovery path (reprogram-before-retry, sanity
+//!   screens, circuit breaker) consumes it.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,8 +55,12 @@
 use ndarray::{Array1, Array2, ArrayView1, ArrayView2};
 use rand::RngCore;
 
+mod chaos;
+mod fault;
 mod instrument;
 
+pub use chaos::{ChaosConfig, ChaosSubstrate};
+pub use fault::SubstrateFault;
 pub use instrument::HardwareCounters;
 
 /// A conditional-sampling backend for bipartite energy-based models.
@@ -208,6 +221,95 @@ pub trait Substrate {
         out
     }
 
+    /// Fallible counterpart of [`Substrate::program`] — §3.2 steps 1–2
+    /// on hardware that can drop the transfer or realize corrupted
+    /// couplings. The default forwards to the infallible method and
+    /// never fails, so existing backends stay source-compatible; faulty
+    /// hardware (and the [`ChaosSubstrate`] test decorator) overrides
+    /// this to surface [`SubstrateFault`]s.
+    ///
+    /// On `Err` the coupling array's contents are **undefined**: the
+    /// caller must re-program before the next sampling call.
+    fn try_program(
+        &mut self,
+        weights: &ArrayView2<'_, f64>,
+        visible_bias: &ArrayView1<'_, f64>,
+        hidden_bias: &ArrayView1<'_, f64>,
+    ) -> Result<(), SubstrateFault> {
+        self.program(weights, visible_bias, hidden_bias);
+        Ok(())
+    }
+
+    /// Fallible counterpart of [`Substrate::sample_hidden_batch`].
+    /// Defaults to the infallible method (never fails).
+    fn try_sample_hidden_batch(
+        &mut self,
+        visible: &Array2<f64>,
+        rng: &mut dyn RngCore,
+    ) -> Result<Array2<f64>, SubstrateFault> {
+        Ok(self.sample_hidden_batch(visible, rng))
+    }
+
+    /// Fallible counterpart of [`Substrate::sample_visible_batch`].
+    /// Defaults to the infallible method (never fails).
+    fn try_sample_visible_batch(
+        &mut self,
+        hidden: &Array2<f64>,
+        rng: &mut dyn RngCore,
+    ) -> Result<Array2<f64>, SubstrateFault> {
+        Ok(self.sample_visible_batch(hidden, rng))
+    }
+
+    /// Fallible counterpart of [`Substrate::sample_hidden_batch_rows`]
+    /// (same one-stream-per-row contract). Defaults to the infallible
+    /// method (never fails).
+    ///
+    /// A failed call may have consumed an arbitrary amount of each
+    /// row's RNG stream; retries must restart every chain from its seed
+    /// (which is also what makes a successful retry bit-identical to
+    /// the fault-free run).
+    fn try_sample_hidden_batch_rows(
+        &mut self,
+        visible: &Array2<f64>,
+        rngs: &mut [&mut dyn RngCore],
+    ) -> Result<Array2<f64>, SubstrateFault> {
+        Ok(self.sample_hidden_batch_rows(visible, rngs))
+    }
+
+    /// Fallible counterpart of [`Substrate::sample_visible_batch_rows`].
+    /// Defaults to the infallible method (never fails).
+    fn try_sample_visible_batch_rows(
+        &mut self,
+        hidden: &Array2<f64>,
+        rngs: &mut [&mut dyn RngCore],
+    ) -> Result<Array2<f64>, SubstrateFault> {
+        Ok(self.sample_visible_batch_rows(hidden, rngs))
+    }
+
+    /// Whether this substrate can actually fail or corrupt: `true`
+    /// means the `try_*` seam may return `Err` or hand back non-binary
+    /// read-outs, so callers should pay for detection (per-read sanity
+    /// screens, readback verification). The default `false` declares an
+    /// infallible backend — recovery layers skip their screens
+    /// entirely, keeping the fault machinery at **zero cost on the
+    /// fault-free hot path**. [`ChaosSubstrate`] overrides this to
+    /// `true`.
+    fn is_fallible(&self) -> bool {
+        false
+    }
+
+    /// Readback checksum over the couplings the substrate **actually
+    /// realized** in its last programming event, if the hardware
+    /// supports readback. `None` (the default) means no readback path —
+    /// the host must trust the transfer.
+    ///
+    /// When `Some`, a recovery layer compares it against the checksum
+    /// of the intended image (`ember_core::recovery::couplings_checksum`)
+    /// to detect stuck-at corruption before sampling garbage.
+    fn programmed_checksum(&self) -> Option<u64> {
+        None
+    }
+
     /// Host→substrate words one programming event transfers
     /// (`m·n + m + n` in the paper's §3.2 accounting).
     fn programming_cost(&self) -> u64 {
@@ -277,6 +379,48 @@ impl<S: Substrate + ?Sized> Substrate for Box<S> {
         rngs: &mut [&mut dyn RngCore],
     ) -> Array2<f64> {
         (**self).sample_visible_batch_rows(hidden, rngs)
+    }
+    fn try_program(
+        &mut self,
+        weights: &ArrayView2<'_, f64>,
+        visible_bias: &ArrayView1<'_, f64>,
+        hidden_bias: &ArrayView1<'_, f64>,
+    ) -> Result<(), SubstrateFault> {
+        (**self).try_program(weights, visible_bias, hidden_bias)
+    }
+    fn try_sample_hidden_batch(
+        &mut self,
+        visible: &Array2<f64>,
+        rng: &mut dyn RngCore,
+    ) -> Result<Array2<f64>, SubstrateFault> {
+        (**self).try_sample_hidden_batch(visible, rng)
+    }
+    fn try_sample_visible_batch(
+        &mut self,
+        hidden: &Array2<f64>,
+        rng: &mut dyn RngCore,
+    ) -> Result<Array2<f64>, SubstrateFault> {
+        (**self).try_sample_visible_batch(hidden, rng)
+    }
+    fn try_sample_hidden_batch_rows(
+        &mut self,
+        visible: &Array2<f64>,
+        rngs: &mut [&mut dyn RngCore],
+    ) -> Result<Array2<f64>, SubstrateFault> {
+        (**self).try_sample_hidden_batch_rows(visible, rngs)
+    }
+    fn try_sample_visible_batch_rows(
+        &mut self,
+        hidden: &Array2<f64>,
+        rngs: &mut [&mut dyn RngCore],
+    ) -> Result<Array2<f64>, SubstrateFault> {
+        (**self).try_sample_visible_batch_rows(hidden, rngs)
+    }
+    fn is_fallible(&self) -> bool {
+        (**self).is_fallible()
+    }
+    fn programmed_checksum(&self) -> Option<u64> {
+        (**self).programmed_checksum()
     }
     fn programming_cost(&self) -> u64 {
         (**self).programming_cost()

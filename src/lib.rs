@@ -12,10 +12,10 @@
 //! | [`ising`] | `ember-ising` | Ising model, QUBO, max-cut, simulated annealing |
 //! | [`brim`] | `ember-brim` | BRIM dynamical substrate simulator |
 //! | [`analog`] | `ember-analog` | Sigmoid unit, thermal RNG, comparator, converters, charge pump, noise models |
-//! | [`substrate`] | `ember-substrate` | The [`substrate::Substrate`] trait: the seam between trainers and interchangeable sampling backends |
+//! | [`substrate`] | `ember-substrate` | The [`substrate::Substrate`] trait: the seam between trainers and interchangeable sampling backends — including the fallible `try_*` entry points, fault taxonomy (`SubstrateFault`), and the seeded fault-injecting `ChaosSubstrate` decorator |
 //! | [`rbm`] | `ember-rbm` | RBM, CD-k/PCD/exact-ML trainers (substrate-generic), DBN, MLP, conv-RBM patches |
 //! | [`core`] | `ember-core` | **The paper's contribution**: Gibbs Sampler and Boltzmann Gradient Follower accelerator models, the three `Substrate` backends (`core::substrate`), the `SubstrateSpec` fabrication recipes, and the bit-packed binary-state sampling kernels (`core::kernels`) |
-//! | [`serve`] | `ember-serve` | Sampling-as-a-service: `ModelRegistry` of named versioned RBMs, sharded request-coalescing `SamplingService` over any substrate backend |
+//! | [`serve`] | `ember-serve` | Sampling-as-a-service: `ModelRegistry` of named versioned RBMs, sharded request-coalescing `SamplingService` over any substrate backend, self-healing under faults (retry-with-reprogram, circuit breakers, shard supervision, deadlines, bounded drain) |
 //! | [`datasets`] | `ember-datasets` | Synthetic stand-ins for the paper's eight datasets |
 //! | [`metrics`] | `ember-metrics` | AIS, KL, ROC/AUC, MAE, smoothing |
 //! | [`perf`] | `ember-perf` | Timing/energy/area models for Figs. 5–6 and Tables 2–3 |
@@ -60,6 +60,58 @@
 //!     .unwrap();
 //! assert_eq!(resp.samples.dim(), (4, 8));
 //! ```
+//!
+//! # Quickstart: running under faults
+//!
+//! The substrate is analog hardware, so the serving layer treats it as
+//! *fallible*: wrap any backend in a seeded
+//! [`substrate::ChaosSubstrate`] to inject programming corruption, read
+//! faults, and latency spikes, and the service absorbs them —
+//! reprogram-and-retry under a deterministic
+//! [`core::RetryPolicy`] (a successful retry returns **exactly** the
+//! fault-free bits, because every chain re-seeds from its own stream),
+//! a per-model circuit breaker that degrades persistent failures to a
+//! software fallback, panic-supervised shards, and deadline shedding:
+//!
+//! ```
+//! use ember::core::{GsConfig, RetryPolicy, SubstrateSpec};
+//! use ember::rbm::Rbm;
+//! use ember::serve::{SampleRequest, SamplingService};
+//! use ember::substrate::{ChaosConfig, ChaosSubstrate};
+//! use rand::SeedableRng;
+//! use std::time::Duration;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let rbm = Rbm::random(8, 4, 0.2, &mut rng);
+//! let proto = SubstrateSpec::software(GsConfig::default()).fabricate_for(&rbm, &mut rng);
+//!
+//! // The same machine, clean and chaos-wrapped (1% seeded fault rate).
+//! let clean = SamplingService::builder().shards(1).build();
+//! clean.register_model("demo", rbm.clone(), proto.clone_boxed()).unwrap();
+//! let chaotic = Box::new(ChaosSubstrate::new(
+//!     proto,
+//!     ChaosConfig::new(42).with_fault_rate(0.01),
+//! ));
+//! let service = SamplingService::builder()
+//!     .shards(2)
+//!     .retry_policy(RetryPolicy::default().with_max_retries(8))
+//!     .build();
+//! service.register_model("demo", rbm, chaotic).unwrap();
+//!
+//! let request = SampleRequest::new("demo").with_samples(4).with_gibbs_steps(2).with_seed(1);
+//! let stormy = service.sample(request.clone()).unwrap();
+//! let golden = clean.sample(request).unwrap();
+//! assert_eq!(stormy.samples, golden.samples); // recovery is bit-invisible
+//! assert!(!stormy.degraded);
+//!
+//! // Bounded, graceful drain.
+//! let report = service.shutdown(Duration::from_secs(5));
+//! assert!(report.drained);
+//! ```
+//!
+//! See `examples/chaos_service.rs` for the full storm — injected
+//! panics, breaker trips into degraded service, deadline shedding, and
+//! the fault/recovery accounting in `serve::ServiceStats`.
 //!
 //! # Kernel selection: bit-packed vs dense
 //!
