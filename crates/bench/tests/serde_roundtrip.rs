@@ -110,6 +110,7 @@ fn configs_roundtrip() {
         host_mac_ops: 6,
         packed_kernel_calls: 7,
         dense_kernel_calls: 8,
+        simd_kernel_calls: 13,
         substrate_faults: 9,
         corrupted_programmings: 10,
         corrupted_reads: 11,

@@ -64,6 +64,11 @@ pub struct BipartiteBrim {
     voltages: Array1<f64>,
     clamp: ClampMode,
     phase_points: usize,
+    /// Reusable local-field buffer: the integration loop calls the
+    /// field kernel once per phase point, and a 120-step per-row
+    /// power-cycle anneal would otherwise allocate 120 fresh vectors
+    /// per served row.
+    local_scratch: Array1<f64>,
 }
 
 /// The embedded spin-domain linear field of `problem`, visible entries
@@ -122,6 +127,7 @@ impl BipartiteBrim {
             voltages,
             clamp: ClampMode::Free,
             phase_points: 0,
+            local_scratch: Array1::zeros(total),
         }
     }
 
@@ -155,27 +161,57 @@ impl BipartiteBrim {
     /// dynamics; the fast path leaves them at zero, the dense reference
     /// still computes them.
     pub fn local_field(&self) -> Array1<f64> {
+        let mut local = Array1::zeros(self.voltages.len());
+        self.local_field_into(&mut local);
+        local
+    }
+
+    /// [`BipartiteBrim::local_field`] into a caller-owned buffer: the
+    /// per-step serial field kernel, running both GEMVs directly on the
+    /// SIMD slice primitives ([`ndarray::simd`]) with no allocation —
+    /// what a per-row power-cycle anneal (one fresh trajectory per
+    /// served row, ~120 steps each) actually spends its time in.
+    /// Arithmetic is identical to the allocating path step for step, so
+    /// trajectories are bitwise unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` is not the node count.
+    pub fn local_field_into(&self, out: &mut Array1<f64>) {
+        assert_eq!(out.len(), self.voltages.len(), "local-field buffer size");
         if let Some(ising) = &self.dense {
-            return ising.couplings().dot(&self.voltages) + ising.field();
+            let dense = ising.couplings().dot(&self.voltages) + ising.field();
+            out.as_mut_slice().copy_from_slice(dense.as_slice());
+            return;
         }
         let m = self.problem.visible_len();
-        let mut local = Array1::zeros(self.voltages.len());
+        let n = self.problem.hidden_len();
+        let w = self.w_quarter.as_slice();
+        let v = self.voltages.as_slice();
+        let o = out.as_mut_slice();
+        o.fill(0.0);
         // A clamped side's nodes are driven, so their local field is never
         // read — skip that GEMV entirely (the dense reference, like the
         // seed, always pays the full product).
         if self.clamp != ClampMode::Visible {
-            let vh = self.voltages.slice(ndarray::s![m..]);
-            for (i, x) in self.w_quarter.dot(&vh).iter().enumerate() {
-                local[i] = x + self.field[i];
+            let vh = &v[m..];
+            for i in 0..m {
+                o[i] = ndarray::simd::dot(&w[i * n..(i + 1) * n], vh) + self.field[i];
             }
         }
         if self.clamp != ClampMode::Hidden {
-            let vv = self.voltages.slice(ndarray::s![..m]);
-            for (j, x) in self.w_quarter.t().dot(&vv).iter().enumerate() {
-                local[m + j] = x + self.field[m + j];
+            let oh = &mut o[m..];
+            // out[m + j] = Σ_i W/4[i, j]·v[i]: stream the physical rows
+            // (the transposed-GEMV accumulation order, preserved).
+            for (i, &vi) in v[..m].iter().enumerate() {
+                if vi != 0.0 {
+                    ndarray::simd::axpy(oh, vi, &w[i * n..(i + 1) * n]);
+                }
+            }
+            for (j, x) in oh.iter_mut().enumerate() {
+                *x += self.field[m + j];
             }
         }
-        local
     }
 
     /// The programmed bipartite problem.
@@ -361,7 +397,8 @@ impl BipartiteBrim {
 
     /// One integration step with flip probability `p` on the free nodes.
     pub fn step<R: Rng + ?Sized>(&mut self, p: f64, rng: &mut R) {
-        let local = self.local_field();
+        let mut local = std::mem::replace(&mut self.local_scratch, Array1::from_vec(Vec::new()));
+        self.local_field_into(&mut local);
         let kc = self.config.coupling_gain();
         let kf = self.config.feedback_gain();
         let dt = self.config.dt();
@@ -385,6 +422,7 @@ impl BipartiteBrim {
                 }
             }
         }
+        self.local_scratch = local;
         self.phase_points += 1;
     }
 

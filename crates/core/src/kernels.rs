@@ -35,7 +35,12 @@
 //! assert_eq!(out, arr2(&[[0.75, 2.0], [0.0, 1.0]]));
 //! ```
 
-use ndarray::{Array2, ArrayView1};
+use ndarray::{Array1, Array2, ArrayView1};
+
+// The SIMD kernel tier lives next to the vendored GEMM it accelerates
+// (`ndarray::simd`); re-exported here so substrate code, benches, and
+// deployments can inspect or pin the tier through the facade.
+pub use ndarray::simd::{active_tier, force_tier, simd_active, SimdTier};
 
 /// Number of `u64` words needed to hold `cols` bits.
 fn words_for(cols: usize) -> usize {
@@ -184,37 +189,63 @@ impl BitMatrix {
     }
 }
 
-/// `o += w`, element-wise — the only arithmetic the packed product
-/// performs (selected weight rows are *summed*, never multiplied).
-#[inline]
-fn add_row(o: &mut [f64], w: &[f64]) {
-    for (o, &x) in o.iter_mut().zip(w) {
-        *o += x;
-    }
-}
-
-/// One packed row × `W`: set bits accumulated in ascending index order.
-fn binary_gemv(orow: &mut [f64], row_words: &[u64], wdata: &[f64], out_width: usize) {
+/// One packed row × `W`: set bits collected in ascending index order
+/// into the `idx` scratch, then accumulated by the register-tiled tier
+/// kernel ([`ndarray::simd::sum_selected_rows`]) — the only arithmetic
+/// the packed product performs (selected weight rows are *summed*,
+/// never multiplied).
+fn binary_gemv(
+    orow: &mut [f64],
+    row_words: &[u64],
+    wdata: &[f64],
+    out_width: usize,
+    idx: &mut Vec<u32>,
+) {
+    idx.clear();
     for (wi, &word) in row_words.iter().enumerate() {
         let mut bits = word;
         while bits != 0 {
-            let i = wi * 64 + bits.trailing_zeros() as usize;
-            add_row(orow, &wdata[i * out_width..(i + 1) * out_width]);
+            idx.push((wi * 64) as u32 + bits.trailing_zeros());
             bits &= bits - 1;
         }
     }
+    ndarray::simd::sum_selected_rows(orow, wdata, out_width, idx);
 }
 
-/// `states · W (+ bias)` with a bit-packed binary left operand: for
-/// every row, the weight rows selected by the set bits are accumulated
-/// in ascending index order — no multiplies, zero states skipped a word
-/// (64 states) at a time. Output rows are processed four at a time over
-/// the block's set-bit *union*, so a weight row shared by several
-/// chains is streamed from memory once per block instead of once per
-/// chain (the same traffic-blocking idea as the vendored dense GEMM's
-/// four-row `ikj` kernel) — each row still receives exactly its own
-/// weight rows in ascending order, so the blocking is invisible in the
-/// bits.
+/// Minimum batch-chunk size for the transposed-mask block path: below
+/// this the per-row register-tiled kernel wins (the block path's gain
+/// is amortizing the weight stream over many rows).
+const BLOCK_MIN_ROWS: usize = 8;
+
+/// Whether the transposed-mask block kernel beats the per-row stream
+/// for this product shape — empirical dispatch for the L2-resident
+/// regime (measured on the BENCH_PR7 shapes). The block scatter wins
+/// when the output rows are short enough that the per-row weight
+/// stream is stride-bound but long enough to amortize the per-weight-row
+/// mask walk, the fan-in is tall enough that deduplicating the weight
+/// stream matters, and the output row stride does not alias a handful
+/// of L1 sets (4 KiB-multiple strides map every row to the same sets
+/// and thrash the scatter's working set).
+fn block_path_wins(fan_in: usize, out_width: usize, rows_here: usize) -> bool {
+    rows_here >= BLOCK_MIN_ROWS
+        && fan_in >= 2 * out_width
+        && (128..=448).contains(&out_width)
+        && !(out_width * 8).is_multiple_of(4096)
+}
+
+/// `states · W (+ bias)` with a bit-packed binary left operand: the
+/// weight rows selected by the set bits are accumulated in ascending
+/// index order — no multiplies, zero states skipped a word (64 states)
+/// at a time. Batches whose shape favors it ([`block_path_wins`]) go
+/// through the transposed-mask block kernel
+/// ([`ndarray::simd::sum_selected_rows_block`], in 64-row chunks),
+/// which streams the weight matrix from L2 **once per chunk** instead
+/// of once per batch row — the per-row formulation is memory-bound, not
+/// compute-bound, as soon as the matrix outgrows L1. Other shapes and
+/// small batches use the per-row register-tiled kernel
+/// ([`ndarray::simd::sum_selected_rows`]). Per output element the
+/// addition chain is identical either way, so the choice is invisible
+/// in the bits.
 ///
 /// Bit-identical to [`scalar_ref_gemm`] on the unpacked batch (see the
 /// module docs for why), and therefore to the dense `ikj` GEMM the
@@ -236,50 +267,47 @@ pub fn binary_gemm(
     }
     let wdata = w.as_slice();
     let wpr = states.words_per_row();
-    const BLOCK: usize = 8;
-    let mut data = vec![0.0; states.nrows() * out_width];
-    let mut wblocks = states.words.chunks(BLOCK * wpr.max(1));
-    let mut oblocks = data.chunks_mut(BLOCK * out_width.max(1));
-    for (wblock, oblock) in (&mut wblocks).zip(&mut oblocks) {
-        if wblock.len() == BLOCK * wpr && wpr > 0 {
-            let orows: Vec<&mut [f64]> = oblock.chunks_mut(out_width).collect();
-            let mut orows: [&mut [f64]; BLOCK] = orows.try_into().expect("full block");
-            // Column tiling keeps the block's output working set
-            // (BLOCK×TILE f64) L1-resident on wide outputs; per output
-            // element the accumulation order is untouched.
-            const TILE: usize = 448;
-            let mut t0 = 0;
-            while t0 < out_width {
-                let t1 = (t0 + TILE).min(out_width);
-                for wi in 0..wpr {
-                    let mut union = 0u64;
-                    for k in 0..BLOCK {
-                        union |= wblock[k * wpr + wi];
-                    }
-                    while union != 0 {
-                        let bit = union.trailing_zeros();
-                        let i = wi * 64 + bit as usize;
-                        let wrow = &wdata[i * out_width + t0..i * out_width + t1];
-                        let mask = 1u64 << bit;
-                        for (k, orow) in orows.iter_mut().enumerate() {
-                            if wblock[k * wpr + wi] & mask != 0 {
-                                add_row(&mut orow[t0..t1], wrow);
-                            }
-                        }
-                        union &= union - 1;
-                    }
-                }
-                t0 = t1;
+    let nrows = states.nrows();
+    let mut data = vec![0.0; nrows * out_width];
+    let mut idx: Vec<u32> = Vec::with_capacity(fan_in);
+    let mut tmask: Vec<u64> = Vec::new();
+    let mut start = 0;
+    while start < nrows {
+        let rows_here = (nrows - start).min(64);
+        if !block_path_wins(fan_in, out_width, rows_here) {
+            for r in start..start + rows_here {
+                binary_gemv(
+                    &mut data[r * out_width..(r + 1) * out_width],
+                    &states.words[r * wpr..(r + 1) * wpr],
+                    wdata,
+                    out_width,
+                    &mut idx,
+                );
             }
         } else {
-            // Trailing block of fewer than BLOCK rows.
-            for (row_words, orow) in wblock
-                .chunks(wpr.max(1))
-                .zip(oblock.chunks_mut(out_width.max(1)))
-            {
-                binary_gemv(orow, row_words, wdata, out_width);
+            // Transpose this chunk's selection bits: bit `r` of
+            // `tmask[i]` says chunk row `r` selects weight row `i`.
+            tmask.clear();
+            tmask.resize(fan_in, 0);
+            for r in 0..rows_here {
+                let row_words = &states.words[(start + r) * wpr..(start + r + 1) * wpr];
+                for (wi, &word) in row_words.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let i = wi * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        tmask[i] |= 1u64 << r;
+                    }
+                }
             }
+            ndarray::simd::sum_selected_rows_block(
+                &mut data[start * out_width..(start + rows_here) * out_width],
+                out_width,
+                wdata,
+                &tmask,
+            );
         }
+        start += rows_here;
     }
     if let Some(b) = bias {
         for orow in data.chunks_mut(out_width.max(1)) {
@@ -335,6 +363,80 @@ pub fn is_binary(batch: &Array2<f64>) -> bool {
     batch.iter().all(|&x| x == 0.0 || x == 1.0)
 }
 
+/// The serial per-chain local-field kernel: for ONE exactly-binary
+/// input row, `field[j] = Σ_{i : input[i] == 1} w[i][j]` — the weight
+/// rows selected by the set states, accumulated in ascending index
+/// order on the SIMD tier. This is the single-chain counterpart of
+/// [`binary_gemm`], and the piece a serial Gibbs chain actually spends
+/// its time in: no batch exists to amortize a GEMM over, so the only
+/// speedup available is making each row's field evaluation itself
+/// vector-wide. Used by `GsEngine::SerialReference`
+/// (`SoftwareGibbs::sample_hidden_row` / `sample_visible_row`; the
+/// reverse direction passes the cached `Wᵀ`), and mirrored by the
+/// BRIM per-row power-cycle path and the annealer's per-spin sweeps,
+/// which run the same [`ndarray::simd`] primitives through the
+/// vendored GEMV.
+///
+/// Bit-identical to [`scalar_ref_field_row`] — and therefore to the
+/// field loop of `AnalogSampler::sample_layer_reference` — by the
+/// module-docs argument: per output element both sides add the same
+/// terms in the same ascending-`i` order, skipped zero terms are
+/// floating-point no-ops, and `1.0 · w == w`.
+///
+/// Returns `None` when the input row is not exactly binary (multi-bit
+/// DTC gray levels): callers fall back to the dense scalar reference.
+///
+/// # Panics
+///
+/// Panics if `input.len() != w.nrows()`.
+pub fn binary_field_row(input: &ArrayView1<'_, f64>, w: &Array2<f64>) -> Option<Array1<f64>> {
+    let (fan_in, out_width) = w.dim();
+    assert_eq!(input.len(), fan_in, "fan-in mismatch (binary_field_row)");
+    let mut idx: Vec<u32> = Vec::with_capacity(fan_in);
+    for (i, &x) in input.iter().enumerate() {
+        if x == 1.0 {
+            idx.push(i as u32);
+        } else if x != 0.0 {
+            return None;
+        }
+    }
+    let mut field = vec![0.0; out_width];
+    ndarray::simd::sum_selected_rows(&mut field, w.as_slice(), out_width, &idx);
+    Some(Array1::from_vec(field))
+}
+
+/// Scalar reference for [`binary_field_row`]: the field loop of
+/// `AnalogSampler::sample_layer_reference` without the bias term —
+/// `field[j] = Σ_i input[i] · w[i][j]`, ascending `i`, zero terms
+/// included, folded from `+0.0`. Pinned ground truth for the
+/// serial-field proptests.
+///
+/// The fold is written out explicitly rather than via
+/// `Iterator::sum`, which returns a lone term unchanged and so can
+/// yield `-0.0` for a single-fan-in zero input where the fold gives
+/// `+0.0`. The sign of that zero is unobservable in sampled bits
+/// (bias add and sigmoid erase it), but this reference pins *field*
+/// bits exactly.
+///
+/// # Panics
+///
+/// Panics if `input.len() != w.nrows()`.
+pub fn scalar_ref_field_row(input: &ArrayView1<'_, f64>, w: &Array2<f64>) -> Array1<f64> {
+    let (fan_in, out_width) = w.dim();
+    assert_eq!(
+        input.len(),
+        fan_in,
+        "fan-in mismatch (scalar_ref_field_row)"
+    );
+    Array1::from_shape_fn(out_width, |j| {
+        let mut acc = 0.0;
+        for i in 0..fan_in {
+            acc += input[i] * w[[i, j]];
+        }
+        acc
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,7 +489,17 @@ mod tests {
     #[test]
     fn binary_gemm_bit_identical_to_scalar_reference() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        for &(rows, fan_in, out) in &[(5, 67, 9), (1, 64, 3), (8, 130, 17)] {
+        // Batch sizes straddle the per-row/block threshold and the
+        // 64-row chunk boundary of the transposed-mask block path, and
+        // the last two shapes satisfy `block_path_wins` so the
+        // transposed scatter itself is exercised end to end.
+        for &(rows, fan_in, out) in &[
+            (5, 67, 9),
+            (1, 64, 3),
+            (8, 130, 17),
+            (64, 300, 130),
+            (67, 521, 131),
+        ] {
             let states = Array2::from_shape_fn((rows, fan_in), |_| f64::from(rng.random_bool(0.4)));
             let w = Array2::from_shape_fn((fan_in, out), |_| rng.random_range(-1.0..1.0));
             let bias = ndarray::Array1::from_shape_fn(out, |_| rng.random_range(-1.0..1.0));

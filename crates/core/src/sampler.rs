@@ -326,6 +326,40 @@ impl AnalogSampler {
         }
     }
 
+    /// Stochastic tail of the serial per-chain node path, over a field
+    /// row precomputed by `kernels::binary_field_row`: bias add, then
+    /// coupler-noise perturbation (when `var` is given) over the whole
+    /// row, then the sigmoid/comparator latch — the exact arithmetic
+    /// *and RNG draw order* of
+    /// [`AnalogSampler::sample_layer_reference`]'s tail (all
+    /// perturbations before any comparator draw), so a serial chain's
+    /// bits are invariant to which field kernel produced the row.
+    pub(crate) fn latch_row(
+        &self,
+        field: &mut Array1<f64>,
+        bias: &ArrayView1<'_, f64>,
+        var: Option<&Array1<f64>>,
+        rng: &mut dyn rand::RngCore,
+    ) {
+        for (f, &b) in field.iter_mut().zip(bias.iter()) {
+            *f += b;
+        }
+        if let Some(var) = var {
+            for (f, &v) in field.iter_mut().zip(var.iter()) {
+                let sigma = (v + 1.0).sqrt(); // +1: unit-scale node noise
+                *f = self.noise.perturb(*f, sigma, rng);
+            }
+        }
+        for f in field.iter_mut() {
+            let p = self.sigmoid.transfer(*f);
+            *f = if self.comparator.sample(p, &self.thermal, rng) {
+                1.0
+            } else {
+                0.0
+            };
+        }
+    }
+
     /// Shared tail of the batched node path: computes the closed-form
     /// coupler-noise variance from the raw operands, then runs
     /// [`AnalogSampler::latch_batch`].

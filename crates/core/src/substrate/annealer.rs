@@ -148,8 +148,12 @@ impl AnnealerSubstrate {
         (fields, false)
     }
 
-    /// Accounts one batched half-step's kernel choice.
+    /// Accounts one batched half-step's kernel choice (the Metropolis
+    /// sweep dots and both field kernels run their inner loops on the
+    /// runtime SIMD tier, so the tier counter is orthogonal to the
+    /// packed/dense split).
     fn count_kernel(&mut self, packed: bool) {
+        self.counters.simd_kernel_calls += u64::from(ndarray::simd::simd_active());
         if packed {
             self.counters.packed_kernel_calls += 1;
         } else {

@@ -144,6 +144,7 @@ impl Substrate for BrimSubstrate {
             self.brim.read_hidden_packed(out.row_words_mut(r));
         }
         self.counters.packed_kernel_calls += 1;
+        self.counters.simd_kernel_calls += u64::from(ndarray::simd::simd_active());
         self.counters.phase_points += (visible.nrows() * self.anneal_steps) as u64;
         self.counters.host_words_transferred += (visible.nrows() * n) as u64;
         out.to_dense()
@@ -164,6 +165,7 @@ impl Substrate for BrimSubstrate {
             self.brim.read_visible_packed(out.row_words_mut(r));
         }
         self.counters.packed_kernel_calls += 1;
+        self.counters.simd_kernel_calls += u64::from(ndarray::simd::simd_active());
         self.counters.phase_points += (hidden.nrows() * self.anneal_steps) as u64;
         self.counters.host_words_transferred += (hidden.nrows() * m) as u64;
         out.to_dense()
@@ -195,6 +197,7 @@ impl Substrate for BrimSubstrate {
             self.brim.read_hidden_packed(out.row_words_mut(r));
         }
         self.counters.packed_kernel_calls += 1;
+        self.counters.simd_kernel_calls += u64::from(ndarray::simd::simd_active());
         self.counters.phase_points += (visible.nrows() * self.anneal_steps) as u64;
         self.counters.host_words_transferred += (visible.nrows() * n) as u64;
         out.to_dense()
@@ -221,6 +224,7 @@ impl Substrate for BrimSubstrate {
             self.brim.read_visible_packed(out.row_words_mut(r));
         }
         self.counters.packed_kernel_calls += 1;
+        self.counters.simd_kernel_calls += u64::from(ndarray::simd::simd_active());
         self.counters.phase_points += (hidden.nrows() * self.anneal_steps) as u64;
         self.counters.host_words_transferred += (hidden.nrows() * m) as u64;
         out.to_dense()

@@ -175,6 +175,12 @@ impl SoftwareGibbs {
         rev: bool,
         rng: &mut dyn RngCore,
     ) -> Array2<f64> {
+        // Kernel-tier accounting: both the packed selected-row kernel
+        // and the dense GEMM run their inner loops on the runtime
+        // SIMD tier, so the tier counter is orthogonal to the
+        // packed/dense split (simd == packed + dense on a vector tier,
+        // 0 under `EMBER_FORCE_SCALAR`).
+        self.counters.simd_kernel_calls += u64::from(ndarray::simd::simd_active());
         match self.packed_fields(inputs, rev) {
             Some((mut fields, var)) => {
                 self.counters.packed_kernel_calls += 1;
@@ -209,6 +215,75 @@ impl SoftwareGibbs {
         }
     }
 
+    /// The serial per-chain field product (and, under a noisy front
+    /// end, the coupler-noise variance row) through the SIMD
+    /// selected-row kernel [`crate::kernels::binary_field_row`].
+    /// `None` when the scalar reference must run instead: the dense
+    /// kernel is selected, or the row is not exactly binary.
+    fn packed_row_fields(
+        &self,
+        input: &ArrayView1<'_, f64>,
+        rev: bool,
+    ) -> Option<(Array1<f64>, Option<Array1<f64>>)> {
+        if self.kernel != GsKernel::Packed {
+            return None;
+        }
+        let w = if rev { &self.weights_t } else { &self.weights };
+        let field = crate::kernels::binary_field_row(input, w)?;
+        let var = if self.sampler.noise().noise_rms() > 0.0 {
+            let sq = if rev {
+                self.sq_weights_t.as_ref()
+            } else {
+                self.sq_weights.as_ref()
+            };
+            Some(
+                crate::kernels::binary_field_row(input, sq.expect("cached at program"))
+                    .expect("input already validated binary"),
+            )
+        } else {
+            None
+        };
+        Some((field, var))
+    }
+
+    /// Shared kernel dispatch of the row (serial-chain) sampling entry
+    /// points: the SIMD selected-row field kernel when selected and the
+    /// row is binary, the scalar
+    /// [`AnalogSampler::sample_layer_reference`] otherwise — counted
+    /// either way, and bit-identical either way (same accumulation
+    /// order, same RNG draw order; see [`crate::kernels`]).
+    fn sample_row(
+        &mut self,
+        input: &ArrayView1<'_, f64>,
+        rev: bool,
+        rng: &mut dyn RngCore,
+    ) -> Array1<f64> {
+        self.counters.simd_kernel_calls += u64::from(ndarray::simd::simd_active());
+        let bias = if rev {
+            &self.visible_bias
+        } else {
+            &self.hidden_bias
+        };
+        match self.packed_row_fields(input, rev) {
+            Some((mut field, var)) => {
+                self.counters.packed_kernel_calls += 1;
+                self.sampler
+                    .latch_row(&mut field, &bias.view(), var.as_ref(), rng);
+                field
+            }
+            None => {
+                self.counters.dense_kernel_calls += 1;
+                self.sampler.sample_layer_reference(
+                    &self.weights.view(),
+                    &bias.view(),
+                    input,
+                    rev,
+                    rng,
+                )
+            }
+        }
+    }
+
     /// Per-row-stream counterpart of [`SoftwareGibbs::sample_batch`]
     /// (row `i`'s stochastic tail draws exclusively from `rngs[i]`).
     fn sample_batch_rows(
@@ -217,6 +292,7 @@ impl SoftwareGibbs {
         rev: bool,
         rngs: &mut [&mut dyn RngCore],
     ) -> Array2<f64> {
+        self.counters.simd_kernel_calls += u64::from(ndarray::simd::simd_active());
         match self.packed_fields(inputs, rev) {
             Some((mut fields, var)) => {
                 self.counters.packed_kernel_calls += 1;
@@ -344,15 +420,8 @@ impl Substrate for SoftwareGibbs {
         visible: &ArrayView1<'_, f64>,
         rng: &mut dyn RngCore,
     ) -> Array1<f64> {
-        self.counters.dense_kernel_calls += 1;
         let clamped = visible.mapv(|x| self.dtc.convert(x));
-        let h = self.sampler.sample_layer_reference(
-            &self.weights.view(),
-            &self.hidden_bias.view(),
-            &clamped.view(),
-            false,
-            rng,
-        );
+        let h = self.sample_row(&clamped.view(), false, rng);
         self.counters.phase_points += self.settle_phase_points;
         self.counters.host_words_transferred += h.len() as u64;
         h
@@ -363,14 +432,7 @@ impl Substrate for SoftwareGibbs {
         hidden: &ArrayView1<'_, f64>,
         rng: &mut dyn RngCore,
     ) -> Array1<f64> {
-        self.counters.dense_kernel_calls += 1;
-        let v = self.sampler.sample_layer_reference(
-            &self.weights.view(),
-            &self.visible_bias.view(),
-            hidden,
-            true,
-            rng,
-        );
+        let v = self.sample_row(hidden, true, rng);
         self.counters.phase_points += self.settle_phase_points;
         self.counters.host_words_transferred += v.len() as u64;
         v

@@ -239,9 +239,19 @@ impl Rbm {
         v: &ArrayView1<'_, f64>,
         rng: &mut R,
     ) -> Array1<f64> {
-        let mut p = self.hidden_probs(v);
-        p.mapv_inplace(|prob| if rng.random::<f64>() < prob { 1.0 } else { 0.0 });
-        p
+        // One fused pass: same activations, same σ, and one RNG draw per
+        // unit in index order — the exact call sequence (and bits) of
+        // `hidden_probs` followed by a separate sampling pass.
+        assert_eq!(v.len(), self.visible_len(), "visible length");
+        let mut act = self.weights.t().dot(v) + &self.hidden_bias;
+        act.mapv_inplace(|a| {
+            if rng.random::<f64>() < sigmoid(a) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        act
     }
 
     /// Samples visible units given hidden ones: Algorithm 1 line 13.
@@ -250,9 +260,18 @@ impl Rbm {
         h: &ArrayView1<'_, f64>,
         rng: &mut R,
     ) -> Array1<f64> {
-        let mut p = self.visible_probs(h);
-        p.mapv_inplace(|prob| if rng.random::<f64>() < prob { 1.0 } else { 0.0 });
-        p
+        // Fused like [`Self::sample_hidden`]: bit-identical to
+        // `visible_probs` + a separate Bernoulli pass.
+        assert_eq!(h.len(), self.hidden_len(), "hidden length");
+        let mut act = self.weights.dot(h) + &self.visible_bias;
+        act.mapv_inplace(|a| {
+            if rng.random::<f64>() < sigmoid(a) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        act
     }
 
     /// Batched Bernoulli sampling of an entire probability matrix.

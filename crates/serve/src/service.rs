@@ -836,6 +836,30 @@ impl ServiceStats {
         }
     }
 
+    /// Total sampling calls whose inner field loops executed on a
+    /// vector SIMD tier (AVX2/NEON), summed over shards (see
+    /// [`HardwareCounters::simd_kernel_calls`]).
+    pub fn total_simd_kernel_calls(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.counters.simd_kernel_calls)
+            .sum()
+    }
+
+    /// Fraction of kernel-served sampling calls that ran on a vector
+    /// SIMD tier (`0.0` when no sampling call has executed yet) — the
+    /// deployment health check that this box is on the fast tier and
+    /// not silently running the scalar fallback (`1.0` on an AVX2/NEON
+    /// host, `0.0` under `EMBER_FORCE_SCALAR`).
+    pub fn simd_kernel_fraction(&self) -> f64 {
+        let total = self.total_packed_kernel_calls() + self.total_dense_kernel_calls();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_simd_kernel_calls() as f64 / total as f64
+        }
+    }
+
     /// Total shard restarts (mid-request panics recovered by
     /// re-provisioning).
     pub fn total_restarts(&self) -> u64 {

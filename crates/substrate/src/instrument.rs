@@ -30,6 +30,15 @@ pub struct HardwareCounters {
     /// fallback kernel (non-binary clamp levels, or the dense kernel
     /// selected explicitly as the measured baseline).
     pub dense_kernel_calls: u64,
+    /// Sampling calls whose inner field loops executed on a vector
+    /// SIMD tier (AVX2/NEON, `ndarray::simd`). Orthogonal to the
+    /// packed/dense split — both kernels run their inner loops on the
+    /// active tier — so on a vector tier this equals
+    /// `packed_kernel_calls + dense_kernel_calls`, and it stays `0`
+    /// when the scalar reference tier is pinned
+    /// (`EMBER_FORCE_SCALAR`). The deployment health check that a
+    /// fleet is actually on the fast tier.
+    pub simd_kernel_calls: u64,
     /// Hard substrate faults raised through the fallible entry points
     /// (`try_program` / `try_sample_*`): the operation failed outright
     /// and returned a `SubstrateFault` instead of data.
@@ -102,6 +111,11 @@ impl HardwareCounters {
                 earlier.dense_kernel_calls,
                 "dense_kernel_calls",
             ),
+            simd_kernel_calls: sub(
+                self.simd_kernel_calls,
+                earlier.simd_kernel_calls,
+                "simd_kernel_calls",
+            ),
             substrate_faults: sub(
                 self.substrate_faults,
                 earlier.substrate_faults,
@@ -136,6 +150,7 @@ impl HardwareCounters {
         self.host_mac_ops += other.host_mac_ops;
         self.packed_kernel_calls += other.packed_kernel_calls;
         self.dense_kernel_calls += other.dense_kernel_calls;
+        self.simd_kernel_calls += other.simd_kernel_calls;
         self.substrate_faults += other.substrate_faults;
         self.corrupted_programmings += other.corrupted_programmings;
         self.corrupted_reads += other.corrupted_reads;
@@ -164,6 +179,7 @@ mod tests {
             host_mac_ops: 6,
             packed_kernel_calls: 7,
             dense_kernel_calls: 8,
+            simd_kernel_calls: 13,
             substrate_faults: 9,
             corrupted_programmings: 10,
             corrupted_reads: 11,
@@ -175,6 +191,7 @@ mod tests {
         assert_eq!(a.host_mac_ops, 12);
         assert_eq!(a.packed_kernel_calls, 14);
         assert_eq!(a.dense_kernel_calls, 16);
+        assert_eq!(a.simd_kernel_calls, 26);
         assert_eq!(a.substrate_faults, 18);
         assert_eq!(a.corrupted_programmings, 20);
         assert_eq!(a.corrupted_reads, 22);
@@ -193,6 +210,7 @@ mod tests {
             host_mac_ops: 6,
             packed_kernel_calls: 7,
             dense_kernel_calls: 8,
+            simd_kernel_calls: 13,
             substrate_faults: 9,
             corrupted_programmings: 10,
             corrupted_reads: 11,
@@ -203,6 +221,7 @@ mod tests {
             phase_points: 40,
             host_words_transferred: 8,
             packed_kernel_calls: 2,
+            simd_kernel_calls: 2,
             substrate_faults: 3,
             recovery_retries: 1,
             ..HardwareCounters::new()

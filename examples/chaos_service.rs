@@ -132,6 +132,13 @@ fn main() {
     println!("  shed (past deadline)     {}", stats.total_shed_requests());
     println!("  rejected (backpressure)  {}", stats.rejected);
     println!("  degraded models          {:?}", stats.degraded);
+    println!(
+        "  kernel tier              {} ({} simd / {} packed / {} dense calls)",
+        ember::kernels::active_tier().name(),
+        stats.total_simd_kernel_calls(),
+        stats.total_packed_kernel_calls(),
+        stats.total_dense_kernel_calls()
+    );
     for (name, model) in &stats.models {
         println!(
             "  {name:<16} served {:>3}  degraded {:>3}  failed {:>3}",

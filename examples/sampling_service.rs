@@ -150,4 +150,9 @@ fn main() {
         stats.total_packed_kernel_calls(),
         stats.total_dense_kernel_calls()
     );
+    println!(
+        "kernel tier: {} ({:.0}% of sampling calls on a vector SIMD tier)",
+        ember::kernels::active_tier().name(),
+        100.0 * stats.simd_kernel_fraction(),
+    );
 }

@@ -145,6 +145,48 @@
 //! assert_eq!(sub.counters().packed_kernel_calls, 1);
 //! ```
 //!
+//! # Kernel tiers: runtime SIMD dispatch
+//!
+//! Underneath the packed/dense split sits a second axis: every inner
+//! field loop — the packed kernel's selected-row adds, the dense GEMM's
+//! `ikj` update, the serial per-chain field evaluation, the BRIM GEMVs
+//! and annealer sweep dots — executes on a runtime-dispatched **SIMD
+//! tier** ([`kernels::SimdTier`]): AVX2 on x86_64, NEON on aarch64,
+//! detected once per process and cached, with the original scalar loops
+//! kept verbatim as the always-available reference and fallback. The
+//! vector paths perform the same floating-point operations in the same
+//! per-element order as the scalar reference (no FMA contraction, same
+//! reduction tree), so **the tier never changes a sampled bit** — only
+//! how fast it is produced. The serial tier is what finally speeds up a
+//! *single* Gibbs chain, which batching cannot help.
+//!
+//! * [`kernels::active_tier`] reports the tier in use;
+//!   `SimdTier::name()` gives `"avx2"` / `"neon"` / `"scalar"`.
+//! * Set the `EMBER_FORCE_SCALAR=1` environment variable (read at
+//!   first dispatch), or call
+//!   [`kernels::force_tier`]`(Some(SimdTier::Scalar))` at runtime, to
+//!   pin the scalar reference tier — for the CI fallback matrix or to
+//!   debug a suspected miscompare in the field. `force_tier(None)`
+//!   restores detection.
+//! * `HardwareCounters::simd_kernel_calls` counts sampling calls whose
+//!   inner loops ran on a vector tier (on such a tier it equals
+//!   `packed_kernel_calls + dense_kernel_calls`; it stays `0` when
+//!   scalar is pinned). `serve::ServiceStats::simd_kernel_fraction`
+//!   aggregates it across shards — the deployment health check that a
+//!   fleet is actually on the fast tier.
+//!
+//! ```
+//! use ember::kernels;
+//!
+//! let tier = kernels::active_tier();
+//! println!("field kernels running on the {} tier", tier.name());
+//! // Pin the scalar reference (bit-identical, just slower), then
+//! // restore automatic detection.
+//! kernels::force_tier(Some(kernels::SimdTier::Scalar));
+//! assert_eq!(kernels::active_tier(), kernels::SimdTier::Scalar);
+//! kernels::force_tier(None);
+//! ```
+//!
 //! See `examples/` for runnable end-to-end scenarios (e.g.
 //! `examples/sampling_service.rs` for mixed sample/train traffic over
 //! all three backends) and `crates/bench/src/bin/` for the
@@ -163,3 +205,8 @@ pub use ember_perf as perf;
 pub use ember_rbm as rbm;
 pub use ember_serve as serve;
 pub use ember_substrate as substrate;
+
+// The kernel-tier surface (`SimdTier`, `active_tier`, `force_tier`,
+// the bit-packed and serial-field kernels) at the facade root: see the
+// "Kernel tiers" section above.
+pub use ember_core::kernels;

@@ -17,6 +17,7 @@
 mod ops;
 #[cfg(feature = "serde")]
 mod serde_impls;
+pub mod simd;
 mod slicing;
 
 pub use ops::{MatOperand, VecOperand};
@@ -137,6 +138,11 @@ impl<T> Array1<T> {
     /// Underlying contiguous slice.
     pub fn as_slice(&self) -> &[T] {
         &self.data
+    }
+
+    /// Underlying contiguous slice, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
     }
 
     /// Builds from an existing `Vec`.
@@ -1154,32 +1160,18 @@ fn contiguous(v: VecDesc<'_>) -> std::borrow::Cow<'_, [f64]> {
 /// Unrolled four-accumulator dot product: rustc cannot auto-vectorize a
 /// plain `f64` reduction (FP addition is not associative), so the lanes
 /// are split explicitly. This is the single hottest kernel in the
-/// workspace.
+/// workspace; it dispatches to the runtime-detected SIMD tier
+/// ([`simd::dot`] — bit-identical to the scalar reference by
+/// construction, see the [`simd`] module docs).
 #[inline]
 pub(crate) fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut ca = a.chunks_exact(4);
-    let mut cb = b.chunks_exact(4);
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-    for (x, y) in (&mut ca).zip(&mut cb) {
-        s0 += x[0] * y[0];
-        s1 += x[1] * y[1];
-        s2 += x[2] * y[2];
-        s3 += x[3] * y[3];
-    }
-    let mut s = (s0 + s1) + (s2 + s3);
-    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        s += x * y;
-    }
-    s
+    simd::dot(a, b)
 }
 
-/// `o += x * b`, element-wise over slices (vectorizable as written).
+/// `o += x * b`, element-wise over slices, on the SIMD tier.
 #[inline]
 fn axpy(o: &mut [f64], x: f64, b: &[f64]) {
-    for (oi, &bi) in o.iter_mut().zip(b.iter()) {
-        *oi += x * bi;
-    }
+    simd::axpy(o, x, b);
 }
 
 /// Samples (up to 4096 elements of) a matrix for zero density; ≥ 40%
@@ -1209,17 +1201,55 @@ pub(crate) fn mat_vec(m: MatDesc<'_>, v: VecDesc<'_>) -> Array1<f64> {
     assert_eq!(cols, v.len, "matrix·vector dimension mismatch");
     let x = contiguous(v);
     let mut out = vec![0.0; rows];
+    let pc = m.phys_cols.max(1);
     if !m.trans {
-        for (o, row) in out.iter_mut().zip(m.data.chunks(m.phys_cols.max(1))) {
-            *o = dot_slices(row, &x);
+        // Four rows share one streaming pass over `x` via
+        // [`simd::dot4_rows`]; each row keeps its own four-lane
+        // reduction tree, so the quad is bit-identical to four
+        // independent `dot_slices` calls.
+        let mut r = 0;
+        while r + 4 <= rows {
+            let base = r * pc;
+            let quad = simd::dot4_rows(
+                &m.data[base..base + cols],
+                &m.data[base + pc..base + pc + cols],
+                &m.data[base + 2 * pc..base + 2 * pc + cols],
+                &m.data[base + 3 * pc..base + 3 * pc + cols],
+                &x,
+            );
+            out[r..r + 4].copy_from_slice(&quad);
+            r += 4;
+        }
+        for (o, row) in out[r..].iter_mut().zip(m.data[r * pc..].chunks(pc)) {
+            *o = dot_slices(&row[..cols], &x);
         }
     } else {
-        // out[j] = Σ_i data[i, j] x[i]: stream the physical rows.
-        for (i, row) in m.data.chunks(m.phys_cols.max(1)).enumerate() {
+        // out[j] = Σ_i data[i, j] x[i]: stream the physical rows,
+        // fusing four nonzero coefficients into one pass over `out`
+        // ([`simd::axpy4`] applies them per element in the same
+        // sequential order as four separate `axpy` sweeps).
+        let mut pend: [(f64, &[f64]); 4] = [(0.0, &[][..]); 4];
+        let mut n_pend = 0;
+        for (i, row) in m.data.chunks(pc).enumerate() {
             let xi = x[i];
             if xi != 0.0 {
-                axpy(&mut out, xi, row);
+                pend[n_pend] = (xi, row);
+                n_pend += 1;
+                if n_pend == 4 {
+                    simd::axpy4(
+                        &mut out,
+                        [pend[0].0, pend[1].0, pend[2].0, pend[3].0],
+                        pend[0].1,
+                        pend[1].1,
+                        pend[2].1,
+                        pend[3].1,
+                    );
+                    n_pend = 0;
+                }
             }
+        }
+        for &(xi, row) in &pend[..n_pend] {
+            axpy(&mut out, xi, row);
         }
     }
     Array1 { data: out }
@@ -1355,17 +1385,7 @@ fn mat_mat_serial(a: MatDesc<'_>, b: MatDesc<'_>) -> Array2<f64> {
                         if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
                             continue;
                         }
-                        for (((b_, q0), q1), (q2, q3)) in brow
-                            .iter()
-                            .zip(o0.iter_mut())
-                            .zip(o1.iter_mut())
-                            .zip(o2.iter_mut().zip(o3.iter_mut()))
-                        {
-                            *q0 += a0 * b_;
-                            *q1 += a1 * b_;
-                            *q2 += a2 * b_;
-                            *q3 += a3 * b_;
-                        }
+                        simd::block4_update(o0, o1, o2, o3, a0, a1, a2, a3, brow);
                     }
                 } else {
                     // Trailing block of fewer than four rows.

@@ -1,0 +1,1367 @@
+//! Runtime-dispatched SIMD kernel tier for the f64 inner loops.
+//!
+//! The GEMM/GEMV kernels in this crate ([`crate::Dot`]) and the
+//! bit-packed binary-state kernels built on top of them
+//! (`ember_core::kernels`) all reduce to four slice primitives:
+//!
+//! * [`dot`] — the four-accumulator unrolled dot product,
+//! * [`dot4_rows`] — four dots sharing the right-hand vector (the gemv
+//!   row loop, loop/reduce overhead amortized 4×),
+//! * [`axpy`] — `o[i] += x · b[i]`,
+//! * [`axpy4`] — four fused axpy updates in one pass over `o` (the
+//!   transposed gemv's coefficient-row accumulation),
+//! * [`add_assign`] — `o[i] += w[i]` (one selected-row add),
+//! * [`sum_selected_rows`] — `o[j] += Σ w[idx][j]` (the whole
+//!   selected-row accumulation, register-tiled),
+//! * [`sum_selected_rows_block`] — its batched form over a transposed
+//!   selection mask (≤ 64 output rows; the weight matrix streams once
+//!   per block instead of once per row),
+//! * [`block4_update`] — the blocked ikj GEMM's four-output-row update
+//!   `oₜ[j] += aₜ · b[j]`.
+//!
+//! Each has three implementations: the **scalar reference** (the exact
+//! loops this workspace shipped with — kept verbatim, they are the
+//! bit-identity ground truth), an **AVX2** path (x86_64), and a **NEON**
+//! path (aarch64). The tier is picked once per process by runtime
+//! feature detection ([`active_tier`], cached in an atomic so the
+//! per-call dispatch cost is one relaxed load), with automatic fallback
+//! to scalar on hardware without the vector extension.
+//!
+//! # Bit-identity
+//!
+//! Every vector path performs **the same floating-point additions in
+//! the same order per output element** as its scalar reference:
+//!
+//! * [`axpy`], [`axpy4`], [`add_assign`], and [`block4_update`] are
+//!   element-wise — each output element sees `mul`+`add` pairs in a
+//!   fixed order (never a fused multiply-add: Rust does not contract
+//!   `a*b + c`, and the vector paths use separate multiply and add
+//!   intrinsics to match). [`axpy4`]'s per-element chain is the
+//!   sequential four-pass order, fused only across the passes over `o`.
+//! * [`sum_selected_rows`] and [`sum_selected_rows_block`] keep each
+//!   output element's addition chain in ascending selected-row order on
+//!   every tier; the vector tiers only retile the loop *across*
+//!   elements (register-held accumulators / transposed scatter) — see
+//!   their docs.
+//! * [`dot`]'s scalar reference already splits the reduction into four
+//!   independent lane accumulators `s0..s3` combined as
+//!   `(s0 + s1) + (s2 + s3)`; the AVX2 path holds exactly those four
+//!   lanes in one vector accumulator (NEON: two two-lane accumulators)
+//!   and reduces them in the same tree order, then handles the
+//!   remainder scalar-style in ascending index order. [`dot4_rows`]
+//!   gives each row its own accumulator set with that same tree — rows
+//!   never mix.
+//!
+//! So switching tiers can never change a sampled bit — pinned by the
+//! proptests in `ember_core` and the golden conformance fixtures.
+//!
+//! # Forcing the scalar tier
+//!
+//! Set `EMBER_FORCE_SCALAR=1` in the environment (read once, at first
+//! dispatch) or call [`force_tier`]`(Some(SimdTier::Scalar))` at
+//! runtime — used by the CI scalar job, the `bench_pr7` simd-vs-scalar
+//! suite, and for debugging miscompares in the field.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel implementation tier is executing the inner loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdTier {
+    /// The scalar reference loops (always available; bit-identity
+    /// ground truth).
+    Scalar,
+    /// 256-bit AVX2 vectors, 4 × f64 lanes (x86_64).
+    Avx2,
+    /// 128-bit NEON vectors, 2 × f64 lanes (aarch64).
+    Neon,
+}
+
+impl SimdTier {
+    /// Stable lower-case name for logs and stat dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Avx2 => "avx2",
+            SimdTier::Neon => "neon",
+        }
+    }
+
+    fn from_u8(v: u8) -> SimdTier {
+        match v {
+            1 => SimdTier::Avx2,
+            2 => SimdTier::Neon,
+            _ => SimdTier::Scalar,
+        }
+    }
+}
+
+/// Cached tier: `UNINIT` until the first dispatch resolves it.
+static TIER: AtomicU8 = AtomicU8::new(UNINIT);
+const UNINIT: u8 = u8::MAX;
+
+/// What the hardware supports (ignoring overrides).
+fn detect_hardware() -> SimdTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdTier::Avx2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // NEON is baseline on AArch64.
+        return SimdTier::Neon;
+    }
+    #[allow(unreachable_code)]
+    SimdTier::Scalar
+}
+
+/// Detection + the `EMBER_FORCE_SCALAR` environment override.
+fn detect() -> SimdTier {
+    let forced = std::env::var_os("EMBER_FORCE_SCALAR").is_some_and(|v| v != "0" && !v.is_empty());
+    if forced {
+        SimdTier::Scalar
+    } else {
+        detect_hardware()
+    }
+}
+
+/// The tier currently executing the inner loops. First call runs
+/// feature detection (and reads `EMBER_FORCE_SCALAR`); later calls are
+/// one relaxed atomic load.
+#[inline]
+pub fn active_tier() -> SimdTier {
+    match TIER.load(Ordering::Relaxed) {
+        UNINIT => {
+            let tier = detect();
+            TIER.store(tier as u8, Ordering::Relaxed);
+            tier
+        }
+        v => SimdTier::from_u8(v),
+    }
+}
+
+/// Overrides the dispatch tier at runtime. `Some(tier)` pins it (a
+/// tier the hardware cannot run falls back to what detection picks);
+/// `None` restores automatic detection (including the
+/// `EMBER_FORCE_SCALAR` override). Both tiers produce bit-identical
+/// results, so flipping this mid-run is always safe — it only changes
+/// speed and the `simd_kernel_calls` accounting.
+pub fn force_tier(tier: Option<SimdTier>) {
+    let resolved = match tier {
+        None => detect(),
+        Some(SimdTier::Scalar) => SimdTier::Scalar,
+        Some(requested) => {
+            if requested == detect_hardware() {
+                requested
+            } else {
+                detect()
+            }
+        }
+    };
+    TIER.store(resolved as u8, Ordering::Relaxed);
+}
+
+/// Whether the active tier is a vector tier (used by the substrate
+/// backends' `simd_kernel_calls` accounting).
+#[inline]
+pub fn simd_active() -> bool {
+    active_tier() != SimdTier::Scalar
+}
+
+// ---------------------------------------------------------------------------
+// dot: four-accumulator unrolled dot product
+// ---------------------------------------------------------------------------
+
+/// Unrolled four-accumulator dot product — scalar reference tier.
+///
+/// FP addition is not associative, so the lane split is part of the
+/// kernel's contract: `s = (s0 + s1) + (s2 + s3)`, remainder appended
+/// in ascending index order. The vector tiers reproduce exactly this
+/// shape.
+#[inline]
+pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        s0 += x[0] * y[0];
+        s1 += x[1] * y[1];
+        s2 += x[2] * y[2];
+        s3 += x[3] * y[3];
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        s += x * y;
+    }
+    s
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_avx2(a: &[f64], b: &[f64]) -> f64 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / 4;
+    // One vector accumulator whose lane l is exactly the scalar
+    // reference's s_l (same products added in the same order).
+    let mut acc = _mm256_setzero_pd();
+    for c in 0..chunks {
+        let x = _mm256_loadu_pd(a.as_ptr().add(4 * c));
+        let y = _mm256_loadu_pd(b.as_ptr().add(4 * c));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(x, y));
+    }
+    let mut lanes = [0.0f64; 4];
+    _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+    // The reference's reduction tree, verbatim.
+    let mut s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for i in 4 * chunks..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn dot_neon(a: &[f64], b: &[f64]) -> f64 {
+    use std::arch::aarch64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / 4;
+    // Two two-lane accumulators: acc01 holds (s0, s1), acc23 holds
+    // (s2, s3) — the scalar reference's lanes, bit for bit.
+    let mut acc01 = vdupq_n_f64(0.0);
+    let mut acc23 = vdupq_n_f64(0.0);
+    for c in 0..chunks {
+        let x01 = vld1q_f64(a.as_ptr().add(4 * c));
+        let y01 = vld1q_f64(b.as_ptr().add(4 * c));
+        let x23 = vld1q_f64(a.as_ptr().add(4 * c + 2));
+        let y23 = vld1q_f64(b.as_ptr().add(4 * c + 2));
+        acc01 = vaddq_f64(acc01, vmulq_f64(x01, y01));
+        acc23 = vaddq_f64(acc23, vmulq_f64(x23, y23));
+    }
+    let (s0, s1) = (vgetq_lane_f64::<0>(acc01), vgetq_lane_f64::<1>(acc01));
+    let (s2, s3) = (vgetq_lane_f64::<0>(acc23), vgetq_lane_f64::<1>(acc23));
+    let mut s = (s0 + s1) + (s2 + s3);
+    for i in 4 * chunks..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Dot product on the active tier (bit-identical across tiers).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { dot_avx2(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        SimdTier::Neon => unsafe { dot_neon(a, b) },
+        _ => dot_scalar(a, b),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// dot4_rows: four independent dot products against one shared vector
+// ---------------------------------------------------------------------------
+
+/// Four dot products sharing the right-hand vector — scalar reference
+/// tier. Each output is exactly [`dot_scalar`] of its row: the fusion
+/// amortizes the pass over `x` (and, on the vector tiers, the loop and
+/// horizontal-reduce overhead) across four rows but never mixes lanes
+/// *across* rows, so every output keeps the reference reduction tree.
+/// The gemv hot loop ([`crate::Array2::dot`] with a vector) runs on
+/// this in blocks of four rows.
+#[inline]
+pub fn dot4_rows_scalar(r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64], x: &[f64]) -> [f64; 4] {
+    [
+        dot_scalar(r0, x),
+        dot_scalar(r1, x),
+        dot_scalar(r2, x),
+        dot_scalar(r3, x),
+    ]
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot4_rows_avx2(r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64], x: &[f64]) -> [f64; 4] {
+    use std::arch::x86_64::*;
+    let n = x.len();
+    debug_assert!(r0.len() == n && r1.len() == n && r2.len() == n && r3.len() == n);
+    let chunks = n / 4;
+    // One accumulator per row; lane l of accumulator r is exactly
+    // `dot_scalar(row_r, x)`'s s_l.
+    let mut a0 = _mm256_setzero_pd();
+    let mut a1 = _mm256_setzero_pd();
+    let mut a2 = _mm256_setzero_pd();
+    let mut a3 = _mm256_setzero_pd();
+    for c in 0..chunks {
+        let xv = _mm256_loadu_pd(x.as_ptr().add(4 * c));
+        a0 = _mm256_add_pd(
+            a0,
+            _mm256_mul_pd(_mm256_loadu_pd(r0.as_ptr().add(4 * c)), xv),
+        );
+        a1 = _mm256_add_pd(
+            a1,
+            _mm256_mul_pd(_mm256_loadu_pd(r1.as_ptr().add(4 * c)), xv),
+        );
+        a2 = _mm256_add_pd(
+            a2,
+            _mm256_mul_pd(_mm256_loadu_pd(r2.as_ptr().add(4 * c)), xv),
+        );
+        a3 = _mm256_add_pd(
+            a3,
+            _mm256_mul_pd(_mm256_loadu_pd(r3.as_ptr().add(4 * c)), xv),
+        );
+    }
+    let rows = [r0, r1, r2, r3];
+    let accs = [a0, a1, a2, a3];
+    let mut out = [0.0f64; 4];
+    for (t, acc) in accs.iter().enumerate() {
+        let mut lanes = [0.0f64; 4];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), *acc);
+        // The reference's reduction tree, verbatim, then the ascending
+        // remainder.
+        let mut s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        for i in 4 * chunks..n {
+            s += rows[t][i] * x[i];
+        }
+        out[t] = s;
+    }
+    out
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn dot4_rows_neon(r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64], x: &[f64]) -> [f64; 4] {
+    use std::arch::aarch64::*;
+    let n = x.len();
+    debug_assert!(r0.len() == n && r1.len() == n && r2.len() == n && r3.len() == n);
+    let chunks = n / 4;
+    // Per row: the same (s0,s1)/(s2,s3) accumulator pair as `dot_neon`.
+    let mut acc = [[vdupq_n_f64(0.0); 2]; 4];
+    let rows = [r0, r1, r2, r3];
+    for c in 0..chunks {
+        let x01 = vld1q_f64(x.as_ptr().add(4 * c));
+        let x23 = vld1q_f64(x.as_ptr().add(4 * c + 2));
+        for (t, row) in rows.iter().enumerate() {
+            let r01 = vld1q_f64(row.as_ptr().add(4 * c));
+            let r23 = vld1q_f64(row.as_ptr().add(4 * c + 2));
+            acc[t][0] = vaddq_f64(acc[t][0], vmulq_f64(r01, x01));
+            acc[t][1] = vaddq_f64(acc[t][1], vmulq_f64(r23, x23));
+        }
+    }
+    let mut out = [0.0f64; 4];
+    for (t, row) in rows.iter().enumerate() {
+        let (s0, s1) = (
+            vgetq_lane_f64::<0>(acc[t][0]),
+            vgetq_lane_f64::<1>(acc[t][0]),
+        );
+        let (s2, s3) = (
+            vgetq_lane_f64::<0>(acc[t][1]),
+            vgetq_lane_f64::<1>(acc[t][1]),
+        );
+        let mut s = (s0 + s1) + (s2 + s3);
+        for i in 4 * chunks..n {
+            s += row[i] * x[i];
+        }
+        out[t] = s;
+    }
+    out
+}
+
+/// Four dot products sharing the right-hand vector, on the active tier.
+/// Output `t` is bit-identical to `dot(row_t, x)` on every tier.
+#[inline]
+pub fn dot4_rows(r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64], x: &[f64]) -> [f64; 4] {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { dot4_rows_avx2(r0, r1, r2, r3, x) },
+        #[cfg(target_arch = "aarch64")]
+        SimdTier::Neon => unsafe { dot4_rows_neon(r0, r1, r2, r3, x) },
+        _ => dot4_rows_scalar(r0, r1, r2, r3, x),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// axpy: o += x * b
+// ---------------------------------------------------------------------------
+
+/// `o[i] += x · b[i]` — scalar reference tier.
+#[inline]
+pub fn axpy_scalar(o: &mut [f64], x: f64, b: &[f64]) {
+    for (oi, &bi) in o.iter_mut().zip(b.iter()) {
+        *oi += x * bi;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_avx2(o: &mut [f64], x: f64, b: &[f64]) {
+    use std::arch::x86_64::*;
+    let n = o.len().min(b.len());
+    let chunks = n / 4;
+    let xv = _mm256_set1_pd(x);
+    for c in 0..chunks {
+        let ov = _mm256_loadu_pd(o.as_ptr().add(4 * c));
+        let bv = _mm256_loadu_pd(b.as_ptr().add(4 * c));
+        // Separate mul + add (no FMA): matches the scalar `o += x*b`.
+        _mm256_storeu_pd(
+            o.as_mut_ptr().add(4 * c),
+            _mm256_add_pd(ov, _mm256_mul_pd(xv, bv)),
+        );
+    }
+    for i in 4 * chunks..n {
+        o[i] += x * b[i];
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn axpy_neon(o: &mut [f64], x: f64, b: &[f64]) {
+    use std::arch::aarch64::*;
+    let n = o.len().min(b.len());
+    let chunks = n / 2;
+    let xv = vdupq_n_f64(x);
+    for c in 0..chunks {
+        let ov = vld1q_f64(o.as_ptr().add(2 * c));
+        let bv = vld1q_f64(b.as_ptr().add(2 * c));
+        vst1q_f64(o.as_mut_ptr().add(2 * c), vaddq_f64(ov, vmulq_f64(xv, bv)));
+    }
+    for i in 2 * chunks..n {
+        o[i] += x * b[i];
+    }
+}
+
+/// `o[i] += x · b[i]` on the active tier (bit-identical across tiers).
+#[inline]
+pub fn axpy(o: &mut [f64], x: f64, b: &[f64]) {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { axpy_avx2(o, x, b) },
+        #[cfg(target_arch = "aarch64")]
+        SimdTier::Neon => unsafe { axpy_neon(o, x, b) },
+        _ => axpy_scalar(o, x, b),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// axpy4: o += x0·b0 + x1·b1 + x2·b2 + x3·b3 in one pass
+// ---------------------------------------------------------------------------
+
+/// Four fused axpy updates — scalar reference tier. Per element the
+/// additions happen in argument order,
+/// `(((o + x0·b0) + x1·b1) + x2·b2) + x3·b3`, which is exactly what
+/// four sequential [`axpy_scalar`] passes produce; the fusion only
+/// saves the three intermediate passes over `o`. The transposed gemv
+/// (`Wᵀ·v` accumulation over rows with non-zero coefficients) runs on
+/// this in groups of four.
+#[inline]
+pub fn axpy4_scalar(o: &mut [f64], x: [f64; 4], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) {
+    let n = o
+        .len()
+        .min(b0.len())
+        .min(b1.len())
+        .min(b2.len())
+        .min(b3.len());
+    for j in 0..n {
+        let mut v = o[j];
+        v += x[0] * b0[j];
+        v += x[1] * b1[j];
+        v += x[2] * b2[j];
+        v += x[3] * b3[j];
+        o[j] = v;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn axpy4_avx2(o: &mut [f64], x: [f64; 4], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) {
+    use std::arch::x86_64::*;
+    let n = o
+        .len()
+        .min(b0.len())
+        .min(b1.len())
+        .min(b2.len())
+        .min(b3.len());
+    let chunks = n / 4;
+    let x0 = _mm256_set1_pd(x[0]);
+    let x1 = _mm256_set1_pd(x[1]);
+    let x2 = _mm256_set1_pd(x[2]);
+    let x3 = _mm256_set1_pd(x[3]);
+    for c in 0..chunks {
+        let mut ov = _mm256_loadu_pd(o.as_ptr().add(4 * c));
+        // Element-wise, additions in argument order (no FMA): the
+        // scalar reference chain, four lanes at a time.
+        ov = _mm256_add_pd(
+            ov,
+            _mm256_mul_pd(x0, _mm256_loadu_pd(b0.as_ptr().add(4 * c))),
+        );
+        ov = _mm256_add_pd(
+            ov,
+            _mm256_mul_pd(x1, _mm256_loadu_pd(b1.as_ptr().add(4 * c))),
+        );
+        ov = _mm256_add_pd(
+            ov,
+            _mm256_mul_pd(x2, _mm256_loadu_pd(b2.as_ptr().add(4 * c))),
+        );
+        ov = _mm256_add_pd(
+            ov,
+            _mm256_mul_pd(x3, _mm256_loadu_pd(b3.as_ptr().add(4 * c))),
+        );
+        _mm256_storeu_pd(o.as_mut_ptr().add(4 * c), ov);
+    }
+    for j in 4 * chunks..n {
+        let mut v = o[j];
+        v += x[0] * b0[j];
+        v += x[1] * b1[j];
+        v += x[2] * b2[j];
+        v += x[3] * b3[j];
+        o[j] = v;
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn axpy4_neon(o: &mut [f64], x: [f64; 4], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) {
+    use std::arch::aarch64::*;
+    let n = o
+        .len()
+        .min(b0.len())
+        .min(b1.len())
+        .min(b2.len())
+        .min(b3.len());
+    let chunks = n / 2;
+    let x0 = vdupq_n_f64(x[0]);
+    let x1 = vdupq_n_f64(x[1]);
+    let x2 = vdupq_n_f64(x[2]);
+    let x3 = vdupq_n_f64(x[3]);
+    for c in 0..chunks {
+        let mut ov = vld1q_f64(o.as_ptr().add(2 * c));
+        ov = vaddq_f64(ov, vmulq_f64(x0, vld1q_f64(b0.as_ptr().add(2 * c))));
+        ov = vaddq_f64(ov, vmulq_f64(x1, vld1q_f64(b1.as_ptr().add(2 * c))));
+        ov = vaddq_f64(ov, vmulq_f64(x2, vld1q_f64(b2.as_ptr().add(2 * c))));
+        ov = vaddq_f64(ov, vmulq_f64(x3, vld1q_f64(b3.as_ptr().add(2 * c))));
+        vst1q_f64(o.as_mut_ptr().add(2 * c), ov);
+    }
+    for j in 2 * chunks..n {
+        let mut v = o[j];
+        v += x[0] * b0[j];
+        v += x[1] * b1[j];
+        v += x[2] * b2[j];
+        v += x[3] * b3[j];
+        o[j] = v;
+    }
+}
+
+/// Four fused axpy updates on the active tier — bit-identical to four
+/// sequential [`axpy`] calls on every tier.
+#[inline]
+pub fn axpy4(o: &mut [f64], x: [f64; 4], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { axpy4_avx2(o, x, b0, b1, b2, b3) },
+        #[cfg(target_arch = "aarch64")]
+        SimdTier::Neon => unsafe { axpy4_neon(o, x, b0, b1, b2, b3) },
+        _ => axpy4_scalar(o, x, b0, b1, b2, b3),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// add_assign: o += w (the bit-packed kernels' selected-row accumulation)
+// ---------------------------------------------------------------------------
+
+/// `o[i] += w[i]` — scalar reference tier.
+#[inline]
+pub fn add_assign_scalar(o: &mut [f64], w: &[f64]) {
+    for (oi, &wi) in o.iter_mut().zip(w.iter()) {
+        *oi += wi;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn add_assign_avx2(o: &mut [f64], w: &[f64]) {
+    use std::arch::x86_64::*;
+    let n = o.len().min(w.len());
+    let chunks = n / 4;
+    for c in 0..chunks {
+        let ov = _mm256_loadu_pd(o.as_ptr().add(4 * c));
+        let wv = _mm256_loadu_pd(w.as_ptr().add(4 * c));
+        _mm256_storeu_pd(o.as_mut_ptr().add(4 * c), _mm256_add_pd(ov, wv));
+    }
+    for i in 4 * chunks..n {
+        o[i] += w[i];
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn add_assign_neon(o: &mut [f64], w: &[f64]) {
+    use std::arch::aarch64::*;
+    let n = o.len().min(w.len());
+    let chunks = n / 2;
+    for c in 0..chunks {
+        let ov = vld1q_f64(o.as_ptr().add(2 * c));
+        let wv = vld1q_f64(w.as_ptr().add(2 * c));
+        vst1q_f64(o.as_mut_ptr().add(2 * c), vaddq_f64(ov, wv));
+    }
+    for i in 2 * chunks..n {
+        o[i] += w[i];
+    }
+}
+
+/// `o[i] += w[i]` on the active tier (bit-identical across tiers).
+#[inline]
+pub fn add_assign(o: &mut [f64], w: &[f64]) {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { add_assign_avx2(o, w) },
+        #[cfg(target_arch = "aarch64")]
+        SimdTier::Neon => unsafe { add_assign_neon(o, w) },
+        _ => add_assign_scalar(o, w),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sum_selected_rows: register-tiled selected-row accumulation
+// ---------------------------------------------------------------------------
+
+/// `out[j] += Σ_k w[idx[k]][j]` — scalar reference tier: one
+/// [`add_assign_scalar`] pass per selected row, ascending `idx` order
+/// (the verbatim selected-row loop of the bit-packed kernels).
+#[inline]
+pub fn sum_selected_rows_scalar(out: &mut [f64], w: &[f64], stride: usize, idx: &[u32]) {
+    let n = out.len();
+    for &i in idx {
+        let start = i as usize * stride;
+        add_assign_scalar(out, &w[start..start + n]);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn sum_selected_rows_avx2(out: &mut [f64], w: &[f64], stride: usize, idx: &[u32]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let mut j = 0;
+    // 32-column register tile: eight accumulators stay in ymm registers
+    // across the whole selected-row list, so the inner loop is pure
+    // load+add on the weight stream — the per-row `o += w` formulation
+    // is store-port bound reloading and rewriting the field for every
+    // selected row; this one touches the field once per tile. The walk
+    // is strided and the gaps between selected rows are data-dependent,
+    // which defeats the hardware stride prefetcher — but the index list
+    // gives the exact future addresses, so each step software-prefetches
+    // the row `PF` entries ahead (two `T0` hints per 256-byte run; the
+    // adjacent-line prefetcher fills the sibling lines).
+    const PF: usize = 8;
+    let last = idx.len() - 1;
+    while j + 32 <= n {
+        let p = out.as_mut_ptr().add(j);
+        let mut a0 = _mm256_loadu_pd(p);
+        let mut a1 = _mm256_loadu_pd(p.add(4));
+        let mut a2 = _mm256_loadu_pd(p.add(8));
+        let mut a3 = _mm256_loadu_pd(p.add(12));
+        let mut a4 = _mm256_loadu_pd(p.add(16));
+        let mut a5 = _mm256_loadu_pd(p.add(20));
+        let mut a6 = _mm256_loadu_pd(p.add(24));
+        let mut a7 = _mm256_loadu_pd(p.add(28));
+        for t in 0..=last {
+            let i = *idx.get_unchecked(t);
+            let pf = *idx.get_unchecked((t + PF).min(last));
+            let f = w.as_ptr().add(pf as usize * stride + j);
+            _mm_prefetch(f.cast::<i8>(), _MM_HINT_T0);
+            _mm_prefetch(f.add(16).cast::<i8>(), _MM_HINT_T0);
+            let r = w.as_ptr().add(i as usize * stride + j);
+            a0 = _mm256_add_pd(a0, _mm256_loadu_pd(r));
+            a1 = _mm256_add_pd(a1, _mm256_loadu_pd(r.add(4)));
+            a2 = _mm256_add_pd(a2, _mm256_loadu_pd(r.add(8)));
+            a3 = _mm256_add_pd(a3, _mm256_loadu_pd(r.add(12)));
+            a4 = _mm256_add_pd(a4, _mm256_loadu_pd(r.add(16)));
+            a5 = _mm256_add_pd(a5, _mm256_loadu_pd(r.add(20)));
+            a6 = _mm256_add_pd(a6, _mm256_loadu_pd(r.add(24)));
+            a7 = _mm256_add_pd(a7, _mm256_loadu_pd(r.add(28)));
+        }
+        _mm256_storeu_pd(p, a0);
+        _mm256_storeu_pd(p.add(4), a1);
+        _mm256_storeu_pd(p.add(8), a2);
+        _mm256_storeu_pd(p.add(12), a3);
+        _mm256_storeu_pd(p.add(16), a4);
+        _mm256_storeu_pd(p.add(20), a5);
+        _mm256_storeu_pd(p.add(24), a6);
+        _mm256_storeu_pd(p.add(28), a7);
+        j += 32;
+    }
+    while j + 4 <= n {
+        let p = out.as_mut_ptr().add(j);
+        let mut a0 = _mm256_loadu_pd(p);
+        for t in 0..=last {
+            let i = *idx.get_unchecked(t);
+            let pf = *idx.get_unchecked((t + PF).min(last));
+            _mm_prefetch(
+                w.as_ptr().add(pf as usize * stride + j).cast::<i8>(),
+                _MM_HINT_T0,
+            );
+            a0 = _mm256_add_pd(a0, _mm256_loadu_pd(w.as_ptr().add(i as usize * stride + j)));
+        }
+        _mm256_storeu_pd(p, a0);
+        j += 4;
+    }
+    while j < n {
+        let mut acc = *out.get_unchecked(j);
+        for &i in idx {
+            acc += *w.get_unchecked(i as usize * stride + j);
+        }
+        *out.get_unchecked_mut(j) = acc;
+        j += 1;
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn sum_selected_rows_neon(out: &mut [f64], w: &[f64], stride: usize, idx: &[u32]) {
+    use std::arch::aarch64::*;
+    let n = out.len();
+    let mut j = 0;
+    // 8-column register tile: four two-lane accumulators.
+    while j + 8 <= n {
+        let p = out.as_mut_ptr().add(j);
+        let mut a0 = vld1q_f64(p);
+        let mut a1 = vld1q_f64(p.add(2));
+        let mut a2 = vld1q_f64(p.add(4));
+        let mut a3 = vld1q_f64(p.add(6));
+        for &i in idx {
+            let r = w.as_ptr().add(i as usize * stride + j);
+            a0 = vaddq_f64(a0, vld1q_f64(r));
+            a1 = vaddq_f64(a1, vld1q_f64(r.add(2)));
+            a2 = vaddq_f64(a2, vld1q_f64(r.add(4)));
+            a3 = vaddq_f64(a3, vld1q_f64(r.add(6)));
+        }
+        vst1q_f64(p, a0);
+        vst1q_f64(p.add(2), a1);
+        vst1q_f64(p.add(4), a2);
+        vst1q_f64(p.add(6), a3);
+        j += 8;
+    }
+    while j + 2 <= n {
+        let p = out.as_mut_ptr().add(j);
+        let mut a0 = vld1q_f64(p);
+        for &i in idx {
+            a0 = vaddq_f64(a0, vld1q_f64(w.as_ptr().add(i as usize * stride + j)));
+        }
+        vst1q_f64(p, a0);
+        j += 2;
+    }
+    while j < n {
+        let mut acc = *out.get_unchecked(j);
+        for &i in idx {
+            acc += *w.get_unchecked(i as usize * stride + j);
+        }
+        *out.get_unchecked_mut(j) = acc;
+        j += 1;
+    }
+}
+
+/// `out[j] += Σ_k w[idx[k]][j]` on the active tier — the hot loop of
+/// the bit-packed GEMM and the serial per-chain field kernel: the
+/// weight rows selected by the set input bits, accumulated onto `out`
+/// in ascending `idx` order starting from `out`'s current contents.
+///
+/// Bit-identical across tiers: per output element `j` every tier
+/// computes `((out[j] + w[idx[0]][j]) + w[idx[1]][j]) + …` in exactly
+/// that order — the vector tiers only reorder *across* elements
+/// (register tiles instead of per-row passes), never within one
+/// element's chain.
+///
+/// `w` is a row-major matrix with `stride` elements per row, of which
+/// the first `out.len()` are summed.
+///
+/// # Panics
+///
+/// Panics if `stride < out.len()` or any selected row overruns `w`.
+#[inline]
+pub fn sum_selected_rows(out: &mut [f64], w: &[f64], stride: usize, idx: &[u32]) {
+    let n = out.len();
+    assert!(stride >= n, "row stride shorter than the output tile");
+    if let Some(&max) = idx.iter().max() {
+        assert!(
+            max as usize * stride + n <= w.len(),
+            "selected row {max} overruns the weight matrix"
+        );
+    } else {
+        return;
+    }
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { sum_selected_rows_avx2(out, w, stride, idx) },
+        #[cfg(target_arch = "aarch64")]
+        SimdTier::Neon => unsafe { sum_selected_rows_neon(out, w, stride, idx) },
+        _ => sum_selected_rows_scalar(out, w, stride, idx),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sum_selected_rows_block: batched selected-row accumulation over a
+// transposed selection mask (≤ 64 output rows per call)
+// ---------------------------------------------------------------------------
+
+/// `out[r][j] += Σ_{i : tmask[i] bit r} w[i][j]` — scalar reference
+/// tier. Weight rows stream in ascending `i`; within a weight row the
+/// destinations are visited in ascending `r`, so each output element's
+/// addition chain is exactly the ascending-`i` chain of the per-row
+/// formulation ([`sum_selected_rows_scalar`]).
+#[inline]
+pub fn sum_selected_rows_block_scalar(out: &mut [f64], n: usize, w: &[f64], tmask: &[u64]) {
+    for (i, &mask) in tmask.iter().enumerate() {
+        let wrow = &w[i * n..(i + 1) * n];
+        let mut bits = mask;
+        while bits != 0 {
+            let r = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            add_assign_scalar(&mut out[r * n..(r + 1) * n], wrow);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn sum_selected_rows_block_avx2(out: &mut [f64], n: usize, w: &[f64], tmask: &[u64]) {
+    use std::arch::x86_64::*;
+    let mut j = 0;
+    // Column tiles keep the whole ≤ 64-row output block L1-resident
+    // (64 rows × 32 cols × 8 B = 16 KB) while the weight matrix streams
+    // through exactly once, in order — each weight-row tile is loaded
+    // into eight ymm registers once and added to every destination row
+    // its mask selects. The per-batch-row formulation re-streams the
+    // matrix from L2 once per row; this one pays L2 for it once per
+    // 64-row block.
+    while j + 32 <= n {
+        for (i, &mask) in tmask.iter().enumerate() {
+            if mask == 0 {
+                continue;
+            }
+            let r = w.as_ptr().add(i * n + j);
+            let w0 = _mm256_loadu_pd(r);
+            let w1 = _mm256_loadu_pd(r.add(4));
+            let w2 = _mm256_loadu_pd(r.add(8));
+            let w3 = _mm256_loadu_pd(r.add(12));
+            let w4 = _mm256_loadu_pd(r.add(16));
+            let w5 = _mm256_loadu_pd(r.add(20));
+            let w6 = _mm256_loadu_pd(r.add(24));
+            let w7 = _mm256_loadu_pd(r.add(28));
+            let mut bits = mask;
+            while bits != 0 {
+                let row = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let p = out.as_mut_ptr().add(row * n + j);
+                _mm256_storeu_pd(p, _mm256_add_pd(_mm256_loadu_pd(p), w0));
+                _mm256_storeu_pd(p.add(4), _mm256_add_pd(_mm256_loadu_pd(p.add(4)), w1));
+                _mm256_storeu_pd(p.add(8), _mm256_add_pd(_mm256_loadu_pd(p.add(8)), w2));
+                _mm256_storeu_pd(p.add(12), _mm256_add_pd(_mm256_loadu_pd(p.add(12)), w3));
+                _mm256_storeu_pd(p.add(16), _mm256_add_pd(_mm256_loadu_pd(p.add(16)), w4));
+                _mm256_storeu_pd(p.add(20), _mm256_add_pd(_mm256_loadu_pd(p.add(20)), w5));
+                _mm256_storeu_pd(p.add(24), _mm256_add_pd(_mm256_loadu_pd(p.add(24)), w6));
+                _mm256_storeu_pd(p.add(28), _mm256_add_pd(_mm256_loadu_pd(p.add(28)), w7));
+            }
+        }
+        j += 32;
+    }
+    while j + 4 <= n {
+        for (i, &mask) in tmask.iter().enumerate() {
+            if mask == 0 {
+                continue;
+            }
+            let w0 = _mm256_loadu_pd(w.as_ptr().add(i * n + j));
+            let mut bits = mask;
+            while bits != 0 {
+                let row = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let p = out.as_mut_ptr().add(row * n + j);
+                _mm256_storeu_pd(p, _mm256_add_pd(_mm256_loadu_pd(p), w0));
+            }
+        }
+        j += 4;
+    }
+    while j < n {
+        for (i, &mask) in tmask.iter().enumerate() {
+            let w0 = *w.get_unchecked(i * n + j);
+            let mut bits = mask;
+            while bits != 0 {
+                let row = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                *out.get_unchecked_mut(row * n + j) += w0;
+            }
+        }
+        j += 1;
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn sum_selected_rows_block_neon(out: &mut [f64], n: usize, w: &[f64], tmask: &[u64]) {
+    use std::arch::aarch64::*;
+    let mut j = 0;
+    // 16-column tile: eight two-lane weight registers per weight row.
+    while j + 16 <= n {
+        for (i, &mask) in tmask.iter().enumerate() {
+            if mask == 0 {
+                continue;
+            }
+            let r = w.as_ptr().add(i * n + j);
+            let w0 = vld1q_f64(r);
+            let w1 = vld1q_f64(r.add(2));
+            let w2 = vld1q_f64(r.add(4));
+            let w3 = vld1q_f64(r.add(6));
+            let w4 = vld1q_f64(r.add(8));
+            let w5 = vld1q_f64(r.add(10));
+            let w6 = vld1q_f64(r.add(12));
+            let w7 = vld1q_f64(r.add(14));
+            let mut bits = mask;
+            while bits != 0 {
+                let row = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let p = out.as_mut_ptr().add(row * n + j);
+                vst1q_f64(p, vaddq_f64(vld1q_f64(p), w0));
+                vst1q_f64(p.add(2), vaddq_f64(vld1q_f64(p.add(2)), w1));
+                vst1q_f64(p.add(4), vaddq_f64(vld1q_f64(p.add(4)), w2));
+                vst1q_f64(p.add(6), vaddq_f64(vld1q_f64(p.add(6)), w3));
+                vst1q_f64(p.add(8), vaddq_f64(vld1q_f64(p.add(8)), w4));
+                vst1q_f64(p.add(10), vaddq_f64(vld1q_f64(p.add(10)), w5));
+                vst1q_f64(p.add(12), vaddq_f64(vld1q_f64(p.add(12)), w6));
+                vst1q_f64(p.add(14), vaddq_f64(vld1q_f64(p.add(14)), w7));
+            }
+        }
+        j += 16;
+    }
+    while j + 2 <= n {
+        for (i, &mask) in tmask.iter().enumerate() {
+            if mask == 0 {
+                continue;
+            }
+            let w0 = vld1q_f64(w.as_ptr().add(i * n + j));
+            let mut bits = mask;
+            while bits != 0 {
+                let row = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let p = out.as_mut_ptr().add(row * n + j);
+                vst1q_f64(p, vaddq_f64(vld1q_f64(p), w0));
+            }
+        }
+        j += 2;
+    }
+    while j < n {
+        for (i, &mask) in tmask.iter().enumerate() {
+            let w0 = *w.get_unchecked(i * n + j);
+            let mut bits = mask;
+            while bits != 0 {
+                let row = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                *out.get_unchecked_mut(row * n + j) += w0;
+            }
+        }
+        j += 1;
+    }
+}
+
+/// Batched [`sum_selected_rows`] over a **transposed** selection mask,
+/// on the active tier: `out` holds up to 64 contiguous `n`-wide output
+/// rows, and bit `r` of `tmask[i]` selects weight row `i` into output
+/// row `r`. Both `out` and `w` are dense row-major with row length `n`.
+///
+/// This is the bit-packed batch GEMM's hot loop. The per-batch-row
+/// formulation streams the whole weight matrix from L2 once per batch
+/// row (memory-bound: the matrix rarely fits L1); transposing the
+/// selection lets every weight row be loaded once per 64-row block and
+/// scattered to all the output rows that selected it, with the output
+/// block held L1-resident by column tiling.
+///
+/// Bit-identical across tiers and to the per-row formulation: weight
+/// rows are visited in ascending `i`, so each output element's addition
+/// chain is the same ascending-index chain — the transposition reorders
+/// work only *across* output rows, never within one element's chain.
+///
+/// # Panics
+///
+/// Panics if `w` is shorter than `tmask.len() · n`, or if any mask
+/// selects an output row beyond `out`.
+#[inline]
+pub fn sum_selected_rows_block(out: &mut [f64], n: usize, w: &[f64], tmask: &[u64]) {
+    if n == 0 {
+        return;
+    }
+    assert!(
+        tmask.len() * n <= w.len(),
+        "selection mask overruns the weight matrix"
+    );
+    let union = tmask.iter().fold(0u64, |u, &m| u | m);
+    if union == 0 {
+        return;
+    }
+    let top_row = 63 - union.leading_zeros() as usize;
+    assert!(
+        (top_row + 1) * n <= out.len(),
+        "selected output row {top_row} overruns the output block"
+    );
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { sum_selected_rows_block_avx2(out, n, w, tmask) },
+        #[cfg(target_arch = "aarch64")]
+        SimdTier::Neon => unsafe { sum_selected_rows_block_neon(out, n, w, tmask) },
+        _ => sum_selected_rows_block_scalar(out, n, w, tmask),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// block4_update: the blocked ikj GEMM's four-output-row inner loop
+// ---------------------------------------------------------------------------
+
+/// `oₜ[j] += aₜ · b[j]` for four output rows sharing one streamed B row
+/// — scalar reference tier.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn block4_update_scalar(
+    o0: &mut [f64],
+    o1: &mut [f64],
+    o2: &mut [f64],
+    o3: &mut [f64],
+    a0: f64,
+    a1: f64,
+    a2: f64,
+    a3: f64,
+    brow: &[f64],
+) {
+    for (((b_, q0), q1), (q2, q3)) in brow
+        .iter()
+        .zip(o0.iter_mut())
+        .zip(o1.iter_mut())
+        .zip(o2.iter_mut().zip(o3.iter_mut()))
+    {
+        *q0 += a0 * b_;
+        *q1 += a1 * b_;
+        *q2 += a2 * b_;
+        *q3 += a3 * b_;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn block4_update_avx2(
+    o0: &mut [f64],
+    o1: &mut [f64],
+    o2: &mut [f64],
+    o3: &mut [f64],
+    a0: f64,
+    a1: f64,
+    a2: f64,
+    a3: f64,
+    brow: &[f64],
+) {
+    use std::arch::x86_64::*;
+    let n = brow.len();
+    let chunks = n / 4;
+    let (v0, v1) = (_mm256_set1_pd(a0), _mm256_set1_pd(a1));
+    let (v2, v3) = (_mm256_set1_pd(a2), _mm256_set1_pd(a3));
+    for c in 0..chunks {
+        let bv = _mm256_loadu_pd(brow.as_ptr().add(4 * c));
+        let q0 = _mm256_loadu_pd(o0.as_ptr().add(4 * c));
+        let q1 = _mm256_loadu_pd(o1.as_ptr().add(4 * c));
+        let q2 = _mm256_loadu_pd(o2.as_ptr().add(4 * c));
+        let q3 = _mm256_loadu_pd(o3.as_ptr().add(4 * c));
+        _mm256_storeu_pd(
+            o0.as_mut_ptr().add(4 * c),
+            _mm256_add_pd(q0, _mm256_mul_pd(v0, bv)),
+        );
+        _mm256_storeu_pd(
+            o1.as_mut_ptr().add(4 * c),
+            _mm256_add_pd(q1, _mm256_mul_pd(v1, bv)),
+        );
+        _mm256_storeu_pd(
+            o2.as_mut_ptr().add(4 * c),
+            _mm256_add_pd(q2, _mm256_mul_pd(v2, bv)),
+        );
+        _mm256_storeu_pd(
+            o3.as_mut_ptr().add(4 * c),
+            _mm256_add_pd(q3, _mm256_mul_pd(v3, bv)),
+        );
+    }
+    for i in 4 * chunks..n {
+        let b_ = brow[i];
+        o0[i] += a0 * b_;
+        o1[i] += a1 * b_;
+        o2[i] += a2 * b_;
+        o3[i] += a3 * b_;
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn block4_update_neon(
+    o0: &mut [f64],
+    o1: &mut [f64],
+    o2: &mut [f64],
+    o3: &mut [f64],
+    a0: f64,
+    a1: f64,
+    a2: f64,
+    a3: f64,
+    brow: &[f64],
+) {
+    use std::arch::aarch64::*;
+    let n = brow.len();
+    let chunks = n / 2;
+    let (v0, v1) = (vdupq_n_f64(a0), vdupq_n_f64(a1));
+    let (v2, v3) = (vdupq_n_f64(a2), vdupq_n_f64(a3));
+    for c in 0..chunks {
+        let bv = vld1q_f64(brow.as_ptr().add(2 * c));
+        let q0 = vld1q_f64(o0.as_ptr().add(2 * c));
+        let q1 = vld1q_f64(o1.as_ptr().add(2 * c));
+        let q2 = vld1q_f64(o2.as_ptr().add(2 * c));
+        let q3 = vld1q_f64(o3.as_ptr().add(2 * c));
+        vst1q_f64(o0.as_mut_ptr().add(2 * c), vaddq_f64(q0, vmulq_f64(v0, bv)));
+        vst1q_f64(o1.as_mut_ptr().add(2 * c), vaddq_f64(q1, vmulq_f64(v1, bv)));
+        vst1q_f64(o2.as_mut_ptr().add(2 * c), vaddq_f64(q2, vmulq_f64(v2, bv)));
+        vst1q_f64(o3.as_mut_ptr().add(2 * c), vaddq_f64(q3, vmulq_f64(v3, bv)));
+    }
+    for i in 2 * chunks..n {
+        let b_ = brow[i];
+        o0[i] += a0 * b_;
+        o1[i] += a1 * b_;
+        o2[i] += a2 * b_;
+        o3[i] += a3 * b_;
+    }
+}
+
+/// Four-output-row ikj update on the active tier (bit-identical across
+/// tiers; each output element sees exactly one mul + one add).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn block4_update(
+    o0: &mut [f64],
+    o1: &mut [f64],
+    o2: &mut [f64],
+    o3: &mut [f64],
+    a0: f64,
+    a1: f64,
+    a2: f64,
+    a3: f64,
+    brow: &[f64],
+) {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { block4_update_avx2(o0, o1, o2, o3, a0, a1, a2, a3, brow) },
+        #[cfg(target_arch = "aarch64")]
+        SimdTier::Neon => unsafe { block4_update_neon(o0, o1, o2, o3, a0, a1, a2, a3, brow) },
+        _ => block4_update_scalar(o0, o1, o2, o3, a0, a1, a2, a3, brow),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, salt: f64) -> Vec<f64> {
+        // Deterministic awkward values: irrational-ish magnitudes whose
+        // sums are order-sensitive, so any reassociation shows up.
+        (0..n)
+            .map(|i| ((i as f64) * 0.7310585 + salt).sin() * 3.25)
+            .collect()
+    }
+
+    #[test]
+    fn detection_is_cached_and_consistent() {
+        let t0 = active_tier();
+        let t1 = active_tier();
+        assert_eq!(t0, t1);
+        assert!(!t0.name().is_empty());
+    }
+
+    #[test]
+    fn force_tier_round_trips() {
+        let auto = active_tier();
+        force_tier(Some(SimdTier::Scalar));
+        assert_eq!(active_tier(), SimdTier::Scalar);
+        force_tier(None);
+        assert_eq!(active_tier(), detect());
+        // Forcing an unsupported vector tier falls back to detection.
+        force_tier(Some(if cfg!(target_arch = "x86_64") {
+            SimdTier::Neon
+        } else {
+            SimdTier::Avx2
+        }));
+        assert_eq!(active_tier(), detect());
+        force_tier(None);
+        let _ = auto;
+    }
+
+    #[test]
+    fn dot_matches_scalar_bitwise_at_odd_lengths() {
+        for n in [0, 1, 3, 4, 5, 7, 8, 63, 64, 65, 127, 200] {
+            let a = seq(n, 0.1);
+            let b = seq(n, 2.7);
+            let fast = dot(&a, &b);
+            let slow = dot_scalar(&a, &b);
+            assert_eq!(fast.to_bits(), slow.to_bits(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_bitwise_at_odd_lengths() {
+        for n in [0, 1, 2, 5, 63, 65, 127] {
+            let b = seq(n, 1.3);
+            let mut fast = seq(n, 4.2);
+            let mut slow = fast.clone();
+            axpy(&mut fast, -1.76943, &b);
+            axpy_scalar(&mut slow, -1.76943, &b);
+            let fast_bits: Vec<u64> = fast.iter().map(|x| x.to_bits()).collect();
+            let slow_bits: Vec<u64> = slow.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(fast_bits, slow_bits, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn dot4_rows_matches_per_row_dot_bitwise() {
+        for n in [0, 1, 3, 4, 5, 31, 32, 33, 63, 65, 127, 200] {
+            let rows: Vec<Vec<f64>> = (0..4).map(|t| seq(n, 0.3 + t as f64)).collect();
+            let x = seq(n, 5.9);
+            let quad = dot4_rows(&rows[0], &rows[1], &rows[2], &rows[3], &x);
+            for (t, row) in rows.iter().enumerate() {
+                let single = dot(row, &x);
+                assert_eq!(quad[t].to_bits(), single.to_bits(), "n = {n}, row {t}");
+                let slow = dot_scalar(row, &x);
+                assert_eq!(
+                    quad[t].to_bits(),
+                    slow.to_bits(),
+                    "n = {n}, row {t} (scalar)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn axpy4_matches_four_sequential_axpy_bitwise() {
+        for n in [0, 1, 3, 4, 5, 31, 33, 63, 65, 127, 200] {
+            let bs: Vec<Vec<f64>> = (0..4).map(|t| seq(n, 1.1 + t as f64)).collect();
+            let xs = [-1.76943, 0.412, 3.0625, -0.0071];
+            let mut fused = seq(n, 7.3);
+            let mut sequential = fused.clone();
+            axpy4(&mut fused, xs, &bs[0], &bs[1], &bs[2], &bs[3]);
+            for (x, b) in xs.iter().zip(bs.iter()) {
+                axpy_scalar(&mut sequential, *x, b);
+            }
+            let fused_bits: Vec<u64> = fused.iter().map(|x| x.to_bits()).collect();
+            let seq_bits: Vec<u64> = sequential.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(fused_bits, seq_bits, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn add_assign_matches_scalar_bitwise_at_odd_lengths() {
+        for n in [0, 1, 2, 5, 63, 65, 127] {
+            let w = seq(n, 0.9);
+            let mut fast = seq(n, 6.1);
+            let mut slow = fast.clone();
+            add_assign(&mut fast, &w);
+            add_assign_scalar(&mut slow, &w);
+            let fast_bits: Vec<u64> = fast.iter().map(|x| x.to_bits()).collect();
+            let slow_bits: Vec<u64> = slow.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(fast_bits, slow_bits, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sum_selected_rows_matches_scalar_bitwise() {
+        // Widths straddling the 16/4-column AVX2 tiles (8/2 NEON) and
+        // row lists of every size including empty.
+        for n in [0usize, 1, 3, 4, 5, 15, 16, 17, 63, 65, 127] {
+            let stride = n + 3; // padded rows: stride > out width
+            let rows = 9;
+            let w = seq(rows * stride, 1.7);
+            for pick in 0..4u32 {
+                let idx: Vec<u32> = (0..rows as u32).filter(|i| (i + pick) % 3 != 0).collect();
+                let mut fast = seq(n, 0.4);
+                let mut slow = fast.clone();
+                sum_selected_rows(&mut fast, &w, stride, &idx);
+                sum_selected_rows_scalar(&mut slow, &w, stride, &idx);
+                let fast_bits: Vec<u64> = fast.iter().map(|x| x.to_bits()).collect();
+                let slow_bits: Vec<u64> = slow.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(fast_bits, slow_bits, "n = {n}, pick = {pick}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_selected_rows_block_matches_scalar_and_per_row_bitwise() {
+        // Widths straddling the 32/4-column AVX2 tiles (16/2 NEON),
+        // weight-row counts straddling the mask width, and batch sizes
+        // up to the full 64-row block.
+        for n in [0usize, 1, 3, 4, 5, 31, 32, 33, 63, 65, 127] {
+            for &(fan_in, batch) in &[(7usize, 1usize), (13, 5), (40, 64), (3, 33)] {
+                let w = seq(fan_in * n.max(1), 0.9);
+                // Deterministic ragged selection pattern.
+                let tmask: Vec<u64> = (0..fan_in)
+                    .map(|i| {
+                        let mut m = 0u64;
+                        for r in 0..batch {
+                            if (i * 31 + r * 17 + n) % 3 != 0 {
+                                m |= 1 << r;
+                            }
+                        }
+                        m
+                    })
+                    .collect();
+                let mut fast = seq(batch * n, 0.2);
+                let mut slow = fast.clone();
+                let mut per_row = fast.clone();
+                sum_selected_rows_block(&mut fast, n, &w, &tmask);
+                sum_selected_rows_block_scalar(&mut slow, n, &w, &tmask);
+                for r in 0..batch {
+                    let idx: Vec<u32> = (0..fan_in as u32)
+                        .filter(|&i| tmask[i as usize] >> r & 1 == 1)
+                        .collect();
+                    if n > 0 {
+                        sum_selected_rows(&mut per_row[r * n..(r + 1) * n], &w, n, &idx);
+                    }
+                }
+                let fast_bits: Vec<u64> = fast.iter().map(|x| x.to_bits()).collect();
+                let slow_bits: Vec<u64> = slow.iter().map(|x| x.to_bits()).collect();
+                let row_bits: Vec<u64> = per_row.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(fast_bits, slow_bits, "n = {n}, batch = {batch}");
+                assert_eq!(fast_bits, row_bits, "n = {n}, batch = {batch} (per-row)");
+            }
+        }
+    }
+
+    #[test]
+    fn block4_update_matches_scalar_bitwise_at_odd_lengths() {
+        for n in [0, 1, 3, 5, 63, 65, 127] {
+            let brow = seq(n, 2.2);
+            let mut fast: Vec<Vec<f64>> = (0..4).map(|t| seq(n, t as f64)).collect();
+            let mut slow = fast.clone();
+            let (a0, a1, a2, a3) = (0.37, -1.11, 2.9041, -0.0007);
+            {
+                let (f0, rest) = fast.split_at_mut(1);
+                let (f1, rest) = rest.split_at_mut(1);
+                let (f2, f3) = rest.split_at_mut(1);
+                block4_update(
+                    &mut f0[0], &mut f1[0], &mut f2[0], &mut f3[0], a0, a1, a2, a3, &brow,
+                );
+            }
+            {
+                let (s0, rest) = slow.split_at_mut(1);
+                let (s1, rest) = rest.split_at_mut(1);
+                let (s2, s3) = rest.split_at_mut(1);
+                block4_update_scalar(
+                    &mut s0[0], &mut s1[0], &mut s2[0], &mut s3[0], a0, a1, a2, a3, &brow,
+                );
+            }
+            for t in 0..4 {
+                let fast_bits: Vec<u64> = fast[t].iter().map(|x| x.to_bits()).collect();
+                let slow_bits: Vec<u64> = slow[t].iter().map(|x| x.to_bits()).collect();
+                assert_eq!(fast_bits, slow_bits, "n = {n}, row {t}");
+            }
+        }
+    }
+}
