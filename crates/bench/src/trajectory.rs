@@ -903,6 +903,119 @@ pub fn bench_faulty_serve(
     speedups.push((format!("faulty-serve-overhead-{m}x{n}"), overhead));
 }
 
+/// The PR 8 network-edge dimension: the 64-request coalesced serving
+/// wave (2 shards, 784×200, software backend) pushed through the
+/// loopback HTTP edge, once over the bit-packed binary wire
+/// (`application/x-ember-bits`) and once over the JSON fallback. Rows
+/// price the full loopback round trip — request parse, service call,
+/// response encode, TCP — so the binary/JSON throughput ratio isolates
+/// what the wire format buys at the edge, and the `http-wire-bytes-…`
+/// entry records the measured body-size ratio (JSON bytes ÷ binary
+/// bytes for the same single-row response; the issue's ≥ 50× bar).
+pub fn bench_http_edge(
+    config: &RunConfig,
+    rows: &mut Vec<BenchRow>,
+    speedups: &mut Vec<(String, f64)>,
+) {
+    use ember_http::{Client, SampleOptions, Server};
+    use std::time::Duration;
+
+    header("HTTP edge (64 concurrent loopback requests, 2 shards): binary wire vs JSON");
+    let (m, n) = (784usize, 200usize);
+    let wave = 64;
+    let reps = config.pick(2, 3);
+    let mut rng = config.rng();
+    let rbm = Rbm::random(m, n, 0.01, &mut rng);
+    let proto = SubstrateSpec::software(GsConfig::default()).fabricate_for(&rbm, &mut rng);
+    let clamp: Vec<f64> = (0..m).map(|_| f64::from(rng.random_bool(0.35))).collect();
+
+    let service = SamplingService::builder()
+        .shards(2)
+        .max_coalesce_rows(wave)
+        .queue_rows(8 * wave)
+        .build();
+    service
+        .register_model("m", rbm, proto)
+        .expect("register bench model");
+    let server =
+        Server::start_with_workers("127.0.0.1:0", service, wave).expect("bind loopback edge");
+    let client = Client::new(server.addr());
+
+    // The body-size ratio, measured once on actually-served bytes.
+    let probe = SampleOptions::new()
+        .gibbs_steps(1)
+        .clamp(clamp.clone())
+        .seed(0);
+    let binary_bytes = client
+        .sample_binary("m", &probe)
+        .expect("probe request served")
+        .body_bytes;
+    let json_bytes = client
+        .sample_json("m", &probe)
+        .expect("probe request served")
+        .body_bytes;
+    let bytes_ratio = json_bytes as f64 / binary_bytes as f64;
+
+    let mut results = [0.0f64; 2];
+    for (slot, binary, mode) in [
+        (0usize, true, "binary-wire-2shard"),
+        (1, false, "json-wire-2shard"),
+    ] {
+        let mut wave_index = 0u64;
+        let wall_ms = time(
+            || {
+                let handles: Vec<_> = (0..wave as u64)
+                    .map(|i| {
+                        let client = client.clone();
+                        let options = SampleOptions::new()
+                            .gibbs_steps(1)
+                            .clamp(clamp.clone())
+                            .seed(wave_index * 1000 + i);
+                        std::thread::spawn(move || {
+                            if binary {
+                                client
+                                    .sample_binary("m", &options)
+                                    .expect("bench request served")
+                                    .body_bytes
+                            } else {
+                                client
+                                    .sample_json("m", &options)
+                                    .expect("bench request served")
+                                    .body_bytes
+                            }
+                        })
+                    })
+                    .collect();
+                wave_index += 1;
+                for handle in handles {
+                    handle.join().expect("bench client thread");
+                }
+            },
+            reps,
+        );
+        let throughput = wave as f64 / (wall_ms / 1000.0);
+        results[slot] = throughput;
+        println!("  {m}x{n} {mode:<26} {wall_ms:>10.2} ms/wave  {throughput:>12.1} requests/s");
+        rows.push(BenchRow {
+            name: "http-edge".into(),
+            visible: m,
+            hidden: n,
+            mode,
+            wall_ms,
+            throughput,
+            unit: "requests/sec",
+        });
+    }
+    server.shutdown(Duration::from_secs(30));
+    let edge_speedup = results[0] / results[1];
+    println!("  {m}x{n} binary-wire edge speedup {edge_speedup:.2}x (binary ÷ JSON throughput)");
+    println!(
+        "  {m}x{n} wire size {json_bytes} B (json) / {binary_bytes} B (binary) = {bytes_ratio:.1}x"
+    );
+    speedups.push((format!("http-edge-binary-vs-json-{m}x{n}"), edge_speedup));
+    speedups.push((format!("http-wire-bytes-{m}"), bytes_ratio));
+}
+
 /// Serializes a trajectory to the `BENCH_PR<N>.json` schema and writes it.
 pub fn write_trajectory(
     pr: u32,

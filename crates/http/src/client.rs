@@ -1,0 +1,460 @@
+//! A small blocking client for the edge, speaking both encodings.
+//!
+//! One TCP connection per request (the server answers
+//! `Connection: close`), so the client is trivially `Send`/`Sync`-free
+//! state-wise — clone the address and fan out across threads.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use ndarray::Array1;
+
+use ember_serve::ServiceStats;
+
+use crate::json::{ErrorReply, Health, ModelList, SampleReply, TrainReply, JSON_MIME};
+use crate::proto::{read_response, Response};
+use crate::server::headers;
+use crate::wire::{self, WireError, WireSamples, WIRE_MIME};
+
+/// Errors surfaced by [`Client`] calls.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect/read/write).
+    Io(io::Error),
+    /// The server answered with a non-2xx status; the typed error body
+    /// and taxonomy headers are attached.
+    Http {
+        /// HTTP status code.
+        status: u16,
+        /// Stable machine-readable code from the error body.
+        code: String,
+        /// Human-readable description from the error body.
+        error: String,
+        /// The backlog-drain hint of a `429` (from
+        /// `X-Ember-Retry-After-Ms`, falling back to `Retry-After`
+        /// seconds).
+        retry_after: Option<Duration>,
+    },
+    /// A 2xx body failed to decode (JSON shape or wire format).
+    Decode(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Http {
+                status,
+                code,
+                error,
+                ..
+            } => write!(f, "HTTP {status} ({code}): {error}"),
+            ClientError::Decode(what) => write!(f, "undecodable response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Decode(e.to_string())
+    }
+}
+
+impl ClientError {
+    /// The `retry_after` hint if this is a `429 queue_full` answer.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            ClientError::Http { retry_after, .. } => *retry_after,
+            _ => None,
+        }
+    }
+
+    /// The HTTP status, if the server answered at all.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            ClientError::Http { status, .. } => Some(*status),
+            _ => None,
+        }
+    }
+}
+
+/// Knobs of a sample request, shared by both encodings.
+#[derive(Debug, Clone, Default)]
+pub struct SampleOptions {
+    /// Chains to draw (`None` = server default of 1).
+    pub n_samples: Option<usize>,
+    /// Gibbs steps per chain (`None` = server default of 1).
+    pub gibbs_steps: Option<usize>,
+    /// Master seed for bit-reproducible responses.
+    pub seed: Option<u64>,
+    /// Initial visible levels shared by every chain.
+    pub clamp: Option<Vec<f64>>,
+    /// Upload the clamp as binary wire bits instead of JSON (requires
+    /// every clamp level to be exactly 0.0 or 1.0).
+    pub binary_clamp: bool,
+    /// Request deadline, sent as `X-Ember-Timeout-Ms`.
+    pub timeout: Option<Duration>,
+}
+
+impl SampleOptions {
+    /// All server defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy requesting `n` samples.
+    #[must_use]
+    pub fn samples(mut self, n: usize) -> Self {
+        self.n_samples = Some(n);
+        self
+    }
+
+    /// Returns a copy taking `k` Gibbs steps per chain.
+    #[must_use]
+    pub fn gibbs_steps(mut self, k: usize) -> Self {
+        self.gibbs_steps = Some(k);
+        self
+    }
+
+    /// Returns a copy with a fixed master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Returns a copy with every chain starting from `levels`.
+    #[must_use]
+    pub fn clamp(mut self, levels: impl Into<Vec<f64>>) -> Self {
+        self.clamp = Some(levels.into());
+        self
+    }
+
+    /// Returns a copy uploading the clamp as wire bits.
+    #[must_use]
+    pub fn binary_clamp(mut self, on: bool) -> Self {
+        self.binary_clamp = on;
+        self
+    }
+
+    /// Returns a copy that expires `budget` after submission.
+    #[must_use]
+    pub fn timeout(mut self, budget: Duration) -> Self {
+        self.timeout = Some(budget);
+        self
+    }
+}
+
+/// A binary-wire sample response plus the metadata headers it rode with.
+#[derive(Debug, Clone)]
+pub struct BinarySample {
+    /// The decoded wire payload (header + packed bits).
+    pub samples: WireSamples,
+    /// Executing shard (`X-Ember-Shard`).
+    pub shard: usize,
+    /// Coalesced batch rows (`X-Ember-Coalesced-Rows`).
+    pub coalesced_rows: usize,
+    /// Bytes of the response body on the wire.
+    pub body_bytes: usize,
+}
+
+/// A JSON sample response plus its on-wire body size.
+#[derive(Debug, Clone)]
+pub struct JsonSample {
+    /// The decoded reply.
+    pub reply: SampleReply,
+    /// Bytes of the response body on the wire.
+    pub body_bytes: usize,
+}
+
+/// Blocking HTTP client for an [`crate::Server`] edge.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+}
+
+impl Client {
+    /// A client for the edge at `addr`.
+    pub fn new(addr: SocketAddr) -> Self {
+        Client { addr }
+    }
+
+    /// The edge address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn roundtrip(
+        &self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(String, String)],
+        content_type: Option<&str>,
+        body: &[u8],
+    ) -> Result<Response, ClientError> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true).ok();
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.addr);
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        if let Some(ct) = content_type {
+            head.push_str(&format!("Content-Type: {ct}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        let response = read_response(&mut BufReader::new(stream))?;
+        if (200..300).contains(&response.status) {
+            return Ok(response);
+        }
+        // Non-2xx: decode the typed error body.
+        let retry_after = response
+            .header(headers::RETRY_AFTER_MS)
+            .and_then(|ms| ms.trim().parse::<u64>().ok().map(Duration::from_millis))
+            .or_else(|| {
+                response
+                    .header("Retry-After")
+                    .and_then(|s| s.trim().parse::<u64>().ok().map(Duration::from_secs))
+            });
+        let (code, error) = match std::str::from_utf8(&response.body)
+            .ok()
+            .and_then(|text| serde_json::from_str::<ErrorReply>(text).ok())
+        {
+            Some(reply) => (reply.code, reply.error),
+            None => (
+                "opaque".to_string(),
+                String::from_utf8_lossy(&response.body).into_owned(),
+            ),
+        };
+        Err(ClientError::Http {
+            status: response.status,
+            code,
+            error,
+            retry_after,
+        })
+    }
+
+    fn decode_json<T: serde::de::DeserializeOwned>(response: &Response) -> Result<T, ClientError> {
+        let text = std::str::from_utf8(&response.body)
+            .map_err(|_| ClientError::Decode("non-UTF-8 JSON body".into()))?;
+        serde_json::from_str(text).map_err(|e| ClientError::Decode(e.to_string()))
+    }
+
+    /// `GET /healthz`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport, HTTP, or decode failure.
+    pub fn health(&self) -> Result<Health, ClientError> {
+        let response = self.roundtrip("GET", "/healthz", &[], None, &[])?;
+        Self::decode_json(&response)
+    }
+
+    /// `GET /v1/models`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport, HTTP, or decode failure.
+    pub fn models(&self) -> Result<ModelList, ClientError> {
+        let response = self.roundtrip("GET", "/v1/models", &[], None, &[])?;
+        Self::decode_json(&response)
+    }
+
+    /// `GET /v1/stats`: the service's accounting snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport, HTTP, or decode failure.
+    pub fn stats(&self) -> Result<ServiceStats, ClientError> {
+        let response = self.roundtrip("GET", "/v1/stats", &[], None, &[])?;
+        Self::decode_json(&response)
+    }
+
+    fn sample_headers(options: &SampleOptions) -> Vec<(String, String)> {
+        let mut extra = Vec::new();
+        if let Some(ms) = options.timeout {
+            extra.push((headers::TIMEOUT_MS.to_string(), ms.as_millis().to_string()));
+        }
+        extra
+    }
+
+    fn json_sample_body(options: &SampleOptions) -> Vec<u8> {
+        // Assemble by hand so omitted knobs stay omitted (the lenient
+        // server-side parser fills in serving defaults).
+        let mut pairs: Vec<(String, serde::Value)> = Vec::new();
+        if let Some(n) = options.n_samples {
+            pairs.push(("n_samples".into(), serde::Value::UInt(n as u64)));
+        }
+        if let Some(k) = options.gibbs_steps {
+            pairs.push(("gibbs_steps".into(), serde::Value::UInt(k as u64)));
+        }
+        if let Some(seed) = options.seed {
+            pairs.push(("seed".into(), serde::Value::UInt(seed)));
+        }
+        if let Some(clamp) = &options.clamp {
+            pairs.push((
+                "clamp".into(),
+                serde::Value::Seq(clamp.iter().map(|&x| serde::Value::Float(x)).collect()),
+            ));
+        }
+        serde_json::to_string(&serde::Value::Map(pairs))
+            .expect("serialize sample body")
+            .into_bytes()
+    }
+
+    /// `POST /v1/models/{model}/sample` negotiating the **binary** wire
+    /// format (`Accept: application/x-ember-bits`). With
+    /// [`SampleOptions::binary_clamp`], the clamp is uploaded as wire
+    /// bits too and the knobs ride in `X-Ember-*` headers.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport, HTTP (e.g. 429/504 taxonomy), or
+    /// wire-decode failure.
+    pub fn sample_binary(
+        &self,
+        model: &str,
+        options: &SampleOptions,
+    ) -> Result<BinarySample, ClientError> {
+        let mut extra = Self::sample_headers(options);
+        extra.push(("Accept".to_string(), WIRE_MIME.to_string()));
+        let (content_type, body) = if options.binary_clamp {
+            let clamp = options
+                .clamp
+                .as_ref()
+                .ok_or_else(|| ClientError::Decode("binary_clamp set without a clamp".into()))?;
+            let row = ndarray::Array2::from_shape_vec((1, clamp.len()), clamp.clone())
+                .map_err(|e| ClientError::Decode(e.to_string()))?;
+            let bytes = wire::encode_samples(&row, 0, 0)?;
+            // Binary bodies have no JSON fields: every knob goes in a
+            // header.
+            if let Some(n) = options.n_samples {
+                extra.push((headers::SAMPLES.to_string(), n.to_string()));
+            }
+            if let Some(k) = options.gibbs_steps {
+                extra.push((headers::GIBBS_STEPS.to_string(), k.to_string()));
+            }
+            if let Some(seed) = options.seed {
+                extra.push((headers::SEED.to_string(), seed.to_string()));
+            }
+            (WIRE_MIME, bytes)
+        } else {
+            (JSON_MIME, Self::json_sample_body(options))
+        };
+        let response = self.roundtrip(
+            "POST",
+            &format!("/v1/models/{model}/sample"),
+            &extra,
+            Some(content_type),
+            &body,
+        )?;
+        let body_bytes = response.body.len();
+        let samples = wire::decode(&response.body)?;
+        let header_usize = |name: &str| {
+            response
+                .header(name)
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(0)
+        };
+        Ok(BinarySample {
+            samples,
+            shard: header_usize(headers::SHARD),
+            coalesced_rows: header_usize(headers::COALESCED_ROWS),
+            body_bytes,
+        })
+    }
+
+    /// `POST /v1/models/{model}/sample` with the JSON fallback encoding
+    /// on both sides.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport, HTTP, or decode failure.
+    pub fn sample_json(
+        &self,
+        model: &str,
+        options: &SampleOptions,
+    ) -> Result<JsonSample, ClientError> {
+        let extra = Self::sample_headers(options);
+        let body = Self::json_sample_body(options);
+        let response = self.roundtrip(
+            "POST",
+            &format!("/v1/models/{model}/sample"),
+            &extra,
+            Some(JSON_MIME),
+            &body,
+        )?;
+        let body_bytes = response.body.len();
+        let reply = Self::decode_json(&response)?;
+        Ok(JsonSample { reply, body_bytes })
+    }
+
+    /// `POST /v1/models/{model}/train`: run CD-k on `data` and publish a
+    /// new model version.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport, HTTP, or decode failure.
+    pub fn train(
+        &self,
+        model: &str,
+        data: &ndarray::Array2<f64>,
+        epochs: usize,
+        seed: u64,
+    ) -> Result<TrainReply, ClientError> {
+        let rows: Vec<serde::Value> = data
+            .rows()
+            .map(|row| serde::Value::Seq(row.iter().map(|&x| serde::Value::Float(x)).collect()))
+            .collect();
+        let body = serde_json::to_string(&serde::Value::Map(vec![
+            ("data".into(), serde::Value::Seq(rows)),
+            ("epochs".into(), serde::Value::UInt(epochs as u64)),
+            ("seed".into(), serde::Value::UInt(seed)),
+        ]))
+        .expect("serialize train body")
+        .into_bytes();
+        let response = self.roundtrip(
+            "POST",
+            &format!("/v1/models/{model}/train"),
+            &[],
+            Some(JSON_MIME),
+            &body,
+        )?;
+        Self::decode_json(&response)
+    }
+}
+
+/// Convenience for callers that want dense samples out of a binary
+/// response without touching the wire types.
+impl BinarySample {
+    /// The samples as a dense 0.0/1.0 matrix.
+    pub fn to_dense(&self) -> ndarray::Array2<f64> {
+        self.samples.to_dense()
+    }
+
+    /// Model version the samples were drawn from (wire header).
+    pub fn model_version(&self) -> u64 {
+        self.samples.header.model_version
+    }
+
+    /// `true` when served by the degraded fallback (wire flag).
+    pub fn degraded(&self) -> bool {
+        self.samples.header.degraded()
+    }
+
+    /// The clamp row as `Array1` — helper for tests comparing uploads.
+    pub fn row(&self, r: usize) -> Array1<f64> {
+        self.to_dense().row(r).to_owned()
+    }
+}

@@ -1,0 +1,280 @@
+//! JSON bodies of the HTTP edge.
+//!
+//! Response bodies are plain derive-`Serialize` DTOs (the derive also
+//! emits `Deserialize`, which the [`crate::Client`] uses to read them
+//! back). Request bodies are parsed **leniently** by hand from the
+//! [`serde_json::parse_value`] tree instead: the vendored derive
+//! rejects any missing field, while the edge wants every request knob
+//! optional with serving defaults — `{}` is a valid sample request.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// JSON MIME type.
+pub const JSON_MIME: &str = "application/json";
+
+/// One registry entry in `GET /v1/models`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// Registered model name.
+    pub name: String,
+    /// Current published version.
+    pub version: u64,
+    /// Visible-layer width.
+    pub visible: usize,
+    /// Hidden-layer width.
+    pub hidden: usize,
+}
+
+/// Body of `GET /v1/models`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelList {
+    /// Every registered model, in registry (name) order.
+    pub models: Vec<ModelInfo>,
+}
+
+/// JSON body of a successful `POST /v1/models/{name}/sample` when the
+/// client did not negotiate the binary wire format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleReply {
+    /// One sampled visible configuration per row (values are 0.0/1.0).
+    pub samples: Vec<Vec<f64>>,
+    /// Shard that executed the request.
+    pub shard: usize,
+    /// Model version the samples were drawn from.
+    pub model_version: u64,
+    /// Total rows of the coalesced batch the request rode in.
+    pub coalesced_rows: usize,
+    /// `true` when served by the degraded software fallback.
+    pub degraded: bool,
+}
+
+/// JSON body of a successful `POST /v1/models/{name}/train`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReply {
+    /// Version the trained parameters were published under.
+    pub new_version: u64,
+    /// Shard that trained.
+    pub shard: usize,
+    /// Minibatches processed in the final epoch.
+    pub batches: usize,
+    /// Final epoch's mean absolute reconstruction error.
+    pub reconstruction_error: f64,
+    /// Final epoch's mean gradient L2 norm.
+    pub gradient_norm: f64,
+}
+
+/// JSON body of every non-2xx answer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorReply {
+    /// Stable machine-readable error code (e.g. `queue_full`).
+    pub code: String,
+    /// Human-readable description.
+    pub error: String,
+}
+
+/// Body of `GET /healthz`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Health {
+    /// `"ok"` while the service accepts requests, `"draining"` after
+    /// shutdown began.
+    pub status: String,
+    /// Worker shard count.
+    pub shards: usize,
+}
+
+/// Parsed knobs of a JSON sample request. Every field is optional on
+/// the wire; missing knobs take the serving defaults.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SampleBody {
+    /// Chains to draw (`n_samples`), default 1.
+    pub n_samples: Option<usize>,
+    /// Gibbs steps per chain, default 1.
+    pub gibbs_steps: Option<usize>,
+    /// Master seed; omitted = shard-lane seeding.
+    pub seed: Option<u64>,
+    /// Initial visible levels shared by every chain.
+    pub clamp: Option<Vec<f64>>,
+}
+
+/// Parsed knobs of a JSON train request. `data` is required; the rest
+/// default to the `TrainRequest::new` settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainBody {
+    /// Training rows (`rows × visible`).
+    pub data: Vec<Vec<f64>>,
+    /// The `k` of CD-k, default 1.
+    pub cd_k: Option<usize>,
+    /// Learning rate, default 0.05.
+    pub learning_rate: Option<f64>,
+    /// Minibatch size, default 10.
+    pub batch_size: Option<usize>,
+    /// Epochs, default 1.
+    pub epochs: Option<usize>,
+    /// Training seed; omitted = shard-lane seeding.
+    pub seed: Option<u64>,
+}
+
+fn value_u64(v: &Value, what: &str) -> Result<u64, String> {
+    match v {
+        Value::Int(i) if *i >= 0 => Ok(*i as u64),
+        Value::UInt(u) => Ok(*u),
+        _ => Err(format!("`{what}` must be a non-negative integer")),
+    }
+}
+
+fn value_f64(v: &Value, what: &str) -> Result<f64, String> {
+    match v {
+        Value::Int(i) => Ok(*i as f64),
+        Value::UInt(u) => Ok(*u as f64),
+        Value::Float(f) => Ok(*f),
+        _ => Err(format!("`{what}` must be a number")),
+    }
+}
+
+fn value_f64_seq(v: &Value, what: &str) -> Result<Vec<f64>, String> {
+    let seq = v
+        .as_seq()
+        .ok_or_else(|| format!("`{what}` must be an array of numbers"))?;
+    seq.iter().map(|x| value_f64(x, what)).collect()
+}
+
+/// Parses a sample-request body. An empty body is the all-defaults
+/// request.
+///
+/// # Errors
+///
+/// A human-readable reason (mapped to `400 Bad Request`) on malformed
+/// JSON, wrong field types, or unknown fields.
+pub fn parse_sample_body(body: &[u8]) -> Result<SampleBody, String> {
+    if body.is_empty() {
+        return Ok(SampleBody::default());
+    }
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let value = serde_json::parse_value(text).map_err(|e| e.to_string())?;
+    let pairs = value
+        .as_map()
+        .ok_or_else(|| "sample body must be a JSON object".to_string())?;
+    let mut parsed = SampleBody::default();
+    for (key, v) in pairs {
+        match key.as_str() {
+            "n_samples" => parsed.n_samples = Some(value_u64(v, key)? as usize),
+            "gibbs_steps" => parsed.gibbs_steps = Some(value_u64(v, key)? as usize),
+            "seed" => parsed.seed = Some(value_u64(v, key)?),
+            "clamp" => parsed.clamp = Some(value_f64_seq(v, key)?),
+            other => return Err(format!("unknown sample field `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+/// Parses a train-request body (`data` required).
+///
+/// # Errors
+///
+/// A human-readable reason (mapped to `400 Bad Request`) on malformed
+/// JSON, a missing/ragged `data` matrix, wrong field types, or unknown
+/// fields.
+pub fn parse_train_body(body: &[u8]) -> Result<TrainBody, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let value = serde_json::parse_value(text).map_err(|e| e.to_string())?;
+    let pairs = value
+        .as_map()
+        .ok_or_else(|| "train body must be a JSON object".to_string())?;
+    let mut data: Option<Vec<Vec<f64>>> = None;
+    let mut parsed = TrainBody {
+        data: Vec::new(),
+        cd_k: None,
+        learning_rate: None,
+        batch_size: None,
+        epochs: None,
+        seed: None,
+    };
+    for (key, v) in pairs {
+        match key.as_str() {
+            "data" => {
+                let rows = v
+                    .as_seq()
+                    .ok_or_else(|| "`data` must be an array of rows".to_string())?;
+                let matrix: Vec<Vec<f64>> = rows
+                    .iter()
+                    .map(|row| value_f64_seq(row, "data row"))
+                    .collect::<Result<_, _>>()?;
+                if let Some(first) = matrix.first() {
+                    if matrix.iter().any(|row| row.len() != first.len()) {
+                        return Err("`data` rows have inconsistent lengths".to_string());
+                    }
+                }
+                data = Some(matrix);
+            }
+            "cd_k" => parsed.cd_k = Some(value_u64(v, key)? as usize),
+            "learning_rate" => parsed.learning_rate = Some(value_f64(v, key)?),
+            "batch_size" => parsed.batch_size = Some(value_u64(v, key)? as usize),
+            "epochs" => parsed.epochs = Some(value_u64(v, key)? as usize),
+            "seed" => parsed.seed = Some(value_u64(v, key)?),
+            other => return Err(format!("unknown train field `{other}`")),
+        }
+    }
+    parsed.data = data.ok_or_else(|| "train body needs a `data` matrix".to_string())?;
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_body_is_all_defaults() {
+        assert_eq!(parse_sample_body(b"").unwrap(), SampleBody::default());
+        assert_eq!(parse_sample_body(b"{}").unwrap(), SampleBody::default());
+    }
+
+    #[test]
+    fn sample_body_round_trips_fields() {
+        let body = br#"{"n_samples": 8, "gibbs_steps": 3, "seed": 42, "clamp": [0.0, 1.0, 0.5]}"#;
+        let parsed = parse_sample_body(body).unwrap();
+        assert_eq!(parsed.n_samples, Some(8));
+        assert_eq!(parsed.gibbs_steps, Some(3));
+        assert_eq!(parsed.seed, Some(42));
+        assert_eq!(parsed.clamp, Some(vec![0.0, 1.0, 0.5]));
+    }
+
+    #[test]
+    fn sample_body_rejects_junk() {
+        assert!(parse_sample_body(b"[1, 2]").is_err());
+        assert!(parse_sample_body(br#"{"n_samples": -3}"#).is_err());
+        assert!(parse_sample_body(br#"{"frobnicate": 1}"#).is_err());
+        assert!(parse_sample_body(br#"{"clamp": "nope"}"#).is_err());
+    }
+
+    #[test]
+    fn train_body_requires_rectangular_data() {
+        let parsed =
+            parse_train_body(br#"{"data": [[0.0, 1.0], [1.0, 0.0]], "epochs": 2}"#).unwrap();
+        assert_eq!(parsed.data.len(), 2);
+        assert_eq!(parsed.epochs, Some(2));
+        assert!(parse_train_body(br#"{"epochs": 2}"#).is_err());
+        assert!(parse_train_body(br#"{"data": [[0.0], [1.0, 0.0]]}"#).is_err());
+    }
+
+    #[test]
+    fn reply_dtos_round_trip_through_json() {
+        let reply = SampleReply {
+            samples: vec![vec![0.0, 1.0], vec![1.0, 1.0]],
+            shard: 1,
+            model_version: 3,
+            coalesced_rows: 16,
+            degraded: false,
+        };
+        let text = serde_json::to_string(&reply).unwrap();
+        let back: SampleReply = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, reply);
+
+        let err = ErrorReply {
+            code: "queue_full".into(),
+            error: "try later".into(),
+        };
+        let text = serde_json::to_string(&err).unwrap();
+        let back: ErrorReply = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, err);
+    }
+}

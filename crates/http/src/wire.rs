@@ -1,0 +1,396 @@
+//! The versioned binary wire format for sample batches: a fixed
+//! little-endian header followed by the raw [`BitMatrix`] words.
+//!
+//! Sampled states are binary, and PR 4's [`BitMatrix`] already holds a
+//! batch as packed `u64` words — so the wire encoding is simply those
+//! words, 1 bit per state, prefixed by a 24-byte header. At 784 visible
+//! units a row costs 98 bytes instead of the thousands the JSON float
+//! encoding spends, and encoding is a straight copy of the packed
+//! representation the sampling kernels already produced (no float
+//! formatting, no parsing on the way back in).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic          0x45 0x4D 0x42 0x57  (`EMBW`)
+//!      4     2  version        format version, currently 1
+//!      6     2  flags          bit 0: response was served degraded
+//!      8     4  rows           number of sample rows
+//!     12     4  cols           bits per row (visible units)
+//!     16     8  model_version  registry version the bits were drawn from
+//!     24     …  payload        rows × ⌈cols/64⌉ `u64` words, each LE
+//! ```
+//!
+//! Bits beyond `cols` in a row's last word are **zero**; the decoder
+//! rejects non-zero padding (a flipped pad bit means the body is
+//! corrupt even though every addressable bit is in range). Decoding
+//! validates magic, version, and the exact body length, and returns
+//! typed [`WireError`]s — the proptests in
+//! `crates/http/tests/wire_property.rs` pin round-trips at
+//! non-word-multiple widths and the rejection paths.
+
+use ember_core::kernels::BitMatrix;
+use ndarray::Array2;
+
+/// MIME type negotiated for the binary wire format (via `Accept` on
+/// responses, `Content-Type` on binary clamp uploads).
+pub const WIRE_MIME: &str = "application/x-ember-bits";
+
+/// The 4-byte magic prefix, `EMBW` read as a little-endian `u32`.
+pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"EMBW");
+
+/// Current format version.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Header flag bit 0: the response was served by the degraded
+/// (circuit-broken) software fallback.
+pub const FLAG_DEGRADED: u16 = 1;
+
+/// Byte length of the fixed header.
+pub const HEADER_LEN: usize = 24;
+
+/// Maximum accepted payload size (matches the HTTP edge's body limit):
+/// any header announcing more is rejected as
+/// [`WireError::Oversized`] before a single byte is allocated.
+pub const MAX_PAYLOAD: usize = 256 * 1024 * 1024;
+
+/// The decoded fixed header of a wire message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireHeader {
+    /// Number of sample rows in the payload.
+    pub rows: usize,
+    /// Bits per row (the model's visible width).
+    pub cols: usize,
+    /// Registry version of the model the bits were drawn from.
+    pub model_version: u64,
+    /// Flag bits (see [`FLAG_DEGRADED`]).
+    pub flags: u16,
+}
+
+impl WireHeader {
+    /// `true` when the degraded-service flag is set.
+    pub fn degraded(&self) -> bool {
+        self.flags & FLAG_DEGRADED != 0
+    }
+}
+
+/// A fully decoded wire message: header plus the packed payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSamples {
+    /// The decoded header.
+    pub header: WireHeader,
+    /// The packed sample rows.
+    pub bits: BitMatrix,
+}
+
+impl WireSamples {
+    /// Unpacks the payload to the dense `{0.0, 1.0}` batch the
+    /// in-process API returns — bit-identical to the matrix that was
+    /// encoded.
+    pub fn to_dense(&self) -> Array2<f64> {
+        self.bits.to_dense()
+    }
+}
+
+/// Typed decode failures. Every variant means the message must be
+/// discarded; none are retryable by re-parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The first 4 bytes are not [`WIRE_MAGIC`] — not a wire message at
+    /// all (or one corrupted in its very prefix).
+    BadMagic {
+        /// The 4 bytes found, read little-endian.
+        found: u32,
+    },
+    /// The header carries a format version this decoder does not speak.
+    UnsupportedVersion {
+        /// The version found.
+        found: u16,
+    },
+    /// The message ends before the header + payload it announces.
+    Truncated {
+        /// Bytes required by the header (or the minimum header size).
+        expected: usize,
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// The message is longer than header + payload — trailing garbage,
+    /// which a framing layer must never silently ignore.
+    TrailingBytes {
+        /// Bytes required by the header.
+        expected: usize,
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// A row's final word has bits set beyond `cols` — the padding is
+    /// defined to be zero, so the body is corrupt.
+    NonZeroPadding {
+        /// First offending row.
+        row: usize,
+    },
+    /// The batch handed to the encoder contains values other than
+    /// exactly `0.0` or `1.0` and cannot ride the 1-bit wire.
+    NonBinary,
+    /// The announced dimensions overflow addressable memory on this
+    /// host — rejected before any allocation is attempted.
+    Oversized {
+        /// Announced row count.
+        rows: u64,
+        /// Announced column count.
+        cols: u64,
+    },
+    /// The header announces zero rows or zero columns; the format
+    /// requires at least one of each (there is no empty sample batch).
+    EmptyDimensions,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic { found } => {
+                write!(
+                    f,
+                    "bad wire magic 0x{found:08x} (expected 0x{WIRE_MAGIC:08x})"
+                )
+            }
+            WireError::UnsupportedVersion { found } => {
+                write!(f, "unsupported wire version {found} (speak {WIRE_VERSION})")
+            }
+            WireError::Truncated { expected, found } => {
+                write!(
+                    f,
+                    "truncated wire message: need {expected} bytes, have {found}"
+                )
+            }
+            WireError::TrailingBytes { expected, found } => write!(
+                f,
+                "trailing bytes after wire message: expected {expected} bytes, have {found}"
+            ),
+            WireError::NonZeroPadding { row } => {
+                write!(f, "non-zero padding bits in row {row}")
+            }
+            WireError::NonBinary => {
+                write!(
+                    f,
+                    "batch contains non-binary levels; cannot encode at 1 bit/state"
+                )
+            }
+            WireError::Oversized { rows, cols } => {
+                write!(
+                    f,
+                    "announced dimensions {rows}x{cols} overflow addressable memory"
+                )
+            }
+            WireError::EmptyDimensions => {
+                write!(
+                    f,
+                    "wire messages must carry at least one row and one column"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Number of `u64` payload words per row at `cols` bits.
+fn words_per_row(cols: usize) -> usize {
+    cols.div_ceil(64)
+}
+
+/// Encodes an already-packed batch. This is the zero-conversion path:
+/// the payload bytes are the `BitMatrix` words the sampling kernels
+/// produced, written little-endian.
+pub fn encode_bits(bits: &BitMatrix, model_version: u64, flags: u16) -> Vec<u8> {
+    let rows = bits.nrows();
+    let wpr = bits.words_per_row();
+    let mut out = Vec::with_capacity(HEADER_LEN + rows * wpr * 8);
+    out.extend_from_slice(&WIRE_MAGIC.to_le_bytes());
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.extend_from_slice(&flags.to_le_bytes());
+    out.extend_from_slice(&(rows as u32).to_le_bytes());
+    out.extend_from_slice(&(bits.ncols() as u32).to_le_bytes());
+    out.extend_from_slice(&model_version.to_le_bytes());
+    for r in 0..rows {
+        for &word in bits.row_words(r) {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Packs a dense `{0.0, 1.0}` batch and encodes it.
+///
+/// # Errors
+///
+/// [`WireError::NonBinary`] when any level is not exactly `0.0`/`1.0`.
+pub fn encode_samples(
+    samples: &Array2<f64>,
+    model_version: u64,
+    flags: u16,
+) -> Result<Vec<u8>, WireError> {
+    let bits = BitMatrix::from_batch(samples).ok_or(WireError::NonBinary)?;
+    Ok(encode_bits(&bits, model_version, flags))
+}
+
+/// Decodes and validates a wire message.
+///
+/// # Errors
+///
+/// See [`WireError`] — magic, version, exact-length, and padding
+/// violations are all typed.
+pub fn decode(bytes: &[u8]) -> Result<WireSamples, WireError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            expected: HEADER_LEN,
+            found: bytes.len(),
+        });
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    if magic != WIRE_MAGIC {
+        return Err(WireError::BadMagic { found: magic });
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion { found: version });
+    }
+    let flags = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
+    let rows = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as u64;
+    let cols = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as u64;
+    let model_version = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+
+    if rows == 0 || cols == 0 {
+        return Err(WireError::EmptyDimensions);
+    }
+    // Validate the announced size with u64 math before trusting it as
+    // usize anywhere — a hostile header must not drive an allocation.
+    let wpr = cols.div_ceil(64);
+    let payload = rows
+        .checked_mul(wpr)
+        .and_then(|w| w.checked_mul(8))
+        .filter(|&p| p <= MAX_PAYLOAD as u64)
+        .ok_or(WireError::Oversized { rows, cols })?;
+    let expected = HEADER_LEN + payload as usize;
+    if bytes.len() < expected {
+        return Err(WireError::Truncated {
+            expected,
+            found: bytes.len(),
+        });
+    }
+    if bytes.len() > expected {
+        return Err(WireError::TrailingBytes {
+            expected,
+            found: bytes.len(),
+        });
+    }
+
+    let (rows, cols) = (rows as usize, cols as usize);
+    let mut bits = BitMatrix::zeros(rows, cols);
+    let wpr = words_per_row(cols);
+    let pad_mask = if cols % 64 == 0 {
+        0u64
+    } else {
+        !0u64 << (cols % 64)
+    };
+    for r in 0..rows {
+        let start = HEADER_LEN + r * wpr * 8;
+        let words = bits.row_words_mut(r);
+        for (w, word) in words.iter_mut().enumerate() {
+            let off = start + w * 8;
+            *word = u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+        }
+        if words[wpr - 1] & pad_mask != 0 {
+            return Err(WireError::NonZeroPadding { row: r });
+        }
+    }
+    Ok(WireSamples {
+        header: WireHeader {
+            rows,
+            cols,
+            model_version,
+            flags,
+        },
+        bits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(rows: usize, cols: usize) -> Array2<f64> {
+        Array2::from_shape_fn((rows, cols), |(i, j)| f64::from((i * 7 + j * 3) % 5 < 2))
+    }
+
+    #[test]
+    fn roundtrip_preserves_bits_and_header() {
+        for cols in [1usize, 63, 64, 65, 127, 128, 784] {
+            let dense = batch(5, cols);
+            let bytes = encode_samples(&dense, 42, FLAG_DEGRADED).unwrap();
+            assert_eq!(bytes.len(), HEADER_LEN + 5 * cols.div_ceil(64) * 8);
+            let decoded = decode(&bytes).unwrap();
+            assert_eq!(decoded.header.rows, 5);
+            assert_eq!(decoded.header.cols, cols);
+            assert_eq!(decoded.header.model_version, 42);
+            assert!(decoded.header.degraded());
+            assert_eq!(decoded.to_dense(), dense);
+        }
+    }
+
+    #[test]
+    fn rejects_non_binary_batches() {
+        let mut dense = batch(2, 8);
+        dense[[1, 3]] = 0.5;
+        assert_eq!(encode_samples(&dense, 1, 0), Err(WireError::NonBinary));
+    }
+
+    #[test]
+    fn typed_rejections() {
+        let bytes = encode_samples(&batch(3, 65), 7, 0).unwrap();
+
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(decode(&bad), Err(WireError::BadMagic { .. })));
+
+        let mut vsn = bytes.clone();
+        vsn[4] = 99;
+        assert_eq!(
+            decode(&vsn),
+            Err(WireError::UnsupportedVersion { found: 99 })
+        );
+
+        assert!(matches!(
+            decode(&bytes[..bytes.len() - 1]),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            decode(&bytes[..10]),
+            Err(WireError::Truncated { .. })
+        ));
+
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(matches!(
+            decode(&long),
+            Err(WireError::TrailingBytes { .. })
+        ));
+
+        // Flip a padding bit (cols = 65 → bits 65..128 of word 1 are pad).
+        let mut padded = bytes;
+        let last_word_hi = HEADER_LEN + 2 * 8 - 1; // row 0, word 1, top byte
+        padded[last_word_hi] |= 0x80;
+        assert_eq!(decode(&padded), Err(WireError::NonZeroPadding { row: 0 }));
+    }
+
+    #[test]
+    fn oversized_header_rejected_without_allocating() {
+        let mut bytes = vec![0u8; HEADER_LEN];
+        bytes[0..4].copy_from_slice(&WIRE_MAGIC.to_le_bytes());
+        bytes[4..6].copy_from_slice(&WIRE_VERSION.to_le_bytes());
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(WireError::Oversized { .. })));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the binary wire format: header/payload
+//! round-trips at non-word-multiple widths, and typed rejection of
+//! corrupted or truncated frames — no corruption may decode, and no
+//! rejection may panic.
+
+use ember_http::wire::{self, WireError, FLAG_DEGRADED, HEADER_LEN, WIRE_MAGIC, WIRE_VERSION};
+use ndarray::Array2;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// A random binary batch with the given density, from a derived seed.
+fn binary_batch(rows: usize, cols: usize, density: f64, seed: u64) -> Array2<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Array2::from_shape_fn((rows, cols), |_| f64::from(rng.random_bool(density)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// encode → decode is the identity on any binary batch, at widths
+    /// straddling the word boundary (the issue's 63/65/127 cases are in
+    /// range and covered by the dedicated test below every run).
+    #[test]
+    fn roundtrip_at_arbitrary_widths(
+        rows in 1usize..10,
+        cols in 1usize..200,
+        density in 0.0f64..=1.0,
+        model_version in any::<u64>(),
+        degraded in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let dense = binary_batch(rows, cols, density, seed);
+        let flags = if degraded { FLAG_DEGRADED } else { 0 };
+        let bytes = wire::encode_samples(&dense, model_version, flags).expect("binary batch encodes");
+        prop_assert_eq!(bytes.len(), HEADER_LEN + rows * cols.div_ceil(64) * 8);
+        let decoded = wire::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(decoded.header.rows, rows);
+        prop_assert_eq!(decoded.header.cols, cols);
+        prop_assert_eq!(decoded.header.model_version, model_version);
+        prop_assert_eq!(decoded.header.degraded(), degraded);
+        prop_assert_eq!(decoded.to_dense(), dense);
+    }
+
+    /// Corrupting any one of the 4 magic bytes is rejected as
+    /// `BadMagic` — the frame is never misread as valid.
+    #[test]
+    fn corrupted_magic_is_typed_rejection(
+        rows in 1usize..6,
+        cols in 1usize..100,
+        byte in 0usize..4,
+        xor in 1u8..=255,
+        seed in any::<u64>(),
+    ) {
+        let dense = binary_batch(rows, cols, 0.5, seed);
+        let mut bytes = wire::encode_samples(&dense, 7, 0).unwrap();
+        bytes[byte] ^= xor;
+        prop_assert!(matches!(wire::decode(&bytes), Err(WireError::BadMagic { .. })));
+    }
+
+    /// Any strict prefix of a valid frame is rejected as `Truncated`
+    /// (never a panic, never a partial decode).
+    #[test]
+    fn truncated_body_is_typed_rejection(
+        rows in 1usize..6,
+        cols in 1usize..100,
+        cut in any::<proptest::sample::Index>(),
+        seed in any::<u64>(),
+    ) {
+        let dense = binary_batch(rows, cols, 0.5, seed);
+        let bytes = wire::encode_samples(&dense, 7, 0).unwrap();
+        let keep = cut.index(bytes.len()); // 0..len, strictly shorter
+        prop_assert!(matches!(
+            wire::decode(&bytes[..keep]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    /// Appending any garbage after a valid frame is rejected as
+    /// `TrailingBytes` — framing layers must not silently drop bytes.
+    #[test]
+    fn trailing_garbage_is_typed_rejection(
+        rows in 1usize..6,
+        cols in 1usize..100,
+        garbage in prop::collection::vec(any::<u8>(), 1..16),
+        seed in any::<u64>(),
+    ) {
+        let dense = binary_batch(rows, cols, 0.5, seed);
+        let mut bytes = wire::encode_samples(&dense, 7, 0).unwrap();
+        bytes.extend_from_slice(&garbage);
+        prop_assert!(matches!(
+            wire::decode(&bytes),
+            Err(WireError::TrailingBytes { .. })
+        ));
+    }
+
+    /// Decoding arbitrary bytes never panics: it either produces a
+    /// well-formed frame or a typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(decoded) = wire::decode(&bytes) {
+            prop_assert!(decoded.header.rows >= 1);
+            prop_assert!(decoded.header.cols >= 1);
+        }
+    }
+}
+
+/// The issue's named width cases, pinned explicitly: one word minus a
+/// bit, one word plus a bit, and two words minus a bit.
+#[test]
+fn roundtrip_at_63_65_127_cols() {
+    for &cols in &[63usize, 65, 127] {
+        let dense = binary_batch(5, cols, 0.4, cols as u64);
+        let bytes = wire::encode_samples(&dense, 3, 0).unwrap();
+        let decoded = wire::decode(&bytes).unwrap();
+        assert_eq!(decoded.header.cols, cols, "cols survive at width {cols}");
+        assert_eq!(decoded.to_dense(), dense, "bits survive at width {cols}");
+    }
+}
+
+/// A frame announcing a future format version is refused even when the
+/// rest is plausible.
+#[test]
+fn future_version_is_refused() {
+    let dense = binary_batch(2, 10, 0.5, 1);
+    let mut bytes = wire::encode_samples(&dense, 1, 0).unwrap();
+    bytes[4..6].copy_from_slice(&(WIRE_VERSION + 1).to_le_bytes());
+    assert!(matches!(
+        wire::decode(&bytes),
+        Err(WireError::UnsupportedVersion { .. })
+    ));
+    // Sanity: the magic constant is what the spec says it is.
+    assert_eq!(&bytes[..4], &WIRE_MAGIC.to_le_bytes());
+}

@@ -719,7 +719,7 @@ fn retry_after_hint(stats: &StatsInner, backlog_rows: usize, shards: usize) -> D
 
 /// Per-shard accounting (one entry per worker in
 /// [`ServiceStats::shards`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ShardStats {
     /// Sample requests answered.
     pub sample_requests: u64,
@@ -745,7 +745,7 @@ pub struct ShardStats {
 
 /// Per-model accounting (keyed by model name in
 /// [`ServiceStats::models`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ModelStats {
     /// Sample requests answered for this model.
     pub sample_requests: u64,
@@ -766,8 +766,10 @@ pub struct ModelStats {
     pub counters: HardwareCounters,
 }
 
-/// A snapshot of the service's per-shard and per-model accounting.
-#[derive(Debug, Clone, Default)]
+/// A snapshot of the service's per-shard and per-model accounting —
+/// `Serialize` so the HTTP edge's `GET /v1/stats` emits it as JSON
+/// directly (and `Deserialize` so clients get the typed snapshot back).
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct ServiceStats {
     /// One entry per worker shard.
     pub shards: Vec<ShardStats>,

@@ -16,6 +16,7 @@
 //! | [`rbm`] | `ember-rbm` | RBM, CD-k/PCD/exact-ML trainers (substrate-generic), DBN, MLP, conv-RBM patches |
 //! | [`core`] | `ember-core` | **The paper's contribution**: Gibbs Sampler and Boltzmann Gradient Follower accelerator models, the three `Substrate` backends (`core::substrate`), the `SubstrateSpec` fabrication recipes, and the bit-packed binary-state sampling kernels (`core::kernels`) |
 //! | [`serve`] | `ember-serve` | Sampling-as-a-service: `ModelRegistry` of named versioned RBMs, sharded request-coalescing `SamplingService` over any substrate backend, self-healing under faults (retry-with-reprogram, circuit breakers, shard supervision, deadlines, bounded drain) |
+//! | [`http`] | `ember-http` | Dependency-free HTTP/1.1 network edge over a `SamplingService`: `POST …/sample`, `POST …/train`, `GET /v1/models`, `GET /v1/stats`, `GET /healthz`; a bit-packed binary wire format (`application/x-ember-bits`, 1 bit/unit) negotiated against a JSON fallback; typed error taxonomy → status codes; a blocking [`http::Client`] speaking both encodings |
 //! | [`datasets`] | `ember-datasets` | Synthetic stand-ins for the paper's eight datasets |
 //! | [`metrics`] | `ember-metrics` | AIS, KL, ROC/AUC, MAE, smoothing |
 //! | [`perf`] | `ember-perf` | Timing/energy/area models for Figs. 5–6 and Tables 2–3 |
@@ -113,6 +114,64 @@
 //! panics, breaker trips into degraded service, deadline shedding, and
 //! the fault/recovery accounting in `serve::ServiceStats`.
 //!
+//! # Quickstart: HTTP serving
+//!
+//! [`http::Server`] puts a network edge in front of an owned
+//! [`serve::SamplingService`] — a dependency-free HTTP/1.1 listener
+//! (blocking accept loop + worker threads, no async runtime). Sample
+//! responses negotiate a **bit-packed binary wire format** via
+//! `Accept: application/x-ember-bits`: a 24-byte header plus one bit
+//! per unit (98 payload bytes/row at 784 visible units, ≥ 50× smaller
+//! than the JSON fallback). Seeded requests over HTTP return **exactly
+//! the bits** `service.sample()` returns in-process, at any shard
+//! count:
+//!
+//! ```
+//! use ember::core::{GsConfig, SubstrateSpec};
+//! use ember::http::{Client, SampleOptions, Server};
+//! use ember::rbm::Rbm;
+//! use ember::serve::SamplingService;
+//! use rand::SeedableRng;
+//! use std::time::Duration;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let rbm = Rbm::random(8, 4, 0.2, &mut rng);
+//! let proto = SubstrateSpec::software(GsConfig::default()).fabricate_for(&rbm, &mut rng);
+//! let service = SamplingService::builder().shards(2).build();
+//! service.register_model("demo", rbm, proto).unwrap();
+//!
+//! let server = Server::start("127.0.0.1:0", service).unwrap();
+//! let client = Client::new(server.addr());
+//! let reply = client
+//!     .sample_binary("demo", &SampleOptions::new().samples(4).gibbs_steps(2).seed(1))
+//!     .unwrap();
+//! assert_eq!(reply.to_dense().dim(), (4, 8));
+//!
+//! let report = server.shutdown(Duration::from_secs(5));
+//! assert!(report.service.drained);
+//! ```
+//!
+//! Any HTTP client works — the JSON fallback is the curl-friendly
+//! encoding, and the binary format is one `Accept` header away:
+//!
+//! ```sh
+//! curl -s localhost:8080/v1/models
+//! curl -s -X POST localhost:8080/v1/models/demo/sample \
+//!      -H 'Content-Type: application/json' \
+//!      -d '{"n_samples": 4, "gibbs_steps": 2, "seed": 1}'
+//! curl -s -X POST localhost:8080/v1/models/demo/sample \
+//!      -H 'Accept: application/x-ember-bits' \
+//!      -H 'X-Ember-Samples: 4' -H 'X-Ember-Seed: 1' \
+//!      --output samples.bits
+//! curl -s localhost:8080/v1/stats
+//! ```
+//!
+//! Backpressure and failures arrive as a typed taxonomy: a full queue
+//! is `429` with `Retry-After` (and a microsecond-resolution
+//! `X-Ember-Retry-After-Ms`), a blown `X-Ember-Timeout-Ms` budget is
+//! `504`, an unknown model `404`, and a draining edge `503` — see
+//! `examples/http_service.rs` for the full tour.
+//!
 //! # Kernel selection: bit-packed vs dense
 //!
 //! Every product with a binary left operand in the sampling hot path —
@@ -199,6 +258,7 @@ pub use ember_analog as analog;
 pub use ember_brim as brim;
 pub use ember_core as core;
 pub use ember_datasets as datasets;
+pub use ember_http as http;
 pub use ember_ising as ising;
 pub use ember_metrics as metrics;
 pub use ember_perf as perf;
