@@ -1,0 +1,55 @@
+//! PR 9 performance-trajectory benchmark: everything `bench_pr8`
+//! measures (same suites, same `(name, visible, hidden, mode)` row
+//! identities, so the `bench_gate` binary can diff the two trajectory
+//! files) **plus the durable-lifecycle dimension**: the two halves of
+//! the crash drill — sealing a checksummed delta-chain snapshot of a
+//! 4-model registry to a real on-disk store, and warm-restoring a
+//! fresh registry from it — along with the deterministic
+//! delta-vs-full-frame byte ratio of the snapshot format.
+//!
+//! Emits `BENCH_PR9.json`. Gate it against the previous point with:
+//!
+//! ```sh
+//! cargo run --release -p ember_bench --bin bench_pr9 -- --quick
+//! cargo run --release -p ember_bench --bin bench_gate -- BENCH_PR8.json BENCH_PR9.json --tolerance 0.25
+//! ```
+//!
+//! The committed `BENCH_PR9.json` follows the estimator convention of
+//! the PR 2–8 points on the drifting shared reference box: per-row
+//! medians over 9 process runs of this binary (`--quick`), with each
+//! `speedups` entry the median of the per-run ratios.
+
+use ember_bench::trajectory::{
+    bench_brim_anneal, bench_brim_settle, bench_faulty_serve, bench_gibbs_cd1, bench_gibbs_chain,
+    bench_http_edge, bench_packed_kernel, bench_serve_throughput, bench_simd_kernel,
+    bench_store_lifecycle, bench_substrate_cd1, write_trajectory,
+};
+use ember_bench::{header, RunConfig};
+
+fn main() {
+    let config = RunConfig::from_args();
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+
+    bench_gibbs_cd1(&config, &mut rows, &mut speedups);
+    bench_gibbs_chain(&config, &mut rows, &mut speedups);
+    bench_brim_anneal(&config, &mut rows, &mut speedups);
+    bench_brim_settle(&config, &mut rows, &mut speedups);
+    bench_substrate_cd1(&config, &mut rows, &mut speedups);
+    bench_serve_throughput(&config, &mut rows, &mut speedups);
+    bench_packed_kernel(&config, &mut rows, &mut speedups);
+    bench_simd_kernel(&config, &mut rows, &mut speedups);
+    bench_faulty_serve(&config, &mut rows, &mut speedups);
+    bench_http_edge(&config, &mut rows, &mut speedups);
+    bench_store_lifecycle(&config, &mut rows, &mut speedups);
+
+    header("Speedup summary");
+    for (name, s) in &speedups {
+        println!("  {name:<34} {s:.2}x");
+    }
+
+    let json = write_trajectory(9, &config, &rows, &speedups);
+    if config.json {
+        println!("{json}");
+    }
+}

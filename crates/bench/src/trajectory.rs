@@ -1016,6 +1016,130 @@ pub fn bench_http_edge(
     speedups.push((format!("http-wire-bytes-{m}"), bytes_ratio));
 }
 
+/// The PR 9 durable-lifecycle dimension: a 4-model registry at the
+/// paper's 784×200 layer size, each model carrying a 4-version chain
+/// where successive versions perturb ~10% of the weights (the shape a
+/// training loop's publishes actually have). Rows price the two halves
+/// of the crash drill end to end against a real on-disk store
+/// ([`DiskDir`](ember_store::DiskDir) under a scratch directory):
+/// `snapshot` is [`SnapshotStore::save`](ember_store::SnapshotStore)
+/// (delta-encode + checksum + atomic temp-file/fsync/rename, plus the
+/// prune that keeps the directory bounded), `restore` is
+/// [`restore_latest`](ember_store::SnapshotStore) (read + verify +
+/// decode + rebuild every chain in a fresh registry). The
+/// `store-delta-bytes-…` entry is deterministic: encoded bytes with
+/// delta chains disabled ÷ the shipped format, i.e. what the XOR
+/// delta frames buy on a sparse-update chain.
+pub fn bench_store_lifecycle(
+    config: &RunConfig,
+    rows: &mut Vec<BenchRow>,
+    speedups: &mut Vec<(String, f64)>,
+) {
+    use ember_serve::ModelRegistry;
+    use ember_store::format::{encode_registry, encode_registry_uncompressed};
+    use ember_store::{DiskDir, ModelChainImage, RegistryImage, SnapshotStore};
+
+    header("Durable store (4 models, 4-version chains, 784x200): snapshot vs restore");
+    let (m, n) = (784usize, 200usize);
+    let (models, versions) = (4usize, 4usize);
+    let reps = config.pick(2, 3);
+    let mut rng = config.rng();
+
+    // Version chains with training-shaped churn: each publish nudges
+    // ~10% of the weights, so consecutive versions XOR to sparse,
+    // low-magnitude deltas — the case the chain encoding is built for.
+    let registry = ModelRegistry::new();
+    for i in 0..models {
+        let name = format!("model-{i}");
+        let mut rbm = Rbm::random(m, n, 0.1, &mut rng);
+        registry
+            .register(&name, rbm.clone())
+            .expect("register bench model");
+        for _ in 1..versions {
+            for w in rbm.weights_mut().iter_mut() {
+                if rng.random_bool(0.10) {
+                    *w += (rng.random::<f64>() - 0.5) * 1e-3;
+                }
+            }
+            registry
+                .publish(&name, rbm.clone())
+                .expect("publish bench version");
+        }
+    }
+
+    // The deterministic format win, measured on the exact image a save
+    // would seal (no clock, no disk).
+    let image = RegistryImage {
+        sequence: 1,
+        models: registry
+            .export_chains()
+            .into_iter()
+            .map(|(name, chain)| ModelChainImage { name, chain })
+            .collect(),
+    };
+    let delta_bytes = encode_registry(&image).expect("encode bench image").len();
+    let full_bytes = encode_registry_uncompressed(&image)
+        .expect("encode bench image")
+        .len();
+    let bytes_ratio = full_bytes as f64 / delta_bytes as f64;
+
+    let scratch = std::env::temp_dir().join(format!("ember-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let store =
+        SnapshotStore::new(DiskDir::open(&scratch).expect("open scratch store")).expect("store");
+
+    let save_ms = time(
+        || {
+            store.save(&registry).expect("bench snapshot");
+            store.prune(2).expect("bench prune");
+        },
+        reps,
+    );
+    let save_throughput = 1000.0 / save_ms;
+    println!(
+        "  {m}x{n} {:<26} {save_ms:>10.2} ms/save  {save_throughput:>12.1} snapshots/s",
+        "snapshot"
+    );
+    rows.push(BenchRow {
+        name: "store-lifecycle".into(),
+        visible: m,
+        hidden: n,
+        mode: "snapshot",
+        wall_ms: save_ms,
+        throughput: save_throughput,
+        unit: "snapshots/sec",
+    });
+
+    let restore_ms = time(
+        || {
+            let (restored, report) = store.restore_latest().expect("bench restore");
+            assert!(report.skipped.is_empty(), "clean store restores cleanly");
+            assert_eq!(restored.names().len(), models);
+        },
+        reps,
+    );
+    let restore_throughput = 1000.0 / restore_ms;
+    println!(
+        "  {m}x{n} {:<26} {restore_ms:>10.2} ms/restore  {restore_throughput:>10.1} restores/s",
+        "restore"
+    );
+    rows.push(BenchRow {
+        name: "store-lifecycle".into(),
+        visible: m,
+        hidden: n,
+        mode: "restore",
+        wall_ms: restore_ms,
+        throughput: restore_throughput,
+        unit: "restores/sec",
+    });
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    println!(
+        "  {m}x{n} chain size {full_bytes} B (full frames) / {delta_bytes} B (delta) = {bytes_ratio:.1}x"
+    );
+    speedups.push((format!("store-delta-bytes-{m}x{n}"), bytes_ratio));
+}
+
 /// Serializes a trajectory to the `BENCH_PR<N>.json` schema and writes it.
 pub fn write_trajectory(
     pr: u32,

@@ -3,16 +3,31 @@
 //! One TCP connection per request (the server answers
 //! `Connection: close`), so the client is trivially `Send`/`Sync`-free
 //! state-wise — clone the address and fan out across threads.
+//!
+//! [`Client::with_retry`] layers the serving crate's
+//! [`RetryPolicy`](ember_core::RetryPolicy) over every call: `429`
+//! backpressure answers are always retried (honoring the server's
+//! `Retry-After` / `X-Ember-Retry-After-Ms` hints), transient `503`s
+//! only on **idempotent** requests (reads and seeded sampling — never
+//! train, rollback, or snapshot, which mutate state the client cannot
+//! prove was not applied).
 
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use ndarray::Array1;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
+use ember_core::RetryPolicy;
 use ember_serve::ServiceStats;
 
-use crate::json::{ErrorReply, Health, ModelList, SampleReply, TrainReply, JSON_MIME};
+use crate::json::{
+    ErrorReply, Health, ModelList, RollbackReply, SampleReply, SnapshotReply, TrainReply, JSON_MIME,
+};
 use crate::proto::{read_response, Response};
 use crate::server::headers;
 use crate::wire::{self, WireError, WireSamples, WIRE_MIME};
@@ -176,16 +191,48 @@ pub struct JsonSample {
     pub body_bytes: usize,
 }
 
+/// Seeded retry state shared by every clone of a retrying client: the
+/// policy plus an attempt counter that derives a fresh deterministic
+/// jitter stream per backoff.
+#[derive(Debug)]
+struct RetryState {
+    policy: RetryPolicy,
+    seed: u64,
+    counter: AtomicU64,
+}
+
 /// Blocking HTTP client for an [`crate::Server`] edge.
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: SocketAddr,
+    retry: Option<Arc<RetryState>>,
 }
 
 impl Client {
-    /// A client for the edge at `addr`.
+    /// A client for the edge at `addr` (no retries; every transient
+    /// failure surfaces immediately).
     pub fn new(addr: SocketAddr) -> Self {
-        Client { addr }
+        Client { addr, retry: None }
+    }
+
+    /// Returns a copy that retries transient failures under `policy`
+    /// with jitter seeded by `seed` (deterministic backoff schedules
+    /// for tests; share one seed fleet-wide and the per-attempt counter
+    /// still decorrelates the streams).
+    ///
+    /// Retried: `429 queue_full` on **every** request (the server
+    /// explicitly asked for a later retry and its `Retry-After` /
+    /// `X-Ember-Retry-After-Ms` hints are honored as a lower bound on
+    /// the pause), and `503` on **idempotent** requests only — reads
+    /// and seeded sampling, never train/rollback/snapshot.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy, seed: u64) -> Self {
+        self.retry = Some(Arc::new(RetryState {
+            policy,
+            seed,
+            counter: AtomicU64::new(0),
+        }));
+        self
     }
 
     /// The edge address this client talks to.
@@ -193,7 +240,57 @@ impl Client {
         self.addr
     }
 
+    /// `true` when `e` may be answered differently by a later attempt:
+    /// `429` always (explicit backpressure), `503` only when the
+    /// request is safe to replay.
+    fn transient(e: &ClientError, idempotent: bool) -> bool {
+        match e.status() {
+            Some(429) => true,
+            Some(503) => idempotent,
+            _ => false,
+        }
+    }
+
+    /// One attempt plus up to `policy.max_retries` replays on transient
+    /// failures. The pause before retry `k` is the policy's jittered
+    /// exponential backoff, raised to any server `Retry-After` hint and
+    /// capped at the policy's `max_backoff`.
     fn roundtrip(
+        &self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(String, String)],
+        content_type: Option<&str>,
+        body: &[u8],
+        idempotent: bool,
+    ) -> Result<Response, ClientError> {
+        let Some(state) = self.retry.as_ref() else {
+            return self.roundtrip_once(method, path, extra_headers, content_type, body);
+        };
+        let mut attempt = 0u32;
+        loop {
+            match self.roundtrip_once(method, path, extra_headers, content_type, body) {
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt > state.policy.max_retries || !Self::transient(&e, idempotent) {
+                        return Err(e);
+                    }
+                    let lane = state.counter.fetch_add(1, Ordering::Relaxed);
+                    let mut rng = StdRng::seed_from_u64(
+                        state.seed ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let mut pause = state.policy.backoff(attempt, &mut rng);
+                    if let Some(hint) = e.retry_after() {
+                        pause = pause.max(hint);
+                    }
+                    std::thread::sleep(pause.min(state.policy.max_backoff));
+                }
+            }
+        }
+    }
+
+    fn roundtrip_once(
         &self,
         method: &str,
         path: &str,
@@ -257,7 +354,7 @@ impl Client {
     ///
     /// [`ClientError`] on transport, HTTP, or decode failure.
     pub fn health(&self) -> Result<Health, ClientError> {
-        let response = self.roundtrip("GET", "/healthz", &[], None, &[])?;
+        let response = self.roundtrip("GET", "/healthz", &[], None, &[], true)?;
         Self::decode_json(&response)
     }
 
@@ -267,7 +364,7 @@ impl Client {
     ///
     /// [`ClientError`] on transport, HTTP, or decode failure.
     pub fn models(&self) -> Result<ModelList, ClientError> {
-        let response = self.roundtrip("GET", "/v1/models", &[], None, &[])?;
+        let response = self.roundtrip("GET", "/v1/models", &[], None, &[], true)?;
         Self::decode_json(&response)
     }
 
@@ -277,7 +374,7 @@ impl Client {
     ///
     /// [`ClientError`] on transport, HTTP, or decode failure.
     pub fn stats(&self) -> Result<ServiceStats, ClientError> {
-        let response = self.roundtrip("GET", "/v1/stats", &[], None, &[])?;
+        let response = self.roundtrip("GET", "/v1/stats", &[], None, &[], true)?;
         Self::decode_json(&response)
     }
 
@@ -358,6 +455,7 @@ impl Client {
             &extra,
             Some(content_type),
             &body,
+            true, // sampling mutates nothing; a replay is safe
         )?;
         let body_bytes = response.body.len();
         let samples = wire::decode(&response.body)?;
@@ -394,6 +492,7 @@ impl Client {
             &extra,
             Some(JSON_MIME),
             &body,
+            true, // sampling mutates nothing; a replay is safe
         )?;
         let body_bytes = response.body.len();
         let reply = Self::decode_json(&response)?;
@@ -430,7 +529,46 @@ impl Client {
             &[],
             Some(JSON_MIME),
             &body,
+            false, // a replayed train would publish a second version
         )?;
+        Self::decode_json(&response)
+    }
+
+    /// `POST /v1/models/{model}/rollback`: republish retained `version`
+    /// as a new one. Not retried on `503` — a replay could republish
+    /// twice.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport, HTTP (`404 version_not_found` when
+    /// the version was evicted from history), or decode failure.
+    pub fn rollback(&self, model: &str, version: u64) -> Result<RollbackReply, ClientError> {
+        let body = serde_json::to_string(&serde::Value::Map(vec![(
+            "version".into(),
+            serde::Value::UInt(version),
+        )]))
+        .expect("serialize rollback body")
+        .into_bytes();
+        let response = self.roundtrip(
+            "POST",
+            &format!("/v1/models/{model}/rollback"),
+            &[],
+            Some(JSON_MIME),
+            &body,
+            false,
+        )?;
+        Self::decode_json(&response)
+    }
+
+    /// `POST /v1/admin/snapshot`: seal a durable snapshot now. Answers
+    /// `503 no_persistence` when the server runs without a store. Not
+    /// retried — a replay would burn a second snapshot sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport, HTTP, or decode failure.
+    pub fn snapshot(&self) -> Result<SnapshotReply, ClientError> {
+        let response = self.roundtrip("POST", "/v1/admin/snapshot", &[], None, &[], false)?;
         Self::decode_json(&response)
     }
 }

@@ -63,6 +63,32 @@ pub struct TrainReply {
     pub gradient_norm: f64,
 }
 
+/// JSON body of a successful `POST /v1/models/{name}/rollback`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RollbackReply {
+    /// The **new** version the rolled-back parameters were republished
+    /// under (versions only move forward; a rollback is a republication
+    /// of old parameters, not a rewind of the counter).
+    pub new_version: u64,
+    /// The retained version whose parameters were restored.
+    pub rolled_back_to: u64,
+}
+
+/// JSON body of a successful `POST /v1/admin/snapshot`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotReply {
+    /// Monotonic sequence number of the sealed snapshot.
+    pub sequence: u64,
+    /// Snapshot file name inside the store.
+    pub file: String,
+    /// Encoded snapshot size in bytes.
+    pub bytes: u64,
+    /// Models captured.
+    pub models: usize,
+    /// Total retained versions captured across all models.
+    pub versions: usize,
+}
+
 /// JSON body of every non-2xx answer.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ErrorReply {
@@ -218,6 +244,28 @@ pub fn parse_train_body(body: &[u8]) -> Result<TrainBody, String> {
     Ok(parsed)
 }
 
+/// Parses a rollback-request body (`version` required).
+///
+/// # Errors
+///
+/// A human-readable reason (mapped to `400 Bad Request`) on malformed
+/// JSON, a missing `version`, wrong field types, or unknown fields.
+pub fn parse_rollback_body(body: &[u8]) -> Result<u64, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let value = serde_json::parse_value(text).map_err(|e| e.to_string())?;
+    let pairs = value
+        .as_map()
+        .ok_or_else(|| "rollback body must be a JSON object".to_string())?;
+    let mut version = None;
+    for (key, v) in pairs {
+        match key.as_str() {
+            "version" => version = Some(value_u64(v, key)?),
+            other => return Err(format!("unknown rollback field `{other}`")),
+        }
+    }
+    version.ok_or_else(|| "rollback body needs a `version`".to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +302,15 @@ mod tests {
         assert_eq!(parsed.epochs, Some(2));
         assert!(parse_train_body(br#"{"epochs": 2}"#).is_err());
         assert!(parse_train_body(br#"{"data": [[0.0], [1.0, 0.0]]}"#).is_err());
+    }
+
+    #[test]
+    fn rollback_body_requires_a_version() {
+        assert_eq!(parse_rollback_body(br#"{"version": 3}"#).unwrap(), 3);
+        assert!(parse_rollback_body(b"{}").is_err());
+        assert!(parse_rollback_body(br#"{"version": -1}"#).is_err());
+        assert!(parse_rollback_body(br#"{"version": 1, "force": true}"#).is_err());
+        assert!(parse_rollback_body(b"[3]").is_err());
     }
 
     #[test]

@@ -28,9 +28,19 @@
 //!   (`429` + `Retry-After`, `504` deadlines, `404`, `400`, `503`), and
 //!   SIGTERM-style [`Server::shutdown`] that drains connections before
 //!   handing the rest of the deadline to the service's queue drain.
+//!   [`ServerConfig`] hardens each connection — slowloris read/write
+//!   timeouts answered with `408`, a request-body ceiling answered with
+//!   `413` — and can attach an
+//!   [`ember_store::SnapshotDaemon`] to expose the durable lifecycle:
+//!   `POST /v1/models/{name}/rollback` (republish a retained version)
+//!   and `POST /v1/admin/snapshot` (seal a snapshot on demand).
 //! * [`Client`] — a small blocking client speaking both encodings,
 //!   used by the integration tests, the `http_service` example and the
-//!   `http-edge` bench dimension.
+//!   `http-edge` bench dimension. [`Client::with_retry`] layers a
+//!   seeded [`RetryPolicy`](ember_core::RetryPolicy) over every call:
+//!   `429` backpressure is always retried honoring the server's
+//!   `Retry-After`/`X-Ember-Retry-After-Ms` hints, transient `503`s
+//!   only on idempotent requests.
 //!
 //! Because every chain carries its own seed-derived RNG stream,
 //! **HTTP-served samples are bit-identical to in-process
@@ -47,4 +57,4 @@ mod server;
 pub mod wire;
 
 pub use client::{BinarySample, Client, ClientError, JsonSample, SampleOptions};
-pub use server::{headers, Server, ShutdownReport};
+pub use server::{headers, Server, ServerConfig, ShutdownReport};

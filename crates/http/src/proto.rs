@@ -117,6 +117,7 @@ pub fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         411 => "Length Required",
         413 => "Payload Too Large",
@@ -227,10 +228,12 @@ fn read_headers<R: BufRead>(r: &mut R) -> io::Result<Result<Vec<(String, String)
     }
 }
 
-/// Reads the `Content-Length`-framed body described by `headers`.
+/// Reads the `Content-Length`-framed body described by `headers`,
+/// rejecting declared lengths above `max_body` **before** allocating.
 fn read_body<R: BufRead>(
     r: &mut R,
     headers: &[(String, String)],
+    max_body: usize,
 ) -> io::Result<Result<Vec<u8>, ParseError>> {
     if header_lookup(headers, "Transfer-Encoding").is_some() {
         return Ok(Err(ParseError::UnsupportedFraming));
@@ -238,10 +241,10 @@ fn read_body<R: BufRead>(
     let len = match header_lookup(headers, "Content-Length") {
         None => return Ok(Ok(Vec::new())),
         Some(raw) => match raw.trim().parse::<usize>() {
-            Ok(len) if len <= MAX_BODY => len,
+            Ok(len) if len <= max_body => len,
             Ok(_) => {
                 return Ok(Err(ParseError::TooLarge(format!(
-                    "Content-Length exceeds {MAX_BODY} bytes"
+                    "Content-Length exceeds {max_body} bytes"
                 ))))
             }
             Err(_) => {
@@ -261,7 +264,7 @@ fn read_body<R: BufRead>(
     }
 }
 
-/// Reads one request off `r`.
+/// Reads one request off `r` with the default [`MAX_BODY`] limit.
 ///
 /// # Errors
 ///
@@ -269,6 +272,17 @@ fn read_body<R: BufRead>(
 /// violations come back as [`ReadOutcome::Invalid`] so the server can
 /// answer them with a status code.
 pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<ReadOutcome> {
+    read_request_limited(r, MAX_BODY)
+}
+
+/// [`read_request`] with an explicit body-size ceiling (the server's
+/// configurable request-body limit; oversized declarations come back as
+/// [`ParseError::TooLarge`] without buffering a byte of the body).
+///
+/// # Errors
+///
+/// As [`read_request`].
+pub fn read_request_limited<R: BufRead>(r: &mut R, max_body: usize) -> io::Result<ReadOutcome> {
     let line = match read_line(r)? {
         Ok(line) => line,
         Err(e) => return Ok(ReadOutcome::Invalid(e)),
@@ -292,7 +306,7 @@ pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<ReadOutcome> {
         Ok(h) => h,
         Err(e) => return Ok(ReadOutcome::Invalid(e)),
     };
-    let body = match read_body(r, &headers)? {
+    let body = match read_body(r, &headers, max_body)? {
         Ok(b) => b,
         Err(e) => return Ok(ReadOutcome::Invalid(e)),
     };
@@ -329,7 +343,7 @@ pub fn read_response<R: BufRead>(r: &mut R) -> io::Result<Response> {
         .map_err(|_| invalid(ParseError::Malformed(format!("bad status code {code:?}"))))?;
     let headers = read_headers(r)?.map_err(invalid)?;
     let body = match header_lookup(&headers, "Content-Length") {
-        Some(_) => read_body(r, &headers)?.map_err(invalid)?,
+        Some(_) => read_body(r, &headers, MAX_BODY)?.map_err(invalid)?,
         None => {
             // No explicit framing: the peer closes the connection at the
             // end of the body (we always send Connection: close).
@@ -386,6 +400,18 @@ mod tests {
             parse(raw.as_bytes()),
             ReadOutcome::Invalid(ParseError::TooLarge(_))
         ));
+    }
+
+    #[test]
+    fn explicit_body_limit_rejects_before_buffering() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let outcome = read_request_limited(&mut BufReader::new(raw.as_slice()), 4).unwrap();
+        assert!(matches!(
+            outcome,
+            ReadOutcome::Invalid(ParseError::TooLarge(_))
+        ));
+        let outcome = read_request_limited(&mut BufReader::new(raw.as_slice()), 5).unwrap();
+        assert!(matches!(outcome, ReadOutcome::Request(req) if req.body == b"hello"));
     }
 
     #[test]

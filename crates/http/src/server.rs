@@ -7,9 +7,19 @@
 //! |---|---|
 //! | `POST /v1/models/{name}/sample` | Draw samples (JSON or binary wire) |
 //! | `POST /v1/models/{name}/train` | Run CD-k epochs, publish a version |
+//! | `POST /v1/models/{name}/rollback` | Republish a retained version |
+//! | `POST /v1/admin/snapshot` | Seal a durable snapshot now ([`ServerConfig::with_persistence`]) |
 //! | `GET /v1/models` | List registered models |
 //! | `GET /v1/stats` | JSON [`ServiceStats`](ember_serve::ServiceStats) snapshot |
 //! | `GET /healthz` | Liveness (`ok` / `draining`) |
+//!
+//! # Hardening
+//!
+//! [`ServerConfig`] bounds each connection: per-connection socket
+//! read/write timeouts (a slowloris peer trickling header bytes is cut
+//! off with `408 Request Timeout` instead of pinning a worker forever)
+//! and a maximum request-body size (an oversized `Content-Length` is
+//! refused with `413` before a single body byte is buffered).
 //!
 //! # Content negotiation
 //!
@@ -51,12 +61,13 @@ use std::time::{Duration, Instant};
 use ndarray::Array1;
 
 use ember_serve::{DrainReport, SampleRequest, SamplingService, ServeError, TrainRequest};
+use ember_store::SnapshotDaemon;
 
 use crate::json::{
-    parse_sample_body, parse_train_body, ErrorReply, Health, ModelInfo, ModelList, SampleReply,
-    TrainReply, JSON_MIME,
+    parse_rollback_body, parse_sample_body, parse_train_body, ErrorReply, Health, ModelInfo,
+    ModelList, RollbackReply, SampleReply, SnapshotReply, TrainReply, JSON_MIME,
 };
-use crate::proto::{read_request, ParseError, ReadOutcome, Request, Response};
+use crate::proto::{read_request_limited, ParseError, ReadOutcome, Request, Response, MAX_BODY};
 use crate::wire::{self, WIRE_MIME};
 
 /// Request-knob headers understood on binary (and optionally JSON)
@@ -83,6 +94,73 @@ pub mod headers {
     pub const RETRY_AFTER_MS: &str = "X-Ember-Retry-After-Ms";
 }
 
+/// Connection-level policy of a [`Server`]: worker count, slowloris
+/// timeouts, body bound, and the optional persistence hook behind
+/// `POST /v1/admin/snapshot`.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connection workers (bounds how many HTTP requests can block on
+    /// the service concurrently). Default 8.
+    pub workers: usize,
+    /// Per-connection socket read timeout: a peer that stalls mid-
+    /// request longer than this is answered `408` and disconnected
+    /// (`None` disables the guard). Default 30 s.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection socket write timeout (a peer that stops draining
+    /// its response is disconnected). Default 30 s.
+    pub write_timeout: Option<Duration>,
+    /// Maximum accepted request-body size in bytes; larger
+    /// `Content-Length` declarations are refused with `413` before any
+    /// buffering. Default [`MAX_BODY`].
+    pub max_body: usize,
+    /// Snapshot daemon exposed at `POST /v1/admin/snapshot`. `None`
+    /// answers that route with `503 no_persistence`.
+    pub persistence: Option<Arc<SnapshotDaemon>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_body: MAX_BODY,
+            persistence: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Replaces the connection-worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Replaces both socket timeouts (`None` disables the guards).
+    #[must_use]
+    pub fn with_timeouts(mut self, read: Option<Duration>, write: Option<Duration>) -> Self {
+        self.read_timeout = read;
+        self.write_timeout = write;
+        self
+    }
+
+    /// Replaces the request-body ceiling.
+    #[must_use]
+    pub fn with_max_body(mut self, max_body: usize) -> Self {
+        self.max_body = max_body;
+        self
+    }
+
+    /// Attaches a snapshot daemon, enabling `POST /v1/admin/snapshot`.
+    #[must_use]
+    pub fn with_persistence(mut self, daemon: Arc<SnapshotDaemon>) -> Self {
+        self.persistence = Some(daemon);
+        self
+    }
+}
+
 /// The outcome of [`Server::shutdown`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShutdownReport {
@@ -105,6 +183,8 @@ struct Shared {
     /// misses a connection sitting in the hand-off queue).
     in_flight: Mutex<usize>,
     idle: Condvar,
+    /// Connection policy + the optional persistence hook.
+    config: ServerConfig,
 }
 
 /// A running HTTP edge. Constructed with [`Server::start`]; stopped
@@ -134,7 +214,7 @@ impl Server {
     ///
     /// Propagates bind failures.
     pub fn start(addr: impl ToSocketAddrs, service: SamplingService) -> io::Result<Server> {
-        Server::start_with_workers(addr, service, 8)
+        Server::start_with_config(addr, service, ServerConfig::default())
     }
 
     /// [`Server::start`] with an explicit connection-worker count
@@ -153,6 +233,26 @@ impl Server {
         service: SamplingService,
         workers: usize,
     ) -> io::Result<Server> {
+        Server::start_with_config(addr, service, ServerConfig::default().with_workers(workers))
+    }
+
+    /// [`Server::start`] with the full connection policy: worker count,
+    /// slowloris timeouts, body ceiling, and the optional persistence
+    /// hook behind `POST /v1/admin/snapshot`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers == 0`.
+    pub fn start_with_config(
+        addr: impl ToSocketAddrs,
+        service: SamplingService,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let workers = config.workers;
         assert!(workers >= 1, "need at least one connection worker");
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -162,6 +262,7 @@ impl Server {
             closing: AtomicBool::new(false),
             in_flight: Mutex::new(0),
             idle: Condvar::new(),
+            config,
         });
 
         let (tx, rx) = mpsc::channel::<TcpStream>();
@@ -307,20 +408,39 @@ fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<TcpStream>>) {
     }
 }
 
-/// Serves one connection: read one request, route it, answer, close.
+/// Serves one connection: read one request (bounded by the configured
+/// timeouts and body ceiling), route it, answer, close. A peer that
+/// stalls mid-request past the read timeout gets `408 Request Timeout`
+/// instead of pinning this worker.
 fn handle_connection(shared: &Shared, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(shared.config.read_timeout);
+    let _ = stream.set_write_timeout(shared.config.write_timeout);
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
     });
-    let response = match read_request(&mut reader) {
+    let response = match read_request_limited(&mut reader, shared.config.max_body) {
+        Err(e) if is_timeout(&e) => error_response(
+            408,
+            "request_timeout",
+            "connection idle past the read timeout before a complete request arrived",
+        ),
         Err(_) | Ok(ReadOutcome::Closed) => return,
         Ok(ReadOutcome::Invalid(e)) => invalid_response(&e),
         Ok(ReadOutcome::Request(req)) => route(shared, &req),
     };
     let mut stream = stream;
     let _ = response.write_to(&mut stream);
+}
+
+/// `true` for the error kinds a timed-out socket read surfaces
+/// (`WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 fn invalid_response(e: &ParseError) -> Response {
@@ -354,6 +474,7 @@ fn serve_error_response(e: &ServeError) -> Response {
         ServeError::ModelExists(_) => (409, "model_exists"),
         ServeError::InvalidRequest(_) => (400, "invalid_request"),
         ServeError::TrainConflict { .. } => (409, "train_conflict"),
+        ServeError::VersionNotFound { .. } => (404, "version_not_found"),
         ServeError::QueueFull { .. } => (429, "queue_full"),
         ServeError::DeadlineExceeded => (504, "deadline_exceeded"),
         ServeError::SubstrateFault { .. } => (500, "substrate_fault"),
@@ -389,6 +510,10 @@ fn route(shared: &Shared, req: &Request) -> Response {
         ("POST", ["v1", "models", name, "train"]) => {
             with_service(shared, |service| train(service, name, req))
         }
+        ("POST", ["v1", "models", name, "rollback"]) => {
+            with_service(shared, |service| rollback(service, name, req))
+        }
+        ("POST", ["v1", "admin", "snapshot"]) => snapshot(shared),
         ("GET" | "POST", _) => error_response(404, "not_found", &format!("no route {path}")),
         (method, _) => error_response(405, "method_not_allowed", &format!("{method} {path}")),
     }
@@ -592,5 +717,50 @@ fn train(service: &SamplingService, name: &str, req: &Request) -> Response {
         .with_header(headers::SHARD, response.shard.to_string())
         .with_header(headers::MODEL_VERSION, response.new_version.to_string()),
         Err(e) => serve_error_response(&e),
+    }
+}
+
+/// `POST /v1/models/{name}/rollback`: republish a retained version as
+/// a new one. Body: `{"version": N}`.
+fn rollback(service: &SamplingService, name: &str, req: &Request) -> Response {
+    let version = match parse_rollback_body(&req.body) {
+        Ok(version) => version,
+        Err(e) => return error_response(400, "invalid_request", &e),
+    };
+    match service.rollback(name, version) {
+        Ok(new_version) => json_response(
+            200,
+            &RollbackReply {
+                new_version,
+                rolled_back_to: version,
+            },
+        )
+        .with_header(headers::MODEL_VERSION, new_version.to_string()),
+        Err(e) => serve_error_response(&e),
+    }
+}
+
+/// `POST /v1/admin/snapshot`: seal a durable snapshot on the attached
+/// [`SnapshotDaemon`], synchronously on this worker.
+fn snapshot(shared: &Shared) -> Response {
+    let Some(daemon) = shared.config.persistence.as_ref() else {
+        return error_response(
+            503,
+            "no_persistence",
+            "this server was started without a snapshot store",
+        );
+    };
+    match daemon.snapshot_now() {
+        Ok(report) => json_response(
+            200,
+            &SnapshotReply {
+                sequence: report.sequence,
+                file: report.file,
+                bytes: report.bytes as u64,
+                models: report.models,
+                versions: report.versions,
+            },
+        ),
+        Err(e) => error_response(500, "snapshot_failed", &e.to_string()),
     }
 }

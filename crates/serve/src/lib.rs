@@ -12,7 +12,10 @@
 //!
 //! * [`ModelRegistry`] — named, **versioned** RBMs behind one
 //!   thread-safe handle; training publishes new versions, sampling
-//!   always reads a consistent snapshot.
+//!   always reads a consistent snapshot. A bounded per-model version
+//!   history powers [`ModelRegistry::rollback`] (republish a prior
+//!   version through the CAS path) and the delta-compressed durable
+//!   snapshots in `ember_store`.
 //! * [`SamplingService`] — a pool of worker shards
 //!   (`std::thread`), each holding cloned
 //!   [`ReplicableSubstrate`](ember_substrate::ReplicableSubstrate)
@@ -54,7 +57,7 @@ mod registry;
 mod request;
 mod service;
 
-pub use registry::{ModelRegistry, ModelSnapshot};
+pub use registry::{ModelRegistry, ModelSnapshot, PublishHook};
 pub use request::{SampleRequest, SampleResponse, ServeError, TrainRequest, TrainResponse};
 pub use service::{
     DrainReport, ModelStats, ResponseHandle, SamplingService, ServiceBuilder, ServiceStats,

@@ -241,6 +241,15 @@ pub enum ServeError {
         /// The version found at publish time.
         current_version: u64,
     },
+    /// A rollback named a version that is neither the model's current
+    /// one nor retained in its bounded history (old versions are
+    /// evicted once the history limit is exceeded).
+    VersionNotFound {
+        /// The model whose history was searched.
+        model: String,
+        /// The requested (absent) version.
+        version: u64,
+    },
     /// The bounded request queue is at capacity; the request was
     /// **rejected, not blocked** — retry later or shed load.
     QueueFull {
@@ -294,6 +303,10 @@ impl fmt::Display for ServeError {
                 f,
                 "training on `{model}` raced another publish (trained from v{base_version}, \
                  registry is at v{current_version}); re-submit to train from the current snapshot"
+            ),
+            ServeError::VersionNotFound { model, version } => write!(
+                f,
+                "model `{model}` has no retained version {version} (evicted or never published)"
             ),
             ServeError::QueueFull { retry_after } => write!(
                 f,

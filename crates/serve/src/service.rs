@@ -456,6 +456,22 @@ impl SamplingService {
         Ok(())
     }
 
+    /// Republishes the retained parameters of `version` of `model` as a
+    /// new version through the registry's CAS publish path (see
+    /// [`ModelRegistry::rollback`]). Serving shards pick up the rolled
+    /// back parameters exactly like any other publish — per-request
+    /// snapshot reads mean no in-flight request ever sees a torn
+    /// update, and responses report the new (higher) version.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ModelNotFound`] for an unregistered name,
+    /// [`ServeError::VersionNotFound`] if `version` fell out of the
+    /// registry's bounded history.
+    pub fn rollback(&self, model: &str, version: u64) -> Result<u64, ServeError> {
+        self.registry.rollback(model, version)
+    }
+
     /// One replica per shard, cloned from `prototype` (which becomes the
     /// last shard's replica). Runs outside any lock — the deep copies
     /// depend on nothing but the prototype.

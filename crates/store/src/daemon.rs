@@ -1,0 +1,344 @@
+//! [`SnapshotDaemon`]: background persistence for a live registry —
+//! on-publish and periodic snapshots with bounded retention.
+
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ember_serve::ModelRegistry;
+
+use crate::{SaveReport, SnapshotStore, StoreError};
+
+/// When the daemon writes snapshots.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Upper bound between snapshots while dirty (`None` = only
+    /// on-publish / manual triggers). The daemon never writes when
+    /// nothing changed, so this bounds *data loss*, not disk traffic.
+    pub interval: Option<Duration>,
+    /// Snapshot **promptly** after every successful publication. When
+    /// disabled, publications still mark the daemon dirty, but only the
+    /// periodic interval (or a manual trigger) writes.
+    pub on_publish: bool,
+    /// Snapshots retained in the store after each write (older ones are
+    /// pruned). The fallback walk in
+    /// [`SnapshotStore::load_latest`] needs at least 2 to survive a
+    /// torn newest file.
+    pub keep_last: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            interval: None,
+            on_publish: true,
+            keep_last: 4,
+        }
+    }
+}
+
+impl DaemonConfig {
+    /// Replaces the periodic bound.
+    #[must_use]
+    pub fn with_interval(mut self, interval: Option<Duration>) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Enables/disables snapshot-on-publish.
+    #[must_use]
+    pub fn with_on_publish(mut self, on_publish: bool) -> Self {
+        self.on_publish = on_publish;
+        self
+    }
+
+    /// Replaces the retention bound (clamped to at least 1).
+    #[must_use]
+    pub fn with_keep_last(mut self, keep_last: usize) -> Self {
+        self.keep_last = keep_last.max(1);
+        self
+    }
+}
+
+/// Running totals of the daemon's work.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Snapshots successfully written.
+    pub snapshots: u64,
+    /// Sequence of the newest successful snapshot.
+    pub last_sequence: Option<u64>,
+    /// Saves that failed (the registry stays dirty; the next trigger
+    /// retries).
+    pub failures: u64,
+    /// Display of the most recent failure, if any.
+    pub last_error: Option<String>,
+}
+
+struct State {
+    dirty: bool,
+    closing: bool,
+    stats: DaemonStats,
+}
+
+struct Shared {
+    store: SnapshotStore,
+    registry: ModelRegistry,
+    config: DaemonConfig,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Shared {
+    /// Seals a snapshot, prunes retention, updates stats. The dirty
+    /// flag is cleared *before* exporting, so a publish racing the
+    /// export re-marks and gets a follow-up snapshot rather than being
+    /// silently skipped.
+    fn snapshot(&self) -> Result<SaveReport, StoreError> {
+        self.state.lock().expect("daemon lock").dirty = false;
+        let outcome = self.store.save(&self.registry);
+        let mut st = self.state.lock().expect("daemon lock");
+        match &outcome {
+            Ok(report) => {
+                st.stats.snapshots += 1;
+                st.stats.last_sequence = Some(report.sequence);
+            }
+            Err(e) => {
+                st.dirty = true; // retry on the next trigger
+                st.stats.failures += 1;
+                st.stats.last_error = Some(e.to_string());
+            }
+        }
+        drop(st);
+        if outcome.is_ok() {
+            // Retention pruning is best-effort: a failed delete must
+            // not fail the snapshot that already landed.
+            let _ = self.store.prune(self.config.keep_last);
+        }
+        outcome
+    }
+}
+
+/// A background thread that keeps a [`SnapshotStore`] in sync with a
+/// live [`ModelRegistry`].
+///
+/// [`SnapshotDaemon::start`] installs a publish hook on the registry
+/// (holding only a [`Weak`] reference back, so the registry owning the
+/// hook keeps no cycle alive) and spawns a writer thread. Publications
+/// mark the daemon dirty and wake it; the thread coalesces bursts —
+/// publishes that land while a snapshot is being written fold into one
+/// follow-up snapshot instead of queueing one file each.
+///
+/// Dropping the daemon uninstalls the hook, takes a final snapshot if
+/// dirty (so the freshest versions survive an orderly shutdown), and
+/// joins the thread.
+pub struct SnapshotDaemon {
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SnapshotDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotDaemon")
+            .field("config", &self.shared.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SnapshotDaemon {
+    /// Starts the daemon over `store`, observing `registry`.
+    ///
+    /// An initial baseline snapshot is scheduled immediately if the
+    /// registry already holds models, so even a service that never
+    /// publishes again is durable from boot.
+    pub fn start(store: SnapshotStore, registry: ModelRegistry, config: DaemonConfig) -> Self {
+        let shared = Arc::new(Shared {
+            store,
+            registry: registry.clone(),
+            config,
+            state: Mutex::new(State {
+                dirty: !registry.is_empty(),
+                closing: false,
+                stats: DaemonStats::default(),
+            }),
+            cv: Condvar::new(),
+        });
+        // The hook always tracks dirtiness; `on_publish` only decides
+        // whether a publication wakes the writer immediately or waits
+        // for the periodic interval (or a manual trigger) to notice.
+        {
+            let weak: Weak<Shared> = Arc::downgrade(&shared);
+            let wake = shared.config.on_publish;
+            registry.set_publish_hook(Some(Box::new(move |_name, _version| {
+                if let Some(shared) = weak.upgrade() {
+                    shared.state.lock().expect("daemon lock").dirty = true;
+                    if wake {
+                        shared.cv.notify_all();
+                    }
+                }
+            })));
+        }
+        let thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ember-snapshotd".into())
+                .spawn(move || run(&shared))
+                .expect("spawn snapshot daemon")
+        };
+        SnapshotDaemon {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// Seals a snapshot right now, on the caller's thread (the HTTP
+    /// admin trigger). Runs even when the registry is clean — an
+    /// operator asking for a snapshot gets one.
+    ///
+    /// # Errors
+    ///
+    /// As [`SnapshotStore::save`].
+    pub fn snapshot_now(&self) -> Result<SaveReport, StoreError> {
+        self.shared.snapshot()
+    }
+
+    /// The store this daemon writes to.
+    pub fn store(&self) -> &SnapshotStore {
+        &self.shared.store
+    }
+
+    /// Running totals.
+    pub fn stats(&self) -> DaemonStats {
+        self.shared.state.lock().expect("daemon lock").stats.clone()
+    }
+}
+
+fn run(shared: &Shared) {
+    let mut st = shared.state.lock().expect("daemon lock");
+    loop {
+        if st.closing {
+            return;
+        }
+        if st.dirty {
+            drop(st);
+            let _ = shared.snapshot(); // failure recorded in stats, flag re-set
+            st = shared.state.lock().expect("daemon lock");
+            continue;
+        }
+        st = match shared.config.interval {
+            Some(interval) => shared.cv.wait_timeout(st, interval).expect("daemon lock").0,
+            None => shared.cv.wait(st).expect("daemon lock"),
+        };
+    }
+}
+
+impl Drop for SnapshotDaemon {
+    fn drop(&mut self) {
+        self.shared.registry.set_publish_hook(None);
+        {
+            let mut st = self.shared.state.lock().expect("daemon lock");
+            st.closing = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+        // Final flush: anything published after the last write survives
+        // an orderly shutdown.
+        if self.shared.state.lock().expect("daemon lock").dirty {
+            let _ = self.shared.snapshot();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDir;
+    use ember_rbm::Rbm;
+    use rand::SeedableRng;
+    use std::time::Instant;
+
+    fn rbm(seed: u64) -> Rbm {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Rbm::random(3, 2, 0.1, &mut rng)
+    }
+
+    fn wait_until(deadline_ms: u64, mut ok: impl FnMut() -> bool) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < Duration::from_millis(deadline_ms) {
+            if ok() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        ok()
+    }
+
+    #[test]
+    fn publishes_trigger_snapshots_and_drop_flushes() {
+        let store = SnapshotStore::new(MemDir::new()).unwrap();
+        let registry = ModelRegistry::new();
+        let daemon = SnapshotDaemon::start(
+            store.clone(),
+            registry.clone(),
+            DaemonConfig::default().with_keep_last(2),
+        );
+        registry.register("m", rbm(1)).unwrap();
+        assert!(
+            wait_until(2000, || daemon.stats().snapshots >= 1),
+            "on-publish snapshot never landed"
+        );
+        registry.publish("m", rbm(2)).unwrap();
+        drop(daemon); // uninstalls hook, flushes if dirty, joins
+        let (restored, _) = store.restore_latest().unwrap();
+        assert_eq!(restored.get("m").unwrap().version, 2, "drop must flush v2");
+        // Hook is gone: further publishes don't panic or snapshot.
+        registry.publish("m", rbm(3)).unwrap();
+    }
+
+    #[test]
+    fn manual_snapshot_works_without_on_publish() {
+        let store = SnapshotStore::new(MemDir::new()).unwrap();
+        let registry = ModelRegistry::new();
+        registry.register("m", rbm(1)).unwrap();
+        let daemon = SnapshotDaemon::start(
+            store.clone(),
+            registry.clone(),
+            DaemonConfig::default()
+                .with_on_publish(false)
+                .with_keep_last(1),
+        );
+        // The baseline write (registry non-empty at start) may land; a
+        // manual trigger must always produce a fresh sequence.
+        let report = daemon.snapshot_now().unwrap();
+        assert!(report.sequence >= 1);
+        assert_eq!(report.models, 1);
+        assert!(
+            wait_until(2000, || store.snapshots().unwrap().len() == 1),
+            "keep_last=1 retention must prune"
+        );
+    }
+
+    #[test]
+    fn periodic_interval_bounds_staleness() {
+        let store = SnapshotStore::new(MemDir::new()).unwrap();
+        let registry = ModelRegistry::new();
+        let daemon = SnapshotDaemon::start(
+            store.clone(),
+            registry.clone(),
+            DaemonConfig::default()
+                .with_on_publish(false)
+                .with_interval(Some(Duration::from_millis(10))),
+        );
+        registry.register("m", rbm(1)).unwrap();
+        assert!(
+            wait_until(2000, || daemon.stats().snapshots >= 1),
+            "periodic snapshot never landed"
+        );
+        // Clean registry: the daemon idles instead of rewriting.
+        let count = daemon.stats().snapshots;
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(daemon.stats().snapshots, count, "no-change writes");
+    }
+}

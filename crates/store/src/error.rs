@@ -1,0 +1,144 @@
+use std::error::Error;
+use std::fmt;
+
+use ember_serve::ServeError;
+
+/// Errors surfaced by the persistence layer.
+///
+/// The decode-side variants (`BadMagic` … `ChecksumMismatch`) mirror the
+/// `ember_http::wire` taxonomy: every way a snapshot file can be wrong
+/// is a *typed, recoverable* error — never a panic, never a partial
+/// registry — so [`SnapshotStore::load_latest`](crate::SnapshotStore::load_latest)
+/// can skip a corrupt file and fall back to the previous good one.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The file does not start with [`STORE_MAGIC`](crate::format::STORE_MAGIC) —
+    /// not a snapshot at all (or the header itself was destroyed).
+    BadMagic {
+        /// The four bytes found where the magic belongs.
+        found: [u8; 4],
+    },
+    /// The file declares a format version newer than this build can
+    /// read. Old readers refuse loudly rather than misparse.
+    UnsupportedVersion {
+        /// The declared format version.
+        found: u16,
+    },
+    /// The file is shorter than its header claims (torn write, short
+    /// read, or truncated copy).
+    Truncated {
+        /// Bytes the frame claims to span.
+        expected: u64,
+        /// Bytes actually present.
+        found: u64,
+    },
+    /// The file is *longer* than its header claims. Trailing garbage is
+    /// rejected rather than ignored — it means some writer appended to
+    /// a sealed snapshot.
+    TrailingBytes {
+        /// Bytes the frame claims to span.
+        expected: u64,
+        /// Bytes actually present.
+        found: u64,
+    },
+    /// A checksum over the file body or over one model's decoded
+    /// parameters does not match the stored value (bit rot, torn
+    /// write that preserved the length, or a buggy writer).
+    ChecksumMismatch {
+        /// Which checksum failed (`"file"`, or `model `x` v3`).
+        what: String,
+        /// The checksum stored in the file.
+        expected: u64,
+        /// The checksum recomputed from the bytes.
+        found: u64,
+    },
+    /// The frame is structurally invalid in a way the other variants
+    /// don't name (first chain entry is a delta, section overruns its
+    /// declared extent, non-UTF-8 name, …).
+    Corrupt(String),
+    /// A declared count or dimension exceeds the format's hard caps —
+    /// rejected before any allocation is sized from it.
+    Oversized(String),
+    /// No loadable snapshot exists in the store (empty directory, or
+    /// every candidate failed to decode).
+    NoSnapshot {
+        /// How many candidate files were tried (and failed).
+        tried: usize,
+    },
+    /// Restoring into the registry failed (duplicate model name, chain
+    /// validation).
+    Serve(ServeError),
+    /// The underlying storage failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::BadMagic { found } => {
+                write!(f, "bad snapshot magic {found:02x?} (not an EMBS file)")
+            }
+            StoreError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "snapshot format version {found} is newer than this reader"
+                )
+            }
+            StoreError::Truncated { expected, found } => {
+                write!(
+                    f,
+                    "snapshot truncated: frame spans {expected} bytes, file has {found}"
+                )
+            }
+            StoreError::TrailingBytes { expected, found } => write!(
+                f,
+                "snapshot has trailing garbage: frame spans {expected} bytes, file has {found}"
+            ),
+            StoreError::ChecksumMismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checksum mismatch on {what}: stored {expected:#018x}, recomputed {found:#018x}"
+            ),
+            StoreError::Corrupt(reason) => write!(f, "corrupt snapshot: {reason}"),
+            StoreError::Oversized(reason) => write!(f, "snapshot exceeds format caps: {reason}"),
+            StoreError::NoSnapshot { tried } => {
+                if *tried == 0 {
+                    write!(f, "no snapshot present in the store")
+                } else {
+                    write!(
+                        f,
+                        "no loadable snapshot: all {tried} candidate(s) failed to decode"
+                    )
+                }
+            }
+            StoreError::Serve(e) => write!(f, "restore rejected by registry: {e}"),
+            StoreError::Io(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Serve(e) => Some(e),
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<ServeError> for StoreError {
+    fn from(e: ServeError) -> Self {
+        StoreError::Serve(e)
+    }
+}

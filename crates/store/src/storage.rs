@@ -1,0 +1,447 @@
+//! Storage backends: where sealed snapshot frames live.
+//!
+//! [`Storage`] is a tiny blob-store seam — `put` must be **atomic**
+//! (readers see the old bytes or the new bytes, never a mix) — with
+//! three implementations:
+//!
+//! * [`DiskDir`] — one file per snapshot under a directory, published
+//!   via temp-file + `fsync` + `rename` (the classic crash-safe
+//!   sequence: a kill at any instant leaves either the old file or the
+//!   complete new one);
+//! * [`MemDir`] — an in-memory map for tests and ephemeral use;
+//! * [`ChaosDir`] — a fault-injecting decorator in the spirit of the
+//!   serving layer's chaos substrate: scripted short writes,
+//!   kill-mid-publish crashes, and seeded bit-flips on read, so the
+//!   corruption-detection and fallback paths are *tested*, not assumed.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A named-blob store with atomic publication.
+///
+/// Implementations must make `put` all-or-nothing at the granularity a
+/// concurrent/ crash-interrupted reader can observe; `list` returns the
+/// names of fully-published blobs, sorted ascending.
+pub trait Storage: Send + Sync {
+    /// Atomically publishes `bytes` under `name` (replacing any
+    /// previous blob of that name).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's I/O failure; on error the previous blob
+    /// (if any) must still be intact — unless the backend is a chaos
+    /// decorator deliberately modeling storage that breaks this
+    /// contract.
+    fn put(&self, name: &str, bytes: &[u8]) -> io::Result<()>;
+
+    /// Reads the blob named `name` in full.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` if absent; otherwise the backend's I/O failure.
+    fn get(&self, name: &str) -> io::Result<Vec<u8>>;
+
+    /// Names of published blobs, sorted ascending.
+    ///
+    /// # Errors
+    ///
+    /// The backend's I/O failure.
+    fn list(&self) -> io::Result<Vec<String>>;
+
+    /// Removes the blob named `name` (absent is not an error).
+    ///
+    /// # Errors
+    ///
+    /// The backend's I/O failure.
+    fn delete(&self, name: &str) -> io::Result<()>;
+}
+
+/// Prefix of in-flight temporary files; [`DiskDir::list`] hides them so
+/// a crash mid-write can never surface a torn blob as a candidate.
+const TMP_PREFIX: &str = ".tmp-";
+
+/// A directory of blobs with crash-safe publication.
+///
+/// `put` writes to a `.tmp-`-prefixed sibling, `fsync`s it, then
+/// `rename`s over the final name and (best-effort) `fsync`s the
+/// directory — so after a crash the directory holds either the old
+/// blob, the new blob, or a leftover temp file that `list` ignores.
+#[derive(Debug, Clone)]
+pub struct DiskDir {
+    root: PathBuf,
+}
+
+impl DiskDir {
+    /// Opens (creating if needed) the directory at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failure.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(DiskDir { root })
+    }
+
+    /// The directory blobs live in.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Flushes the directory entry itself so the rename is durable —
+    /// best-effort: not all filesystems support opening a directory for
+    /// sync, and losing the *rename* (not the data) to a crash still
+    /// leaves a consistent store.
+    fn sync_dir(&self) {
+        if let Ok(dir) = fs::File::open(&self.root) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+impl Storage for DiskDir {
+    fn put(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.root.join(format!("{TMP_PREFIX}{name}"));
+        let target = self.root.join(name);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            // Data must be on the platter before the rename can make it
+            // visible, else a crash could publish a hole.
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &target)?;
+        self.sync_dir();
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> io::Result<Vec<u8>> {
+        fs::read(self.root.join(name))
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            if let Some(name) = entry.file_name().to_str() {
+                if !name.starts_with(TMP_PREFIX) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn delete(&self, name: &str) -> io::Result<()> {
+        match fs::remove_file(self.root.join(name)) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// An in-memory blob store (handle-cloneable; clones share state).
+#[derive(Debug, Clone, Default)]
+pub struct MemDir {
+    files: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+}
+
+impl MemDir {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Storage for MemDir {
+    fn put(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.files
+            .lock()
+            .expect("memdir lock")
+            .insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.files
+            .lock()
+            .expect("memdir lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no blob `{name}`")))
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        Ok(self
+            .files
+            .lock()
+            .expect("memdir lock")
+            .keys()
+            .cloned()
+            .collect())
+    }
+
+    fn delete(&self, name: &str) -> io::Result<()> {
+        self.files.lock().expect("memdir lock").remove(name);
+        Ok(())
+    }
+}
+
+/// One injected write fault, consumed by the next [`Storage::put`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The process "dies" before anything reaches storage: `put` fails,
+    /// nothing is written. Models a kill before the temp file.
+    CrashBeforeWrite,
+    /// Only the first `keep` bytes land **under the final name** — a
+    /// torn blob is visible to readers. Models storage that broke the
+    /// atomic-publish contract (lying fsync, sector tearing), precisely
+    /// the case the format's checksums exist to catch.
+    ShortWrite {
+        /// Bytes of the frame that survive.
+        keep: usize,
+    },
+    /// The blob lands completely but `put` still reports failure —
+    /// a kill between the rename and the caller observing success.
+    CrashAfterWrite,
+}
+
+/// One injected read fault, consumed by the next [`Storage::get`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// Flip bit `bit & 7` of the byte at `offset % len` of the blob —
+    /// deterministic bit rot.
+    BitFlip {
+        /// Byte offset (wrapped into the blob's length).
+        offset: usize,
+        /// Which bit of that byte to flip.
+        bit: u8,
+    },
+}
+
+/// A fault-injecting decorator over any [`Storage`] — the persistence
+/// analogue of the serving layer's chaos substrate.
+///
+/// Faults come from two sources, both deterministic:
+///
+/// * **scripted queues** ([`ChaosDir::push_write_fault`],
+///   [`ChaosDir::push_read_fault`]) — one fault per operation, consumed
+///   FIFO; an empty queue means a clean operation. This is how tests
+///   stage "the 3rd snapshot write tears".
+/// * a **seeded read-flip rate**
+///   ([`ChaosDir::with_read_flip_probability`]) — every clean `get`
+///   flips one random bit with probability `p`, driven by the seeded
+///   RNG, for soak-style corruption storms.
+pub struct ChaosDir<S> {
+    inner: S,
+    rng: Mutex<StdRng>,
+    write_faults: Mutex<VecDeque<WriteFault>>,
+    read_faults: Mutex<VecDeque<ReadFault>>,
+    flip_probability: f64,
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for ChaosDir<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosDir")
+            .field("inner", &self.inner)
+            .field("flip_probability", &self.flip_probability)
+            .finish()
+    }
+}
+
+impl<S: Storage> ChaosDir<S> {
+    /// Wraps `inner`; `seed` drives the probabilistic read flips.
+    pub fn new(inner: S, seed: u64) -> Self {
+        ChaosDir {
+            inner,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            write_faults: Mutex::new(VecDeque::new()),
+            read_faults: Mutex::new(VecDeque::new()),
+            flip_probability: 0.0,
+        }
+    }
+
+    /// Sets the per-`get` probability of one random flipped bit.
+    #[must_use]
+    pub fn with_read_flip_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.flip_probability = p;
+        self
+    }
+
+    /// Queues a fault for an upcoming `put` (FIFO, one per call).
+    pub fn push_write_fault(&self, fault: WriteFault) {
+        self.write_faults
+            .lock()
+            .expect("chaos lock")
+            .push_back(fault);
+    }
+
+    /// Queues a fault for an upcoming `get` (FIFO, one per call).
+    pub fn push_read_fault(&self, fault: ReadFault) {
+        self.read_faults
+            .lock()
+            .expect("chaos lock")
+            .push_back(fault);
+    }
+
+    /// The wrapped backend (e.g. to inspect the directory in tests).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn injected(kind: &str) -> io::Error {
+        io::Error::other(format!("injected fault: {kind}"))
+    }
+}
+
+impl<S: Storage> Storage for ChaosDir<S> {
+    fn put(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let fault = self.write_faults.lock().expect("chaos lock").pop_front();
+        match fault {
+            None => self.inner.put(name, bytes),
+            Some(WriteFault::CrashBeforeWrite) => Err(Self::injected("crash before write")),
+            Some(WriteFault::ShortWrite { keep }) => {
+                let keep = keep.min(bytes.len());
+                // The torn prefix lands under the FINAL name: readers
+                // will find it, and only the format's checksums stand
+                // between them and a corrupt restore.
+                self.inner.put(name, &bytes[..keep])?;
+                Err(Self::injected("short write"))
+            }
+            Some(WriteFault::CrashAfterWrite) => {
+                self.inner.put(name, bytes)?;
+                Err(Self::injected("crash after write"))
+            }
+        }
+    }
+
+    fn get(&self, name: &str) -> io::Result<Vec<u8>> {
+        let mut bytes = self.inner.get(name)?;
+        if bytes.is_empty() {
+            return Ok(bytes);
+        }
+        let fault = self.read_faults.lock().expect("chaos lock").pop_front();
+        if let Some(ReadFault::BitFlip { offset, bit }) = fault {
+            let i = offset % bytes.len();
+            bytes[i] ^= 1 << (bit & 7);
+            return Ok(bytes);
+        }
+        if self.flip_probability > 0.0 {
+            let mut rng = self.rng.lock().expect("chaos rng lock");
+            if rng.random::<f64>() < self.flip_probability {
+                let offset = rng.random_range(0..bytes.len());
+                let bit = rng.random_range(0..8u8);
+                bytes[offset] ^= 1 << bit;
+            }
+        }
+        Ok(bytes)
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.inner.list()
+    }
+
+    fn delete(&self, name: &str) -> io::Result<()> {
+        self.inner.delete(name)
+    }
+}
+
+/// Forwarding impl so stores can share a backend with the test
+/// harness that injects its faults.
+impl<S: Storage + ?Sized> Storage for Arc<S> {
+    fn put(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        (**self).put(name, bytes)
+    }
+    fn get(&self, name: &str) -> io::Result<Vec<u8>> {
+        (**self).get(name)
+    }
+    fn list(&self) -> io::Result<Vec<String>> {
+        (**self).list()
+    }
+    fn delete(&self, name: &str) -> io::Result<()> {
+        (**self).delete(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memdir_put_get_list_delete() {
+        let dir = MemDir::new();
+        dir.put("b", &[2]).unwrap();
+        dir.put("a", &[1]).unwrap();
+        assert_eq!(dir.list().unwrap(), vec!["a", "b"]);
+        assert_eq!(dir.get("a").unwrap(), vec![1]);
+        dir.delete("a").unwrap();
+        dir.delete("a").unwrap(); // absent is fine
+        assert!(dir.get("a").is_err());
+    }
+
+    #[test]
+    fn chaos_write_faults_follow_the_script() {
+        let chaos = ChaosDir::new(MemDir::new(), 1);
+        chaos.push_write_fault(WriteFault::CrashBeforeWrite);
+        chaos.push_write_fault(WriteFault::ShortWrite { keep: 2 });
+        chaos.push_write_fault(WriteFault::CrashAfterWrite);
+
+        assert!(chaos.put("a", &[1, 2, 3, 4]).is_err());
+        assert!(
+            chaos.inner().get("a").is_err(),
+            "crash-before leaves nothing"
+        );
+
+        assert!(chaos.put("b", &[1, 2, 3, 4]).is_err());
+        assert_eq!(
+            chaos.inner().get("b").unwrap(),
+            vec![1, 2],
+            "torn blob visible"
+        );
+
+        assert!(chaos.put("c", &[9]).is_err());
+        assert_eq!(
+            chaos.inner().get("c").unwrap(),
+            vec![9],
+            "landed despite error"
+        );
+
+        // Script drained: clean writes again.
+        chaos.put("d", &[7]).unwrap();
+        assert_eq!(chaos.get("d").unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn chaos_scripted_bit_flip_hits_the_named_bit() {
+        let chaos = ChaosDir::new(MemDir::new(), 1);
+        chaos.put("a", &[0u8; 4]).unwrap();
+        chaos.push_read_fault(ReadFault::BitFlip { offset: 6, bit: 3 });
+        assert_eq!(chaos.get("a").unwrap(), vec![0, 0, 8, 0], "offset wraps");
+        assert_eq!(chaos.get("a").unwrap(), vec![0, 0, 0, 0], "one-shot");
+    }
+
+    #[test]
+    fn chaos_probabilistic_flips_are_seed_deterministic() {
+        let run = |seed| {
+            let chaos = ChaosDir::new(MemDir::new(), seed).with_read_flip_probability(0.5);
+            chaos.put("a", &[0u8; 32]).unwrap();
+            (0..20).map(|_| chaos.get("a").unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "same seed, same corruption");
+        assert!(
+            run(7).iter().any(|b| b.iter().any(|&x| x != 0)),
+            "a 50% rate over 20 reads must corrupt at least once"
+        );
+    }
+}

@@ -1,0 +1,344 @@
+//! [`SnapshotStore`]: sequenced snapshots over a [`Storage`] backend,
+//! with corruption-detecting load and last-good fallback.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ember_rbm::Rbm;
+use ember_serve::{ModelRegistry, SamplingService, ServiceBuilder};
+use ember_substrate::ReplicableSubstrate;
+
+use crate::format::{decode_registry, encode_registry, ModelChainImage, RegistryImage};
+use crate::{Storage, StoreError};
+
+/// File-name prefix and suffix of snapshot blobs: `snap-{seq:012}.embs`.
+const SNAP_PREFIX: &str = "snap-";
+const SNAP_SUFFIX: &str = ".embs";
+
+/// What one [`SnapshotStore::save`] wrote.
+#[derive(Debug, Clone)]
+pub struct SaveReport {
+    /// The snapshot's sequence number.
+    pub sequence: u64,
+    /// The blob name it was published under.
+    pub file: String,
+    /// Encoded frame size in bytes (delta-compressed).
+    pub bytes: usize,
+    /// Models captured.
+    pub models: usize,
+    /// Total retained versions captured across all models.
+    pub versions: usize,
+}
+
+/// How a [`SnapshotStore::load_latest`] found its snapshot.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// The blob that decoded cleanly.
+    pub loaded: String,
+    /// The snapshot's sequence number.
+    pub sequence: u64,
+    /// Newer candidates that failed to decode, newest first, with the
+    /// typed error each one died of — the corruption the fallback
+    /// stepped over.
+    pub skipped: Vec<(String, StoreError)>,
+}
+
+struct Inner {
+    storage: Box<dyn Storage>,
+    /// Next sequence to assign; reserved even when a save fails so a
+    /// half-written casualty can never collide with a later snapshot.
+    next_sequence: AtomicU64,
+}
+
+/// A store of sequenced registry snapshots on any [`Storage`] backend.
+///
+/// Snapshots are named `snap-{sequence:012}.embs` so lexicographic
+/// order *is* recency order. [`SnapshotStore::save`] seals the whole
+/// registry (every model's retained version chain, delta-compressed)
+/// into one atomic blob; [`SnapshotStore::load_latest`] walks
+/// candidates newest-first and returns the first one that decodes
+/// cleanly, reporting — not silently swallowing — every corrupt file it
+/// stepped over. Handles are cloneable and share the sequence counter.
+#[derive(Clone)]
+pub struct SnapshotStore {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for SnapshotStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotStore")
+            .field(
+                "next_sequence",
+                &self.inner.next_sequence.load(Ordering::Relaxed),
+            )
+            .finish()
+    }
+}
+
+/// Parses `snap-{seq}.embs` back to its sequence number.
+fn sequence_of(name: &str) -> Option<u64> {
+    name.strip_prefix(SNAP_PREFIX)?
+        .strip_suffix(SNAP_SUFFIX)?
+        .parse()
+        .ok()
+}
+
+impl SnapshotStore {
+    /// A store over `storage`, resuming the sequence counter after the
+    /// newest snapshot already present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's listing failure.
+    pub fn new(storage: impl Storage + 'static) -> Result<Self, StoreError> {
+        let boxed: Box<dyn Storage> = Box::new(storage);
+        let newest = boxed
+            .list()?
+            .iter()
+            .filter_map(|n| sequence_of(n))
+            .max()
+            .unwrap_or(0);
+        Ok(SnapshotStore {
+            inner: Arc::new(Inner {
+                storage: boxed,
+                next_sequence: AtomicU64::new(newest + 1),
+            }),
+        })
+    }
+
+    /// Convenience: a store over a [`DiskDir`](crate::DiskDir) at
+    /// `root`.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation or listing failure.
+    pub fn open(root: impl Into<std::path::PathBuf>) -> Result<Self, StoreError> {
+        Self::new(crate::DiskDir::open(root)?)
+    }
+
+    /// Snapshot blob names currently in the store, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// The backend's listing failure.
+    pub fn snapshots(&self) -> Result<Vec<String>, StoreError> {
+        let mut names: Vec<String> = self
+            .inner
+            .storage
+            .list()?
+            .into_iter()
+            .filter(|n| sequence_of(n).is_some())
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
+    /// Seals the registry's current state (taken consistently under one
+    /// registry read lock) into a new snapshot blob.
+    ///
+    /// The sequence number is consumed even if the write fails, so a
+    /// torn casualty left by a crash can never share a name with a
+    /// later, good snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Encoding failures ([`StoreError::Oversized`],
+    /// [`StoreError::Corrupt`]) and backend write failures
+    /// ([`StoreError::Io`]).
+    pub fn save(&self, registry: &ModelRegistry) -> Result<SaveReport, StoreError> {
+        let sequence = self.inner.next_sequence.fetch_add(1, Ordering::SeqCst);
+        let models: Vec<ModelChainImage> = registry
+            .export_chains()
+            .into_iter()
+            .map(|(name, chain)| ModelChainImage { name, chain })
+            .collect();
+        let image = RegistryImage { sequence, models };
+        let bytes = encode_registry(&image)?;
+        let file = format!("{SNAP_PREFIX}{sequence:012}{SNAP_SUFFIX}");
+        self.inner.storage.put(&file, &bytes)?;
+        Ok(SaveReport {
+            sequence,
+            file,
+            bytes: bytes.len(),
+            models: image.models.len(),
+            versions: image.models.iter().map(|m| m.chain.len()).sum(),
+        })
+    }
+
+    /// Loads the newest snapshot that decodes cleanly, walking
+    /// candidates newest-first past any corrupt, torn, or unreadable
+    /// file (each recorded in the report).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoSnapshot`] when the store is empty or every
+    /// candidate failed; listing failures as [`StoreError::Io`].
+    pub fn load_latest(&self) -> Result<(RegistryImage, LoadReport), StoreError> {
+        let mut names = self.snapshots()?;
+        names.reverse(); // newest first
+        let mut skipped = Vec::new();
+        for name in names {
+            let attempt = self
+                .inner
+                .storage
+                .get(&name)
+                .map_err(StoreError::from)
+                .and_then(|bytes| decode_registry(&bytes));
+            match attempt {
+                Ok(image) => {
+                    let sequence = image.sequence;
+                    return Ok((
+                        image,
+                        LoadReport {
+                            loaded: name,
+                            sequence,
+                            skipped,
+                        },
+                    ));
+                }
+                Err(e) => skipped.push((name, e)),
+            }
+        }
+        Err(StoreError::NoSnapshot {
+            tried: skipped.len(),
+        })
+    }
+
+    /// [`SnapshotStore::load_latest`] straight into a fresh
+    /// [`ModelRegistry`] (with that registry's default history limit),
+    /// every model's version chain and version numbers intact.
+    ///
+    /// # Errors
+    ///
+    /// As [`SnapshotStore::load_latest`], plus [`StoreError::Serve`] if
+    /// a decoded chain is rejected by the registry.
+    pub fn restore_latest(&self) -> Result<(ModelRegistry, LoadReport), StoreError> {
+        let (image, report) = self.load_latest()?;
+        let registry = ModelRegistry::new();
+        for model in image.models {
+            registry.restore_chain(model.name, model.chain)?;
+        }
+        Ok((registry, report))
+    }
+
+    /// Deletes all but the newest `keep_last` snapshots; returns the
+    /// deleted blob names.
+    ///
+    /// # Errors
+    ///
+    /// The backend's listing/deletion failure.
+    pub fn prune(&self, keep_last: usize) -> Result<Vec<String>, StoreError> {
+        let names = self.snapshots()?;
+        let cut = names.len().saturating_sub(keep_last);
+        let mut deleted = Vec::new();
+        for name in &names[..cut] {
+            self.inner.storage.delete(name)?;
+            deleted.push(name.clone());
+        }
+        Ok(deleted)
+    }
+}
+
+/// Boots a [`SamplingService`] from the newest good snapshot in
+/// `store`: restore the registry, build the service around it, then
+/// provision every restored model's serving replicas via `fabricate`
+/// (called once per model with its *current* parameters; typically
+/// `SubstrateSpec::fabricate_for`).
+///
+/// Because restored parameters are bit-identical (the format
+/// round-trips `f64` bit patterns and double-checks them against the
+/// stored parameter checksums) and per-request RNG streams are derived
+/// from the service's master seed, a warm-started service returns **the
+/// same bytes** the pre-crash service would have for the same requests.
+///
+/// # Errors
+///
+/// As [`SnapshotStore::restore_latest`], plus any
+/// [`ServeError`](ember_serve::ServeError) from provisioning.
+pub fn warm_start<F>(
+    store: &SnapshotStore,
+    builder: ServiceBuilder,
+    mut fabricate: F,
+) -> Result<(SamplingService, LoadReport), StoreError>
+where
+    F: FnMut(&str, &Rbm) -> Box<dyn ReplicableSubstrate>,
+{
+    let (registry, report) = store.restore_latest()?;
+    let service = builder.registry(registry).build();
+    for name in service.registry().names() {
+        let snapshot = service
+            .registry()
+            .get(&name)
+            .expect("model listed under the registry lock");
+        let prototype = fabricate(&name, &snapshot.rbm);
+        service.provision_model(&name, prototype)?;
+    }
+    Ok((service, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDir;
+    use rand::SeedableRng;
+
+    fn rbm(m: usize, n: usize, seed: u64) -> Rbm {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Rbm::random(m, n, 0.1, &mut rng)
+    }
+
+    #[test]
+    fn save_restore_round_trips_chains_and_versions() {
+        let store = SnapshotStore::new(MemDir::new()).unwrap();
+        let reg = ModelRegistry::new();
+        reg.register("a", rbm(4, 3, 1)).unwrap();
+        reg.publish("a", rbm(4, 3, 2)).unwrap();
+        reg.register("b", rbm(2, 2, 9)).unwrap();
+
+        let report = store.save(&reg).unwrap();
+        assert_eq!(report.sequence, 1);
+        assert_eq!(report.models, 2);
+        assert_eq!(report.versions, 3);
+
+        let (restored, load) = store.restore_latest().unwrap();
+        assert_eq!(load.sequence, 1);
+        assert!(load.skipped.is_empty());
+        assert_eq!(restored.get("a").unwrap().version, 2);
+        assert_eq!(*restored.get("a").unwrap().rbm, *reg.get("a").unwrap().rbm);
+        assert_eq!(restored.versions("a").unwrap(), vec![1, 2]);
+        assert_eq!(*restored.get_version("a", 1).unwrap(), rbm(4, 3, 1));
+        assert_eq!(restored.get("b").unwrap().version, 1);
+        // The restored registry can roll back across the crash boundary.
+        assert_eq!(restored.rollback("a", 1).unwrap(), 3);
+        assert_eq!(*restored.get("a").unwrap().rbm, rbm(4, 3, 1));
+    }
+
+    #[test]
+    fn sequences_resume_and_prune_keeps_the_newest() {
+        let dir = MemDir::new();
+        let reg = ModelRegistry::new();
+        reg.register("a", rbm(2, 2, 1)).unwrap();
+        {
+            let store = SnapshotStore::new(dir.clone()).unwrap();
+            store.save(&reg).unwrap();
+            store.save(&reg).unwrap();
+        }
+        // A new handle over the same directory resumes, not restarts.
+        let store = SnapshotStore::new(dir).unwrap();
+        assert_eq!(store.save(&reg).unwrap().sequence, 3);
+        assert_eq!(store.snapshots().unwrap().len(), 3);
+        let deleted = store.prune(1).unwrap();
+        assert_eq!(deleted.len(), 2);
+        assert_eq!(store.snapshots().unwrap(), vec!["snap-000000000003.embs"]);
+        assert_eq!(store.load_latest().unwrap().1.sequence, 3);
+    }
+
+    #[test]
+    fn empty_store_is_a_typed_error() {
+        let store = SnapshotStore::new(MemDir::new()).unwrap();
+        assert!(matches!(
+            store.load_latest(),
+            Err(StoreError::NoSnapshot { tried: 0 })
+        ));
+    }
+}

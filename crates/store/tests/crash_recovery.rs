@@ -1,0 +1,267 @@
+//! Crash-recovery acceptance: a seeded [`ChaosDir`] injects torn
+//! writes, kill-mid-publish crashes and bit rot into the snapshot
+//! store, and restores must (a) land on the last *good* snapshot and
+//! (b) serve **bit-identical** samples to the pre-crash service, at 1,
+//! 2 and 8 shards.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use ember_core::{GsConfig, SubstrateSpec};
+use ember_rbm::Rbm;
+use ember_serve::{ModelRegistry, SampleRequest, SamplingService};
+use ember_store::{
+    warm_start, ChaosDir, DiskDir, ReadFault, SnapshotStore, StoreError, WriteFault,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Self-cleaning scratch directory under the OS temp root.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path =
+            std::env::temp_dir().join(format!("ember-store-crash-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn rbm(m: usize, n: usize, seed: u64) -> Rbm {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Rbm::random(m, n, 0.2, &mut rng)
+}
+
+/// Fabricates the serving prototype for `name` deterministically, so
+/// pre-crash and restored services share one fabricated identity.
+fn prototype(rbm: &Rbm) -> Box<dyn ember_substrate::ReplicableSubstrate> {
+    let mut rng = StdRng::seed_from_u64(0xFAB);
+    SubstrateSpec::software(GsConfig::default()).fabricate(
+        rbm.visible_len(),
+        rbm.hidden_len(),
+        &mut rng,
+    )
+}
+
+/// A service at `shards` over `registry`, every model provisioned.
+fn service_over(registry: ModelRegistry, shards: usize) -> SamplingService {
+    let service = SamplingService::builder()
+        .shards(shards)
+        .registry(registry)
+        .build();
+    for name in service.registry().names() {
+        let snap = service.registry().get(&name).unwrap();
+        service
+            .provision_model(&name, prototype(&snap.rbm))
+            .unwrap();
+    }
+    service
+}
+
+/// Deterministic sample transcript: fixed seeds, fixed shape, the raw
+/// sample matrices as the comparison unit.
+fn transcript(service: &SamplingService, model: &str) -> Vec<ndarray::Array2<f64>> {
+    (0..6u64)
+        .map(|seed| {
+            service
+                .submit(
+                    SampleRequest::new(model)
+                        .with_samples(4)
+                        .with_gibbs_steps(3)
+                        .with_seed(0xBEEF ^ seed),
+                )
+                .unwrap()
+                .wait()
+                .unwrap()
+                .samples
+        })
+        .collect()
+}
+
+/// The acceptance scenario: good snapshot → torn snapshot (short write
+/// under the final name, the worst case the format must catch) →
+/// restore falls back to the good one and serves identical bytes.
+#[test]
+fn kill_mid_write_restores_last_good_snapshot_bit_identically() {
+    for &shards in &[1usize, 2, 8] {
+        let tmp = TempDir::new(&format!("midwrite-{shards}"));
+        let chaos = Arc::new(ChaosDir::new(DiskDir::open(&tmp.0).unwrap(), 0x5EED));
+        let store = SnapshotStore::new(Arc::clone(&chaos)).unwrap();
+
+        // Live registry: two models, one with history.
+        let registry = ModelRegistry::new();
+        registry.register("mnist", rbm(33, 17, 1)).unwrap();
+        registry.publish("mnist", rbm(33, 17, 2)).unwrap();
+        registry.register("aux", rbm(9, 5, 7)).unwrap();
+        store.save(&registry).unwrap(); // the last GOOD snapshot
+
+        // Golden transcript at the moment of that snapshot.
+        let pre = service_over(registry.clone(), shards);
+        let golden_mnist = transcript(&pre, "mnist");
+        let golden_aux = transcript(&pre, "aux");
+
+        // A later publish whose snapshot dies mid-write: the torn
+        // prefix lands under the FINAL name, exactly what a lying
+        // fsync or sector tear would leave.
+        registry.publish("mnist", rbm(33, 17, 3)).unwrap();
+        chaos.push_write_fault(WriteFault::ShortWrite { keep: 300 });
+        assert!(store.save(&registry).is_err(), "injected crash mid-write");
+        drop(pre); // the "process" dies here
+
+        // Recovery in a fresh "process": a new store handle over the
+        // same directory; warm_start must step over the torn file.
+        let store2 = SnapshotStore::new(Arc::clone(&chaos)).unwrap();
+        let (restored, report) = warm_start(
+            &store2,
+            SamplingService::builder().shards(shards),
+            |_name, rbm| prototype(rbm),
+        )
+        .unwrap();
+        assert_eq!(report.skipped.len(), 1, "the torn newest file was skipped");
+        assert!(
+            matches!(report.skipped[0].1, StoreError::Truncated { .. }),
+            "a 300-byte prefix dies as Truncated, got {}",
+            report.skipped[0].1
+        );
+        assert_eq!(
+            restored.registry().get("mnist").unwrap().version,
+            2,
+            "restore lands on the last good snapshot, not the doomed v3"
+        );
+
+        // Bit-identity at this shard count.
+        assert_eq!(
+            transcript(&restored, "mnist"),
+            golden_mnist,
+            "{shards} shard(s)"
+        );
+        assert_eq!(
+            transcript(&restored, "aux"),
+            golden_aux,
+            "{shards} shard(s)"
+        );
+
+        // The rolled-forward lifecycle keeps working after recovery:
+        // roll mnist back to v1 and republish durably.
+        let v = restored.rollback("mnist", 1).unwrap();
+        assert_eq!(v, 3);
+        store2.save(restored.registry()).unwrap();
+    }
+}
+
+/// Kill-before-rename leaves nothing new; kill-after-rename leaves the
+/// complete new snapshot even though the writer saw an error.
+#[test]
+fn crash_around_the_rename_boundary_is_never_torn() {
+    let tmp = TempDir::new("rename-boundary");
+    let chaos = Arc::new(ChaosDir::new(DiskDir::open(&tmp.0).unwrap(), 1));
+    let store = SnapshotStore::new(Arc::clone(&chaos)).unwrap();
+    let registry = ModelRegistry::new();
+    registry.register("m", rbm(12, 8, 1)).unwrap();
+    store.save(&registry).unwrap();
+
+    // Crash BEFORE anything reaches the directory: v2 is lost, v1 loads.
+    registry.publish("m", rbm(12, 8, 2)).unwrap();
+    chaos.push_write_fault(WriteFault::CrashBeforeWrite);
+    assert!(store.save(&registry).is_err());
+    let (image, report) = store.load_latest().unwrap();
+    assert!(report.skipped.is_empty(), "nothing torn to skip");
+    assert_eq!(image.models[0].chain.last().unwrap().0, 1);
+
+    // Crash AFTER the rename: the snapshot is durable despite the
+    // error, and recovery serves the newer state.
+    chaos.push_write_fault(WriteFault::CrashAfterWrite);
+    assert!(store.save(&registry).is_err());
+    let (image, _) = store.load_latest().unwrap();
+    assert_eq!(image.models[0].chain.last().unwrap().0, 2);
+}
+
+/// Bit rot on read: the corrupted newest snapshot is detected by the
+/// file checksum and the previous good one is served instead.
+#[test]
+fn bit_flip_on_read_falls_back_to_previous_snapshot() {
+    let tmp = TempDir::new("bitflip");
+    let chaos = Arc::new(ChaosDir::new(DiskDir::open(&tmp.0).unwrap(), 2));
+    let store = SnapshotStore::new(Arc::clone(&chaos)).unwrap();
+    let registry = ModelRegistry::new();
+    registry.register("m", rbm(21, 13, 1)).unwrap();
+    store.save(&registry).unwrap();
+    registry.publish("m", rbm(21, 13, 2)).unwrap();
+    store.save(&registry).unwrap();
+
+    // Rot one payload bit of the newest file on its next read.
+    chaos.push_read_fault(ReadFault::BitFlip {
+        offset: 700,
+        bit: 5,
+    });
+    let (image, report) = store.load_latest().unwrap();
+    assert_eq!(report.skipped.len(), 1);
+    assert!(
+        matches!(report.skipped[0].1, StoreError::ChecksumMismatch { .. }),
+        "bit rot dies as a checksum mismatch, got {}",
+        report.skipped[0].1
+    );
+    assert_eq!(image.models[0].chain.last().unwrap().0, 1, "fell back");
+
+    // The same file reads cleanly afterwards (the rot was in transit):
+    // the newest snapshot is served again.
+    let (image, report) = store.load_latest().unwrap();
+    assert!(report.skipped.is_empty());
+    assert_eq!(image.models[0].chain.last().unwrap().0, 2);
+}
+
+/// A sustained corruption storm (seeded probabilistic flips) never
+/// panics and never serves wrong parameters: every load either fails
+/// typed or returns a checksum-verified registry.
+#[test]
+fn corruption_storm_is_typed_errors_or_verified_state_never_garbage() {
+    let tmp = TempDir::new("storm");
+    let chaos = Arc::new(
+        ChaosDir::new(DiskDir::open(&tmp.0).unwrap(), 0xD00F).with_read_flip_probability(0.7),
+    );
+    let store = SnapshotStore::new(Arc::clone(&chaos)).unwrap();
+    let registry = ModelRegistry::new();
+    registry.register("m", rbm(15, 11, 3)).unwrap();
+    let expected_checksum = {
+        let r = registry.get("m").unwrap().rbm;
+        ember_core::couplings_checksum(
+            &r.weights().view(),
+            &r.visible_bias().view(),
+            &r.hidden_bias().view(),
+        )
+    };
+    store.save(&registry).unwrap();
+
+    let mut good = 0;
+    for _ in 0..40 {
+        match store.load_latest() {
+            Ok((image, _)) => {
+                let r = &image.models[0].chain[0].1;
+                assert_eq!(
+                    ember_core::couplings_checksum(
+                        &r.weights().view(),
+                        &r.visible_bias().view(),
+                        &r.hidden_bias().view(),
+                    ),
+                    expected_checksum,
+                    "a load that succeeds must be the true parameters"
+                );
+                good += 1;
+            }
+            Err(StoreError::NoSnapshot { tried }) => assert_eq!(tried, 1),
+            Err(other) => panic!("load_latest leaks non-terminal error {other}"),
+        }
+    }
+    assert!(
+        good > 0,
+        "a 30% clean-read rate over 40 loads must succeed sometimes"
+    );
+}

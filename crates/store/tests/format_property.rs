@@ -1,0 +1,199 @@
+//! Property-based tests of the `EMBS` snapshot format: chain
+//! round-trips at word-straddling widths (63/65/127 explicitly, plus
+//! arbitrary sizes), typed rejection of corrupted / truncated /
+//! trailing-garbage frames, and the no-panic guarantee on arbitrary
+//! byte soup.
+
+use std::sync::Arc;
+
+use ember_rbm::Rbm;
+use ember_store::format::{self, ModelChainImage, RegistryImage};
+use ember_store::StoreError;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn rbm(m: usize, n: usize, seed: u64) -> Arc<Rbm> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Arc::new(Rbm::random(m, n, 0.15, &mut rng))
+}
+
+/// A chain whose later versions perturb a sparse subset of the first's
+/// weights — the shape real training updates have.
+fn chain(m: usize, n: usize, len: usize, seed: u64) -> Vec<(u64, Arc<Rbm>)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut chain = vec![(1u64, rbm(m, n, seed))];
+    for k in 1..len {
+        let mut next = (*chain[k - 1].1).clone();
+        let touches = 1 + (m * n) / 10;
+        for _ in 0..touches {
+            let i = rng.random_range(0..m);
+            let j = rng.random_range(0..n);
+            next.weights_mut()[[i, j]] += rng.random_range(-0.2..0.2);
+        }
+        chain.push((1 + k as u64 * 3, Arc::new(next))); // gappy versions
+    }
+    chain
+}
+
+fn image(models: Vec<ModelChainImage>, sequence: u64) -> RegistryImage {
+    RegistryImage { sequence, models }
+}
+
+fn assert_roundtrip(img: &RegistryImage) {
+    let bytes = format::encode_registry(img).expect("valid image encodes");
+    let back = format::decode_registry(&bytes).expect("own encoding decodes");
+    assert_eq!(back.sequence, img.sequence);
+    assert_eq!(back.models.len(), img.models.len());
+    for (a, b) in img.models.iter().zip(&back.models) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.chain.len(), b.chain.len());
+        for ((va, ra), (vb, rb)) in a.chain.iter().zip(&b.chain) {
+            assert_eq!(va, vb);
+            assert_eq!(**ra, **rb, "bit-identical parameters");
+        }
+    }
+}
+
+/// The issue's named word-straddling widths, pinned unconditionally.
+#[test]
+fn roundtrip_at_word_straddling_widths() {
+    for &n in &[63usize, 65, 127] {
+        let img = image(
+            vec![ModelChainImage {
+                name: format!("w{n}"),
+                chain: chain(3, n, 3, n as u64),
+            }],
+            n as u64,
+        );
+        assert_roundtrip(&img);
+        // And with the straddling width on the visible side.
+        let img = image(
+            vec![ModelChainImage {
+                name: format!("v{n}"),
+                chain: chain(n, 2, 2, 77 + n as u64),
+            }],
+            n as u64,
+        );
+        assert_roundtrip(&img);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// encode → decode is the identity on arbitrary model sets: random
+    /// dims, chain lengths, names and sequences, sparse-perturbed
+    /// version chains (so both delta and full frames are exercised).
+    #[test]
+    fn roundtrip_on_arbitrary_images(
+        m in 1usize..70,
+        n in 1usize..70,
+        len in 1usize..5,
+        models in 1usize..3,
+        sequence in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let models = (0..models)
+            .map(|k| ModelChainImage {
+                name: format!("model-{k}"),
+                chain: chain(m, n, len, seed ^ k as u64),
+            })
+            .collect();
+        assert_roundtrip(&image(models, sequence));
+    }
+
+    /// Any single flipped bit anywhere in the frame is a typed error,
+    /// never a wrong decode: the file checksum (or, for the rare flip
+    /// that lands in the trailing checksum itself, the mismatch it
+    /// creates) catches every one.
+    #[test]
+    fn any_single_bit_flip_is_rejected(
+        offset_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+        seed in any::<u64>(),
+    ) {
+        let img = image(
+            vec![ModelChainImage { name: "m".into(), chain: chain(9, 7, 3, seed) }],
+            3,
+        );
+        let good = format::encode_registry(&img).unwrap();
+        let mut bad = good.clone();
+        let offset = ((good.len() - 1) as f64 * offset_frac) as usize;
+        bad[offset] ^= 1 << bit;
+        prop_assert!(format::decode_registry(&bad).is_err());
+    }
+
+    /// Every strict prefix is rejected (typed), and any appended
+    /// garbage is rejected as `TrailingBytes`.
+    #[test]
+    fn truncation_and_trailing_garbage_are_typed(
+        cut_frac in 0.0f64..1.0,
+        tail in proptest::collection::vec(any::<u8>(), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let img = image(
+            vec![ModelChainImage { name: "m".into(), chain: chain(6, 5, 2, seed) }],
+            9,
+        );
+        let good = format::encode_registry(&img).unwrap();
+        let cut = ((good.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(matches!(
+            format::decode_registry(&good[..cut]),
+            Err(StoreError::Truncated { .. })
+        ));
+        let mut long = good.clone();
+        long.extend_from_slice(&tail);
+        prop_assert!(matches!(
+            format::decode_registry(&long),
+            Err(StoreError::TrailingBytes { .. })
+        ));
+    }
+
+    /// Decode never panics and never hangs on arbitrary byte soup —
+    /// with or without a plausible magic/version/total_len prefix
+    /// grafted on (the adversarial case: headers that pass the cheap
+    /// checks but whose section lengths are hostile).
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(
+        soup in proptest::collection::vec(any::<u8>(), 0..600),
+        graft in any::<bool>(),
+    ) {
+        let mut soup = soup;
+        if graft && soup.len() >= 24 {
+            soup[0..4].copy_from_slice(b"EMBS");
+            soup[4..6].copy_from_slice(&1u16.to_le_bytes());
+            soup[6..8].copy_from_slice(&0u16.to_le_bytes());
+            let len = soup.len() as u64;
+            soup[16..24].copy_from_slice(&len.to_le_bytes());
+        }
+        prop_assert!(format::decode_registry(&soup).is_err());
+    }
+
+    /// A frame that passes the *file* checksum but carries a wrong
+    /// per-version parameter checksum is still rejected: corrupt the
+    /// stored parameter checksum, then reseal the file checksum.
+    #[test]
+    fn parameter_checksum_is_independently_enforced(
+        xor in 1u64..=u64::MAX,
+        seed in any::<u64>(),
+    ) {
+        let img = image(
+            vec![ModelChainImage { name: "m".into(), chain: chain(4, 3, 1, seed) }],
+            1,
+        );
+        let mut bytes = format::encode_registry(&img).unwrap();
+        // Section layout for one model, one version: header(32) +
+        // name_len(2)+1 + dims(8) + chain_len(4) + version(8) + tag(1)
+        // + payload_len(4) → params checksum at offset 60.
+        let off = 32 + 2 + 1 + 8 + 4 + 8 + 1 + 4;
+        let stored = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        bytes[off..off + 8].copy_from_slice(&(stored ^ xor).to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let reseal = format::fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&reseal.to_le_bytes());
+        prop_assert!(matches!(
+            format::decode_registry(&bytes),
+            Err(StoreError::ChecksumMismatch { ref what, .. }) if what.contains("model `m`")
+        ));
+    }
+}

@@ -1,0 +1,166 @@
+//! The durable model lifecycle, end to end: serve → publish → snapshot
+//! → **crash mid-write** → warm-start from the last good snapshot →
+//! prove the restored fleet samples **bit-identical** → roll back to an
+//! earlier version over the HTTP admin surface.
+//!
+//! The paper's substrate holds its couplings in *volatile* analog state
+//! (§3.2: weights are reprogrammed every minibatch), so the durable
+//! source of truth is the model registry — and this example is the
+//! crash drill for it. A seeded [`ChaosDir`](ember::store::ChaosDir)
+//! tears a snapshot mid-write exactly the way a lying fsync would, and
+//! the store's checksummed format steps over the wreckage with a typed
+//! error instead of serving garbage.
+//!
+//! ```sh
+//! cargo run --release --example durable_service
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ember::core::{GsConfig, RetryPolicy, SubstrateSpec};
+use ember::http::{Client, SampleOptions, Server, ServerConfig};
+use ember::rbm::Rbm;
+use ember::serve::{ModelRegistry, SamplingService};
+use ember::store::{
+    warm_start, ChaosDir, DaemonConfig, DiskDir, SnapshotDaemon, SnapshotStore, WriteFault,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic prototype fabrication, so every incarnation of the
+/// fleet (pre-crash, restored) realizes the identical machine.
+fn prototype(rbm: &Rbm) -> Box<dyn ember::substrate::ReplicableSubstrate> {
+    let mut rng = StdRng::seed_from_u64(0xFAB);
+    SubstrateSpec::software(GsConfig::default()).fabricate_for(rbm, &mut rng)
+}
+
+fn service_over(registry: ModelRegistry) -> SamplingService {
+    let service = SamplingService::builder()
+        .shards(2)
+        .registry(registry)
+        .build();
+    for name in service.registry().names() {
+        let snap = service.registry().get(&name).unwrap();
+        service
+            .provision_model(&name, prototype(&snap.rbm))
+            .unwrap();
+    }
+    service
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2023);
+    let scratch = std::env::temp_dir().join(format!("ember-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // ── Act 1: a served model with history, persisted on publish ────
+    let registry = ModelRegistry::new();
+    registry
+        .register("digits", Rbm::random(24, 12, 0.4, &mut rng))
+        .unwrap();
+    registry
+        .publish("digits", Rbm::random(24, 12, 0.4, &mut rng))
+        .unwrap();
+
+    let chaos = Arc::new(ChaosDir::new(DiskDir::open(&scratch).unwrap(), 0x5EED));
+    let store = SnapshotStore::new(Arc::clone(&chaos)).unwrap();
+    let daemon = Arc::new(SnapshotDaemon::start(
+        store.clone(),
+        registry.clone(),
+        DaemonConfig::default().with_keep_last(4),
+    ));
+
+    // The pre-crash fleet, with the daemon wired to the HTTP admin
+    // surface: `POST /v1/admin/snapshot` seals on demand.
+    let pre_crash = service_over(registry.clone());
+    let options = |seed: u64| {
+        SampleOptions::new()
+            .samples(6)
+            .gibbs_steps(3)
+            .seed(0xBEEF ^ seed)
+    };
+    let server = Server::start_with_config(
+        "127.0.0.1:0",
+        pre_crash,
+        ServerConfig::default().with_persistence(Arc::clone(&daemon)),
+    )
+    .unwrap();
+    let client =
+        Client::new(server.addr()).with_retry(RetryPolicy::default().with_max_retries(4), 0xC11E);
+    let sealed = client.snapshot().unwrap();
+    println!(
+        "sealed snapshot seq={} over HTTP ({} bytes, {} models, {} versions)",
+        sealed.sequence, sealed.bytes, sealed.models, sealed.versions
+    );
+
+    // The golden transcript: what v2 sampled at the moment of that
+    // snapshot. Bit-identity after recovery is judged against this.
+    let golden: Vec<_> = (0..4)
+        .map(|s| {
+            client
+                .sample_binary("digits", &options(s))
+                .unwrap()
+                .to_dense()
+        })
+        .collect();
+    println!("golden transcript: 4 seeded draws of 6×24 bits at v2");
+
+    // ── Act 2: a publish whose snapshot dies mid-write ──────────────
+    // Orderly edge shutdown first (daemon hook uninstalled with it), so
+    // the *only* persistence of v3 is the write the chaos directory is
+    // about to tear — a crash at the worst possible moment.
+    server.shutdown(Duration::from_secs(5));
+    drop(daemon);
+    registry
+        .publish("digits", Rbm::random(24, 12, 0.4, &mut rng))
+        .unwrap();
+    chaos.push_write_fault(WriteFault::ShortWrite { keep: 400 });
+    match store.save(&registry) {
+        Err(e) => println!("crash mid-write injected: {e}"),
+        Ok(_) => unreachable!("the chaos directory tears this write"),
+    }
+    // ... and the "process" dies here.
+
+    // ── Act 3: warm-start a fresh fleet from the wreckage ───────────
+    let store2 = SnapshotStore::new(Arc::clone(&chaos)).unwrap();
+    let (restored, load) = warm_start(
+        &store2,
+        SamplingService::builder().shards(2),
+        |_name, rbm| prototype(rbm),
+    )
+    .unwrap();
+    for (file, why) in &load.skipped {
+        println!("stepped over torn snapshot {file}: {why}");
+    }
+    let version = restored.registry().get("digits").unwrap().version;
+    println!("warm-started from {} at digits v{version}", load.loaded);
+    assert_eq!(version, 2, "the doomed v3 must not survive its torn write");
+
+    let server = Server::start("127.0.0.1:0", restored).unwrap();
+    let client = Client::new(server.addr());
+    let replayed: Vec<_> = (0..4)
+        .map(|s| {
+            client
+                .sample_binary("digits", &options(s))
+                .unwrap()
+                .to_dense()
+        })
+        .collect();
+    assert_eq!(
+        replayed, golden,
+        "restored fleet must serve v2's exact bits"
+    );
+    println!("restored fleet is bit-identical to the pre-crash transcript ✓");
+
+    // ── Act 4: rollback through the admin surface ───────────────────
+    let rolled = client.rollback("digits", 1).unwrap();
+    println!(
+        "rolled back to v{} → republished as v{}",
+        rolled.rolled_back_to, rolled.new_version
+    );
+    server.shutdown(Duration::from_secs(5));
+
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!("done");
+}

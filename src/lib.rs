@@ -16,7 +16,8 @@
 //! | [`rbm`] | `ember-rbm` | RBM, CD-k/PCD/exact-ML trainers (substrate-generic), DBN, MLP, conv-RBM patches |
 //! | [`core`] | `ember-core` | **The paper's contribution**: Gibbs Sampler and Boltzmann Gradient Follower accelerator models, the three `Substrate` backends (`core::substrate`), the `SubstrateSpec` fabrication recipes, and the bit-packed binary-state sampling kernels (`core::kernels`) |
 //! | [`serve`] | `ember-serve` | Sampling-as-a-service: `ModelRegistry` of named versioned RBMs, sharded request-coalescing `SamplingService` over any substrate backend, self-healing under faults (retry-with-reprogram, circuit breakers, shard supervision, deadlines, bounded drain) |
-//! | [`http`] | `ember-http` | Dependency-free HTTP/1.1 network edge over a `SamplingService`: `POST …/sample`, `POST …/train`, `GET /v1/models`, `GET /v1/stats`, `GET /healthz`; a bit-packed binary wire format (`application/x-ember-bits`, 1 bit/unit) negotiated against a JSON fallback; typed error taxonomy → status codes; a blocking [`http::Client`] speaking both encodings |
+//! | [`http`] | `ember-http` | Dependency-free HTTP/1.1 network edge over a `SamplingService`: `POST …/sample`, `POST …/train`, `POST …/rollback`, `POST /v1/admin/snapshot`, `GET /v1/models`, `GET /v1/stats`, `GET /healthz`; a bit-packed binary wire format (`application/x-ember-bits`, 1 bit/unit) negotiated against a JSON fallback; typed error taxonomy → status codes; slowloris timeouts + body ceiling (`408`/`413`); a blocking [`http::Client`] speaking both encodings, with seeded retry (`Client::with_retry`) |
+//! | [`store`] | `ember-store` | Durable model lifecycle: crash-safe `SnapshotStore` over a versioned checksummed binary snapshot format (delta-compressed version chains, atomic temp-file+fsync+rename writes, automatic fallback to the last good snapshot), `SnapshotDaemon` on-publish/periodic persistence, `warm_start` recovery into a bit-identical serving fleet, and a fault-injecting `ChaosDir` for crash drills |
 //! | [`datasets`] | `ember-datasets` | Synthetic stand-ins for the paper's eight datasets |
 //! | [`metrics`] | `ember-metrics` | AIS, KL, ROC/AUC, MAE, smoothing |
 //! | [`perf`] | `ember-perf` | Timing/energy/area models for Figs. 5–6 and Tables 2–3 |
@@ -172,6 +173,64 @@
 //! `504`, an unknown model `404`, and a draining edge `503` — see
 //! `examples/http_service.rs` for the full tour.
 //!
+//! # Quickstart: persistence & recovery
+//!
+//! Trained weights live on *volatile* analog hardware (§3.2 of the
+//! paper: couplings are reprogrammed every minibatch), so the durable
+//! source of truth is the registry — and [`store`] makes it crash-safe.
+//! A [`store::SnapshotStore`] seals the registry's full version chains
+//! into checksummed, delta-compressed snapshot files with atomic
+//! write-then-rename; a [`store::SnapshotDaemon`] keeps it in sync with
+//! every publication; and [`store::warm_start`] rebuilds a serving
+//! fleet from the last **good** snapshot — stepping over torn or
+//! bit-rotted files with typed errors, never serving corrupt
+//! parameters. Restored services sample **bit-identical** to the
+//! pre-crash fleet:
+//!
+//! ```
+//! use ember::core::{GsConfig, SubstrateSpec};
+//! use ember::rbm::Rbm;
+//! use ember::serve::{ModelRegistry, SamplingService};
+//! use ember::store::{warm_start, DaemonConfig, MemDir, SnapshotDaemon, SnapshotStore};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let registry = ModelRegistry::new();
+//! registry.register("demo", Rbm::random(8, 4, 0.2, &mut rng)).unwrap();
+//!
+//! // Persist: the daemon snapshots on every publication (swap MemDir
+//! // for `SnapshotStore::open(path)` to land on disk).
+//! let store = SnapshotStore::new(MemDir::new()).unwrap();
+//! let daemon = SnapshotDaemon::start(store.clone(), registry.clone(), DaemonConfig::default());
+//! registry.publish("demo", Rbm::random(8, 4, 0.2, &mut rng)).unwrap();
+//! drop(daemon); // orderly shutdown flushes the freshest state
+//!
+//! // "Crash", then warm-start a new fleet from the last good snapshot.
+//! let (service, report) = warm_start(
+//!     &store,
+//!     SamplingService::builder().shards(2),
+//!     |_name, rbm| {
+//!         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//!         SubstrateSpec::software(GsConfig::default()).fabricate_for(rbm, &mut rng)
+//!     },
+//! )
+//! .unwrap();
+//! assert!(report.skipped.is_empty(), "no torn files to step over");
+//! assert_eq!(service.registry().get("demo").unwrap().version, 2);
+//!
+//! // Rollback: v1's parameters come back as a NEW version (the
+//! // counter only moves forward), and the next snapshot makes it
+//! // durable. Over HTTP this is `POST /v1/models/demo/rollback`.
+//! assert_eq!(service.rollback("demo", 1).unwrap(), 3);
+//! store.save(service.registry()).unwrap();
+//! ```
+//!
+//! Attach the daemon to an [`http::Server`] via
+//! [`http::ServerConfig::with_persistence`] to expose
+//! `POST /v1/admin/snapshot`, and see `examples/durable_service.rs` for
+//! the full crash drill — kill-mid-write via [`store::ChaosDir`],
+//! fallback to the previous snapshot, bit-identity proof, rollback.
+//!
 //! # Kernel selection: bit-packed vs dense
 //!
 //! Every product with a binary left operand in the sampling hot path —
@@ -264,6 +323,7 @@ pub use ember_metrics as metrics;
 pub use ember_perf as perf;
 pub use ember_rbm as rbm;
 pub use ember_serve as serve;
+pub use ember_store as store;
 pub use ember_substrate as substrate;
 
 // The kernel-tier surface (`SimdTier`, `active_tier`, `force_tier`,
