@@ -1,0 +1,63 @@
+//! PR 10 performance-trajectory benchmark: everything `bench_pr9`
+//! measures (same suites, same `(name, visible, hidden, mode)` row
+//! identities, so the `bench_gate` binary can diff the two trajectory
+//! files) **plus the overload-robustness dimensions**: open-loop
+//! latency quantiles from a seeded Poisson arrival process at ~0.6×
+//! capacity (read from the service's own latency histograms, the ones
+//! `GET /v1/stats` serves), and a 2× overload flood whose accepted
+//! throughput and Bulk-first shed ordering are both measured. Two
+//! deterministic invariants ride the `speedups` map:
+//! `latency-window-bound-784x200` (a lone request's latency is set by
+//! the coalescing window, so a 250 ms window ÷ a 2 ms window lands
+//! ≫ 5×) and `overload-shed-bulk-first-784x200` (Bulk sheds ÷ total
+//! sheds, exactly 1.0 when no Interactive request was turned away).
+//!
+//! Emits `BENCH_PR10.json`. Gate it against the previous point with:
+//!
+//! ```sh
+//! cargo run --release -p ember_bench --bin bench_pr10 -- --quick
+//! cargo run --release -p ember_bench --bin bench_gate -- BENCH_PR9.json BENCH_PR10.json --tolerance 0.25
+//! ```
+//!
+//! The committed `BENCH_PR10.json` follows the estimator convention of
+//! the PR 2–9 points on the drifting shared reference box: per-row
+//! medians over 9 process runs of this binary (`--quick`), with each
+//! `speedups` entry the median of the per-run ratios.
+
+use ember_bench::trajectory::{
+    bench_brim_anneal, bench_brim_settle, bench_faulty_serve, bench_gibbs_cd1, bench_gibbs_chain,
+    bench_http_edge, bench_latency_openloop, bench_overload, bench_packed_kernel,
+    bench_serve_throughput, bench_simd_kernel, bench_store_lifecycle, bench_substrate_cd1,
+    write_trajectory,
+};
+use ember_bench::{header, RunConfig};
+
+fn main() {
+    let config = RunConfig::from_args();
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+
+    bench_gibbs_cd1(&config, &mut rows, &mut speedups);
+    bench_gibbs_chain(&config, &mut rows, &mut speedups);
+    bench_brim_anneal(&config, &mut rows, &mut speedups);
+    bench_brim_settle(&config, &mut rows, &mut speedups);
+    bench_substrate_cd1(&config, &mut rows, &mut speedups);
+    bench_serve_throughput(&config, &mut rows, &mut speedups);
+    bench_packed_kernel(&config, &mut rows, &mut speedups);
+    bench_simd_kernel(&config, &mut rows, &mut speedups);
+    bench_faulty_serve(&config, &mut rows, &mut speedups);
+    bench_http_edge(&config, &mut rows, &mut speedups);
+    bench_store_lifecycle(&config, &mut rows, &mut speedups);
+    bench_latency_openloop(&config, &mut rows, &mut speedups);
+    bench_overload(&config, &mut rows, &mut speedups);
+
+    header("Speedup summary");
+    for (name, s) in &speedups {
+        println!("  {name:<34} {s:.2}x");
+    }
+
+    let json = write_trajectory(10, &config, &rows, &speedups);
+    if config.json {
+        println!("{json}");
+    }
+}

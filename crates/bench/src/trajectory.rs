@@ -27,7 +27,7 @@
 //! code layout shifts hot-kernel alignment), which is part of what the
 //! gate's drift tolerance absorbs.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ember_brim::{BipartiteBrim, BrimConfig, FlipSchedule};
 use ember_core::kernels::{binary_gemm, BitMatrix};
@@ -35,9 +35,10 @@ use ember_core::substrate::{BrimSubstrate, SoftwareGibbs, Substrate};
 use ember_core::{GibbsSampler, GsConfig, GsEngine, GsKernel, SubstrateSpec};
 use ember_ising::{BipartiteProblem, RngStreams};
 use ember_rbm::{gibbs, CdTrainer, Rbm};
-use ember_serve::{SampleRequest, SamplingService};
+use ember_serve::{Priority, SampleRequest, SamplingService};
 use ndarray::{Array1, Array2};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::{header, RunConfig};
 
@@ -918,7 +919,6 @@ pub fn bench_http_edge(
     speedups: &mut Vec<(String, f64)>,
 ) {
     use ember_http::{Client, SampleOptions, Server};
-    use std::time::Duration;
 
     header("HTTP edge (64 concurrent loopback requests, 2 shards): binary wire vs JSON");
     let (m, n) = (784usize, 200usize);
@@ -1138,6 +1138,286 @@ pub fn bench_store_lifecycle(
         "  {m}x{n} chain size {full_bytes} B (full frames) / {delta_bytes} B (delta) = {bytes_ratio:.1}x"
     );
     speedups.push((format!("store-delta-bytes-{m}x{n}"), bytes_ratio));
+}
+
+/// Seeded open-loop arrival schedule: `count` cumulative offsets with
+/// exponential inter-arrival gaps of the given mean — a deterministic
+/// Poisson process. Open-loop means the schedule never waits on the
+/// service: arrivals keep coming at the offered rate whether or not the
+/// server keeps up, which is what exposes queueing delay (a closed loop
+/// self-throttles and hides it).
+pub fn exponential_arrivals(seed: u64, mean: Duration, count: usize) -> Vec<Duration> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut at = 0.0f64;
+    (0..count)
+        .map(|_| {
+            let u: f64 = rng.random();
+            at += -(1.0 - u).ln() * mean.as_secs_f64();
+            Duration::from_secs_f64(at)
+        })
+        .collect()
+}
+
+fn sleep_until(target: Instant) {
+    let now = Instant::now();
+    if target > now {
+        std::thread::sleep(target - now);
+    }
+}
+
+/// The PR 10 latency dimension: a seeded open-loop arrival process at
+/// ~60% of the measured closed-loop capacity against a 2-shard service
+/// with a 2 ms coalescing window, quantiles read from the service's own
+/// [`LatencyHistogram`] (queue-to-answer, as `GET /v1/stats` serves
+/// them).
+///
+/// **These rows are wall-clock, not CPU time** — latency under an
+/// arrival process *is* a wall phenomenon (queueing and the coalescing
+/// window spend no CPU), so the suite's CPU-time convention would
+/// measure nothing. `wall_ms` is the quantile itself; the gated
+/// throughput is its inverse (`1000 / quantile_ms`, higher = faster).
+///
+/// The `latency-window-bound-784x200` speedup entry is the
+/// deterministic half: one lone request's latency under a 250 ms window
+/// ÷ under a 2 ms window. A bounded window must dispatch a batch-mate-
+/// less request when its window expires, so the ratio sits near 125×;
+/// anything ≥ 5× proves the window (not the service time) sets the
+/// lone-request floor.
+pub fn bench_latency_openloop(
+    config: &RunConfig,
+    rows: &mut Vec<BenchRow>,
+    speedups: &mut Vec<(String, f64)>,
+) {
+    header("Open-loop latency (seeded Poisson arrivals at ~0.6x capacity, 2 shards, 2 ms window)");
+    let (m, n) = (784usize, 200usize);
+    let shards = 2usize;
+    let window = Duration::from_millis(2);
+
+    let mut rng = config.rng();
+    let rbm = Rbm::random(m, n, 0.01, &mut rng);
+    let proto = SubstrateSpec::software(GsConfig::default()).fabricate_for(&rbm, &mut rng);
+
+    // Closed-loop calibration on a window-less single shard: the
+    // per-request wall service time that sets the offered rate below.
+    let calibration = SamplingService::builder().shards(1).build();
+    calibration
+        .register_model("m", rbm.clone(), proto.clone_boxed())
+        .expect("register bench model");
+    let calib_reqs = 30u64;
+    let started = Instant::now();
+    for i in 0..calib_reqs {
+        calibration
+            .sample(SampleRequest::new("m").with_gibbs_steps(5).with_seed(i))
+            .expect("calibration request served");
+    }
+    let service_time = started.elapsed() / u32::try_from(calib_reqs).expect("fits");
+    drop(calibration);
+
+    // Offered rate = 0.6 × (shards / service_time); mean gap floored at
+    // 200 µs so the sleeper stays meaningful on a fast box.
+    let mean_gap = (service_time / u32::try_from(shards).expect("fits"))
+        .mul_f64(1.0 / 0.6)
+        .max(Duration::from_micros(200));
+    let count = config.pick(300, 800);
+    let arrivals = exponential_arrivals(config.seed ^ 0x09E4_1007, mean_gap, count);
+
+    let service = SamplingService::builder()
+        .shards(shards)
+        .coalesce_window(window)
+        .max_coalesce_rows(32)
+        .queue_rows(8 * count)
+        .build();
+    service
+        .register_model("m", rbm.clone(), proto.clone_boxed())
+        .expect("register bench model");
+    let start = Instant::now();
+    let handles: Vec<_> = arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, &offset)| {
+            sleep_until(start + offset);
+            service
+                .submit(
+                    SampleRequest::new("m")
+                        .with_gibbs_steps(5)
+                        .with_seed(i as u64),
+                )
+                .expect("open-loop queue sized for the full schedule")
+        })
+        .collect();
+    for handle in handles {
+        handle.wait().expect("open-loop request served");
+    }
+    let latency = service.stats().latency();
+    assert_eq!(latency.count(), count as u64, "every arrival recorded");
+
+    for (mode, quantile) in [
+        ("p50", latency.p50()),
+        ("p99", latency.p99()),
+        ("p999", latency.p999()),
+    ] {
+        let wall_ms = quantile.as_secs_f64() * 1000.0;
+        let throughput = 1000.0 / wall_ms.max(1e-6);
+        println!("  {m}x{n} open-loop {mode:<24} {wall_ms:>10.2} ms");
+        rows.push(BenchRow {
+            name: "latency-openloop".into(),
+            visible: m,
+            hidden: n,
+            mode,
+            wall_ms,
+            throughput,
+            unit: "1/sec (inverse latency)",
+        });
+    }
+
+    // Deterministic window-bound check: the lone-request floor is the
+    // window, so shrinking the window shrinks the floor proportionally.
+    let mut lone = [Duration::ZERO; 2];
+    for (slot, window) in [(0usize, Duration::from_millis(250)), (1, window)] {
+        let service = SamplingService::builder()
+            .shards(1)
+            .coalesce_window(window)
+            .build();
+        service
+            .register_model("m", rbm.clone(), proto.clone_boxed())
+            .expect("register bench model");
+        let started = Instant::now();
+        service
+            .sample(SampleRequest::new("m").with_gibbs_steps(5).with_seed(0))
+            .expect("lone request served");
+        lone[slot] = started.elapsed();
+    }
+    let bound_speedup = lone[0].as_secs_f64() / lone[1].as_secs_f64().max(1e-9);
+    println!(
+        "  {m}x{n} lone request {:.2} ms (250 ms window) / {:.2} ms (2 ms window) = {bound_speedup:.1}x",
+        lone[0].as_secs_f64() * 1000.0,
+        lone[1].as_secs_f64() * 1000.0
+    );
+    speedups.push((format!("latency-window-bound-{m}x{n}"), bound_speedup));
+}
+
+/// The PR 10 overload dimension: a seeded open-loop flood at **2× the
+/// measured capacity** of a single shard behind a small queue, one
+/// Interactive request (with a generous deadline) in every four
+/// arrivals, the rest Bulk. The service must keep serving at capacity
+/// (the `accepted` row, wall-clock requests/sec) while the shedder
+/// drops Bulk work — and *only* Bulk work.
+///
+/// The `overload-shed-bulk-first` entry is the shed-ordering invariant
+/// as a number: Bulk sheds ÷ total sheds, exactly 1.0 when no
+/// Interactive request was turned away (gated ≥ 1 in CI, i.e. exact).
+pub fn bench_overload(
+    config: &RunConfig,
+    rows: &mut Vec<BenchRow>,
+    speedups: &mut Vec<(String, f64)>,
+) {
+    header(
+        "Overload flood (seeded open-loop arrivals at 2x capacity, 1 shard, Bulk-first shedding)",
+    );
+    let (m, n) = (784usize, 200usize);
+    let window = Duration::from_millis(5);
+
+    let mut rng = config.rng();
+    let rbm = Rbm::random(m, n, 0.01, &mut rng);
+    let proto = SubstrateSpec::software(GsConfig::default()).fabricate_for(&rbm, &mut rng);
+
+    // Calibrate the *coalesced* capacity — what the flooded service can
+    // actually sustain (a closed-loop single-request probe would miss
+    // the batching amortization by an order of magnitude and the
+    // "flood" would never overload anything).
+    let calibration = SamplingService::builder()
+        .shards(1)
+        .max_coalesce_rows(32)
+        .queue_rows(1024)
+        .build();
+    calibration
+        .register_model("m", rbm.clone(), proto.clone_boxed())
+        .expect("register bench model");
+    let calib_reqs = 256u64;
+    let started = Instant::now();
+    let probes: Vec<_> = (0..calib_reqs)
+        .map(|i| {
+            calibration
+                .submit(SampleRequest::new("m").with_gibbs_steps(5).with_seed(i))
+                .expect("calibration queue sized for the probe")
+        })
+        .collect();
+    for probe in probes {
+        probe.wait().expect("calibration request served");
+    }
+    let service_time = started.elapsed() / u32::try_from(calib_reqs).expect("fits");
+    drop(calibration);
+
+    // 2× the sustainable rate, small queue: shedding is guaranteed. No
+    // floor on the gap — when the scheduler can't sleep this finely the
+    // submit loop just runs behind schedule and `sleep_until` no-ops,
+    // which is exactly open-loop behavior.
+    let mean_gap = service_time / 2;
+    let count = config.pick(400, 1200);
+    let arrivals = exponential_arrivals(config.seed ^ 0x000F_100D, mean_gap, count);
+
+    let service = SamplingService::builder()
+        .shards(1)
+        .coalesce_window(window)
+        .max_coalesce_rows(32)
+        .queue_rows(48)
+        .build();
+    service
+        .register_model("m", rbm, proto)
+        .expect("register bench model");
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(count);
+    let mut rejected_at_enqueue = [0u64; 2]; // [interactive, bulk]
+    for (i, &offset) in arrivals.iter().enumerate() {
+        sleep_until(start + offset);
+        let interactive = i % 4 == 0;
+        let mut request = SampleRequest::new("m")
+            .with_gibbs_steps(5)
+            .with_seed(i as u64);
+        if interactive {
+            request = request.with_deadline_in(Duration::from_secs(30));
+        } else {
+            request = request.with_priority(Priority::Bulk);
+        }
+        match service.submit(request) {
+            Ok(handle) => handles.push((interactive, handle)),
+            Err(_) => rejected_at_enqueue[usize::from(!interactive)] += 1,
+        }
+    }
+    let mut accepted = 0u64;
+    let mut shed = [0u64; 2]; // [interactive, bulk]
+    for (interactive, handle) in handles {
+        match handle.wait() {
+            Ok(_) => accepted += 1,
+            Err(_) => shed[usize::from(!interactive)] += 1,
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let shed_interactive = shed[0] + rejected_at_enqueue[0];
+    let shed_bulk = shed[1] + rejected_at_enqueue[1];
+    assert!(
+        shed_bulk > 0,
+        "a 2x flood against a 48-row queue must shed Bulk work"
+    );
+
+    let throughput = accepted as f64 / wall_s;
+    let wall_ms = wall_s * 1000.0 / accepted.max(1) as f64;
+    println!(
+        "  {m}x{n} accepted {accepted}/{count} at {throughput:.1} requests/s; shed {shed_bulk} bulk, {shed_interactive} interactive"
+    );
+    rows.push(BenchRow {
+        name: "overload-flood".into(),
+        visible: m,
+        hidden: n,
+        mode: "accepted-2x-flood",
+        wall_ms,
+        throughput,
+        unit: "requests/sec",
+    });
+    let ordering = shed_bulk as f64 / (shed_bulk + shed_interactive).max(1) as f64;
+    println!("  {m}x{n} shed ordering (bulk / total sheds) {ordering:.3}");
+    speedups.push((format!("overload-shed-bulk-first-{m}x{n}"), ordering));
 }
 
 /// Serializes a trajectory to the `BENCH_PR<N>.json` schema and writes it.

@@ -23,7 +23,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use ember_core::RetryPolicy;
-use ember_serve::ServiceStats;
+use ember_serve::{Priority, ServiceStats};
 
 use crate::json::{
     ErrorReply, Health, ModelList, RollbackReply, SampleReply, SnapshotReply, TrainReply, JSON_MIME,
@@ -118,6 +118,9 @@ pub struct SampleOptions {
     pub binary_clamp: bool,
     /// Request deadline, sent as `X-Ember-Timeout-Ms`.
     pub timeout: Option<Duration>,
+    /// Scheduling lane, sent as `X-Ember-Priority` (`None` = server
+    /// default of `Interactive`).
+    pub priority: Option<Priority>,
 }
 
 impl SampleOptions {
@@ -167,6 +170,13 @@ impl SampleOptions {
         self.timeout = Some(budget);
         self
     }
+
+    /// Returns a copy scheduled on the given priority lane.
+    #[must_use]
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = Some(priority);
+        self
+    }
 }
 
 /// A binary-wire sample response plus the metadata headers it rode with.
@@ -191,14 +201,77 @@ pub struct JsonSample {
     pub body_bytes: usize,
 }
 
+/// One retry costs this many milli-tokens from the budget bucket.
+const RETRY_COST_MTOK: u64 = 1_000;
+
 /// Seeded retry state shared by every clone of a retrying client: the
-/// policy plus an attempt counter that derives a fresh deterministic
-/// jitter stream per backoff.
+/// policy, an attempt counter that derives a fresh deterministic jitter
+/// stream per backoff, and the **retry budget** — a token bucket that
+/// caps how many retries the client may issue per success it observes.
+///
+/// Per-call `max_retries` bounds one request's persistence; the budget
+/// bounds the *fleet effect*: during a brownout every call fails, every
+/// call would retry `max_retries` times, and the offered load multiplies
+/// exactly when the server can least afford it. With the bucket, a
+/// run of failures drains the budget and further failures surface
+/// immediately — the client sheds its own retry amplification — while
+/// each success refills a token and restores normal retrying.
 #[derive(Debug)]
 struct RetryState {
     policy: RetryPolicy,
     seed: u64,
     counter: AtomicU64,
+    /// Remaining budget in milli-tokens (1 retry = 1000 mtok).
+    budget_mtok: AtomicU64,
+    /// Bucket capacity in milli-tokens.
+    capacity_mtok: u64,
+    /// Milli-tokens refunded per successful response.
+    refill_mtok: u64,
+}
+
+impl RetryState {
+    /// Takes one retry's worth of budget; `false` when the bucket is
+    /// too empty (the caller must surface the error instead of
+    /// retrying).
+    fn try_spend(&self) -> bool {
+        let mut current = self.budget_mtok.load(Ordering::Relaxed);
+        loop {
+            if current < RETRY_COST_MTOK {
+                return false;
+            }
+            match self.budget_mtok.compare_exchange_weak(
+                current,
+                current - RETRY_COST_MTOK,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Refills the bucket by one success's worth, capped at capacity.
+    fn refund(&self) {
+        let mut current = self.budget_mtok.load(Ordering::Relaxed);
+        loop {
+            let next = current
+                .saturating_add(self.refill_mtok)
+                .min(self.capacity_mtok);
+            if next == current {
+                return;
+            }
+            match self.budget_mtok.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
 }
 
 /// Blocking HTTP client for an [`crate::Server`] edge.
@@ -220,17 +293,54 @@ impl Client {
     /// for tests; share one seed fleet-wide and the per-attempt counter
     /// still decorrelates the streams).
     ///
-    /// Retried: `429 queue_full` on **every** request (the server
-    /// explicitly asked for a later retry and its `Retry-After` /
-    /// `X-Ember-Retry-After-Ms` hints are honored as a lower bound on
-    /// the pause), and `503` on **idempotent** requests only — reads
-    /// and seeded sampling, never train/rollback/snapshot.
+    /// Retried: `429 queue_full` / `429 overloaded` on **every** request
+    /// (the server explicitly asked for a later retry and its
+    /// `Retry-After` / `X-Ember-Retry-After-Ms` hints are honored as a
+    /// lower bound on the pause), and `503` on **idempotent** requests
+    /// only — reads and seeded sampling, never train/rollback/snapshot.
+    ///
+    /// Retries draw from a shared **retry budget** (default: 10 tokens,
+    /// one refunded per success — tune with [`Client::retry_budget`]):
+    /// during a sustained brownout the budget drains and further
+    /// failures surface immediately instead of multiplying the offered
+    /// load, which is exactly when the server can least afford extra
+    /// traffic.
     #[must_use]
     pub fn with_retry(mut self, policy: RetryPolicy, seed: u64) -> Self {
+        const DEFAULT_CAPACITY: u64 = 10 * RETRY_COST_MTOK;
         self.retry = Some(Arc::new(RetryState {
             policy,
             seed,
             counter: AtomicU64::new(0),
+            budget_mtok: AtomicU64::new(DEFAULT_CAPACITY),
+            capacity_mtok: DEFAULT_CAPACITY,
+            refill_mtok: RETRY_COST_MTOK,
+        }));
+        self
+    }
+
+    /// Returns a copy whose retry budget holds `capacity` tokens
+    /// (starting full; 1 retry = 1 token) and refunds
+    /// `refill_per_success` tokens per successful response. Call after
+    /// [`Client::with_retry`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when no retry policy is configured.
+    #[must_use]
+    pub fn retry_budget(mut self, capacity: u32, refill_per_success: f64) -> Self {
+        let state = self
+            .retry
+            .as_ref()
+            .expect("retry_budget requires with_retry first");
+        let capacity_mtok = u64::from(capacity) * RETRY_COST_MTOK;
+        self.retry = Some(Arc::new(RetryState {
+            policy: state.policy,
+            seed: state.seed,
+            counter: AtomicU64::new(0),
+            budget_mtok: AtomicU64::new(capacity_mtok),
+            capacity_mtok,
+            refill_mtok: (refill_per_success.max(0.0) * RETRY_COST_MTOK as f64) as u64,
         }));
         self
     }
@@ -270,10 +380,18 @@ impl Client {
         let mut attempt = 0u32;
         loop {
             match self.roundtrip_once(method, path, extra_headers, content_type, body) {
-                Ok(response) => return Ok(response),
+                Ok(response) => {
+                    state.refund();
+                    return Ok(response);
+                }
                 Err(e) => {
                     attempt += 1;
                     if attempt > state.policy.max_retries || !Self::transient(&e, idempotent) {
+                        return Err(e);
+                    }
+                    if !state.try_spend() {
+                        // Budget exhausted: surface the failure instead
+                        // of adding retry load to a browning-out server.
                         return Err(e);
                     }
                     let lane = state.counter.fetch_add(1, Ordering::Relaxed);
@@ -382,6 +500,9 @@ impl Client {
         let mut extra = Vec::new();
         if let Some(ms) = options.timeout {
             extra.push((headers::TIMEOUT_MS.to_string(), ms.as_millis().to_string()));
+        }
+        if let Some(priority) = options.priority {
+            extra.push((headers::PRIORITY.to_string(), priority.as_str().to_string()));
         }
         extra
     }

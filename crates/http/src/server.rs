@@ -36,9 +36,11 @@
 //! # Error mapping
 //!
 //! [`ServeError`] maps onto status codes per the serving taxonomy:
-//! `QueueFull` → `429` with `Retry-After` (and exact
+//! `QueueFull` and `Overloaded` (admission control / the Bulk-first
+//! shedder) → `429` with `Retry-After` (and exact
 //! `X-Ember-Retry-After-Ms`), `DeadlineExceeded` → `504` (deadline set
-//! via `X-Ember-Timeout-Ms`), `ModelNotFound` → `404`,
+//! via `X-Ember-Timeout-Ms`; priority lane via `X-Ember-Priority`),
+//! `ModelNotFound` → `404`,
 //! `InvalidRequest` → `400`, `ServiceClosed` → `503`. Every error body
 //! is a JSON [`ErrorReply`] with a stable `code`.
 //!
@@ -60,7 +62,9 @@ use std::time::{Duration, Instant};
 
 use ndarray::Array1;
 
-use ember_serve::{DrainReport, SampleRequest, SamplingService, ServeError, TrainRequest};
+use ember_serve::{
+    DrainReport, Priority, SampleRequest, SamplingService, ServeError, TrainRequest,
+};
 use ember_store::SnapshotDaemon;
 
 use crate::json::{
@@ -81,6 +85,9 @@ pub mod headers {
     pub const SEED: &str = "X-Ember-Seed";
     /// Request deadline budget in milliseconds.
     pub const TIMEOUT_MS: &str = "X-Ember-Timeout-Ms";
+    /// Scheduling lane: `interactive` (default) or `bulk`,
+    /// case-insensitive (see `ember_serve::Priority`).
+    pub const PRIORITY: &str = "X-Ember-Priority";
     /// Response: executing shard index.
     pub const SHARD: &str = "X-Ember-Shard";
     /// Response: model version sampled/trained.
@@ -476,6 +483,7 @@ fn serve_error_response(e: &ServeError) -> Response {
         ServeError::TrainConflict { .. } => (409, "train_conflict"),
         ServeError::VersionNotFound { .. } => (404, "version_not_found"),
         ServeError::QueueFull { .. } => (429, "queue_full"),
+        ServeError::Overloaded { .. } => (429, "overloaded"),
         ServeError::DeadlineExceeded => (504, "deadline_exceeded"),
         ServeError::SubstrateFault { .. } => (500, "substrate_fault"),
         ServeError::ShardRestarted { .. } => (503, "shard_restarted"),
@@ -484,13 +492,16 @@ fn serve_error_response(e: &ServeError) -> Response {
         _ => (500, "internal"),
     };
     let mut response = error_response(status, code, &e.to_string());
-    if let ServeError::QueueFull { retry_after } = e {
+    if let ServeError::QueueFull { retry_after } | ServeError::Overloaded { retry_after } = e {
         // RFC Retry-After is whole seconds; round up so a client that
-        // honors it never retries early. The exact hint rides alongside.
+        // honors it never retries early. The exact hint rides alongside,
+        // also rounded up so a sub-millisecond estimate never degrades
+        // to a zero (i.e. retry-immediately) hint.
         let secs = retry_after.as_secs_f64().ceil().max(1.0) as u64;
+        let millis = retry_after.as_nanos().div_ceil(1_000_000).max(1);
         response = response
             .with_header("Retry-After", secs.to_string())
-            .with_header(headers::RETRY_AFTER_MS, retry_after.as_millis().to_string());
+            .with_header(headers::RETRY_AFTER_MS, millis.to_string());
     }
     response
 }
@@ -668,6 +679,15 @@ fn build_sample_request(name: &str, req: &Request) -> Result<SampleRequest, Box<
     }
     if let Some(ms) = header_u64(headers::TIMEOUT_MS)? {
         request = request.with_deadline_in(Duration::from_millis(ms));
+    }
+    if let Some(raw) = req.header(headers::PRIORITY) {
+        let priority = Priority::parse(raw).ok_or_else(|| {
+            bad(&format!(
+                "`{}` header must be `interactive` or `bulk`, got {raw:?}",
+                headers::PRIORITY
+            ))
+        })?;
+        request = request.with_priority(priority);
     }
     Ok(request)
 }

@@ -307,6 +307,35 @@ fn non_idempotent_requests_never_retry_a_503() {
     assert_eq!(handle.join().unwrap(), 1, "exactly one attempt");
 }
 
+/// The token-bucket retry budget caps brownout amplification: against a
+/// flapping server a client with 2 tokens and `max_retries = 10` stops
+/// after two retries — the budget, not the per-call cap, bounds the
+/// offered load, so the socket is hit exactly 3 times, never 11.
+#[test]
+fn flapping_503s_exhaust_the_retry_budget_instead_of_hammering_the_socket() {
+    let script: Vec<_> = (0..3)
+        .map(|_| (503, vec![], error_body("shard_restarted")))
+        .collect();
+    let (addr, handle) = scripted_server(script);
+    let client = Client::new(addr)
+        .with_retry(
+            RetryPolicy::default().with_max_retries(10).with_backoff(
+                Duration::from_millis(1),
+                2.0,
+                Duration::from_millis(5),
+            ),
+            11,
+        )
+        .retry_budget(2, 1.0);
+    let err = client.health().unwrap_err();
+    assert_eq!(err.status(), Some(503), "the brownout surfaces: {err}");
+    assert_eq!(
+        handle.join().unwrap(),
+        3,
+        "initial try + 2 budgeted retries, despite max_retries = 10"
+    );
+}
+
 /// The retry budget is finite: a server that never relents exhausts
 /// `max_retries` and the last error surfaces.
 #[test]

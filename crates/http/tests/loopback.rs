@@ -295,6 +295,90 @@ fn error_taxonomy_maps_to_status_codes() {
 }
 
 #[test]
+fn priority_header_rides_the_wire_without_touching_the_bits() {
+    let (m, n) = (23, 9);
+    let server = Server::start("127.0.0.1:0", service_at(1, 29, m, n)).unwrap();
+    let client = Client::new(server.addr());
+
+    // The same seeded request at both priorities: `X-Ember-Priority`
+    // may reorder scheduling but must be invisible in the sampled bits.
+    let base = SampleOptions::new().samples(4).gibbs_steps(3).seed(0xABCD);
+    let interactive = client
+        .sample_binary(
+            "m",
+            &base.clone().priority(ember_serve::Priority::Interactive),
+        )
+        .unwrap();
+    let bulk = client
+        .sample_binary("m", &base.clone().priority(ember_serve::Priority::Bulk))
+        .unwrap();
+    let unlabeled = client.sample_binary("m", &base).unwrap();
+    assert_eq!(interactive.to_dense(), bulk.to_dense());
+    assert_eq!(interactive.to_dense(), unlabeled.to_dense());
+
+    server.shutdown(Duration::from_secs(10));
+}
+
+#[test]
+fn admission_rejection_maps_to_429_overloaded_with_hints() {
+    // Before any row is served the admission estimate is 1 ms/row: 64
+    // rows against a 5 ms deadline are provably late, refused at
+    // enqueue, and surface as `429 overloaded` with both Retry-After
+    // forms — distinct from 504, which stays reserved for deadlines
+    // that expire while queued.
+    let server = Server::start("127.0.0.1:0", service_at(1, 31, 32, 8)).unwrap();
+    let client = Client::new(server.addr());
+    let err = client
+        .sample_binary(
+            "m",
+            &SampleOptions::new()
+                .samples(64)
+                .gibbs_steps(1)
+                .seed(1)
+                .timeout(Duration::from_millis(5)),
+        )
+        .unwrap_err();
+    match &err {
+        ClientError::Http { status, code, .. } => {
+            assert_eq!(*status, 429);
+            assert_eq!(code, "overloaded");
+        }
+        other => panic!("unexpected error: {other}"),
+    }
+    let retry_after = err.retry_after().expect("429 overloaded carries hints");
+    assert!(retry_after >= Duration::from_micros(100));
+
+    // Nothing reached a shard; the rejection was at admission.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.admission_rejected, 1);
+    assert_eq!(stats.total_shed_requests(), 0);
+
+    server.shutdown(Duration::from_secs(10));
+}
+
+#[test]
+fn stats_endpoint_serves_latency_histograms() {
+    let server = Server::start("127.0.0.1:0", service_at(2, 37, 23, 9)).unwrap();
+    let client = Client::new(server.addr());
+    for seed in 0..5u64 {
+        client
+            .sample_binary("m", &SampleOptions::new().gibbs_steps(2).seed(seed))
+            .unwrap();
+    }
+
+    // The merged histogram rides the typed `/v1/stats` snapshot: one
+    // recording per accepted request, quantiles ordered and non-zero.
+    let stats = client.stats().unwrap();
+    let latency = stats.latency();
+    assert_eq!(latency.count(), 5);
+    assert!(latency.p50() > Duration::ZERO);
+    assert!(latency.p99() >= latency.p50());
+    assert!(latency.max() >= latency.p999());
+
+    server.shutdown(Duration::from_secs(10));
+}
+
+#[test]
 fn train_over_http_publishes_a_version_sampled_by_later_requests() {
     let (m, _n) = (12, 4);
     let server = Server::start("127.0.0.1:0", service_at(2, 23, 12, 4)).unwrap();

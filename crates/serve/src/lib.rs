@@ -43,6 +43,18 @@
 //!   re-provisions from retained prototypes; deadline-expired requests
 //!   are shed; [`SamplingService::shutdown`] drains within a deadline
 //!   and reports a [`DrainReport`].
+//! * **overload robustness** — a bounded, deadline-aware
+//!   [`ServiceBuilder::coalesce_window`] caps how long a group may wait
+//!   for batch-mates; two [`Priority`] lanes drain Interactive before
+//!   Bulk; admission control projects each deadlined request's
+//!   completion from the measured per-row service rate and refuses
+//!   provably-late work at enqueue ([`ServeError::Overloaded`]); under
+//!   sustained overload queued Bulk work is shed before any Interactive
+//!   request is turned away. None of this touches the per-row RNG
+//!   streams: accepted requests return bit-identical samples, loaded or
+//!   not. Accepted-request queue-to-answer latency is recorded in
+//!   log-bucketed [`LatencyHistogram`]s
+//!   ([`ShardStats::latency`], [`ServiceStats::latency`]).
 //!
 //! See `examples/sampling_service.rs` for two models served over all
 //! three substrate backends under mixed sample/train traffic, and
@@ -53,12 +65,16 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+mod latency;
 mod registry;
 mod request;
 mod service;
 
+pub use latency::LatencyHistogram;
 pub use registry::{ModelRegistry, ModelSnapshot, PublishHook};
-pub use request::{SampleRequest, SampleResponse, ServeError, TrainRequest, TrainResponse};
+pub use request::{
+    Priority, SampleRequest, SampleResponse, ServeError, TrainRequest, TrainResponse,
+};
 pub use service::{
     DrainReport, ModelStats, ResponseHandle, SamplingService, ServiceBuilder, ServiceStats,
     ShardStats,

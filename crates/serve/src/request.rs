@@ -7,6 +7,53 @@ use ndarray::{Array1, Array2};
 use ember_rbm::{CdTrainer, EpochStats};
 use ember_substrate::{HardwareCounters, SubstrateFault};
 
+/// Scheduling lane of a [`SampleRequest`].
+///
+/// The service keeps one queue lane per priority. Shards always drain
+/// the `Interactive` lane first, and under sustained overload the
+/// admission shedder evicts queued `Bulk` work (answering it with
+/// [`ServeError::Overloaded`]) before it ever rejects an `Interactive`
+/// request. Training requests ride the `Bulk` lane.
+///
+/// Lane order is pure *scheduling*: it never changes the bits of a
+/// request that is served, because every chain's RNG stream is derived
+/// from the request seed alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive foreground work — drained first, shed last.
+    #[default]
+    Interactive,
+    /// Throughput work (batch scoring, speculative sampling) — drained
+    /// after `Interactive`, shed first under pressure.
+    Bulk,
+}
+
+impl Priority {
+    /// Canonical lowercase wire name (`"interactive"` / `"bulk"`), as
+    /// carried by the `X-Ember-Priority` HTTP header.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Bulk => "bulk",
+        }
+    }
+
+    /// Parses a case-insensitive wire name.
+    pub fn parse(name: &str) -> Option<Priority> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "interactive" => Some(Priority::Interactive),
+            "bulk" => Some(Priority::Bulk),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A request for conditional/free-running samples from a registered
 /// model.
 ///
@@ -57,6 +104,9 @@ pub struct SampleRequest {
     /// [`ServeError::DeadlineExceeded`] instead of wasting substrate
     /// time on an answer nobody is waiting for. `None` never expires.
     pub deadline: Option<Instant>,
+    /// Scheduling lane (default [`Priority::Interactive`]). See
+    /// [`Priority`] for drain and shed ordering.
+    pub priority: Priority,
 }
 
 impl SampleRequest {
@@ -70,6 +120,7 @@ impl SampleRequest {
             clamp: None,
             seed: None,
             deadline: None,
+            priority: Priority::Interactive,
         }
     }
 
@@ -112,6 +163,13 @@ impl SampleRequest {
     #[must_use]
     pub fn with_deadline_in(self, budget: Duration) -> Self {
         self.with_deadline(Instant::now() + budget)
+    }
+
+    /// Returns a copy scheduled on the given [`Priority`] lane.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
     }
 }
 
@@ -262,6 +320,19 @@ pub enum ServeError {
     /// The request expired ([`SampleRequest::deadline`]) before a shard
     /// could answer it; the work was shed, no substrate time was spent.
     DeadlineExceeded,
+    /// Admission control refused the request at enqueue: from the
+    /// measured per-row service rate the queue projected that the
+    /// request's completion would already miss its deadline (or the
+    /// sustained-overload shedder evicted this queued `Bulk` request to
+    /// admit `Interactive` work). No substrate time was spent; retry
+    /// after the hint, or relax the deadline / lower the priority
+    /// pressure.
+    Overloaded {
+        /// Estimated time until the backlog ahead of the request would
+        /// have drained — the value an HTTP edge emits as `429` +
+        /// `Retry-After`. A hint, not a reservation.
+        retry_after: Duration,
+    },
     /// The executing shard exhausted the service's retry policy against
     /// a faulting substrate; the underlying hardware fault is attached.
     /// Repeated occurrences trip the model's circuit breaker (subsequent
@@ -316,6 +387,12 @@ impl fmt::Display for ServeError {
             ServeError::DeadlineExceeded => {
                 write!(f, "request deadline expired before a shard could serve it")
             }
+            ServeError::Overloaded { retry_after } => write!(
+                f,
+                "service overloaded: projected completion misses the deadline; \
+                 retry after ~{:.1} ms",
+                retry_after.as_secs_f64() * 1e3
+            ),
             ServeError::SubstrateFault { model, fault } => write!(
                 f,
                 "substrate serving `{model}` faulted beyond the retry budget: {fault}"

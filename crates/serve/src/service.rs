@@ -15,13 +15,28 @@ use ember_substrate::{HardwareCounters, ReplicableSubstrate, SubstrateFault};
 use crate::batch::{self, ChainRequest};
 use crate::registry::ModelSnapshot;
 use crate::{
-    ModelRegistry, SampleRequest, SampleResponse, ServeError, TrainRequest, TrainResponse,
+    LatencyHistogram, ModelRegistry, Priority, SampleRequest, SampleResponse, ServeError,
+    TrainRequest, TrainResponse,
 };
+
+/// Queue-lane indices ([`Priority::Interactive`] /
+/// [`Priority::Bulk`]); shards drain the lower index first.
+const LANE_INTERACTIVE: usize = 0;
+const LANE_BULK: usize = 1;
+const LANES: usize = 2;
+
+fn lane_index(priority: Priority) -> usize {
+    match priority {
+        Priority::Interactive => LANE_INTERACTIVE,
+        Priority::Bulk => LANE_BULK,
+    }
+}
 
 /// Builder for [`SamplingService`] (see there for the architecture).
 ///
 /// Defaults: 2 shards, a 1024-row queue, coalescing on with batches of
-/// up to 64 rows, master seed `0x5EED`, the default
+/// up to 64 rows and a zero coalescing window (dispatch immediately),
+/// master seed `0x5EED`, the default
 /// [`RetryPolicy`] against substrate faults, and a circuit breaker that
 /// degrades a model to the software fallback after 3 consecutive
 /// retry-exhausted groups.
@@ -31,6 +46,7 @@ pub struct ServiceBuilder {
     queue_rows: usize,
     max_coalesce_rows: usize,
     coalescing: bool,
+    coalesce_window: Duration,
     program_retention: bool,
     master_seed: u64,
     retry_policy: RetryPolicy,
@@ -85,6 +101,27 @@ impl ServiceBuilder {
     #[must_use]
     pub fn coalescing(mut self, on: bool) -> Self {
         self.coalescing = on;
+        self
+    }
+
+    /// Bounded coalescing window: how long an idle shard may hold a
+    /// popped sample group open, gathering same-`(model, gibbs_steps)`
+    /// batch-mates, before it must dispatch. A group dispatches when it
+    /// is **full** ([`ServiceBuilder::max_coalesce_rows`]) *or* when its
+    /// oldest member has waited the window out since enqueue — so a lone
+    /// request's latency is bounded by `window + service_time` instead
+    /// of depending on unrelated traffic. The wait is deadline-aware
+    /// (the shard never holds a member past its
+    /// [`SampleRequest::deadline`] to gather company) and
+    /// priority-aware (a `Bulk` group dispatches early the moment
+    /// `Interactive` work arrives).
+    ///
+    /// `Duration::ZERO` (the default) dispatches immediately with
+    /// whatever is already queued — the pre-window behavior. The window
+    /// only shapes *scheduling*; sampled bits are unchanged either way.
+    #[must_use]
+    pub fn coalesce_window(mut self, window: Duration) -> Self {
+        self.coalesce_window = window;
         self
     }
 
@@ -157,7 +194,7 @@ impl ServiceBuilder {
                 open: true,
                 queued_rows: 0,
                 in_flight: 0,
-                queue: VecDeque::new(),
+                lanes: std::array::from_fn(|_| VecDeque::new()),
                 controls: (0..self.shards).map(|_| Vec::new()).collect(),
             }),
             cv: Condvar::new(),
@@ -165,12 +202,15 @@ impl ServiceBuilder {
                 shards: vec![ShardStats::default(); self.shards],
                 models: BTreeMap::new(),
                 rejected: 0,
+                admission_rejected: 0,
+                shed_bulk: 0,
             }),
             breakers: Mutex::new(BTreeMap::new()),
             prototypes: Mutex::new(HashMap::new()),
             queue_rows: self.queue_rows,
             max_coalesce_rows: self.max_coalesce_rows,
             coalescing: self.coalescing,
+            coalesce_window: self.coalesce_window,
             program_retention: self.program_retention,
             retry_policy: self.retry_policy,
             breaker_threshold: self.breaker_threshold,
@@ -202,6 +242,7 @@ impl Default for ServiceBuilder {
             queue_rows: 1024,
             max_coalesce_rows: 64,
             coalescing: true,
+            coalesce_window: Duration::ZERO,
             program_retention: false,
             master_seed: 0x5EED,
             retry_policy: RetryPolicy::default(),
@@ -509,7 +550,10 @@ impl SamplingService {
     ///
     /// Validation errors ([`ServeError::ModelNotFound`],
     /// [`ServeError::InvalidRequest`]), [`ServeError::QueueFull`] under
-    /// backpressure, [`ServeError::ServiceClosed`] after shutdown.
+    /// backpressure, [`ServeError::Overloaded`] when admission control
+    /// projects (from the measured per-row service rate) that the
+    /// request's still-future deadline cannot be met,
+    /// [`ServeError::ServiceClosed`] after shutdown.
     pub fn submit(
         &self,
         request: SampleRequest,
@@ -540,8 +584,19 @@ impl SamplingService {
             }
         }
         let weight = request.n_samples;
+        let priority = request.priority;
+        let deadline = request.deadline;
         let (tx, rx) = mpsc::channel();
-        self.enqueue(weight, Queued::Sample(QueuedSample { request, reply: tx }))?;
+        self.enqueue(
+            weight,
+            priority,
+            deadline,
+            Queued::Sample(QueuedSample {
+                request,
+                reply: tx,
+                enqueued_at: Instant::now(),
+            }),
+        )?;
         Ok(ResponseHandle { rx })
     }
 
@@ -577,7 +632,18 @@ impl SamplingService {
             ));
         }
         let (tx, rx) = mpsc::channel();
-        self.enqueue(1, Queued::Train(QueuedTrain { request, reply: tx }))?;
+        // Training rides the Bulk lane: it is throughput work, drained
+        // after interactive sampling and shed first under pressure.
+        self.enqueue(
+            1,
+            Priority::Bulk,
+            None,
+            Queued::Train(QueuedTrain {
+                request,
+                reply: tx,
+                enqueued_at: Instant::now(),
+            }),
+        )?;
         Ok(ResponseHandle { rx })
     }
 
@@ -602,6 +668,8 @@ impl SamplingService {
             shards: inner.shards.clone(),
             models: inner.models.clone(),
             rejected: inner.rejected,
+            admission_rejected: inner.admission_rejected,
+            shed_bulk: inner.shed_bulk,
             degraded,
         }
     }
@@ -628,7 +696,7 @@ impl SamplingService {
 
         let mut st = self.core.state.lock().expect("service lock");
         let drained = loop {
-            if st.queue.is_empty() && st.in_flight == 0 {
+            if st.lanes.iter().all(|lane| lane.is_empty()) && st.in_flight == 0 {
                 break true;
             }
             let now = Instant::now();
@@ -644,15 +712,10 @@ impl SamplingService {
         };
         let mut aborted = 0usize;
         if !drained {
-            while let Some(item) = st.queue.pop_front() {
-                aborted += 1;
-                match item {
-                    Queued::Sample(sample) => {
-                        let _ = sample.reply.send(Err(ServeError::ServiceClosed));
-                    }
-                    Queued::Train(train) => {
-                        let _ = train.reply.send(Err(ServeError::ServiceClosed));
-                    }
+            for lane in &mut st.lanes {
+                while let Some(item) = lane.pop_front() {
+                    aborted += 1;
+                    item.reject(ServeError::ServiceClosed);
                 }
             }
             st.queued_rows = 0;
@@ -668,7 +731,13 @@ impl SamplingService {
         }
     }
 
-    fn enqueue(&self, weight: usize, item: Queued) -> Result<(), ServeError> {
+    fn enqueue(
+        &self,
+        weight: usize,
+        priority: Priority,
+        deadline: Option<Instant>,
+        item: Queued,
+    ) -> Result<(), ServeError> {
         let weight = weight.max(1);
         if weight > self.core.queue_rows {
             // Heavier than the whole queue: no amount of retrying will
@@ -680,21 +749,72 @@ impl SamplingService {
                 self.core.queue_rows,
             )));
         }
+        let shards = self.workers.len().max(1);
+        // Measured per-row service rate, read before the queue lock (a
+        // slightly stale estimate is fine; the lock order stays
+        // state-free → stats-free).
+        let per_row = per_row_nanos(&self.core.stats.lock().expect("stats lock"));
         let mut st = self.core.state.lock().expect("service lock");
         if !st.open {
             return Err(ServeError::ServiceClosed);
+        }
+
+        // Admission control: a request whose deadline is still in the
+        // future but provably unreachable — the backlog ahead of it plus
+        // its own rows, at the measured per-row rate, projects past the
+        // deadline — is refused *now*, before it wastes queue space and
+        // substrate time. An already-expired deadline is NOT refused
+        // here: it flows to the shard's shed path and keeps its
+        // established [`ServeError::DeadlineExceeded`] answer.
+        if let Some(deadline) = deadline {
+            let now = Instant::now();
+            if deadline > now {
+                let projected = drain_estimate(st.queued_rows + weight, per_row, shards);
+                if now + projected > deadline {
+                    let retry_after = drain_estimate(st.queued_rows, per_row, shards);
+                    drop(st);
+                    self.core
+                        .stats
+                        .lock()
+                        .expect("stats lock")
+                        .admission_rejected += 1;
+                    return Err(ServeError::Overloaded { retry_after });
+                }
+            }
+        }
+
+        // Sustained-overload shedder: before an Interactive request is
+        // turned away, evict queued Bulk work (newest first, so the
+        // Bulk lane still drains FIFO) until there is room. Evicted
+        // requests get a typed `Overloaded` with the same drain hint a
+        // rejection would carry.
+        let mut shed_bulk = 0u64;
+        if st.queued_rows + weight > self.core.queue_rows && priority == Priority::Interactive {
+            let retry_after = drain_estimate(st.queued_rows, per_row, shards);
+            while st.queued_rows + weight > self.core.queue_rows {
+                let Some(victim) = st.lanes[LANE_BULK].pop_back() else {
+                    break;
+                };
+                st.queued_rows -= victim.weight();
+                shed_bulk += 1;
+                victim.reject(ServeError::Overloaded { retry_after });
+            }
         }
         if st.queued_rows + weight > self.core.queue_rows {
             let backlog_rows = st.queued_rows;
             drop(st);
             let mut stats = self.core.stats.lock().expect("stats lock");
             stats.rejected += 1;
-            let retry_after = retry_after_hint(&stats, backlog_rows, self.workers.len());
+            stats.shed_bulk += shed_bulk;
+            let retry_after = drain_estimate(backlog_rows, per_row_nanos(&stats), shards);
             return Err(ServeError::QueueFull { retry_after });
         }
         st.queued_rows += weight;
-        st.queue.push_back(item);
+        st.lanes[lane_index(priority)].push_back(item);
         drop(st);
+        if shed_bulk > 0 {
+            self.core.stats.lock().expect("stats lock").shed_bulk += shed_bulk;
+        }
         self.core.cv.notify_all();
         Ok(())
     }
@@ -716,26 +836,31 @@ impl Drop for SamplingService {
     }
 }
 
-/// Estimated time for the present backlog to drain: queue depth × the
-/// observed mean per-row service time ÷ shards. Before any row has been
-/// served, assumes 1 ms/row; floored at 100 µs so the hint is never a
-/// busy-loop invitation.
-fn retry_after_hint(stats: &StatsInner, backlog_rows: usize, shards: usize) -> Duration {
+/// Observed mean per-row service time in nanoseconds — the measured
+/// rate behind both the `retry_after` hints and admission control.
+/// Before any row has been served, assumes 1 ms/row; floored at 1 µs.
+fn per_row_nanos(stats: &StatsInner) -> u64 {
     let (rows, busy) = stats
         .shards
         .iter()
         .fold((0u64, 0u64), |(r, b), s| (r + s.rows, b + s.busy_nanos));
-    let per_row_nanos = match busy.checked_div(rows) {
+    match busy.checked_div(rows) {
         None => 1_000_000,
         Some(per_row) => per_row.max(1_000),
-    };
-    let nanos = (backlog_rows as u64).saturating_mul(per_row_nanos) / shards.max(1) as u64;
+    }
+}
+
+/// Estimated time for `backlog_rows` to drain at `per_row` nanoseconds
+/// per row across `shards` workers; floored at 100 µs so the hint is
+/// never a busy-loop invitation.
+fn drain_estimate(backlog_rows: usize, per_row: u64, shards: usize) -> Duration {
+    let nanos = (backlog_rows as u64).saturating_mul(per_row) / shards.max(1) as u64;
     Duration::from_nanos(nanos.max(100_000))
 }
 
 /// Per-shard accounting (one entry per worker in
 /// [`ServiceStats::shards`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ShardStats {
     /// Sample requests answered.
     pub sample_requests: u64,
@@ -753,10 +878,16 @@ pub struct ShardStats {
     /// Requests shed past their deadline without substrate work.
     pub shed_requests: u64,
     /// Wall-clock nanoseconds this shard spent executing sample groups
-    /// (drives the [`ServeError::QueueFull`] `retry_after` hint).
+    /// (drives the [`ServeError::QueueFull`] `retry_after` hint and
+    /// admission control's drain projection).
     pub busy_nanos: u64,
     /// Hardware events of this shard's replicas.
     pub counters: HardwareCounters,
+    /// Queue-to-answer latency of every sample request this shard
+    /// answered successfully (enqueue → response sent), log-bucketed.
+    /// Shed, faulted, and rejected requests are not recorded here — the
+    /// histogram describes what accepted callers experienced.
+    pub latency: LatencyHistogram,
 }
 
 /// Per-model accounting (keyed by model name in
@@ -793,6 +924,14 @@ pub struct ServiceStats {
     pub models: BTreeMap<String, ModelStats>,
     /// Requests rejected by backpressure ([`ServeError::QueueFull`]).
     pub rejected: u64,
+    /// Requests refused at enqueue by admission control
+    /// ([`ServeError::Overloaded`]): their still-future deadline was
+    /// projected unreachable at the measured per-row service rate.
+    pub admission_rejected: u64,
+    /// Queued Bulk requests evicted by the sustained-overload shedder
+    /// to admit Interactive work (answered with
+    /// [`ServeError::Overloaded`]).
+    pub shed_bulk: u64,
     /// Models whose circuit breaker has tripped: they are currently
     /// served by the `SoftwareGibbs` fallback, not their registered
     /// substrate.
@@ -905,6 +1044,17 @@ impl ServiceStats {
             .map(|s| s.counters.recovery_retries)
             .sum()
     }
+
+    /// Service-wide queue-to-answer latency: every shard's histogram
+    /// merged. `latency().p99()` is the one number the tail-latency
+    /// trajectory tracks.
+    pub fn latency(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for shard in &self.shards {
+            merged.merge(&shard.latency);
+        }
+        merged
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -923,6 +1073,7 @@ struct Core {
     queue_rows: usize,
     max_coalesce_rows: usize,
     coalescing: bool,
+    coalesce_window: Duration,
     program_retention: bool,
     retry_policy: RetryPolicy,
     breaker_threshold: u32,
@@ -934,6 +1085,7 @@ impl std::fmt::Debug for Core {
             .field("queue_rows", &self.queue_rows)
             .field("max_coalesce_rows", &self.max_coalesce_rows)
             .field("coalescing", &self.coalescing)
+            .field("coalesce_window", &self.coalesce_window)
             .field("program_retention", &self.program_retention)
             .field("retry_policy", &self.retry_policy)
             .field("breaker_threshold", &self.breaker_threshold)
@@ -948,7 +1100,9 @@ struct QueueState {
     /// Requests popped by a shard but not yet answered — what a bounded
     /// drain waits on besides the queue itself.
     in_flight: usize,
-    queue: VecDeque<Queued>,
+    /// One FIFO lane per [`Priority`], drained Interactive-first
+    /// (`LANE_INTERACTIVE` / `LANE_BULK`).
+    lanes: [VecDeque<Queued>; LANES],
     /// Per-shard control inboxes (model provisioning), drained by a
     /// shard before it takes new work.
     controls: Vec<Vec<Control>>,
@@ -985,16 +1139,44 @@ enum Queued {
     Train(QueuedTrain),
 }
 
+impl Queued {
+    /// Row weight this item holds in the bounded queue.
+    fn weight(&self) -> usize {
+        match self {
+            Queued::Sample(s) => s.request.n_samples.max(1),
+            Queued::Train(_) => 1,
+        }
+    }
+
+    /// Answers the caller with `err` without executing (shed / abort).
+    fn reject(self, err: ServeError) {
+        match self {
+            Queued::Sample(sample) => {
+                let _ = sample.reply.send(Err(err));
+            }
+            Queued::Train(train) => {
+                let _ = train.reply.send(Err(err));
+            }
+        }
+    }
+}
+
 #[derive(Debug)]
 struct QueuedSample {
     request: SampleRequest,
     reply: mpsc::Sender<Result<SampleResponse, ServeError>>,
+    /// When the request entered the queue — the latency histograms
+    /// measure from here to the reply, and the coalescing window counts
+    /// down from the *oldest* member's enqueue.
+    enqueued_at: Instant,
 }
 
 #[derive(Debug)]
 struct QueuedTrain {
     request: TrainRequest,
     reply: mpsc::Sender<Result<TrainResponse, ServeError>>,
+    #[allow(dead_code)]
+    enqueued_at: Instant,
 }
 
 #[derive(Debug)]
@@ -1002,6 +1184,8 @@ struct StatsInner {
     shards: Vec<ShardStats>,
     models: BTreeMap<String, ModelStats>,
     rejected: u64,
+    admission_rejected: u64,
+    shed_bulk: u64,
 }
 
 enum Work {
@@ -1033,54 +1217,133 @@ impl Replica {
     }
 }
 
+/// One forward pass over `lane` (O(n), done while holding the service
+/// lock): moves every same-`(model, gibbs_steps)` sample request into
+/// `members` up to the row bound, keeping the rest in order.
+fn gather_same_key(
+    lane: &mut VecDeque<Queued>,
+    queued_rows: &mut usize,
+    key_model: &str,
+    key_steps: usize,
+    max_rows: usize,
+    rows: &mut usize,
+    members: &mut Vec<QueuedSample>,
+) {
+    let mut kept = VecDeque::with_capacity(lane.len());
+    while let Some(item) = lane.pop_front() {
+        match item {
+            Queued::Sample(s)
+                if *rows < max_rows
+                    && s.request.model == key_model
+                    && s.request.gibbs_steps == key_steps
+                    && *rows + s.request.n_samples.max(1) <= max_rows =>
+            {
+                let weight = s.request.n_samples.max(1);
+                *queued_rows -= weight;
+                *rows += weight;
+                members.push(s);
+            }
+            other => kept.push_back(other),
+        }
+    }
+    *lane = kept;
+}
+
 /// Blocks until this shard has work: control messages first, then the
-/// queue head — coalesced with every pending same-`(model, gibbs_steps)`
-/// sample request up to the row bound — then shutdown once the queue is
-/// drained. Taken work is counted in-flight until [`finish_work`].
+/// head of the highest-priority non-empty lane (Interactive before
+/// Bulk) — coalesced with every pending same-`(model, gibbs_steps)`
+/// sample request *in the same lane* up to the row bound — then
+/// shutdown once the lanes are drained. Taken work is counted in-flight
+/// until [`finish_work`].
+///
+/// With a non-zero [`ServiceBuilder::coalesce_window`], a group that is
+/// not yet full lingers on the condvar gathering late-arriving
+/// batch-mates until the window (counted from its **oldest** member's
+/// enqueue) runs out. The wait is cut short the moment the group fills,
+/// the service closes, any member's deadline approaches, or — for a
+/// Bulk group — Interactive work arrives (no priority inversion behind
+/// a lingering Bulk batch).
 fn next_work(core: &Core, shard: usize) -> Work {
     let mut st = core.state.lock().expect("service lock");
     loop {
         if !st.controls[shard].is_empty() {
             return Work::Controls(std::mem::take(&mut st.controls[shard]));
         }
-        match st.queue.pop_front() {
+        let lane_idx = if st.lanes[LANE_INTERACTIVE].is_empty() {
+            LANE_BULK
+        } else {
+            LANE_INTERACTIVE
+        };
+        match st.lanes[lane_idx].pop_front() {
             Some(Queued::Train(train)) => {
                 st.queued_rows -= 1;
                 st.in_flight += 1;
                 return Work::Train(train);
             }
             Some(Queued::Sample(first)) => {
-                st.queued_rows -= first.request.n_samples.max(1);
+                let mut rows = first.request.n_samples.max(1);
+                st.queued_rows -= rows;
+                let key_model = first.request.model.clone();
+                let key_steps = first.request.gibbs_steps;
                 let mut members = vec![first];
+                st.in_flight += 1;
                 if core.coalescing {
-                    // One forward pass over the queue (O(n), done while
-                    // holding the service lock): take every same-key
-                    // sample request up to the row bound, keep the rest
-                    // in order.
-                    let mut rows = members[0].request.n_samples.max(1);
-                    let key_model = members[0].request.model.clone();
-                    let key_steps = members[0].request.gibbs_steps;
-                    let mut kept = VecDeque::with_capacity(st.queue.len());
-                    while let Some(item) = st.queue.pop_front() {
-                        match item {
-                            Queued::Sample(s)
-                                if rows < core.max_coalesce_rows
-                                    && s.request.model == key_model
-                                    && s.request.gibbs_steps == key_steps
-                                    && rows + s.request.n_samples.max(1)
-                                        <= core.max_coalesce_rows =>
-                            {
-                                let weight = s.request.n_samples.max(1);
-                                st.queued_rows -= weight;
-                                rows += weight;
-                                members.push(s);
+                    {
+                        let state = &mut *st;
+                        gather_same_key(
+                            &mut state.lanes[lane_idx],
+                            &mut state.queued_rows,
+                            &key_model,
+                            key_steps,
+                            core.max_coalesce_rows,
+                            &mut rows,
+                            &mut members,
+                        );
+                    }
+                    if core.coalesce_window > Duration::ZERO && rows < core.max_coalesce_rows {
+                        // Earliest of: window out (from the oldest
+                        // member's enqueue) or any member's deadline.
+                        let mut wake = members[0].enqueued_at + core.coalesce_window;
+                        for m in &members {
+                            if let Some(d) = m.request.deadline {
+                                wake = wake.min(d);
                             }
-                            other => kept.push_back(other),
+                        }
+                        loop {
+                            if rows >= core.max_coalesce_rows || !st.open {
+                                break;
+                            }
+                            if lane_idx == LANE_BULK && !st.lanes[LANE_INTERACTIVE].is_empty() {
+                                break;
+                            }
+                            let now = Instant::now();
+                            if now >= wake {
+                                break;
+                            }
+                            let (guard, _) =
+                                core.cv.wait_timeout(st, wake - now).expect("service lock");
+                            st = guard;
+                            let before = members.len();
+                            {
+                                let state = &mut *st;
+                                gather_same_key(
+                                    &mut state.lanes[lane_idx],
+                                    &mut state.queued_rows,
+                                    &key_model,
+                                    key_steps,
+                                    core.max_coalesce_rows,
+                                    &mut rows,
+                                    &mut members,
+                                );
+                            }
+                            for m in &members[before..] {
+                                if let Some(d) = m.request.deadline {
+                                    wake = wake.min(d);
+                                }
+                            }
                         }
                     }
-                    st.queue = kept;
                 }
-                st.in_flight += 1;
                 return Work::Sample(members);
             }
             None => {
@@ -1160,7 +1423,7 @@ fn run_shard(core: &Core, registry: &ModelRegistry, shard: usize, lane: RngStrea
                 }
                 finish_work(core);
             }
-            Work::Train(QueuedTrain { request, reply }) => {
+            Work::Train(QueuedTrain { request, reply, .. }) => {
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     serve_train(
                         core,
@@ -1390,6 +1653,15 @@ fn serve_sample_group(
                 shard_stats.rows += rows.len() as u64;
                 shard_stats.batches += 1;
                 shard_stats.largest_batch = shard_stats.largest_batch.max(rows.len() as u64);
+                // Queue-to-answer latency of every member about to get
+                // a successful reply (the histogram describes accepted
+                // requests only).
+                let answered = Instant::now();
+                for &i in &live {
+                    shard_stats
+                        .latency
+                        .record(answered.saturating_duration_since(members[i].enqueued_at));
+                }
             }
         }
         let model_stats = stats.models.entry(model.clone()).or_default();

@@ -145,6 +145,10 @@ fn main() {
             model.sample_requests, model.degraded_requests, model.failed_requests
         );
     }
+    println!(
+        "  accepted-request latency {}",
+        stats.latency() // queue-to-answer, merged across shards
+    );
 
     let report = service.shutdown(Duration::from_secs(5));
     println!(

@@ -194,6 +194,9 @@ fn main() {
             model.sample_requests, model.train_requests, model.rows
         );
     }
+    // Accepted-request latency quantiles, merged across shards — the
+    // same histograms `GET /v1/stats` serves to any client.
+    println!("  latency    {}", stats.latency());
 
     println!("\n== phase 6: drained shutdown ==");
     // Leave a slow request in flight, then shut down: the connection

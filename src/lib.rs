@@ -173,6 +173,80 @@
 //! `504`, an unknown model `404`, and a draining edge `503` — see
 //! `examples/http_service.rs` for the full tour.
 //!
+//! # Overload behavior
+//!
+//! The service stays predictable when offered more work than it can
+//! serve, with four cooperating mechanisms — none of which touches the
+//! per-row RNG streams, so every *accepted* request returns the same
+//! bits loaded or unloaded:
+//!
+//! * **Bounded coalescing window**
+//!   ([`serve::ServiceBuilder::coalesce_window`], default off): a
+//!   partially-filled batch dispatches as soon as the group fills *or*
+//!   its oldest request has waited the window out, so a lone request's
+//!   worst-case latency is `window + service_time` instead of "whenever
+//!   batch-mates show up".
+//! * **Priority lanes** ([`serve::Priority`], set per request with
+//!   [`serve::SampleRequest::with_priority`], over HTTP via the
+//!   `X-Ember-Priority` header): shards drain `Interactive` before
+//!   `Bulk`; training always rides the Bulk lane.
+//! * **Admission control**: each deadlined request's completion is
+//!   projected from the measured per-row service rate; work that
+//!   provably cannot meet its deadline is refused *at enqueue* with the
+//!   typed [`serve::ServeError::Overloaded`] (`429 overloaded` over
+//!   HTTP, with `Retry-After` / `X-Ember-Retry-After-Ms` hints) instead
+//!   of burning a shard on an answer nobody will read. `504
+//!   deadline_exceeded` stays reserved for deadlines that expire while
+//!   queued.
+//! * **Bulk-first shedding**: when the queue is full, an arriving
+//!   `Interactive` request evicts the newest queued `Bulk` work (shed
+//!   with `Overloaded` and a drain hint) before any interactive
+//!   traffic is turned away.
+//!
+//! The client side cooperates: [`http::Client::with_retry`] draws
+//! retries from a **token-bucket budget** (refilled by successes, see
+//! [`http::Client::retry_budget`]), so a browning-out server sees
+//! failures surface at the client instead of a retry storm multiplying
+//! its load. Accepted-request latency is recorded per shard in
+//! log-bucketed [`serve::LatencyHistogram`]s — p50/p99/p99.9 ride
+//! [`serve::ServiceStats`] and `GET /v1/stats`.
+//!
+//! ```
+//! use ember::core::{GsConfig, SubstrateSpec};
+//! use ember::rbm::Rbm;
+//! use ember::serve::{Priority, SampleRequest, SamplingService, ServeError};
+//! use rand::SeedableRng;
+//! use std::time::Duration;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let rbm = Rbm::random(8, 4, 0.2, &mut rng);
+//! let proto = SubstrateSpec::software(GsConfig::default()).fabricate_for(&rbm, &mut rng);
+//! let service = SamplingService::builder()
+//!     .shards(1)
+//!     .coalesce_window(Duration::from_millis(2)) // bounded batch wait
+//!     .build();
+//! service.register_model("demo", rbm, proto).unwrap();
+//!
+//! // Lanes are scheduling, not semantics: same seed, same bits.
+//! let fast = SampleRequest::new("demo").with_gibbs_steps(2).with_seed(1);
+//! let a = service.sample(fast.clone()).unwrap();
+//! let b = service.sample(fast.with_priority(Priority::Bulk)).unwrap();
+//! assert_eq!(a.samples, b.samples);
+//!
+//! // A deadline the backlog provably cannot meet is refused at
+//! // enqueue, with a usable retry hint.
+//! let doomed = SampleRequest::new("demo")
+//!     .with_samples(64)
+//!     .with_deadline_in(Duration::from_micros(50));
+//! assert!(matches!(
+//!     service.submit(doomed).unwrap_err(),
+//!     ServeError::Overloaded { .. }
+//! ));
+//!
+//! // Accepted-request latency quantiles, live.
+//! assert_eq!(service.stats().latency().count(), 2);
+//! ```
+//!
 //! # Quickstart: persistence & recovery
 //!
 //! Trained weights live on *volatile* analog hardware (§3.2 of the
